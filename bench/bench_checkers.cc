@@ -1,0 +1,160 @@
+// Experiments C1–C3 (DESIGN.md): schedule-class checker costs and census.
+//
+// C1 — PWSR (Definition 2) vs plain CSR checking as schedules grow.
+// C2 — DR / ACA / strict checking, plus a census: what fraction of random
+//      schedules falls into each class (the class hierarchy made tangible).
+// C3 — data access graph construction + acyclicity.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "nse/nse.h"
+#include "scheduler/metrics.h"
+
+namespace nse {
+namespace {
+
+/// A random schedule over `txns` transactions and `items` items.
+Schedule RandomSchedule(Rng& rng, size_t num_ops, size_t txns, size_t items) {
+  OpSequence ops;
+  ops.reserve(num_ops);
+  for (size_t i = 0; i < num_ops; ++i) {
+    TxnId txn = static_cast<TxnId>(rng.NextBelow(txns) + 1);
+    ItemId item = static_cast<ItemId>(rng.NextBelow(items));
+    if (rng.NextBool(0.5)) {
+      ops.push_back(Operation::Write(txn, item, Value(static_cast<int64_t>(i))));
+    } else {
+      ops.push_back(Operation::Read(txn, item, Value(0)));
+    }
+  }
+  return Schedule(std::move(ops));
+}
+
+/// A database + IC with `conjuncts` equal-pair partitions.
+struct CheckScenario {
+  Database db;
+  std::optional<IntegrityConstraint> ic;
+
+  static CheckScenario Make(size_t conjuncts) {
+    CheckScenario sc;
+    std::vector<Formula> formulas;
+    for (size_t e = 0; e < conjuncts; ++e) {
+      auto x = sc.db.AddItem(StrCat("c", e, "_x"), Domain::IntRange(-8, 8));
+      auto y = sc.db.AddItem(StrCat("c", e, "_y"), Domain::IntRange(-8, 8));
+      NSE_CHECK(x.ok() && y.ok());
+      formulas.push_back(Eq(Var(*x), Var(*y)));
+    }
+    auto ic = IntegrityConstraint::FromConjuncts(sc.db, std::move(formulas));
+    NSE_CHECK(ic.ok());
+    sc.ic = std::move(ic).value();
+    return sc;
+  }
+};
+
+void BM_CsrCheck(benchmark::State& state) {
+  size_t num_ops = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Schedule s = RandomSchedule(rng, num_ops, /*txns=*/8, /*items=*/16);
+  for (auto _ : state) {
+    bool csr = IsConflictSerializable(s);
+    benchmark::DoNotOptimize(csr);
+  }
+  state.counters["ops"] = static_cast<double>(num_ops);
+}
+BENCHMARK(BM_CsrCheck)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PwsrCheck(benchmark::State& state) {
+  size_t num_ops = static_cast<size_t>(state.range(0));
+  size_t conjuncts = static_cast<size_t>(state.range(1));
+  CheckScenario sc = CheckScenario::Make(conjuncts);
+  Rng rng(42);
+  Schedule s = RandomSchedule(rng, num_ops, 8, sc.db.num_items());
+  for (auto _ : state) {
+    PwsrReport report = CheckPwsr(s, *sc.ic);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["ops"] = static_cast<double>(num_ops);
+  state.counters["conjuncts"] = static_cast<double>(conjuncts);
+}
+BENCHMARK(BM_PwsrCheck)
+    ->Args({100, 2})
+    ->Args({1000, 2})
+    ->Args({1000, 8})
+    ->Args({1000, 32})
+    ->Args({10000, 8});
+
+void BM_DrCheck(benchmark::State& state) {
+  size_t num_ops = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Schedule s = RandomSchedule(rng, num_ops, 8, 16);
+  for (auto _ : state) {
+    bool dr = IsDelayedRead(s);
+    benchmark::DoNotOptimize(dr);
+  }
+}
+BENCHMARK(BM_DrCheck)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_StrictCheck(benchmark::State& state) {
+  size_t num_ops = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Schedule s = RandomSchedule(rng, num_ops, 8, 16);
+  for (auto _ : state) {
+    bool strict = IsStrict(s);
+    benchmark::DoNotOptimize(strict);
+  }
+}
+BENCHMARK(BM_StrictCheck)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DagBuild(benchmark::State& state) {
+  size_t num_ops = static_cast<size_t>(state.range(0));
+  size_t conjuncts = static_cast<size_t>(state.range(1));
+  CheckScenario sc = CheckScenario::Make(conjuncts);
+  Rng rng(9);
+  Schedule s = RandomSchedule(rng, num_ops, 8, sc.db.num_items());
+  for (auto _ : state) {
+    DataAccessGraph g = DataAccessGraph::Build(s, *sc.ic);
+    benchmark::DoNotOptimize(g.IsAcyclic());
+  }
+}
+BENCHMARK(BM_DagBuild)->Args({1000, 4})->Args({1000, 16})->Args({10000, 16});
+
+void ReportClassCensus() {
+  // C2 census: fraction of random schedules in each class, by op count.
+  // The hierarchy CSR ⊆ PWSR and strict ⊆ DR must show in the rates.
+  TablePrinter table(
+      {"ops/schedule", "samples", "CSR %", "PWSR %", "DR %", "strict %"});
+  CheckScenario sc = CheckScenario::Make(4);
+  Rng rng(1234);
+  for (size_t num_ops : {6, 10, 16, 24}) {
+    int csr = 0, pwsr = 0, dr = 0, strict = 0;
+    constexpr int kSamples = 2000;
+    for (int i = 0; i < kSamples; ++i) {
+      Schedule s = RandomSchedule(rng, num_ops, 4, sc.db.num_items());
+      if (IsConflictSerializable(s)) ++csr;
+      if (CheckPwsr(s, *sc.ic).is_pwsr) ++pwsr;
+      if (IsDelayedRead(s)) ++dr;
+      if (IsStrict(s)) ++strict;
+    }
+    auto pct = [&](int n) {
+      return FormatDouble(100.0 * n / kSamples, 1);
+    };
+    table.AddRow({StrCat(num_ops), StrCat(kSamples), pct(csr), pct(pwsr),
+                  pct(dr), pct(strict)});
+  }
+  std::cout << "\n=== C2: schedule class census (random schedules) ===\n"
+            << table.Render()
+            << "(expected shape: PWSR >= CSR and DR >= strict on every row; "
+               "all rates fall as schedules grow)\n\n";
+}
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) {
+  nse::ReportClassCensus();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

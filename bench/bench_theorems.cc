@@ -1,0 +1,223 @@
+// Experiments T1–T3, F4/F5/F7, A2 (DESIGN.md): the theorems as measurable
+// claims.
+//
+// T1/T2/T3 — randomized violation search under each theorem's hypotheses
+//            (expected violations: 0) and with the hypothesis dropped on
+//            the Example 2 scenario (expected: violations found).
+// A2       — exact structural certification vs randomized replay testing
+//            of Definition 3.
+// F4/F5/F7 — the cost of the induction machinery is implicitly measured by
+//            the per-execution certification benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "nse/nse.h"
+#include "paper/paper_examples.h"
+#include "scheduler/metrics.h"
+
+namespace nse {
+namespace {
+
+Workload TheoremWorkload(double branch_probability, bool acyclic,
+                         uint64_t seed) {
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 4;
+  config.items_per_partition = 2;
+  config.num_txns = 4;
+  config.partitions_per_txn = 2;
+  config.cross_read_probability = 0.6;
+  config.acyclic_cross_reads = acyclic;
+  config.branch_probability = branch_probability;
+  config.seed = seed;
+  auto workload = MakePartitionedWorkload(config);
+  NSE_CHECK(workload.ok());
+  return std::move(workload).value();
+}
+
+void ReportTheoremTable() {
+  TablePrinter table({"experiment", "hypotheses", "checked execs",
+                      "violations", "paper expectation"});
+
+  {  // T1: fixed structure + PWSR.
+    Workload w = TheoremWorkload(0.0, false, 21);
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    filter.require_fixed_structure = true;
+    Rng rng(21);
+    auto outcome = SearchForViolations(w.db, *w.ic, w.ProgramPtrs(), filter,
+                                       rng, 400);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T1 (Thm 1)", "PWSR + fixed-structure",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "0 violations"});
+  }
+  {  // T2: PWSR + DR with branching programs.
+    Workload w = TheoremWorkload(0.4, false, 22);
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    filter.require_delayed_read = true;
+    Rng rng(22);
+    auto outcome = SearchForViolations(w.db, *w.ic, w.ProgramPtrs(), filter,
+                                       rng, 400);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T2 (Thm 2)", "PWSR + DR (arbitrary programs)",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "0 violations"});
+  }
+  {  // T3: PWSR + acyclic DAG.
+    Workload w = TheoremWorkload(0.4, true, 23);
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    filter.require_dag_acyclic = true;
+    Rng rng(23);
+    auto outcome = SearchForViolations(w.db, *w.ic, w.ProgramPtrs(), filter,
+                                       rng, 400);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T3 (Thm 3)", "PWSR + acyclic DAG(S, IC)",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "0 violations"});
+  }
+  {  // Hypotheses dropped: exhaustive Example 2 search, PWSR only.
+    auto ex = paper::Example2::Make();
+    std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    auto outcome = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                             {ex.ds0}, filter, 100000);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T-neg (Ex. 2)", "PWSR only (no theorem hypothesis)",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "> 0 violations"});
+  }
+  {  // Example 5: everything but disjointness.
+    auto ex = paper::Example5::Make();
+    std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2,
+                                                    &ex.tp3};
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    filter.require_delayed_read = true;
+    filter.require_dag_acyclic = true;
+    filter.require_fixed_structure = true;
+    auto outcome = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                             {ex.ds0}, filter, 100000);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T-neg (Ex. 5)", "all hypotheses, conjuncts overlap",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "> 0 violations"});
+  }
+
+  {  // Scaled anomaly workload (Example 2 × 2 pairs), original programs.
+    auto w = MakeAnomalyWorkload(/*pairs=*/2, /*fixed_structure=*/false);
+    NSE_CHECK(w.ok());
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    Rng rng(24);
+    auto outcome = SearchForViolations(w->db, *w->ic, w->ProgramPtrs(),
+                                       filter, rng, 600);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T-neg (anomaly x2)", "PWSR only, Example-2 programs",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "> 0 violations"});
+  }
+  {  // Same workload with the §3.1 repairs: Theorem 1 regime.
+    auto w = MakeAnomalyWorkload(/*pairs=*/2, /*fixed_structure=*/true);
+    NSE_CHECK(w.ok());
+    HypothesisFilter filter;
+    filter.require_pwsr = true;
+    filter.require_fixed_structure = true;
+    Rng rng(25);
+    auto outcome = SearchForViolations(w->db, *w->ic, w->ProgramPtrs(),
+                                       filter, rng, 600);
+    NSE_CHECK(outcome.ok());
+    table.AddRow({"T1 (anomaly repaired)", "PWSR + fixed-structure repairs",
+                  StrCat(outcome->checked), StrCat(outcome->violations),
+                  "0 violations"});
+  }
+
+  std::cout << "\n=== T1-T3: theorem validation by violation search ===\n"
+            << table.Render() << "\n";
+}
+
+// ---- benchmarks ----
+
+void BM_ViolationSearchTheorem1(benchmark::State& state) {
+  Workload w = TheoremWorkload(0.0, false, 31);
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_fixed_structure = true;
+  Rng rng(31);
+  for (auto _ : state) {
+    auto outcome =
+        SearchForViolations(w.db, *w.ic, w.ProgramPtrs(), filter, rng, 10);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ViolationSearchTheorem1);
+
+void BM_CertifyExecution(benchmark::State& state) {
+  Workload w = TheoremWorkload(0.0, false, 33);
+  ConsistencyChecker checker(w.db, *w.ic);
+  Rng rng(33);
+  auto initial = checker.SampleConsistentState(rng);
+  NSE_CHECK(initial.ok());
+  auto choices = RandomChoices(w.db, w.ProgramPtrs(), *initial, rng);
+  NSE_CHECK(choices.ok());
+  auto run = Interleave(w.db, w.ProgramPtrs(), *initial, *choices);
+  NSE_CHECK(run.ok());
+  auto programs = w.ProgramPtrs();
+  for (auto _ : state) {
+    TheoremCertificate cert = Certify(w.db, *w.ic, run->schedule, &programs);
+    benchmark::DoNotOptimize(cert);
+  }
+}
+BENCHMARK(BM_CertifyExecution);
+
+void BM_StructureAnalysisExact(benchmark::State& state) {
+  auto ex = paper::Example2::Make();
+  for (auto _ : state) {
+    StructureAnalysis analysis = AnalyzeStructure(ex.db, ex.tp1_fixed);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetLabel("A2: exact path exploration");
+}
+BENCHMARK(BM_StructureAnalysisExact);
+
+void BM_StructureAnalysisRandomized(benchmark::State& state) {
+  auto ex = paper::Example2::Make();
+  Rng rng(5);
+  size_t trials = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result =
+        TestFixedStructureRandomized(ex.db, ex.tp1_fixed, rng, trials);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("A2: randomized replay");
+  state.counters["trials"] = static_cast<double>(trials);
+}
+BENCHMARK(BM_StructureAnalysisRandomized)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StrongCorrectnessCheck(benchmark::State& state) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto run = Interleave(ex.db, programs, ex.ds0, ex.choices);
+  NSE_CHECK(run.ok());
+  ConsistencyChecker checker(ex.db, *ex.ic);
+  for (auto _ : state) {
+    auto report = CheckExecution(checker, run->schedule, ex.ds0);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_StrongCorrectnessCheck);
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) {
+  nse::ReportTheoremTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// CAD studio: the paper's motivating domain (§1, [11]). Long-duration
+// design transactions sweep several design partitions; strict 2PL makes
+// everyone wait for the longest designer, predicate-wise 2PL releases each
+// partition after its last touch. The example runs both policies on the
+// same workload, verifies the schedule classes, and prints the wait-time
+// story.
+//
+//   $ ./examples/cad_studio
+
+#include <iostream>
+
+#include "nse/nse.h"
+#include "scheduler/metrics.h"
+
+using namespace nse;
+
+int main() {
+  std::cout << "CAD studio: 6 designers, 12 design partitions, "
+               "32-operation design transactions\n\n";
+  auto workload = MakeCadWorkload(/*num_txns=*/6, /*ops_per_txn=*/32,
+                                  /*num_partitions=*/12, /*seed=*/7);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"policy", "makespan", "total waits", "aborts",
+                      "schedule class"});
+
+  {
+    StrictTwoPhaseLocking policy;
+    auto result = RunSimulation(policy, workload->scripts);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    std::string cls =
+        StrCat(IsConflictSerializable(result->schedule) ? "CSR" : "not CSR",
+               IsStrict(result->schedule) ? ", strict" : "");
+    table.AddRow({policy.name(), StrCat(result->makespan),
+                  StrCat(result->total_wait_ticks), StrCat(result->aborts),
+                  cls});
+  }
+  {
+    PredicatewiseTwoPhaseLocking policy(&*workload->ic);
+    auto result = RunSimulation(policy, workload->scripts);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    bool pwsr = CheckPwsr(result->schedule, *workload->ic).is_pwsr;
+    bool csr = IsConflictSerializable(result->schedule);
+    table.AddRow({policy.name(), StrCat(result->makespan),
+                  StrCat(result->total_wait_ticks), StrCat(result->aborts),
+                  StrCat(pwsr ? "PWSR" : "NOT PWSR (bug!)",
+                         csr ? " (also CSR)" : ", not CSR")});
+  }
+  {
+    DelayedReadScheduler policy(&*workload->ic);
+    auto result = RunSimulation(policy, workload->scripts);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    bool pwsr = CheckPwsr(result->schedule, *workload->ic).is_pwsr;
+    bool dr = IsDelayedRead(result->schedule);
+    table.AddRow({policy.name(), StrCat(result->makespan),
+                  StrCat(result->total_wait_ticks), StrCat(result->aborts),
+                  StrCat(pwsr ? "PWSR" : "NOT PWSR", dr ? " + DR" : "")});
+  }
+
+  std::cout << table.Render() << "\n";
+  std::cout
+      << "Every PW-2PL schedule is PWSR by construction (per-conjunct\n"
+         "two-phase discipline), so Theorem 1 (these design transactions\n"
+         "are straight-line, hence fixed-structure) guarantees each design\n"
+         "partition's invariants survive — without the long-duration waits\n"
+         "of strict 2PL.\n";
+  return 0;
+}

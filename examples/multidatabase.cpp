@@ -1,0 +1,80 @@
+// Multidatabase (MDBS) scenario from §4 / [4]: autonomous sites each
+// guarantee only *local* serializability. When every integrity constraint
+// is local to one site, the sites are exactly the conjunct data sets and
+// the global schedule is PWSR — so the paper's theorems give global
+// consistency without global concurrency control.
+//
+//   $ ./examples/multidatabase
+
+#include <iostream>
+
+#include "nse/nse.h"
+#include "scheduler/metrics.h"
+
+using namespace nse;
+
+int main() {
+  std::cout << "MDBS: 4 autonomous sites, 2 global + 6 local transactions\n\n";
+  auto workload = MakeMdbsWorkload(/*num_sites=*/4, /*global_txns=*/2,
+                                   /*local_txns=*/6, /*sites_per_global=*/3,
+                                   /*seed=*/13);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    return 1;
+  }
+  std::cout << "Per-site integrity constraints:\n  "
+            << workload->ic->ToString(workload->db) << "\n\n";
+
+  // Site-local scheduling: each site runs its own 2PL scope — exactly what
+  // PW-2PL models when conjuncts are sites.
+  PredicatewiseTwoPhaseLocking local_policy(&*workload->ic);
+  auto local_run = RunSimulation(local_policy, workload->scripts);
+  if (!local_run.ok()) {
+    std::cerr << local_run.status() << "\n";
+    return 1;
+  }
+
+  // Global serializability for comparison: one strict-2PL scope spanning
+  // all sites (what autonomy makes impossible in practice).
+  StrictTwoPhaseLocking global_policy;
+  auto global_run = RunSimulation(global_policy, workload->scripts);
+  if (!global_run.ok()) {
+    std::cerr << global_run.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"scheme", "makespan", "waits", "global schedule"});
+  table.AddRow({"global strict 2PL", StrCat(global_run->makespan),
+                StrCat(global_run->total_wait_ticks),
+                IsConflictSerializable(global_run->schedule)
+                    ? "serializable"
+                    : "not serializable"});
+  PwsrReport pwsr = CheckPwsr(local_run->schedule, *workload->ic);
+  table.AddRow({"site-local 2PL", StrCat(local_run->makespan),
+                StrCat(local_run->total_wait_ticks),
+                StrCat(pwsr.is_pwsr ? "PWSR (locally serializable)"
+                                    : "NOT PWSR",
+                       IsConflictSerializable(local_run->schedule)
+                           ? ", also CSR"
+                           : ", not CSR")});
+  std::cout << table.Render() << "\n";
+
+  std::cout << "Per-site serialization orders under site-local control:\n";
+  for (size_t e = 0; e < workload->ic->num_conjuncts(); ++e) {
+    std::cout << "  site " << e + 1 << " "
+              << workload->db.DataSetToString(workload->ic->data_set(e))
+              << ": ";
+    const auto& order = pwsr.OrderFor(e);
+    if (order.has_value()) {
+      for (TxnId txn : *order) std::cout << "T" << txn << " ";
+      std::cout << "\n";
+    } else {
+      std::cout << "not serializable\n";
+    }
+  }
+  std::cout << "\nEach site orders the global transactions differently —\n"
+               "the global schedule need not be serializable, yet §4 of the\n"
+               "paper (with Theorems 1-3) shows consistency is preserved\n"
+               "because every constraint is local to one site.\n";
+  return 0;
+}

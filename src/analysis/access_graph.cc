@@ -1,0 +1,78 @@
+#include "analysis/access_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nse {
+
+DataAccessGraph DataAccessGraph::Build(const Schedule& schedule,
+                                       const IntegrityConstraint& ic) {
+  DataAccessGraph graph;
+  size_t l = ic.num_conjuncts();
+  graph.adj_.assign(l, std::vector<bool>(l, false));
+  for (const Transaction& txn : schedule.Transactions()) {
+    DataSet reads = txn.ReadSet();
+    DataSet writes = txn.WriteSet();
+    for (size_t i = 0; i < l; ++i) {
+      if (DataSet::Disjoint(reads, ic.data_set(i))) continue;
+      for (size_t j = 0; j < l; ++j) {
+        if (i == j) continue;
+        if (!DataSet::Disjoint(writes, ic.data_set(j))) {
+          graph.adj_[i][j] = true;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<std::pair<size_t, size_t>> DataAccessGraph::Edges() const {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t i = 0; i < adj_.size(); ++i) {
+    for (size_t j = 0; j < adj_.size(); ++j) {
+      if (adj_[i][j]) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<size_t>> DataAccessGraph::TopologicalOrder() const {
+  size_t n = adj_.size();
+  std::vector<size_t> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (adj_[i][j]) ++indegree[j];
+    }
+  }
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<size_t> order;
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    size_t node = *it;
+    ready.erase(it);
+    order.push_back(node);
+    for (size_t j = 0; j < n; ++j) {
+      if (adj_[node][j] && --indegree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool DataAccessGraph::IsAcyclic() const {
+  return TopologicalOrder().has_value();
+}
+
+std::string DataAccessGraph::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [from, to] : Edges()) {
+    parts.push_back(StrCat("C", from + 1, " -> C", to + 1));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace nse

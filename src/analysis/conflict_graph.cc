@@ -1,0 +1,178 @@
+#include "analysis/conflict_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+ConflictGraph ConflictGraph::Build(const Schedule& schedule) {
+  ConflictGraph graph;
+  graph.nodes_ = schedule.txn_ids();
+  size_t n = graph.nodes_.size();
+  graph.adj_.assign(n, std::vector<bool>(n, false));
+  const OpSequence& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (Conflicts(ops[i], ops[j])) {
+        graph.adj_[graph.IndexOf(ops[i].txn)][graph.IndexOf(ops[j].txn)] =
+            true;
+      }
+    }
+  }
+  return graph;
+}
+
+size_t ConflictGraph::IndexOf(TxnId txn) const {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), txn);
+  NSE_CHECK_MSG(it != nodes_.end() && *it == txn, "unknown txn %u", txn);
+  return static_cast<size_t>(it - nodes_.begin());
+}
+
+bool ConflictGraph::HasEdge(TxnId from, TxnId to) const {
+  return adj_[IndexOf(from)][IndexOf(to)];
+}
+
+std::vector<std::pair<TxnId, TxnId>> ConflictGraph::Edges() const {
+  std::vector<std::pair<TxnId, TxnId>> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = 0; j < nodes_.size(); ++j) {
+      if (adj_[i][j]) out.emplace_back(nodes_[i], nodes_[j]);
+    }
+  }
+  return out;
+}
+
+bool ConflictGraph::IsAcyclic() const { return TopologicalOrder().has_value(); }
+
+std::optional<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
+  size_t n = nodes_.size();
+  std::vector<size_t> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (adj_[i][j]) ++indegree[j];
+    }
+  }
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<TxnId> order;
+  order.reserve(n);
+  // Pop the smallest ready node for a deterministic canonical order.
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    size_t node = *it;
+    ready.erase(it);
+    order.push_back(nodes_[node]);
+    for (size_t j = 0; j < n; ++j) {
+      if (adj_[node][j] && --indegree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+namespace {
+
+void AllTopoRec(const std::vector<TxnId>& nodes,
+                const std::vector<std::vector<bool>>& adj,
+                std::vector<size_t>& indegree, std::vector<bool>& used,
+                std::vector<TxnId>& current, size_t limit,
+                std::vector<std::vector<TxnId>>& out) {
+  if (out.size() >= limit) return;
+  if (current.size() == nodes.size()) {
+    out.push_back(current);
+    return;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (used[i] || indegree[i] != 0) continue;
+    used[i] = true;
+    current.push_back(nodes[i]);
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (adj[i][j]) --indegree[j];
+    }
+    AllTopoRec(nodes, adj, indegree, used, current, limit, out);
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (adj[i][j]) ++indegree[j];
+    }
+    current.pop_back();
+    used[i] = false;
+    if (out.size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<TxnId>> ConflictGraph::AllTopologicalOrders(
+    size_t limit) const {
+  if (!IsAcyclic()) return {};
+  size_t n = nodes_.size();
+  std::vector<size_t> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (adj_[i][j]) ++indegree[j];
+    }
+  }
+  std::vector<bool> used(n, false);
+  std::vector<TxnId> current;
+  std::vector<std::vector<TxnId>> out;
+  AllTopoRec(nodes_, adj_, indegree, used, current, limit, out);
+  return out;
+}
+
+std::optional<std::vector<TxnId>> ConflictGraph::FindCycle() const {
+  size_t n = nodes_.size();
+  // Colors: 0 = white, 1 = on stack, 2 = done.
+  std::vector<int> color(n, 0);
+  std::vector<size_t> parent(n, SIZE_MAX);
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    // Iterative DFS.
+    std::vector<std::pair<size_t, size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      bool advanced = false;
+      for (size_t j = next; j < n; ++j) {
+        if (!adj_[node][j]) continue;
+        next = j + 1;
+        if (color[j] == 1) {
+          // Found a cycle: walk parents from `node` back to j.
+          std::vector<TxnId> cycle{nodes_[j]};
+          size_t walk = node;
+          while (walk != j) {
+            cycle.push_back(nodes_[walk]);
+            walk = parent[walk];
+          }
+          cycle.push_back(nodes_[j]);
+          std::reverse(cycle.begin() + 1, cycle.end() - 1);
+          return cycle;
+        }
+        if (color[j] == 0) {
+          color[j] = 1;
+          parent[j] = node;
+          stack.emplace_back(j, 0);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ConflictGraph::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [from, to] : Edges()) {
+    parts.push_back(StrCat("T", from, " -> T", to));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace nse

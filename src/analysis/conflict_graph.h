@@ -1,0 +1,59 @@
+// Conflict graph (serialization graph) of a schedule: nodes are the
+// transactions; there is an edge T_i → T_j when some operation of T_i
+// precedes and conflicts with an operation of T_j. A schedule is conflict
+// serializable (CSR) iff the graph is acyclic; topological orders of the
+// graph are exactly its serialization orders (Papadimitriou [13]).
+
+#ifndef NSE_ANALYSIS_CONFLICT_GRAPH_H_
+#define NSE_ANALYSIS_CONFLICT_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// The conflict graph of one schedule (or schedule projection).
+class ConflictGraph {
+ public:
+  /// Builds the graph from `schedule`.
+  static ConflictGraph Build(const Schedule& schedule);
+
+  /// Transactions (nodes), ascending by id.
+  const std::vector<TxnId>& nodes() const { return nodes_; }
+
+  /// True iff the edge from → to is present.
+  bool HasEdge(TxnId from, TxnId to) const;
+
+  /// All edges as (from, to) pairs.
+  std::vector<std::pair<TxnId, TxnId>> Edges() const;
+
+  /// True iff the graph has no directed cycle (schedule is CSR).
+  bool IsAcyclic() const;
+
+  /// Some serialization order (topological order), or nullopt if cyclic.
+  std::optional<std::vector<TxnId>> TopologicalOrder() const;
+
+  /// All serialization orders, up to `limit` (empty if cyclic). If exactly
+  /// `limit` orders are returned the enumeration may be incomplete.
+  std::vector<std::vector<TxnId>> AllTopologicalOrders(size_t limit) const;
+
+  /// A directed cycle witness (sequence of txn ids, first == last), or
+  /// nullopt if acyclic.
+  std::optional<std::vector<TxnId>> FindCycle() const;
+
+  /// Renders "T1 -> T2, T2 -> T3".
+  std::string ToString() const;
+
+ private:
+  size_t IndexOf(TxnId txn) const;
+
+  std::vector<TxnId> nodes_;
+  std::vector<std::vector<bool>> adj_;  // adjacency matrix by node index
+};
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_CONFLICT_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "analysis/delayed_read.h"
+
+#include "analysis/reads_from.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+std::string DrViolation::ToString(const Database& db,
+                                  const Schedule& schedule) const {
+  return StrCat("operation ", schedule.at(reader_pos).ToString(db),
+                " at position ", reader_pos, " touches the write ",
+                schedule.at(writer_pos).ToString(db), " of T", writer_txn,
+                ", which has operations after position ", reader_pos);
+}
+
+std::optional<DrViolation> FindDrViolation(const Schedule& schedule) {
+  for (const ReadsFromEdge& edge : ReadsFromPairs(schedule)) {
+    TxnId writer = schedule.at(edge.writer_pos).txn;
+    TxnId reader = schedule.at(edge.reader_pos).txn;
+    if (writer == reader) continue;  // cannot occur under the access rules
+    if (!schedule.CompletedBy(writer, edge.reader_pos)) {
+      return DrViolation{edge.reader_pos, edge.writer_pos, writer};
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsDelayedRead(const Schedule& schedule) {
+  return !FindDrViolation(schedule).has_value();
+}
+
+bool IsAvoidsCascadingAborts(const Schedule& schedule) {
+  // With commit-at-last-operation, ACA and DR test the same condition; see
+  // the header. Kept separate so call sites document their intent.
+  return IsDelayedRead(schedule);
+}
+
+std::optional<DrViolation> FindStrictViolation(const Schedule& schedule) {
+  // For every operation o at position j touching item x, the last write on x
+  // before j (by another transaction) must belong to a completed txn.
+  std::vector<std::optional<size_t>> last_write;
+  for (size_t j = 0; j < schedule.size(); ++j) {
+    const Operation& op = schedule.at(j);
+    if (op.entity >= last_write.size()) last_write.resize(op.entity + 1);
+    const auto& prev = last_write[op.entity];
+    if (prev.has_value()) {
+      TxnId writer = schedule.at(*prev).txn;
+      if (writer != op.txn && !schedule.CompletedBy(writer, j)) {
+        return DrViolation{j, *prev, writer};
+      }
+    }
+    if (op.is_write()) last_write[op.entity] = j;
+  }
+  return std::nullopt;
+}
+
+bool IsStrict(const Schedule& schedule) {
+  return !FindStrictViolation(schedule).has_value();
+}
+
+}  // namespace nse

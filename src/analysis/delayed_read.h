@@ -1,0 +1,52 @@
+// Schedule classes of §3.2:
+//
+//  * Delayed-read (DR), Definition 5: whenever o_j (of T2) reads from o_i
+//    (of T1), T1 has completed all its operations by the time of o_j —
+//    after(T1, o_j, S) = ε.
+//  * ACA (avoids cascading aborts): a transaction reads only values written
+//    by completed transactions. With the commit point taken as a
+//    transaction's last operation — the convention of this value-only model,
+//    documented in DESIGN.md — ACA and DR coincide; the paper's remark
+//    "every ACA schedule is also DR" is the containment that makes DR the
+//    practically interesting class.
+//  * Strict: no item written by T1 is read *or overwritten* until T1
+//    completes. Strict ⊂ ACA ⊆ DR.
+
+#ifndef NSE_ANALYSIS_DELAYED_READ_H_
+#define NSE_ANALYSIS_DELAYED_READ_H_
+
+#include <optional>
+#include <string>
+
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Witness that a schedule is not DR / ACA / strict.
+struct DrViolation {
+  size_t reader_pos = 0;   ///< the offending (read or overwrite) position
+  size_t writer_pos = 0;   ///< the uncompleted writer's operation
+  TxnId writer_txn = 0;    ///< the transaction still holding operations
+
+  /// Renders e.g. "op 3 reads from T1 which is incomplete at that point".
+  std::string ToString(const Database& db, const Schedule& schedule) const;
+};
+
+/// First DR violation of `schedule`, or nullopt if the schedule is DR.
+std::optional<DrViolation> FindDrViolation(const Schedule& schedule);
+
+/// True iff `schedule` is delayed-read (Definition 5).
+bool IsDelayedRead(const Schedule& schedule);
+
+/// True iff `schedule` avoids cascading aborts (commit = last operation).
+bool IsAvoidsCascadingAborts(const Schedule& schedule);
+
+/// First strictness violation, or nullopt if the schedule is strict.
+std::optional<DrViolation> FindStrictViolation(const Schedule& schedule);
+
+/// True iff `schedule` is strict.
+bool IsStrict(const Schedule& schedule);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_DELAYED_READ_H_

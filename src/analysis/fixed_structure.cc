@@ -1,0 +1,139 @@
+#include "analysis/fixed_structure.h"
+
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+/// Symbolic emission state along one path.
+struct PathState {
+  DataSet available;  ///< items read or written so far (cached)
+  DataSet written;    ///< items written so far
+  std::vector<OpStruct> sig;
+  bool double_write = false;
+  ItemId double_write_item = 0;
+};
+
+/// Emits the reads an expression performs, in evaluation order.
+void EmitReads(const std::vector<ItemId>& vars, PathState& state) {
+  for (ItemId item : vars) {
+    if (state.available.Contains(item)) continue;
+    state.sig.push_back(OpStruct{OpAction::kRead, item});
+    state.available.Insert(item);
+  }
+}
+
+/// Explores every branch combination of `block` starting at `idx`, pushing
+/// the terminal PathState of each path onto `leaves`. On an if statement,
+/// each branch is explored followed by the remainder of the block (the
+/// branch and the tail are concatenated into one combined block).
+void ExplorePath(const StmtBlock& block, size_t idx, PathState state,
+                 size_t max_paths, std::vector<PathState>& leaves) {
+  if (leaves.size() >= max_paths) return;
+  for (size_t i = idx; i < block.size(); ++i) {
+    const Stmt& stmt = *block[i];
+    if (stmt.kind() == StmtKind::kAssign) {
+      std::vector<ItemId> vars;
+      CollectVarsInOrder(stmt.expr(), vars);
+      EmitReads(vars, state);
+      if (state.written.Contains(stmt.target())) {
+        state.double_write = true;
+        state.double_write_item = stmt.target();
+        leaves.push_back(std::move(state));
+        return;
+      }
+      state.sig.push_back(OpStruct{OpAction::kWrite, stmt.target()});
+      state.written.Insert(stmt.target());
+      state.available.Insert(stmt.target());
+      continue;
+    }
+    // If statement: emit condition reads, then fork into both branches, each
+    // followed by the remainder of this block.
+    std::vector<ItemId> vars;
+    CollectVarsInOrder(stmt.cond(), vars);
+    EmitReads(vars, state);
+    for (const StmtBlock* branch : {&stmt.then_block(), &stmt.else_block()}) {
+      StmtBlock combined = *branch;
+      combined.insert(combined.end(), block.begin() + static_cast<long>(i) + 1,
+                      block.end());
+      ExplorePath(combined, 0, state, max_paths, leaves);
+      if (leaves.size() >= max_paths) return;
+    }
+    return;  // both forks covered the remainder of the block
+  }
+  leaves.push_back(std::move(state));
+}
+
+}  // namespace
+
+StructureAnalysis AnalyzeStructure(const Database& db,
+                                   const TransactionProgram& program,
+                                   size_t max_paths) {
+  std::vector<PathState> leaves;
+  ExplorePath(program.body(), 0, PathState{}, max_paths, leaves);
+
+  StructureAnalysis analysis;
+  analysis.paths_explored = leaves.size();
+  if (leaves.size() >= max_paths) {
+    analysis.fixed = false;
+    analysis.explanation = StrCat("exploration capped at ", max_paths,
+                                  " paths; result is conservative");
+    return analysis;
+  }
+  for (const PathState& leaf : leaves) {
+    if (leaf.double_write) {
+      analysis.valid = false;
+      analysis.explanation =
+          StrCat("some path writes item ", db.NameOf(leaf.double_write_item),
+                 " twice, violating the transaction model");
+      return analysis;
+    }
+  }
+  analysis.fixed = true;
+  analysis.signature = leaves.empty() ? std::vector<OpStruct>{} : leaves[0].sig;
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    if (!(leaves[i].sig == analysis.signature)) {
+      analysis.fixed = false;
+      analysis.explanation = StrCat(
+          "two execution paths emit different structures:\n  path A: ",
+          StructToString(db, analysis.signature),
+          "\n  path B: ", StructToString(db, leaves[i].sig));
+      break;
+    }
+  }
+  return analysis;
+}
+
+bool IsStraightLine(const TransactionProgram& program) {
+  // If statements can only occur at the top level or nested inside other if
+  // statements, so a body without ifs contains none anywhere.
+  for (const StmtPtr& stmt : program.body()) {
+    if (stmt->kind() == StmtKind::kIf) return false;
+  }
+  return true;
+}
+
+Result<bool> TestFixedStructureRandomized(const Database& db,
+                                          const TransactionProgram& program,
+                                          Rng& rng, size_t trials) {
+  std::optional<std::vector<OpStruct>> reference;
+  for (size_t t = 0; t < trials; ++t) {
+    DbState initial;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      const Domain& domain = db.DomainOf(item);
+      initial.Set(item, domain.At(rng.NextBelow(domain.size())));
+    }
+    auto run = RunInIsolation(db, program, /*txn=*/1, initial);
+    if (!run.ok()) continue;  // evaluation error on this state: skip
+    std::vector<OpStruct> sig = run->txn.Struct();
+    if (!reference.has_value()) {
+      reference = std::move(sig);
+    } else if (!(*reference == sig)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nse

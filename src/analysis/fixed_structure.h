@@ -1,0 +1,58 @@
+// Fixed-structure transaction programs — Definition 3: TP has fixed
+// structure iff struct(T1) = struct(T2) for the transactions produced by
+// executing TP from any two database states.
+//
+// For the nse program language (assignments + if-then-else, no loops) the
+// property is decidable exactly: operation emission depends only on the
+// path taken and on which items are already cached, so exploring every
+// branch combination enumerates all possible structures. AnalyzeStructure
+// performs that exploration; TestFixedStructureRandomized cross-checks
+// Definition 3 directly by executing from sampled states.
+
+#ifndef NSE_ANALYSIS_FIXED_STRUCTURE_H_
+#define NSE_ANALYSIS_FIXED_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "txn/program.h"
+
+namespace nse {
+
+/// Result of the exact structural analysis.
+struct StructureAnalysis {
+  bool fixed = false;  ///< all paths emit the same operation structure
+  bool valid = true;   ///< no path writes an item twice
+  /// The unique signature when fixed; one representative otherwise.
+  std::vector<OpStruct> signature;
+  /// Two differing signatures (rendered) when not fixed; the double-write
+  /// item when invalid.
+  std::string explanation;
+  size_t paths_explored = 0;
+};
+
+/// Explores all branch combinations of `program` (up to `max_paths`) and
+/// decides Definition 3 exactly for this language. Paths beyond the cap
+/// make the result conservative (`fixed` = false with an explanation).
+StructureAnalysis AnalyzeStructure(const Database& db,
+                                   const TransactionProgram& program,
+                                   size_t max_paths = 4096);
+
+/// True iff the program contains no if statement — the "straight line
+/// transactions" restriction of Sha et al. [14], strictly stronger than
+/// fixed structure.
+bool IsStraightLine(const TransactionProgram& program);
+
+/// Definition 3 by sampling: executes `program` in isolation from `trials`
+/// random total states (uniform per-item domain values) and compares
+/// structures. Returns false as soon as two runs differ. Runs whose
+/// evaluation fails (e.g. type errors on exotic domains) are skipped.
+Result<bool> TestFixedStructureRandomized(const Database& db,
+                                          const TransactionProgram& program,
+                                          Rng& rng, size_t trials);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_FIXED_STRUCTURE_H_

@@ -1,0 +1,44 @@
+#include "analysis/pwsr.h"
+
+#include "common/string_util.h"
+
+namespace nse {
+
+PwsrReport CheckPwsr(const Schedule& schedule, const IntegrityConstraint& ic) {
+  PwsrReport report;
+  report.conjuncts_disjoint = ic.disjoint();
+  report.is_pwsr = true;
+  for (size_t e = 0; e < ic.num_conjuncts(); ++e) {
+    ConjunctSerializability entry;
+    entry.conjunct = e;
+    entry.csr =
+        CheckConflictSerializability(schedule.Project(ic.data_set(e)));
+    if (!entry.csr.serializable) report.is_pwsr = false;
+    report.per_conjunct.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string PwsrReportToString(const Database& db,
+                               const IntegrityConstraint& ic,
+                               const PwsrReport& report) {
+  std::vector<std::string> parts;
+  parts.push_back(StrCat("PWSR: ", report.is_pwsr ? "yes" : "no",
+                         report.conjuncts_disjoint ? ""
+                                                   : " (conjuncts overlap!)"));
+  for (const auto& entry : report.per_conjunct) {
+    std::string line =
+        StrCat("  S^", db.DataSetToString(ic.data_set(entry.conjunct)), ": ");
+    if (entry.csr.serializable) {
+      std::vector<std::string> txns;
+      for (TxnId txn : *entry.csr.order) txns.push_back(StrCat("T", txn));
+      line += StrCat("serializable, order ", StrJoin(txns, " "));
+    } else {
+      line += "NOT serializable";
+    }
+    parts.push_back(std::move(line));
+  }
+  return StrJoin(parts, "\n");
+}
+
+}  // namespace nse

@@ -1,0 +1,46 @@
+// Predicate-wise serializability — Definition 2: S is PWSR iff for every
+// conjunct data set d_e of the integrity constraint, the projection S^{d_e}
+// is conflict serializable.
+
+#ifndef NSE_ANALYSIS_PWSR_H_
+#define NSE_ANALYSIS_PWSR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/serializability.h"
+#include "constraints/integrity_constraint.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Per-conjunct result of the PWSR test.
+struct ConjunctSerializability {
+  size_t conjunct = 0;  ///< conjunct index e
+  CsrReport csr;        ///< serializability of S^{d_e}
+};
+
+/// Outcome of the PWSR test.
+struct PwsrReport {
+  bool is_pwsr = false;
+  bool conjuncts_disjoint = true;  ///< the theorems also need disjointness
+  std::vector<ConjunctSerializability> per_conjunct;
+
+  /// Serialization order of S^{d_e} for conjunct `e`, when serializable.
+  const std::optional<std::vector<TxnId>>& OrderFor(size_t e) const {
+    return per_conjunct[e].csr.order;
+  }
+};
+
+/// Tests Definition 2 for `schedule` against `ic`.
+PwsrReport CheckPwsr(const Schedule& schedule, const IntegrityConstraint& ic);
+
+/// Renders a one-line verdict per conjunct.
+std::string PwsrReportToString(const Database& db,
+                               const IntegrityConstraint& ic,
+                               const PwsrReport& report);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_PWSR_H_

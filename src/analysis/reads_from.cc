@@ -1,0 +1,52 @@
+#include "analysis/reads_from.h"
+
+#include "common/logging.h"
+
+namespace nse {
+
+std::optional<size_t> SourceOfRead(const Schedule& schedule,
+                                   size_t reader_pos) {
+  const Operation& reader = schedule.at(reader_pos);
+  NSE_CHECK_MSG(reader.is_read(), "position %zu is not a read", reader_pos);
+  std::optional<size_t> source;
+  for (size_t i = 0; i < reader_pos; ++i) {
+    const Operation& op = schedule.at(i);
+    if (op.is_write() && op.entity == reader.entity) source = i;
+  }
+  return source;
+}
+
+std::vector<ReadsFromEdge> ReadsFromPairs(const Schedule& schedule) {
+  std::vector<ReadsFromEdge> out;
+  // Track the last write position per item as we sweep.
+  std::vector<std::optional<size_t>> last_write;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Operation& op = schedule.at(i);
+    if (op.entity >= last_write.size()) {
+      last_write.resize(op.entity + 1);
+    }
+    if (op.is_write()) {
+      last_write[op.entity] = i;
+    } else if (last_write[op.entity].has_value()) {
+      out.push_back(ReadsFromEdge{i, *last_write[op.entity]});
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> ReadsFromInitial(const Schedule& schedule) {
+  std::vector<size_t> out;
+  std::vector<bool> written;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Operation& op = schedule.at(i);
+    if (op.entity >= written.size()) written.resize(op.entity + 1, false);
+    if (op.is_write()) {
+      written[op.entity] = true;
+    } else if (!written[op.entity]) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace nse

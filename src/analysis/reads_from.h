@@ -1,0 +1,34 @@
+// The reads-from relation of §3.2: read operation o_j reads from write
+// operation o_i when both touch the same item, o_i precedes o_j, and no
+// other write on that item lies between them.
+
+#ifndef NSE_ANALYSIS_READS_FROM_H_
+#define NSE_ANALYSIS_READS_FROM_H_
+
+#include <optional>
+#include <vector>
+
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// One reads-from pair, by schedule position.
+struct ReadsFromEdge {
+  size_t reader_pos = 0;  ///< position of the read o_j
+  size_t writer_pos = 0;  ///< position of the write o_i it reads from
+};
+
+/// All reads-from pairs of `schedule`, in reader order.
+std::vector<ReadsFromEdge> ReadsFromPairs(const Schedule& schedule);
+
+/// Positions of reads served by the initial state (no preceding write).
+std::vector<size_t> ReadsFromInitial(const Schedule& schedule);
+
+/// The write that read position `reader_pos` reads from, or nullopt when it
+/// reads the initial state. `reader_pos` must hold a read.
+std::optional<size_t> SourceOfRead(const Schedule& schedule,
+                                   size_t reader_pos);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_READS_FROM_H_

@@ -1,0 +1,44 @@
+#include "analysis/serializability.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nse {
+
+bool IsConflictSerializable(const Schedule& schedule) {
+  return ConflictGraph::Build(schedule).IsAcyclic();
+}
+
+CsrReport CheckConflictSerializability(const Schedule& schedule) {
+  ConflictGraph graph = ConflictGraph::Build(schedule);
+  CsrReport report;
+  report.order = graph.TopologicalOrder();
+  report.serializable = report.order.has_value();
+  if (!report.serializable) report.cycle = graph.FindCycle();
+  return report;
+}
+
+std::vector<std::vector<TxnId>> SerializationOrders(const Schedule& schedule,
+                                                    size_t limit) {
+  return ConflictGraph::Build(schedule).AllTopologicalOrders(limit);
+}
+
+Result<Schedule> SerialArrangement(const Schedule& schedule,
+                                   const std::vector<TxnId>& order) {
+  std::vector<TxnId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted != schedule.txn_ids()) {
+    return Status::InvalidArgument(
+        "order must list every transaction of the schedule exactly once");
+  }
+  OpSequence ops;
+  ops.reserve(schedule.size());
+  for (TxnId txn : order) {
+    OpSequence txn_ops = OpsOfTxn(schedule.ops(), txn);
+    ops.insert(ops.end(), txn_ops.begin(), txn_ops.end());
+  }
+  return Schedule(std::move(ops));
+}
+
+}  // namespace nse

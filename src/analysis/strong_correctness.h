@@ -1,0 +1,66 @@
+// Strong correctness — Definition 1. A schedule S is strongly correct iff
+//  (1) for every consistent DS1 with [DS1] S [DS2], DS2 is consistent, and
+//  (2) for every transaction T_i of S, read(T_i) is consistent (extensible).
+//
+// For a concrete execution (a schedule with value attributes plus the
+// initial state it ran from), both conditions are decidable with the
+// solver. For the schedule-level quantifier, observe that the initial
+// states from which S is executable are exactly the consistent extensions
+// of S.PinnedInitialReads() (every item's first operation, if a read, pins
+// its initial value); CheckScheduleOverInitialStates enumerates them.
+
+#ifndef NSE_ANALYSIS_STRONG_CORRECTNESS_H_
+#define NSE_ANALYSIS_STRONG_CORRECTNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/solver.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Why a schedule failed strong correctness.
+enum class ViolationKind {
+  kFinalStateInconsistent,        ///< DS2 violates the IC
+  kTransactionReadInconsistent,   ///< some read(T_i) is not extensible
+};
+
+/// One strong-correctness violation.
+struct ScViolation {
+  ViolationKind kind = ViolationKind::kFinalStateInconsistent;
+  TxnId txn = 0;          ///< offending transaction (read case)
+  DbState witness;        ///< the inconsistent state / read map
+  DbState initial_state;  ///< the initial state exhibiting it
+
+  /// Renders a human-readable description.
+  std::string ToString(const Database& db) const;
+};
+
+/// Outcome of a strong-correctness check.
+struct StrongCorrectnessReport {
+  bool strongly_correct = true;
+  std::vector<ScViolation> violations;
+  size_t initial_states_checked = 0;
+};
+
+/// Definition 1 for one concrete execution of `schedule` from `initial`.
+/// Fails with FailedPrecondition if `schedule` is not an execution from
+/// `initial` (some read sees a different value than recorded).
+Result<StrongCorrectnessReport> CheckExecution(
+    const ConsistencyChecker& checker, const Schedule& schedule,
+    const DbState& initial);
+
+/// Definition 1 quantified over initial states: enumerates up to `limit`
+/// consistent initial states compatible with the schedule's pinned reads
+/// and checks each induced execution. Read-map consistency (condition 2)
+/// does not depend on the initial state and is checked once.
+Result<StrongCorrectnessReport> CheckScheduleOverInitialStates(
+    const ConsistencyChecker& checker, const Schedule& schedule,
+    uint64_t limit);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_STRONG_CORRECTNESS_H_

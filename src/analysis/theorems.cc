@@ -1,0 +1,60 @@
+#include "analysis/theorems.h"
+
+#include "common/string_util.h"
+
+namespace nse {
+
+TheoremCertificate Certify(
+    const Database& db, const IntegrityConstraint& ic,
+    const Schedule& schedule,
+    const std::vector<const TransactionProgram*>* programs) {
+  TheoremCertificate cert;
+  cert.pwsr = CheckPwsr(schedule, ic);
+  cert.conjuncts_disjoint = ic.disjoint();
+  cert.delayed_read = IsDelayedRead(schedule);
+  cert.dag_acyclic = DataAccessGraph::Build(schedule, ic).IsAcyclic();
+  if (programs != nullptr) {
+    bool all_fixed = true;
+    for (const TransactionProgram* program : *programs) {
+      StructureAnalysis analysis = AnalyzeStructure(db, *program);
+      if (!analysis.valid || !analysis.fixed) {
+        all_fixed = false;
+        break;
+      }
+    }
+    cert.all_programs_fixed_structure = all_fixed;
+  }
+  bool base = cert.pwsr.is_pwsr && cert.conjuncts_disjoint;
+  cert.theorem1_applies = base && cert.all_programs_fixed_structure.has_value() &&
+                          *cert.all_programs_fixed_structure;
+  cert.theorem2_applies = base && cert.delayed_read;
+  cert.theorem3_applies = base && cert.dag_acyclic;
+  return cert;
+}
+
+std::string TheoremCertificate::Summary() const {
+  std::vector<std::string> lines;
+  lines.push_back(StrCat("PWSR (Def. 2): ", pwsr.is_pwsr ? "yes" : "no"));
+  lines.push_back(StrCat("conjuncts disjoint: ",
+                         conjuncts_disjoint ? "yes" : "NO (Example 5 regime)"));
+  if (all_programs_fixed_structure.has_value()) {
+    lines.push_back(StrCat("all programs fixed-structure (Def. 3): ",
+                           *all_programs_fixed_structure ? "yes" : "no"));
+  } else {
+    lines.push_back("all programs fixed-structure (Def. 3): unknown");
+  }
+  lines.push_back(StrCat("delayed-read (Def. 5): ",
+                         delayed_read ? "yes" : "no"));
+  lines.push_back(StrCat("DAG(S, IC) acyclic: ", dag_acyclic ? "yes" : "no"));
+  lines.push_back(StrCat("Theorem 1 applies: ",
+                         theorem1_applies ? "yes" : "no"));
+  lines.push_back(StrCat("Theorem 2 applies: ",
+                         theorem2_applies ? "yes" : "no"));
+  lines.push_back(StrCat("Theorem 3 applies: ",
+                         theorem3_applies ? "yes" : "no"));
+  lines.push_back(StrCat("strong correctness guaranteed: ",
+                         guaranteed_strongly_correct() ? "YES" : "not proven"));
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace nse

@@ -1,0 +1,60 @@
+// Theorem certifier: given a schedule (and, when available, the programs
+// that produced it), decides which of the paper's sufficient conditions for
+// strong correctness apply:
+//
+//   Theorem 1 — S is PWSR and every program has fixed structure.
+//   Theorem 2 — S is PWSR and delayed-read.
+//   Theorem 3 — S is PWSR and DAG(S, IC) is acyclic.
+//
+// All three additionally require the conjunct data sets to be disjoint
+// (Example 5 shows none survives overlap).
+
+#ifndef NSE_ANALYSIS_THEOREMS_H_
+#define NSE_ANALYSIS_THEOREMS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/access_graph.h"
+#include "analysis/delayed_read.h"
+#include "analysis/fixed_structure.h"
+#include "analysis/pwsr.h"
+#include "constraints/integrity_constraint.h"
+#include "txn/program.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Which theorems apply to a schedule.
+struct TheoremCertificate {
+  PwsrReport pwsr;              ///< Definition 2 verdict (with per-conjunct detail)
+  bool conjuncts_disjoint = true;
+  /// nullopt when the generating programs were not supplied.
+  std::optional<bool> all_programs_fixed_structure;
+  bool delayed_read = false;
+  bool dag_acyclic = false;
+
+  bool theorem1_applies = false;
+  bool theorem2_applies = false;
+  bool theorem3_applies = false;
+
+  /// True iff at least one theorem certifies strong correctness.
+  bool guaranteed_strongly_correct() const {
+    return theorem1_applies || theorem2_applies || theorem3_applies;
+  }
+
+  /// Renders a multi-line summary.
+  std::string Summary() const;
+};
+
+/// Certifies `schedule` against `ic`. When `programs` is non-null, the
+/// fixed-structure hypothesis of Theorem 1 is checked with the exact
+/// structural analysis.
+TheoremCertificate Certify(
+    const Database& db, const IntegrityConstraint& ic, const Schedule& schedule,
+    const std::vector<const TransactionProgram*>* programs = nullptr);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_THEOREMS_H_

@@ -1,0 +1,53 @@
+#include "analysis/txn_state.h"
+
+namespace nse {
+
+std::vector<DbState> ComputeTxnStates(const Schedule& schedule,
+                                      const DataSet& d,
+                                      const std::vector<TxnId>& order,
+                                      const DbState& initial) {
+  std::vector<DbState> out;
+  out.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i == 0) {
+      out.push_back(initial.Restrict(d));
+      continue;
+    }
+    TxnId prev = order[i - 1];
+    OpSequence prev_ops_d = ProjectOps(OpsOfTxn(schedule.ops(), prev), d);
+    DataSet prev_writes = WriteSetOf(prev_ops_d);
+    DbState carried = out.back().Restrict(DataSet::Minus(d, prev_writes));
+    out.push_back(DbState::Override(carried, WriteMapOf(prev_ops_d)));
+  }
+  return out;
+}
+
+std::optional<size_t> FindReadOutsideState(const Schedule& schedule,
+                                           const DataSet& d,
+                                           const std::vector<TxnId>& order,
+                                           const DbState& initial) {
+  std::vector<DbState> states =
+      ComputeTxnStates(schedule, d, order, initial);
+  for (size_t i = 0; i < order.size(); ++i) {
+    DbState read_d =
+        ReadMapOf(ProjectOps(OpsOfTxn(schedule.ops(), order[i]), d));
+    if (!read_d.IsSubstateOf(states[i])) return i;
+  }
+  return std::nullopt;
+}
+
+bool FinalStateMatches(const Schedule& schedule, const DataSet& d,
+                       const std::vector<TxnId>& order, const DbState& initial,
+                       const DbState& final_state) {
+  if (order.empty()) {
+    return initial.Restrict(d) == final_state.Restrict(d);
+  }
+  std::vector<DbState> states =
+      ComputeTxnStates(schedule, d, order, initial);
+  TxnId last = order.back();
+  OpSequence last_ops_d = ProjectOps(OpsOfTxn(schedule.ops(), last), d);
+  DbState result = DbState::Override(states.back(), WriteMapOf(last_ops_d));
+  return result == final_state.Restrict(d);
+}
+
+}  // namespace nse

@@ -1,0 +1,48 @@
+// The abstract per-transaction state of Definition 4:
+//
+//   state(T_1, d, S, DS1) = DS1^d
+//   state(T_i, d, S, DS1) = state(T_{i-1})^{d − WS(T^d_{i-1})} ∪ write(T^d_{i-1})
+//
+// i.e. the possible view of d "seen" by T_i under a chosen serialization
+// order of S^d. The state is abstract — it may never be physically realized
+// in the schedule — and depends on the serialization order chosen (the
+// paper's Example 1 exhibits two different states for the two orders).
+//
+// Definition 4's two consequences, used throughout §3, are provided as
+// checkable predicates:
+//   (a) read(T^d_i) ⊆ state(T_i, d, S, DS1)      (for executions of S)
+//   (b) [state(T_n, d, S, DS1)] T^d_n [DS2^d]    where [DS1] S [DS2]
+
+#ifndef NSE_ANALYSIS_TXN_STATE_H_
+#define NSE_ANALYSIS_TXN_STATE_H_
+
+#include <vector>
+
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Computes state(T_i, d, S, DS1) for each i along `order` (a serialization
+/// order of S^d; not re-verified here). Returns one DbState per position.
+std::vector<DbState> ComputeTxnStates(const Schedule& schedule,
+                                      const DataSet& d,
+                                      const std::vector<TxnId>& order,
+                                      const DbState& initial);
+
+/// Checks consequence (a): read(T^d_i) ⊆ state(T_i, d, S, DS1) for every i.
+/// Returns the first violating order position, or nullopt. Holds whenever S
+/// is an execution from `initial` and `order` serializes S^d.
+std::optional<size_t> FindReadOutsideState(const Schedule& schedule,
+                                           const DataSet& d,
+                                           const std::vector<TxnId>& order,
+                                           const DbState& initial);
+
+/// Checks consequence (b): applying the last transaction's d-writes to
+/// state(T_n, d, S, DS1) yields DS2^d, the final state's restriction.
+bool FinalStateMatches(const Schedule& schedule, const DataSet& d,
+                       const std::vector<TxnId>& order, const DbState& initial,
+                       const DbState& final_state);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_TXN_STATE_H_

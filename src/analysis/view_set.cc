@@ -1,0 +1,59 @@
+#include "analysis/view_set.h"
+
+namespace nse {
+
+std::vector<DataSet> ComputeViewSets(const Schedule& schedule,
+                                     const DataSet& d,
+                                     const std::vector<TxnId>& order,
+                                     size_t p, ViewSetVariant variant) {
+  std::vector<DataSet> out;
+  out.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i == 0) {
+      out.push_back(d);
+      continue;
+    }
+    TxnId prev = order[i - 1];
+    // WS of the previous transaction's d-projection.
+    OpSequence prev_ops_d =
+        ProjectOps(OpsOfTxn(schedule.ops(), prev), d);
+    DataSet prev_writes_d = WriteSetOf(prev_ops_d);
+    switch (variant) {
+      case ViewSetVariant::kGeneral: {
+        // WS(after(T^d_{i-1}, p, S)): d-writes of prev occurring after p.
+        DataSet written_after =
+            WriteSetOf(ProjectOps(schedule.AfterOfTxn(prev, p), d));
+        out.push_back(DataSet::Minus(out.back(), written_after));
+        break;
+      }
+      case ViewSetVariant::kDelayedRead: {
+        bool completed = schedule.CompletedBy(prev, p);
+        if (!completed) {
+          out.push_back(DataSet::Minus(out.back(), prev_writes_d));
+        } else {
+          out.push_back(DataSet::Union(out.back(), prev_writes_d));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<size_t> FindViewSetUnsoundness(const Schedule& schedule,
+                                             const DataSet& d,
+                                             const std::vector<TxnId>& order,
+                                             size_t p,
+                                             ViewSetVariant variant) {
+  std::vector<DataSet> view_sets =
+      ComputeViewSets(schedule, d, order, p, variant);
+  for (size_t i = 0; i < order.size(); ++i) {
+    // RS(before(T^d_i, p, S)): items of d read by T_i at or before p.
+    DataSet read_before =
+        ReadSetOf(ProjectOps(schedule.BeforeOfTxn(order[i], p), d));
+    if (!read_before.IsSubsetOf(view_sets[i])) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nse

@@ -1,0 +1,51 @@
+// View sets VS(T_i, p, d, S): the items of d a transaction can possibly have
+// read before operation p.
+//
+//  * Lemma 2 (general schedules):
+//      VS(T_1) = d
+//      VS(T_i) = VS(T_{i-1}) − WS(after(T^d_{i-1}, p, S))
+//  * Lemma 6 (delayed-read schedules):
+//      VS(T_1) = d
+//      VS(T_i) = VS(T_{i-1}) − WS(T^d_{i-1})   if after(T_{i-1}, p, S) ≠ ε
+//      VS(T_i) = VS(T_{i-1}) ∪ WS(T^d_{i-1})   if after(T_{i-1}, p, S) = ε
+//
+// Both lemmas assert soundness: RS(before(T^d_i, p, S)) ⊆ VS(T_i, p, d, S)
+// whenever T_1 ... T_n is a serialization order of S^d — verified by
+// property tests and by the CheckViewSetSoundness helper.
+
+#ifndef NSE_ANALYSIS_VIEW_SET_H_
+#define NSE_ANALYSIS_VIEW_SET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Which recurrence to use.
+enum class ViewSetVariant {
+  kGeneral,      ///< Lemma 2
+  kDelayedRead,  ///< Lemma 6 (sound only on DR schedules)
+};
+
+/// Computes VS(T_i, p, d, S) for every transaction along `order` (which must
+/// be a serialization order of S^d; this is not re-verified here).
+/// Returns one DataSet per order position.
+std::vector<DataSet> ComputeViewSets(const Schedule& schedule,
+                                     const DataSet& d,
+                                     const std::vector<TxnId>& order,
+                                     size_t p, ViewSetVariant variant);
+
+/// Verifies the soundness claim of Lemma 2/6 for one (d, order, p) triple:
+/// RS(before(T^d_i, p, S)) ⊆ VS(T_i, p, d, S) for every i. Returns the
+/// first offending order position, or nullopt when sound.
+std::optional<size_t> FindViewSetUnsoundness(const Schedule& schedule,
+                                             const DataSet& d,
+                                             const std::vector<TxnId>& order,
+                                             size_t p,
+                                             ViewSetVariant variant);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_VIEW_SET_H_

@@ -1,0 +1,138 @@
+#include "analysis/violation_search.h"
+
+namespace nse {
+
+namespace {
+
+/// True iff the execution's schedule satisfies the per-schedule filters.
+bool PassesScheduleFilter(const Schedule& schedule,
+                          const IntegrityConstraint& ic,
+                          const HypothesisFilter& filter) {
+  if (filter.require_pwsr && !CheckPwsr(schedule, ic).is_pwsr) return false;
+  if (filter.require_delayed_read && !IsDelayedRead(schedule)) return false;
+  if (filter.require_dag_acyclic &&
+      !DataAccessGraph::Build(schedule, ic).IsAcyclic()) {
+    return false;
+  }
+  return true;
+}
+
+/// Checks one execution; updates the outcome.
+Status CheckOne(const ConsistencyChecker& checker, const Schedule& schedule,
+                const DbState& initial, const std::vector<size_t>& choices,
+                SearchOutcome& outcome) {
+  ++outcome.checked;
+  NSE_ASSIGN_OR_RETURN(StrongCorrectnessReport report,
+                       CheckExecution(checker, schedule, initial));
+  if (!report.strongly_correct) {
+    ++outcome.violations;
+    if (!outcome.first_counterexample.has_value()) {
+      outcome.first_counterexample =
+          Counterexample{initial, choices, schedule, std::move(report)};
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SearchOutcome> SearchForViolations(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const HypothesisFilter& filter, Rng& rng, uint64_t trials,
+    bool stop_at_first) {
+  SearchOutcome outcome;
+  ConsistencyChecker checker(db, ic);
+
+  if (filter.require_fixed_structure) {
+    for (const TransactionProgram* program : programs) {
+      StructureAnalysis analysis = AnalyzeStructure(db, *program);
+      if (!analysis.valid || !analysis.fixed) {
+        outcome.trials = trials;
+        outcome.filtered_out = trials;
+        return outcome;
+      }
+    }
+  }
+
+  for (uint64_t t = 0; t < trials; ++t) {
+    ++outcome.trials;
+    NSE_ASSIGN_OR_RETURN(DbState initial,
+                         checker.SampleConsistentState(rng));
+    // Mix exploration styles: uniformly random interleavings cover the
+    // whole space, near-serial ones populate the PWSR/DR regimes the
+    // filters select for (see NearSerialChoices).
+    std::vector<size_t> choices;
+    if (rng.NextBool(0.5)) {
+      NSE_ASSIGN_OR_RETURN(choices, RandomChoices(db, programs, initial, rng));
+    } else {
+      size_t swaps = rng.NextBelow(2 * programs.size() + 6);
+      NSE_ASSIGN_OR_RETURN(
+          choices, NearSerialChoices(db, programs, initial, rng, swaps));
+    }
+    auto run = Interleave(db, programs, initial, choices);
+    if (!run.ok()) {
+      // A swapped near-serial sequence can become invalid when program
+      // lengths are interleaving-dependent; discard the sample.
+      if (run.status().code() == StatusCode::kInvalidArgument ||
+          run.status().code() == StatusCode::kFailedPrecondition) {
+        ++outcome.filtered_out;
+        continue;
+      }
+      return run.status();
+    }
+    if (!PassesScheduleFilter(run->schedule, ic, filter)) {
+      ++outcome.filtered_out;
+      continue;
+    }
+    NSE_RETURN_IF_ERROR(
+        CheckOne(checker, run->schedule, initial, choices, outcome));
+    if (stop_at_first && outcome.violations > 0) break;
+  }
+  return outcome;
+}
+
+Result<SearchOutcome> ExhaustiveViolationSearch(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const std::vector<DbState>& initial_states,
+    const HypothesisFilter& filter, uint64_t interleaving_limit,
+    bool stop_at_first) {
+  SearchOutcome outcome;
+  ConsistencyChecker checker(db, ic);
+
+  if (filter.require_fixed_structure) {
+    for (const TransactionProgram* program : programs) {
+      StructureAnalysis analysis = AnalyzeStructure(db, *program);
+      if (!analysis.valid || !analysis.fixed) return outcome;
+    }
+  }
+
+  Status inner_error = Status::Ok();
+  for (const DbState& initial : initial_states) {
+    auto visit = [&](const InterleaveResult& run,
+                     const std::vector<size_t>& choices) -> bool {
+      ++outcome.trials;
+      if (!PassesScheduleFilter(run.schedule, ic, filter)) {
+        ++outcome.filtered_out;
+        return true;
+      }
+      Status status =
+          CheckOne(checker, run.schedule, initial, choices, outcome);
+      if (!status.ok()) {
+        inner_error = status;
+        return false;
+      }
+      return !(stop_at_first && outcome.violations > 0);
+    };
+    NSE_RETURN_IF_ERROR(
+        EnumerateInterleavings(db, programs, initial, interleaving_limit,
+                               visit)
+            .status());
+    NSE_RETURN_IF_ERROR(inner_error);
+    if (stop_at_first && outcome.violations > 0) break;
+  }
+  return outcome;
+}
+
+}  // namespace nse

@@ -1,0 +1,72 @@
+// Violation search: the empirical engine behind the T1/T2/T3 experiments.
+// Samples (initial state, interleaving) pairs for a set of transaction
+// programs, filters executions by the hypotheses of interest (PWSR, DR,
+// acyclic DAG, fixed structure), and checks strong correctness of each
+// surviving execution. Under any theorem's hypotheses the expected count is
+// zero; dropping a hypothesis should re-expose Example-2-style violations.
+//
+// Also provides exhaustive search over all interleavings for small
+// scenarios (a bounded model checker).
+
+#ifndef NSE_ANALYSIS_VIOLATION_SEARCH_H_
+#define NSE_ANALYSIS_VIOLATION_SEARCH_H_
+
+#include <optional>
+#include <vector>
+
+#include "analysis/strong_correctness.h"
+#include "analysis/theorems.h"
+#include "common/rng.h"
+#include "constraints/solver.h"
+#include "txn/interleaver.h"
+
+namespace nse {
+
+/// Which hypotheses an execution must satisfy to be checked.
+struct HypothesisFilter {
+  bool require_pwsr = false;
+  bool require_delayed_read = false;
+  bool require_dag_acyclic = false;
+  /// Checked once against the programs (not per execution).
+  bool require_fixed_structure = false;
+};
+
+/// A strong-correctness violation with everything needed to reproduce it.
+struct Counterexample {
+  DbState initial;
+  std::vector<size_t> choices;
+  Schedule schedule;
+  StrongCorrectnessReport report;
+};
+
+/// Aggregate statistics of one search.
+struct SearchOutcome {
+  uint64_t trials = 0;             ///< executions generated
+  uint64_t filtered_out = 0;       ///< executions failing the filter
+  uint64_t checked = 0;            ///< executions strong-correctness checked
+  uint64_t violations = 0;         ///< executions violating Definition 1
+  std::optional<Counterexample> first_counterexample;
+};
+
+/// Randomized search: `trials` (initial state, random interleaving) pairs.
+/// Initial states are sampled consistent states. If the programs fail the
+/// fixed-structure requirement (when set), returns an outcome with all
+/// trials filtered out.
+Result<SearchOutcome> SearchForViolations(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const HypothesisFilter& filter, Rng& rng, uint64_t trials,
+    bool stop_at_first = false);
+
+/// Exhaustive search over every interleaving from each given initial state
+/// (up to `interleaving_limit` interleavings per state).
+Result<SearchOutcome> ExhaustiveViolationSearch(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const std::vector<DbState>& initial_states,
+    const HypothesisFilter& filter, uint64_t interleaving_limit,
+    bool stop_at_first = false);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_VIOLATION_SEARCH_H_

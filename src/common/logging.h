@@ -1,0 +1,33 @@
+// Minimal assertion macros for internal invariants. These abort on failure;
+// they guard programmer errors, never user input (user input goes through
+// Status).
+
+#ifndef NSE_COMMON_LOGGING_H_
+#define NSE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message if `cond` is false. Enabled in all build types.
+#define NSE_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "NSE_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// NSE_CHECK with an extra printf-style context message.
+#define NSE_CHECK_MSG(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "NSE_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // NSE_COMMON_LOGGING_H_

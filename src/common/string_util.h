@@ -1,0 +1,54 @@
+// Small string helpers used across the library (GCC 12 has no std::format).
+
+#ifndef NSE_COMMON_STRING_UTIL_H_
+#define NSE_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nse {
+
+namespace internal {
+inline void StrAppendAll(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppendAll(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  StrAppendAll(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendAll(os, args...);
+  return os.str();
+}
+
+/// Joins elements of `parts` with `sep`, using each element's ostream output.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << part;
+  }
+  return os.str();
+}
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace nse
+
+#endif  // NSE_COMMON_STRING_UTIL_H_

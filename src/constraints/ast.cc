@@ -1,0 +1,313 @@
+#include "constraints/ast.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+Term MakeTerm(TermKind kind, Value constant, ItemId var,
+              std::vector<Term> args) {
+  return std::make_shared<const TermNode>(kind, std::move(constant), var,
+                                          std::move(args));
+}
+
+Formula MakeFormula(FormulaKind kind, CmpOp cmp, Term lhs, Term rhs,
+                    std::vector<Formula> children) {
+  return std::make_shared<const FormulaNode>(kind, cmp, std::move(lhs),
+                                             std::move(rhs),
+                                             std::move(children));
+}
+
+void CollectItems(const Term& term, DataSet& out) {
+  if (term == nullptr) return;
+  if (term->kind() == TermKind::kVar) out.Insert(term->var());
+  for (const Term& arg : term->args()) CollectItems(arg, out);
+}
+
+void CollectItems(const Formula& formula, DataSet& out) {
+  if (formula == nullptr) return;
+  if (formula->kind() == FormulaKind::kCmp) {
+    CollectItems(formula->lhs(), out);
+    CollectItems(formula->rhs(), out);
+    return;
+  }
+  for (const Formula& child : formula->children()) CollectItems(child, out);
+}
+
+const char* CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Term Const(Value v) {
+  return MakeTerm(TermKind::kConst, std::move(v), 0, {});
+}
+
+Term Var(ItemId item) { return MakeTerm(TermKind::kVar, Value(), item, {}); }
+
+Term Var(const Database& db, std::string_view name) {
+  return Var(db.MustFind(name));
+}
+
+Term Add(Term lhs, Term rhs) {
+  return MakeTerm(TermKind::kAdd, Value(), 0, {std::move(lhs), std::move(rhs)});
+}
+
+Term Sub(Term lhs, Term rhs) {
+  return MakeTerm(TermKind::kSub, Value(), 0, {std::move(lhs), std::move(rhs)});
+}
+
+Term Mul(Term lhs, Term rhs) {
+  return MakeTerm(TermKind::kMul, Value(), 0, {std::move(lhs), std::move(rhs)});
+}
+
+Term Neg(Term operand) {
+  return MakeTerm(TermKind::kNeg, Value(), 0, {std::move(operand)});
+}
+
+Term Abs(Term operand) {
+  return MakeTerm(TermKind::kAbs, Value(), 0, {std::move(operand)});
+}
+
+Term Min(Term lhs, Term rhs) {
+  return MakeTerm(TermKind::kMin, Value(), 0, {std::move(lhs), std::move(rhs)});
+}
+
+Term Max(Term lhs, Term rhs) {
+  return MakeTerm(TermKind::kMax, Value(), 0, {std::move(lhs), std::move(rhs)});
+}
+
+Formula True() {
+  return MakeFormula(FormulaKind::kTrue, CmpOp::kEq, nullptr, nullptr, {});
+}
+
+Formula False() {
+  return MakeFormula(FormulaKind::kFalse, CmpOp::kEq, nullptr, nullptr, {});
+}
+
+Formula Cmp(CmpOp op, Term lhs, Term rhs) {
+  return MakeFormula(FormulaKind::kCmp, op, std::move(lhs), std::move(rhs),
+                     {});
+}
+
+Formula Eq(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kEq, std::move(lhs), std::move(rhs));
+}
+Formula Ne(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kNe, std::move(lhs), std::move(rhs));
+}
+Formula Lt(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kLt, std::move(lhs), std::move(rhs));
+}
+Formula Le(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kLe, std::move(lhs), std::move(rhs));
+}
+Formula Gt(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kGt, std::move(lhs), std::move(rhs));
+}
+Formula Ge(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kGe, std::move(lhs), std::move(rhs));
+}
+
+Formula Not(Formula operand) {
+  return MakeFormula(FormulaKind::kNot, CmpOp::kEq, nullptr, nullptr,
+                     {std::move(operand)});
+}
+
+Formula And(std::vector<Formula> children) {
+  NSE_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  return MakeFormula(FormulaKind::kAnd, CmpOp::kEq, nullptr, nullptr,
+                     std::move(children));
+}
+
+Formula And(Formula a, Formula b) {
+  return And(std::vector<Formula>{std::move(a), std::move(b)});
+}
+
+Formula Or(std::vector<Formula> children) {
+  NSE_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  return MakeFormula(FormulaKind::kOr, CmpOp::kEq, nullptr, nullptr,
+                     std::move(children));
+}
+
+Formula Or(Formula a, Formula b) {
+  return Or(std::vector<Formula>{std::move(a), std::move(b)});
+}
+
+Formula Implies(Formula a, Formula b) {
+  return MakeFormula(FormulaKind::kImplies, CmpOp::kEq, nullptr, nullptr,
+                     {std::move(a), std::move(b)});
+}
+
+Formula Iff(Formula a, Formula b) {
+  return MakeFormula(FormulaKind::kIff, CmpOp::kEq, nullptr, nullptr,
+                     {std::move(a), std::move(b)});
+}
+
+DataSet ItemsOf(const Term& term) {
+  DataSet out;
+  CollectItems(term, out);
+  return out;
+}
+
+DataSet ItemsOf(const Formula& formula) {
+  DataSet out;
+  CollectItems(formula, out);
+  return out;
+}
+
+bool TermEquals(const Term& a, const Term& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TermKind::kConst:
+      return a->constant() == b->constant();
+    case TermKind::kVar:
+      return a->var() == b->var();
+    default:
+      break;
+  }
+  if (a->args().size() != b->args().size()) return false;
+  for (size_t i = 0; i < a->args().size(); ++i) {
+    if (!TermEquals(a->args()[i], b->args()[i])) return false;
+  }
+  return true;
+}
+
+bool FormulaEquals(const Formula& a, const Formula& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  if (a->kind() == FormulaKind::kCmp) {
+    return a->cmp() == b->cmp() && TermEquals(a->lhs(), b->lhs()) &&
+           TermEquals(a->rhs(), b->rhs());
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!FormulaEquals(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+std::vector<Formula> TopLevelConjuncts(const Formula& formula) {
+  std::vector<Formula> out;
+  if (formula == nullptr) return out;
+  if (formula->kind() == FormulaKind::kAnd) {
+    for (const Formula& child : formula->children()) {
+      auto nested = TopLevelConjuncts(child);
+      out.insert(out.end(), nested.begin(), nested.end());
+    }
+  } else {
+    out.push_back(formula);
+  }
+  return out;
+}
+
+std::string TermToString(const Database& db, const Term& term) {
+  if (term == nullptr) return "<null>";
+  switch (term->kind()) {
+    case TermKind::kConst:
+      return term->constant().ToString();
+    case TermKind::kVar:
+      return db.NameOf(term->var());
+    case TermKind::kAdd:
+      return StrCat("(", TermToString(db, term->args()[0]), " + ",
+                    TermToString(db, term->args()[1]), ")");
+    case TermKind::kSub:
+      return StrCat("(", TermToString(db, term->args()[0]), " - ",
+                    TermToString(db, term->args()[1]), ")");
+    case TermKind::kMul:
+      return StrCat("(", TermToString(db, term->args()[0]), " * ",
+                    TermToString(db, term->args()[1]), ")");
+    case TermKind::kNeg:
+      return StrCat("-", TermToString(db, term->args()[0]));
+    case TermKind::kAbs:
+      return StrCat("abs(", TermToString(db, term->args()[0]), ")");
+    case TermKind::kMin:
+      return StrCat("min(", TermToString(db, term->args()[0]), ", ",
+                    TermToString(db, term->args()[1]), ")");
+    case TermKind::kMax:
+      return StrCat("max(", TermToString(db, term->args()[0]), ", ",
+                    TermToString(db, term->args()[1]), ")");
+  }
+  return "?";
+}
+
+std::string FormulaToString(const Database& db, const Formula& formula) {
+  if (formula == nullptr) return "<null>";
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kFalse:
+      return "false";
+    case FormulaKind::kCmp:
+      return StrCat(TermToString(db, formula->lhs()), " ",
+                    CmpOpSymbol(formula->cmp()), " ",
+                    TermToString(db, formula->rhs()));
+    case FormulaKind::kNot:
+      return StrCat("!(", FormulaToString(db, formula->children()[0]), ")");
+    case FormulaKind::kAnd: {
+      std::vector<std::string> parts;
+      for (const Formula& child : formula->children()) {
+        parts.push_back(StrCat("(", FormulaToString(db, child), ")"));
+      }
+      return StrJoin(parts, " & ");
+    }
+    case FormulaKind::kOr: {
+      std::vector<std::string> parts;
+      for (const Formula& child : formula->children()) {
+        parts.push_back(StrCat("(", FormulaToString(db, child), ")"));
+      }
+      return StrJoin(parts, " | ");
+    }
+    case FormulaKind::kImplies:
+      return StrCat("(", FormulaToString(db, formula->children()[0]), ") -> (",
+                    FormulaToString(db, formula->children()[1]), ")");
+    case FormulaKind::kIff:
+      return StrCat("(", FormulaToString(db, formula->children()[0]),
+                    ") <-> (", FormulaToString(db, formula->children()[1]),
+                    ")");
+  }
+  return "?";
+}
+
+size_t FormulaSize(const Formula& formula) {
+  if (formula == nullptr) return 0;
+  size_t n = 1;
+  if (formula->kind() == FormulaKind::kCmp) {
+    // Count term nodes too.
+    struct Counter {
+      static size_t Count(const Term& t) {
+        if (t == nullptr) return 0;
+        size_t c = 1;
+        for (const Term& arg : t->args()) c += Count(arg);
+        return c;
+      }
+    };
+    n += Counter::Count(formula->lhs()) + Counter::Count(formula->rhs());
+  }
+  for (const Formula& child : formula->children()) n += FormulaSize(child);
+  return n;
+}
+
+}  // namespace nse

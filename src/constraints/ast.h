@@ -1,0 +1,182 @@
+// Abstract syntax for the paper's integrity-constraint language (§2.1):
+// quantifier-free first-order formulae over numeric/string constants,
+// functions (+, -, *, min, max, abs), comparison operators, and variables
+// (data items). Terms and formulae are immutable shared DAGs.
+
+#ifndef NSE_CONSTRAINTS_AST_H_
+#define NSE_CONSTRAINTS_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "state/database.h"
+#include "state/value.h"
+
+namespace nse {
+
+class TermNode;
+class FormulaNode;
+
+/// An arithmetic/string term (shared immutable handle).
+using Term = std::shared_ptr<const TermNode>;
+/// A boolean formula (shared immutable handle).
+using Formula = std::shared_ptr<const FormulaNode>;
+
+/// Term node kinds.
+enum class TermKind { kConst, kVar, kAdd, kSub, kMul, kNeg, kAbs, kMin, kMax };
+
+/// Comparison operators for atoms.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Formula node kinds.
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kCmp,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+};
+
+/// A node in a term DAG.
+class TermNode {
+ public:
+  TermNode(TermKind kind, Value constant, ItemId var, std::vector<Term> args)
+      : kind_(kind),
+        constant_(std::move(constant)),
+        var_(var),
+        args_(std::move(args)) {}
+
+  /// The node kind.
+  TermKind kind() const { return kind_; }
+  /// The constant payload (kConst only).
+  const Value& constant() const { return constant_; }
+  /// The data item (kVar only).
+  ItemId var() const { return var_; }
+  /// Child terms (operators only).
+  const std::vector<Term>& args() const { return args_; }
+
+ private:
+  TermKind kind_;
+  Value constant_;
+  ItemId var_;
+  std::vector<Term> args_;
+};
+
+/// A node in a formula DAG.
+class FormulaNode {
+ public:
+  FormulaNode(FormulaKind kind, CmpOp cmp, Term lhs, Term rhs,
+              std::vector<Formula> children)
+      : kind_(kind),
+        cmp_(cmp),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)),
+        children_(std::move(children)) {}
+
+  /// The node kind.
+  FormulaKind kind() const { return kind_; }
+  /// Comparison operator (kCmp only).
+  CmpOp cmp() const { return cmp_; }
+  /// Left term of a comparison (kCmp only).
+  const Term& lhs() const { return lhs_; }
+  /// Right term of a comparison (kCmp only).
+  const Term& rhs() const { return rhs_; }
+  /// Child formulae (connectives only).
+  const std::vector<Formula>& children() const { return children_; }
+
+ private:
+  FormulaKind kind_;
+  CmpOp cmp_;
+  Term lhs_;
+  Term rhs_;
+  std::vector<Formula> children_;
+};
+
+// ---- Term factories ----
+
+/// A constant term.
+Term Const(Value v);
+/// A variable term referring to data item `item`.
+Term Var(ItemId item);
+/// A variable term resolved by name against `db` (aborts on unknown name).
+Term Var(const Database& db, std::string_view name);
+/// lhs + rhs.
+Term Add(Term lhs, Term rhs);
+/// lhs - rhs.
+Term Sub(Term lhs, Term rhs);
+/// lhs * rhs.
+Term Mul(Term lhs, Term rhs);
+/// -operand.
+Term Neg(Term operand);
+/// |operand|.
+Term Abs(Term operand);
+/// min(lhs, rhs).
+Term Min(Term lhs, Term rhs);
+/// max(lhs, rhs).
+Term Max(Term lhs, Term rhs);
+
+// ---- Formula factories ----
+
+/// The formula "true".
+Formula True();
+/// The formula "false".
+Formula False();
+/// Comparison atom lhs `op` rhs.
+Formula Cmp(CmpOp op, Term lhs, Term rhs);
+/// lhs = rhs.
+Formula Eq(Term lhs, Term rhs);
+/// lhs ≠ rhs.
+Formula Ne(Term lhs, Term rhs);
+/// lhs < rhs.
+Formula Lt(Term lhs, Term rhs);
+/// lhs ≤ rhs.
+Formula Le(Term lhs, Term rhs);
+/// lhs > rhs.
+Formula Gt(Term lhs, Term rhs);
+/// lhs ≥ rhs.
+Formula Ge(Term lhs, Term rhs);
+/// ¬operand.
+Formula Not(Formula operand);
+/// Conjunction (n-ary, n ≥ 1).
+Formula And(std::vector<Formula> children);
+/// Binary conjunction.
+Formula And(Formula a, Formula b);
+/// Disjunction (n-ary, n ≥ 1).
+Formula Or(std::vector<Formula> children);
+/// Binary disjunction.
+Formula Or(Formula a, Formula b);
+/// a → b.
+Formula Implies(Formula a, Formula b);
+/// a ↔ b.
+Formula Iff(Formula a, Formula b);
+
+// ---- Inspection ----
+
+/// The set of data items occurring in `term`.
+DataSet ItemsOf(const Term& term);
+/// The set of data items occurring in `formula`.
+DataSet ItemsOf(const Formula& formula);
+
+/// Structural equality of terms.
+bool TermEquals(const Term& a, const Term& b);
+/// Structural equality of formulae.
+bool FormulaEquals(const Formula& a, const Formula& b);
+
+/// Splits a formula into its top-level conjuncts (flattening nested ∧).
+std::vector<Formula> TopLevelConjuncts(const Formula& formula);
+
+/// Renders a term with item names from `db`, e.g. "(a + 1) * max(b, 0)".
+std::string TermToString(const Database& db, const Term& term);
+/// Renders a formula, e.g. "(a > 0 -> b > 0) & c > 0".
+std::string FormulaToString(const Database& db, const Formula& formula);
+
+/// Number of AST nodes in a formula (for benchmarks / complexity reporting).
+size_t FormulaSize(const Formula& formula);
+
+}  // namespace nse
+
+#endif  // NSE_CONSTRAINTS_AST_H_

@@ -1,0 +1,250 @@
+#include "constraints/evaluator.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+Status TypeError(const char* op, const Value& v) {
+  return Status::InvalidArgument(
+      StrCat("operator ", op, " applied to ", ValueTypeName(v.type()),
+             " value ", v.ToString()));
+}
+
+Result<int64_t> WantInt(const char* op, const Value& v) {
+  if (!v.is_int()) return TypeError(op, v);
+  return v.AsInt();
+}
+
+/// Compares two values of the same type; InvalidArgument on type mismatch or
+/// on ordering comparisons between booleans.
+Result<bool> Compare(CmpOp op, const Value& a, const Value& b) {
+  if (op == CmpOp::kEq) return a == b;
+  if (op == CmpOp::kNe) return a != b;
+  if (a.type() != b.type()) {
+    return Status::InvalidArgument(
+        StrCat("ordered comparison between ", ValueTypeName(a.type()), " and ",
+               ValueTypeName(b.type())));
+  }
+  if (a.is_bool()) {
+    return Status::InvalidArgument("ordered comparison between booleans");
+  }
+  bool lt = a < b;
+  bool gt = b < a;
+  switch (op) {
+    case CmpOp::kLt:
+      return lt;
+    case CmpOp::kLe:
+      return !gt;
+    case CmpOp::kGt:
+      return gt;
+    case CmpOp::kGe:
+      return !lt;
+    default:
+      return Status::Internal("unreachable comparison");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalTerm(const Term& term, const DbState& state) {
+  if (term == nullptr) return Status::InvalidArgument("null term");
+  switch (term->kind()) {
+    case TermKind::kConst:
+      return term->constant();
+    case TermKind::kVar: {
+      auto value = state.Get(term->var());
+      if (!value.has_value()) {
+        return Status::FailedPrecondition(
+            StrCat("item #", term->var(), " is unassigned"));
+      }
+      return *value;
+    }
+    case TermKind::kAdd: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(Value b, EvalTerm(term->args()[1], state));
+      // String concatenation is the natural '+' for strings.
+      if (a.is_string() && b.is_string()) {
+        return Value(a.AsString() + b.AsString());
+      }
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("+", a));
+      NSE_ASSIGN_OR_RETURN(int64_t ib, WantInt("+", b));
+      return Value(ia + ib);
+    }
+    case TermKind::kSub: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(Value b, EvalTerm(term->args()[1], state));
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("-", a));
+      NSE_ASSIGN_OR_RETURN(int64_t ib, WantInt("-", b));
+      return Value(ia - ib);
+    }
+    case TermKind::kMul: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(Value b, EvalTerm(term->args()[1], state));
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("*", a));
+      NSE_ASSIGN_OR_RETURN(int64_t ib, WantInt("*", b));
+      return Value(ia * ib);
+    }
+    case TermKind::kNeg: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("neg", a));
+      return Value(-ia);
+    }
+    case TermKind::kAbs: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("abs", a));
+      return Value(ia < 0 ? -ia : ia);
+    }
+    case TermKind::kMin: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(Value b, EvalTerm(term->args()[1], state));
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("min", a));
+      NSE_ASSIGN_OR_RETURN(int64_t ib, WantInt("min", b));
+      return Value(ia < ib ? ia : ib);
+    }
+    case TermKind::kMax: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(term->args()[0], state));
+      NSE_ASSIGN_OR_RETURN(Value b, EvalTerm(term->args()[1], state));
+      NSE_ASSIGN_OR_RETURN(int64_t ia, WantInt("max", a));
+      NSE_ASSIGN_OR_RETURN(int64_t ib, WantInt("max", b));
+      return Value(ia > ib ? ia : ib);
+    }
+  }
+  return Status::Internal("unreachable term kind");
+}
+
+Result<bool> EvalFormula(const Formula& formula, const DbState& state) {
+  if (formula == nullptr) return Status::InvalidArgument("null formula");
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kCmp: {
+      NSE_ASSIGN_OR_RETURN(Value a, EvalTerm(formula->lhs(), state));
+      NSE_ASSIGN_OR_RETURN(Value b, EvalTerm(formula->rhs(), state));
+      return Compare(formula->cmp(), a, b);
+    }
+    case FormulaKind::kNot: {
+      NSE_ASSIGN_OR_RETURN(bool v, EvalFormula(formula->children()[0], state));
+      return !v;
+    }
+    case FormulaKind::kAnd: {
+      for (const Formula& child : formula->children()) {
+        NSE_ASSIGN_OR_RETURN(bool v, EvalFormula(child, state));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kOr: {
+      for (const Formula& child : formula->children()) {
+        NSE_ASSIGN_OR_RETURN(bool v, EvalFormula(child, state));
+        if (v) return true;
+      }
+      return false;
+    }
+    case FormulaKind::kImplies: {
+      NSE_ASSIGN_OR_RETURN(bool a, EvalFormula(formula->children()[0], state));
+      if (!a) return true;
+      return EvalFormula(formula->children()[1], state);
+    }
+    case FormulaKind::kIff: {
+      NSE_ASSIGN_OR_RETURN(bool a, EvalFormula(formula->children()[0], state));
+      NSE_ASSIGN_OR_RETURN(bool b, EvalFormula(formula->children()[1], state));
+      return a == b;
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+std::optional<Value> EvalTermPartial(const Term& term, const DbState& state) {
+  if (term == nullptr) return std::nullopt;
+  if (term->kind() == TermKind::kVar) {
+    return state.Get(term->var());
+  }
+  // For all other kinds, delegate to total evaluation; a missing child makes
+  // the whole term unknown.
+  switch (term->kind()) {
+    case TermKind::kConst:
+      return term->constant();
+    default: {
+      // Check all referenced items are assigned; if so, total-evaluate.
+      const DataSet items = ItemsOf(term);
+      for (ItemId item : items) {
+        if (!state.Has(item)) return std::nullopt;
+      }
+      auto result = EvalTerm(term, state);
+      if (!result.ok()) return std::nullopt;
+      return *result;
+    }
+  }
+}
+
+Truth EvalFormulaPartial(const Formula& formula, const DbState& state) {
+  if (formula == nullptr) return std::nullopt;
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kCmp: {
+      auto a = EvalTermPartial(formula->lhs(), state);
+      auto b = EvalTermPartial(formula->rhs(), state);
+      if (!a.has_value() || !b.has_value()) return std::nullopt;
+      auto cmp = Compare(formula->cmp(), *a, *b);
+      if (!cmp.ok()) return std::nullopt;
+      return *cmp;
+    }
+    case FormulaKind::kNot: {
+      Truth v = EvalFormulaPartial(formula->children()[0], state);
+      if (!v.has_value()) return std::nullopt;
+      return !*v;
+    }
+    case FormulaKind::kAnd: {
+      bool unknown = false;
+      for (const Formula& child : formula->children()) {
+        Truth v = EvalFormulaPartial(child, state);
+        if (!v.has_value()) {
+          unknown = true;
+        } else if (!*v) {
+          return false;
+        }
+      }
+      if (unknown) return std::nullopt;
+      return true;
+    }
+    case FormulaKind::kOr: {
+      bool unknown = false;
+      for (const Formula& child : formula->children()) {
+        Truth v = EvalFormulaPartial(child, state);
+        if (!v.has_value()) {
+          unknown = true;
+        } else if (*v) {
+          return true;
+        }
+      }
+      if (unknown) return std::nullopt;
+      return false;
+    }
+    case FormulaKind::kImplies: {
+      Truth a = EvalFormulaPartial(formula->children()[0], state);
+      Truth b = EvalFormulaPartial(formula->children()[1], state);
+      if (a.has_value() && !*a) return true;
+      if (b.has_value() && *b) return true;
+      if (a.has_value() && b.has_value()) return *b || !*a;
+      return std::nullopt;
+    }
+    case FormulaKind::kIff: {
+      Truth a = EvalFormulaPartial(formula->children()[0], state);
+      Truth b = EvalFormulaPartial(formula->children()[1], state);
+      if (!a.has_value() || !b.has_value()) return std::nullopt;
+      return *a == *b;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nse

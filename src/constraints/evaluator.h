@@ -1,0 +1,44 @@
+// Evaluation of terms and formulae under a database state, viewed as a
+// variable assignment (paper §2.1, standard interpretation I).
+//
+// Two modes:
+//  * Total evaluation — every referenced item must be assigned; type errors
+//    and unassigned items are reported via Status.
+//  * Partial (three-valued) evaluation — unassigned items yield "unknown";
+//    used by the solver to prune search branches whose truth value is
+//    already determined by the partial assignment.
+
+#ifndef NSE_CONSTRAINTS_EVALUATOR_H_
+#define NSE_CONSTRAINTS_EVALUATOR_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "state/db_state.h"
+
+namespace nse {
+
+/// Evaluates `term` under `state`. Fails if an item is unassigned or an
+/// operator receives operands of the wrong type.
+Result<Value> EvalTerm(const Term& term, const DbState& state);
+
+/// Evaluates `formula` under `state` (all referenced items must be assigned).
+Result<bool> EvalFormula(const Formula& formula, const DbState& state);
+
+/// Three-valued truth: true / false / unknown (nullopt).
+using Truth = std::optional<bool>;
+
+/// Partially evaluates `term`; nullopt if it depends on an unassigned item.
+/// Type errors also yield nullopt (the solver treats them as unsatisfiable
+/// branches elsewhere; total evaluation reports them precisely).
+std::optional<Value> EvalTermPartial(const Term& term, const DbState& state);
+
+/// Kleene three-valued evaluation of `formula` under a partial `state`:
+/// returns true/false when the truth value is determined regardless of how
+/// unassigned items are filled in *node-locally* (no constraint propagation).
+Truth EvalFormulaPartial(const Formula& formula, const DbState& state);
+
+}  // namespace nse
+
+#endif  // NSE_CONSTRAINTS_EVALUATOR_H_

@@ -1,0 +1,445 @@
+#include "constraints/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kInt,
+  kString,
+  kIdent,
+  kLParen,
+  kRParen,
+  kComma,
+  kPlus,
+  kMinus,
+  kStar,
+  kEq,     // '=' or '=='
+  kNe,     // '!='
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBang,   // '!'
+  kAmp,    // '&' or '&&'
+  kPipe,   // '|' or '||'
+  kArrow,  // '->'
+  kDArrow, // '<->'
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // identifier / string / integer spelling
+  size_t pos = 0;    // byte offset in the source, for error messages
+};
+
+Status SyntaxError(std::string_view text, size_t pos, std::string_view what) {
+  return Status::InvalidArgument(
+      StrCat("parse error at offset ", pos, " in \"", text, "\": ", what));
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        while (i < n && std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        out.push_back({TokKind::kInt, std::string(text_.substr(start, i - start)),
+                       start});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                         text_[i] == '_')) {
+          ++i;
+        }
+        out.push_back({TokKind::kIdent,
+                       std::string(text_.substr(start, i - start)), start});
+        continue;
+      }
+      if (c == '"') {
+        ++i;
+        std::string body;
+        while (i < n && text_[i] != '"') {
+          body.push_back(text_[i]);
+          ++i;
+        }
+        if (i == n) return SyntaxError(text_, start, "unterminated string");
+        ++i;  // closing quote
+        out.push_back({TokKind::kString, std::move(body), start});
+        continue;
+      }
+      auto push1 = [&](TokKind kind) {
+        out.push_back({kind, std::string(1, c), start});
+        ++i;
+      };
+      switch (c) {
+        case '(':
+          push1(TokKind::kLParen);
+          break;
+        case ')':
+          push1(TokKind::kRParen);
+          break;
+        case ',':
+          push1(TokKind::kComma);
+          break;
+        case '+':
+          push1(TokKind::kPlus);
+          break;
+        case '*':
+          push1(TokKind::kStar);
+          break;
+        case '-':
+          if (i + 1 < n && text_[i + 1] == '>') {
+            out.push_back({TokKind::kArrow, "->", start});
+            i += 2;
+          } else {
+            push1(TokKind::kMinus);
+          }
+          break;
+        case '=':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out.push_back({TokKind::kEq, "==", start});
+            i += 2;
+          } else {
+            push1(TokKind::kEq);
+          }
+          break;
+        case '!':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out.push_back({TokKind::kNe, "!=", start});
+            i += 2;
+          } else {
+            push1(TokKind::kBang);
+          }
+          break;
+        case '<':
+          if (i + 2 < n && text_[i + 1] == '-' && text_[i + 2] == '>') {
+            out.push_back({TokKind::kDArrow, "<->", start});
+            i += 3;
+          } else if (i + 1 < n && text_[i + 1] == '=') {
+            out.push_back({TokKind::kLe, "<=", start});
+            i += 2;
+          } else {
+            push1(TokKind::kLt);
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out.push_back({TokKind::kGe, ">=", start});
+            i += 2;
+          } else {
+            push1(TokKind::kGt);
+          }
+          break;
+        case '&':
+          if (i + 1 < n && text_[i + 1] == '&') {
+            out.push_back({TokKind::kAmp, "&&", start});
+            i += 2;
+          } else {
+            push1(TokKind::kAmp);
+          }
+          break;
+        case '|':
+          if (i + 1 < n && text_[i + 1] == '|') {
+            out.push_back({TokKind::kPipe, "||", start});
+            i += 2;
+          } else {
+            push1(TokKind::kPipe);
+          }
+          break;
+        default:
+          return SyntaxError(text_, start,
+                             StrCat("unexpected character '", c, "'"));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", n});
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  Parser(const Database& db, std::string_view text, std::vector<Token> tokens)
+      : db_(db), text_(text), tokens_(std::move(tokens)) {}
+
+  Result<Formula> ParseFormulaAll() {
+    NSE_ASSIGN_OR_RETURN(Formula f, ParseIff());
+    if (Peek().kind != TokKind::kEnd) {
+      return SyntaxError(text_, Peek().pos, "trailing input after formula");
+    }
+    return f;
+  }
+
+  Result<Term> ParseTermAll() {
+    NSE_ASSIGN_OR_RETURN(Term t, ParseAdd());
+    if (Peek().kind != TokKind::kEnd) {
+      return SyntaxError(text_, Peek().pos, "trailing input after term");
+    }
+    return t;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchIdent(std::string_view word) {
+    if (Peek().kind == TokKind::kIdent && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Formula> ParseIff() {
+    NSE_ASSIGN_OR_RETURN(Formula lhs, ParseImpl());
+    while (Match(TokKind::kDArrow)) {
+      NSE_ASSIGN_OR_RETURN(Formula rhs, ParseImpl());
+      lhs = Iff(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseImpl() {
+    NSE_ASSIGN_OR_RETURN(Formula lhs, ParseOr());
+    if (Match(TokKind::kArrow)) {
+      NSE_ASSIGN_OR_RETURN(Formula rhs, ParseImpl());  // right associative
+      return Implies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseOr() {
+    NSE_ASSIGN_OR_RETURN(Formula lhs, ParseAnd());
+    while (Peek().kind == TokKind::kPipe || (Peek().kind == TokKind::kIdent &&
+                                             Peek().text == "or")) {
+      Advance();
+      NSE_ASSIGN_OR_RETURN(Formula rhs, ParseAnd());
+      lhs = Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseAnd() {
+    NSE_ASSIGN_OR_RETURN(Formula lhs, ParseNot());
+    while (Peek().kind == TokKind::kAmp || (Peek().kind == TokKind::kIdent &&
+                                            Peek().text == "and")) {
+      Advance();
+      NSE_ASSIGN_OR_RETURN(Formula rhs, ParseNot());
+      lhs = And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseNot() {
+    if (Match(TokKind::kBang) || MatchIdent("not")) {
+      NSE_ASSIGN_OR_RETURN(Formula inner, ParseNot());
+      return Not(std::move(inner));
+    }
+    return ParseAtom();
+  }
+
+  Result<Formula> ParseAtom() {
+    if (MatchIdent("true")) return True();
+    if (MatchIdent("false")) return False();
+
+    // Ambiguity: '(' may open a parenthesized formula or a parenthesized
+    // term on the left of a comparison. Try the comparison first; if that
+    // fails, rewind and parse a parenthesized formula.
+    size_t saved = pos_;
+    auto cmp_attempt = ParseComparison();
+    if (cmp_attempt.ok()) return cmp_attempt;
+    pos_ = saved;
+
+    if (Match(TokKind::kLParen)) {
+      NSE_ASSIGN_OR_RETURN(Formula inner, ParseIff());
+      if (!Match(TokKind::kRParen)) {
+        return SyntaxError(text_, Peek().pos, "expected ')'");
+      }
+      return inner;
+    }
+    return cmp_attempt;  // the comparison error is the more informative one
+  }
+
+  Result<Formula> ParseComparison() {
+    NSE_ASSIGN_OR_RETURN(Term lhs, ParseAdd());
+    CmpOp op;
+    switch (Peek().kind) {
+      case TokKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokKind::kNe:
+        op = CmpOp::kNe;
+        break;
+      case TokKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return SyntaxError(text_, Peek().pos, "expected comparison operator");
+    }
+    Advance();
+    NSE_ASSIGN_OR_RETURN(Term rhs, ParseAdd());
+    return Cmp(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Term> ParseAdd() {
+    NSE_ASSIGN_OR_RETURN(Term lhs, ParseMul());
+    while (true) {
+      if (Match(TokKind::kPlus)) {
+        NSE_ASSIGN_OR_RETURN(Term rhs, ParseMul());
+        lhs = Add(std::move(lhs), std::move(rhs));
+      } else if (Match(TokKind::kMinus)) {
+        NSE_ASSIGN_OR_RETURN(Term rhs, ParseMul());
+        lhs = Sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<Term> ParseMul() {
+    NSE_ASSIGN_OR_RETURN(Term lhs, ParseUnary());
+    while (Match(TokKind::kStar)) {
+      NSE_ASSIGN_OR_RETURN(Term rhs, ParseUnary());
+      lhs = Mul(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParseUnary() {
+    if (Match(TokKind::kMinus)) {
+      NSE_ASSIGN_OR_RETURN(Term inner, ParseUnary());
+      return Neg(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Term> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kInt: {
+        Advance();
+        return Const(Value(static_cast<int64_t>(std::stoll(tok.text))));
+      }
+      case TokKind::kString: {
+        Advance();
+        return Const(Value(tok.text));
+      }
+      case TokKind::kLParen: {
+        Advance();
+        NSE_ASSIGN_OR_RETURN(Term inner, ParseAdd());
+        if (!Match(TokKind::kRParen)) {
+          return SyntaxError(text_, Peek().pos, "expected ')' in term");
+        }
+        return inner;
+      }
+      case TokKind::kIdent: {
+        const std::string& name = tok.text;
+        if (name == "min" || name == "max") {
+          Advance();
+          if (!Match(TokKind::kLParen)) {
+            return SyntaxError(text_, Peek().pos,
+                               StrCat("expected '(' after ", name));
+          }
+          NSE_ASSIGN_OR_RETURN(Term a, ParseAdd());
+          if (!Match(TokKind::kComma)) {
+            return SyntaxError(text_, Peek().pos, "expected ','");
+          }
+          NSE_ASSIGN_OR_RETURN(Term b, ParseAdd());
+          if (!Match(TokKind::kRParen)) {
+            return SyntaxError(text_, Peek().pos, "expected ')'");
+          }
+          return name == "min" ? Min(std::move(a), std::move(b))
+                               : Max(std::move(a), std::move(b));
+        }
+        if (name == "abs") {
+          Advance();
+          if (!Match(TokKind::kLParen)) {
+            return SyntaxError(text_, Peek().pos, "expected '(' after abs");
+          }
+          NSE_ASSIGN_OR_RETURN(Term a, ParseAdd());
+          if (!Match(TokKind::kRParen)) {
+            return SyntaxError(text_, Peek().pos, "expected ')'");
+          }
+          return Abs(std::move(a));
+        }
+        if (name == "true" || name == "false") {
+          // Bool constants are formulas, not terms; comparisons with bool
+          // items use `x = true`. Reaching here as a term is legal only on
+          // the RHS of '='; expose as bool Value.
+          Advance();
+          return Const(Value(name == "true"));
+        }
+        auto id = db_.Find(name);
+        if (!id.ok()) {
+          return SyntaxError(text_, tok.pos,
+                             StrCat("unknown data item '", name, "'"));
+        }
+        Advance();
+        return Var(*id);
+      }
+      default:
+        return SyntaxError(text_, tok.pos, "expected a term");
+    }
+  }
+
+  const Database& db_;
+  std::string_view text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> ParseFormula(const Database& db, std::string_view text) {
+  Lexer lexer(text);
+  NSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(db, text, std::move(tokens));
+  return parser.ParseFormulaAll();
+}
+
+Result<Term> ParseTerm(const Database& db, std::string_view text) {
+  Lexer lexer(text);
+  NSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(db, text, std::move(tokens));
+  return parser.ParseTermAll();
+}
+
+}  // namespace nse

@@ -1,0 +1,43 @@
+// Textual syntax for constraints and terms.
+//
+// Grammar (precedence low→high: <-> , -> , | , & , ! , atoms):
+//
+//   formula  := iff
+//   iff      := impl ('<->' impl)*
+//   impl     := or ('->' or)*            (right associative)
+//   or       := and (('|' | 'or') and)*
+//   and      := not (('&' | 'and' | '&&') not)*
+//   not      := ('!' | 'not') not | atom
+//   atom     := 'true' | 'false' | term cmp term | '(' formula ')'
+//   cmp      := '=' | '==' | '!=' | '<' | '<=' | '>' | '>='
+//   term     := add
+//   add      := mul (('+' | '-') mul)*
+//   mul      := unary ('*' unary)*
+//   unary    := '-' unary | primary
+//   primary  := INT | STRING | item-name
+//             | ('min'|'max') '(' term ',' term ')' | 'abs' '(' term ')'
+//             | '(' term ')'
+//
+// Item names are resolved against a Database; unknown names are reported
+// with their source position.
+
+#ifndef NSE_CONSTRAINTS_PARSER_H_
+#define NSE_CONSTRAINTS_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "state/database.h"
+
+namespace nse {
+
+/// Parses a formula such as "(a > 0 -> b > 0) & c > 0".
+Result<Formula> ParseFormula(const Database& db, std::string_view text);
+
+/// Parses a term such as "abs(b) + 1".
+Result<Term> ParseTerm(const Database& db, std::string_view text);
+
+}  // namespace nse
+
+#endif  // NSE_CONSTRAINTS_PARSER_H_

@@ -1,0 +1,303 @@
+#include "constraints/solver.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "constraints/evaluator.h"
+
+namespace nse {
+
+ConsistencyChecker::ConsistencyChecker(const Database& db,
+                                       const IntegrityConstraint& ic)
+    : db_(db), ic_(ic) {}
+
+Result<bool> ConsistencyChecker::Satisfies(const DbState& state) const {
+  for (ItemId item : ic_.constrained_items()) {
+    if (!state.Has(item)) {
+      return Status::FailedPrecondition(
+          StrCat("Satisfies() requires all constrained items assigned; ",
+                 db_.NameOf(item), " is missing"));
+    }
+  }
+  if (!state.RespectsDomains(db_)) return false;
+  for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+    NSE_ASSIGN_OR_RETURN(bool ok, EvalFormula(ic_.conjunct(e), state));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<ItemId> ConsistencyChecker::UnassignedOf(
+    const DataSet& d, const DbState& state) const {
+  std::vector<ItemId> out;
+  for (ItemId item : d) {
+    if (!state.Has(item)) out.push_back(item);
+  }
+  std::stable_sort(out.begin(), out.end(), [this](ItemId a, ItemId b) {
+    return db_.DomainOf(a).size() < db_.DomainOf(b).size();
+  });
+  return out;
+}
+
+bool ConsistencyChecker::SearchExtend(const Formula& formula,
+                                      const std::vector<ItemId>& items,
+                                      size_t idx, DbState& working) const {
+  ++stats_.nodes;
+  Truth truth = EvalFormulaPartial(formula, working);
+  if (truth.has_value()) {
+    if (!*truth) ++stats_.prunes;
+    // If determined true, any domain completion works (domains are
+    // non-empty by construction), so an extension exists.
+    return *truth;
+  }
+  if (idx == items.size()) {
+    // All relevant items assigned yet truth unknown can only stem from a
+    // type error inside the formula; treat as unsatisfied.
+    return false;
+  }
+  ItemId item = items[idx];
+  const Domain& domain = db_.DomainOf(item);
+  for (uint64_t i = 0; i < domain.size(); ++i) {
+    working.Set(item, domain.At(i));
+    if (SearchExtend(formula, items, idx + 1, working)) {
+      working.Unset(item);
+      return true;
+    }
+    working.Unset(item);
+  }
+  return false;
+}
+
+bool ConsistencyChecker::SearchWitness(const Formula& formula,
+                                       const std::vector<ItemId>& items,
+                                       size_t idx, DbState& working) const {
+  ++stats_.nodes;
+  Truth truth = EvalFormulaPartial(formula, working);
+  if (truth.has_value() && !*truth) {
+    ++stats_.prunes;
+    return false;
+  }
+  if (idx == items.size()) {
+    if (truth.has_value() && *truth) {
+      ++stats_.solutions;
+      return true;
+    }
+    return false;
+  }
+  ItemId item = items[idx];
+  const Domain& domain = db_.DomainOf(item);
+  for (uint64_t i = 0; i < domain.size(); ++i) {
+    working.Set(item, domain.At(i));
+    if (SearchWitness(formula, items, idx + 1, working)) return true;
+    working.Unset(item);
+  }
+  return false;
+}
+
+bool ConsistencyChecker::SearchWitnessRandom(const Formula& formula,
+                                             std::vector<ItemId> items,
+                                             DbState& working,
+                                             Rng& rng) const {
+  rng.Shuffle(items);
+  // Recursive lambda with per-level random value rotation.
+  struct Frame {
+    const ConsistencyChecker* self;
+    const Formula* formula;
+    const std::vector<ItemId>* items;
+    Rng* rng;
+    bool Go(size_t idx, DbState& working) const {
+      ++self->stats_.nodes;
+      Truth truth = EvalFormulaPartial(*formula, working);
+      if (truth.has_value() && !*truth) {
+        ++self->stats_.prunes;
+        return false;
+      }
+      if (idx == items->size()) {
+        return truth.has_value() && *truth;
+      }
+      ItemId item = (*items)[idx];
+      const Domain& domain = self->db_.DomainOf(item);
+      uint64_t n = domain.size();
+      uint64_t offset = rng->NextBelow(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        working.Set(item, domain.At((i + offset) % n));
+        if (Go(idx + 1, working)) return true;
+        working.Unset(item);
+      }
+      return false;
+    }
+  };
+  Frame frame{this, &formula, &items, &rng};
+  return frame.Go(0, working);
+}
+
+void ConsistencyChecker::EnumerateBlock(const Formula& formula,
+                                        const std::vector<ItemId>& items,
+                                        size_t idx, DbState& working,
+                                        uint64_t limit,
+                                        std::vector<DbState>& out) const {
+  if (out.size() >= limit) return;
+  ++stats_.nodes;
+  Truth truth = EvalFormulaPartial(formula, working);
+  if (truth.has_value() && !*truth) {
+    ++stats_.prunes;
+    return;
+  }
+  if (idx == items.size()) {
+    if (truth.has_value() && *truth) {
+      ++stats_.solutions;
+      out.push_back(working);
+    }
+    return;
+  }
+  ItemId item = items[idx];
+  const Domain& domain = db_.DomainOf(item);
+  for (uint64_t i = 0; i < domain.size() && out.size() < limit; ++i) {
+    working.Set(item, domain.At(i));
+    EnumerateBlock(formula, items, idx + 1, working, limit, out);
+    working.Unset(item);
+  }
+}
+
+Result<bool> ConsistencyChecker::IsConsistent(const DbState& state) const {
+  if (!state.RespectsDomains(db_)) return false;
+  if (!ic_.disjoint()) return IsConsistentGlobal(state);
+  // Lemma 1: with pairwise-disjoint conjunct data sets, DS is extensible iff
+  // each per-conjunct restriction is extensible.
+  for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+    DbState working = state.Restrict(ic_.data_set(e));
+    std::vector<ItemId> todo = UnassignedOf(ic_.data_set(e), working);
+    if (!SearchExtend(ic_.conjunct(e), todo, 0, working)) return false;
+  }
+  return true;
+}
+
+Result<bool> ConsistencyChecker::IsConsistentGlobal(
+    const DbState& state) const {
+  if (!state.RespectsDomains(db_)) return false;
+  DbState working = state.Restrict(ic_.constrained_items());
+  std::vector<ItemId> todo = UnassignedOf(ic_.constrained_items(), working);
+  Formula all = ic_.AsFormula();
+  return SearchExtend(all, todo, 0, working);
+}
+
+Result<std::optional<DbState>> ConsistencyChecker::FindConsistentExtension(
+    const DbState& state) const {
+  if (!state.RespectsDomains(db_)) return std::optional<DbState>();
+  DbState witness = state;
+  if (ic_.disjoint()) {
+    for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+      DbState working = state.Restrict(ic_.data_set(e));
+      std::vector<ItemId> todo = UnassignedOf(ic_.data_set(e), working);
+      if (!SearchWitness(ic_.conjunct(e), todo, 0, working)) {
+        return std::optional<DbState>();
+      }
+      witness = DbState::Override(witness, working);
+    }
+  } else {
+    DbState working = state.Restrict(ic_.constrained_items());
+    std::vector<ItemId> todo = UnassignedOf(ic_.constrained_items(), working);
+    Formula all = ic_.AsFormula();
+    if (!SearchWitness(all, todo, 0, working)) {
+      return std::optional<DbState>();
+    }
+    witness = DbState::Override(witness, working);
+  }
+  // Complete unconstrained items with their first domain value.
+  for (ItemId item = 0; item < db_.num_items(); ++item) {
+    if (!witness.Has(item)) witness.Set(item, db_.DomainOf(item).At(0));
+  }
+  return std::optional<DbState>(witness);
+}
+
+Result<DbState> ConsistencyChecker::SampleConsistentState(Rng& rng) const {
+  DbState out;
+  if (ic_.disjoint()) {
+    for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+      DbState working;
+      std::vector<ItemId> items(ic_.data_set(e).items());
+      if (!SearchWitnessRandom(ic_.conjunct(e), items, working, rng)) {
+        return Status::FailedPrecondition(
+            StrCat("conjunct ", e, " is unsatisfiable over its domains"));
+      }
+      out = DbState::Override(out, working);
+    }
+  } else {
+    DbState working;
+    std::vector<ItemId> items(ic_.constrained_items().items());
+    Formula all = ic_.AsFormula();
+    if (!SearchWitnessRandom(all, items, working, rng)) {
+      return Status::FailedPrecondition(
+          "the IC is unsatisfiable over its domains");
+    }
+    out = working;
+  }
+  for (ItemId item = 0; item < db_.num_items(); ++item) {
+    if (!out.Has(item)) {
+      const Domain& domain = db_.DomainOf(item);
+      out.Set(item, domain.At(rng.NextBelow(domain.size())));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentStates(
+    uint64_t limit) const {
+  // Blocks: one per conjunct (or one global block when overlapping), plus
+  // one block for unconstrained items.
+  struct Block {
+    Formula formula;
+    std::vector<ItemId> items;
+  };
+  std::vector<Block> blocks;
+  if (ic_.disjoint()) {
+    for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+      blocks.push_back({ic_.conjunct(e), ic_.data_set(e).items()});
+    }
+  } else {
+    blocks.push_back({ic_.AsFormula(), ic_.constrained_items().items()});
+  }
+  std::vector<ItemId> unconstrained;
+  for (ItemId item = 0; item < db_.num_items(); ++item) {
+    if (!ic_.constrained_items().Contains(item)) unconstrained.push_back(item);
+  }
+  if (!unconstrained.empty()) {
+    blocks.push_back({True(), std::move(unconstrained)});
+  }
+
+  // Enumerate each block's satisfying assignments, then take the cross
+  // product (bounded by `limit`).
+  std::vector<std::vector<DbState>> per_block;
+  for (const Block& block : blocks) {
+    std::vector<DbState> assignments;
+    DbState working;
+    EnumerateBlock(block.formula, block.items, 0, working, limit, assignments);
+    if (assignments.empty()) return std::vector<DbState>{};
+    per_block.push_back(std::move(assignments));
+  }
+
+  std::vector<DbState> out;
+  std::vector<size_t> cursor(per_block.size(), 0);
+  while (out.size() < limit) {
+    DbState state;
+    for (size_t b = 0; b < per_block.size(); ++b) {
+      state = DbState::Override(state, per_block[b][cursor[b]]);
+    }
+    out.push_back(std::move(state));
+    // Odometer increment.
+    size_t b = per_block.size();
+    while (b > 0) {
+      --b;
+      if (++cursor[b] < per_block[b].size()) break;
+      cursor[b] = 0;
+      if (b == 0) return out;  // wrapped around: complete
+    }
+  }
+  return out;
+}
+
+Result<bool> ConsistencyChecker::IsSatisfiable() const {
+  return IsConsistent(DbState());
+}
+
+}  // namespace nse

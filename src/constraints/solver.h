@@ -1,0 +1,121 @@
+// ConsistencyChecker: the oracle for the paper's two consistency notions
+// (§2.1).
+//
+//  * A *total* state DS is consistent iff DS ⊨ IC.
+//  * A *restriction* DS^d is consistent iff there exists a consistent total
+//    state DS1 with DS1^d = DS^d (i.e. the partial state is extensible).
+//
+// Extensibility is decided exactly by backtracking search over the declared
+// finite domains. When the conjunct data sets are disjoint — the paper's
+// standing assumption — Lemma 1 lets the search decompose per conjunct,
+// which is both the correctness argument and the key performance lever
+// (ablation A1 in DESIGN.md measures it against the global search).
+
+#ifndef NSE_CONSTRAINTS_SOLVER_H_
+#define NSE_CONSTRAINTS_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "constraints/integrity_constraint.h"
+#include "state/db_state.h"
+
+namespace nse {
+
+/// Search effort counters (reset with ResetStats()).
+struct SolverStats {
+  uint64_t nodes = 0;       ///< search-tree nodes visited
+  uint64_t prunes = 0;      ///< branches cut by partial evaluation
+  uint64_t solutions = 0;   ///< satisfying assignments found
+};
+
+/// Decides consistency questions for one (Database, IntegrityConstraint)
+/// pair. Thread-compatible (not thread-safe: stats are mutated).
+class ConsistencyChecker {
+ public:
+  ConsistencyChecker(const Database& db, const IntegrityConstraint& ic);
+
+  /// Total satisfaction DS ⊨ IC. Every constrained item must be assigned;
+  /// otherwise FailedPrecondition.
+  Result<bool> Satisfies(const DbState& state) const;
+
+  /// The paper's consistency for a possibly partial state: does a consistent
+  /// total extension exist? Values outside their item's domain make the
+  /// state inconsistent (states range over domains by definition).
+  ///
+  /// Uses the Lemma 1 per-conjunct decomposition when conjuncts are
+  /// disjoint, and global search otherwise.
+  Result<bool> IsConsistent(const DbState& state) const;
+
+  /// Like IsConsistent but always searches globally over all constrained
+  /// items (ablation baseline; also the only sound mode for overlapping
+  /// conjuncts).
+  Result<bool> IsConsistentGlobal(const DbState& state) const;
+
+  /// A consistent total state extending `state` (over all database items),
+  /// or nullopt if none exists.
+  Result<std::optional<DbState>> FindConsistentExtension(
+      const DbState& state) const;
+
+  /// A pseudo-random consistent total state. FailedPrecondition if the IC is
+  /// unsatisfiable over the domains.
+  Result<DbState> SampleConsistentState(Rng& rng) const;
+
+  /// Up to `limit` consistent total states, in lexicographic item/value
+  /// order. If exactly `limit` states are returned the enumeration may be
+  /// incomplete.
+  Result<std::vector<DbState>> EnumerateConsistentStates(
+      uint64_t limit) const;
+
+  /// True iff some consistent total state exists.
+  Result<bool> IsSatisfiable() const;
+
+  /// Search effort since the last ResetStats().
+  const SolverStats& stats() const { return stats_; }
+  /// Zeroes the effort counters.
+  void ResetStats() { stats_ = SolverStats(); }
+
+  /// The catalog this checker reads domains from.
+  const Database& database() const { return db_; }
+  /// The constraint this checker decides.
+  const IntegrityConstraint& constraint() const { return ic_; }
+
+ private:
+  /// True iff `formula` has a satisfying total extension of `working` over
+  /// `items[idx..]` (items already assigned in `working` are fixed).
+  bool SearchExtend(const Formula& formula,
+                    const std::vector<ItemId>& items, size_t idx,
+                    DbState& working) const;
+
+  /// Completes `working` over `items[idx..]` into a satisfying assignment;
+  /// false if impossible. On success `working` holds the witness.
+  bool SearchWitness(const Formula& formula,
+                     const std::vector<ItemId>& items, size_t idx,
+                     DbState& working) const;
+
+  /// Randomized witness search (shuffled item order, rotated value order).
+  bool SearchWitnessRandom(const Formula& formula, std::vector<ItemId> items,
+                           DbState& working, Rng& rng) const;
+
+  /// Appends total assignments over `items` satisfying `formula` (extending
+  /// `working`) to `out`, up to `limit` entries in total.
+  void EnumerateBlock(const Formula& formula,
+                      const std::vector<ItemId>& items, size_t idx,
+                      DbState& working, uint64_t limit,
+                      std::vector<DbState>& out) const;
+
+  /// Items of `d` not yet assigned in `state`, cheapest domains first.
+  std::vector<ItemId> UnassignedOf(const DataSet& d,
+                                   const DbState& state) const;
+
+  const Database& db_;
+  const IntegrityConstraint& ic_;
+  mutable SolverStats stats_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_CONSTRAINTS_SOLVER_H_

@@ -1,0 +1,56 @@
+// Umbrella header for the nse library — everything needed to model,
+// execute, and certify non-serializable executions per Rastogi et al.,
+// "On Correctness of Non-serializable Executions" (PODS '93 / JCSS '98).
+//
+// Typical flow:
+//   1. Describe the database (Database, Domain) and the integrity
+//      constraint (IntegrityConstraint::Parse).
+//   2. Write transaction programs (TransactionProgram, MustAssign/MustIf)
+//      or raw schedules (ScheduleBuilder).
+//   3. Execute concurrently (Interleave / RunSimulation with a
+//      SchedulerPolicy) to obtain value-carrying schedules.
+//   4. Certify: CheckPwsr, IsDelayedRead, DataAccessGraph, AnalyzeStructure,
+//      Certify (Theorems 1–3), CheckExecution (Definition 1).
+
+#ifndef NSE_NSE_H_
+#define NSE_NSE_H_
+
+#include "analysis/access_graph.h"
+#include "analysis/conflict_graph.h"
+#include "analysis/delayed_read.h"
+#include "analysis/fixed_structure.h"
+#include "analysis/pwsr.h"
+#include "analysis/reads_from.h"
+#include "analysis/serializability.h"
+#include "analysis/strong_correctness.h"
+#include "analysis/theorems.h"
+#include "analysis/txn_state.h"
+#include "analysis/view_set.h"
+#include "analysis/violation_search.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "constraints/ast.h"
+#include "constraints/evaluator.h"
+#include "constraints/integrity_constraint.h"
+#include "constraints/parser.h"
+#include "constraints/solver.h"
+#include "scheduler/dr_scheduler.h"
+#include "scheduler/lock_manager.h"
+#include "scheduler/metrics.h"
+#include "scheduler/pw_two_phase_locking.h"
+#include "scheduler/scheduler.h"
+#include "scheduler/sim.h"
+#include "scheduler/two_phase_locking.h"
+#include "scheduler/workload.h"
+#include "state/database.h"
+#include "state/db_state.h"
+#include "state/domain.h"
+#include "state/value.h"
+#include "txn/interleaver.h"
+#include "txn/operation.h"
+#include "txn/program.h"
+#include "txn/schedule.h"
+#include "txn/transaction.h"
+
+#endif  // NSE_NSE_H_

@@ -1,0 +1,119 @@
+#include "paper/paper_examples.h"
+
+#include "common/logging.h"
+
+namespace nse::paper {
+
+namespace {
+
+Database SmallDb(std::initializer_list<const char*> names, int64_t lo,
+                 int64_t hi) {
+  Database db;
+  for (const char* name : names) {
+    auto id = db.AddItem(name, Domain::IntRange(lo, hi));
+    NSE_CHECK(id.ok());
+  }
+  return db;
+}
+
+IntegrityConstraint MustParseIc(const Database& db, const char* text,
+                                ConjunctOverlap overlap) {
+  auto ic = IntegrityConstraint::Parse(db, text, overlap);
+  NSE_CHECK_MSG(ic.ok(), "IC parse: %s", ic.status().ToString().c_str());
+  return std::move(ic).value();
+}
+
+}  // namespace
+
+Example1 Example1::Make() {
+  Example1 ex;
+  ex.db = SmallDb({"a", "b", "c", "d"}, -32, 32);
+  ex.ds1 = DbState::OfNamed(ex.db, {{"a", Value(0)},
+                                    {"b", Value(10)},
+                                    {"c", Value(5)},
+                                    {"d", Value(10)}});
+  ex.tp1 = TransactionProgram(
+      "TP1", {MustIf(ex.db, "a >= 0", {MustAssign(ex.db, "b", "c")},
+                     {MustAssign(ex.db, "c", "d")})});
+  ex.tp2 = TransactionProgram("TP2", {MustAssign(ex.db, "d", "a")});
+  // S: r1(a,0) r2(a,0) w2(d,0) r1(c,5) w1(b,5).
+  ex.choices = {0, 1, 1, 0, 0};
+  ex.ds2_expected = DbState::OfNamed(ex.db, {{"a", Value(0)},
+                                             {"b", Value(5)},
+                                             {"c", Value(5)},
+                                             {"d", Value(0)}});
+  return ex;
+}
+
+Example2 Example2::Make() {
+  Example2 ex;
+  ex.db = SmallDb({"a", "b", "c"}, -8, 8);
+  ex.ic = MustParseIc(ex.db, "(a > 0 -> b > 0) & c > 0",
+                      ConjunctOverlap::kReject);
+  ex.ds0 = DbState::OfNamed(
+      ex.db, {{"a", Value(-1)}, {"b", Value(-1)}, {"c", Value(1)}});
+  ex.tp1 = TransactionProgram(
+      "TP1", {MustAssign(ex.db, "a", "1"),
+              MustIf(ex.db, "c > 0",
+                     {MustAssign(ex.db, "b", "abs(b) + 1")})});
+  ex.tp2 = TransactionProgram(
+      "TP2", {MustIf(ex.db, "a > 0", {MustAssign(ex.db, "c", "b")})});
+  ex.tp1_fixed = TransactionProgram(
+      "TP1'", {MustAssign(ex.db, "a", "1"),
+               MustIf(ex.db, "c > 0",
+                      {MustAssign(ex.db, "b", "abs(b) + 1")},
+                      {MustAssign(ex.db, "b", "b")})});
+  // S: w1(a,1) r2(a,1) r2(b,-1) w2(c,-1) r1(c,-1).
+  ex.choices = {0, 1, 1, 1, 0};
+  ex.ds2_expected = DbState::OfNamed(
+      ex.db, {{"a", Value(1)}, {"b", Value(-1)}, {"c", Value(-1)}});
+  return ex;
+}
+
+Example4 Example4::Make() {
+  Example4 ex;
+  ex.db = SmallDb({"a", "b", "c"}, -8, 8);
+  // One conjunct over {a, b, c}: the example is about joint consistency of
+  // DS1^d ∪ read(T1), not about conjunct partitioning.
+  ex.ic = MustParseIc(ex.db, "a = b & b = c", ConjunctOverlap::kAllow);
+  {
+    // a = b and b = c share item b; fold them into a single conjunct so the
+    // standing disjointness assumption holds.
+    auto folded = IntegrityConstraint::FromConjuncts(
+        ex.db, {And(ex.ic->conjunct(0), ex.ic->conjunct(1))});
+    NSE_CHECK(folded.ok());
+    ex.ic = std::move(folded).value();
+  }
+  ex.ds1 = DbState::OfNamed(
+      ex.db, {{"a", Value(-1)}, {"b", Value(-1)}, {"c", Value(1)}});
+  ex.tp1 = TransactionProgram("TP1", {MustAssign(ex.db, "a", "c")});
+  ex.d = ex.db.SetOf({"a", "b"});
+  ex.ds2_expected = DbState::OfNamed(
+      ex.db, {{"a", Value(1)}, {"b", Value(-1)}, {"c", Value(1)}});
+  return ex;
+}
+
+Example5 Example5::Make() {
+  Example5 ex;
+  ex.db = SmallDb({"a", "b", "c", "d"}, -64, 64);
+  ex.ic = MustParseIc(ex.db, "a > b & a = c & d > 0",
+                      ConjunctOverlap::kAllow);
+  ex.ds0 = DbState::OfNamed(ex.db, {{"a", Value(10)},
+                                    {"b", Value(0)},
+                                    {"c", Value(10)},
+                                    {"d", Value(5)}});
+  ex.tp1 = TransactionProgram("TP1", {MustAssign(ex.db, "b", "c - 5")});
+  ex.tp2 = TransactionProgram("TP2", {MustAssign(ex.db, "a", "c + 20"),
+                                      MustAssign(ex.db, "c", "c + 20")});
+  ex.tp3 = TransactionProgram("TP3", {MustAssign(ex.db, "d", "a - b")});
+  // S: r3(a,10) r2(c,10) w2(a,30) w2(c,30) r1(c,30) w1(b,25) r3(b,25)
+  //    w3(d,-15).    (programs indexed 0=TP1, 1=TP2, 2=TP3)
+  ex.choices = {2, 1, 1, 1, 0, 0, 2, 2};
+  ex.ds2_expected = DbState::OfNamed(ex.db, {{"a", Value(30)},
+                                             {"b", Value(25)},
+                                             {"c", Value(30)},
+                                             {"d", Value(-15)}});
+  return ex;
+}
+
+}  // namespace nse::paper

@@ -1,0 +1,64 @@
+#include "scheduler/dr_scheduler.h"
+
+namespace nse {
+
+std::optional<TxnId> DelayedReadScheduler::DirtyWriter(ItemId item) const {
+  auto it = last_writer_.find(item);
+  if (it == last_writer_.end()) return std::nullopt;
+  if (incomplete_.count(it->second) == 0) return std::nullopt;
+  return it->second;
+}
+
+SchedulerDecision DelayedReadScheduler::OnAccess(TxnId txn,
+                                                 const TxnScript& script,
+                                                 size_t step) {
+  const AccessStep& access = script.steps[step];
+  if (access.action == OpAction::kRead) {
+    auto dirty = DirtyWriter(access.item);
+    if (dirty.has_value() && *dirty != txn) return SchedulerDecision::kWait;
+  }
+  SchedulerDecision decision = inner_.OnAccess(txn, script, step);
+  if (decision == SchedulerDecision::kProceed) {
+    incomplete_.insert(txn);
+    if (access.action == OpAction::kWrite) last_writer_[access.item] = txn;
+  }
+  return decision;
+}
+
+void DelayedReadScheduler::AfterAccess(TxnId txn, const TxnScript& script,
+                                       size_t step) {
+  inner_.AfterAccess(txn, script, step);
+}
+
+void DelayedReadScheduler::OnComplete(TxnId txn) {
+  incomplete_.erase(txn);
+  inner_.OnComplete(txn);
+}
+
+void DelayedReadScheduler::OnAbort(TxnId txn) {
+  incomplete_.erase(txn);
+  // Remove the aborted transaction's dirty marks; its writes are undone by
+  // the restart semantics of the simulator.
+  for (auto it = last_writer_.begin(); it != last_writer_.end();) {
+    if (it->second == txn) {
+      it = last_writer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  inner_.OnAbort(txn);
+}
+
+std::vector<TxnId> DelayedReadScheduler::Blockers(TxnId txn,
+                                                  const TxnScript& script,
+                                                  size_t step) const {
+  const AccessStep& access = script.steps[step];
+  std::vector<TxnId> blockers = inner_.Blockers(txn, script, step);
+  if (access.action == OpAction::kRead) {
+    auto dirty = DirtyWriter(access.item);
+    if (dirty.has_value() && *dirty != txn) blockers.push_back(*dirty);
+  }
+  return blockers;
+}
+
+}  // namespace nse

@@ -1,0 +1,45 @@
+// Delayed-read scheduling (§3.2): predicate-wise 2PL augmented with
+// commit-gated reads — a transaction may not read an item whose most recent
+// writer has not yet completed, even if the writer's lock was already
+// released by the per-conjunct shrinking phase. The produced schedules are
+// PWSR ∧ DR, the hypothesis of Theorem 2, without any restriction on
+// transaction programs.
+
+#ifndef NSE_SCHEDULER_DR_SCHEDULER_H_
+#define NSE_SCHEDULER_DR_SCHEDULER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "scheduler/pw_two_phase_locking.h"
+
+namespace nse {
+
+/// PW-2PL + delayed reads.
+class DelayedReadScheduler : public SchedulerPolicy {
+ public:
+  explicit DelayedReadScheduler(const IntegrityConstraint* ic) : inner_(ic) {}
+
+  std::string name() const override { return "pw-2pl+dr"; }
+
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                             size_t step) override;
+  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
+  void OnComplete(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                              size_t step) const override;
+
+ private:
+  /// The incomplete transaction that last wrote `item`, if any.
+  std::optional<TxnId> DirtyWriter(ItemId item) const;
+
+  PredicatewiseTwoPhaseLocking inner_;
+  std::map<ItemId, TxnId> last_writer_;   // most recent writer per item
+  std::set<TxnId> incomplete_;            // writers still running
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_DR_SCHEDULER_H_

@@ -1,0 +1,95 @@
+#include "scheduler/lock_manager.h"
+
+namespace nse {
+
+bool LockManager::TryAcquire(TxnId txn, ItemId item, LockMode mode) {
+  ItemLock& lock = locks_[item];
+  if (mode == LockMode::kShared) {
+    if (lock.has_exclusive) return lock.exclusive == txn;
+    lock.shared.insert(txn);
+    return true;
+  }
+  // Exclusive request.
+  if (lock.has_exclusive) return lock.exclusive == txn;
+  if (lock.shared.empty() ||
+      (lock.shared.size() == 1 && lock.shared.count(txn) == 1)) {
+    lock.shared.erase(txn);
+    lock.has_exclusive = true;
+    lock.exclusive = txn;
+    return true;
+  }
+  return false;
+}
+
+std::vector<TxnId> LockManager::Blockers(TxnId txn, ItemId item,
+                                         LockMode mode) const {
+  std::vector<TxnId> out;
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return out;
+  const ItemLock& lock = it->second;
+  if (mode == LockMode::kShared) {
+    if (lock.has_exclusive && lock.exclusive != txn) {
+      out.push_back(lock.exclusive);
+    }
+    return out;
+  }
+  if (lock.has_exclusive) {
+    if (lock.exclusive != txn) out.push_back(lock.exclusive);
+    return out;
+  }
+  for (TxnId holder : lock.shared) {
+    if (holder != txn) out.push_back(holder);
+  }
+  return out;
+}
+
+void LockManager::Release(TxnId txn, ItemId item) {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return;
+  ItemLock& lock = it->second;
+  lock.shared.erase(txn);
+  if (lock.has_exclusive && lock.exclusive == txn) {
+    lock.has_exclusive = false;
+    lock.exclusive = 0;
+  }
+  if (!lock.has_exclusive && lock.shared.empty()) locks_.erase(it);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    ItemLock& lock = it->second;
+    lock.shared.erase(txn);
+    if (lock.has_exclusive && lock.exclusive == txn) {
+      lock.has_exclusive = false;
+      lock.exclusive = 0;
+    }
+    if (!lock.has_exclusive && lock.shared.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockManager::ReleaseAllIn(TxnId txn, const DataSet& d) {
+  for (ItemId item : d) Release(txn, item);
+}
+
+bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return false;
+  const ItemLock& lock = it->second;
+  if (lock.has_exclusive && lock.exclusive == txn) return true;
+  if (mode == LockMode::kShared) return lock.shared.count(txn) == 1;
+  return false;
+}
+
+size_t LockManager::num_locks() const {
+  size_t n = 0;
+  for (const auto& [item, lock] : locks_) {
+    n += lock.shared.size() + (lock.has_exclusive ? 1 : 0);
+  }
+  return n;
+}
+
+}  // namespace nse

@@ -1,0 +1,60 @@
+// Item-granularity lock manager with shared/exclusive modes, lock upgrade,
+// and blocker reporting for waits-for deadlock detection.
+
+#ifndef NSE_SCHEDULER_LOCK_MANAGER_H_
+#define NSE_SCHEDULER_LOCK_MANAGER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "state/database.h"
+#include "txn/operation.h"
+
+namespace nse {
+
+/// Lock modes.
+enum class LockMode { kShared, kExclusive };
+
+/// Tracks which transaction holds which lock. Grant decisions are immediate
+/// (no internal queueing); callers poll, which matches the tick-based
+/// simulator.
+class LockManager {
+ public:
+  /// Attempts to acquire `item` in `mode` for `txn`. Re-entrant: holding X
+  /// satisfies an S request; holding S upgrades to X when `txn` is the sole
+  /// holder. Returns true iff granted.
+  bool TryAcquire(TxnId txn, ItemId item, LockMode mode);
+
+  /// Transactions currently preventing the grant (empty iff TryAcquire
+  /// would succeed).
+  std::vector<TxnId> Blockers(TxnId txn, ItemId item, LockMode mode) const;
+
+  /// Releases `txn`'s lock on `item` (no-op if not held).
+  void Release(TxnId txn, ItemId item);
+
+  /// Releases every lock held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// Releases `txn`'s locks on all items of `d`.
+  void ReleaseAllIn(TxnId txn, const DataSet& d);
+
+  /// True iff `txn` holds a lock on `item` at least as strong as `mode`.
+  bool Holds(TxnId txn, ItemId item, LockMode mode) const;
+
+  /// Number of (txn, item) lock grants outstanding.
+  size_t num_locks() const;
+
+ private:
+  struct ItemLock {
+    std::set<TxnId> shared;
+    TxnId exclusive = 0;
+    bool has_exclusive = false;
+  };
+
+  std::map<ItemId, ItemLock> locks_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_LOCK_MANAGER_H_

@@ -1,0 +1,59 @@
+// Aggregation and table rendering for benchmark output.
+
+#ifndef NSE_SCHEDULER_METRICS_H_
+#define NSE_SCHEDULER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nse {
+
+/// Streaming summary of a numeric series.
+class SeriesSummary {
+ public:
+  /// Adds an observation.
+  void Add(double x);
+
+  /// Number of observations.
+  uint64_t count() const { return count_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const;
+  /// Minimum (0 when empty).
+  double min() const { return count_ == 0 ? 0 : min_; }
+  /// Maximum (0 when empty).
+  double max() const { return count_ == 0 ? 0 : max_; }
+  /// Sum of observations.
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed-width text tables, used by the bench binaries to print the rows a
+/// paper table would contain.
+class TablePrinter {
+ public:
+  /// Sets the column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row (cells are pre-rendered strings).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a double with `digits` fractional digits.
+std::string FormatDouble(double x, int digits = 2);
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_METRICS_H_

@@ -1,0 +1,47 @@
+#include "scheduler/pw_two_phase_locking.h"
+
+namespace nse {
+
+namespace {
+LockMode ModeFor(OpAction action) {
+  return action == OpAction::kRead ? LockMode::kShared : LockMode::kExclusive;
+}
+}  // namespace
+
+SchedulerDecision PredicatewiseTwoPhaseLocking::OnAccess(
+    TxnId txn, const TxnScript& script, size_t step) {
+  const AccessStep& access = script.steps[step];
+  return locks_.TryAcquire(txn, access.item, ModeFor(access.action))
+             ? SchedulerDecision::kProceed
+             : SchedulerDecision::kWait;
+}
+
+void PredicatewiseTwoPhaseLocking::AfterAccess(TxnId txn,
+                                               const TxnScript& script,
+                                               size_t step) {
+  // If this was the last access of the transaction to the conjunct of the
+  // touched item, the per-conjunct shrinking phase begins: release every
+  // lock on that conjunct's data set.
+  auto conjunct = ic_->ConjunctOf(script.steps[step].item);
+  if (!conjunct.has_value()) return;  // unconstrained item: hold to the end
+  const DataSet& d = ic_->data_set(*conjunct);
+  if (script.LastStepTouching(d) == step) {
+    locks_.ReleaseAllIn(txn, d);
+  }
+}
+
+void PredicatewiseTwoPhaseLocking::OnComplete(TxnId txn) {
+  locks_.ReleaseAll(txn);
+}
+
+void PredicatewiseTwoPhaseLocking::OnAbort(TxnId txn) {
+  locks_.ReleaseAll(txn);
+}
+
+std::vector<TxnId> PredicatewiseTwoPhaseLocking::Blockers(
+    TxnId txn, const TxnScript& script, size_t step) const {
+  const AccessStep& access = script.steps[step];
+  return locks_.Blockers(txn, access.item, ModeFor(access.action));
+}
+
+}  // namespace nse

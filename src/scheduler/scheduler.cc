@@ -1,0 +1,13 @@
+#include "scheduler/scheduler.h"
+
+namespace nse {
+
+size_t TxnScript::LastStepTouching(const DataSet& d) const {
+  size_t last = SIZE_MAX;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (d.Contains(steps[i].item)) last = i;
+  }
+  return last;
+}
+
+}  // namespace nse

@@ -1,0 +1,78 @@
+// Scheduler substrate: the runnable counterpart of the paper's schedule
+// classes. Transactions are *scripts* — access plans (action, item) known up
+// front, i.e. the straight-line / fixed-structure setting of Theorem 1 and
+// of [14] — and a SchedulerPolicy decides, operation by operation, whether
+// a transaction may proceed. The simulator (sim.h) drives policies in
+// simulated time and emits both performance metrics and the (structural)
+// schedule produced, so every checker in src/analysis can audit scheduler
+// output.
+
+#ifndef NSE_SCHEDULER_SCHEDULER_H_
+#define NSE_SCHEDULER_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "state/database.h"
+#include "txn/operation.h"
+
+namespace nse {
+
+/// One planned access of a scripted transaction.
+struct AccessStep {
+  OpAction action = OpAction::kRead;
+  ItemId item = 0;
+};
+
+/// A scripted transaction: its full access plan plus arrival time.
+struct TxnScript {
+  std::vector<AccessStep> steps;
+  uint64_t arrival_tick = 0;
+
+  /// Index of the last step touching an item of `d`, or SIZE_MAX if none.
+  size_t LastStepTouching(const DataSet& d) const;
+};
+
+/// Verdict of a policy for an access request.
+enum class SchedulerDecision {
+  kProceed,  ///< perform the operation now
+  kWait,     ///< blocked; retry later
+};
+
+/// A pluggable concurrency-control policy.
+///
+/// The simulator calls OnAccess before a transaction's next step; if it
+/// returns kProceed the step executes and AfterAccess runs. OnComplete /
+/// OnAbort end a transaction's footprint (an aborted transaction restarts
+/// from its first step with the same id).
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Human-readable policy name (appears in benchmark output).
+  virtual std::string name() const = 0;
+
+  /// May transaction `txn` perform `script.steps[step]` now?
+  virtual SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                                     size_t step) = 0;
+
+  /// Called after the step executed (release point for non-strict policies).
+  virtual void AfterAccess(TxnId txn, const TxnScript& script,
+                           size_t step) = 0;
+
+  /// Called when `txn` performed its last step.
+  virtual void OnComplete(TxnId txn) = 0;
+
+  /// Called when `txn` is chosen as a deadlock victim.
+  virtual void OnAbort(TxnId txn) = 0;
+
+  /// Transactions currently blocking `txn`'s pending request (for deadlock
+  /// detection). Only meaningful right after OnAccess returned kWait.
+  virtual std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                                      size_t step) const = 0;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_SCHEDULER_H_

@@ -1,0 +1,197 @@
+#include "scheduler/sim.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+struct TxnRuntime {
+  size_t pc = 0;          // next step index
+  bool done = false;
+  bool blocked = false;   // last OnAccess returned kWait
+  uint64_t wait_ticks = 0;
+  uint64_t completion_tick = 0;
+  uint64_t resume_tick = 0;  // abort backoff: idle until this tick
+  uint64_t abort_count = 0;
+};
+
+/// Finds a cycle in the waits-for graph (edges u → each blocker of u) and
+/// returns the largest txn id on it, or 0 if none.
+TxnId PickDeadlockVictim(const std::vector<std::vector<TxnId>>& waits_for) {
+  size_t n = waits_for.size();  // indexed by txn id (1-based, slot 0 unused)
+  std::vector<int> color(n, 0);
+  std::vector<TxnId> stack;
+  TxnId victim = 0;
+  // DFS detecting a back edge; on detection, take the max id on the cycle.
+  struct Dfs {
+    const std::vector<std::vector<TxnId>>& graph;
+    std::vector<int>& color;
+    std::vector<TxnId>& stack;
+    TxnId& victim;
+    bool Visit(TxnId u) {
+      color[u] = 1;
+      stack.push_back(u);
+      for (TxnId v : graph[u]) {
+        if (color[v] == 1) {
+          // Cycle: suffix of stack from v.
+          TxnId best = v;
+          for (size_t i = stack.size(); i-- > 0;) {
+            best = std::max(best, stack[i]);
+            if (stack[i] == v) break;
+          }
+          victim = best;
+          return true;
+        }
+        if (color[v] == 0 && Visit(v)) return true;
+      }
+      stack.pop_back();
+      color[u] = 2;
+      return false;
+    }
+  };
+  Dfs dfs{waits_for, color, stack, victim};
+  for (TxnId u = 1; u < n; ++u) {
+    if (color[u] == 0 && dfs.Visit(u)) break;
+  }
+  return victim;
+}
+
+}  // namespace
+
+Result<SimResult> RunSimulation(SchedulerPolicy& policy,
+                                const std::vector<TxnScript>& scripts,
+                                const SimConfig& config) {
+  const size_t n = scripts.size();
+  std::vector<TxnRuntime> runtime(n);
+  OpSequence trace;
+  SimResult result;
+
+  auto all_done = [&]() {
+    for (const auto& rt : runtime) {
+      if (!rt.done) return false;
+    }
+    return true;
+  };
+
+  uint64_t tick = 0;
+  for (; tick < config.max_ticks; ++tick) {
+    if (all_done()) break;
+    bool progress = false;
+    bool pending_arrival = false;
+
+    for (size_t k = 0; k < n; ++k) {
+      // Rotate the scan origin for fairness while staying deterministic.
+      size_t i = (k + static_cast<size_t>(tick)) % n;
+      TxnRuntime& rt = runtime[i];
+      const TxnScript& script = scripts[i];
+      TxnId txn = static_cast<TxnId>(i + 1);
+      if (rt.done) continue;
+      if (script.arrival_tick > tick || rt.resume_tick > tick) {
+        pending_arrival = true;
+        continue;
+      }
+      if (script.steps.empty()) {
+        policy.OnComplete(txn);
+        rt.done = true;
+        rt.completion_tick = tick;
+        ++result.completed;
+        progress = true;
+        continue;
+      }
+      SchedulerDecision decision = policy.OnAccess(txn, script, rt.pc);
+      if (decision == SchedulerDecision::kWait) {
+        rt.blocked = true;
+        ++rt.wait_ticks;
+        continue;
+      }
+      rt.blocked = false;
+      const AccessStep& step = script.steps[rt.pc];
+      // Structural trace values: reads 0, writes the current tick (distinct
+      // values keep traces readable; checkers ignore them).
+      trace.push_back(step.action == OpAction::kRead
+                          ? Operation::Read(txn, step.item, Value(0))
+                          : Operation::Write(
+                                txn, step.item,
+                                Value(static_cast<int64_t>(tick))));
+      policy.AfterAccess(txn, script, rt.pc);
+      ++rt.pc;
+      progress = true;
+      if (rt.pc == script.steps.size()) {
+        policy.OnComplete(txn);
+        rt.done = true;
+        rt.completion_tick = tick;
+        ++result.completed;
+      }
+    }
+
+    if (progress) continue;
+
+    // No transaction moved: look for a deadlock among blocked transactions.
+    std::vector<std::vector<TxnId>> waits_for(n + 1);
+    bool any_blocked = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (runtime[i].done || scripts[i].arrival_tick > tick ||
+          runtime[i].resume_tick > tick) {
+        continue;
+      }
+      if (!runtime[i].blocked) continue;
+      any_blocked = true;
+      waits_for[i + 1] =
+          policy.Blockers(static_cast<TxnId>(i + 1), scripts[i],
+                          runtime[i].pc);
+    }
+    if (!any_blocked) {
+      if (pending_arrival) continue;  // quiet tick before arrivals
+      return Status::Internal("simulation stalled with no blocked txn");
+    }
+    TxnId victim = PickDeadlockVictim(waits_for);
+    if (victim == 0) {
+      if (pending_arrival) continue;  // blockers will arrive and finish
+      return Status::Internal(
+          "simulation stalled: blocked transactions but no waits-for cycle");
+    }
+    // Abort and restart the victim: undo its trace, rewind, and back off so
+    // the surviving transactions drain before it re-enters (otherwise the
+    // same cycle can re-form forever).
+    policy.OnAbort(victim);
+    trace.erase(std::remove_if(trace.begin(), trace.end(),
+                               [victim](const Operation& op) {
+                                 return op.txn == victim;
+                               }),
+                trace.end());
+    TxnRuntime& vrt = runtime[victim - 1];
+    vrt.pc = 0;
+    vrt.blocked = false;
+    ++vrt.abort_count;
+    uint64_t backoff = std::min<uint64_t>(2 + 4 * vrt.abort_count, 128);
+    vrt.resume_tick = tick + backoff;
+    ++result.aborts;
+  }
+
+  if (!all_done()) {
+    return Status::Internal(
+        StrCat("simulation exceeded max_ticks=", config.max_ticks));
+  }
+
+  result.makespan = tick;
+  result.total_ops = trace.size();
+  double response_sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    result.total_wait_ticks += runtime[i].wait_ticks;
+    response_sum += static_cast<double>(runtime[i].completion_tick + 1 -
+                                        scripts[i].arrival_tick);
+  }
+  result.avg_response_ticks = n == 0 ? 0 : response_sum / static_cast<double>(n);
+  result.throughput =
+      result.makespan == 0
+          ? 0
+          : static_cast<double>(result.completed) /
+                static_cast<double>(result.makespan);
+  result.schedule = Schedule(std::move(trace));
+  return result;
+}
+
+}  // namespace nse

@@ -1,0 +1,51 @@
+// Tick-based concurrency simulator. Each tick, every active transaction
+// attempts its next scripted operation; the policy grants or blocks it.
+// Deadlocks are detected on the waits-for graph and resolved by aborting the
+// largest-id transaction in the cycle, which restarts from scratch.
+//
+// The simulator reports both performance metrics (the currency of the
+// paper's motivation: waits, makespan, throughput) and the committed
+// operation trace as a Schedule, so the analysis checkers can verify that a
+// policy's output lies in the class it promises (CSR / PWSR / DR).
+// Trace values are structural placeholders — class membership depends only
+// on actions, items, and order.
+
+#ifndef NSE_SCHEDULER_SIM_H_
+#define NSE_SCHEDULER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "scheduler/scheduler.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Simulation limits and switches.
+struct SimConfig {
+  uint64_t max_ticks = 1'000'000;  ///< hard stop (error if exceeded)
+};
+
+/// Aggregate outcome of one simulation run.
+struct SimResult {
+  uint64_t makespan = 0;           ///< tick after the last completion
+  uint64_t completed = 0;          ///< transactions committed
+  uint64_t aborts = 0;             ///< deadlock victims (each restarts)
+  uint64_t total_wait_ticks = 0;   ///< ticks spent blocked, all txns
+  uint64_t total_ops = 0;          ///< committed operations
+  double avg_response_ticks = 0;   ///< mean completion − arrival
+  double throughput = 0;           ///< completed / makespan
+  Schedule schedule;               ///< committed trace (structural values)
+};
+
+/// Runs `scripts` under `policy`. Transaction ids are 1-based script
+/// indices. Fails if the run exceeds `config.max_ticks` or stalls without a
+/// detectable deadlock (a policy bug).
+Result<SimResult> RunSimulation(SchedulerPolicy& policy,
+                                const std::vector<TxnScript>& scripts,
+                                const SimConfig& config = SimConfig());
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_SIM_H_

@@ -1,0 +1,33 @@
+#include "scheduler/two_phase_locking.h"
+
+namespace nse {
+
+namespace {
+LockMode ModeFor(OpAction action) {
+  return action == OpAction::kRead ? LockMode::kShared : LockMode::kExclusive;
+}
+}  // namespace
+
+SchedulerDecision StrictTwoPhaseLocking::OnAccess(TxnId txn,
+                                                  const TxnScript& script,
+                                                  size_t step) {
+  const AccessStep& access = script.steps[step];
+  return locks_.TryAcquire(txn, access.item, ModeFor(access.action))
+             ? SchedulerDecision::kProceed
+             : SchedulerDecision::kWait;
+}
+
+void StrictTwoPhaseLocking::AfterAccess(TxnId, const TxnScript&, size_t) {}
+
+void StrictTwoPhaseLocking::OnComplete(TxnId txn) { locks_.ReleaseAll(txn); }
+
+void StrictTwoPhaseLocking::OnAbort(TxnId txn) { locks_.ReleaseAll(txn); }
+
+std::vector<TxnId> StrictTwoPhaseLocking::Blockers(TxnId txn,
+                                                   const TxnScript& script,
+                                                   size_t step) const {
+  const AccessStep& access = script.steps[step];
+  return locks_.Blockers(txn, access.item, ModeFor(access.action));
+}
+
+}  // namespace nse

@@ -1,0 +1,33 @@
+// Strict two-phase locking: the classical serializable baseline. All locks
+// are held until transaction completion, so every produced schedule is CSR
+// (and strict, hence ACA and DR). This is the protocol whose long-duration
+// waits motivate the paper (§1).
+
+#ifndef NSE_SCHEDULER_TWO_PHASE_LOCKING_H_
+#define NSE_SCHEDULER_TWO_PHASE_LOCKING_H_
+
+#include "scheduler/lock_manager.h"
+#include "scheduler/scheduler.h"
+
+namespace nse {
+
+/// Strict 2PL policy.
+class StrictTwoPhaseLocking : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "strict-2pl"; }
+
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                             size_t step) override;
+  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
+  void OnComplete(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                              size_t step) const override;
+
+ private:
+  LockManager locks_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_TWO_PHASE_LOCKING_H_

@@ -1,0 +1,340 @@
+#include "scheduler/workload.h"
+
+#include <algorithm>
+
+#include "analysis/fixed_structure.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+std::vector<const TransactionProgram*> Workload::ProgramPtrs() const {
+  std::vector<const TransactionProgram*> out;
+  out.reserve(programs.size());
+  for (const auto& program : programs) out.push_back(&program);
+  return out;
+}
+
+namespace {
+
+/// Builds the generator's database: items p{e}_x{k}.
+Result<Database> MakeCatalog(size_t partitions, size_t items_per_partition,
+                             int64_t lo, int64_t hi) {
+  Database db;
+  for (size_t e = 0; e < partitions; ++e) {
+    for (size_t k = 0; k < items_per_partition; ++k) {
+      NSE_ASSIGN_OR_RETURN(
+          ItemId ignored,
+          db.AddItem(StrCat("p", e, "_x", k), Domain::IntRange(lo, hi)));
+      (void)ignored;
+    }
+  }
+  return db;
+}
+
+ItemId ItemOf(const Database& db, size_t partition, size_t k) {
+  return db.MustFind(StrCat("p", partition, "_x", k));
+}
+
+/// Conjunct formula for one partition: all items equal (or a trivially true
+/// bound for singleton partitions). Mentions every partition item, so the
+/// conjunct's data set is exactly the partition.
+Formula PartitionInvariant(const Database& db, size_t partition,
+                           size_t items_per_partition, int64_t lo) {
+  if (items_per_partition == 1) {
+    return Ge(Var(ItemOf(db, partition, 0)), Const(Value(lo)));
+  }
+  std::vector<Formula> eqs;
+  for (size_t k = 0; k + 1 < items_per_partition; ++k) {
+    eqs.push_back(Eq(Var(ItemOf(db, partition, k)),
+                     Var(ItemOf(db, partition, k + 1))));
+  }
+  return And(std::move(eqs));
+}
+
+/// One partition update: every item of `target` is assigned
+/// clamp(pivot_target + delta). Pivot is written last so that each
+/// assignment evaluates the expression against the pivot's *original*
+/// (cached) value — this is what preserves the all-equal invariant.
+StmtBlock BumpPartition(const Database& db, size_t target,
+                        size_t items_per_partition, Term delta, int64_t lo,
+                        int64_t hi) {
+  Term pivot = Var(ItemOf(db, target, 0));
+  Term expr = Min(Max(Add(pivot, std::move(delta)), Const(Value(lo))),
+                  Const(Value(hi)));
+  StmtBlock block;
+  for (size_t k = 1; k < items_per_partition; ++k) {
+    block.push_back(AssignStmt(ItemOf(db, target, k), expr));
+  }
+  block.push_back(AssignStmt(ItemOf(db, target, 0), expr));
+  return block;
+}
+
+struct CoreConfig {
+  size_t num_partitions;
+  size_t items_per_partition;
+  std::vector<size_t> partitions_per_txn;  // one entry per transaction
+  double cross_read_probability;
+  bool acyclic_cross_reads;
+  double branch_probability;
+  int64_t domain_lo;
+  int64_t domain_hi;
+  uint64_t seed;
+  uint64_t arrival_spread;
+};
+
+Result<Workload> GenerateCore(const CoreConfig& config) {
+  if (config.num_partitions == 0 || config.items_per_partition == 0) {
+    return Status::InvalidArgument("need at least one partition and item");
+  }
+  for (size_t m : config.partitions_per_txn) {
+    if (m == 0 || m > config.num_partitions) {
+      return Status::InvalidArgument(
+          "partitions_per_txn entries must be in [1, num_partitions]");
+    }
+  }
+  Workload workload;
+  NSE_ASSIGN_OR_RETURN(
+      workload.db,
+      MakeCatalog(config.num_partitions, config.items_per_partition,
+                  config.domain_lo, config.domain_hi));
+
+  std::vector<Formula> conjuncts;
+  for (size_t e = 0; e < config.num_partitions; ++e) {
+    conjuncts.push_back(PartitionInvariant(
+        workload.db, e, config.items_per_partition, config.domain_lo));
+  }
+  NSE_ASSIGN_OR_RETURN(
+      IntegrityConstraint ic,
+      IntegrityConstraint::FromConjuncts(workload.db, std::move(conjuncts)));
+  workload.ic = std::move(ic);
+
+  Rng rng(config.seed);
+  for (size_t t = 0; t < config.partitions_per_txn.size(); ++t) {
+    size_t visits = config.partitions_per_txn[t];
+    // Distinct random partitions; ascending order keeps cross reads (which
+    // only look at lower-numbered partitions) meaningful under the acyclic
+    // regime.
+    std::vector<size_t> all(config.num_partitions);
+    for (size_t e = 0; e < all.size(); ++e) all[e] = e;
+    rng.Shuffle(all);
+    std::vector<size_t> visit(all.begin(),
+                              all.begin() + static_cast<long>(visits));
+    if (config.acyclic_cross_reads) std::sort(visit.begin(), visit.end());
+
+    StmtBlock body;
+    for (size_t v = 0; v < visit.size(); ++v) {
+      size_t target = visit[v];
+      // Delta: a small constant, or a cross read of another partition's
+      // pivot. DAG(S, IC) has an edge (C_f, C_e) whenever one transaction
+      // reads d_f and writes d_e, so for the acyclic regime a transaction
+      // must not read *any* partition it writes — not even the target's own
+      // pivot — and may read only partitions strictly below its first
+      // written partition (all edges then point upward).
+      Term delta = Const(Value(rng.NextInt(-2, 2)));
+      std::optional<size_t> source;
+      if (rng.NextBool(config.cross_read_probability)) {
+        std::vector<size_t> candidates;
+        for (size_t f = 0; f < config.num_partitions; ++f) {
+          if (f == target) continue;
+          if (config.acyclic_cross_reads && f >= visit[0]) continue;
+          candidates.push_back(f);
+        }
+        if (!candidates.empty()) {
+          source = candidates[rng.NextBelow(candidates.size())];
+          delta = Var(ItemOf(workload.db, *source, 0));
+        }
+      }
+      StmtBlock bump;
+      if (config.acyclic_cross_reads) {
+        // Constant-valued rewrite of the whole partition (no pivot read):
+        // every item of the partition gets clamp(delta + c), which preserves
+        // the all-equal invariant without touching the partition's items.
+        Term expr = Min(Max(Add(std::move(delta),
+                                Const(Value(rng.NextInt(-2, 2)))),
+                            Const(Value(config.domain_lo))),
+                        Const(Value(config.domain_hi)));
+        for (size_t k = 0; k < config.items_per_partition; ++k) {
+          bump.push_back(
+              AssignStmt(ItemOf(workload.db, target, k), expr));
+        }
+      } else {
+        bump = BumpPartition(workload.db, target, config.items_per_partition,
+                             std::move(delta), config.domain_lo,
+                             config.domain_hi);
+      }
+      // A guard reading the target partition would re-introduce a
+      // read-own-partition edge, so under the acyclic regime branch only
+      // when a lower-partition source exists.
+      bool can_branch = !config.acyclic_cross_reads || source.has_value();
+      if (can_branch && rng.NextBool(config.branch_probability)) {
+        // Data-dependent guard: the update happens only in some states, so
+        // the program no longer has fixed structure (Definition 3 fails).
+        size_t guard_partition = source.value_or(target);
+        Formula cond =
+            Gt(Var(ItemOf(workload.db, guard_partition, 0)), Const(Value(0)));
+        body.push_back(IfStmt(std::move(cond), std::move(bump)));
+      } else {
+        body.insert(body.end(), bump.begin(), bump.end());
+      }
+    }
+    workload.programs.emplace_back(StrCat("TP", t + 1), std::move(body));
+  }
+
+  // Scripts: the access structure of each program (representative path for
+  // branching programs — scripts feed the performance simulator, which runs
+  // the fixed-structure presets).
+  for (const TransactionProgram& program : workload.programs) {
+    StructureAnalysis analysis = AnalyzeStructure(workload.db, program);
+    TxnScript script;
+    for (const OpStruct& op : analysis.signature) {
+      script.steps.push_back(AccessStep{op.action, op.entity});
+    }
+    script.arrival_tick =
+        config.arrival_spread == 0 ? 0 : rng.NextBelow(config.arrival_spread + 1);
+    workload.scripts.push_back(std::move(script));
+  }
+  return workload;
+}
+
+}  // namespace
+
+Result<Workload> MakePartitionedWorkload(
+    const PartitionedWorkloadConfig& config) {
+  CoreConfig core;
+  core.num_partitions = config.num_partitions;
+  core.items_per_partition = config.items_per_partition;
+  core.partitions_per_txn.assign(config.num_txns, config.partitions_per_txn);
+  core.cross_read_probability = config.cross_read_probability;
+  core.acyclic_cross_reads = config.acyclic_cross_reads;
+  core.branch_probability = config.branch_probability;
+  core.domain_lo = config.domain_lo;
+  core.domain_hi = config.domain_hi;
+  core.seed = config.seed;
+  core.arrival_spread = config.arrival_spread;
+  return GenerateCore(core);
+}
+
+Result<Workload> MakeCadWorkload(size_t num_txns, size_t ops_per_txn,
+                                 size_t num_partitions, uint64_t seed) {
+  // A CAD transaction sweeps design partitions one after another; each
+  // partition visit costs items_per_partition + 1 operations (one pivot
+  // read + the writes). Partition count per txn is sized to hit roughly
+  // ops_per_txn.
+  constexpr size_t kItemsPerPartition = 3;
+  size_t per_visit = kItemsPerPartition + 1;
+  size_t visits = std::max<size_t>(1, ops_per_txn / per_visit);
+  visits = std::min(visits, num_partitions);
+  PartitionedWorkloadConfig config;
+  config.num_partitions = num_partitions;
+  config.items_per_partition = kItemsPerPartition;
+  config.num_txns = num_txns;
+  config.partitions_per_txn = visits;
+  config.cross_read_probability = 0.3;
+  config.acyclic_cross_reads = true;
+  config.branch_probability = 0.0;
+  config.seed = seed;
+  return MakePartitionedWorkload(config);
+}
+
+Result<Workload> MakeAnomalyWorkload(size_t pairs, bool fixed_structure) {
+  if (pairs == 0) {
+    return Status::InvalidArgument("need at least one anomaly pair");
+  }
+  Workload workload;
+  std::vector<Formula> conjuncts;
+  for (size_t i = 0; i < pairs; ++i) {
+    NSE_ASSIGN_OR_RETURN(ItemId a, workload.db.AddItem(StrCat("a", i),
+                                                       Domain::IntRange(-8, 8)));
+    NSE_ASSIGN_OR_RETURN(ItemId b, workload.db.AddItem(StrCat("b", i),
+                                                       Domain::IntRange(-8, 8)));
+    NSE_ASSIGN_OR_RETURN(ItemId c, workload.db.AddItem(StrCat("c", i),
+                                                       Domain::IntRange(-8, 8)));
+    conjuncts.push_back(
+        Implies(Gt(Var(a), Const(Value(0))), Gt(Var(b), Const(Value(0)))));
+    conjuncts.push_back(Gt(Var(c), Const(Value(0))));
+  }
+  NSE_ASSIGN_OR_RETURN(
+      IntegrityConstraint ic,
+      IntegrityConstraint::FromConjuncts(workload.db, std::move(conjuncts)));
+  workload.ic = std::move(ic);
+
+  const Database& db = workload.db;
+  for (size_t i = 0; i < pairs; ++i) {
+    std::string a = StrCat("a", i);
+    std::string b = StrCat("b", i);
+    std::string c = StrCat("c", i);
+    StmtBlock writer;
+    StmtBlock reader;
+    NSE_ASSIGN_OR_RETURN(StmtPtr set_a, MakeAssign(db, a, "1"));
+    // The paper's b := |b| + 1 over unbounded integers; clamped to the
+    // declared domain so the program stays correct from every consistent
+    // state (min(|b|+1, 8) is still strictly positive, which is all the
+    // conjunct needs).
+    NSE_ASSIGN_OR_RETURN(
+        StmtPtr bump_b,
+        MakeAssign(db, b, StrCat("min(abs(", b, ") + 1, 8)")));
+    if (fixed_structure) {
+      // §3.1 repairs: both branches of each if emit identical structures.
+      NSE_ASSIGN_OR_RETURN(StmtPtr keep_b, MakeAssign(db, b, b));
+      NSE_ASSIGN_OR_RETURN(
+          StmtPtr guard_b,
+          MakeIf(db, StrCat(c, " > 0"), {bump_b}, {keep_b}));
+      writer = {set_a, guard_b};
+      NSE_ASSIGN_OR_RETURN(
+          StmtPtr take_b,
+          MakeAssign(db, c, StrCat(b, " + (", c, " - ", c, ")")));
+      NSE_ASSIGN_OR_RETURN(
+          StmtPtr keep_c,
+          MakeAssign(db, c, StrCat(b, " - ", b, " + ", c)));
+      NSE_ASSIGN_OR_RETURN(
+          StmtPtr guard_c,
+          MakeIf(db, StrCat(a, " > 0"), {take_b}, {keep_c}));
+      reader = {guard_c};
+    } else {
+      NSE_ASSIGN_OR_RETURN(StmtPtr guard_b,
+                           MakeIf(db, StrCat(c, " > 0"), {bump_b}));
+      writer = {set_a, guard_b};
+      NSE_ASSIGN_OR_RETURN(StmtPtr take_b, MakeAssign(db, c, b));
+      NSE_ASSIGN_OR_RETURN(StmtPtr guard_c,
+                           MakeIf(db, StrCat(a, " > 0"), {take_b}));
+      reader = {guard_c};
+    }
+    workload.programs.emplace_back(StrCat("TP1_", i), std::move(writer));
+    workload.programs.emplace_back(StrCat("TP2_", i), std::move(reader));
+  }
+
+  for (const TransactionProgram& program : workload.programs) {
+    StructureAnalysis analysis = AnalyzeStructure(workload.db, program);
+    TxnScript script;
+    for (const OpStruct& op : analysis.signature) {
+      script.steps.push_back(AccessStep{op.action, op.entity});
+    }
+    workload.scripts.push_back(std::move(script));
+  }
+  return workload;
+}
+
+Result<Workload> MakeMdbsWorkload(size_t num_sites, size_t global_txns,
+                                  size_t local_txns, size_t sites_per_global,
+                                  uint64_t seed) {
+  CoreConfig core;
+  core.num_partitions = num_sites;
+  core.items_per_partition = 2;
+  for (size_t g = 0; g < global_txns; ++g) {
+    core.partitions_per_txn.push_back(
+        std::min(sites_per_global, num_sites));
+  }
+  for (size_t l = 0; l < local_txns; ++l) {
+    core.partitions_per_txn.push_back(1);
+  }
+  core.cross_read_probability = 0.25;
+  core.acyclic_cross_reads = true;
+  core.branch_probability = 0.0;
+  core.domain_lo = -64;
+  core.domain_hi = 64;
+  core.seed = seed;
+  core.arrival_spread = 0;
+  return GenerateCore(core);
+}
+
+}  // namespace nse

@@ -1,0 +1,94 @@
+// Workload generators.
+//
+// The core generator builds *partitioned* workloads: the database is split
+// into partitions (one IC conjunct each, with an all-items-equal invariant),
+// and every generated transaction program is correct by construction — it
+// rewrites all items of each visited partition to one common clamped value,
+// so it preserves the invariant from any start state. This gives the
+// experiments the paper's standing assumption ("all transaction programs
+// are correct") for free, while remaining configurable along the axes the
+// theorems care about:
+//
+//  * cross_read_probability — transactions read a pivot from another
+//    partition (creates DAG(S, IC) edges);
+//  * acyclic_cross_reads — cross reads only from lower-numbered partitions
+//    (forces DAG acyclicity, the Theorem 3 regime);
+//  * branch_probability — wraps partition updates in data-dependent ifs
+//    (destroys fixed structure, the Example 2/3 regime).
+//
+// Presets: MakeCadWorkload (few long transactions over design partitions,
+// §1/[11]) and MakeMdbsWorkload (sites as conjuncts with global + local
+// transactions, §4/[4]).
+
+#ifndef NSE_SCHEDULER_WORKLOAD_H_
+#define NSE_SCHEDULER_WORKLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "constraints/integrity_constraint.h"
+#include "scheduler/scheduler.h"
+#include "txn/program.h"
+
+namespace nse {
+
+/// Knobs of the partitioned-workload generator.
+struct PartitionedWorkloadConfig {
+  size_t num_partitions = 4;       ///< conjuncts l
+  size_t items_per_partition = 2;  ///< |d_e| (>= 1)
+  size_t num_txns = 8;
+  size_t partitions_per_txn = 2;   ///< partitions each txn updates
+  double cross_read_probability = 0.5;
+  bool acyclic_cross_reads = false;
+  double branch_probability = 0.0;
+  int64_t domain_lo = -64;
+  int64_t domain_hi = 64;
+  uint64_t seed = 1;
+  uint64_t arrival_spread = 0;     ///< arrival ticks ~ U[0, spread]
+};
+
+/// A generated workload: catalog, constraint, programs, and the scripts the
+/// simulator runs (derived from the programs' access structures).
+struct Workload {
+  Database db;
+  std::optional<IntegrityConstraint> ic;
+  std::vector<TransactionProgram> programs;
+  std::vector<TxnScript> scripts;
+
+  /// Convenience view of programs as pointers (what the interleaver takes).
+  std::vector<const TransactionProgram*> ProgramPtrs() const;
+};
+
+/// Builds a partitioned workload (see file comment).
+Result<Workload> MakePartitionedWorkload(const PartitionedWorkloadConfig&);
+
+/// CAD preset (§1, [11]): few long transactions sweeping many design
+/// partitions in sequence — the regime where strict 2PL's end-of-transaction
+/// lock holding hurts most.
+Result<Workload> MakeCadWorkload(size_t num_txns, size_t ops_per_txn,
+                                 size_t num_partitions, uint64_t seed);
+
+/// MDBS preset (§4, [4]): `num_sites` autonomous sites (one conjunct each);
+/// global transactions touch several sites, local transactions one.
+Result<Workload> MakeMdbsWorkload(size_t num_sites, size_t global_txns,
+                                  size_t local_txns, size_t sites_per_global,
+                                  uint64_t seed);
+
+/// Example-2-style anomaly workload: `pairs` independent copies of the
+/// paper's counterexample. Pair i contributes conjuncts
+/// (a_i > 0 -> b_i > 0) over {a_i, b_i} and (c_i > 0) over {c_i}, a writer
+/// program TP1_i (a_i := 1; if (c_i > 0) then b_i := |b_i| + 1) and a
+/// reader program TP2_i (if (a_i > 0) then c_i := b_i).
+///
+/// With `fixed_structure` false these are the paper's original programs:
+/// PWSR executions exist that violate strong correctness (Example 2).
+/// With true, both are replaced by their §3.1 fixed-structure repairs and
+/// Theorem 1 applies to every PWSR execution.
+Result<Workload> MakeAnomalyWorkload(size_t pairs, bool fixed_structure);
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_WORKLOAD_H_

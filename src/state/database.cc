@@ -1,0 +1,147 @@
+#include "state/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+DataSet::DataSet(std::vector<ItemId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+DataSet::DataSet(std::initializer_list<ItemId> ids)
+    : DataSet(std::vector<ItemId>(ids)) {}
+
+bool DataSet::Contains(ItemId item) const {
+  return std::binary_search(ids_.begin(), ids_.end(), item);
+}
+
+void DataSet::Insert(ItemId item) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), item);
+  if (it == ids_.end() || *it != item) ids_.insert(it, item);
+}
+
+void DataSet::Remove(ItemId item) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), item);
+  if (it != ids_.end() && *it == item) ids_.erase(it);
+}
+
+DataSet DataSet::Union(const DataSet& a, const DataSet& b) {
+  std::vector<ItemId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.ids_.begin(), a.ids_.end(), b.ids_.begin(), b.ids_.end(),
+                 std::back_inserter(out));
+  DataSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+DataSet DataSet::Intersect(const DataSet& a, const DataSet& b) {
+  std::vector<ItemId> out;
+  std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                        b.ids_.end(), std::back_inserter(out));
+  DataSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+DataSet DataSet::Minus(const DataSet& a, const DataSet& b) {
+  std::vector<ItemId> out;
+  std::set_difference(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                      b.ids_.end(), std::back_inserter(out));
+  DataSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+bool DataSet::Disjoint(const DataSet& a, const DataSet& b) {
+  auto ia = a.ids_.begin();
+  auto ib = b.ids_.begin();
+  while (ia != a.ids_.end() && ib != b.ids_.end()) {
+    if (*ia == *ib) return false;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return true;
+}
+
+bool DataSet::IsSubsetOf(const DataSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+Result<ItemId> Database::AddItem(std::string name, Domain domain) {
+  if (name.empty()) {
+    return Status::InvalidArgument("data item name must be non-empty");
+  }
+  if (by_name_.count(name) != 0) {
+    return Status::InvalidArgument(StrCat("duplicate data item: ", name));
+  }
+  ItemId id = static_cast<ItemId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  domains_.push_back(std::move(domain));
+  return id;
+}
+
+Status Database::AddIntItems(const std::vector<std::string>& names, int64_t lo,
+                             int64_t hi) {
+  for (const auto& name : names) {
+    NSE_ASSIGN_OR_RETURN(ItemId ignored, AddItem(name, Domain::IntRange(lo, hi)));
+    (void)ignored;
+  }
+  return Status::Ok();
+}
+
+Result<ItemId> Database::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("unknown data item: ", name));
+  }
+  return it->second;
+}
+
+ItemId Database::MustFind(std::string_view name) const {
+  auto result = Find(name);
+  NSE_CHECK_MSG(result.ok(), "unknown data item '%.*s'",
+                static_cast<int>(name.size()), name.data());
+  return *result;
+}
+
+const std::string& Database::NameOf(ItemId item) const {
+  NSE_CHECK(item < names_.size());
+  return names_[item];
+}
+
+const Domain& Database::DomainOf(ItemId item) const {
+  NSE_CHECK(item < domains_.size());
+  return domains_[item];
+}
+
+DataSet Database::AllItems() const {
+  std::vector<ItemId> ids(names_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ItemId>(i);
+  return DataSet(std::move(ids));
+}
+
+DataSet Database::SetOf(std::initializer_list<std::string_view> names) const {
+  std::vector<ItemId> ids;
+  ids.reserve(names.size());
+  for (auto name : names) ids.push_back(MustFind(name));
+  return DataSet(std::move(ids));
+}
+
+std::string Database::DataSetToString(const DataSet& set) const {
+  std::vector<std::string> parts;
+  parts.reserve(set.size());
+  for (ItemId item : set) parts.push_back(NameOf(item));
+  return StrCat("{", StrJoin(parts, ", "), "}");
+}
+
+}  // namespace nse

@@ -1,0 +1,120 @@
+// Database catalog: the finite set D of data items, each with a name and a
+// finite domain, plus DataSet — subsets d ⊆ D used for restrictions,
+// conjunct data sets, and read/write sets.
+
+#ifndef NSE_STATE_DATABASE_H_
+#define NSE_STATE_DATABASE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "state/domain.h"
+
+namespace nse {
+
+/// Dense identifier of a data item within one Database.
+using ItemId = uint32_t;
+
+/// A set of data items (d ⊆ D), stored as a sorted unique vector.
+class DataSet {
+ public:
+  /// The empty set.
+  DataSet() = default;
+
+  /// Builds a set from arbitrary ids (sorted, deduplicated).
+  explicit DataSet(std::vector<ItemId> ids);
+  DataSet(std::initializer_list<ItemId> ids);
+
+  /// True iff `item` is a member.
+  bool Contains(ItemId item) const;
+
+  /// Inserts `item` (no-op if present).
+  void Insert(ItemId item);
+
+  /// Removes `item` (no-op if absent).
+  void Remove(ItemId item);
+
+  /// Number of members.
+  size_t size() const { return ids_.size(); }
+  /// True iff the set is empty.
+  bool empty() const { return ids_.empty(); }
+
+  /// Set union a ∪ b.
+  static DataSet Union(const DataSet& a, const DataSet& b);
+  /// Set intersection a ∩ b.
+  static DataSet Intersect(const DataSet& a, const DataSet& b);
+  /// Set difference a − b.
+  static DataSet Minus(const DataSet& a, const DataSet& b);
+
+  /// True iff a ∩ b = ∅ (the paper's standing assumption for conjuncts).
+  static bool Disjoint(const DataSet& a, const DataSet& b);
+
+  /// True iff this ⊆ other.
+  bool IsSubsetOf(const DataSet& other) const;
+
+  /// Members in ascending order.
+  const std::vector<ItemId>& items() const { return ids_; }
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  friend bool operator==(const DataSet& a, const DataSet& b) {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  std::vector<ItemId> ids_;
+};
+
+/// The database catalog D. Items are registered once and addressed by
+/// ItemId thereafter.
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers a new item. Fails with InvalidArgument on duplicate names or
+  /// empty names.
+  Result<ItemId> AddItem(std::string name, Domain domain);
+
+  /// Convenience: registers many int-range items sharing one domain.
+  Status AddIntItems(const std::vector<std::string>& names, int64_t lo,
+                     int64_t hi);
+
+  /// Id of a named item, or NotFound.
+  Result<ItemId> Find(std::string_view name) const;
+
+  /// Id of a named item; aborts if unknown (for test/example literals).
+  ItemId MustFind(std::string_view name) const;
+
+  /// Name of an item id (must be valid).
+  const std::string& NameOf(ItemId item) const;
+
+  /// Domain of an item id (must be valid).
+  const Domain& DomainOf(ItemId item) const;
+
+  /// Number of registered items.
+  size_t num_items() const { return names_.size(); }
+
+  /// The set of all items (the full database D).
+  DataSet AllItems() const;
+
+  /// Builds a DataSet from item names; aborts on unknown names.
+  DataSet SetOf(std::initializer_list<std::string_view> names) const;
+
+  /// Renders a DataSet as "{a, b, c}" using item names.
+  std::string DataSetToString(const DataSet& set) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, ItemId> by_name_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_STATE_DATABASE_H_

@@ -1,0 +1,140 @@
+#include "state/db_state.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+DbState DbState::Of(std::initializer_list<std::pair<ItemId, Value>> pairs) {
+  DbState state;
+  for (const auto& [item, value] : pairs) {
+    auto it = state.values_.find(item);
+    NSE_CHECK_MSG(it == state.values_.end() || it->second == value,
+                  "contradictory bindings for item %u", item);
+    state.values_.insert_or_assign(item, value);
+  }
+  return state;
+}
+
+DbState DbState::OfNamed(
+    const Database& db,
+    std::initializer_list<std::pair<std::string_view, Value>> pairs) {
+  DbState state;
+  for (const auto& [name, value] : pairs) {
+    state.Set(db.MustFind(name), value);
+  }
+  return state;
+}
+
+std::optional<Value> DbState::Get(ItemId item) const {
+  auto it = values_.find(item);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Value& DbState::MustGet(ItemId item) const {
+  auto it = values_.find(item);
+  NSE_CHECK_MSG(it != values_.end(), "item %u is unassigned", item);
+  return it->second;
+}
+
+void DbState::Set(ItemId item, Value value) {
+  values_.insert_or_assign(item, std::move(value));
+}
+
+void DbState::Unset(ItemId item) { values_.erase(item); }
+
+DataSet DbState::AssignedItems() const {
+  std::vector<ItemId> ids;
+  ids.reserve(values_.size());
+  for (const auto& [item, value] : values_) ids.push_back(item);
+  return DataSet(std::move(ids));
+}
+
+DbState DbState::Restrict(const DataSet& d) const {
+  DbState out;
+  // Iterate over the smaller side.
+  if (d.size() < values_.size()) {
+    for (ItemId item : d) {
+      auto it = values_.find(item);
+      if (it != values_.end()) out.values_.emplace(item, it->second);
+    }
+  } else {
+    for (const auto& [item, value] : values_) {
+      if (d.Contains(item)) out.values_.emplace(item, value);
+    }
+  }
+  return out;
+}
+
+Result<DbState> DbState::Union(const DbState& a, const DbState& b) {
+  DbState out = a;
+  for (const auto& [item, value] : b.values_) {
+    auto [it, inserted] = out.values_.emplace(item, value);
+    if (!inserted && it->second != value) {
+      return Status::FailedPrecondition(
+          StrCat("union undefined: item ", item, " bound to ",
+                 it->second.ToString(), " and ", value.ToString()));
+    }
+  }
+  return out;
+}
+
+DbState DbState::Override(const DbState& base, const DbState& update) {
+  DbState out = base;
+  for (const auto& [item, value] : update.values_) {
+    out.values_.insert_or_assign(item, value);
+  }
+  return out;
+}
+
+bool DbState::IsSubstateOf(const DbState& other) const {
+  for (const auto& [item, value] : values_) {
+    auto it = other.values_.find(item);
+    if (it == other.values_.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+bool DbState::Compatible(const DbState& a, const DbState& b) {
+  const DbState& small = a.size() <= b.size() ? a : b;
+  const DbState& large = a.size() <= b.size() ? b : a;
+  for (const auto& [item, value] : small.values_) {
+    auto it = large.values_.find(item);
+    if (it != large.values_.end() && it->second != value) return false;
+  }
+  return true;
+}
+
+bool DbState::IsTotalOver(const Database& db) const {
+  return values_.size() == db.num_items();
+}
+
+bool DbState::RespectsDomains(const Database& db) const {
+  for (const auto& [item, value] : values_) {
+    if (!db.DomainOf(item).Contains(value)) return false;
+  }
+  return true;
+}
+
+DataSet DbState::DisagreementItems(const DbState& other) const {
+  std::vector<ItemId> out;
+  for (const auto& [item, value] : values_) {
+    auto it = other.values_.find(item);
+    if (it != other.values_.end() && it->second != value) {
+      out.push_back(item);
+    }
+  }
+  return DataSet(std::move(out));
+}
+
+std::string DbState::ToString(const Database& db) const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& [item, value] : values_) {
+    parts.push_back(StrCat("(", db.NameOf(item), ", ", value.ToString(), ")"));
+  }
+  return StrCat("{", StrJoin(parts, ", "), "}");
+}
+
+}  // namespace nse

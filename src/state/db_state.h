@@ -1,0 +1,108 @@
+// DbState: a (possibly partial) database state DS — a set of pairs
+// (item, value) with at most one value per item (paper §2.1). Supports the
+// paper's restriction DS^d and the union ⊔, which is *undefined* (an error)
+// when the operands disagree on a common item.
+
+#ifndef NSE_STATE_DB_STATE_H_
+#define NSE_STATE_DB_STATE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "state/database.h"
+#include "state/value.h"
+
+namespace nse {
+
+/// A partial mapping from data items to values.
+///
+/// A *total* state over a Database assigns every item; restrictions and
+/// read-sets are naturally partial. DbState is value-semantic and cheap for
+/// the small symbolic databases this library targets.
+class DbState {
+ public:
+  /// The empty (nowhere-defined) state.
+  DbState() = default;
+
+  /// Builds a state from explicit (item, value) pairs; later pairs must not
+  /// contradict earlier ones (aborts on contradiction — programmer error).
+  static DbState Of(std::initializer_list<std::pair<ItemId, Value>> pairs);
+
+  /// Builds a state by item name against a database catalog.
+  static DbState OfNamed(
+      const Database& db,
+      std::initializer_list<std::pair<std::string_view, Value>> pairs);
+
+  /// The value of `item`, or nullopt if unassigned.
+  std::optional<Value> Get(ItemId item) const;
+
+  /// The value of `item`; aborts if unassigned.
+  const Value& MustGet(ItemId item) const;
+
+  /// Assigns `item := value` (overwrites any existing binding).
+  void Set(ItemId item, Value value);
+
+  /// Removes the binding of `item` (no-op if unassigned).
+  void Unset(ItemId item);
+
+  /// True iff `item` has a value.
+  bool Has(ItemId item) const { return values_.count(item) != 0; }
+
+  /// The set of assigned items.
+  DataSet AssignedItems() const;
+
+  /// Number of assigned items.
+  size_t size() const { return values_.size(); }
+  /// True iff no item is assigned.
+  bool empty() const { return values_.empty(); }
+
+  /// The paper's DS^d: restriction to the items in `d`.
+  DbState Restrict(const DataSet& d) const;
+
+  /// The paper's ⊔: union of two states; FailedPrecondition if they assign
+  /// different values to a common item (the union is then undefined).
+  static Result<DbState> Union(const DbState& a, const DbState& b);
+
+  /// Like Union but overwrites: bindings in `update` win. This is the state
+  /// transformer used by Definition 4 (state(T_{i-1}) minus WS, plus writes).
+  static DbState Override(const DbState& base, const DbState& update);
+
+  /// True iff every binding of this state also holds in `other`.
+  bool IsSubstateOf(const DbState& other) const;
+
+  /// True iff the two states agree on every item both assign.
+  static bool Compatible(const DbState& a, const DbState& b);
+
+  /// True iff this state assigns every item of `db`.
+  bool IsTotalOver(const Database& db) const;
+
+  /// True iff every assigned value lies in its item's declared domain.
+  bool RespectsDomains(const Database& db) const;
+
+  /// Items assigned by both states but with different values.
+  DataSet DisagreementItems(const DbState& other) const;
+
+  /// Renders e.g. "{(a, 5), (b, -1)}" using catalog names.
+  std::string ToString(const Database& db) const;
+
+  /// Iteration over (item, value) bindings in ascending item order.
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  friend bool operator==(const DbState& a, const DbState& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const DbState& a, const DbState& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::map<ItemId, Value> values_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_STATE_DB_STATE_H_

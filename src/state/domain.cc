@@ -1,0 +1,127 @@
+#include "state/domain.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+Domain Domain::IntRange(int64_t lo, int64_t hi) {
+  NSE_CHECK_MSG(lo <= hi, "IntRange [%lld, %lld]", static_cast<long long>(lo),
+                static_cast<long long>(hi));
+  Domain d(Kind::kIntRange);
+  d.lo_ = lo;
+  d.hi_ = hi;
+  return d;
+}
+
+Domain Domain::IntSet(std::vector<int64_t> values) {
+  NSE_CHECK_MSG(!values.empty(), "IntSet domain must be non-empty");
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Domain d(Kind::kIntSet);
+  d.int_values_ = std::move(values);
+  return d;
+}
+
+Domain Domain::Bool() { return Domain(Kind::kBool); }
+
+Domain Domain::StringSet(std::vector<std::string> values) {
+  NSE_CHECK_MSG(!values.empty(), "StringSet domain must be non-empty");
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Domain d(Kind::kStringSet);
+  d.string_values_ = std::move(values);
+  return d;
+}
+
+bool Domain::Contains(const Value& v) const {
+  switch (kind_) {
+    case Kind::kIntRange:
+      return v.is_int() && v.AsInt() >= lo_ && v.AsInt() <= hi_;
+    case Kind::kIntSet:
+      return v.is_int() && std::binary_search(int_values_.begin(),
+                                              int_values_.end(), v.AsInt());
+    case Kind::kBool:
+      return v.is_bool();
+    case Kind::kStringSet:
+      return v.is_string() &&
+             std::binary_search(string_values_.begin(), string_values_.end(),
+                                v.AsString());
+  }
+  return false;
+}
+
+uint64_t Domain::size() const {
+  switch (kind_) {
+    case Kind::kIntRange:
+      return static_cast<uint64_t>(hi_ - lo_) + 1;
+    case Kind::kIntSet:
+      return int_values_.size();
+    case Kind::kBool:
+      return 2;
+    case Kind::kStringSet:
+      return string_values_.size();
+  }
+  return 0;
+}
+
+Value Domain::At(uint64_t i) const {
+  NSE_CHECK_MSG(i < size(), "Domain::At(%llu) with size %llu",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(size()));
+  switch (kind_) {
+    case Kind::kIntRange:
+      return Value(lo_ + static_cast<int64_t>(i));
+    case Kind::kIntSet:
+      return Value(int_values_[i]);
+    case Kind::kBool:
+      return Value(i == 1);
+    case Kind::kStringSet:
+      return Value(string_values_[i]);
+  }
+  return Value();
+}
+
+Result<std::vector<Value>> Domain::Enumerate(uint64_t limit) const {
+  if (size() > limit) {
+    return Status::OutOfRange(
+        StrCat("domain of size ", size(), " exceeds enumeration limit ",
+               limit));
+  }
+  std::vector<Value> out;
+  out.reserve(size());
+  for (uint64_t i = 0; i < size(); ++i) out.push_back(At(i));
+  return out;
+}
+
+ValueType Domain::value_type() const {
+  switch (kind_) {
+    case Kind::kIntRange:
+    case Kind::kIntSet:
+      return ValueType::kInt;
+    case Kind::kBool:
+      return ValueType::kBool;
+    case Kind::kStringSet:
+      return ValueType::kString;
+  }
+  return ValueType::kInt;
+}
+
+std::string Domain::ToString() const {
+  switch (kind_) {
+    case Kind::kIntRange:
+      return StrCat("int[", lo_, "..", hi_, "]");
+    case Kind::kIntSet:
+      return StrCat("int{", StrJoin(int_values_, ","), "}");
+    case Kind::kBool:
+      return "bool";
+    case Kind::kStringSet:
+      return StrCat("string{", StrJoin(string_values_, ","), "}");
+  }
+  return "?";
+}
+
+}  // namespace nse

@@ -1,0 +1,67 @@
+// Domain: Dom(d') for a data item — the finite set of values the item may
+// take. Explicit finite domains make the restriction-consistency oracle
+// (DESIGN.md S5) decidable and exact.
+
+#ifndef NSE_STATE_DOMAIN_H_
+#define NSE_STATE_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "state/value.h"
+
+namespace nse {
+
+/// A finite value domain for one data item.
+class Domain {
+ public:
+  /// Integers in [lo, hi] inclusive. Requires lo <= hi.
+  static Domain IntRange(int64_t lo, int64_t hi);
+
+  /// An explicit finite set of integers (deduplicated, sorted).
+  static Domain IntSet(std::vector<int64_t> values);
+
+  /// {false, true}.
+  static Domain Bool();
+
+  /// An explicit finite set of strings (deduplicated, sorted).
+  static Domain StringSet(std::vector<std::string> values);
+
+  /// Default: small symmetric integer range, convenient for tests.
+  Domain() : Domain(IntRange(-16, 16)) {}
+
+  /// True iff `v` belongs to this domain.
+  bool Contains(const Value& v) const;
+
+  /// Number of values in the domain.
+  uint64_t size() const;
+
+  /// The i-th value in the domain's canonical (ascending) order; i < size().
+  Value At(uint64_t i) const;
+
+  /// Materializes all values in canonical order. Fails with OutOfRange if
+  /// size() exceeds `limit` (guards accidental huge enumerations).
+  Result<std::vector<Value>> Enumerate(uint64_t limit = 1 << 20) const;
+
+  /// The element type of this domain.
+  ValueType value_type() const;
+
+  /// Renders e.g. "int[-16..16]", "int{1,5,9}", "bool", "string{...}".
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kIntRange, kIntSet, kBool, kStringSet };
+  Domain(Kind kind) : kind_(kind) {}  // NOLINT(runtime/explicit)
+
+  Kind kind_;
+  int64_t lo_ = 0;
+  int64_t hi_ = 0;
+  std::vector<int64_t> int_values_;
+  std::vector<std::string> string_values_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_STATE_DOMAIN_H_

@@ -1,0 +1,50 @@
+#include "state/value.h"
+
+#include "common/string_util.h"
+
+namespace nse {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  if (is_int()) return ValueType::kInt;
+  if (is_bool()) return ValueType::kBool;
+  return ValueType::kString;
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  if (is_bool()) return AsBool() ? "true" : "false";
+  return StrCat("\"", AsString(), "\"");
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return static_cast<int>(a.type()) < static_cast<int>(b.type());
+  }
+  switch (a.type()) {
+    case ValueType::kInt:
+      return a.AsInt() < b.AsInt();
+    case ValueType::kBool:
+      return a.AsBool() < b.AsBool();
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+  }
+  return false;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace nse

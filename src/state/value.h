@@ -1,0 +1,76 @@
+// Value: the contents of a data item. The paper's constraint language ranges
+// over numeric and string constants; we support 64-bit integers, booleans,
+// and strings under the standard interpretation I.
+
+#ifndef NSE_STATE_VALUE_H_
+#define NSE_STATE_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace nse {
+
+/// Runtime type of a Value.
+enum class ValueType { kInt, kBool, kString };
+
+/// Human-readable type name ("int", "bool", "string").
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed database value.
+///
+/// Values of different types never compare equal; ordering across types is
+/// defined (int < bool < string) only so Values can key ordered containers.
+class Value {
+ public:
+  /// Constructs the integer 0.
+  Value() : rep_(int64_t{0}) {}
+  /// Constructs an integer value.
+  Value(int64_t v) : rep_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs an integer value (disambiguates int literals).
+  Value(int v) : rep_(static_cast<int64_t>(v)) {}  // NOLINT
+  /// Constructs a boolean value.
+  Value(bool v) : rep_(v) {}  // NOLINT
+  /// Constructs a string value.
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  /// Constructs a string value from a literal.
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  /// The runtime type of this value.
+  ValueType type() const;
+
+  /// True iff this value holds an integer.
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  /// True iff this value holds a boolean.
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  /// True iff this value holds a string.
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// The integer payload; must hold an integer.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// The boolean payload; must hold a boolean.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  /// The string payload; must hold a string.
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value: integers as digits, booleans as true/false, strings
+  /// quoted ("Jim").
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Total order; across types: int < bool < string.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<int64_t, bool, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace nse
+
+#endif  // NSE_STATE_VALUE_H_

@@ -1,0 +1,199 @@
+#include "txn/interleaver.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+/// Shared execution context: live state + one stepper per program.
+struct Arena {
+  DbState state;
+  std::vector<ProgramExecution> execs;
+  OpSequence ops;
+
+  Arena(const Database& db,
+        const std::vector<const TransactionProgram*>& programs,
+        const DbState& initial)
+      : state(initial) {
+    execs.reserve(programs.size());
+    for (size_t i = 0; i < programs.size(); ++i) {
+      execs.emplace_back(&db, programs[i],
+                         static_cast<TxnId>(i + 1));  // 1-based ids
+    }
+  }
+
+  /// True iff no program has a remaining operation (probes by replay).
+  Result<bool> ProbeAllFinished() {
+    for (auto& exec : execs) {
+      NSE_ASSIGN_OR_RETURN(bool done, exec.ProbeFinished());
+      if (!done) return false;
+    }
+    return true;
+  }
+
+  /// Steps program `index`; appends the op and applies writes.
+  /// Returns true if an op was performed, false if the program was finished.
+  Result<bool> StepOne(const Database& db, size_t index) {
+    ProgramExecution& exec = execs[index];
+    ReadEnv env = [this, &db](ItemId item) -> Result<Value> {
+      auto value = state.Get(item);
+      if (!value.has_value()) {
+        return Status::FailedPrecondition(
+            StrCat("item ", db.NameOf(item),
+                   " is unassigned in the shared state"));
+      }
+      return *value;
+    };
+    NSE_ASSIGN_OR_RETURN(std::optional<Operation> op, exec.Step(env));
+    if (!op.has_value()) return false;
+    if (op->is_write()) state.Set(op->entity, op->value);
+    ops.push_back(*op);
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<InterleaveResult> Interleave(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& choices,
+    bool require_complete) {
+  Arena arena(db, programs, initial);
+  for (size_t k = 0; k < choices.size(); ++k) {
+    size_t index = choices[k];
+    if (index >= programs.size()) {
+      return Status::InvalidArgument(
+          StrCat("choice ", k, " names program ", index, " of ",
+                 programs.size()));
+    }
+    NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
+    if (!stepped) {
+      return Status::InvalidArgument(
+          StrCat("choice ", k, " names finished program ", index));
+    }
+  }
+  NSE_ASSIGN_OR_RETURN(bool complete, arena.ProbeAllFinished());
+  if (require_complete && !complete) {
+    return Status::FailedPrecondition(
+        "choice sequence does not run every program to completion");
+  }
+  return InterleaveResult{Schedule(std::move(arena.ops)),
+                          std::move(arena.state), complete};
+}
+
+Result<InterleaveResult> ExecuteSerially(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& order) {
+  if (order.size() != programs.size()) {
+    return Status::InvalidArgument("order must list every program once");
+  }
+  Arena arena(db, programs, initial);
+  for (size_t index : order) {
+    if (index >= programs.size()) {
+      return Status::InvalidArgument(StrCat("bad program index ", index));
+    }
+    while (true) {
+      NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
+      if (!stepped) break;
+    }
+  }
+  NSE_ASSIGN_OR_RETURN(bool complete, arena.ProbeAllFinished());
+  NSE_CHECK(complete);
+  return InterleaveResult{Schedule(std::move(arena.ops)),
+                          std::move(arena.state), true};
+}
+
+Result<std::vector<size_t>> RandomChoices(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, Rng& rng) {
+  Arena arena(db, programs, initial);
+  std::vector<size_t> choices;
+  while (true) {
+    std::vector<size_t> live;
+    for (size_t i = 0; i < arena.execs.size(); ++i) {
+      NSE_ASSIGN_OR_RETURN(bool done, arena.execs[i].ProbeFinished());
+      if (!done) live.push_back(i);
+    }
+    if (live.empty()) break;
+    size_t index = live[rng.NextBelow(live.size())];
+    NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
+    NSE_CHECK(stepped);
+    choices.push_back(index);
+  }
+  return choices;
+}
+
+Result<std::vector<size_t>> NearSerialChoices(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, Rng& rng, size_t swaps) {
+  std::vector<size_t> order(programs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  Arena arena(db, programs, initial);
+  std::vector<size_t> choices;
+  for (size_t index : order) {
+    while (true) {
+      NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
+      if (!stepped) break;
+      choices.push_back(index);
+    }
+  }
+  if (choices.size() < 2) return choices;
+  for (size_t s = 0; s < swaps; ++s) {
+    size_t i = rng.NextBelow(choices.size() - 1);
+    if (choices[i] != choices[i + 1]) std::swap(choices[i], choices[i + 1]);
+  }
+  return choices;
+}
+
+namespace {
+
+Status EnumerateRec(const Database& db,
+                    const std::vector<const TransactionProgram*>& programs,
+                    const DbState& initial, std::vector<size_t>& prefix,
+                    uint64_t limit, uint64_t& visited, bool& stop,
+                    const InterleavingVisitor& visit) {
+  if (stop || visited >= limit) return Status::Ok();
+  // Replay the prefix. O(depth^2) per path, fine for the tiny scenarios
+  // exhaustive enumeration targets.
+  Arena arena(db, programs, initial);
+  for (size_t index : prefix) {
+    NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
+    NSE_CHECK(stepped);
+  }
+  NSE_ASSIGN_OR_RETURN(bool all_done, arena.ProbeAllFinished());
+  if (all_done) {
+    ++visited;
+    InterleaveResult result{Schedule(arena.ops), arena.state, true};
+    if (!visit(result, prefix)) stop = true;
+    return Status::Ok();
+  }
+  for (size_t i = 0; i < programs.size(); ++i) {
+    if (stop || visited >= limit) break;
+    NSE_ASSIGN_OR_RETURN(bool done, arena.execs[i].ProbeFinished());
+    if (done) continue;
+    prefix.push_back(i);
+    NSE_RETURN_IF_ERROR(EnumerateRec(db, programs, initial, prefix, limit,
+                                     visited, stop, visit));
+    prefix.pop_back();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<uint64_t> EnumerateInterleavings(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, uint64_t limit, const InterleavingVisitor& visit) {
+  std::vector<size_t> prefix;
+  uint64_t visited = 0;
+  bool stop = false;
+  NSE_RETURN_IF_ERROR(EnumerateRec(db, programs, initial, prefix, limit,
+                                   visited, stop, visit));
+  return visited;
+}
+
+}  // namespace nse

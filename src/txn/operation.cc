@@ -1,0 +1,21 @@
+#include "txn/operation.h"
+
+#include "common/string_util.h"
+
+namespace nse {
+
+const char* OpActionName(OpAction action) {
+  return action == OpAction::kRead ? "r" : "w";
+}
+
+std::string Operation::ToString(const Database& db) const {
+  return StrCat(OpActionName(action), txn, "(", db.NameOf(entity), ", ",
+                value.ToString(), ")");
+}
+
+bool Conflicts(const Operation& a, const Operation& b) {
+  return a.entity == b.entity && a.txn != b.txn &&
+         (a.is_write() || b.is_write());
+}
+
+}  // namespace nse

@@ -1,0 +1,78 @@
+// Operation: the paper's 3-tuple (action, entity, value) (§2.2), tagged with
+// the transaction it belongs to. Read operations carry the value returned;
+// write operations carry the value assigned — the value attribute is what
+// lets this library reason about non-serializable executions semantically.
+
+#ifndef NSE_TXN_OPERATION_H_
+#define NSE_TXN_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "state/database.h"
+#include "state/value.h"
+
+namespace nse {
+
+/// Identifier of a transaction within one schedule (1-based in rendering,
+/// matching the paper's T1, T2, ... convention).
+using TxnId = uint32_t;
+
+/// Operation type: read or write.
+enum class OpAction { kRead, kWrite };
+
+/// "r" or "w".
+const char* OpActionName(OpAction action);
+
+/// One read or write operation with its observed/assigned value.
+struct Operation {
+  OpAction action = OpAction::kRead;
+  ItemId entity = 0;
+  Value value;
+  TxnId txn = 0;
+
+  /// Builds a read operation r_txn(entity, value).
+  static Operation Read(TxnId txn, ItemId entity, Value value) {
+    return Operation{OpAction::kRead, entity, std::move(value), txn};
+  }
+  /// Builds a write operation w_txn(entity, value).
+  static Operation Write(TxnId txn, ItemId entity, Value value) {
+    return Operation{OpAction::kWrite, entity, std::move(value), txn};
+  }
+
+  /// True iff this is a read.
+  bool is_read() const { return action == OpAction::kRead; }
+  /// True iff this is a write.
+  bool is_write() const { return action == OpAction::kWrite; }
+
+  /// Renders e.g. "r1(a, 0)" using catalog names and 1-based txn ids.
+  std::string ToString(const Database& db) const;
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.action == b.action && a.entity == b.entity && a.value == b.value &&
+           a.txn == b.txn;
+  }
+};
+
+/// True iff the two operations conflict: same entity, different transactions,
+/// and at least one is a write.
+bool Conflicts(const Operation& a, const Operation& b);
+
+/// The structural part of an operation — the paper's struct() drops values.
+struct OpStruct {
+  OpAction action = OpAction::kRead;
+  ItemId entity = 0;
+
+  friend bool operator==(const OpStruct& a, const OpStruct& b) {
+    return a.action == b.action && a.entity == b.entity;
+  }
+};
+
+/// struct(o): the operation with its value erased.
+inline OpStruct StructOf(const Operation& op) {
+  return OpStruct{op.action, op.entity};
+}
+
+}  // namespace nse
+
+#endif  // NSE_TXN_OPERATION_H_

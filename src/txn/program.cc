@@ -1,0 +1,346 @@
+#include "txn/program.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "constraints/evaluator.h"
+#include "constraints/parser.h"
+
+namespace nse {
+
+StmtPtr AssignStmt(ItemId target, Term expr) {
+  return std::make_shared<const Stmt>(StmtKind::kAssign, target,
+                                      std::move(expr), nullptr, StmtBlock{},
+                                      StmtBlock{});
+}
+
+StmtPtr IfStmt(Formula cond, StmtBlock then_block, StmtBlock else_block) {
+  return std::make_shared<const Stmt>(StmtKind::kIf, 0, nullptr,
+                                      std::move(cond), std::move(then_block),
+                                      std::move(else_block));
+}
+
+Result<StmtPtr> MakeAssign(const Database& db, std::string_view item,
+                           std::string_view expr_text) {
+  NSE_ASSIGN_OR_RETURN(ItemId target, db.Find(item));
+  NSE_ASSIGN_OR_RETURN(Term expr, ParseTerm(db, expr_text));
+  return AssignStmt(target, std::move(expr));
+}
+
+Result<StmtPtr> MakeIf(const Database& db, std::string_view cond_text,
+                       StmtBlock then_block, StmtBlock else_block) {
+  NSE_ASSIGN_OR_RETURN(Formula cond, ParseFormula(db, cond_text));
+  return IfStmt(std::move(cond), std::move(then_block), std::move(else_block));
+}
+
+StmtPtr MustAssign(const Database& db, std::string_view item,
+                   std::string_view expr_text) {
+  auto result = MakeAssign(db, item, expr_text);
+  NSE_CHECK_MSG(result.ok(), "MustAssign: %s",
+                result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+StmtPtr MustIf(const Database& db, std::string_view cond_text,
+               StmtBlock then_block, StmtBlock else_block) {
+  auto result =
+      MakeIf(db, cond_text, std::move(then_block), std::move(else_block));
+  NSE_CHECK_MSG(result.ok(), "MustIf: %s", result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+namespace {
+
+void PrintBlock(const Database& db, const StmtBlock& block, int indent,
+                std::string& out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (const StmtPtr& stmt : block) {
+    if (stmt->kind() == StmtKind::kAssign) {
+      out += StrCat(pad, db.NameOf(stmt->target()), " := ",
+                    TermToString(db, stmt->expr()), ";\n");
+    } else {
+      out += StrCat(pad, "if (", FormulaToString(db, stmt->cond()),
+                    ") then {\n");
+      PrintBlock(db, stmt->then_block(), indent + 1, out);
+      if (!stmt->else_block().empty()) {
+        out += StrCat(pad, "} else {\n");
+        PrintBlock(db, stmt->else_block(), indent + 1, out);
+      }
+      out += StrCat(pad, "}\n");
+    }
+  }
+}
+
+void CollectBlockItems(const StmtBlock& block, DataSet& all, DataSet& writes) {
+  for (const StmtPtr& stmt : block) {
+    if (stmt->kind() == StmtKind::kAssign) {
+      all = DataSet::Union(all, ItemsOf(stmt->expr()));
+      all.Insert(stmt->target());
+      writes.Insert(stmt->target());
+    } else {
+      all = DataSet::Union(all, ItemsOf(stmt->cond()));
+      CollectBlockItems(stmt->then_block(), all, writes);
+      CollectBlockItems(stmt->else_block(), all, writes);
+    }
+  }
+}
+
+}  // namespace
+
+std::string TransactionProgram::ToString(const Database& db) const {
+  std::string out = StrCat(name_, ":\n");
+  PrintBlock(db, body_, 1, out);
+  return out;
+}
+
+DataSet ItemsOfBlock(const StmtBlock& block) {
+  DataSet all;
+  DataSet writes;
+  CollectBlockItems(block, all, writes);
+  return all;
+}
+
+DataSet WriteItemsOfBlock(const StmtBlock& block) {
+  DataSet all;
+  DataSet writes;
+  CollectBlockItems(block, all, writes);
+  return writes;
+}
+
+void CollectVarsInOrder(const Term& term, std::vector<ItemId>& out) {
+  if (term == nullptr) return;
+  if (term->kind() == TermKind::kVar) {
+    for (ItemId seen : out) {
+      if (seen == term->var()) return;
+    }
+    out.push_back(term->var());
+    return;
+  }
+  for (const Term& arg : term->args()) CollectVarsInOrder(arg, out);
+}
+
+void CollectVarsInOrder(const Formula& formula, std::vector<ItemId>& out) {
+  if (formula == nullptr) return;
+  if (formula->kind() == FormulaKind::kCmp) {
+    CollectVarsInOrder(formula->lhs(), out);
+    CollectVarsInOrder(formula->rhs(), out);
+    return;
+  }
+  for (const Formula& child : formula->children()) {
+    CollectVarsInOrder(child, out);
+  }
+}
+
+namespace {
+
+/// One replay pass over the program: consumes the recorded history and
+/// either completes (program finished) or stops at the first new operation.
+class ReplayPass {
+ public:
+  ReplayPass(const Database& db, const OpSequence& history, TxnId txn)
+      : db_(db), history_(history), txn_(txn) {}
+
+  /// The next operation discovered, if any. For writes the value is already
+  /// computed; for reads the value must be supplied by the environment.
+  struct Pending {
+    OpAction action;
+    ItemId item;
+    Value write_value;  // meaningful for writes only
+  };
+
+  /// Runs the pass. On return exactly one holds:
+  ///  * error() non-OK — the program is invalid or hit a type error;
+  ///  * pending() set — the next operation was found;
+  ///  * neither     — the program completed with no new operation.
+  void Run(const StmtBlock& body) {
+    ExecBlock(body);
+    if (!error_.ok() || stopped_) return;
+    NSE_CHECK_MSG(pos_ == history_.size(),
+                  "replay consumed %zu of %zu recorded ops", pos_,
+                  history_.size());
+  }
+
+  const Status& error() const { return error_; }
+  const std::optional<Pending>& pending() const { return pending_; }
+
+ private:
+  // Returns false when execution must unwind (stop or error).
+  bool ExecBlock(const StmtBlock& block) {
+    for (const StmtPtr& stmt : block) {
+      if (!ExecStmt(*stmt)) return false;
+    }
+    return true;
+  }
+
+  bool ExecStmt(const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kAssign) {
+      std::optional<Value> value = EvalTermHooked(stmt.expr());
+      if (!value.has_value()) return false;
+      return PerformWrite(stmt.target(), *value);
+    }
+    std::optional<bool> cond = EvalFormulaHooked(stmt.cond());
+    if (!cond.has_value()) return false;
+    return ExecBlock(*cond ? stmt.then_block() : stmt.else_block());
+  }
+
+  // Resolves all items of the term (DFS first-occurrence order) and
+  // evaluates it. nullopt = stopped or error.
+  std::optional<Value> EvalTermHooked(const Term& term) {
+    if (!ResolveVars(term)) return std::nullopt;
+    auto result = EvalTerm(term, env_);
+    if (!result.ok()) {
+      error_ = result.status();
+      return std::nullopt;
+    }
+    return *result;
+  }
+
+  std::optional<bool> EvalFormulaHooked(const Formula& formula) {
+    std::vector<ItemId> vars;
+    CollectVarsInOrder(formula, vars);
+    for (ItemId item : vars) {
+      if (!ResolveItem(item)) return std::nullopt;
+    }
+    auto result = EvalFormula(formula, env_);
+    if (!result.ok()) {
+      error_ = result.status();
+      return std::nullopt;
+    }
+    return *result;
+  }
+
+  bool ResolveVars(const Term& term) {
+    std::vector<ItemId> vars;
+    CollectVarsInOrder(term, vars);
+    for (ItemId item : vars) {
+      if (!ResolveItem(item)) return false;
+    }
+    return true;
+  }
+
+  // Ensures env_ has a value for `item`, emitting/replaying a read op if the
+  // transaction has not accessed it yet.
+  bool ResolveItem(ItemId item) {
+    if (env_.Has(item)) return true;  // already read or written locally
+    // This access is the next operation occurrence: a read.
+    if (pos_ < history_.size()) {
+      const Operation& recorded = history_[pos_];
+      NSE_CHECK_MSG(recorded.is_read() && recorded.entity == item,
+                    "replay divergence at op %zu of txn %u", pos_, txn_);
+      env_.Set(item, recorded.value);
+      ++pos_;
+      return true;
+    }
+    pending_ = Pending{OpAction::kRead, item, Value()};
+    stopped_ = true;
+    return false;
+  }
+
+  bool PerformWrite(ItemId item, const Value& value) {
+    if (written_.Contains(item)) {
+      error_ = Status::FailedPrecondition(
+          StrCat("program writes item ", db_.NameOf(item),
+                 " more than once (transaction model allows one write)"));
+      return false;
+    }
+    if (pos_ < history_.size()) {
+      const Operation& recorded = history_[pos_];
+      NSE_CHECK_MSG(recorded.is_write() && recorded.entity == item,
+                    "replay divergence at op %zu of txn %u", pos_, txn_);
+      NSE_CHECK_MSG(recorded.value == value,
+                    "nondeterministic write value at op %zu of txn %u", pos_,
+                    txn_);
+      ++pos_;
+      written_.Insert(item);
+      env_.Set(item, value);  // the transaction sees its own writes
+      return true;
+    }
+    pending_ = Pending{OpAction::kWrite, item, value};
+    stopped_ = true;
+    return false;
+  }
+
+  const Database& db_;
+  const OpSequence& history_;
+  TxnId txn_;
+  size_t pos_ = 0;       // ops of history consumed
+  DbState env_;          // values visible to the transaction (reads + own writes)
+  DataSet written_;      // items written so far
+  std::optional<Pending> pending_;
+  bool stopped_ = false;
+  Status error_;
+};
+
+}  // namespace
+
+ProgramExecution::ProgramExecution(const Database* db,
+                                   const TransactionProgram* program,
+                                   TxnId txn)
+    : db_(db), program_(program), txn_(txn) {
+  NSE_CHECK(db != nullptr && program != nullptr);
+}
+
+Result<std::optional<Operation>> ProgramExecution::Step(
+    const ReadEnv& read_env) {
+  if (finished_) return std::optional<Operation>();
+  ReplayPass pass(*db_, history_, txn_);
+  pass.Run(program_->body());
+  NSE_RETURN_IF_ERROR(pass.error());
+  if (!pass.pending().has_value()) {
+    finished_ = true;
+    return std::optional<Operation>();
+  }
+  const auto& pending = *pass.pending();
+  Operation op;
+  if (pending.action == OpAction::kRead) {
+    NSE_ASSIGN_OR_RETURN(Value value, read_env(pending.item));
+    op = Operation::Read(txn_, pending.item, std::move(value));
+  } else {
+    op = Operation::Write(txn_, pending.item, pending.write_value);
+  }
+  history_.push_back(op);
+  return std::optional<Operation>(op);
+}
+
+Result<bool> ProgramExecution::ProbeFinished() {
+  if (finished_) return true;
+  ReplayPass pass(*db_, history_, txn_);
+  pass.Run(program_->body());
+  NSE_RETURN_IF_ERROR(pass.error());
+  if (!pass.pending().has_value()) {
+    finished_ = true;
+    return true;
+  }
+  return false;
+}
+
+Result<Transaction> ProgramExecution::Finish() const {
+  if (!finished_) {
+    return Status::FailedPrecondition(
+        StrCat("transaction ", txn_, " has not finished executing"));
+  }
+  return Transaction(txn_, history_);
+}
+
+Result<IsolatedRun> RunInIsolation(const Database& db,
+                                   const TransactionProgram& program,
+                                   TxnId txn, const DbState& initial) {
+  ProgramExecution exec(&db, &program, txn);
+  DbState state = initial;
+  ReadEnv env = [&state, &db](ItemId item) -> Result<Value> {
+    auto value = state.Get(item);
+    if (!value.has_value()) {
+      return Status::FailedPrecondition(
+          StrCat("item ", db.NameOf(item), " unassigned in initial state"));
+    }
+    return *value;
+  };
+  while (true) {
+    NSE_ASSIGN_OR_RETURN(std::optional<Operation> op, exec.Step(env));
+    if (!op.has_value()) break;
+    if (op->is_write()) state.Set(op->entity, op->value);
+  }
+  NSE_ASSIGN_OR_RETURN(Transaction txn_result, exec.Finish());
+  return IsolatedRun{std::move(txn_result), std::move(state)};
+}
+
+}  // namespace nse

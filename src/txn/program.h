@@ -1,0 +1,194 @@
+// Transaction programs (§2.2): high-level programs whose execution from a
+// database state produces a transaction. The language has assignments and
+// if-then-else over the constraint expression language:
+//
+//   stmt := item ':=' term | if (formula) then stmts [else stmts]
+//
+// Evaluation semantics (fixed so that struct() is well-defined):
+//  * Evaluating a term or condition reads, in depth-first left-to-right
+//    order, every data item occurring in it that the transaction has not
+//    already read or written; each such first access emits a read operation
+//    carrying the value seen.
+//  * Re-reads are served from the transaction's cache (a transaction reads
+//    each item at most once and never reads an item after writing it).
+//  * An assignment emits one write operation; writing an item twice violates
+//    the transaction model and is reported as an error.
+//
+// ProgramExecution steps a program one *operation* at a time against an
+// arbitrary environment, which is what the interleaver uses to build
+// concurrent schedules with value attributes.
+
+#ifndef NSE_TXN_PROGRAM_H_
+#define NSE_TXN_PROGRAM_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "state/db_state.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+class Stmt;
+/// Shared immutable statement handle.
+using StmtPtr = std::shared_ptr<const Stmt>;
+/// A statement block.
+using StmtBlock = std::vector<StmtPtr>;
+
+/// Statement node kinds.
+enum class StmtKind { kAssign, kIf };
+
+/// One statement of a transaction program.
+class Stmt {
+ public:
+  Stmt(StmtKind kind, ItemId target, Term expr, Formula cond,
+       StmtBlock then_block, StmtBlock else_block)
+      : kind_(kind),
+        target_(target),
+        expr_(std::move(expr)),
+        cond_(std::move(cond)),
+        then_block_(std::move(then_block)),
+        else_block_(std::move(else_block)) {}
+
+  /// The node kind.
+  StmtKind kind() const { return kind_; }
+  /// Assignment target (kAssign only).
+  ItemId target() const { return target_; }
+  /// Assignment expression (kAssign only).
+  const Term& expr() const { return expr_; }
+  /// Branch condition (kIf only).
+  const Formula& cond() const { return cond_; }
+  /// Then-branch (kIf only).
+  const StmtBlock& then_block() const { return then_block_; }
+  /// Else-branch (kIf only; may be empty).
+  const StmtBlock& else_block() const { return else_block_; }
+
+ private:
+  StmtKind kind_;
+  ItemId target_;
+  Term expr_;
+  Formula cond_;
+  StmtBlock then_block_;
+  StmtBlock else_block_;
+};
+
+/// item := expr.
+StmtPtr AssignStmt(ItemId target, Term expr);
+/// if (cond) then then_block else else_block.
+StmtPtr IfStmt(Formula cond, StmtBlock then_block, StmtBlock else_block = {});
+
+/// item := expr with the item and expression given textually.
+Result<StmtPtr> MakeAssign(const Database& db, std::string_view item,
+                           std::string_view expr_text);
+/// if (cond_text) then ... else ... with a textual condition.
+Result<StmtPtr> MakeIf(const Database& db, std::string_view cond_text,
+                       StmtBlock then_block, StmtBlock else_block = {});
+
+/// Abort-on-error variants for tests and examples.
+StmtPtr MustAssign(const Database& db, std::string_view item,
+                   std::string_view expr_text);
+StmtPtr MustIf(const Database& db, std::string_view cond_text,
+               StmtBlock then_block, StmtBlock else_block = {});
+
+/// A named transaction program TP_i.
+class TransactionProgram {
+ public:
+  TransactionProgram() = default;
+  /// Builds a program from a statement block.
+  TransactionProgram(std::string name, StmtBlock body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  /// The program's name (e.g. "TP1").
+  const std::string& name() const { return name_; }
+  /// The top-level statements.
+  const StmtBlock& body() const { return body_; }
+
+  /// Pretty-prints the program source.
+  std::string ToString(const Database& db) const;
+
+ private:
+  std::string name_;
+  StmtBlock body_;
+};
+
+/// Data items occurring in `block` (reads and writes, all paths).
+DataSet ItemsOfBlock(const StmtBlock& block);
+
+/// Items possibly written by `block` on some path.
+DataSet WriteItemsOfBlock(const StmtBlock& block);
+
+/// Collects the data items of a term/formula in depth-first left-to-right
+/// *first-occurrence* order — the order program evaluation reads them.
+void CollectVarsInOrder(const Term& term, std::vector<ItemId>& out);
+void CollectVarsInOrder(const Formula& formula, std::vector<ItemId>& out);
+
+/// Supplies the value of an item visible to a transaction at this moment of
+/// the concurrent execution (typically: the shared database state).
+using ReadEnv = std::function<Result<Value>(ItemId)>;
+
+/// Step-wise execution of one program as one transaction.
+///
+/// The stepper re-interprets the program from its recorded operation history
+/// on every Step (oracle replay): deterministic evaluation makes the replay
+/// reach exactly the next operation, which is then performed against the
+/// environment. This keeps the interpreter simple while letting a scheduler
+/// interleave transactions at operation granularity.
+class ProgramExecution {
+ public:
+  /// Prepares an execution of `program` as transaction `txn`.
+  ProgramExecution(const Database* db, const TransactionProgram* program,
+                   TxnId txn);
+
+  /// True iff the program has emitted all its operations.
+  bool finished() const { return finished_; }
+
+  /// The transaction id.
+  TxnId txn() const { return txn_; }
+
+  /// The program being executed.
+  const TransactionProgram& program() const { return *program_; }
+
+  /// Operations emitted so far (the transaction prefix).
+  const OpSequence& history() const { return history_; }
+
+  /// Performs the next operation. If it is a read, `read_env` supplies the
+  /// visible value. The returned operation has been appended to history();
+  /// for a write the *caller* must apply it to the shared state. Returns
+  /// nullopt when the program is finished.
+  Result<std::optional<Operation>> Step(const ReadEnv& read_env);
+
+  /// True iff no operations remain. Decides by replay without performing
+  /// anything; latches finished() when the program turns out to be complete.
+  Result<bool> ProbeFinished();
+
+  /// The completed transaction; FailedPrecondition if not finished.
+  Result<Transaction> Finish() const;
+
+ private:
+  const Database* db_;
+  const TransactionProgram* program_;
+  TxnId txn_;
+  OpSequence history_;
+  bool finished_ = false;
+};
+
+/// A full isolated run of a program: [DS1] TP_i [DS2].
+struct IsolatedRun {
+  Transaction txn;      ///< the transaction produced
+  DbState final_state;  ///< DS2
+};
+
+/// Executes `program` in isolation from `initial` (which must assign every
+/// item the program may read).
+Result<IsolatedRun> RunInIsolation(const Database& db,
+                                   const TransactionProgram& program,
+                                   TxnId txn, const DbState& initial);
+
+}  // namespace nse
+
+#endif  // NSE_TXN_PROGRAM_H_

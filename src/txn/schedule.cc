@@ -1,0 +1,141 @@
+#include "txn/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+Schedule::Schedule(OpSequence ops) : ops_(std::move(ops)) {
+  for (const Operation& op : ops_) {
+    if (!std::binary_search(txn_ids_.begin(), txn_ids_.end(), op.txn)) {
+      txn_ids_.insert(
+          std::upper_bound(txn_ids_.begin(), txn_ids_.end(), op.txn), op.txn);
+    }
+  }
+}
+
+Result<Schedule> Schedule::FromOps(OpSequence ops) {
+  Schedule schedule(std::move(ops));
+  for (TxnId txn : schedule.txn_ids()) {
+    NSE_RETURN_IF_ERROR(
+        schedule.TransactionOf(txn).ValidateAccessDiscipline());
+  }
+  return schedule;
+}
+
+const Operation& Schedule::at(size_t p) const {
+  NSE_CHECK_MSG(p < ops_.size(), "schedule position %zu out of range %zu", p,
+                ops_.size());
+  return ops_[p];
+}
+
+Transaction Schedule::TransactionOf(TxnId txn) const {
+  return Transaction(txn, OpsOfTxn(ops_, txn));
+}
+
+std::vector<Transaction> Schedule::Transactions() const {
+  std::vector<Transaction> out;
+  out.reserve(txn_ids_.size());
+  for (TxnId txn : txn_ids_) out.push_back(TransactionOf(txn));
+  return out;
+}
+
+Schedule Schedule::Project(const DataSet& d) const {
+  return Schedule(ProjectOps(ops_, d));
+}
+
+OpSequence Schedule::BeforeOfTxn(TxnId txn, size_t p) const {
+  OpSequence out;
+  for (size_t i = 0; i < ops_.size() && i <= p; ++i) {
+    if (ops_[i].txn != txn) continue;
+    if (i < p || (i == p && ops_[p].txn == txn)) out.push_back(ops_[i]);
+  }
+  return out;
+}
+
+OpSequence Schedule::AfterOfTxn(TxnId txn, size_t p) const {
+  OpSequence out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].txn != txn) continue;
+    if (i > p) out.push_back(ops_[i]);
+  }
+  return out;
+}
+
+OpSequence Schedule::BeforeAll(size_t p) const {
+  OpSequence out;
+  for (size_t i = 0; i < ops_.size() && i <= p; ++i) out.push_back(ops_[i]);
+  return out;
+}
+
+std::optional<size_t> Schedule::LastOpIndexOf(TxnId txn) const {
+  std::optional<size_t> last;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].txn == txn) last = i;
+  }
+  return last;
+}
+
+bool Schedule::CompletedBy(TxnId txn, size_t p) const {
+  auto last = LastOpIndexOf(txn);
+  if (!last.has_value()) return true;
+  return *last <= p;
+}
+
+Result<ExecutionResult> Schedule::Execute(const DbState& initial) const {
+  ExecutionResult result;
+  DbState state = initial;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Operation& op = ops_[i];
+    if (op.is_write()) {
+      state.Set(op.entity, op.value);
+      continue;
+    }
+    auto visible = state.Get(op.entity);
+    if (!visible.has_value()) {
+      return Status::FailedPrecondition(
+          StrCat("read of item #", op.entity,
+                 " which is unassigned in the initial state"));
+    }
+    if (*visible != op.value) result.read_mismatches.push_back(i);
+  }
+  result.final_state = std::move(state);
+  return result;
+}
+
+DbState Schedule::PinnedInitialReads() const {
+  DbState pinned;
+  DataSet touched;
+  for (const Operation& op : ops_) {
+    if (touched.Contains(op.entity)) continue;
+    touched.Insert(op.entity);
+    if (op.is_read()) pinned.Set(op.entity, op.value);
+  }
+  return pinned;
+}
+
+DataSet Schedule::AccessedItems() const {
+  DataSet out;
+  for (const Operation& op : ops_) out.Insert(op.entity);
+  return out;
+}
+
+std::string Schedule::ToString(const Database& db) const {
+  return OpsToString(db, ops_);
+}
+
+ScheduleBuilder& ScheduleBuilder::R(TxnId txn, std::string_view item,
+                                    Value value) {
+  ops_.push_back(Operation::Read(txn, db_.MustFind(item), std::move(value)));
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::W(TxnId txn, std::string_view item,
+                                    Value value) {
+  ops_.push_back(Operation::Write(txn, db_.MustFind(item), std::move(value)));
+  return *this;
+}
+
+}  // namespace nse

@@ -1,0 +1,125 @@
+#include "txn/transaction.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+DataSet ReadSetOf(const OpSequence& seq) {
+  DataSet out;
+  for (const Operation& op : seq) {
+    if (op.is_read()) out.Insert(op.entity);
+  }
+  return out;
+}
+
+DataSet WriteSetOf(const OpSequence& seq) {
+  DataSet out;
+  for (const Operation& op : seq) {
+    if (op.is_write()) out.Insert(op.entity);
+  }
+  return out;
+}
+
+DbState ReadMapOf(const OpSequence& seq) {
+  DbState out;
+  for (const Operation& op : seq) {
+    if (op.is_read() && !out.Has(op.entity)) out.Set(op.entity, op.value);
+  }
+  return out;
+}
+
+DbState WriteMapOf(const OpSequence& seq) {
+  DbState out;
+  for (const Operation& op : seq) {
+    if (op.is_write()) out.Set(op.entity, op.value);
+  }
+  return out;
+}
+
+OpSequence ProjectOps(const OpSequence& seq, const DataSet& d) {
+  OpSequence out;
+  for (const Operation& op : seq) {
+    if (d.Contains(op.entity)) out.push_back(op);
+  }
+  return out;
+}
+
+OpSequence OpsOfTxn(const OpSequence& seq, TxnId txn) {
+  OpSequence out;
+  for (const Operation& op : seq) {
+    if (op.txn == txn) out.push_back(op);
+  }
+  return out;
+}
+
+std::vector<OpStruct> StructOf(const OpSequence& seq) {
+  std::vector<OpStruct> out;
+  out.reserve(seq.size());
+  for (const Operation& op : seq) out.push_back(StructOf(op));
+  return out;
+}
+
+std::string OpsToString(const Database& db, const OpSequence& seq) {
+  std::vector<std::string> parts;
+  parts.reserve(seq.size());
+  for (const Operation& op : seq) parts.push_back(op.ToString(db));
+  return StrJoin(parts, ", ");
+}
+
+std::string StructToString(const Database& db,
+                           const std::vector<OpStruct>& sig) {
+  std::vector<std::string> parts;
+  parts.reserve(sig.size());
+  for (const OpStruct& s : sig) {
+    parts.push_back(
+        StrCat(OpActionName(s.action), "(", db.NameOf(s.entity), ")"));
+  }
+  return StrJoin(parts, ", ");
+}
+
+Transaction::Transaction(TxnId id, OpSequence ops)
+    : id_(id), ops_(std::move(ops)) {
+  for (const Operation& op : ops_) {
+    NSE_CHECK_MSG(op.txn == id_, "op of txn %u placed in transaction %u",
+                  op.txn, id_);
+  }
+}
+
+Status Transaction::ValidateAccessDiscipline() const {
+  DataSet read_items;
+  DataSet written_items;
+  for (const Operation& op : ops_) {
+    if (op.is_read()) {
+      if (read_items.Contains(op.entity)) {
+        return Status::FailedPrecondition(
+            StrCat("transaction ", id_, " reads item #", op.entity,
+                   " more than once"));
+      }
+      if (written_items.Contains(op.entity)) {
+        return Status::FailedPrecondition(
+            StrCat("transaction ", id_, " reads item #", op.entity,
+                   " after writing it"));
+      }
+      read_items.Insert(op.entity);
+    } else {
+      if (written_items.Contains(op.entity)) {
+        return Status::FailedPrecondition(
+            StrCat("transaction ", id_, " writes item #", op.entity,
+                   " more than once"));
+      }
+      written_items.Insert(op.entity);
+    }
+  }
+  return Status::Ok();
+}
+
+DataSet Transaction::AccessSet() const {
+  return DataSet::Union(ReadSet(), WriteSet());
+}
+
+std::string Transaction::ToString(const Database& db) const {
+  return StrCat("T", id_, ": ", OpsToString(db, ops_));
+}
+
+}  // namespace nse

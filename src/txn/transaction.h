@@ -1,0 +1,108 @@
+// Transaction and operation-sequence notation from §2.2:
+//   RS(seq), read(seq), WS(seq), write(seq), seq^d, struct(seq).
+//
+// The free functions operate on arbitrary operation sequences (transactions,
+// schedules, before/after slices); Transaction wraps a sequence with its id
+// and validates the paper's access discipline (each item read at most once,
+// written at most once, never read after being written by the same
+// transaction).
+
+#ifndef NSE_TXN_TRANSACTION_H_
+#define NSE_TXN_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "state/database.h"
+#include "state/db_state.h"
+#include "txn/operation.h"
+
+namespace nse {
+
+/// An ordered operation sequence (the paper's `seq`).
+using OpSequence = std::vector<Operation>;
+
+/// RS(seq): items read by operations in seq.
+DataSet ReadSetOf(const OpSequence& seq);
+
+/// WS(seq): items written by operations in seq.
+DataSet WriteSetOf(const OpSequence& seq);
+
+/// read(seq): the database state "seen" by the reads in seq. If an item is
+/// read more than once (possible for schedules), the first read wins.
+DbState ReadMapOf(const OpSequence& seq);
+
+/// write(seq): the effect of the writes in seq on the database. If an item
+/// is written more than once, the last write wins.
+DbState WriteMapOf(const OpSequence& seq);
+
+/// seq^d: subsequence of operations whose entity lies in d.
+OpSequence ProjectOps(const OpSequence& seq, const DataSet& d);
+
+/// The subsequence of operations belonging to transaction `txn`.
+OpSequence OpsOfTxn(const OpSequence& seq, TxnId txn);
+
+/// struct(seq): the sequence with values erased.
+std::vector<OpStruct> StructOf(const OpSequence& seq);
+
+/// Renders "r1(a, 0), w2(d, 0), ..." using catalog names.
+std::string OpsToString(const Database& db, const OpSequence& seq);
+
+/// Renders a struct signature "r(a), r(c), w(b)".
+std::string StructToString(const Database& db,
+                           const std::vector<OpStruct>& sig);
+
+/// A transaction T_i = (OT_i, <_{OT_i}).
+class Transaction {
+ public:
+  Transaction() = default;
+
+  /// Wraps `ops` as the transaction `id`. Every op must carry txn == id.
+  Transaction(TxnId id, OpSequence ops);
+
+  /// The transaction id.
+  TxnId id() const { return id_; }
+
+  /// The ordered operations.
+  const OpSequence& ops() const { return ops_; }
+
+  /// Number of operations.
+  size_t size() const { return ops_.size(); }
+  /// True iff the transaction has no operations.
+  bool empty() const { return ops_.empty(); }
+
+  /// Validates the paper's access discipline: each item is read at most
+  /// once, written at most once, and never read after being written.
+  Status ValidateAccessDiscipline() const;
+
+  /// RS(T_i).
+  DataSet ReadSet() const { return ReadSetOf(ops_); }
+  /// WS(T_i).
+  DataSet WriteSet() const { return WriteSetOf(ops_); }
+  /// read(T_i).
+  DbState ReadMap() const { return ReadMapOf(ops_); }
+  /// write(T_i).
+  DbState WriteMap() const { return WriteMapOf(ops_); }
+  /// RS(T_i) ∪ WS(T_i): all items touched.
+  DataSet AccessSet() const;
+
+  /// T_i^d.
+  Transaction Project(const DataSet& d) const {
+    return Transaction(id_, ProjectOps(ops_, d));
+  }
+
+  /// struct(T_i).
+  std::vector<OpStruct> Struct() const { return StructOf(ops_); }
+
+  /// Renders "T1: r1(a, 0), r1(c, 5), w1(b, 5)".
+  std::string ToString(const Database& db) const;
+
+ private:
+  TxnId id_ = 0;
+  OpSequence ops_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_TXN_TRANSACTION_H_

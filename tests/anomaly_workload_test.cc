@@ -1,0 +1,116 @@
+// The anomaly workload: Example 2 scaled to N independent pairs. The
+// negative side of the theorem experiments must scale with it — PWSR
+// executions of the original programs violate strong correctness, and the
+// §3.1 fixed-structure repairs restore Theorem 1.
+
+#include <gtest/gtest.h>
+
+#include "analysis/violation_search.h"
+#include "scheduler/workload.h"
+#include "txn/interleaver.h"
+
+namespace nse {
+namespace {
+
+TEST(AnomalyWorkloadTest, ShapeAndStructureVerdicts) {
+  for (bool fixed : {false, true}) {
+    auto workload = MakeAnomalyWorkload(/*pairs=*/2, fixed);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    EXPECT_EQ(workload->db.num_items(), 6u);
+    EXPECT_EQ(workload->ic->num_conjuncts(), 4u);
+    EXPECT_TRUE(workload->ic->disjoint());
+    EXPECT_EQ(workload->programs.size(), 4u);
+    for (const auto& program : workload->programs) {
+      StructureAnalysis analysis = AnalyzeStructure(workload->db, program);
+      EXPECT_TRUE(analysis.valid);
+      EXPECT_EQ(analysis.fixed, fixed) << program.name();
+    }
+  }
+  EXPECT_FALSE(MakeAnomalyWorkload(0, false).ok());
+}
+
+TEST(AnomalyWorkloadTest, ProgramsAreCorrectInIsolation) {
+  // The standing assumption of the paper holds for both variants: each
+  // program alone maps consistent states to consistent states.
+  for (bool fixed : {false, true}) {
+    auto workload = MakeAnomalyWorkload(2, fixed);
+    ASSERT_TRUE(workload.ok());
+    ConsistencyChecker checker(workload->db, *workload->ic);
+    Rng rng(fixed ? 11u : 12u);
+    for (const auto& program : workload->programs) {
+      for (int trial = 0; trial < 8; ++trial) {
+        auto initial = checker.SampleConsistentState(rng);
+        ASSERT_TRUE(initial.ok());
+        auto run = RunInIsolation(workload->db, program, 1, *initial);
+        ASSERT_TRUE(run.ok()) << program.name() << ": " << run.status();
+        auto consistent = checker.IsConsistent(run->final_state);
+        ASSERT_TRUE(consistent.ok());
+        EXPECT_TRUE(*consistent)
+            << program.name() << " from " << initial->ToString(workload->db);
+      }
+    }
+  }
+}
+
+TEST(AnomalyWorkloadTest, OriginalProgramsViolateUnderPwsrOnly) {
+  auto workload = MakeAnomalyWorkload(/*pairs=*/1, /*fixed_structure=*/false);
+  ASSERT_TRUE(workload.ok());
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  Rng rng(99);
+  auto outcome =
+      SearchForViolations(workload->db, *workload->ic,
+                          workload->ProgramPtrs(), filter, rng, 600);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->violations, 0u);
+}
+
+TEST(AnomalyWorkloadTest, RepairedProgramsSatisfyTheorem1) {
+  auto workload = MakeAnomalyWorkload(/*pairs=*/2, /*fixed_structure=*/true);
+  ASSERT_TRUE(workload.ok());
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_fixed_structure = true;
+  Rng rng(101);
+  auto outcome =
+      SearchForViolations(workload->db, *workload->ic,
+                          workload->ProgramPtrs(), filter, rng, 300);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->checked, 0u);
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+TEST(AnomalyWorkloadTest, ViolationsScaleAcrossPairs) {
+  // With two independent pairs, the Example 2 interleaving of either pair
+  // alone produces a violation; an exhaustive search over a crafted initial
+  // state must find some.
+  auto workload = MakeAnomalyWorkload(2, false);
+  ASSERT_TRUE(workload.ok());
+  const Database& db = workload->db;
+  DbState initial = DbState::OfNamed(db, {{"a0", Value(-1)},
+                                          {"b0", Value(-1)},
+                                          {"c0", Value(1)},
+                                          {"a1", Value(-1)},
+                                          {"b1", Value(-1)},
+                                          {"c1", Value(1)}});
+  ConsistencyChecker checker(db, *workload->ic);
+  auto consistent = checker.IsConsistent(initial);
+  ASSERT_TRUE(consistent.ok());
+  ASSERT_TRUE(*consistent);
+
+  // Drive pair 0 through the paper's bad interleaving while pair 1 runs
+  // serially afterwards: programs are [TP1_0, TP2_0, TP1_1, TP2_1].
+  // TP1_1 emits w(a1), r(c1), r(b1), w(b1) (c1 = 1 > 0): 4 ops; TP2_1
+  // emits r(a1), r(b1), w(c1): 3 ops.
+  std::vector<size_t> choices{0, 1, 1, 1, 0,        // Example 2 on pair 0
+                              2, 2, 2, 2, 3, 3, 3}; // pair 1, serial
+  auto run = Interleave(db, workload->ProgramPtrs(), initial, choices);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(CheckPwsr(run->schedule, *workload->ic).is_pwsr);
+  auto report = CheckExecution(checker, run->schedule, initial);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->strongly_correct);
+}
+
+}  // namespace
+}  // namespace nse

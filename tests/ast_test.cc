@@ -1,0 +1,86 @@
+#include "constraints/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+class AstTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(AstTest, TermFactoriesAndPrinting) {
+  Term t = Mul(Add(Var(db_, "a"), Const(Value(1))), Abs(Var(db_, "b")));
+  EXPECT_EQ(TermToString(db_, t), "((a + 1) * abs(b))");
+  EXPECT_EQ(TermToString(db_, Min(Var(db_, "a"), Const(Value(0)))),
+            "min(a, 0)");
+  EXPECT_EQ(TermToString(db_, Neg(Var(db_, "c"))), "-c");
+  EXPECT_EQ(TermToString(db_, Sub(Var(db_, "a"), Var(db_, "b"))), "(a - b)");
+}
+
+TEST_F(AstTest, FormulaFactoriesAndPrinting) {
+  Formula f = Implies(Gt(Var(db_, "a"), Const(Value(0))),
+                      Gt(Var(db_, "b"), Const(Value(0))));
+  EXPECT_EQ(FormulaToString(db_, f), "(a > 0) -> (b > 0)");
+  EXPECT_EQ(FormulaToString(db_, Not(Eq(Var(db_, "a"), Var(db_, "b")))),
+            "!(a = b)");
+  EXPECT_EQ(FormulaToString(db_, True()), "true");
+  EXPECT_EQ(FormulaToString(db_, False()), "false");
+}
+
+TEST_F(AstTest, ItemsOfCollectsAllVariables) {
+  Formula f = And(Gt(Var(db_, "a"), Const(Value(0))),
+                  Eq(Var(db_, "b"), Var(db_, "c")));
+  EXPECT_EQ(ItemsOf(f), db_.SetOf({"a", "b", "c"}));
+  EXPECT_EQ(ItemsOf(Const(Value(5))), DataSet());
+  EXPECT_EQ(ItemsOf(True()), DataSet());
+}
+
+TEST_F(AstTest, StructuralEquality) {
+  Term t1 = Add(Var(db_, "a"), Const(Value(1)));
+  Term t2 = Add(Var(db_, "a"), Const(Value(1)));
+  Term t3 = Add(Var(db_, "a"), Const(Value(2)));
+  EXPECT_TRUE(TermEquals(t1, t2));
+  EXPECT_FALSE(TermEquals(t1, t3));
+  EXPECT_FALSE(TermEquals(t1, Var(db_, "a")));
+
+  Formula f1 = Gt(t1, Const(Value(0)));
+  Formula f2 = Gt(t2, Const(Value(0)));
+  Formula f3 = Ge(t1, Const(Value(0)));
+  EXPECT_TRUE(FormulaEquals(f1, f2));
+  EXPECT_FALSE(FormulaEquals(f1, f3));
+}
+
+TEST_F(AstTest, TopLevelConjunctsFlattensNestedAnd) {
+  Formula a = Gt(Var(db_, "a"), Const(Value(0)));
+  Formula b = Gt(Var(db_, "b"), Const(Value(0)));
+  Formula c = Gt(Var(db_, "c"), Const(Value(0)));
+  Formula nested = And(And(a, b), c);
+  auto conjuncts = TopLevelConjuncts(nested);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_TRUE(FormulaEquals(conjuncts[0], a));
+  EXPECT_TRUE(FormulaEquals(conjuncts[2], c));
+  // A disjunction is a single conjunct.
+  EXPECT_EQ(TopLevelConjuncts(Or(a, b)).size(), 1u);
+}
+
+TEST_F(AstTest, SingletonAndOrCollapse) {
+  Formula a = Gt(Var(db_, "a"), Const(Value(0)));
+  EXPECT_TRUE(FormulaEquals(And(std::vector<Formula>{a}), a));
+  EXPECT_TRUE(FormulaEquals(Or(std::vector<Formula>{a}), a));
+}
+
+TEST_F(AstTest, FormulaSizeCountsNodes) {
+  Formula f = Gt(Add(Var(db_, "a"), Const(Value(1))), Const(Value(0)));
+  // cmp + (add + var + const) + const = 5.
+  EXPECT_EQ(FormulaSize(f), 5u);
+  EXPECT_EQ(FormulaSize(True()), 1u);
+  EXPECT_GT(FormulaSize(And(f, f)), FormulaSize(f));
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,104 @@
+#include "analysis/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+class ConflictGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(ConflictGraphTest, EdgesFollowConflictOrder) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).W(2, "a", Value(1)).W(1, "b", Value(2));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  EXPECT_TRUE(g.HasEdge(1, 2));   // r1(a) before w2(a)
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.Edges().size(), 1u);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(g.ToString(), "T1 -> T2");
+}
+
+TEST_F(ConflictGraphTest, ReadsDoNotConflict) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).R(2, "a", Value(0));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  EXPECT_TRUE(g.Edges().empty());
+}
+
+TEST_F(ConflictGraphTest, ClassicNonSerializableCycle) {
+  // r1(a) w2(a) r2(b) w1(b): T1 -> T2 (on a), T2 -> T1 (on b).
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0))
+      .W(2, "a", Value(1))
+      .R(2, "b", Value(0))
+      .W(1, "b", Value(1));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_EQ(g.TopologicalOrder(), std::nullopt);
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  EXPECT_TRUE(g.AllTopologicalOrders(10).empty());
+}
+
+TEST_F(ConflictGraphTest, TopologicalOrderRespectsEdges) {
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1))
+      .R(2, "a", Value(1))
+      .W(2, "b", Value(2))
+      .R(3, "b", Value(2));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST_F(ConflictGraphTest, AllTopologicalOrdersOfIndependentTxns) {
+  // No conflicts: both orders of two transactions are serialization orders.
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).R(2, "b", Value(0));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  auto orders = g.AllTopologicalOrders(10);
+  EXPECT_EQ(orders.size(), 2u);
+  auto limited = g.AllTopologicalOrders(1);
+  EXPECT_EQ(limited.size(), 1u);
+}
+
+TEST_F(ConflictGraphTest, SingleAndEmptySchedules) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(*g.TopologicalOrder(), (std::vector<TxnId>{1}));
+
+  ConflictGraph empty = ConflictGraph::Build(Schedule());
+  EXPECT_TRUE(empty.IsAcyclic());
+  EXPECT_TRUE(empty.TopologicalOrder()->empty());
+  EXPECT_FALSE(empty.FindCycle().has_value());
+}
+
+TEST_F(ConflictGraphTest, ThreeTxnCycleFound) {
+  // T1 -> T2 -> T3 -> T1.
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0))
+      .W(2, "a", Value(1))   // T1 -> T2
+      .R(2, "b", Value(0))
+      .W(3, "b", Value(1))   // T2 -> T3
+      .R(3, "c", Value(0))
+      .W(1, "c", Value(1));  // T3 -> T1
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+  EXPECT_FALSE(g.IsAcyclic());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 4u);  // 3 nodes + repeated head
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,87 @@
+#include "state/database.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(DataSetTest, ConstructionDeduplicatesAndSorts) {
+  DataSet s({3, 1, 3, 2});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.items(), (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(DataSetTest, InsertRemoveContains) {
+  DataSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(5);
+  s.Insert(2);
+  s.Insert(5);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(5));
+  s.Remove(5);
+  EXPECT_FALSE(s.Contains(5));
+  s.Remove(99);  // no-op
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(DataSetTest, SetAlgebra) {
+  DataSet a({1, 2, 3});
+  DataSet b({3, 4});
+  EXPECT_EQ(DataSet::Union(a, b), DataSet({1, 2, 3, 4}));
+  EXPECT_EQ(DataSet::Intersect(a, b), DataSet({3}));
+  EXPECT_EQ(DataSet::Minus(a, b), DataSet({1, 2}));
+  EXPECT_EQ(DataSet::Minus(b, a), DataSet({4}));
+}
+
+TEST(DataSetTest, DisjointAndSubset) {
+  EXPECT_TRUE(DataSet::Disjoint(DataSet({1, 2}), DataSet({3, 4})));
+  EXPECT_FALSE(DataSet::Disjoint(DataSet({1, 2}), DataSet({2, 3})));
+  EXPECT_TRUE(DataSet::Disjoint(DataSet(), DataSet({1})));
+  EXPECT_TRUE(DataSet({1, 2}).IsSubsetOf(DataSet({1, 2, 3})));
+  EXPECT_FALSE(DataSet({1, 4}).IsSubsetOf(DataSet({1, 2, 3})));
+  EXPECT_TRUE(DataSet().IsSubsetOf(DataSet()));
+}
+
+TEST(DatabaseTest, AddAndFind) {
+  Database db;
+  auto a = db.AddItem("a", Domain::IntRange(0, 1));
+  ASSERT_TRUE(a.ok());
+  auto b = db.AddItem("b", Domain::Bool());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(db.num_items(), 2u);
+  EXPECT_EQ(*db.Find("a"), *a);
+  EXPECT_EQ(db.MustFind("b"), *b);
+  EXPECT_EQ(db.NameOf(*a), "a");
+  EXPECT_EQ(db.DomainOf(*b).value_type(), ValueType::kBool);
+}
+
+TEST(DatabaseTest, RejectsDuplicatesAndEmptyNames) {
+  Database db;
+  ASSERT_TRUE(db.AddItem("a", Domain()).ok());
+  EXPECT_EQ(db.AddItem("a", Domain()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.AddItem("", Domain()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Find("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, AddIntItemsAndAllItems) {
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "y", "z"}, -1, 1).ok());
+  EXPECT_EQ(db.num_items(), 3u);
+  EXPECT_EQ(db.AllItems().size(), 3u);
+  EXPECT_TRUE(db.AllItems().Contains(db.MustFind("y")));
+}
+
+TEST(DatabaseTest, SetOfAndRendering) {
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"a", "b", "c"}, 0, 1).ok());
+  DataSet s = db.SetOf({"c", "a"});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(db.DataSetToString(s), "{a, c}");
+  EXPECT_EQ(db.DataSetToString(DataSet()), "{}");
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,107 @@
+#include "state/db_state.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+class DbStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -16, 16).ok());
+  }
+  Database db_;
+};
+
+TEST_F(DbStateTest, SetGetUnset) {
+  DbState s;
+  EXPECT_TRUE(s.empty());
+  s.Set(db_.MustFind("a"), Value(5));
+  EXPECT_EQ(s.Get(db_.MustFind("a")), Value(5));
+  EXPECT_EQ(s.Get(db_.MustFind("b")), std::nullopt);
+  s.Set(db_.MustFind("a"), Value(6));  // overwrite
+  EXPECT_EQ(s.MustGet(db_.MustFind("a")), Value(6));
+  s.Unset(db_.MustFind("a"));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_F(DbStateTest, OfNamedAndToString) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(5)}, {"b", Value(6)}});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ToString(db_), "{(a, 5), (b, 6)}");
+}
+
+TEST_F(DbStateTest, RestrictIsPaperProjection) {
+  // DS^d keeps exactly the items of d.
+  DbState s = DbState::OfNamed(
+      db_, {{"a", Value(0)}, {"b", Value(10)}, {"c", Value(5)}});
+  DbState r = s.Restrict(db_.SetOf({"a", "c", "d"}));
+  EXPECT_EQ(r, DbState::OfNamed(db_, {{"a", Value(0)}, {"c", Value(5)}}));
+}
+
+TEST_F(DbStateTest, UnionMergesDisjoint) {
+  DbState x = DbState::OfNamed(db_, {{"a", Value(1)}});
+  DbState y = DbState::OfNamed(db_, {{"b", Value(2)}});
+  auto u = DbState::Union(x, y);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(2)}}));
+}
+
+TEST_F(DbStateTest, UnionAgreesOnOverlap) {
+  DbState x = DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(2)}});
+  DbState y = DbState::OfNamed(db_, {{"b", Value(2)}, {"c", Value(3)}});
+  ASSERT_TRUE(DbState::Union(x, y).ok());
+}
+
+TEST_F(DbStateTest, UnionUndefinedOnConflict) {
+  // The paper's ⊔ is undefined when the operands disagree.
+  DbState x = DbState::OfNamed(db_, {{"a", Value(1)}});
+  DbState y = DbState::OfNamed(db_, {{"a", Value(2)}});
+  auto u = DbState::Union(x, y);
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DbStateTest, OverrideFavorsUpdate) {
+  DbState base = DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(2)}});
+  DbState update = DbState::OfNamed(db_, {{"b", Value(9)}, {"c", Value(3)}});
+  DbState merged = DbState::Override(base, update);
+  EXPECT_EQ(merged, DbState::OfNamed(db_, {{"a", Value(1)},
+                                           {"b", Value(9)},
+                                           {"c", Value(3)}}));
+}
+
+TEST_F(DbStateTest, SubstateAndCompatibility) {
+  DbState small = DbState::OfNamed(db_, {{"a", Value(1)}});
+  DbState big = DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(2)}});
+  DbState other = DbState::OfNamed(db_, {{"a", Value(3)}});
+  EXPECT_TRUE(small.IsSubstateOf(big));
+  EXPECT_FALSE(big.IsSubstateOf(small));
+  EXPECT_TRUE(DbState::Compatible(small, big));
+  EXPECT_FALSE(DbState::Compatible(small, other));
+  EXPECT_TRUE(DbState::Compatible(DbState(), big));
+}
+
+TEST_F(DbStateTest, TotalityAndDomains) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(0)},
+                                     {"b", Value(0)},
+                                     {"c", Value(0)},
+                                     {"d", Value(0)}});
+  EXPECT_TRUE(s.IsTotalOver(db_));
+  EXPECT_TRUE(s.RespectsDomains(db_));
+  s.Unset(db_.MustFind("d"));
+  EXPECT_FALSE(s.IsTotalOver(db_));
+  s.Set(db_.MustFind("a"), Value(100));  // outside [-16, 16]
+  EXPECT_FALSE(s.RespectsDomains(db_));
+}
+
+TEST_F(DbStateTest, AssignedItemsAndDisagreements) {
+  DbState x = DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(2)}});
+  DbState y = DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(5)}});
+  EXPECT_EQ(x.AssignedItems(), db_.SetOf({"a", "b"}));
+  EXPECT_EQ(x.DisagreementItems(y), db_.SetOf({"b"}));
+  EXPECT_EQ(x.DisagreementItems(x), DataSet());
+}
+
+}  // namespace
+}  // namespace nse

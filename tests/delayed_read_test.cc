@@ -1,0 +1,139 @@
+#include "analysis/delayed_read.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/reads_from.h"
+#include "common/rng.h"
+
+namespace nse {
+namespace {
+
+class DelayedReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(DelayedReadTest, ReadsFromPairsAndInitialReads) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0))   // 0: from initial
+      .W(1, "a", Value(1)) // 1
+      .W(2, "b", Value(2)) // 2
+      .R(3, "a", Value(1)) // 3: reads from 1
+      .R(3, "b", Value(2)); // 4: reads from 2
+  Schedule s = sb.Build();
+  auto pairs = ReadsFromPairs(s);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].reader_pos, 3u);
+  EXPECT_EQ(pairs[0].writer_pos, 1u);
+  EXPECT_EQ(pairs[1].reader_pos, 4u);
+  EXPECT_EQ(pairs[1].writer_pos, 2u);
+  EXPECT_EQ(ReadsFromInitial(s), (std::vector<size_t>{0}));
+  EXPECT_EQ(SourceOfRead(s, 0), std::nullopt);
+  EXPECT_EQ(SourceOfRead(s, 3), 1u);
+}
+
+TEST_F(DelayedReadTest, ReadsFromTakesLastPrecedingWrite) {
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1)).W(2, "a", Value(2)).R(3, "a", Value(2));
+  auto pairs = ReadsFromPairs(sb.Build());
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].writer_pos, 1u);  // T2's write, not T1's
+}
+
+TEST_F(DelayedReadTest, DrHoldsWhenWriterCompleted) {
+  // T1 writes a and completes, then T2 reads a: DR.
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1)).R(1, "b", Value(0)).R(2, "a", Value(1));
+  EXPECT_TRUE(IsDelayedRead(sb.Build()));
+  EXPECT_TRUE(IsAvoidsCascadingAborts(sb.Build()));
+}
+
+TEST_F(DelayedReadTest, DrViolatedByEarlyRead) {
+  // T2 reads T1's write while T1 still has an operation left.
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1)).R(2, "a", Value(1)).R(1, "b", Value(0));
+  Schedule s = sb.Build();
+  EXPECT_FALSE(IsDelayedRead(s));
+  auto violation = FindDrViolation(s);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->reader_pos, 1u);
+  EXPECT_EQ(violation->writer_pos, 0u);
+  EXPECT_EQ(violation->writer_txn, 1u);
+  EXPECT_FALSE(violation->ToString(db_, s).empty());
+}
+
+TEST_F(DelayedReadTest, OverwriteByCompletedTxnRestoresReadability) {
+  // T1 writes a (incomplete); T2 overwrites a and completes; T3 reads a
+  // from T2 — legal in DR (the paper's remark after Definition 5).
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1))
+      .W(2, "a", Value(2))
+      .R(3, "a", Value(2))
+      .R(1, "b", Value(0));  // T1 completes only here
+  EXPECT_TRUE(IsDelayedRead(sb.Build()));
+  // ... but it is not strict: T2 overwrote uncommitted data.
+  EXPECT_FALSE(IsStrict(sb.Build()));
+}
+
+TEST_F(DelayedReadTest, StrictViolationWitness) {
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1)).W(2, "a", Value(2)).R(1, "b", Value(0));
+  auto violation = FindStrictViolation(sb.Build());
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->reader_pos, 1u);
+  EXPECT_EQ(violation->writer_txn, 1u);
+}
+
+TEST_F(DelayedReadTest, StrictSchedulePasses) {
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1))
+      .R(1, "b", Value(0))
+      .R(2, "a", Value(1))
+      .W(2, "a", Value(3));
+  EXPECT_TRUE(IsStrict(sb.Build()));
+  EXPECT_TRUE(IsDelayedRead(sb.Build()));
+}
+
+TEST_F(DelayedReadTest, EmptyAndSingleOpSchedules) {
+  EXPECT_TRUE(IsDelayedRead(Schedule()));
+  EXPECT_TRUE(IsStrict(Schedule()));
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0));
+  EXPECT_TRUE(IsDelayedRead(sb.Build()));
+}
+
+class DrHierarchyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DrHierarchyPropertyTest, StrictImpliesDrOnRandomSchedules) {
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "y", "z"}, -8, 8).ok());
+  Rng rng(GetParam());
+  int strict_count = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    OpSequence ops;
+    for (int step = 0; step < 8; ++step) {
+      TxnId txn = static_cast<TxnId>(rng.NextBelow(3) + 1);
+      ItemId item = static_cast<ItemId>(rng.NextBelow(3));
+      if (rng.NextBool(0.5)) {
+        ops.push_back(Operation::Write(txn, item, Value(step)));
+      } else {
+        ops.push_back(Operation::Read(txn, item, Value(0)));
+      }
+    }
+    Schedule s(std::move(ops));
+    if (IsStrict(s)) {
+      ++strict_count;
+      EXPECT_TRUE(IsDelayedRead(s)) << s.ToString(db);
+    }
+  }
+  EXPECT_GT(strict_count, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrHierarchyPropertyTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,79 @@
+#include "state/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(DomainTest, IntRangeContainsAndSize) {
+  Domain d = Domain::IntRange(-2, 3);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_TRUE(d.Contains(Value(-2)));
+  EXPECT_TRUE(d.Contains(Value(3)));
+  EXPECT_FALSE(d.Contains(Value(-3)));
+  EXPECT_FALSE(d.Contains(Value(4)));
+  EXPECT_FALSE(d.Contains(Value(true)));
+  EXPECT_FALSE(d.Contains(Value("2")));
+}
+
+TEST(DomainTest, IntRangeAtEnumeratesAscending) {
+  Domain d = Domain::IntRange(5, 7);
+  EXPECT_EQ(d.At(0), Value(5));
+  EXPECT_EQ(d.At(1), Value(6));
+  EXPECT_EQ(d.At(2), Value(7));
+}
+
+TEST(DomainTest, IntSetDeduplicatesAndSorts) {
+  Domain d = Domain::IntSet({5, 1, 5, 3});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.At(0), Value(1));
+  EXPECT_EQ(d.At(2), Value(5));
+  EXPECT_TRUE(d.Contains(Value(3)));
+  EXPECT_FALSE(d.Contains(Value(2)));
+}
+
+TEST(DomainTest, BoolDomain) {
+  Domain d = Domain::Bool();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.At(0), Value(false));
+  EXPECT_EQ(d.At(1), Value(true));
+  EXPECT_TRUE(d.Contains(Value(true)));
+  EXPECT_FALSE(d.Contains(Value(1)));
+  EXPECT_EQ(d.value_type(), ValueType::kBool);
+}
+
+TEST(DomainTest, StringSet) {
+  Domain d = Domain::StringSet({"b", "a", "b"});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.At(0), Value("a"));
+  EXPECT_TRUE(d.Contains(Value("b")));
+  EXPECT_FALSE(d.Contains(Value("c")));
+  EXPECT_EQ(d.value_type(), ValueType::kString);
+}
+
+TEST(DomainTest, EnumerateRespectsLimit) {
+  Domain d = Domain::IntRange(0, 999);
+  auto small = d.Enumerate(/*limit=*/10);
+  EXPECT_FALSE(small.ok());
+  EXPECT_EQ(small.status().code(), StatusCode::kOutOfRange);
+  auto all = d.Enumerate();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1000u);
+  EXPECT_EQ((*all)[0], Value(0));
+  EXPECT_EQ((*all)[999], Value(999));
+}
+
+TEST(DomainTest, ToStringForms) {
+  EXPECT_EQ(Domain::IntRange(-1, 2).ToString(), "int[-1..2]");
+  EXPECT_EQ(Domain::IntSet({2, 1}).ToString(), "int{1,2}");
+  EXPECT_EQ(Domain::Bool().ToString(), "bool");
+}
+
+TEST(DomainTest, DefaultDomainIsSmallIntRange) {
+  Domain d;
+  EXPECT_EQ(d.value_type(), ValueType::kInt);
+  EXPECT_TRUE(d.Contains(Value(0)));
+}
+
+}  // namespace
+}  // namespace nse

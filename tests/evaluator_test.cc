@@ -1,0 +1,142 @@
+#include "constraints/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+
+namespace nse {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -100, 100).ok());
+  }
+
+  Formula F(std::string_view text) {
+    auto f = ParseFormula(db_, text);
+    EXPECT_TRUE(f.ok()) << f.status();
+    return *f;
+  }
+  Term T(std::string_view text) {
+    auto t = ParseTerm(db_, text);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return *t;
+  }
+
+  Database db_;
+};
+
+TEST_F(EvaluatorTest, TermArithmetic) {
+  DbState s = DbState::OfNamed(
+      db_, {{"a", Value(3)}, {"b", Value(-4)}, {"c", Value(0)}});
+  EXPECT_EQ(*EvalTerm(T("a + b"), s), Value(-1));
+  EXPECT_EQ(*EvalTerm(T("a - b"), s), Value(7));
+  EXPECT_EQ(*EvalTerm(T("a * b"), s), Value(-12));
+  EXPECT_EQ(*EvalTerm(T("-a"), s), Value(-3));
+  EXPECT_EQ(*EvalTerm(T("abs(b)"), s), Value(4));
+  EXPECT_EQ(*EvalTerm(T("min(a, b)"), s), Value(-4));
+  EXPECT_EQ(*EvalTerm(T("max(a, c)"), s), Value(3));
+}
+
+TEST_F(EvaluatorTest, StringConcatenationViaPlus) {
+  Database db;
+  ASSERT_TRUE(db.AddItem("s", Domain::StringSet({"ab"})).ok());
+  DbState state;
+  state.Set(db.MustFind("s"), Value("ab"));
+  auto t = ParseTerm(db, "s + \"cd\"");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*EvalTerm(*t, state), Value("abcd"));
+}
+
+TEST_F(EvaluatorTest, UnassignedItemIsError) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(1)}});
+  auto result = EvalTerm(T("a + b"), s);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(EvalFormula(F("b > 0"), s).ok());
+}
+
+TEST_F(EvaluatorTest, TypeErrorsReported) {
+  Database db;
+  ASSERT_TRUE(db.AddItem("flag", Domain::Bool()).ok());
+  DbState s;
+  s.Set(db.MustFind("flag"), Value(true));
+  auto plus = ParseTerm(db, "flag + 1");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_FALSE(EvalTerm(*plus, s).ok());
+  auto cmp = ParseFormula(db, "flag < true");
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_FALSE(EvalFormula(*cmp, s).ok());  // ordered bool comparison
+  auto eq = ParseFormula(db, "flag = true");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*EvalFormula(*eq, s));
+}
+
+TEST_F(EvaluatorTest, FormulaConnectives) {
+  DbState s = DbState::OfNamed(
+      db_, {{"a", Value(1)}, {"b", Value(0)}, {"c", Value(-1)}});
+  EXPECT_TRUE(*EvalFormula(F("a > 0 & b = 0"), s));
+  EXPECT_FALSE(*EvalFormula(F("a > 0 & c > 0"), s));
+  EXPECT_TRUE(*EvalFormula(F("c > 0 | a > 0"), s));
+  EXPECT_TRUE(*EvalFormula(F("c > 0 -> a = 99"), s));
+  EXPECT_TRUE(*EvalFormula(F("!(c > 0)"), s));
+  EXPECT_TRUE(*EvalFormula(F("(a > 0) <-> (b = 0)"), s));
+}
+
+// ---- Three-valued (partial) evaluation ----
+
+TEST_F(EvaluatorTest, PartialTermUnknownWhenItemMissing) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(1)}});
+  EXPECT_EQ(EvalTermPartial(T("a + 1"), s), Value(2));
+  EXPECT_EQ(EvalTermPartial(T("b + 1"), s), std::nullopt);
+}
+
+TEST_F(EvaluatorTest, PartialKleeneAnd) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(-1)}});
+  // a > 0 is false, so the conjunction is false regardless of b.
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 & b > 0"), s), Truth(false));
+  // a < 0 is true but b unknown: unknown.
+  EXPECT_EQ(EvalFormulaPartial(F("a < 0 & b > 0"), s), std::nullopt);
+}
+
+TEST_F(EvaluatorTest, PartialKleeneOr) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(1)}});
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 | b > 0"), s), Truth(true));
+  EXPECT_EQ(EvalFormulaPartial(F("a < 0 | b > 0"), s), std::nullopt);
+}
+
+TEST_F(EvaluatorTest, PartialKleeneImplies) {
+  DbState s = DbState::OfNamed(db_, {{"a", Value(-1)}});
+  // False antecedent: true regardless of the consequent.
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 -> b > 0"), s), Truth(true));
+  // Unknown antecedent, true consequent: true.
+  DbState s2 = DbState::OfNamed(db_, {{"b", Value(5)}});
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 -> b > 0"), s2), Truth(true));
+  // Unknown antecedent, false consequent: unknown.
+  DbState s3 = DbState::OfNamed(db_, {{"b", Value(-5)}});
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 -> b > 0"), s3), std::nullopt);
+}
+
+TEST_F(EvaluatorTest, PartialNotAndIff) {
+  DbState s;
+  EXPECT_EQ(EvalFormulaPartial(F("!(a > 0)"), s), std::nullopt);
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 <-> b > 0"), s), std::nullopt);
+  DbState s2 = DbState::OfNamed(db_, {{"a", Value(1)}, {"b", Value(1)}});
+  EXPECT_EQ(EvalFormulaPartial(F("a > 0 <-> b > 0"), s2), Truth(true));
+}
+
+TEST_F(EvaluatorTest, PartialAgreesWithTotalOnTotalStates) {
+  DbState s = DbState::OfNamed(
+      db_, {{"a", Value(2)}, {"b", Value(-3)}, {"c", Value(0)}});
+  for (const char* text :
+       {"a > 0 & b < 0", "a + b > c", "a = 2 -> b = -3", "abs(b) = 3 | c = 9",
+        "!(a = b)", "(a > 0 | b > 0) & c = 0"}) {
+    auto total = EvalFormula(F(text), s);
+    ASSERT_TRUE(total.ok()) << text;
+    EXPECT_EQ(EvalFormulaPartial(F(text), s), Truth(*total)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,159 @@
+#include "analysis/fixed_structure.h"
+
+#include <gtest/gtest.h>
+
+#include "paper/paper_examples.h"
+
+namespace nse {
+namespace {
+
+class FixedStructureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(FixedStructureTest, StraightLineProgramsAreFixed) {
+  TransactionProgram tp("TP", {MustAssign(db_, "a", "b + 1"),
+                               MustAssign(db_, "c", "a * 2")});
+  EXPECT_TRUE(IsStraightLine(tp));
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_TRUE(analysis.valid);
+  EXPECT_TRUE(analysis.fixed);
+  EXPECT_EQ(StructToString(db_, analysis.signature),
+            "r(b), w(a), w(c)");
+  EXPECT_EQ(analysis.paths_explored, 1u);
+}
+
+TEST_F(FixedStructureTest, PaperExample2Tp1NotFixed) {
+  auto ex = paper::Example2::Make();
+  EXPECT_FALSE(IsStraightLine(ex.tp1));
+  StructureAnalysis analysis = AnalyzeStructure(ex.db, ex.tp1);
+  EXPECT_TRUE(analysis.valid);
+  EXPECT_FALSE(analysis.fixed);
+  EXPECT_FALSE(analysis.explanation.empty());
+  EXPECT_EQ(analysis.paths_explored, 2u);
+}
+
+TEST_F(FixedStructureTest, PaperExample2Tp1RepairIsFixed) {
+  // TP1' adds "else b := b" — both branches now emit r(b), w(b).
+  auto ex = paper::Example2::Make();
+  StructureAnalysis analysis = AnalyzeStructure(ex.db, ex.tp1_fixed);
+  EXPECT_TRUE(analysis.valid);
+  EXPECT_TRUE(analysis.fixed);
+  EXPECT_EQ(StructToString(ex.db, analysis.signature),
+            "w(a), r(c), r(b), w(b)");
+  EXPECT_FALSE(IsStraightLine(ex.tp1_fixed));  // fixed ≠ straight-line
+}
+
+TEST_F(FixedStructureTest, BranchesWithSameStructureAreFixed) {
+  // if (a > 0) then b := c else b := c * 2 — identical access structure.
+  TransactionProgram tp(
+      "TP", {MustIf(db_, "a > 0", {MustAssign(db_, "b", "c")},
+                    {MustAssign(db_, "b", "c * 2")})});
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_TRUE(analysis.fixed);
+  EXPECT_EQ(StructToString(db_, analysis.signature), "r(a), r(c), w(b)");
+}
+
+TEST_F(FixedStructureTest, CacheAwareStructureComparison) {
+  // Branches read the same items in different orders; the emitted structure
+  // differs (r(b), r(c) vs r(c), r(b)), so the program is not fixed.
+  TransactionProgram tp(
+      "TP", {MustIf(db_, "a > 0", {MustAssign(db_, "d", "b + c")},
+                    {MustAssign(db_, "d", "c + b")})});
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_TRUE(analysis.valid);
+  EXPECT_FALSE(analysis.fixed);
+}
+
+TEST_F(FixedStructureTest, ReadsBeforeBranchMakeOrderIrrelevant) {
+  // Reading b and c before the branch caches them; both branches then emit
+  // only w(d) regardless of expression order.
+  TransactionProgram tp(
+      "TP", {MustAssign(db_, "a", "b + c"),
+             MustIf(db_, "a > 0", {MustAssign(db_, "d", "b + c")},
+                    {MustAssign(db_, "d", "c + b")})});
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_TRUE(analysis.fixed);
+}
+
+TEST_F(FixedStructureTest, DoubleWriteDetectedAsInvalid) {
+  TransactionProgram tp("TP", {MustAssign(db_, "a", "1"),
+                               MustAssign(db_, "a", "2")});
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_FALSE(analysis.valid);
+  EXPECT_NE(analysis.explanation.find("twice"), std::string::npos);
+}
+
+TEST_F(FixedStructureTest, NestedBranchesExploreAllPaths) {
+  TransactionProgram tp(
+      "TP",
+      {MustIf(db_, "a > 0",
+              {MustIf(db_, "b > 0", {MustAssign(db_, "c", "1")},
+                      {MustAssign(db_, "c", "2")})},
+              {MustIf(db_, "b > 0", {MustAssign(db_, "c", "3")},
+                      {MustAssign(db_, "c", "4")})})});
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_EQ(analysis.paths_explored, 4u);
+  EXPECT_TRUE(analysis.fixed);  // all paths: r(a), r(b), w(c)
+}
+
+TEST_F(FixedStructureTest, EmptyProgramIsFixed) {
+  TransactionProgram tp("TP", {});
+  StructureAnalysis analysis = AnalyzeStructure(db_, tp);
+  EXPECT_TRUE(analysis.fixed);
+  EXPECT_TRUE(analysis.signature.empty());
+}
+
+TEST_F(FixedStructureTest, RandomizedTestAgreesWithStaticAnalysis) {
+  auto ex = paper::Example2::Make();
+  Rng rng(99);
+  // TP1 (not fixed): the sampler must find two differing structures
+  // (branch taken iff c > 0, both signs sampled with high probability).
+  auto tp1_result = TestFixedStructureRandomized(ex.db, ex.tp1, rng, 64);
+  ASSERT_TRUE(tp1_result.ok());
+  EXPECT_FALSE(*tp1_result);
+  // TP1' (fixed): all runs agree.
+  auto fixed_result =
+      TestFixedStructureRandomized(ex.db, ex.tp1_fixed, rng, 64);
+  ASSERT_TRUE(fixed_result.ok());
+  EXPECT_TRUE(*fixed_result);
+}
+
+class FixedStructureAgreementTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FixedStructureAgreementTest, StaticAndRandomizedAgree) {
+  // For a family of generated programs, the exact static analysis and the
+  // sampling test must agree whenever sampling has a fair chance (branch
+  // conditions with both outcomes reachable over the domain).
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"p", "q", "r"}, -4, 4).ok());
+  Rng rng(GetParam());
+  std::vector<TransactionProgram> programs;
+  programs.emplace_back("straight",
+                        StmtBlock{MustAssign(db, "p", "q + 1")});
+  programs.emplace_back(
+      "branch-balanced",
+      StmtBlock{MustIf(db, "p > 0", {MustAssign(db, "q", "r")},
+                       {MustAssign(db, "q", "r + 1")})});
+  programs.emplace_back(
+      "branch-lopsided",
+      StmtBlock{MustIf(db, "p > 0", {MustAssign(db, "q", "1")},
+                       {MustAssign(db, "r", "1")})});
+  for (const auto& program : programs) {
+    StructureAnalysis analysis = AnalyzeStructure(db, program);
+    auto sampled = TestFixedStructureRandomized(db, program, rng, 128);
+    ASSERT_TRUE(sampled.ok());
+    EXPECT_EQ(analysis.fixed, *sampled) << program.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedStructureAgreementTest,
+                         ::testing::Values(1, 12, 123));
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,95 @@
+#include "constraints/integrity_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+
+namespace nse {
+namespace {
+
+class IcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(IcTest, ParseSplitsTopLevelConjunction) {
+  auto ic = IntegrityConstraint::Parse(db_, "(a > 0 -> b > 0) & c > 0");
+  ASSERT_TRUE(ic.ok()) << ic.status();
+  EXPECT_EQ(ic->num_conjuncts(), 2u);
+  EXPECT_EQ(ic->data_set(0), db_.SetOf({"a", "b"}));
+  EXPECT_EQ(ic->data_set(1), db_.SetOf({"c"}));
+  EXPECT_TRUE(ic->disjoint());
+  EXPECT_EQ(ic->constrained_items(), db_.SetOf({"a", "b", "c"}));
+}
+
+TEST_F(IcTest, ConjunctOfMapsItemsToConjuncts) {
+  auto ic = IntegrityConstraint::Parse(db_, "a = b & c > 0");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_EQ(ic->ConjunctOf(db_.MustFind("a")), 0u);
+  EXPECT_EQ(ic->ConjunctOf(db_.MustFind("b")), 0u);
+  EXPECT_EQ(ic->ConjunctOf(db_.MustFind("c")), 1u);
+  EXPECT_EQ(ic->ConjunctOf(db_.MustFind("d")), std::nullopt);
+}
+
+TEST_F(IcTest, OverlapRejectedByDefault) {
+  // Example 5's constraint: conjuncts share item a.
+  auto ic = IntegrityConstraint::Parse(db_, "a > b & a = c & d > 0");
+  EXPECT_FALSE(ic.ok());
+  EXPECT_EQ(ic.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IcTest, OverlapAllowedOnOptIn) {
+  auto ic = IntegrityConstraint::Parse(db_, "a > b & a = c & d > 0",
+                                       ConjunctOverlap::kAllow);
+  ASSERT_TRUE(ic.ok()) << ic.status();
+  EXPECT_FALSE(ic->disjoint());
+  EXPECT_EQ(ic->num_conjuncts(), 3u);
+  // Lowest-index conjunct wins for shared items.
+  EXPECT_EQ(ic->ConjunctOf(db_.MustFind("a")), 0u);
+}
+
+TEST_F(IcTest, RejectsVariableFreeConjunct) {
+  auto f = ParseFormula(db_, "1 > 0 & a = 0");
+  ASSERT_TRUE(f.ok());
+  auto ic = IntegrityConstraint::FromFormula(db_, *f);
+  EXPECT_FALSE(ic.ok());
+}
+
+TEST_F(IcTest, RejectsEmptyConjunctList) {
+  auto ic = IntegrityConstraint::FromConjuncts(db_, {});
+  EXPECT_FALSE(ic.ok());
+}
+
+TEST_F(IcTest, AsFormulaRebuildsConjunction) {
+  auto ic = IntegrityConstraint::Parse(db_, "a = b & c > 0");
+  ASSERT_TRUE(ic.ok());
+  Formula all = ic->AsFormula();
+  EXPECT_EQ(TopLevelConjuncts(all).size(), 2u);
+}
+
+TEST_F(IcTest, ToStringListsConjunctsWithDataSets) {
+  auto ic = IntegrityConstraint::Parse(db_, "a = b & c > 0");
+  ASSERT_TRUE(ic.ok());
+  std::string text = ic->ToString(db_);
+  EXPECT_NE(text.find("C1"), std::string::npos);
+  EXPECT_NE(text.find("{a, b}"), std::string::npos);
+  EXPECT_NE(text.find("C2"), std::string::npos);
+}
+
+TEST_F(IcTest, SingleConjunctOverWholeFormula) {
+  // Example 4's constraint folded into one conjunct keeps disjointness.
+  auto parsed = ParseFormula(db_, "a = b & b = c");
+  ASSERT_TRUE(parsed.ok());
+  auto ic = IntegrityConstraint::FromConjuncts(
+      db_, {And(TopLevelConjuncts(*parsed))});
+  ASSERT_TRUE(ic.ok()) << ic.status();
+  EXPECT_EQ(ic->num_conjuncts(), 1u);
+  EXPECT_TRUE(ic->disjoint());
+  EXPECT_EQ(ic->data_set(0), db_.SetOf({"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,132 @@
+#include "txn/interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include "paper/paper_examples.h"
+
+namespace nse {
+namespace {
+
+class InterleaverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = paper::Example1::Make(); }
+  paper::Example1 ex_;
+};
+
+TEST_F(InterleaverTest, ReproducesPaperExample1Schedule) {
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  auto run = Interleave(ex_.db, programs, ex_.ds1, ex_.choices);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_EQ(run->schedule.ToString(ex_.db),
+            "r1(a, 0), r2(a, 0), w2(d, 0), r1(c, 5), w1(b, 5)");
+  EXPECT_EQ(run->final_state, ex_.ds2_expected);
+}
+
+TEST_F(InterleaverTest, SerialExecutionBothOrders) {
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  auto t1_first = ExecuteSerially(ex_.db, programs, ex_.ds1, {0, 1});
+  ASSERT_TRUE(t1_first.ok());
+  EXPECT_EQ(t1_first->schedule.ToString(ex_.db),
+            "r1(a, 0), r1(c, 5), w1(b, 5), r2(a, 0), w2(d, 0)");
+  auto t2_first = ExecuteSerially(ex_.db, programs, ex_.ds1, {1, 0});
+  ASSERT_TRUE(t2_first.ok());
+  // Example 1's programs commute on this state: same final state.
+  EXPECT_EQ(t1_first->final_state, t2_first->final_state);
+}
+
+TEST_F(InterleaverTest, RejectsBadChoices) {
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  // Program index out of range.
+  EXPECT_FALSE(Interleave(ex_.db, programs, ex_.ds1, {0, 7}).ok());
+  // Stepping a finished program: TP2 has 2 ops.
+  EXPECT_FALSE(Interleave(ex_.db, programs, ex_.ds1, {1, 1, 1}).ok());
+  // Incomplete choice sequence with require_complete.
+  EXPECT_FALSE(Interleave(ex_.db, programs, ex_.ds1, {0}).ok());
+  // ... but allowed as a prefix when requested.
+  auto prefix = Interleave(ex_.db, programs, ex_.ds1, {0},
+                           /*require_complete=*/false);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_FALSE(prefix->complete);
+  EXPECT_EQ(prefix->schedule.size(), 1u);
+}
+
+TEST_F(InterleaverTest, RandomChoicesAlwaysCompete) {
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    auto choices = RandomChoices(ex_.db, programs, ex_.ds1, rng);
+    ASSERT_TRUE(choices.ok());
+    // T1 emits 3 ops, T2 emits 2 ops from this initial state.
+    EXPECT_EQ(choices->size(), 5u);
+    auto run = Interleave(ex_.db, programs, ex_.ds1, *choices);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_TRUE(run->complete);
+  }
+}
+
+TEST_F(InterleaverTest, EnumerateInterleavingsCountsMultinomial) {
+  // T1 has 3 operations, T2 has 2: C(5,2) = 10 interleavings.
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  uint64_t count = 0;
+  auto visited = EnumerateInterleavings(
+      ex_.db, programs, ex_.ds1, 1'000,
+      [&count](const InterleaveResult& run, const std::vector<size_t>&) {
+        EXPECT_TRUE(run.complete);
+        ++count;
+        return true;
+      });
+  ASSERT_TRUE(visited.ok()) << visited.status();
+  EXPECT_EQ(*visited, 10u);
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(InterleaverTest, EnumerateStopsOnVisitorFalseAndLimit) {
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  uint64_t count = 0;
+  auto stopped = EnumerateInterleavings(
+      ex_.db, programs, ex_.ds1, 1'000,
+      [&count](const InterleaveResult&, const std::vector<size_t>&) {
+        return ++count < 3;
+      });
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_EQ(*stopped, 3u);
+
+  auto limited = EnumerateInterleavings(
+      ex_.db, programs, ex_.ds1, 4,
+      [](const InterleaveResult&, const std::vector<size_t>&) {
+        return true;
+      });
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(*limited, 4u);
+}
+
+TEST_F(InterleaverTest, InterleavingSchedulesAreValidExecutions) {
+  // Every enumerated interleaving, re-executed from the initial state, must
+  // be read-consistent and reach its own recorded final state.
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  auto visited = EnumerateInterleavings(
+      ex_.db, programs, ex_.ds1, 1'000,
+      [this](const InterleaveResult& run, const std::vector<size_t>&) {
+        auto exec = run.schedule.Execute(ex_.ds1);
+        EXPECT_TRUE(exec.ok());
+        EXPECT_TRUE(exec->reads_consistent());
+        EXPECT_EQ(exec->final_state, run.final_state);
+        return true;
+      });
+  ASSERT_TRUE(visited.ok());
+}
+
+TEST_F(InterleaverTest, StateDependentProgramLengths) {
+  // Example 2's TP2 emits 1 op (r a) when a <= 0 and 3 ops when a > 0;
+  // the interleaver must follow actual execution.
+  auto ex2 = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex2.tp2};
+  DbState neg = ex2.ds0;  // a = -1: branch not taken
+  auto run = ExecuteSerially(ex2.db, programs, neg, {0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->schedule.ToString(ex2.db), "r1(a, -1)");
+}
+
+}  // namespace
+}  // namespace nse

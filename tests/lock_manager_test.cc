@@ -1,0 +1,84 @@
+#include "scheduler/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(2, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, 10, LockMode::kShared));
+  EXPECT_EQ(lm.num_locks(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveExcludes) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  EXPECT_FALSE(lm.TryAcquire(2, 10, LockMode::kShared));
+  EXPECT_FALSE(lm.TryAcquire(2, 10, LockMode::kExclusive));
+  EXPECT_EQ(lm.Blockers(2, 10, LockMode::kShared),
+            (std::vector<TxnId>{1}));
+}
+
+TEST(LockManagerTest, SharedBlocksExclusive) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(2, 10, LockMode::kShared));
+  EXPECT_FALSE(lm.TryAcquire(3, 10, LockMode::kExclusive));
+  auto blockers = lm.Blockers(3, 10, LockMode::kExclusive);
+  EXPECT_EQ(blockers.size(), 2u);
+}
+
+TEST(LockManagerTest, ReentrantAcquisition) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));  // X covers S
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kExclusive));
+  // Upgrade denied when another reader exists.
+  LockManager lm2;
+  EXPECT_TRUE(lm2.TryAcquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm2.TryAcquire(2, 10, LockMode::kShared));
+  EXPECT_FALSE(lm2.TryAcquire(1, 10, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReleaseAndReleaseAll) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  ASSERT_TRUE(lm.TryAcquire(1, 11, LockMode::kShared));
+  lm.Release(1, 10);
+  EXPECT_FALSE(lm.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(2, 10, LockMode::kExclusive));
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.Holds(1, 11, LockMode::kShared));
+  EXPECT_EQ(lm.num_locks(), 1u);  // only T2's lock remains
+}
+
+TEST(LockManagerTest, ReleaseAllInScopesToDataSet) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  ASSERT_TRUE(lm.TryAcquire(1, 20, LockMode::kShared));
+  lm.ReleaseAllIn(1, DataSet({10}));
+  EXPECT_FALSE(lm.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, 20, LockMode::kShared));
+}
+
+TEST(LockManagerTest, BlockersEmptyWhenGrantable) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Blockers(1, 10, LockMode::kExclusive).empty());
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.Blockers(2, 10, LockMode::kShared).empty());
+  EXPECT_TRUE(lm.Blockers(1, 10, LockMode::kExclusive).empty());  // upgrade
+}
+
+}  // namespace
+}  // namespace nse

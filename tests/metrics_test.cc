@@ -1,0 +1,61 @@
+#include "scheduler/metrics.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(SeriesSummaryTest, EmptySummary) {
+  SeriesSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SeriesSummaryTest, AccumulatesStatistics) {
+  SeriesSummary s;
+  for (double x : {3.0, 1.0, 2.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(SeriesSummaryTest, NegativeValues) {
+  SeriesSummary s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "23"});
+  std::string out = table.Render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ToleratesShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace nse

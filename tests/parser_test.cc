@@ -1,0 +1,150 @@
+#include "constraints/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+#include "state/db_state.h"
+
+namespace nse {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -100, 100).ok());
+  }
+
+  Formula MustParse(std::string_view text) {
+    auto f = ParseFormula(db_, text);
+    EXPECT_TRUE(f.ok()) << f.status();
+    return *f;
+  }
+
+  bool EvalAt(std::string_view text, int64_t a, int64_t b, int64_t c) {
+    DbState s = DbState::OfNamed(
+        db_, {{"a", Value(a)}, {"b", Value(b)}, {"c", Value(c)}});
+    auto result = EvalFormula(MustParse(text), s);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  Database db_;
+};
+
+TEST_F(ParserTest, Comparisons) {
+  EXPECT_TRUE(EvalAt("a = 1", 1, 0, 0));
+  EXPECT_TRUE(EvalAt("a == 1", 1, 0, 0));
+  EXPECT_TRUE(EvalAt("a != 2", 1, 0, 0));
+  EXPECT_TRUE(EvalAt("a < b", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("a <= 1", 1, 0, 0));
+  EXPECT_TRUE(EvalAt("a > -1", 0, 0, 0));
+  EXPECT_TRUE(EvalAt("a >= 0", 0, 0, 0));
+  EXPECT_FALSE(EvalAt("a > 0", 0, 0, 0));
+}
+
+TEST_F(ParserTest, ArithmeticPrecedence) {
+  EXPECT_TRUE(EvalAt("a + b * c = 7", 1, 2, 3));     // 1 + 6
+  EXPECT_TRUE(EvalAt("(a + b) * c = 9", 1, 2, 3));   // 3 * 3
+  EXPECT_TRUE(EvalAt("a - b - c = -4", 1, 2, 3));    // left assoc
+  EXPECT_TRUE(EvalAt("-a + b = 1", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("- (a + b) = -3", 1, 2, 0));
+}
+
+TEST_F(ParserTest, Functions) {
+  EXPECT_TRUE(EvalAt("abs(a) = 5", -5, 0, 0));
+  EXPECT_TRUE(EvalAt("min(a, b) = 1", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("max(a, b) = 2", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("min(max(a, 0), 10) = 0", -5, 0, 0));
+}
+
+TEST_F(ParserTest, ConnectivePrecedence) {
+  // & binds tighter than |, which binds tighter than ->, then <->.
+  EXPECT_TRUE(EvalAt("a = 1 | b = 1 & c = 1", 1, 0, 0));
+  EXPECT_FALSE(EvalAt("(a = 1 | b = 1) & c = 1", 1, 0, 0));
+  EXPECT_TRUE(EvalAt("a = 0 -> b = 1", 1, 0, 0));   // antecedent false
+  EXPECT_TRUE(EvalAt("a = 1 -> b = 0", 1, 0, 0));
+  EXPECT_TRUE(EvalAt("a = 1 <-> b = 0", 1, 0, 0));
+  EXPECT_FALSE(EvalAt("a = 1 <-> b = 1", 1, 0, 0));
+}
+
+TEST_F(ParserTest, RightAssociativeImplication) {
+  // a -> b -> c parses as a -> (b -> c).
+  EXPECT_TRUE(EvalAt("a = 1 -> b = 1 -> c = 1", 1, 1, 1));
+  EXPECT_TRUE(EvalAt("a = 1 -> b = 1 -> c = 1", 1, 0, 0));
+  EXPECT_FALSE(EvalAt("a = 1 -> b = 1 -> c = 1", 1, 1, 0));
+}
+
+TEST_F(ParserTest, NotAndKeywords) {
+  EXPECT_TRUE(EvalAt("!(a = 1)", 0, 0, 0));
+  EXPECT_TRUE(EvalAt("not a = 1", 0, 0, 0));
+  EXPECT_TRUE(EvalAt("a = 1 and b = 2", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("a = 9 or b = 2", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("a = 1 && b = 2", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("a = 9 || b = 2", 1, 2, 0));
+  EXPECT_TRUE(EvalAt("true", 0, 0, 0));
+  EXPECT_FALSE(EvalAt("false", 0, 0, 0));
+}
+
+TEST_F(ParserTest, ParenthesizedFormulaVsTerm) {
+  // '(' may open either a formula or a term; both must parse.
+  EXPECT_TRUE(EvalAt("(a > 0) -> (b > 0)", 1, 1, 0));
+  EXPECT_TRUE(EvalAt("(a + 1) > 0", 0, 0, 0));
+  EXPECT_TRUE(EvalAt("((a = 1))", 1, 0, 0));
+}
+
+TEST_F(ParserTest, PaperExample2Constraint) {
+  Formula f = MustParse("(a > 0 -> b > 0) & c > 0");
+  DbState bad = DbState::OfNamed(
+      db_, {{"a", Value(1)}, {"b", Value(-1)}, {"c", Value(-1)}});
+  auto result = EvalFormula(f, bad);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST_F(ParserTest, StringLiterals) {
+  Database db;
+  ASSERT_TRUE(
+      db.AddItem("name", Domain::StringSet({"Jim", "Ann"})).ok());
+  auto f = ParseFormula(db, "name = \"Jim\"");
+  ASSERT_TRUE(f.ok()) << f.status();
+  DbState s;
+  s.Set(db.MustFind("name"), Value("Jim"));
+  auto result = EvalFormula(*f, s);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST_F(ParserTest, ErrorsCarryPosition) {
+  EXPECT_FALSE(ParseFormula(db_, "a >").ok());
+  EXPECT_FALSE(ParseFormula(db_, "zzz = 1").ok());
+  EXPECT_FALSE(ParseFormula(db_, "a = 1 )").ok());
+  EXPECT_FALSE(ParseFormula(db_, "(a = 1").ok());
+  EXPECT_FALSE(ParseFormula(db_, "a = \"unterminated").ok());
+  EXPECT_FALSE(ParseFormula(db_, "a # 1").ok());
+  EXPECT_FALSE(ParseFormula(db_, "min(a) = 1").ok());
+  EXPECT_FALSE(ParseFormula(db_, "").ok());
+}
+
+TEST_F(ParserTest, TermParsing) {
+  auto t = ParseTerm(db_, "abs(a) + max(b, c) * 2");
+  ASSERT_TRUE(t.ok()) << t.status();
+  DbState s = DbState::OfNamed(
+      db_, {{"a", Value(-3)}, {"b", Value(1)}, {"c", Value(4)}});
+  auto v = EvalTerm(*t, s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value(11));
+  EXPECT_FALSE(ParseTerm(db_, "a = b").ok());  // comparison is not a term
+}
+
+TEST_F(ParserTest, RoundTripThroughPrinter) {
+  for (const char* text :
+       {"(a > 0 -> b > 0) & c > 0", "abs(a) + 1 = min(b, c)",
+        "a = 1 | b = 2 | c = 3", "!(a >= b) <-> c != 0"}) {
+    Formula f1 = MustParse(text);
+    Formula f2 = MustParse(FormulaToString(db_, f1));
+    EXPECT_TRUE(FormulaEquals(f1, f2)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace nse

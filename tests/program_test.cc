@@ -1,0 +1,199 @@
+#include "txn/program.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "paper/paper_examples.h"
+
+namespace nse {
+namespace {
+
+class ProgramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -32, 32).ok());
+  }
+
+  Term ParseTermOrDie(std::string_view text) {
+    auto t = ParseTerm(db_, text);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return *t;
+  }
+
+  Database db_;
+};
+
+TEST_F(ProgramTest, StatementConstruction) {
+  auto assign = MakeAssign(db_, "a", "b + 1");
+  ASSERT_TRUE(assign.ok());
+  EXPECT_EQ((*assign)->kind(), StmtKind::kAssign);
+  EXPECT_EQ((*assign)->target(), db_.MustFind("a"));
+
+  auto iff = MakeIf(db_, "c > 0", {*assign});
+  ASSERT_TRUE(iff.ok());
+  EXPECT_EQ((*iff)->kind(), StmtKind::kIf);
+  EXPECT_EQ((*iff)->then_block().size(), 1u);
+  EXPECT_TRUE((*iff)->else_block().empty());
+
+  EXPECT_FALSE(MakeAssign(db_, "zzz", "1").ok());
+  EXPECT_FALSE(MakeAssign(db_, "a", "1 +").ok());
+  EXPECT_FALSE(MakeIf(db_, "c >", {}).ok());
+}
+
+TEST_F(ProgramTest, PrettyPrinting) {
+  TransactionProgram tp(
+      "TP1", {MustAssign(db_, "a", "1"),
+              MustIf(db_, "c > 0", {MustAssign(db_, "b", "abs(b) + 1")},
+                     {MustAssign(db_, "b", "b")})});
+  std::string text = tp.ToString(db_);
+  EXPECT_NE(text.find("TP1:"), std::string::npos);
+  EXPECT_NE(text.find("a := 1;"), std::string::npos);
+  EXPECT_NE(text.find("if (c > 0)"), std::string::npos);
+  EXPECT_NE(text.find("else"), std::string::npos);
+}
+
+TEST_F(ProgramTest, BlockItemHelpers) {
+  StmtBlock body{MustAssign(db_, "a", "1"),
+                 MustIf(db_, "c > 0", {MustAssign(db_, "b", "d + 1")})};
+  EXPECT_EQ(ItemsOfBlock(body), db_.SetOf({"a", "b", "c", "d"}));
+  EXPECT_EQ(WriteItemsOfBlock(body), db_.SetOf({"a", "b"}));
+}
+
+TEST_F(ProgramTest, CollectVarsInOrderIsDfsFirstOccurrence) {
+  auto term = ParseTermOrDie("b + a * b + c");
+  std::vector<ItemId> vars;
+  CollectVarsInOrder(term, vars);
+  EXPECT_EQ(vars, (std::vector<ItemId>{db_.MustFind("b"), db_.MustFind("a"),
+                                       db_.MustFind("c")}));
+}
+
+TEST_F(ProgramTest, IsolatedRunReadsOncePerItem) {
+  // b := b + b reads b once; the second occurrence is served from cache.
+  TransactionProgram tp("TP", {MustAssign(db_, "b", "b + b")});
+  DbState initial = DbState::OfNamed(db_, {{"a", Value(0)},
+                                           {"b", Value(3)},
+                                           {"c", Value(0)},
+                                           {"d", Value(0)}});
+  auto run = RunInIsolation(db_, tp, 1, initial);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->txn.ToString(db_), "T1: r1(b, 3), w1(b, 6)");
+  EXPECT_EQ(run->final_state.MustGet(db_.MustFind("b")), Value(6));
+}
+
+TEST_F(ProgramTest, TransactionSeesItsOwnWrites) {
+  // After a := 5, reading a yields 5 without emitting a read operation.
+  TransactionProgram tp("TP", {MustAssign(db_, "a", "5"),
+                               MustAssign(db_, "b", "a + 1")});
+  DbState initial = DbState::OfNamed(db_, {{"a", Value(0)},
+                                           {"b", Value(0)},
+                                           {"c", Value(0)},
+                                           {"d", Value(0)}});
+  auto run = RunInIsolation(db_, tp, 1, initial);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->txn.ToString(db_), "T1: w1(a, 5), w1(b, 6)");
+}
+
+TEST_F(ProgramTest, BranchConditionEmitsReads) {
+  TransactionProgram tp(
+      "TP", {MustIf(db_, "c > 0", {MustAssign(db_, "a", "1")},
+                    {MustAssign(db_, "b", "1")})});
+  DbState pos = DbState::OfNamed(db_, {{"a", Value(0)},
+                                       {"b", Value(0)},
+                                       {"c", Value(7)},
+                                       {"d", Value(0)}});
+  auto run_pos = RunInIsolation(db_, tp, 1, pos);
+  ASSERT_TRUE(run_pos.ok());
+  EXPECT_EQ(run_pos->txn.ToString(db_), "T1: r1(c, 7), w1(a, 1)");
+
+  DbState neg = pos;
+  neg.Set(db_.MustFind("c"), Value(-7));
+  auto run_neg = RunInIsolation(db_, tp, 1, neg);
+  ASSERT_TRUE(run_neg.ok());
+  EXPECT_EQ(run_neg->txn.ToString(db_), "T1: r1(c, -7), w1(b, 1)");
+}
+
+TEST_F(ProgramTest, DoubleWriteRejected) {
+  TransactionProgram tp("TP", {MustAssign(db_, "a", "1"),
+                               MustAssign(db_, "a", "2")});
+  DbState initial = DbState::OfNamed(db_, {{"a", Value(0)},
+                                           {"b", Value(0)},
+                                           {"c", Value(0)},
+                                           {"d", Value(0)}});
+  auto run = RunInIsolation(db_, tp, 1, initial);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProgramTest, StepwiseExecutionMatchesIsolatedRun) {
+  TransactionProgram tp(
+      "TP", {MustAssign(db_, "a", "c + 1"),
+             MustIf(db_, "a > 0", {MustAssign(db_, "b", "a + d")})});
+  DbState state = DbState::OfNamed(db_, {{"a", Value(0)},
+                                         {"b", Value(0)},
+                                         {"c", Value(4)},
+                                         {"d", Value(10)}});
+  ProgramExecution exec(&db_, &tp, 1);
+  ReadEnv env = [&state](ItemId item) -> Result<Value> {
+    return state.MustGet(item);
+  };
+  OpSequence seen;
+  while (true) {
+    auto op = exec.Step(env);
+    ASSERT_TRUE(op.ok()) << op.status();
+    if (!op->has_value()) break;
+    if ((*op)->is_write()) state.Set((*op)->entity, (*op)->value);
+    seen.push_back(**op);
+  }
+  EXPECT_TRUE(exec.finished());
+  // r(c,4), w(a,5), (a cached: no read), w(b, 5 + 10 = 15) with r(d,10).
+  EXPECT_EQ(OpsToString(db_, seen),
+            "r1(c, 4), w1(a, 5), r1(d, 10), w1(b, 15)");
+  auto txn = exec.Finish();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE(txn->ValidateAccessDiscipline().ok());
+}
+
+TEST_F(ProgramTest, ProbeFinishedLatchesWithoutPerformingOps) {
+  TransactionProgram tp("TP", {MustAssign(db_, "a", "1")});
+  ProgramExecution exec(&db_, &tp, 1);
+  auto not_done = exec.ProbeFinished();
+  ASSERT_TRUE(not_done.ok());
+  EXPECT_FALSE(*not_done);
+  EXPECT_TRUE(exec.history().empty());
+
+  ReadEnv env = [](ItemId) -> Result<Value> { return Value(0); };
+  ASSERT_TRUE(exec.Step(env).ok());  // performs w(a,1)
+  auto done = exec.ProbeFinished();
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(*done);
+  EXPECT_TRUE(exec.finished());
+}
+
+TEST_F(ProgramTest, FinishBeforeCompletionFails) {
+  TransactionProgram tp("TP", {MustAssign(db_, "a", "1")});
+  ProgramExecution exec(&db_, &tp, 1);
+  EXPECT_FALSE(exec.Finish().ok());
+}
+
+TEST_F(ProgramTest, EmptyProgramFinishesImmediately) {
+  TransactionProgram tp("TP", {});
+  ProgramExecution exec(&db_, &tp, 1);
+  ReadEnv env = [](ItemId) -> Result<Value> { return Value(0); };
+  auto op = exec.Step(env);
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE(op->has_value());
+  EXPECT_TRUE(exec.finished());
+}
+
+TEST_F(ProgramTest, PaperExample1ProgramsProduceExactTransactions) {
+  auto ex = paper::Example1::Make();
+  auto run1 = RunInIsolation(ex.db, ex.tp1, 1, ex.ds1);
+  ASSERT_TRUE(run1.ok()) << run1.status();
+  EXPECT_EQ(run1->txn.ToString(ex.db), "T1: r1(a, 0), r1(c, 5), w1(b, 5)");
+  auto run2 = RunInIsolation(ex.db, ex.tp2, 2, ex.ds1);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2->txn.ToString(ex.db), "T2: r2(a, 0), w2(d, 0)");
+}
+
+}  // namespace
+}  // namespace nse

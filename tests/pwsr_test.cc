@@ -1,0 +1,76 @@
+#include "analysis/pwsr.h"
+
+#include <gtest/gtest.h>
+
+#include "paper/paper_examples.h"
+#include "txn/interleaver.h"
+
+namespace nse {
+namespace {
+
+TEST(PwsrTest, PaperExample2IsPwsrButNotSerializable) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto run = Interleave(ex.db, programs, ex.ds0, ex.choices);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->schedule.ToString(ex.db),
+            "w1(a, 1), r2(a, 1), r2(b, -1), w2(c, -1), r1(c, -1)");
+
+  // Not serializable as a whole: T1 -> T2 on a, T2 -> T1 on c.
+  EXPECT_FALSE(IsConflictSerializable(run->schedule));
+
+  // But PWSR: S^{a,b} serializes T1 T2; S^{c} serializes T2 T1.
+  PwsrReport report = CheckPwsr(run->schedule, *ex.ic);
+  EXPECT_TRUE(report.is_pwsr);
+  EXPECT_TRUE(report.conjuncts_disjoint);
+  ASSERT_EQ(report.per_conjunct.size(), 2u);
+  EXPECT_EQ(*report.OrderFor(0), (std::vector<TxnId>{1, 2}));
+  EXPECT_EQ(*report.OrderFor(1), (std::vector<TxnId>{2, 1}));
+}
+
+TEST(PwsrTest, FixedStructureRepairDestroysPwsrOfExample2Schedule) {
+  // With TP1' (else-branch b := b), the same interleaving adds w1(b,...)
+  // after r2(b,...): S^{a,b} then has T1 -> T2 (a) and T2 -> T1 (b).
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1_fixed, &ex.tp2};
+  // TP1' emits two more operations (r1(b), w1(b)); extend the interleaving
+  // with T1's tail.
+  std::vector<size_t> choices = ex.choices;
+  choices.push_back(0);
+  choices.push_back(0);
+  auto run = Interleave(ex.db, programs, ex.ds0, choices);
+  ASSERT_TRUE(run.ok()) << run.status();
+  PwsrReport report = CheckPwsr(run->schedule, *ex.ic);
+  EXPECT_FALSE(report.is_pwsr);
+  EXPECT_FALSE(report.per_conjunct[0].csr.serializable);
+  EXPECT_TRUE(report.per_conjunct[1].csr.serializable);
+}
+
+TEST(PwsrTest, SerializableImpliesPwsr) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto serial = ExecuteSerially(ex.db, programs, ex.ds0, {0, 1});
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(IsConflictSerializable(serial->schedule));
+  EXPECT_TRUE(CheckPwsr(serial->schedule, *ex.ic).is_pwsr);
+}
+
+TEST(PwsrTest, ReportRendering) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto run = Interleave(ex.db, programs, ex.ds0, ex.choices);
+  ASSERT_TRUE(run.ok());
+  PwsrReport report = CheckPwsr(run->schedule, *ex.ic);
+  std::string text = PwsrReportToString(ex.db, *ex.ic, report);
+  EXPECT_NE(text.find("PWSR: yes"), std::string::npos);
+  EXPECT_NE(text.find("{a, b}"), std::string::npos);
+  EXPECT_NE(text.find("T2 T1"), std::string::npos);
+}
+
+TEST(PwsrTest, EmptyScheduleIsPwsr) {
+  auto ex = paper::Example2::Make();
+  EXPECT_TRUE(CheckPwsr(Schedule(), *ex.ic).is_pwsr);
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,118 @@
+#include "scheduler/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/delayed_read.h"
+#include "analysis/serializability.h"
+#include "scheduler/two_phase_locking.h"
+
+namespace nse {
+namespace {
+
+TxnScript Script(std::initializer_list<AccessStep> steps,
+                 uint64_t arrival = 0) {
+  TxnScript s;
+  s.steps = steps;
+  s.arrival_tick = arrival;
+  return s;
+}
+
+AccessStep R(ItemId item) { return AccessStep{OpAction::kRead, item}; }
+AccessStep W(ItemId item) { return AccessStep{OpAction::kWrite, item}; }
+
+TEST(SimTest, SingleTransactionRunsToCompletion) {
+  StrictTwoPhaseLocking policy;
+  auto result = RunSimulation(policy, {Script({R(0), W(1)})});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->total_ops, 2u);
+  EXPECT_EQ(result->aborts, 0u);
+  EXPECT_EQ(result->schedule.size(), 2u);
+}
+
+TEST(SimTest, DisjointTransactionsRunConcurrently) {
+  StrictTwoPhaseLocking policy;
+  // Two 4-op transactions on disjoint items: makespan ≈ 4, not 8.
+  auto result = RunSimulation(
+      policy, {Script({R(0), W(0), R(1), W(1)}),
+               Script({R(2), W(2), R(3), W(3)})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_LE(result->makespan, 5u);
+  EXPECT_EQ(result->total_wait_ticks, 0u);
+}
+
+TEST(SimTest, ConflictingTransactionsSerialize) {
+  StrictTwoPhaseLocking policy;
+  // Both write item 0 first: the second blocks until the first commits.
+  auto result = RunSimulation(
+      policy, {Script({W(0), R(1), W(2)}), Script({W(0), R(3), W(4)})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_GT(result->total_wait_ticks, 0u);
+  EXPECT_TRUE(IsConflictSerializable(result->schedule));
+  EXPECT_TRUE(IsStrict(result->schedule));
+}
+
+TEST(SimTest, DeadlockDetectedAndResolved) {
+  StrictTwoPhaseLocking policy;
+  // T1: W(0) then W(1); T2: W(1) then W(0) — classic deadlock.
+  auto result =
+      RunSimulation(policy, {Script({W(0), W(1)}), Script({W(1), W(0)})});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_GE(result->aborts, 1u);
+  // The committed trace contains each transaction's ops exactly once.
+  EXPECT_EQ(result->schedule.size(), 4u);
+  EXPECT_TRUE(IsConflictSerializable(result->schedule));
+}
+
+TEST(SimTest, ArrivalTimesRespected) {
+  StrictTwoPhaseLocking policy;
+  auto result = RunSimulation(
+      policy, {Script({R(0)}, /*arrival=*/0), Script({R(1)}, /*arrival=*/10)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_GE(result->makespan, 11u);
+}
+
+TEST(SimTest, EmptyScriptCompletesImmediately) {
+  StrictTwoPhaseLocking policy;
+  auto result = RunSimulation(policy, {Script({})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->total_ops, 0u);
+}
+
+TEST(SimTest, NoTransactions) {
+  StrictTwoPhaseLocking policy;
+  auto result = RunSimulation(policy, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 0u);
+  EXPECT_EQ(result->makespan, 0u);
+}
+
+TEST(SimTest, MaxTicksGuard) {
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.max_ticks = 1;
+  auto result = RunSimulation(
+      policy, {Script({R(0), R(1), R(2)}), Script({R(3), R(4), R(5)})},
+      config);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SimTest, MetricsAreInternallyConsistent) {
+  StrictTwoPhaseLocking policy;
+  auto result = RunSimulation(
+      policy, {Script({W(0), W(1)}), Script({W(0), W(2)}),
+               Script({R(3), R(4)})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 3u);
+  EXPECT_GT(result->throughput, 0.0);
+  EXPECT_GE(result->avg_response_ticks, 1.0);
+  EXPECT_EQ(result->total_ops, result->schedule.size());
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,252 @@
+#include "constraints/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+
+namespace nse {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -8, 8).ok());
+  }
+
+  IntegrityConstraint Ic(std::string_view text,
+                         ConjunctOverlap overlap = ConjunctOverlap::kReject) {
+    auto ic = IntegrityConstraint::Parse(db_, text, overlap);
+    EXPECT_TRUE(ic.ok()) << ic.status();
+    return std::move(ic).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(SolverTest, SatisfiesTotalStates) {
+  IntegrityConstraint ic = Ic("(a > 0 -> b > 0) & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  DbState good = DbState::OfNamed(
+      db_, {{"a", Value(1)}, {"b", Value(2)}, {"c", Value(1)}});
+  DbState bad = DbState::OfNamed(
+      db_, {{"a", Value(1)}, {"b", Value(-1)}, {"c", Value(1)}});
+  EXPECT_TRUE(*checker.Satisfies(good));
+  EXPECT_FALSE(*checker.Satisfies(bad));
+}
+
+TEST_F(SolverTest, SatisfiesRequiresTotality) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  DbState partial = DbState::OfNamed(db_, {{"a", Value(1)}});
+  auto result = checker.Satisfies(partial);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SolverTest, PaperSection21Example) {
+  // §2.1: IC = (a = b); DS1 = {(a,5),(b,5)} consistent,
+  // DS2 = {(a,5),(b,6)} not; but both restrictions of DS2 are consistent.
+  IntegrityConstraint ic = Ic("a = b");
+  ConsistencyChecker checker(db_, ic);
+  DbState ds1 = DbState::OfNamed(db_, {{"a", Value(5)}, {"b", Value(5)}});
+  DbState ds2 = DbState::OfNamed(db_, {{"a", Value(5)}, {"b", Value(6)}});
+  EXPECT_TRUE(*checker.IsConsistent(ds1));
+  EXPECT_FALSE(*checker.IsConsistent(ds2));
+  EXPECT_TRUE(*checker.IsConsistent(ds2.Restrict(db_.SetOf({"a"}))));
+  EXPECT_TRUE(*checker.IsConsistent(ds2.Restrict(db_.SetOf({"b"}))));
+}
+
+TEST_F(SolverTest, RestrictionConsistencyIsExtensibility) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  // {a: 5} extends (b := 5, c := 1).
+  EXPECT_TRUE(*checker.IsConsistent(
+      DbState::OfNamed(db_, {{"a", Value(5)}})));
+  // {c: -1} cannot extend: conjunct c > 0 already false.
+  EXPECT_FALSE(*checker.IsConsistent(
+      DbState::OfNamed(db_, {{"c", Value(-1)}})));
+  // The empty state is consistent iff the IC is satisfiable.
+  EXPECT_TRUE(*checker.IsConsistent(DbState()));
+}
+
+TEST_F(SolverTest, ValueOutsideDomainIsInconsistent) {
+  IntegrityConstraint ic = Ic("a = b");
+  ConsistencyChecker checker(db_, ic);
+  DbState s = DbState::OfNamed(db_, {{"a", Value(100)}});  // domain is ±8
+  EXPECT_FALSE(*checker.IsConsistent(s));
+}
+
+TEST_F(SolverTest, UnsatisfiableOverDomains) {
+  // a > 8 is unsatisfiable over [-8, 8].
+  IntegrityConstraint ic = Ic("a > 8");
+  ConsistencyChecker checker(db_, ic);
+  EXPECT_FALSE(*checker.IsSatisfiable());
+  EXPECT_FALSE(*checker.IsConsistent(DbState()));
+  Rng rng(1);
+  EXPECT_FALSE(checker.SampleConsistentState(rng).ok());
+}
+
+TEST_F(SolverTest, Lemma1DisjointDecompositionAgreesWithGlobal) {
+  // Lemma 1: with disjoint conjuncts, per-conjunct extensibility equals
+  // global extensibility. Cross-check on a sweep of partial states.
+  IntegrityConstraint ic = Ic("(a > 0 -> b > 0) & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    DbState s;
+    for (const char* name : {"a", "b", "c"}) {
+      if (rng.NextBool(0.6)) {
+        s.Set(db_.MustFind(name), Value(rng.NextInt(-8, 8)));
+      }
+    }
+    auto fast = checker.IsConsistent(s);
+    auto slow = checker.IsConsistentGlobal(s);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(*fast, *slow) << s.ToString(db_);
+  }
+}
+
+TEST_F(SolverTest, Lemma1FailsWithoutDisjointness) {
+  // The paper's non-disjoint example after Lemma 1:
+  // IC = (a=5 <-> b=5) ∧ (c=5 <-> b=6). Restrictions {a:5} and {c:5} are
+  // individually consistent, but their union is not.
+  IntegrityConstraint ic =
+      Ic("(a = 5 <-> b = 5) & (c = 5 <-> b = 6)", ConjunctOverlap::kAllow);
+  ConsistencyChecker checker(db_, ic);
+  DbState da = DbState::OfNamed(db_, {{"a", Value(5)}});
+  DbState dc = DbState::OfNamed(db_, {{"c", Value(5)}});
+  EXPECT_TRUE(*checker.IsConsistent(da));
+  EXPECT_TRUE(*checker.IsConsistent(dc));
+  auto both = DbState::Union(da, dc);
+  ASSERT_TRUE(both.ok());
+  EXPECT_FALSE(*checker.IsConsistent(*both));
+}
+
+TEST_F(SolverTest, FindConsistentExtensionProducesWitness) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  DbState partial = DbState::OfNamed(db_, {{"b", Value(3)}});
+  auto witness = checker.FindConsistentExtension(partial);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness->has_value());
+  EXPECT_TRUE((*witness)->IsTotalOver(db_));
+  EXPECT_TRUE(partial.IsSubstateOf(**witness));
+  EXPECT_TRUE(*checker.Satisfies(**witness));
+
+  DbState impossible = DbState::OfNamed(db_, {{"c", Value(-2)}});
+  auto none = checker.FindConsistentExtension(impossible);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST_F(SolverTest, SampleConsistentStateIsConsistentAndVaried) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  Rng rng(42);
+  DbState first;
+  bool varied = false;
+  for (int i = 0; i < 20; ++i) {
+    auto s = checker.SampleConsistentState(rng);
+    ASSERT_TRUE(s.ok()) << s.status();
+    EXPECT_TRUE(s->IsTotalOver(db_));
+    EXPECT_TRUE(*checker.Satisfies(*s));
+    if (i == 0) {
+      first = *s;
+    } else if (*s != first) {
+      varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST_F(SolverTest, EnumerateConsistentStatesExactCount) {
+  // Over a single item with a = b and domain [-8, 8] (17 values) plus the
+  // free item c > 0 (8 values): 17 * 8 = 136 consistent total states.
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  auto states = checker.EnumerateConsistentStates(10'000);
+  ASSERT_TRUE(states.ok());
+  EXPECT_EQ(states->size(), 17u * 8u);
+  for (const DbState& s : *states) {
+    EXPECT_TRUE(*checker.Satisfies(s));
+  }
+}
+
+TEST_F(SolverTest, EnumerateRespectsLimit) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  auto states = checker.EnumerateConsistentStates(5);
+  ASSERT_TRUE(states.ok());
+  EXPECT_EQ(states->size(), 5u);
+}
+
+TEST_F(SolverTest, EnumerateCoversUnconstrainedItems) {
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "free"}, 0, 1).ok());
+  auto ic = IntegrityConstraint::Parse(db, "x = 1");
+  ASSERT_TRUE(ic.ok());
+  ConsistencyChecker checker(db, *ic);
+  auto states = checker.EnumerateConsistentStates(100);
+  ASSERT_TRUE(states.ok());
+  // x pinned to 1, free ranges over {0, 1}: 2 states, each total.
+  EXPECT_EQ(states->size(), 2u);
+  for (const DbState& s : *states) EXPECT_TRUE(s.IsTotalOver(db));
+}
+
+TEST_F(SolverTest, StatsAccumulateAndReset) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker checker(db_, ic);
+  ASSERT_TRUE(checker.IsConsistent(DbState()).ok());
+  EXPECT_GT(checker.stats().nodes, 0u);
+  checker.ResetStats();
+  EXPECT_EQ(checker.stats().nodes, 0u);
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverPropertyTest, ExtensionExistsIffEnumerationNonEmpty) {
+  // Cross-validate IsConsistent against brute-force enumeration on a tiny
+  // domain, for random partial states and a random-ish constraint family.
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "y", "z"}, 0, 3).ok());
+  const char* constraints[] = {
+      "x = y & z > 0",
+      "(x > 1 -> y > 1) & z < 3",
+      "x + y > 2 & z != 1",
+      "max(x, y) = 3 & z >= 0",
+  };
+  Rng rng(GetParam());
+  for (const char* text : constraints) {
+    auto ic = IntegrityConstraint::Parse(db, text);
+    ASSERT_TRUE(ic.ok()) << ic.status();
+    ConsistencyChecker checker(db, *ic);
+    auto all = checker.EnumerateConsistentStates(100'000);
+    ASSERT_TRUE(all.ok());
+    for (int trial = 0; trial < 60; ++trial) {
+      DbState partial;
+      for (const char* name : {"x", "y", "z"}) {
+        if (rng.NextBool(0.5)) {
+          partial.Set(db.MustFind(name), Value(rng.NextInt(0, 3)));
+        }
+      }
+      bool brute = false;
+      for (const DbState& s : *all) {
+        if (partial.IsSubstateOf(s)) {
+          brute = true;
+          break;
+        }
+      }
+      auto fast = checker.IsConsistent(partial);
+      ASSERT_TRUE(fast.ok());
+      EXPECT_EQ(*fast, brute)
+          << text << " at " << partial.ToString(db);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace nse

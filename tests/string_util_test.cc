@@ -1,0 +1,42 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("x=", 5, ", y=", 2.5), "x=5, y=2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, "-"), "");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "ab"));
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,157 @@
+// Randomized theorem validation (experiments T1–T3 of DESIGN.md):
+// executions satisfying a theorem's hypotheses must never violate strong
+// correctness, across seeds, workload shapes, and interleavings; dropping
+// the hypothesis re-exposes violations (the Example 2 regime).
+
+#include <gtest/gtest.h>
+
+#include "analysis/violation_search.h"
+#include "paper/paper_examples.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+struct TheoremSweepParam {
+  uint64_t seed;
+  size_t partitions;
+  size_t txns;
+};
+
+class TheoremSweepTest : public ::testing::TestWithParam<TheoremSweepParam> {
+ protected:
+  Workload MakeWorkload(double branch_probability,
+                        bool acyclic_cross_reads) const {
+    const auto& p = GetParam();
+    PartitionedWorkloadConfig config;
+    config.num_partitions = p.partitions;
+    config.items_per_partition = 2;
+    config.num_txns = p.txns;
+    config.partitions_per_txn = 2;
+    config.cross_read_probability = 0.6;
+    config.acyclic_cross_reads = acyclic_cross_reads;
+    config.branch_probability = branch_probability;
+    config.seed = p.seed;
+    auto workload = MakePartitionedWorkload(config);
+    EXPECT_TRUE(workload.ok()) << workload.status();
+    return std::move(workload).value();
+  }
+};
+
+TEST_P(TheoremSweepTest, Theorem1NoViolationsUnderFixedStructureAndPwsr) {
+  Workload workload = MakeWorkload(/*branch_probability=*/0.0,
+                                   /*acyclic_cross_reads=*/false);
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_fixed_structure = true;
+  Rng rng(GetParam().seed * 31 + 1);
+  auto outcome = SearchForViolations(workload.db, *workload.ic,
+                                     workload.ProgramPtrs(), filter, rng,
+                                     /*trials=*/120);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->checked, 0u);
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+TEST_P(TheoremSweepTest, Theorem2NoViolationsUnderPwsrAndDr) {
+  // Branching (non-fixed-structure) programs are allowed by Theorem 2.
+  Workload workload = MakeWorkload(/*branch_probability=*/0.4,
+                                   /*acyclic_cross_reads=*/false);
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_delayed_read = true;
+  Rng rng(GetParam().seed * 31 + 2);
+  auto outcome = SearchForViolations(workload.db, *workload.ic,
+                                     workload.ProgramPtrs(), filter, rng,
+                                     /*trials=*/120);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->checked, 0u);
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+TEST_P(TheoremSweepTest, Theorem3NoViolationsUnderPwsrAndAcyclicDag) {
+  Workload workload = MakeWorkload(/*branch_probability=*/0.4,
+                                   /*acyclic_cross_reads=*/true);
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_dag_acyclic = true;
+  Rng rng(GetParam().seed * 31 + 3);
+  auto outcome = SearchForViolations(workload.db, *workload.ic,
+                                     workload.ProgramPtrs(), filter, rng,
+                                     /*trials=*/120);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->checked, 0u);
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TheoremSweepTest,
+    ::testing::Values(TheoremSweepParam{1, 3, 3},
+                      TheoremSweepParam{2, 4, 4},
+                      TheoremSweepParam{3, 2, 4},
+                      TheoremSweepParam{4, 5, 3},
+                      TheoremSweepParam{5, 3, 5}));
+
+TEST(TheoremNegativeTest, DroppingEveryHypothesisExposesExample2) {
+  // Exhaustive search over all interleavings of Example 2's programs from
+  // its initial state, filtered only by PWSR: the anomaly must appear.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter pwsr_only;
+  pwsr_only.require_pwsr = true;
+  auto outcome = ExhaustiveViolationSearch(ex.db, *ex.ic, programs, {ex.ds0},
+                                           pwsr_only, 100'000);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->violations, 0u);
+
+  // Each theorem hypothesis individually eliminates every violation on the
+  // same scenario:
+  // TP2 is not fixed-structure either (its branch guards the c-write); the
+  // Theorem 1 case repairs both programs, as §3.1 prescribes. The repair
+  // must give both branches the same access structure: each reads b then c
+  // and writes c (then-branch computes b, else-branch computes c).
+  TransactionProgram tp2_fixed(
+      "TP2'",
+      {MustIf(ex.db, "a > 0", {MustAssign(ex.db, "c", "b + (c - c)")},
+              {MustAssign(ex.db, "c", "b - b + c")})});
+  for (int hypothesis = 0; hypothesis < 3; ++hypothesis) {
+    HypothesisFilter filter = pwsr_only;
+    std::vector<const TransactionProgram*> checked_programs = programs;
+    switch (hypothesis) {
+      case 0:  // Theorem 1: replace both programs with their repairs.
+        checked_programs = {&ex.tp1_fixed, &tp2_fixed};
+        filter.require_fixed_structure = true;
+        break;
+      case 1:  // Theorem 2: require DR.
+        filter.require_delayed_read = true;
+        break;
+      case 2:  // Theorem 3: require an acyclic access graph.
+        filter.require_dag_acyclic = true;
+        break;
+    }
+    auto guarded = ExhaustiveViolationSearch(ex.db, *ex.ic, checked_programs,
+                                             {ex.ds0}, filter, 100'000);
+    ASSERT_TRUE(guarded.ok()) << guarded.status();
+    EXPECT_EQ(guarded->violations, 0u) << "hypothesis " << hypothesis;
+    EXPECT_GT(guarded->trials, 0u);
+  }
+}
+
+TEST(TheoremNegativeTest, Example5OverlapViolatesDespiteAllHypotheses) {
+  // With overlapping conjuncts, even requiring PWSR ∧ DR ∧ acyclic DAG ∧
+  // fixed structure does not save consistency (Example 5).
+  auto ex = paper::Example5::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2, &ex.tp3};
+  HypothesisFilter all;
+  all.require_pwsr = true;
+  all.require_delayed_read = true;
+  all.require_dag_acyclic = true;
+  all.require_fixed_structure = true;
+  auto outcome = ExhaustiveViolationSearch(ex.db, *ex.ic, programs, {ex.ds0},
+                                           all, 100'000);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->violations, 0u);
+}
+
+}  // namespace
+}  // namespace nse

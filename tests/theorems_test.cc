@@ -1,0 +1,95 @@
+#include "analysis/theorems.h"
+
+#include <gtest/gtest.h>
+
+#include "paper/paper_examples.h"
+#include "txn/interleaver.h"
+
+namespace nse {
+namespace {
+
+TEST(TheoremsTest, Example2CertificateDeniesAllTheorems) {
+  // The paper's central counterexample: PWSR holds, but no theorem applies
+  // (TP1 not fixed-structure, schedule not DR, DAG cyclic) — and indeed the
+  // execution is not strongly correct.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto run = Interleave(ex.db, programs, ex.ds0, ex.choices);
+  ASSERT_TRUE(run.ok());
+  TheoremCertificate cert = Certify(ex.db, *ex.ic, run->schedule, &programs);
+  EXPECT_TRUE(cert.pwsr.is_pwsr);
+  EXPECT_TRUE(cert.conjuncts_disjoint);
+  ASSERT_TRUE(cert.all_programs_fixed_structure.has_value());
+  EXPECT_FALSE(*cert.all_programs_fixed_structure);
+  EXPECT_FALSE(cert.delayed_read);
+  EXPECT_FALSE(cert.dag_acyclic);
+  EXPECT_FALSE(cert.theorem1_applies);
+  EXPECT_FALSE(cert.theorem2_applies);
+  EXPECT_FALSE(cert.theorem3_applies);
+  EXPECT_FALSE(cert.guaranteed_strongly_correct());
+  EXPECT_NE(cert.Summary().find("not proven"), std::string::npos);
+}
+
+TEST(TheoremsTest, SerialExecutionEarnsTheorem2) {
+  // A serial execution is trivially DR; with PWSR it is certified by Thm 2.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto run = ExecuteSerially(ex.db, programs, ex.ds0, {0, 1});
+  ASSERT_TRUE(run.ok());
+  TheoremCertificate cert = Certify(ex.db, *ex.ic, run->schedule, &programs);
+  EXPECT_TRUE(cert.delayed_read);
+  EXPECT_TRUE(cert.theorem2_applies);
+  EXPECT_TRUE(cert.guaranteed_strongly_correct());
+}
+
+TEST(TheoremsTest, FixedStructureProgramsEarnTheorem1) {
+  // Straight-line programs + a PWSR interleaving.
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"a", "b"}, -8, 8).ok());
+  auto ic = IntegrityConstraint::Parse(db, "a >= -8 & b >= -8");
+  ASSERT_TRUE(ic.ok());
+  TransactionProgram tp1("TP1", {MustAssign(db, "a", "a + 1")});
+  TransactionProgram tp2("TP2", {MustAssign(db, "b", "b + 1")});
+  std::vector<const TransactionProgram*> programs{&tp1, &tp2};
+  DbState initial = DbState::OfNamed(db, {{"a", Value(0)}, {"b", Value(0)}});
+  auto run = Interleave(db, programs, initial, {0, 1, 0, 1});
+  ASSERT_TRUE(run.ok());
+  TheoremCertificate cert = Certify(db, *ic, run->schedule, &programs);
+  ASSERT_TRUE(cert.all_programs_fixed_structure.has_value());
+  EXPECT_TRUE(*cert.all_programs_fixed_structure);
+  EXPECT_TRUE(cert.theorem1_applies);
+}
+
+TEST(TheoremsTest, Example5OverlapDisablesCertification) {
+  // Example 5: every per-theorem hypothesis holds, but the conjuncts
+  // overlap, so no theorem may be applied — and consistency is indeed lost.
+  auto ex = paper::Example5::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2, &ex.tp3};
+  auto run = Interleave(ex.db, programs, ex.ds0, ex.choices);
+  ASSERT_TRUE(run.ok()) << run.status();
+  TheoremCertificate cert = Certify(ex.db, *ex.ic, run->schedule, &programs);
+  EXPECT_TRUE(cert.pwsr.is_pwsr);
+  EXPECT_FALSE(cert.conjuncts_disjoint);
+  ASSERT_TRUE(cert.all_programs_fixed_structure.has_value());
+  EXPECT_TRUE(*cert.all_programs_fixed_structure);
+  EXPECT_TRUE(cert.delayed_read);
+  EXPECT_TRUE(cert.dag_acyclic);
+  EXPECT_FALSE(cert.theorem1_applies);
+  EXPECT_FALSE(cert.theorem2_applies);
+  EXPECT_FALSE(cert.theorem3_applies);
+  EXPECT_NE(cert.Summary().find("Example 5"), std::string::npos);
+}
+
+TEST(TheoremsTest, WithoutProgramsFixedStructureUnknown) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto run = Interleave(ex.db, programs, ex.ds0, ex.choices);
+  ASSERT_TRUE(run.ok());
+  TheoremCertificate cert = Certify(ex.db, *ex.ic, run->schedule, nullptr);
+  EXPECT_FALSE(cert.all_programs_fixed_structure.has_value());
+  EXPECT_FALSE(cert.theorem1_applies);
+  EXPECT_NE(cert.Summary().find("unknown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nse

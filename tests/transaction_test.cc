@@ -1,0 +1,122 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/operation.h"
+
+namespace nse {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -32, 32).ok());
+    a_ = db_.MustFind("a");
+    b_ = db_.MustFind("b");
+    c_ = db_.MustFind("c");
+    d_ = db_.MustFind("d");
+  }
+  Database db_;
+  ItemId a_, b_, c_, d_;
+};
+
+TEST_F(TransactionTest, OperationBasics) {
+  Operation r = Operation::Read(1, a_, Value(0));
+  Operation w = Operation::Write(2, d_, Value(0));
+  EXPECT_TRUE(r.is_read());
+  EXPECT_TRUE(w.is_write());
+  EXPECT_EQ(r.ToString(db_), "r1(a, 0)");
+  EXPECT_EQ(w.ToString(db_), "w2(d, 0)");
+  EXPECT_EQ(StructOf(r), (OpStruct{OpAction::kRead, a_}));
+}
+
+TEST_F(TransactionTest, ConflictRules) {
+  Operation r1a = Operation::Read(1, a_, Value(0));
+  Operation r2a = Operation::Read(2, a_, Value(0));
+  Operation w2a = Operation::Write(2, a_, Value(1));
+  Operation w1a = Operation::Write(1, a_, Value(1));
+  Operation w2b = Operation::Write(2, b_, Value(1));
+  EXPECT_FALSE(Conflicts(r1a, r2a));  // read-read
+  EXPECT_TRUE(Conflicts(r1a, w2a));   // read-write
+  EXPECT_TRUE(Conflicts(w1a, w2a));   // write-write
+  EXPECT_FALSE(Conflicts(r1a, w1a));  // same transaction
+  EXPECT_FALSE(Conflicts(r1a, w2b));  // different item
+}
+
+TEST_F(TransactionTest, PaperExample1Notation) {
+  // T1: r1(a,0), r1(c,5), w1(b,5) — the paper's worked notation example.
+  Transaction t1(1, {Operation::Read(1, a_, Value(0)),
+                     Operation::Read(1, c_, Value(5)),
+                     Operation::Write(1, b_, Value(5))});
+  EXPECT_EQ(t1.ReadSet(), db_.SetOf({"a", "c"}));
+  EXPECT_EQ(t1.WriteSet(), db_.SetOf({"b"}));
+  EXPECT_EQ(t1.ReadMap(),
+            DbState::OfNamed(db_, {{"a", Value(0)}, {"c", Value(5)}}));
+  EXPECT_EQ(t1.WriteMap(), DbState::OfNamed(db_, {{"b", Value(5)}}));
+  // T1^{b} = w1(b,5).
+  Transaction t1b = t1.Project(db_.SetOf({"b"}));
+  ASSERT_EQ(t1b.size(), 1u);
+  EXPECT_EQ(t1b.ops()[0].ToString(db_), "w1(b, 5)");
+  // struct(T1) = r(a), r(c), w(b).
+  EXPECT_EQ(StructToString(db_, t1.Struct()), "r(a), r(c), w(b)");
+  EXPECT_EQ(t1.ToString(db_), "T1: r1(a, 0), r1(c, 5), w1(b, 5)");
+}
+
+TEST_F(TransactionTest, AccessDisciplineValid) {
+  Transaction t(1, {Operation::Read(1, a_, Value(0)),
+                    Operation::Write(1, a_, Value(1)),
+                    Operation::Read(1, b_, Value(2)),
+                    Operation::Write(1, c_, Value(3))});
+  EXPECT_TRUE(t.ValidateAccessDiscipline().ok());
+  EXPECT_EQ(t.AccessSet(), db_.SetOf({"a", "b", "c"}));
+}
+
+TEST_F(TransactionTest, AccessDisciplineViolations) {
+  // Double read.
+  Transaction double_read(1, {Operation::Read(1, a_, Value(0)),
+                              Operation::Read(1, a_, Value(0))});
+  EXPECT_FALSE(double_read.ValidateAccessDiscipline().ok());
+  // Read after write.
+  Transaction raw(1, {Operation::Write(1, a_, Value(1)),
+                      Operation::Read(1, a_, Value(1))});
+  EXPECT_FALSE(raw.ValidateAccessDiscipline().ok());
+  // Double write.
+  Transaction double_write(1, {Operation::Write(1, a_, Value(1)),
+                               Operation::Write(1, a_, Value(2))});
+  EXPECT_FALSE(double_write.ValidateAccessDiscipline().ok());
+}
+
+TEST_F(TransactionTest, SequenceHelpersOnMixedOps) {
+  OpSequence seq{Operation::Read(2, a_, Value(0)),
+                 Operation::Read(1, a_, Value(0)),
+                 Operation::Write(2, d_, Value(0)),
+                 Operation::Read(1, c_, Value(5))};
+  EXPECT_EQ(ReadSetOf(seq), db_.SetOf({"a", "c"}));
+  EXPECT_EQ(WriteSetOf(seq), db_.SetOf({"d"}));
+  EXPECT_EQ(OpsOfTxn(seq, 1).size(), 2u);
+  EXPECT_EQ(OpsOfTxn(seq, 3).size(), 0u);
+  // S^{a,c} keeps three operations, in order.
+  OpSequence proj = ProjectOps(seq, db_.SetOf({"a", "c"}));
+  ASSERT_EQ(proj.size(), 3u);
+  EXPECT_EQ(OpsToString(db_, proj), "r2(a, 0), r1(a, 0), r1(c, 5)");
+}
+
+TEST_F(TransactionTest, ReadMapFirstReadWinsWriteMapLastWriteWins) {
+  OpSequence seq{Operation::Read(1, a_, Value(1)),
+                 Operation::Read(2, a_, Value(2)),
+                 Operation::Write(1, b_, Value(3)),
+                 Operation::Write(2, b_, Value(4))};
+  EXPECT_EQ(ReadMapOf(seq).MustGet(a_), Value(1));
+  EXPECT_EQ(WriteMapOf(seq).MustGet(b_), Value(4));
+}
+
+TEST_F(TransactionTest, EmptyTransaction) {
+  Transaction t(7, {});
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.ValidateAccessDiscipline().ok());
+  EXPECT_TRUE(t.ReadSet().empty());
+  EXPECT_TRUE(t.ReadMap().empty());
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,119 @@
+#include "analysis/txn_state.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/serializability.h"
+#include "common/rng.h"
+#include "paper/paper_examples.h"
+#include "txn/interleaver.h"
+
+namespace nse {
+namespace {
+
+class TxnStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = paper::Example1::Make();
+    std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+    auto run = Interleave(ex_.db, programs, ex_.ds1, ex_.choices);
+    ASSERT_TRUE(run.ok()) << run.status();
+    schedule_ = run->schedule;
+    final_ = run->final_state;
+  }
+
+  paper::Example1 ex_;
+  Schedule schedule_;
+  DbState final_;
+};
+
+TEST_F(TxnStateTest, PaperExample1StatesForBothOrders) {
+  // Definition 4's worked example: d = {a, b, c}, S from Example 1.
+  DataSet d = ex_.db.SetOf({"a", "b", "c"});
+  // Order T1, T2: state(T2) = {(a,0), (b,5), (c,5)}.
+  auto states12 = ComputeTxnStates(schedule_, d, {1, 2}, ex_.ds1);
+  ASSERT_EQ(states12.size(), 2u);
+  EXPECT_EQ(states12[0], ex_.ds1.Restrict(d));
+  EXPECT_EQ(states12[1], DbState::OfNamed(ex_.db, {{"a", Value(0)},
+                                                   {"b", Value(5)},
+                                                   {"c", Value(5)}}));
+  // Order T2, T1: state(T2)... the paper reports the state of the *second*
+  // transaction in the order, here T1's predecessor state for T2 first:
+  // state(T2) with order T2, T1 is DS1^d = {(a,0), (b,10), (c,5)}.
+  auto states21 = ComputeTxnStates(schedule_, d, {2, 1}, ex_.ds1);
+  EXPECT_EQ(states21[0], DbState::OfNamed(ex_.db, {{"a", Value(0)},
+                                                   {"b", Value(10)},
+                                                   {"c", Value(5)}}));
+}
+
+TEST_F(TxnStateTest, ReadsContainedInStates) {
+  // Definition 4 consequence (a): read(T^d_i) ⊆ state(T_i, d, S, DS1) for a
+  // serialization order of S^d.
+  DataSet d = ex_.db.SetOf({"a", "b", "c", "d"});
+  auto csr = CheckConflictSerializability(schedule_.Project(d));
+  ASSERT_TRUE(csr.serializable);
+  EXPECT_EQ(FindReadOutsideState(schedule_, d, *csr.order, ex_.ds1),
+            std::nullopt);
+}
+
+TEST_F(TxnStateTest, FinalStateIdentity) {
+  // Definition 4 consequence (b): applying T_n's d-writes to state(T_n)
+  // yields DS2^d.
+  DataSet d = ex_.db.SetOf({"a", "b", "c", "d"});
+  auto csr = CheckConflictSerializability(schedule_.Project(d));
+  ASSERT_TRUE(csr.serializable);
+  EXPECT_TRUE(
+      FinalStateMatches(schedule_, d, *csr.order, ex_.ds1, final_));
+}
+
+TEST_F(TxnStateTest, EmptyOrderMatchesInitialRestriction) {
+  DataSet d = ex_.db.SetOf({"a"});
+  EXPECT_TRUE(FinalStateMatches(Schedule(), d, {}, ex_.ds1, ex_.ds1));
+}
+
+class TxnStatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TxnStatePropertyTest, ConsequencesHoldOnRandomExecutions) {
+  // Generate random executions of simple straight-line programs and verify
+  // both Definition 4 consequences for every serializable projection.
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "y", "z"}, -64, 64).ok());
+  std::vector<TransactionProgram> programs_store;
+  programs_store.emplace_back(
+      "A", StmtBlock{MustAssign(db, "x", "y + 1")});
+  programs_store.emplace_back(
+      "B", StmtBlock{MustAssign(db, "y", "z - 1"),
+                     MustAssign(db, "z", "z + 1")});
+  programs_store.emplace_back(
+      "C", StmtBlock{MustAssign(db, "z", "x + y")});
+  std::vector<const TransactionProgram*> programs;
+  for (const auto& p : programs_store) programs.push_back(&p);
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    DbState initial;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      initial.Set(item, Value(rng.NextInt(-10, 10)));
+    }
+    auto choices = RandomChoices(db, programs, initial, rng);
+    ASSERT_TRUE(choices.ok());
+    auto run = Interleave(db, programs, initial, *choices);
+    ASSERT_TRUE(run.ok());
+    for (const char* d_name : {"x", "y", "z"}) {
+      DataSet d = db.SetOf({d_name, "x"});  // pairs including x
+      auto csr = CheckConflictSerializability(run->schedule.Project(d));
+      if (!csr.serializable) continue;
+      EXPECT_EQ(FindReadOutsideState(run->schedule, d, *csr.order, initial),
+                std::nullopt)
+          << run->schedule.ToString(db);
+      EXPECT_TRUE(FinalStateMatches(run->schedule, d, *csr.order, initial,
+                                    run->final_state))
+          << run->schedule.ToString(db);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnStatePropertyTest,
+                         ::testing::Values(71, 72, 73, 74, 75));
+
+}  // namespace
+}  // namespace nse

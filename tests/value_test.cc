@@ -1,0 +1,64 @@
+#include "state/value.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(5).type(), ValueType::kInt);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value("Jim").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{1} << 40).AsInt(), int64_t{1} << 40);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(5), Value(5));
+  EXPECT_NE(Value(5), Value(6));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(true), Value(true));
+}
+
+TEST(ValueTest, CrossTypeNeverEqual) {
+  EXPECT_NE(Value(1), Value(true));
+  EXPECT_NE(Value(0), Value("0"));
+  EXPECT_NE(Value(false), Value("false"));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(-1), Value(3));
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_LT(Value(false), Value(true));
+}
+
+TEST(ValueTest, CrossTypeOrderIsTotal) {
+  // int < bool < string; whatever the order, it must be consistent.
+  EXPECT_TRUE(Value(100) < Value(false));
+  EXPECT_TRUE(Value(true) < Value(""));
+  EXPECT_FALSE(Value("") < Value(0));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value(-7).ToString(), "-7");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value("Jim").ToString(), "\"Jim\"");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kBool), "bool");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,142 @@
+#include "analysis/view_set.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/delayed_read.h"
+#include "analysis/pwsr.h"
+#include "analysis/serializability.h"
+#include "common/rng.h"
+
+namespace nse {
+namespace {
+
+class ViewSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(ViewSetTest, Lemma2RecurrenceByHand) {
+  // S: w1(a,1), r2(a,1), w1(b,2), r2(c,0) over d = {a, b}.
+  // Serialization order of S^d: T1, T2.
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1))
+      .R(2, "a", Value(1))
+      .W(1, "b", Value(2))
+      .R(2, "c", Value(0));
+  Schedule s = sb.Build();
+  DataSet d = db_.SetOf({"a", "b"});
+  std::vector<TxnId> order{1, 2};
+  // p = position 1 (r2(a,1)). T1 writes b after p, so VS(T2) = d - {b}.
+  auto vs = ComputeViewSets(s, d, order, /*p=*/1, ViewSetVariant::kGeneral);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0], d);
+  EXPECT_EQ(vs[1], db_.SetOf({"a"}));
+  // At p = 3 (end), T1 has no writes after p: VS(T2) = d.
+  auto vs_end =
+      ComputeViewSets(s, d, order, /*p=*/3, ViewSetVariant::kGeneral);
+  EXPECT_EQ(vs_end[1], d);
+}
+
+TEST_F(ViewSetTest, Lemma6RecurrenceByHand) {
+  // Same schedule; DR variant distinguishes completed vs incomplete T1.
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1))
+      .R(2, "a", Value(1))
+      .W(1, "b", Value(2))
+      .R(2, "c", Value(0));
+  Schedule s = sb.Build();
+  DataSet d = db_.SetOf({"a", "b"});
+  std::vector<TxnId> order{1, 2};
+  // At p = 1 T1 is incomplete: VS(T2) = d − WS(T1^d) = {} (T1 writes a, b).
+  auto vs =
+      ComputeViewSets(s, d, order, /*p=*/1, ViewSetVariant::kDelayedRead);
+  EXPECT_EQ(vs[1], DataSet());
+  // At p = 3 T1 completed: VS(T2) = d ∪ WS(T1^d) = d.
+  auto vs_end =
+      ComputeViewSets(s, d, order, /*p=*/3, ViewSetVariant::kDelayedRead);
+  EXPECT_EQ(vs_end[1], d);
+}
+
+TEST_F(ViewSetTest, SoundnessWitnessOnPaperStyleSchedule) {
+  // The schedule of Lemma 2's use in Example 2's analysis: no transaction
+  // reads outside its view set at any p.
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1))
+      .R(2, "a", Value(1))
+      .R(2, "b", Value(-1))
+      .W(2, "c", Value(-1))
+      .R(1, "c", Value(-1));
+  Schedule s = sb.Build();
+  DataSet d1 = db_.SetOf({"a", "b"});
+  auto order = CheckConflictSerializability(s.Project(d1)).order;
+  ASSERT_TRUE(order.has_value());
+  for (size_t p = 0; p < s.size(); ++p) {
+    EXPECT_EQ(FindViewSetUnsoundness(s, d1, *order, p,
+                                     ViewSetVariant::kGeneral),
+              std::nullopt)
+        << "at p=" << p;
+  }
+}
+
+struct ViewSetSweepParam {
+  uint64_t seed;
+  ViewSetVariant variant;
+};
+
+class ViewSetPropertyTest
+    : public ::testing::TestWithParam<ViewSetSweepParam> {};
+
+TEST_P(ViewSetPropertyTest, Lemma2And6SoundOnRandomSchedules) {
+  // Lemma 2 (general) / Lemma 6 (DR schedules): for every serializable
+  // projection, serialization order, and position p,
+  // RS(before(T^d_i, p, S)) ⊆ VS(T_i, p, d, S).
+  const auto& param = GetParam();
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "y", "z", "w"}, -8, 8).ok());
+  Rng rng(param.seed);
+  int usable = 0;
+  for (int trial = 0; trial < 400 && usable < 60; ++trial) {
+    OpSequence ops;
+    for (int step = 0; step < 8; ++step) {
+      TxnId txn = static_cast<TxnId>(rng.NextBelow(3) + 1);
+      ItemId item = static_cast<ItemId>(rng.NextBelow(4));
+      if (rng.NextBool(0.5)) {
+        ops.push_back(Operation::Write(txn, item, Value(step)));
+      } else {
+        ops.push_back(Operation::Read(txn, item, Value(0)));
+      }
+    }
+    Schedule s(std::move(ops));
+    if (param.variant == ViewSetVariant::kDelayedRead && !IsDelayedRead(s)) {
+      continue;
+    }
+    // Random projection set d.
+    DataSet d;
+    for (ItemId item = 0; item < 4; ++item) {
+      if (rng.NextBool(0.6)) d.Insert(item);
+    }
+    if (d.empty()) continue;
+    auto csr = CheckConflictSerializability(s.Project(d));
+    if (!csr.serializable) continue;
+    ++usable;
+    for (size_t p = 0; p < s.size(); ++p) {
+      EXPECT_EQ(FindViewSetUnsoundness(s, d, *csr.order, p, param.variant),
+                std::nullopt)
+          << s.ToString(db) << " d=" << db.DataSetToString(d) << " p=" << p;
+    }
+  }
+  EXPECT_GT(usable, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ViewSetPropertyTest,
+    ::testing::Values(ViewSetSweepParam{101, ViewSetVariant::kGeneral},
+                      ViewSetSweepParam{202, ViewSetVariant::kGeneral},
+                      ViewSetSweepParam{303, ViewSetVariant::kDelayedRead},
+                      ViewSetSweepParam{404, ViewSetVariant::kDelayedRead}));
+
+}  // namespace
+}  // namespace nse

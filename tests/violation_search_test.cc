@@ -1,0 +1,99 @@
+#include "analysis/violation_search.h"
+
+#include <gtest/gtest.h>
+
+#include "paper/paper_examples.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+TEST(ViolationSearchTest, FindsExample2StyleViolationUnderPwsrOnly) {
+  // With the non-fixed-structure TP1 and only PWSR required, random search
+  // must rediscover Example 2's anomaly.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  Rng rng(2024);
+  auto outcome = SearchForViolations(ex.db, *ex.ic, programs, filter, rng,
+                                     /*trials=*/400);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->violations, 0u);
+  ASSERT_TRUE(outcome->first_counterexample.has_value());
+  const auto& cex = *outcome->first_counterexample;
+  EXPECT_FALSE(cex.report.strongly_correct);
+  // The counterexample is reproducible from its recorded pieces.
+  auto replay = Interleave(ex.db, programs, cex.initial, cex.choices);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->schedule.ToString(ex.db), cex.schedule.ToString(ex.db));
+}
+
+TEST(ViolationSearchTest, FixedStructureFilterShortCircuits) {
+  // Requiring fixed structure with Example 2's TP1 filters everything out
+  // (Theorem 1's hypothesis cannot be met by these programs).
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_fixed_structure = true;
+  Rng rng(1);
+  auto outcome =
+      SearchForViolations(ex.db, *ex.ic, programs, filter, rng, 50);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->checked, 0u);
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+TEST(ViolationSearchTest, StopAtFirstStopsEarly) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;  // no filter: every execution checked
+  Rng rng(7);
+  auto outcome = SearchForViolations(ex.db, *ex.ic, programs, filter, rng,
+                                     10'000, /*stop_at_first=*/true);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GT(outcome->violations, 0u);
+  EXPECT_LT(outcome->trials, 10'000u);
+}
+
+TEST(ViolationSearchTest, ExhaustiveSearchCoversAllInterleavings) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  auto outcome = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                           {ex.ds0}, filter, 10'000);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->trials, 0u);
+  EXPECT_GT(outcome->violations, 0u);
+  ASSERT_TRUE(outcome->first_counterexample.has_value());
+  EXPECT_EQ(outcome->first_counterexample->initial, ex.ds0);
+}
+
+TEST(ViolationSearchTest, GeneratedFixedStructureWorkloadHasNoViolations) {
+  // Theorem 1 regime via the workload generator: straight-line correct
+  // programs, PWSR-filtered executions — zero violations expected.
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 3;
+  config.items_per_partition = 2;
+  config.num_txns = 3;
+  config.partitions_per_txn = 2;
+  config.branch_probability = 0.0;
+  config.seed = 5;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+  filter.require_fixed_structure = true;
+  Rng rng(5);
+  auto outcome = SearchForViolations(workload->db, *workload->ic,
+                                     workload->ProgramPtrs(), filter, rng,
+                                     /*trials=*/150);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->checked, 0u);
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,0 +1,166 @@
+#include "scheduler/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/access_graph.h"
+#include "analysis/fixed_structure.h"
+#include "constraints/solver.h"
+#include "txn/interleaver.h"
+
+namespace nse {
+namespace {
+
+TEST(WorkloadTest, GeneratorInvariants) {
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 4;
+  config.items_per_partition = 3;
+  config.num_txns = 6;
+  config.partitions_per_txn = 2;
+  config.seed = 11;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->db.num_items(), 12u);
+  EXPECT_EQ(workload->ic->num_conjuncts(), 4u);
+  EXPECT_TRUE(workload->ic->disjoint());
+  EXPECT_EQ(workload->programs.size(), 6u);
+  EXPECT_EQ(workload->scripts.size(), 6u);
+  EXPECT_EQ(workload->ProgramPtrs().size(), 6u);
+}
+
+TEST(WorkloadTest, StraightLineProgramsAreFixedStructure) {
+  PartitionedWorkloadConfig config;
+  config.branch_probability = 0.0;
+  config.seed = 3;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& program : workload->programs) {
+    EXPECT_TRUE(IsStraightLine(program)) << program.name();
+    StructureAnalysis analysis = AnalyzeStructure(workload->db, program);
+    EXPECT_TRUE(analysis.valid);
+    EXPECT_TRUE(analysis.fixed);
+  }
+}
+
+TEST(WorkloadTest, BranchProbabilityBreaksFixedStructure) {
+  PartitionedWorkloadConfig config;
+  config.branch_probability = 1.0;
+  config.cross_read_probability = 1.0;
+  config.num_txns = 6;
+  config.seed = 3;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  bool any_branching = false;
+  for (const auto& program : workload->programs) {
+    if (!AnalyzeStructure(workload->db, program).fixed) any_branching = true;
+  }
+  EXPECT_TRUE(any_branching);
+}
+
+TEST(WorkloadTest, GeneratedProgramsAreCorrectInIsolation) {
+  // The standing assumption of every theorem: programs map consistent
+  // states to consistent states. Verified over sampled states.
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 3;
+  config.items_per_partition = 2;
+  config.num_txns = 5;
+  config.partitions_per_txn = 2;
+  config.cross_read_probability = 0.7;
+  config.branch_probability = 0.3;  // correctness must hold on all paths
+  config.seed = 17;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  ConsistencyChecker checker(workload->db, *workload->ic);
+  Rng rng(17);
+  for (const auto& program : workload->programs) {
+    for (int trial = 0; trial < 10; ++trial) {
+      auto initial = checker.SampleConsistentState(rng);
+      ASSERT_TRUE(initial.ok());
+      auto run = RunInIsolation(workload->db, program, 1, *initial);
+      ASSERT_TRUE(run.ok()) << program.name() << ": " << run.status();
+      auto consistent = checker.IsConsistent(run->final_state);
+      ASSERT_TRUE(consistent.ok());
+      EXPECT_TRUE(*consistent)
+          << program.name() << " broke the IC from "
+          << initial->ToString(workload->db);
+    }
+  }
+}
+
+TEST(WorkloadTest, AcyclicCrossReadsYieldAcyclicDag) {
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 4;
+  config.num_txns = 6;
+  config.partitions_per_txn = 3;
+  config.cross_read_probability = 1.0;
+  config.acyclic_cross_reads = true;
+  config.seed = 23;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  ConsistencyChecker checker(workload->db, *workload->ic);
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto initial = checker.SampleConsistentState(rng);
+    ASSERT_TRUE(initial.ok());
+    auto choices =
+        RandomChoices(workload->db, workload->ProgramPtrs(), *initial, rng);
+    ASSERT_TRUE(choices.ok());
+    auto run =
+        Interleave(workload->db, workload->ProgramPtrs(), *initial, *choices);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(
+        DataAccessGraph::Build(run->schedule, *workload->ic).IsAcyclic());
+  }
+}
+
+TEST(WorkloadTest, ScriptsMatchProgramSignatures) {
+  PartitionedWorkloadConfig config;
+  config.seed = 29;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (size_t i = 0; i < workload->programs.size(); ++i) {
+    StructureAnalysis analysis =
+        AnalyzeStructure(workload->db, workload->programs[i]);
+    ASSERT_EQ(workload->scripts[i].steps.size(), analysis.signature.size());
+    for (size_t k = 0; k < analysis.signature.size(); ++k) {
+      EXPECT_EQ(workload->scripts[i].steps[k].action,
+                analysis.signature[k].action);
+      EXPECT_EQ(workload->scripts[i].steps[k].item,
+                analysis.signature[k].entity);
+    }
+  }
+}
+
+TEST(WorkloadTest, PresetsProduceRunnableWorkloads) {
+  auto cad = MakeCadWorkload(4, 16, 6, 1);
+  ASSERT_TRUE(cad.ok());
+  EXPECT_EQ(cad->scripts.size(), 4u);
+  EXPECT_GE(cad->scripts[0].steps.size(), 4u);
+
+  auto mdbs = MakeMdbsWorkload(/*num_sites=*/4, /*global_txns=*/2,
+                               /*local_txns=*/4, /*sites_per_global=*/3, 1);
+  ASSERT_TRUE(mdbs.ok());
+  EXPECT_EQ(mdbs->scripts.size(), 6u);
+  EXPECT_EQ(mdbs->ic->num_conjuncts(), 4u);
+}
+
+TEST(WorkloadTest, InvalidConfigsRejected) {
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 0;
+  EXPECT_FALSE(MakePartitionedWorkload(config).ok());
+  config.num_partitions = 2;
+  config.partitions_per_txn = 5;  // > num_partitions
+  EXPECT_FALSE(MakePartitionedWorkload(config).ok());
+}
+
+TEST(WorkloadTest, TxnScriptLastStepTouching) {
+  TxnScript script;
+  script.steps = {AccessStep{OpAction::kRead, 0},
+                  AccessStep{OpAction::kWrite, 3},
+                  AccessStep{OpAction::kWrite, 0}};
+  EXPECT_EQ(script.LastStepTouching(DataSet({0})), 2u);
+  EXPECT_EQ(script.LastStepTouching(DataSet({3})), 1u);
+  EXPECT_EQ(script.LastStepTouching(DataSet({9})), SIZE_MAX);
+}
+
+}  // namespace
+}  // namespace nse
