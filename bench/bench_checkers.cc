@@ -132,10 +132,14 @@ void ReportClassCensus() {
     constexpr int kSamples = 2000;
     for (int i = 0; i < kSamples; ++i) {
       Schedule s = RandomSchedule(rng, num_ops, 4, sc.db.num_items());
-      if (IsConflictSerializable(s)) ++csr;
-      if (CheckPwsr(s, *sc.ic).is_pwsr) ++pwsr;
-      if (IsDelayedRead(s)) ++dr;
-      if (IsStrict(s)) ++strict;
+      // One shared context per schedule: all four class probes reuse the
+      // same memoized artifacts.
+      AnalysisContext ctx(*sc.ic, s);
+      TraceClassification cls = ClassifyTrace(ctx);
+      if (cls.csr) ++csr;
+      if (cls.pwsr.value_or(false)) ++pwsr;
+      if (cls.delayed_read) ++dr;
+      if (cls.strict) ++strict;
     }
     auto pct = [&](int n) {
       return FormatDouble(100.0 * n / kSamples, 1);

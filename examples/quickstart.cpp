@@ -55,13 +55,22 @@ int main() {
   std::cout << "\nSchedule S: " << run->schedule.ToString(db) << "\n";
   std::cout << "Final state: " << run->final_state.ToString(db) << "\n\n";
 
-  // 5. Certify the execution against the paper's criteria.
-  TheoremCertificate cert = Certify(db, *ic, run->schedule, &programs);
-  std::cout << cert.Summary() << "\n\n";
+  // 5. One AnalysisContext per execution: every checker in the registry
+  //    reuses the same memoized conflict graphs, projections, and solver.
+  AnalysisOptions options;
+  options.programs = &programs;
+  AnalysisContext ctx(db, *ic, run->schedule, options);
+  for (const CheckResult& result : CheckerRegistry::BuiltIn().RunAll(ctx)) {
+    std::cout << result.ToString() << "\n";
+  }
 
-  // 6. And check strong correctness (Definition 1) directly.
-  ConsistencyChecker checker(db, *ic);
-  auto report = CheckExecution(checker, run->schedule, initial);
+  // 6. The full theorem certificate, from the same context.
+  TheoremCertificate cert = Certify(ctx);
+  std::cout << "\n" << cert.Summary() << "\n\n";
+
+  // 7. And check strong correctness (Definition 1) of this concrete run.
+  auto report = CheckExecution(ctx.consistency_checker(), run->schedule,
+                               initial);
   if (!report.ok()) {
     std::cerr << report.status() << "\n";
     return 1;

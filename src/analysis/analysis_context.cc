@@ -1,0 +1,285 @@
+#include "analysis/analysis_context.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nse {
+
+AnalysisContext::AnalysisContext(const Database* db,
+                                 const IntegrityConstraint* ic,
+                                 const Schedule* schedule,
+                                 AnalysisOptions options)
+    : db_(db), ic_(ic), schedule_(schedule), options_(options) {
+  if (ic_ != nullptr) {
+    projections_.resize(ic_->num_conjuncts());
+    projection_graphs_.resize(ic_->num_conjuncts());
+  }
+}
+
+AnalysisContext::AnalysisContext(const Database& db,
+                                 const IntegrityConstraint& ic,
+                                 const Schedule& schedule,
+                                 AnalysisOptions options)
+    : AnalysisContext(&db, &ic, &schedule, options) {}
+
+AnalysisContext::AnalysisContext(const Database& db,
+                                 const IntegrityConstraint& ic,
+                                 Schedule&& schedule_owned,
+                                 AnalysisOptions options)
+    : AnalysisContext(&db, &ic, nullptr, options) {
+  owned_schedule_ = std::move(schedule_owned);
+  schedule_ = &*owned_schedule_;
+}
+
+AnalysisContext::AnalysisContext(const IntegrityConstraint& ic,
+                                 const Schedule& schedule,
+                                 AnalysisOptions options)
+    : AnalysisContext(nullptr, &ic, &schedule, options) {}
+
+AnalysisContext::AnalysisContext(const Schedule& schedule,
+                                 AnalysisOptions options)
+    : AnalysisContext(nullptr, nullptr, &schedule, options) {}
+
+const Database& AnalysisContext::db() const {
+  NSE_CHECK_MSG(db_ != nullptr, "analysis context has no database");
+  return *db_;
+}
+
+const IntegrityConstraint& AnalysisContext::ic() const {
+  NSE_CHECK_MSG(ic_ != nullptr, "analysis context has no integrity constraint");
+  return *ic_;
+}
+
+const ConflictGraph& AnalysisContext::conflict_graph() {
+  if (!conflict_graph_.has_value()) {
+    if (ic_ != nullptr && ic_->disjoint()) {
+      BuildCoreGraphs();
+    } else {
+      conflict_graph_ = ConflictGraph::Build(*schedule_);
+      ++stats_.conflict_graph_builds;
+    }
+  }
+  return *conflict_graph_;
+}
+
+const std::vector<ReadsFromEdge>& AnalysisContext::reads_from() {
+  if (!reads_from_.has_value()) {
+    if (ic_ != nullptr && ic_->disjoint()) {
+      BuildCoreGraphs();
+    } else {
+      reads_from_ = ReadsFromPairs(*schedule_);
+      ++stats_.reads_from_builds;
+    }
+  }
+  return *reads_from_;
+}
+
+const ScheduleProjection& AnalysisContext::projection(size_t e) {
+  NSE_CHECK_MSG(e < projections_.size(), "conjunct index %zu out of range %zu",
+                e, projections_.size());
+  if (!projections_[e].has_value()) {
+    projections_[e] = schedule_->ProjectWithPositions(ic().data_set(e));
+    ++stats_.projection_builds;
+  }
+  return *projections_[e];
+}
+
+const ConflictGraph& AnalysisContext::projection_graph(size_t e) {
+  NSE_CHECK_MSG(e < projection_graphs_.size(),
+                "conjunct index %zu out of range %zu", e,
+                projection_graphs_.size());
+  if (!projection_graphs_[e].has_value()) {
+    if (ic().disjoint()) {
+      BuildCoreGraphs();
+    } else {
+      projection_graphs_[e] = ConflictGraph::Build(projection(e).schedule);
+      ++stats_.projection_graph_builds;
+    }
+  }
+  return *projection_graphs_[e];
+}
+
+void AnalysisContext::BuildCoreGraphs() {
+  // Conflicts are same-item, so the full conflict graph and every projected
+  // conflict graph are regroupings of the same per-item access histories,
+  // and the reads-from relation falls out of the same last-write tracking.
+  // With disjoint conjuncts each item feeds exactly one conjunct, so one
+  // sweep over the schedule derives all of them without materializing a
+  // single projected schedule.
+  size_t num_conjuncts = projection_graphs_.size();
+  bool need_full = !conflict_graph_.has_value();
+  bool need_rf = !reads_from_.has_value();
+  bool need_proj = false;
+  for (const auto& graph : projection_graphs_) {
+    if (!graph.has_value()) need_proj = true;
+  }
+  if (!need_full && !need_rf && !need_proj) return;
+
+  // One SweepConflicts pass (the same implementation ConflictGraph::Build
+  // uses) in txn-index space, with n×n seen-bitsets deduplicating candidate
+  // edges so each distinct edge is inserted exactly once. The per-op hook
+  // tracks last writes (reads-from) and per-conjunct membership alongside.
+  const std::vector<TxnId>& txn_ids = schedule_->txn_ids();
+  const uint32_t n = static_cast<uint32_t>(txn_ids.size());
+  const OpSequence& ops = schedule_->ops();
+
+  std::vector<char> full_seen(static_cast<size_t>(n) * n, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> full_edges;
+  std::vector<std::vector<char>> proj_seen(
+      num_conjuncts, std::vector<char>(static_cast<size_t>(n) * n, 0));
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> proj_edges(
+      num_conjuncts);
+  std::vector<std::vector<char>> proj_member(num_conjuncts,
+                                             std::vector<char>(n, 0));
+  std::vector<ReadsFromEdge> rf;
+  struct ItemState {
+    int conjunct = -2;  // -2 = not looked up yet, -1 = unconstrained
+    std::optional<size_t> last_write;
+  };
+  std::vector<ItemState> items;
+  // Conjunct of the item an operation touches, memoized per item; -1 when
+  // unconstrained.
+  auto conjunct_of = [&](const Operation& op) {
+    if (op.entity >= items.size()) items.resize(op.entity + 1);
+    ItemState& item = items[op.entity];
+    if (item.conjunct == -2) {
+      std::optional<size_t> e = ic().ConjunctOf(op.entity);
+      item.conjunct = e.has_value() ? static_cast<int>(*e) : -1;
+    }
+    return item.conjunct;
+  };
+  internal::SweepConflicts(
+      *schedule_,
+      [&](size_t pos, uint32_t idx) {
+        const Operation& op = ops[pos];
+        int e = conjunct_of(op);
+        if (need_proj && e >= 0) proj_member[e][idx] = 1;
+        ItemState& item = items[op.entity];
+        if (op.is_write()) {
+          item.last_write = pos;
+        } else if (need_rf && item.last_write.has_value()) {
+          rf.push_back(ReadsFromEdge{pos, *item.last_write});
+        }
+      },
+      [&](uint32_t from, uint32_t to, size_t pos) {
+        size_t key = static_cast<size_t>(from) * n + to;
+        if (need_full && !full_seen[key]) {
+          full_seen[key] = 1;
+          full_edges.emplace_back(from, to);
+        }
+        int e = need_proj ? conjunct_of(ops[pos]) : -1;
+        if (e >= 0 && !proj_seen[e][key]) {
+          proj_seen[e][key] = 1;
+          proj_edges[e].emplace_back(from, to);
+        }
+      });
+  if (need_full) {
+    ConflictGraph graph(txn_ids);
+    for (const auto& [from, to] : full_edges) graph.AddEdgeByIndex(from, to);
+    conflict_graph_ = std::move(graph);
+    ++stats_.conflict_graph_builds;
+  }
+  if (need_rf) {
+    reads_from_ = std::move(rf);
+    ++stats_.reads_from_builds;
+  }
+  for (size_t e = 0; e < num_conjuncts; ++e) {
+    if (projection_graphs_[e].has_value()) continue;
+    // Local node list of S^{d_e} plus the full-index → local-index map.
+    std::vector<TxnId> nodes;
+    std::vector<uint32_t> local(n, 0);
+    for (uint32_t idx = 0; idx < n; ++idx) {
+      if (proj_member[e][idx]) {
+        local[idx] = static_cast<uint32_t>(nodes.size());
+        nodes.push_back(txn_ids[idx]);
+      }
+    }
+    ConflictGraph graph(std::move(nodes));
+    for (const auto& [from, to] : proj_edges[e]) {
+      graph.AddEdgeByIndex(local[from], local[to]);
+    }
+    projection_graphs_[e] = std::move(graph);
+    ++stats_.projection_graph_builds;
+  }
+}
+
+const DataAccessGraph& AnalysisContext::access_graph() {
+  if (!access_graph_.has_value()) {
+    access_graph_ = DataAccessGraph::Build(*schedule_, ic());
+    ++stats_.access_graph_builds;
+  }
+  return *access_graph_;
+}
+
+const ConsistencyChecker& AnalysisContext::consistency_checker() {
+  if (!solver_.has_value()) {
+    solver_.emplace(db(), ic());
+    ++stats_.solver_builds;
+  }
+  return *solver_;
+}
+
+const CsrReport& AnalysisContext::csr_report() {
+  if (!csr_.has_value()) {
+    csr_ = CsrReportFromGraph(conflict_graph());
+    ++stats_.csr_builds;
+  }
+  return *csr_;
+}
+
+const PwsrReport& AnalysisContext::pwsr_report() {
+  if (!pwsr_.has_value()) {
+    PwsrReport report;
+    report.conjuncts_disjoint = ic().disjoint();
+    report.is_pwsr = true;
+    for (size_t e = 0; e < ic().num_conjuncts(); ++e) {
+      ConjunctSerializability entry;
+      entry.conjunct = e;
+      entry.csr = CsrReportFromGraph(projection_graph(e));
+      if (!entry.csr.serializable) report.is_pwsr = false;
+      report.per_conjunct.push_back(std::move(entry));
+    }
+    pwsr_ = std::move(report);
+    ++stats_.pwsr_builds;
+  }
+  return *pwsr_;
+}
+
+const std::optional<DrViolation>& AnalysisContext::dr_violation() {
+  if (!dr_violation_.has_value()) {
+    std::optional<DrViolation> violation;
+    for (const ReadsFromEdge& edge : reads_from()) {
+      TxnId writer = schedule_->at(edge.writer_pos).txn;
+      TxnId reader = schedule_->at(edge.reader_pos).txn;
+      if (writer == reader) continue;  // cannot occur under the access rules
+      if (!schedule_->CompletedBy(writer, edge.reader_pos)) {
+        violation = DrViolation{edge.reader_pos, edge.writer_pos, writer};
+        break;
+      }
+    }
+    dr_violation_ = std::move(violation);
+    ++stats_.dr_builds;
+  }
+  return *dr_violation_;
+}
+
+const std::optional<DrViolation>& AnalysisContext::strict_violation() {
+  if (!strict_violation_.has_value()) {
+    strict_violation_ = FindStrictViolation(*schedule_);
+    ++stats_.strict_builds;
+  }
+  return *strict_violation_;
+}
+
+const Result<StrongCorrectnessReport>& AnalysisContext::strong_correctness() {
+  if (!strong_.has_value()) {
+    strong_ = CheckScheduleOverInitialStates(consistency_checker(), *schedule_,
+                                             options_.initial_state_limit);
+    ++stats_.strong_correctness_builds;
+  }
+  return *strong_;
+}
+
+}  // namespace nse

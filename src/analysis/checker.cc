@@ -1,0 +1,243 @@
+#include "analysis/checker.h"
+
+#include "analysis/theorems.h"
+#include "analysis/view_set.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSatisfied:
+      return "satisfied";
+    case Verdict::kViolated:
+      return "violated";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string CheckResult::ToString() const {
+  std::string out = StrCat(checker, ": ", VerdictName(verdict));
+  if (!witness.empty()) out += StrCat(" (", witness, ")");
+  return out;
+}
+
+namespace {
+
+std::string RenderTxns(const std::vector<TxnId>& txns,
+                       std::string_view separator) {
+  std::vector<std::string> parts;
+  parts.reserve(txns.size());
+  for (TxnId txn : txns) parts.push_back(StrCat("T", txn));
+  return StrJoin(parts, separator);
+}
+
+std::string RenderCsrWitness(const CsrReport& csr) {
+  if (csr.serializable) {
+    return StrCat("serialization order ", RenderTxns(*csr.order, " "));
+  }
+  if (csr.cycle.has_value()) {
+    return StrCat("conflict cycle ", RenderTxns(*csr.cycle, " -> "));
+  }
+  return "no serialization order";
+}
+
+class CsrChecker : public Checker {
+ public:
+  std::string_view name() const override { return "csr"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    const CsrReport& csr = ctx.csr_report();
+    return CheckResult{
+        std::string(name()),
+        csr.serializable ? Verdict::kSatisfied : Verdict::kViolated,
+        RenderCsrWitness(csr)};
+  }
+};
+
+class PwsrChecker : public Checker {
+ public:
+  std::string_view name() const override { return "pwsr"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    if (!ctx.has_ic()) {
+      return CheckResult{std::string(name()), Verdict::kUnknown,
+                         "no integrity constraint in context"};
+    }
+    const PwsrReport& pwsr = ctx.pwsr_report();
+    if (pwsr.is_pwsr) {
+      std::string witness = StrCat(pwsr.per_conjunct.size(),
+                                   " conjunct projections serializable");
+      if (!pwsr.conjuncts_disjoint) witness += "; conjuncts overlap";
+      return CheckResult{std::string(name()), Verdict::kSatisfied,
+                         std::move(witness)};
+    }
+    for (const ConjunctSerializability& entry : pwsr.per_conjunct) {
+      if (entry.csr.serializable) continue;
+      return CheckResult{
+          std::string(name()), Verdict::kViolated,
+          StrCat("S^d of conjunct ", entry.conjunct + 1, " not serializable: ",
+                 RenderCsrWitness(entry.csr))};
+    }
+    return CheckResult{std::string(name()), Verdict::kViolated,
+                       "no serializable projection"};
+  }
+};
+
+class DelayedReadChecker : public Checker {
+ public:
+  std::string_view name() const override { return "delayed-read"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    const std::optional<DrViolation>& violation = ctx.dr_violation();
+    if (!violation.has_value()) {
+      return CheckResult{std::string(name()), Verdict::kSatisfied,
+                         "every read is from a completed transaction"};
+    }
+    return CheckResult{
+        std::string(name()), Verdict::kViolated,
+        StrCat("position ", violation->reader_pos, " reads from T",
+               violation->writer_txn, " (write at position ",
+               violation->writer_pos, "), still incomplete at that point")};
+  }
+};
+
+class ViewSetChecker : public Checker {
+ public:
+  std::string_view name() const override { return "view-set"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    if (!ctx.has_ic()) {
+      return CheckResult{std::string(name()), Verdict::kUnknown,
+                         "no integrity constraint in context"};
+    }
+    std::optional<ViewSetUnsoundness> bad = CheckViewSetSoundness(ctx);
+    if (!bad.has_value()) {
+      return CheckResult{std::string(name()), Verdict::kSatisfied,
+                         "Lemma 2/6 view sets sound at every position"};
+    }
+    return CheckResult{
+        std::string(name()), Verdict::kViolated,
+        StrCat("view set of conjunct ", bad->conjunct + 1, " unsound at ",
+               "position ", bad->position, ", order index ", bad->order_index,
+               bad->variant == ViewSetVariant::kDelayedRead ? " (Lemma 6)"
+                                                            : " (Lemma 2)")};
+  }
+};
+
+class StrongCorrectnessChecker : public Checker {
+ public:
+  std::string_view name() const override { return "strong-correctness"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    if (!ctx.has_db() || !ctx.has_ic()) {
+      return CheckResult{std::string(name()), Verdict::kUnknown,
+                         "needs a database and an integrity constraint"};
+    }
+    const Result<StrongCorrectnessReport>& report = ctx.strong_correctness();
+    if (!report.ok()) {
+      return CheckResult{std::string(name()), Verdict::kUnknown,
+                         report.status().ToString()};
+    }
+    if (report->strongly_correct) {
+      return CheckResult{
+          std::string(name()), Verdict::kSatisfied,
+          StrCat("Definition 1 holds over ", report->initial_states_checked,
+                 " initial state(s)")};
+    }
+    const ScViolation& violation = report->violations.front();
+    return CheckResult{std::string(name()), Verdict::kViolated,
+                       violation.ToString(ctx.db())};
+  }
+};
+
+class TheoremChecker : public Checker {
+ public:
+  std::string_view name() const override { return "theorems"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    if (!ctx.has_ic()) {
+      return CheckResult{std::string(name()), Verdict::kUnknown,
+                         "no integrity constraint in context"};
+    }
+    TheoremCertificate cert = Certify(ctx);
+    if (cert.guaranteed_strongly_correct()) {
+      std::vector<std::string> applied;
+      if (cert.theorem1_applies) applied.push_back("1");
+      if (cert.theorem2_applies) applied.push_back("2");
+      if (cert.theorem3_applies) applied.push_back("3");
+      return CheckResult{
+          std::string(name()), Verdict::kSatisfied,
+          StrCat("Theorem ", StrJoin(applied, "/"),
+                 " certifies strong correctness")};
+    }
+    // The theorems are sufficient, not necessary: failing all hypotheses
+    // leaves strong correctness open, so the verdict is unknown.
+    return CheckResult{
+        std::string(name()), Verdict::kUnknown,
+        StrCat("no theorem applies (PWSR: ", cert.pwsr.is_pwsr ? "yes" : "no",
+               ", DR: ", cert.delayed_read ? "yes" : "no",
+               ", DAG acyclic: ", cert.dag_acyclic ? "yes" : "no", ")")};
+  }
+};
+
+}  // namespace
+
+const CheckerRegistry& CheckerRegistry::BuiltIn() {
+  static const CheckerRegistry* registry = [] {
+    auto* r = new CheckerRegistry();
+    NSE_CHECK(r->Register(std::make_unique<CsrChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<PwsrChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<DelayedReadChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<ViewSetChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<StrongCorrectnessChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<TheoremChecker>()).ok());
+    return r;
+  }();
+  return *registry;
+}
+
+Status CheckerRegistry::Register(std::unique_ptr<Checker> checker) {
+  if (checker == nullptr) {
+    return Status::InvalidArgument("checker must not be null");
+  }
+  if (Find(checker->name()) != nullptr) {
+    return Status::InvalidArgument(
+        StrCat("checker '", checker->name(), "' already registered"));
+  }
+  checkers_.push_back(std::move(checker));
+  return Status::Ok();
+}
+
+const Checker* CheckerRegistry::Find(std::string_view name) const {
+  for (const std::unique_ptr<Checker>& checker : checkers_) {
+    if (checker->name() == name) return checker.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> CheckerRegistry::Names() const {
+  std::vector<std::string_view> names;
+  names.reserve(checkers_.size());
+  for (const std::unique_ptr<Checker>& checker : checkers_) {
+    names.push_back(checker->name());
+  }
+  return names;
+}
+
+std::vector<CheckResult> CheckerRegistry::RunAll(AnalysisContext& ctx) const {
+  std::vector<CheckResult> results;
+  results.reserve(checkers_.size());
+  for (const std::unique_ptr<Checker>& checker : checkers_) {
+    results.push_back(checker->Check(ctx));
+  }
+  return results;
+}
+
+Result<CheckResult> CheckerRegistry::Run(std::string_view name,
+                                         AnalysisContext& ctx) const {
+  const Checker* checker = Find(name);
+  if (checker == nullptr) {
+    return Status::NotFound(StrCat("no checker named '", name, "'"));
+  }
+  return checker->Check(ctx);
+}
+
+}  // namespace nse

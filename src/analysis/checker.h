@@ -1,0 +1,86 @@
+// The uniform checker interface: every criterion of the paper — CSR, PWSR,
+// delayed-read, view-set soundness, strong correctness, and the theorem
+// combinators — runs as a Checker against one shared AnalysisContext and
+// returns a CheckResult with a verdict plus a human-readable witness.
+//
+// CheckerRegistry::BuiltIn() holds the six criteria; callers sweep them with
+// RunAll (one memoized context, each artifact built once) or cherry-pick by
+// name. New criteria plug in by registering another Checker — the seam
+// future PRs (incremental cycle detection, parallel trial batches) build on.
+
+#ifndef NSE_ANALYSIS_CHECKER_H_
+#define NSE_ANALYSIS_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analysis_context.h"
+#include "common/status.h"
+
+namespace nse {
+
+/// Outcome category of one checker run.
+enum class Verdict {
+  kSatisfied,  ///< the criterion holds for the schedule
+  kViolated,   ///< the criterion fails, witness explains where
+  kUnknown,    ///< not decidable with what the context has (e.g. no IC)
+};
+
+/// "satisfied", "violated", or "unknown".
+const char* VerdictName(Verdict verdict);
+
+/// Uniform result of one checker.
+struct CheckResult {
+  std::string checker;                 ///< registry name of the checker
+  Verdict verdict = Verdict::kUnknown;
+  std::string witness;                 ///< order / cycle / violation, rendered
+
+  /// Renders "csr: satisfied (serialization order T1 T2)".
+  std::string ToString() const;
+};
+
+/// One criterion over an AnalysisContext.
+class Checker {
+ public:
+  virtual ~Checker() = default;
+
+  /// Stable registry name, e.g. "pwsr".
+  virtual std::string_view name() const = 0;
+
+  /// Decides the criterion using (and populating) the context's caches.
+  virtual CheckResult Check(AnalysisContext& ctx) const = 0;
+};
+
+/// A named collection of checkers.
+class CheckerRegistry {
+ public:
+  CheckerRegistry() = default;
+
+  /// The six built-in criteria: csr, pwsr, delayed-read, view-set,
+  /// strong-correctness, theorems (in that order).
+  static const CheckerRegistry& BuiltIn();
+
+  /// Adds a checker; duplicate names are rejected.
+  Status Register(std::unique_ptr<Checker> checker);
+
+  /// The checker named `name`, or nullptr.
+  const Checker* Find(std::string_view name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string_view> Names() const;
+
+  /// Runs every registered checker against one shared context.
+  std::vector<CheckResult> RunAll(AnalysisContext& ctx) const;
+
+  /// Runs one checker by name; NotFound if absent.
+  Result<CheckResult> Run(std::string_view name, AnalysisContext& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<Checker>> checkers_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_CHECKER_H_

@@ -7,20 +7,26 @@
 
 namespace nse {
 
+ConflictGraph::ConflictGraph(std::vector<TxnId> nodes)
+    : nodes_(std::move(nodes)),
+      out_(nodes_.size()),
+      indegree_(nodes_.size(), 0) {
+  NSE_CHECK_MSG(
+      std::is_sorted(nodes_.begin(), nodes_.end()) &&
+          std::adjacent_find(nodes_.begin(), nodes_.end()) == nodes_.end(),
+      "conflict graph nodes must be sorted and distinct");
+}
+
 ConflictGraph ConflictGraph::Build(const Schedule& schedule) {
-  ConflictGraph graph;
-  graph.nodes_ = schedule.txn_ids();
-  size_t n = graph.nodes_.size();
-  graph.adj_.assign(n, std::vector<bool>(n, false));
-  const OpSequence& ops = schedule.ops();
-  for (size_t i = 0; i < ops.size(); ++i) {
-    for (size_t j = i + 1; j < ops.size(); ++j) {
-      if (Conflicts(ops[i], ops[j])) {
-        graph.adj_[graph.IndexOf(ops[i].txn)][graph.IndexOf(ops[j].txn)] =
-            true;
-      }
-    }
-  }
+  // One shared sweep (SweepConflicts) over per-item access histories:
+  // AddEdgeByIndex dedupes the candidate pairs, so total work is
+  // O(ops · txns-per-item) instead of O(ops²).
+  ConflictGraph graph(schedule.txn_ids());
+  internal::SweepConflicts(
+      schedule, [](size_t, uint32_t) {},
+      [&graph](uint32_t from, uint32_t to, size_t) {
+        graph.AddEdgeByIndex(from, to);
+      });
   return graph;
 }
 
@@ -30,30 +36,41 @@ size_t ConflictGraph::IndexOf(TxnId txn) const {
   return static_cast<size_t>(it - nodes_.begin());
 }
 
+bool ConflictGraph::AddEdgeByIndex(uint32_t from, uint32_t to) {
+  std::vector<uint32_t>& succ = out_[from];
+  auto it = std::lower_bound(succ.begin(), succ.end(), to);
+  if (it != succ.end() && *it == to) return false;
+  succ.insert(it, to);
+  ++indegree_[to];
+  ++num_edges_;
+  topo_valid_ = false;
+  return true;
+}
+
+bool ConflictGraph::AddEdge(TxnId from, TxnId to) {
+  return AddEdgeByIndex(static_cast<uint32_t>(IndexOf(from)),
+                        static_cast<uint32_t>(IndexOf(to)));
+}
+
 bool ConflictGraph::HasEdge(TxnId from, TxnId to) const {
-  return adj_[IndexOf(from)][IndexOf(to)];
+  const std::vector<uint32_t>& succ = out_[IndexOf(from)];
+  uint32_t target = static_cast<uint32_t>(IndexOf(to));
+  return std::binary_search(succ.begin(), succ.end(), target);
 }
 
 std::vector<std::pair<TxnId, TxnId>> ConflictGraph::Edges() const {
   std::vector<std::pair<TxnId, TxnId>> out;
+  out.reserve(num_edges_);
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    for (size_t j = 0; j < nodes_.size(); ++j) {
-      if (adj_[i][j]) out.emplace_back(nodes_[i], nodes_[j]);
-    }
+    for (uint32_t j : out_[i]) out.emplace_back(nodes_[i], nodes_[j]);
   }
   return out;
 }
 
-bool ConflictGraph::IsAcyclic() const { return TopologicalOrder().has_value(); }
-
-std::optional<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
+const std::optional<std::vector<TxnId>>& ConflictGraph::CachedTopo() const {
+  if (topo_valid_) return topo_;
   size_t n = nodes_.size();
-  std::vector<size_t> indegree(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (adj_[i][j]) ++indegree[j];
-    }
-  }
+  std::vector<uint32_t> indegree = indegree_;
   std::vector<size_t> ready;
   for (size_t i = 0; i < n; ++i) {
     if (indegree[i] == 0) ready.push_back(i);
@@ -66,19 +83,30 @@ std::optional<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
     size_t node = *it;
     ready.erase(it);
     order.push_back(nodes_[node]);
-    for (size_t j = 0; j < n; ++j) {
-      if (adj_[node][j] && --indegree[j] == 0) ready.push_back(j);
+    for (uint32_t j : out_[node]) {
+      if (--indegree[j] == 0) ready.push_back(j);
     }
   }
-  if (order.size() != n) return std::nullopt;
-  return order;
+  if (order.size() != n) {
+    topo_ = std::nullopt;
+  } else {
+    topo_ = std::move(order);
+  }
+  topo_valid_ = true;
+  return topo_;
+}
+
+bool ConflictGraph::IsAcyclic() const { return CachedTopo().has_value(); }
+
+std::optional<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
+  return CachedTopo();
 }
 
 namespace {
 
 void AllTopoRec(const std::vector<TxnId>& nodes,
-                const std::vector<std::vector<bool>>& adj,
-                std::vector<size_t>& indegree, std::vector<bool>& used,
+                const std::vector<std::vector<uint32_t>>& out_adj,
+                std::vector<uint32_t>& indegree, std::vector<bool>& used,
                 std::vector<TxnId>& current, size_t limit,
                 std::vector<std::vector<TxnId>>& out) {
   if (out.size() >= limit) return;
@@ -90,13 +118,9 @@ void AllTopoRec(const std::vector<TxnId>& nodes,
     if (used[i] || indegree[i] != 0) continue;
     used[i] = true;
     current.push_back(nodes[i]);
-    for (size_t j = 0; j < nodes.size(); ++j) {
-      if (adj[i][j]) --indegree[j];
-    }
-    AllTopoRec(nodes, adj, indegree, used, current, limit, out);
-    for (size_t j = 0; j < nodes.size(); ++j) {
-      if (adj[i][j]) ++indegree[j];
-    }
+    for (uint32_t j : out_adj[i]) --indegree[j];
+    AllTopoRec(nodes, out_adj, indegree, used, current, limit, out);
+    for (uint32_t j : out_adj[i]) ++indegree[j];
     current.pop_back();
     used[i] = false;
     if (out.size() >= limit) return;
@@ -108,17 +132,11 @@ void AllTopoRec(const std::vector<TxnId>& nodes,
 std::vector<std::vector<TxnId>> ConflictGraph::AllTopologicalOrders(
     size_t limit) const {
   if (!IsAcyclic()) return {};
-  size_t n = nodes_.size();
-  std::vector<size_t> indegree(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (adj_[i][j]) ++indegree[j];
-    }
-  }
-  std::vector<bool> used(n, false);
+  std::vector<uint32_t> indegree = indegree_;
+  std::vector<bool> used(nodes_.size(), false);
   std::vector<TxnId> current;
   std::vector<std::vector<TxnId>> out;
-  AllTopoRec(nodes_, adj_, indegree, used, current, limit, out);
+  AllTopoRec(nodes_, out_, indegree, used, current, limit, out);
   return out;
 }
 
@@ -129,15 +147,16 @@ std::optional<std::vector<TxnId>> ConflictGraph::FindCycle() const {
   std::vector<size_t> parent(n, SIZE_MAX);
   for (size_t root = 0; root < n; ++root) {
     if (color[root] != 0) continue;
-    // Iterative DFS.
+    // Iterative DFS; `next` indexes into the successor list of `node`.
     std::vector<std::pair<size_t, size_t>> stack{{root, 0}};
     color[root] = 1;
     while (!stack.empty()) {
       auto& [node, next] = stack.back();
       bool advanced = false;
-      for (size_t j = next; j < n; ++j) {
-        if (!adj_[node][j]) continue;
-        next = j + 1;
+      const std::vector<uint32_t>& succ = out_[node];
+      for (size_t k = next; k < succ.size(); ++k) {
+        size_t j = succ[k];
+        next = k + 1;
         if (color[j] == 1) {
           // Found a cycle: walk parents from `node` back to j.
           std::vector<TxnId> cycle{nodes_[j]};

@@ -3,10 +3,18 @@
 // precedes and conflicts with an operation of T_j. A schedule is conflict
 // serializable (CSR) iff the graph is acyclic; topological orders of the
 // graph are exactly its serialization orders (Papadimitriou [13]).
+//
+// The graph is stored as sorted adjacency lists and supports incremental
+// edge insertion (AddEdge); the canonical topological order is computed on
+// demand and cached until the next insertion, so repeated acyclicity /
+// serialization-order queries on the same graph are free. Build sweeps the
+// schedule once per item history instead of comparing all operation pairs.
 
 #ifndef NSE_ANALYSIS_CONFLICT_GRAPH_H_
 #define NSE_ANALYSIS_CONFLICT_GRAPH_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,22 +26,42 @@ namespace nse {
 /// The conflict graph of one schedule (or schedule projection).
 class ConflictGraph {
  public:
+  /// An empty graph with no nodes.
+  ConflictGraph() = default;
+
+  /// An edgeless graph over `nodes` (must be sorted ascending, duplicates
+  /// are rejected); edges are added incrementally with AddEdge.
+  explicit ConflictGraph(std::vector<TxnId> nodes);
+
   /// Builds the graph from `schedule`.
   static ConflictGraph Build(const Schedule& schedule);
 
   /// Transactions (nodes), ascending by id.
   const std::vector<TxnId>& nodes() const { return nodes_; }
 
+  /// Inserts the edge from → to (both must be nodes). Returns true when the
+  /// edge is new; the cached topological state is invalidated only then.
+  bool AddEdge(TxnId from, TxnId to);
+
+  /// AddEdge by positions into nodes() — the id lookups skipped. For bulk
+  /// producers that already work in node indices (the shared analysis
+  /// sweep, graph builders).
+  bool AddEdgeByIndex(uint32_t from, uint32_t to);
+
   /// True iff the edge from → to is present.
   bool HasEdge(TxnId from, TxnId to) const;
 
-  /// All edges as (from, to) pairs.
+  /// Number of distinct edges.
+  size_t num_edges() const { return num_edges_; }
+
+  /// All edges as (from, to) pairs, ordered by (from, to).
   std::vector<std::pair<TxnId, TxnId>> Edges() const;
 
   /// True iff the graph has no directed cycle (schedule is CSR).
   bool IsAcyclic() const;
 
   /// Some serialization order (topological order), or nullopt if cyclic.
+  /// Deterministic: smallest ready node first. Cached between edge inserts.
   std::optional<std::vector<TxnId>> TopologicalOrder() const;
 
   /// All serialization orders, up to `limit` (empty if cyclic). If exactly
@@ -49,10 +77,71 @@ class ConflictGraph {
 
  private:
   size_t IndexOf(TxnId txn) const;
+  /// Canonical topological order over node indices, or nullopt if cyclic;
+  /// computed once per edge-set revision.
+  const std::optional<std::vector<TxnId>>& CachedTopo() const;
 
   std::vector<TxnId> nodes_;
-  std::vector<std::vector<bool>> adj_;  // adjacency matrix by node index
+  std::vector<std::vector<uint32_t>> out_;  // sorted successor indices
+  std::vector<uint32_t> indegree_;          // by node index
+  size_t num_edges_ = 0;
+
+  mutable bool topo_valid_ = false;
+  mutable std::optional<std::vector<TxnId>> topo_;
 };
+
+namespace internal {
+
+/// The single implementation of the per-item conflict sweep shared by
+/// ConflictGraph::Build and the AnalysisContext fused core build. Walks the
+/// schedule once, maintaining per-item histories of the distinct
+/// transactions (as indices into schedule.txn_ids()) that have written /
+/// read each item, and calls:
+///
+///   on_op(op_pos, txn_index)        for every operation, in order;
+///   emit(from_index, to_index, op_pos)
+///       for every candidate conflict pair — a write conflicts with every
+///       earlier accessor of its item, a read with every earlier writer.
+///
+/// Candidate pairs repeat across positions; deduplication is the caller's
+/// job (AddEdgeByIndex, or a seen-bitset for bulk builds).
+template <typename OnOpFn, typename EmitFn>
+void SweepConflicts(const Schedule& schedule, OnOpFn on_op, EmitFn emit) {
+  const std::vector<TxnId>& txn_ids = schedule.txn_ids();
+  struct ItemHistory {
+    std::vector<uint32_t> writers;  // distinct txn indices, insertion order
+    std::vector<uint32_t> readers;
+  };
+  std::vector<ItemHistory> history;
+  auto remember = [](std::vector<uint32_t>& txns, uint32_t idx) {
+    if (std::find(txns.begin(), txns.end(), idx) == txns.end()) {
+      txns.push_back(idx);
+    }
+  };
+  const OpSequence& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.entity >= history.size()) history.resize(op.entity + 1);
+    ItemHistory& h = history[op.entity];
+    const uint32_t idx = static_cast<uint32_t>(
+        std::lower_bound(txn_ids.begin(), txn_ids.end(), op.txn) -
+        txn_ids.begin());
+    on_op(i, idx);
+    for (uint32_t writer : h.writers) {
+      if (writer != idx) emit(writer, idx, i);
+    }
+    if (op.is_write()) {
+      for (uint32_t reader : h.readers) {
+        if (reader != idx) emit(reader, idx, i);
+      }
+      remember(h.writers, idx);
+    } else {
+      remember(h.readers, idx);
+    }
+  }
+}
+
+}  // namespace internal
 
 }  // namespace nse
 

@@ -1,5 +1,6 @@
 #include "analysis/delayed_read.h"
 
+#include "analysis/analysis_context.h"
 #include "analysis/reads_from.h"
 #include "common/string_util.h"
 
@@ -14,15 +15,10 @@ std::string DrViolation::ToString(const Database& db,
 }
 
 std::optional<DrViolation> FindDrViolation(const Schedule& schedule) {
-  for (const ReadsFromEdge& edge : ReadsFromPairs(schedule)) {
-    TxnId writer = schedule.at(edge.writer_pos).txn;
-    TxnId reader = schedule.at(edge.reader_pos).txn;
-    if (writer == reader) continue;  // cannot occur under the access rules
-    if (!schedule.CompletedBy(writer, edge.reader_pos)) {
-      return DrViolation{edge.reader_pos, edge.writer_pos, writer};
-    }
-  }
-  return std::nullopt;
+  // The memoized context path is the single implementation (Definition 5
+  // over the reads-from relation); a transient context serves one-shot use.
+  AnalysisContext ctx(schedule);
+  return ctx.dr_violation();
 }
 
 bool IsDelayedRead(const Schedule& schedule) {

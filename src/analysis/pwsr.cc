@@ -1,22 +1,13 @@
 #include "analysis/pwsr.h"
 
+#include "analysis/analysis_context.h"
 #include "common/string_util.h"
 
 namespace nse {
 
 PwsrReport CheckPwsr(const Schedule& schedule, const IntegrityConstraint& ic) {
-  PwsrReport report;
-  report.conjuncts_disjoint = ic.disjoint();
-  report.is_pwsr = true;
-  for (size_t e = 0; e < ic.num_conjuncts(); ++e) {
-    ConjunctSerializability entry;
-    entry.conjunct = e;
-    entry.csr =
-        CheckConflictSerializability(schedule.Project(ic.data_set(e)));
-    if (!entry.csr.serializable) report.is_pwsr = false;
-    report.per_conjunct.push_back(std::move(entry));
-  }
-  return report;
+  AnalysisContext ctx(ic, schedule);
+  return ctx.pwsr_report();
 }
 
 std::string PwsrReportToString(const Database& db,

@@ -28,7 +28,11 @@ struct PwsrReport {
   std::vector<ConjunctSerializability> per_conjunct;
 
   /// Serialization order of S^{d_e} for conjunct `e`, when serializable.
+  /// Out-of-range conjunct indices yield an empty optional instead of
+  /// undefined behavior.
   const std::optional<std::vector<TxnId>>& OrderFor(size_t e) const {
+    static const std::optional<std::vector<TxnId>> kNone;
+    if (e >= per_conjunct.size()) return kNone;
     return per_conjunct[e].csr.order;
   }
 };

@@ -11,7 +11,10 @@ bool IsConflictSerializable(const Schedule& schedule) {
 }
 
 CsrReport CheckConflictSerializability(const Schedule& schedule) {
-  ConflictGraph graph = ConflictGraph::Build(schedule);
+  return CsrReportFromGraph(ConflictGraph::Build(schedule));
+}
+
+CsrReport CsrReportFromGraph(const ConflictGraph& graph) {
   CsrReport report;
   report.order = graph.TopologicalOrder();
   report.serializable = report.order.has_value();

@@ -29,6 +29,11 @@ bool IsConflictSerializable(const Schedule& schedule);
 /// Full CSR report with order/cycle witness.
 CsrReport CheckConflictSerializability(const Schedule& schedule);
 
+/// The CSR report of an already-built conflict graph — the single
+/// implementation behind both the free function and the memoized
+/// AnalysisContext path.
+CsrReport CsrReportFromGraph(const ConflictGraph& graph);
+
 /// All serialization orders of `schedule`, up to `limit`; empty if not CSR.
 std::vector<std::vector<TxnId>> SerializationOrders(const Schedule& schedule,
                                                     size_t limit);

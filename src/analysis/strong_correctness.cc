@@ -79,11 +79,12 @@ Result<StrongCorrectnessReport> CheckScheduleOverInitialStates(
     return report;
   }
 
-  // Enumerate consistent total states and keep those extending `pinned`.
+  // Enumerate consistent total states extending `pinned` directly — the
+  // solver branches only on unpinned items, so every enumerated state is an
+  // executable initial state.
   NSE_ASSIGN_OR_RETURN(std::vector<DbState> candidates,
-                       checker.EnumerateConsistentStates(limit));
+                       checker.EnumerateConsistentExtensions(pinned, limit));
   for (const DbState& initial : candidates) {
-    if (!pinned.IsSubstateOf(initial)) continue;
     ++report.initial_states_checked;
     NSE_ASSIGN_OR_RETURN(ExecutionResult exec, schedule.Execute(initial));
     // By construction of `pinned`, reads match.

@@ -1,5 +1,6 @@
 #include "analysis/theorems.h"
 
+#include "analysis/analysis_context.h"
 #include "common/string_util.h"
 
 namespace nse {
@@ -8,15 +9,26 @@ TheoremCertificate Certify(
     const Database& db, const IntegrityConstraint& ic,
     const Schedule& schedule,
     const std::vector<const TransactionProgram*>* programs) {
+  AnalysisContext ctx(db, ic, schedule);
+  return Certify(ctx, programs);
+}
+
+TheoremCertificate Certify(
+    AnalysisContext& ctx,
+    const std::vector<const TransactionProgram*>* programs) {
+  if (programs == nullptr) programs = ctx.options().programs;
+  // The fixed-structure analysis needs the catalog; without one the
+  // Theorem 1 hypothesis stays unknown instead of aborting in ctx.db().
+  if (!ctx.has_db()) programs = nullptr;
   TheoremCertificate cert;
-  cert.pwsr = CheckPwsr(schedule, ic);
-  cert.conjuncts_disjoint = ic.disjoint();
-  cert.delayed_read = IsDelayedRead(schedule);
-  cert.dag_acyclic = DataAccessGraph::Build(schedule, ic).IsAcyclic();
+  cert.pwsr = ctx.pwsr_report();
+  cert.conjuncts_disjoint = ctx.ic().disjoint();
+  cert.delayed_read = ctx.delayed_read();
+  cert.dag_acyclic = ctx.access_graph().IsAcyclic();
   if (programs != nullptr) {
     bool all_fixed = true;
     for (const TransactionProgram* program : *programs) {
-      StructureAnalysis analysis = AnalyzeStructure(db, *program);
+      StructureAnalysis analysis = AnalyzeStructure(ctx.db(), *program);
       if (!analysis.valid || !analysis.fixed) {
         all_fixed = false;
         break;

@@ -26,6 +26,8 @@
 
 namespace nse {
 
+class AnalysisContext;
+
 /// Which theorems apply to a schedule.
 struct TheoremCertificate {
   PwsrReport pwsr;              ///< Definition 2 verdict (with per-conjunct detail)
@@ -53,6 +55,14 @@ struct TheoremCertificate {
 /// structural analysis.
 TheoremCertificate Certify(
     const Database& db, const IntegrityConstraint& ic, const Schedule& schedule,
+    const std::vector<const TransactionProgram*>* programs = nullptr);
+
+/// Context-driven certification: reuses the context's memoized PWSR report,
+/// reads-from relation, and data access graph, so certifying after other
+/// checks on the same context costs only the theorem combination. Programs
+/// are taken from `programs` when non-null, else from ctx.options().
+TheoremCertificate Certify(
+    AnalysisContext& ctx,
     const std::vector<const TransactionProgram*>* programs = nullptr);
 
 }  // namespace nse

@@ -1,5 +1,7 @@
 #include "analysis/view_set.h"
 
+#include "analysis/analysis_context.h"
+
 namespace nse {
 
 std::vector<DataSet> ComputeViewSets(const Schedule& schedule,
@@ -52,6 +54,32 @@ std::optional<size_t> FindViewSetUnsoundness(const Schedule& schedule,
     DataSet read_before =
         ReadSetOf(ProjectOps(schedule.BeforeOfTxn(order[i], p), d));
     if (!read_before.IsSubsetOf(view_sets[i])) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<ViewSetUnsoundness> CheckViewSetSoundness(AnalysisContext& ctx) {
+  const Schedule& schedule = ctx.schedule();
+  const PwsrReport& pwsr = ctx.pwsr_report();
+  bool dr = ctx.delayed_read();
+  for (size_t e = 0; e < pwsr.per_conjunct.size(); ++e) {
+    const std::optional<std::vector<TxnId>>& order = pwsr.OrderFor(e);
+    if (!order.has_value()) continue;  // lemmas need a serialization order
+    const DataSet& d = ctx.ic().data_set(e);
+    for (size_t p = 0; p < schedule.size(); ++p) {
+      auto bad = FindViewSetUnsoundness(schedule, d, *order, p,
+                                        ViewSetVariant::kGeneral);
+      if (bad.has_value()) {
+        return ViewSetUnsoundness{e, p, *bad, ViewSetVariant::kGeneral};
+      }
+      if (dr) {
+        bad = FindViewSetUnsoundness(schedule, d, *order, p,
+                                     ViewSetVariant::kDelayedRead);
+        if (bad.has_value()) {
+          return ViewSetUnsoundness{e, p, *bad, ViewSetVariant::kDelayedRead};
+        }
+      }
+    }
   }
   return std::nullopt;
 }

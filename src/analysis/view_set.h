@@ -23,6 +23,8 @@
 
 namespace nse {
 
+class AnalysisContext;
+
 /// Which recurrence to use.
 enum class ViewSetVariant {
   kGeneral,      ///< Lemma 2
@@ -45,6 +47,21 @@ std::optional<size_t> FindViewSetUnsoundness(const Schedule& schedule,
                                              const std::vector<TxnId>& order,
                                              size_t p,
                                              ViewSetVariant variant);
+
+/// A Lemma 2/6 soundness failure found by CheckViewSetSoundness.
+struct ViewSetUnsoundness {
+  size_t conjunct = 0;     ///< conjunct index e whose S^{d_e} misbehaved
+  size_t position = 0;     ///< schedule position p of the failure
+  size_t order_index = 0;  ///< offending position along the serialization order
+  ViewSetVariant variant = ViewSetVariant::kGeneral;
+};
+
+/// Verifies the soundness claims of Lemma 2 (and, when the schedule is
+/// delayed-read, Lemma 6) for every conjunct with a serializable projection,
+/// at every schedule position, reusing the context's memoized PWSR orders.
+/// Returns the first failure, or nullopt when both lemmas hold (which the
+/// paper proves they always do — a non-null result is a library bug).
+std::optional<ViewSetUnsoundness> CheckViewSetSoundness(AnalysisContext& ctx);
 
 }  // namespace nse
 

@@ -1,17 +1,19 @@
 #include "analysis/violation_search.h"
 
+#include "analysis/analysis_context.h"
+
 namespace nse {
 
 namespace {
 
 /// True iff the execution's schedule satisfies the per-schedule filters.
-bool PassesScheduleFilter(const Schedule& schedule,
-                          const IntegrityConstraint& ic,
-                          const HypothesisFilter& filter) {
-  if (filter.require_pwsr && !CheckPwsr(schedule, ic).is_pwsr) return false;
-  if (filter.require_delayed_read && !IsDelayedRead(schedule)) return false;
-  if (filter.require_dag_acyclic &&
-      !DataAccessGraph::Build(schedule, ic).IsAcyclic()) {
+/// Drives every filter through the execution's shared context, so the
+/// artifacts each hypothesis needs (projections, reads-from, DAG) are built
+/// once per sampled execution, not once per hypothesis.
+bool PassesScheduleFilter(AnalysisContext& ctx, const HypothesisFilter& filter) {
+  if (filter.require_pwsr && !ctx.pwsr_report().is_pwsr) return false;
+  if (filter.require_delayed_read && !ctx.delayed_read()) return false;
+  if (filter.require_dag_acyclic && !ctx.access_graph().IsAcyclic()) {
     return false;
   }
   return true;
@@ -81,7 +83,9 @@ Result<SearchOutcome> SearchForViolations(
       }
       return run.status();
     }
-    if (!PassesScheduleFilter(run->schedule, ic, filter)) {
+    // One memoized context per sampled execution.
+    AnalysisContext ctx(db, ic, run->schedule);
+    if (!PassesScheduleFilter(ctx, filter)) {
       ++outcome.filtered_out;
       continue;
     }
@@ -113,7 +117,8 @@ Result<SearchOutcome> ExhaustiveViolationSearch(
     auto visit = [&](const InterleaveResult& run,
                      const std::vector<size_t>& choices) -> bool {
       ++outcome.trials;
-      if (!PassesScheduleFilter(run.schedule, ic, filter)) {
+      AnalysisContext ctx(db, ic, run.schedule);
+      if (!PassesScheduleFilter(ctx, filter)) {
         ++outcome.filtered_out;
         return true;
       }

@@ -243,6 +243,11 @@ Result<DbState> ConsistencyChecker::SampleConsistentState(Rng& rng) const {
 
 Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentStates(
     uint64_t limit) const {
+  return EnumerateConsistentExtensions(DbState(), limit);
+}
+
+Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentExtensions(
+    const DbState& pinned, uint64_t limit) const {
   // Blocks: one per conjunct (or one global block when overlapping), plus
   // one block for unconstrained items.
   struct Block {
@@ -265,13 +270,22 @@ Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentStates(
     blocks.push_back({True(), std::move(unconstrained)});
   }
 
-  // Enumerate each block's satisfying assignments, then take the cross
-  // product (bounded by `limit`).
+  // Enumerate each block's satisfying assignments — pinned items are fixed
+  // in the working state, so branching happens on unpinned items only —
+  // then take the cross product (bounded by `limit`).
   std::vector<std::vector<DbState>> per_block;
   for (const Block& block : blocks) {
     std::vector<DbState> assignments;
     DbState working;
-    EnumerateBlock(block.formula, block.items, 0, working, limit, assignments);
+    std::vector<ItemId> todo;
+    for (ItemId item : block.items) {
+      if (pinned.Has(item)) {
+        working.Set(item, *pinned.Get(item));
+      } else {
+        todo.push_back(item);
+      }
+    }
+    EnumerateBlock(block.formula, todo, 0, working, limit, assignments);
     if (assignments.empty()) return std::vector<DbState>{};
     per_block.push_back(std::move(assignments));
   }

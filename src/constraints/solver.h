@@ -70,6 +70,14 @@ class ConsistencyChecker {
   Result<std::vector<DbState>> EnumerateConsistentStates(
       uint64_t limit) const;
 
+  /// Up to `limit` consistent total states extending `pinned` (every pinned
+  /// item keeps its pinned value). The search branches only on unpinned
+  /// items, so pinned-heavy queries — e.g. the executable initial states of
+  /// a schedule — enumerate directly instead of filtering the full state
+  /// space.
+  Result<std::vector<DbState>> EnumerateConsistentExtensions(
+      const DbState& pinned, uint64_t limit) const;
+
   /// True iff some consistent total state exists.
   Result<bool> IsSatisfiable() const;
 

@@ -16,6 +16,8 @@
 #define NSE_NSE_H_
 
 #include "analysis/access_graph.h"
+#include "analysis/analysis_context.h"
+#include "analysis/checker.h"
 #include "analysis/conflict_graph.h"
 #include "analysis/delayed_read.h"
 #include "analysis/fixed_structure.h"

@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/analysis_context.h"
+#include "common/string_util.h"
+
 namespace nse {
+
+TraceClassification ClassifyTrace(AnalysisContext& ctx) {
+  TraceClassification out;
+  out.csr = ctx.csr_report().serializable;
+  if (ctx.has_ic()) out.pwsr = ctx.pwsr_report().is_pwsr;
+  out.delayed_read = ctx.delayed_read();
+  out.strict = ctx.strict();
+  return out;
+}
+
+std::string TraceClassification::ToString() const {
+  auto yn = [](bool b) { return b ? "yes" : "no"; };
+  return StrCat("CSR ", yn(csr), ", PWSR ",
+                pwsr.has_value() ? yn(*pwsr) : "n/a", ", DR ",
+                yn(delayed_read), ", strict ", yn(strict));
+}
 
 void SeriesSummary::Add(double x) {
   if (count_ == 0) {

@@ -1,13 +1,35 @@
-// Aggregation and table rendering for benchmark output.
+// Aggregation and table rendering for benchmark output, plus the
+// class-membership profile of a committed trace (what a scheduler policy
+// actually produced, verified against what it promises).
 
 #ifndef NSE_SCHEDULER_METRICS_H_
 #define NSE_SCHEDULER_METRICS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace nse {
+
+class AnalysisContext;
+
+/// Schedule-class membership of one committed trace, computed from a single
+/// shared AnalysisContext (each underlying artifact is built once, however
+/// many classes are probed).
+struct TraceClassification {
+  bool csr = false;                 ///< conflict serializable
+  std::optional<bool> pwsr;         ///< Definition 2; nullopt without an IC
+  bool delayed_read = false;        ///< Definition 5
+  bool strict = false;              ///< strict ⊂ ACA ⊆ DR
+
+  /// Renders e.g. "CSR yes, PWSR yes, DR yes, strict no".
+  std::string ToString() const;
+};
+
+/// Classifies ctx's schedule. PWSR is probed only when the context carries
+/// an integrity constraint.
+TraceClassification ClassifyTrace(AnalysisContext& ctx);
 
 /// Streaming summary of a numeric series.
 class SeriesSummary {

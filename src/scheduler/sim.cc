@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/conflict_graph.h"
 #include "common/string_util.h"
 
 namespace nse {
@@ -19,44 +20,20 @@ struct TxnRuntime {
 };
 
 /// Finds a cycle in the waits-for graph (edges u → each blocker of u) and
-/// returns the largest txn id on it, or 0 if none.
+/// returns the largest txn id on it, or 0 if none. The graph machinery is
+/// the analysis layer's incremental ConflictGraph rather than a bespoke DFS.
 TxnId PickDeadlockVictim(const std::vector<std::vector<TxnId>>& waits_for) {
   size_t n = waits_for.size();  // indexed by txn id (1-based, slot 0 unused)
-  std::vector<int> color(n, 0);
-  std::vector<TxnId> stack;
-  TxnId victim = 0;
-  // DFS detecting a back edge; on detection, take the max id on the cycle.
-  struct Dfs {
-    const std::vector<std::vector<TxnId>>& graph;
-    std::vector<int>& color;
-    std::vector<TxnId>& stack;
-    TxnId& victim;
-    bool Visit(TxnId u) {
-      color[u] = 1;
-      stack.push_back(u);
-      for (TxnId v : graph[u]) {
-        if (color[v] == 1) {
-          // Cycle: suffix of stack from v.
-          TxnId best = v;
-          for (size_t i = stack.size(); i-- > 0;) {
-            best = std::max(best, stack[i]);
-            if (stack[i] == v) break;
-          }
-          victim = best;
-          return true;
-        }
-        if (color[v] == 0 && Visit(v)) return true;
-      }
-      stack.pop_back();
-      color[u] = 2;
-      return false;
-    }
-  };
-  Dfs dfs{waits_for, color, stack, victim};
+  std::vector<TxnId> ids;
+  ids.reserve(n == 0 ? 0 : n - 1);
+  for (TxnId u = 1; u < n; ++u) ids.push_back(u);
+  ConflictGraph graph(std::move(ids));
   for (TxnId u = 1; u < n; ++u) {
-    if (color[u] == 0 && dfs.Visit(u)) break;
+    for (TxnId v : waits_for[u]) graph.AddEdge(u, v);
   }
-  return victim;
+  auto cycle = graph.FindCycle();
+  if (!cycle.has_value()) return 0;
+  return *std::max_element(cycle->begin(), cycle->end());
 }
 
 }  // namespace

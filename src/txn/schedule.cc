@@ -14,6 +14,11 @@ Schedule::Schedule(OpSequence ops) : ops_(std::move(ops)) {
           std::upper_bound(txn_ids_.begin(), txn_ids_.end(), op.txn), op.txn);
     }
   }
+  last_op_index_.assign(txn_ids_.size(), 0);
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    auto it = std::lower_bound(txn_ids_.begin(), txn_ids_.end(), ops_[i].txn);
+    last_op_index_[static_cast<size_t>(it - txn_ids_.begin())] = i;
+  }
 }
 
 Result<Schedule> Schedule::FromOps(OpSequence ops) {
@@ -46,6 +51,18 @@ Schedule Schedule::Project(const DataSet& d) const {
   return Schedule(ProjectOps(ops_, d));
 }
 
+ScheduleProjection Schedule::ProjectWithPositions(const DataSet& d) const {
+  OpSequence ops;
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (d.Contains(ops_[i].entity)) {
+      ops.push_back(ops_[i]);
+      positions.push_back(i);
+    }
+  }
+  return ScheduleProjection{Schedule(std::move(ops)), std::move(positions)};
+}
+
 OpSequence Schedule::BeforeOfTxn(TxnId txn, size_t p) const {
   OpSequence out;
   for (size_t i = 0; i < ops_.size() && i <= p; ++i) {
@@ -71,11 +88,9 @@ OpSequence Schedule::BeforeAll(size_t p) const {
 }
 
 std::optional<size_t> Schedule::LastOpIndexOf(TxnId txn) const {
-  std::optional<size_t> last;
-  for (size_t i = 0; i < ops_.size(); ++i) {
-    if (ops_[i].txn == txn) last = i;
-  }
-  return last;
+  auto it = std::lower_bound(txn_ids_.begin(), txn_ids_.end(), txn);
+  if (it == txn_ids_.end() || *it != txn) return std::nullopt;
+  return last_op_index_[static_cast<size_t>(it - txn_ids_.begin())];
 }
 
 bool Schedule::CompletedBy(TxnId txn, size_t p) const {

@@ -34,6 +34,8 @@ struct ExecutionResult {
   bool reads_consistent() const { return read_mismatches.empty(); }
 };
 
+struct ScheduleProjection;
+
 /// An ordered sequence of operations from a set of transactions.
 class Schedule {
  public:
@@ -72,6 +74,11 @@ class Schedule {
 
   /// S^d: the schedule restricted to operations on items in d.
   Schedule Project(const DataSet& d) const;
+
+  /// S^d together with the original position of each projected operation —
+  /// the handle analysis layers use to map witnesses found in a projection
+  /// back to positions of the full schedule.
+  ScheduleProjection ProjectWithPositions(const DataSet& d) const;
 
   /// before(T_txn, p, S): operations of transaction `txn` strictly before
   /// position p, plus the operation at p itself when it belongs to `txn`.
@@ -114,6 +121,15 @@ class Schedule {
  private:
   OpSequence ops_;
   std::vector<TxnId> txn_ids_;
+  /// Position of the last operation of txn_ids_[k], parallel to txn_ids_;
+  /// precomputed so CompletedBy / LastOpIndexOf avoid a full scan.
+  std::vector<size_t> last_op_index_;
+};
+
+/// A projection handle: S^d plus where each projected operation sits in S.
+struct ScheduleProjection {
+  Schedule schedule;                     ///< the projected schedule S^d
+  std::vector<size_t> source_positions;  ///< projected index → position in S
 };
 
 /// Fluent construction of schedules for tests and examples:

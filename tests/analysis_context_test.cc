@@ -1,0 +1,283 @@
+#include "analysis/analysis_context.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/checker.h"
+#include "analysis/theorems.h"
+#include "common/rng.h"
+#include "constraints/ast.h"
+#include "txn/program.h"
+
+namespace nse {
+namespace {
+
+class AnalysisContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -8, 8).ok());
+    // Two disjoint conjuncts: a == b over {a, b}, c == d over {c, d}.
+    auto ic = IntegrityConstraint::FromConjuncts(
+        db_, {Eq(Var(db_.MustFind("a")), Var(db_.MustFind("b"))),
+              Eq(Var(db_.MustFind("c")), Var(db_.MustFind("d")))});
+    ASSERT_TRUE(ic.ok()) << ic.status();
+    ic_.emplace(std::move(ic).value());
+  }
+
+  /// T1 copies a into b and c into d serially — strongly correct.
+  Schedule SerialCopySchedule() {
+    ScheduleBuilder sb(db_);
+    sb.R(1, "a", Value(0)).W(1, "b", Value(0));
+    sb.R(2, "c", Value(0)).W(2, "d", Value(0));
+    return sb.Build();
+  }
+
+  /// Classic conflict cycle inside conjunct {a, b}.
+  Schedule CyclicSchedule() {
+    ScheduleBuilder sb(db_);
+    sb.R(1, "a", Value(0))
+        .W(2, "a", Value(1))
+        .R(2, "b", Value(0))
+        .W(1, "b", Value(1));
+    return sb.Build();
+  }
+
+  Database db_;
+  std::optional<IntegrityConstraint> ic_;
+};
+
+TEST_F(AnalysisContextTest, ArtifactsAreBuiltOnceAndCached) {
+  Schedule s = CyclicSchedule();
+  AnalysisContext ctx(db_, *ic_, s);
+
+  const ConflictGraph& g1 = ctx.conflict_graph();
+  const ConflictGraph& g2 = ctx.conflict_graph();
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(ctx.cache_stats().conflict_graph_builds, 1u);
+
+  ctx.csr_report();
+  ctx.csr_report();
+  EXPECT_EQ(ctx.cache_stats().csr_builds, 1u);
+  EXPECT_EQ(ctx.cache_stats().conflict_graph_builds, 1u);
+
+  ctx.pwsr_report();
+  ctx.pwsr_report();
+  EXPECT_EQ(ctx.cache_stats().pwsr_builds, 1u);
+  // Disjoint conjuncts: all projected graphs come from one shared sweep,
+  // with no projected schedules materialized at all.
+  EXPECT_EQ(ctx.cache_stats().projection_builds, 0u);
+  EXPECT_EQ(ctx.cache_stats().projection_graph_builds, 2u);
+
+  ctx.dr_violation();
+  ctx.delayed_read();
+  EXPECT_EQ(ctx.cache_stats().reads_from_builds, 1u);
+  EXPECT_EQ(ctx.cache_stats().dr_builds, 1u);
+
+  ctx.access_graph();
+  ctx.access_graph();
+  EXPECT_EQ(ctx.cache_stats().access_graph_builds, 1u);
+
+  // A full theorem certification on the already-warmed context must not
+  // rebuild anything.
+  AnalysisCacheStats before = ctx.cache_stats();
+  Certify(ctx);
+  EXPECT_EQ(ctx.cache_stats().pwsr_builds, before.pwsr_builds);
+  EXPECT_EQ(ctx.cache_stats().dr_builds, before.dr_builds);
+  EXPECT_EQ(ctx.cache_stats().access_graph_builds,
+            before.access_graph_builds);
+}
+
+TEST_F(AnalysisContextTest, ContextReportsMatchFreeFunctions) {
+  for (const Schedule& s : {SerialCopySchedule(), CyclicSchedule()}) {
+    AnalysisContext ctx(db_, *ic_, s);
+    CsrReport direct = CheckConflictSerializability(s);
+    EXPECT_EQ(ctx.csr_report().serializable, direct.serializable);
+    EXPECT_EQ(ctx.csr_report().order, direct.order);
+
+    PwsrReport pwsr = CheckPwsr(s, *ic_);
+    EXPECT_EQ(ctx.pwsr_report().is_pwsr, pwsr.is_pwsr);
+    ASSERT_EQ(ctx.pwsr_report().per_conjunct.size(),
+              pwsr.per_conjunct.size());
+    for (size_t e = 0; e < pwsr.per_conjunct.size(); ++e) {
+      EXPECT_EQ(ctx.pwsr_report().per_conjunct[e].csr.serializable,
+                pwsr.per_conjunct[e].csr.serializable);
+    }
+
+    EXPECT_EQ(ctx.delayed_read(), IsDelayedRead(s));
+    EXPECT_EQ(ctx.strict(), IsStrict(s));
+  }
+}
+
+TEST_F(AnalysisContextTest, ProjectionHandleMapsBackToSourcePositions) {
+  Schedule s = SerialCopySchedule();  // ops 0,1 on {a,b}; ops 2,3 on {c,d}
+  AnalysisContext ctx(db_, *ic_, s);
+  const ScheduleProjection& p0 = ctx.projection(0);
+  EXPECT_EQ(p0.schedule.size(), 2u);
+  EXPECT_EQ(p0.source_positions, (std::vector<size_t>{0, 1}));
+  const ScheduleProjection& p1 = ctx.projection(1);
+  EXPECT_EQ(p1.source_positions, (std::vector<size_t>{2, 3}));
+}
+
+TEST_F(AnalysisContextTest, OwningContextKeepsScheduleAlive) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).W(1, "b", Value(0));
+  AnalysisContext ctx(db_, *ic_, sb.Build());
+  EXPECT_EQ(ctx.schedule().size(), 2u);
+  EXPECT_TRUE(ctx.csr_report().serializable);
+}
+
+TEST_F(AnalysisContextTest, BuiltInRegistryHasTheSixCriteria) {
+  const CheckerRegistry& registry = CheckerRegistry::BuiltIn();
+  std::vector<std::string_view> names = registry.Names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "csr");
+  EXPECT_EQ(names[1], "pwsr");
+  EXPECT_EQ(names[2], "delayed-read");
+  EXPECT_EQ(names[3], "view-set");
+  EXPECT_EQ(names[4], "strong-correctness");
+  EXPECT_EQ(names[5], "theorems");
+  EXPECT_NE(registry.Find("pwsr"), nullptr);
+  EXPECT_EQ(registry.Find("no-such-checker"), nullptr);
+}
+
+TEST_F(AnalysisContextTest, RunAllOnStronglyCorrectSchedule) {
+  Schedule s = SerialCopySchedule();
+  AnalysisContext ctx(db_, *ic_, s);
+  std::vector<CheckResult> results = CheckerRegistry::BuiltIn().RunAll(ctx);
+  ASSERT_EQ(results.size(), 6u);
+  for (const CheckResult& result : results) {
+    EXPECT_EQ(result.verdict, Verdict::kSatisfied) << result.ToString();
+  }
+}
+
+TEST_F(AnalysisContextTest, RunAllOnCyclicSchedule) {
+  Schedule s = CyclicSchedule();
+  AnalysisContext ctx(db_, *ic_, s);
+  const CheckerRegistry& registry = CheckerRegistry::BuiltIn();
+
+  auto csr = registry.Run("csr", ctx);
+  ASSERT_TRUE(csr.ok());
+  EXPECT_EQ(csr->verdict, Verdict::kViolated);
+  EXPECT_NE(csr->witness.find("cycle"), std::string::npos);
+
+  auto pwsr = registry.Run("pwsr", ctx);
+  ASSERT_TRUE(pwsr.ok());
+  EXPECT_EQ(pwsr->verdict, Verdict::kViolated);
+
+  // The theorems cannot certify a non-PWSR schedule, but that leaves strong
+  // correctness open rather than refuted.
+  auto theorems = registry.Run("theorems", ctx);
+  ASSERT_TRUE(theorems.ok());
+  EXPECT_EQ(theorems->verdict, Verdict::kUnknown);
+
+  EXPECT_FALSE(registry.Run("no-such-checker", ctx).ok());
+}
+
+TEST_F(AnalysisContextTest, ScheduleOnlyContextLeavesIcCheckersUnknown) {
+  Schedule s = CyclicSchedule();
+  AnalysisContext ctx(s);
+  EXPECT_FALSE(ctx.has_db());
+  EXPECT_FALSE(ctx.has_ic());
+  std::vector<CheckResult> results = CheckerRegistry::BuiltIn().RunAll(ctx);
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(results[0].verdict, Verdict::kViolated);   // csr
+  EXPECT_EQ(results[1].verdict, Verdict::kUnknown);    // pwsr: no IC
+  EXPECT_EQ(results[2].verdict, Verdict::kSatisfied);  // delayed-read
+  EXPECT_EQ(results[4].verdict, Verdict::kUnknown);    // strong-correctness
+}
+
+TEST_F(AnalysisContextTest, CertifyOnDbLessContextLeavesFixedStructureUnknown) {
+  // A context without a database cannot run the fixed-structure analysis,
+  // even when options carry programs: the Theorem 1 hypothesis must stay
+  // unknown instead of aborting on the missing catalog.
+  Schedule s = SerialCopySchedule();
+  TransactionProgram noop("noop", {});
+  std::vector<const TransactionProgram*> programs{&noop};
+  AnalysisOptions options;
+  options.programs = &programs;
+  AnalysisContext ctx(*ic_, s, options);
+  TheoremCertificate cert = Certify(ctx);
+  EXPECT_FALSE(cert.all_programs_fixed_structure.has_value());
+  EXPECT_FALSE(cert.theorem1_applies);
+  // The registry path must not abort either.
+  auto result = CheckerRegistry::BuiltIn().Run("theorems", ctx);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(AnalysisContextTest, RegistryRejectsDuplicateNames) {
+  class Dummy : public Checker {
+   public:
+    std::string_view name() const override { return "dummy"; }
+    CheckResult Check(AnalysisContext&) const override {
+      return CheckResult{"dummy", Verdict::kSatisfied, ""};
+    }
+  };
+  CheckerRegistry registry;
+  EXPECT_TRUE(registry.Register(std::make_unique<Dummy>()).ok());
+  EXPECT_FALSE(registry.Register(std::make_unique<Dummy>()).ok());
+  EXPECT_FALSE(registry.Register(nullptr).ok());
+}
+
+TEST_F(AnalysisContextTest, OrderForOutOfRangeIsEmptyNotUb) {
+  Schedule s = SerialCopySchedule();
+  PwsrReport report = CheckPwsr(s, *ic_);
+  ASSERT_EQ(report.per_conjunct.size(), 2u);
+  EXPECT_TRUE(report.OrderFor(0).has_value());
+  EXPECT_FALSE(report.OrderFor(2).has_value());
+  EXPECT_FALSE(report.OrderFor(999).has_value());
+  EXPECT_FALSE(PwsrReport().OrderFor(0).has_value());
+}
+
+TEST_F(AnalysisContextTest, IncrementalConflictGraphEdgesAndTopoCache) {
+  ConflictGraph graph(std::vector<TxnId>{1, 2, 3});
+  EXPECT_TRUE(graph.IsAcyclic());
+  EXPECT_EQ(graph.num_edges(), 0u);
+
+  EXPECT_TRUE(graph.AddEdge(1, 2));
+  EXPECT_FALSE(graph.AddEdge(1, 2));  // duplicate
+  EXPECT_TRUE(graph.AddEdge(2, 3));
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 1));
+  ASSERT_TRUE(graph.TopologicalOrder().has_value());
+  EXPECT_EQ(*graph.TopologicalOrder(), (std::vector<TxnId>{1, 2, 3}));
+
+  // Closing the cycle invalidates the cached topological state.
+  EXPECT_TRUE(graph.AddEdge(3, 1));
+  EXPECT_FALSE(graph.IsAcyclic());
+  auto cycle = graph.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->front(), cycle->back());
+  EXPECT_EQ(cycle->size(), 4u);
+}
+
+TEST_F(AnalysisContextTest, ContextAgreesWithCheckersOnRandomSchedules) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    OpSequence ops;
+    size_t num_ops = 4 + rng.NextBelow(12);
+    for (size_t i = 0; i < num_ops; ++i) {
+      TxnId txn = static_cast<TxnId>(rng.NextBelow(3) + 1);
+      ItemId item = static_cast<ItemId>(rng.NextBelow(db_.num_items()));
+      if (rng.NextBool(0.5)) {
+        ops.push_back(Operation::Write(txn, item, Value(0)));
+      } else {
+        ops.push_back(Operation::Read(txn, item, Value(0)));
+      }
+    }
+    Schedule s(std::move(ops));
+    AnalysisContext ctx(db_, *ic_, s);
+    EXPECT_EQ(ctx.csr_report().serializable, IsConflictSerializable(s));
+    EXPECT_EQ(ctx.pwsr_report().is_pwsr, CheckPwsr(s, *ic_).is_pwsr);
+    EXPECT_EQ(ctx.delayed_read(), IsDelayedRead(s));
+    // The one-sweep projected graphs must match graphs built directly from
+    // materialized projections.
+    for (size_t e = 0; e < ic_->num_conjuncts(); ++e) {
+      ConflictGraph direct = ConflictGraph::Build(s.Project(ic_->data_set(e)));
+      EXPECT_EQ(ctx.projection_graph(e).nodes(), direct.nodes());
+      EXPECT_EQ(ctx.projection_graph(e).Edges(), direct.Edges());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nse

@@ -1,5 +1,7 @@
 #include "analysis/conflict_graph.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace nse {
@@ -82,6 +84,28 @@ TEST_F(ConflictGraphTest, SingleAndEmptySchedules) {
   EXPECT_TRUE(empty.IsAcyclic());
   EXPECT_TRUE(empty.TopologicalOrder()->empty());
   EXPECT_FALSE(empty.FindCycle().has_value());
+}
+
+TEST_F(ConflictGraphTest, AllTopologicalOrdersExactlyAtTheLimitBoundary) {
+  // Three independent transactions: exactly 3! = 6 serialization orders.
+  // Pin the contract at the boundary: below the limit the enumeration is
+  // complete, exactly at the limit it returns exactly `limit` (and may be
+  // incomplete), above the limit it returns the true count.
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).R(2, "b", Value(0)).R(3, "c", Value(0));
+  ConflictGraph g = ConflictGraph::Build(sb.Build());
+
+  EXPECT_EQ(g.AllTopologicalOrders(5).size(), 5u);
+  EXPECT_EQ(g.AllTopologicalOrders(6).size(), 6u);
+  EXPECT_EQ(g.AllTopologicalOrders(7).size(), 6u);
+  EXPECT_EQ(g.AllTopologicalOrders(1000).size(), 6u);
+  EXPECT_EQ(g.AllTopologicalOrders(1).size(), 1u);
+  EXPECT_TRUE(g.AllTopologicalOrders(0).empty());
+
+  // All six orders are distinct permutations of {1, 2, 3}.
+  auto orders = g.AllTopologicalOrders(6);
+  std::sort(orders.begin(), orders.end());
+  EXPECT_EQ(std::unique(orders.begin(), orders.end()), orders.end());
 }
 
 TEST_F(ConflictGraphTest, ThreeTxnCycleFound) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "constraints/ast.h"
 #include "paper/paper_examples.h"
 #include "txn/interleaver.h"
 
@@ -70,6 +72,46 @@ TEST(PwsrTest, ReportRendering) {
 TEST(PwsrTest, EmptyScheduleIsPwsr) {
   auto ex = paper::Example2::Make();
   EXPECT_TRUE(CheckPwsr(Schedule(), *ex.ic).is_pwsr);
+}
+
+TEST(PwsrTest, SingleConjunctPwsrEquivalentToPlainCsr) {
+  // Definition 2 with a single conjunct whose data set covers every item
+  // degenerates to plain conflict serializability: S^{d_1} = S. The two
+  // checkers must agree verdict-for-verdict on arbitrary schedules.
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"x", "y"}, -8, 8).ok());
+  auto ic = IntegrityConstraint::FromConjuncts(
+      db, {Eq(Var(db.MustFind("x")), Var(db.MustFind("y")))});
+  ASSERT_TRUE(ic.ok()) << ic.status();
+
+  Rng rng(93);
+  int serializable_seen = 0, cyclic_seen = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    OpSequence ops;
+    size_t num_ops = 2 + rng.NextBelow(14);
+    for (size_t i = 0; i < num_ops; ++i) {
+      TxnId txn = static_cast<TxnId>(rng.NextBelow(4) + 1);
+      ItemId item = static_cast<ItemId>(rng.NextBelow(2));
+      if (rng.NextBool(0.5)) {
+        ops.push_back(Operation::Write(txn, item, Value(0)));
+      } else {
+        ops.push_back(Operation::Read(txn, item, Value(0)));
+      }
+    }
+    Schedule s(std::move(ops));
+
+    CsrReport csr = CheckConflictSerializability(s);
+    PwsrReport pwsr = CheckPwsr(s, *ic);
+    ASSERT_EQ(pwsr.per_conjunct.size(), 1u);
+    EXPECT_EQ(pwsr.is_pwsr, csr.serializable);
+    EXPECT_EQ(pwsr.per_conjunct[0].csr.serializable, csr.serializable);
+    // The canonical serialization orders coincide as well.
+    EXPECT_EQ(pwsr.OrderFor(0), csr.order);
+    csr.serializable ? ++serializable_seen : ++cyclic_seen;
+  }
+  // The sweep must actually exercise both verdicts.
+  EXPECT_GT(serializable_seen, 0);
+  EXPECT_GT(cyclic_seen, 0);
 }
 
 }  // namespace
