@@ -1,0 +1,268 @@
+// Violation-search engine throughput: the sequential/uncached legacy
+// configuration vs. the worker-pool engine with the shared solver cache.
+//
+// Workloads follow the search's production shape (ROADMAP experiments):
+// partitioned all-equal invariants, straight-line correct programs, mixed
+// random/near-serial exploration, full per-execution analysis (PWSR / DR /
+// DAG artifacts + strong-correctness solver checks). The 256-op/8-conjunct
+// row is the reference configuration.
+//
+// Every cache-on row must produce the identical SearchOutcome regardless of
+// thread count (the engine's determinism contract — NSE_CHECKed here); the
+// cache-off row samples initial states through the randomized backtracking
+// search instead of the cached sampling domains, so its outcome is a
+// different (equally valid) draw and only its wall time is comparable.
+//
+// Emits a fixed-width table on stdout and a JSON baseline (default
+// BENCH_violation_search.json, override with the last argument). The JSON
+// records host_cores: on a single-core container the thread rows measure
+// engine overhead only — the committed speedups come from the solver cache;
+// multi-core hosts stack thread scaling on top (see docs/bench.md).
+//
+// --smoke: tiny trial counts, parity assertions only, no JSON — wired into
+// ctest so every CI push exercises the parallel path.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "nse/nse.h"
+#include "scheduler/metrics.h"
+
+namespace nse {
+namespace {
+
+struct BenchCase {
+  const char* name;
+  PartitionedWorkloadConfig config;
+  uint64_t trials;
+};
+
+/// The reference workloads. Domain [-256, 256] keeps the per-conjunct
+/// solver searches (the violation search's hot inner loop) dominant, which
+/// is exactly the regime the SolverCache targets.
+std::vector<BenchCase> MakeCases(bool smoke) {
+  // 64 ops per sampled execution: 4 txns, each visiting 4 partitions and
+  // rewriting 3 items per visit (plus the pivot read).
+  PartitionedWorkloadConfig small;
+  small.num_partitions = 4;
+  small.items_per_partition = 3;
+  small.num_txns = 4;
+  small.partitions_per_txn = 4;
+  small.branch_probability = 0.0;
+  small.cross_read_probability = 0.5;
+  small.domain_lo = -256;
+  small.domain_hi = 256;
+  small.seed = 42;
+
+  // ~256 ops per sampled execution, 8 conjuncts: 8 txns, each visiting 8
+  // partitions and rewriting 3 items per visit (+ cross reads).
+  PartitionedWorkloadConfig big;
+  big.num_partitions = 8;
+  big.items_per_partition = 3;
+  big.num_txns = 8;
+  big.partitions_per_txn = 8;
+  big.branch_probability = 0.0;
+  big.cross_read_probability = 0.5;
+  big.domain_lo = -256;
+  big.domain_hi = 256;
+  big.seed = 42;
+
+  if (smoke) {
+    return {{"64op_4conj", small, 12}, {"256op_8conj", big, 6}};
+  }
+  return {{"64op_4conj", small, 600}, {"256op_8conj", big, 200}};
+}
+
+struct RowResult {
+  std::string workload;
+  size_t ops = 0;  // measured ops of one serial execution
+  size_t conjuncts = 0;
+  uint64_t trials = 0;
+  size_t threads = 1;
+  bool cache = false;
+  double wall_ms = 0;
+  double trials_per_s = 0;
+  double speedup = 1.0;  // vs. the workload's sequential/uncached row
+  double cache_hit_rate = 0;
+  uint64_t checked = 0;
+  uint64_t violations = 0;
+};
+
+SearchOutcome MustSearch(const Workload& workload, const SearchConfig& config,
+                         uint64_t seed) {
+  Rng rng(seed);
+  HypothesisFilter filter;  // no filter: every execution fully checked
+  auto outcome = SearchForViolations(workload.db, *workload.ic,
+                                     workload.ProgramPtrs(), filter, rng,
+                                     config);
+  NSE_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
+  return std::move(outcome).value();
+}
+
+/// Best-of-`reps` wall time for one configuration.
+double MillisOf(const Workload& workload, const SearchConfig& config,
+                uint64_t seed, int reps, SearchOutcome& outcome) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    outcome = MustSearch(workload, config, seed);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+size_t SerialOpCount(const Workload& workload) {
+  Rng rng(1);
+  ConsistencyChecker checker(workload.db, *workload.ic);
+  auto initial = checker.SampleConsistentState(rng);
+  NSE_CHECK(initial.ok());
+  std::vector<size_t> order(workload.programs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto run = ExecuteSerially(workload.db, workload.ProgramPtrs(), *initial,
+                             order);
+  NSE_CHECK(run.ok());
+  return run->schedule.size();
+}
+
+bool SameCounts(const SearchOutcome& a, const SearchOutcome& b) {
+  return a.trials == b.trials && a.filtered_out == b.filtered_out &&
+         a.checked == b.checked && a.violations == b.violations &&
+         a.first_violation_trial == b.first_violation_trial;
+}
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) {
+  using namespace nse;
+  bool smoke = false;
+  std::string json_path = "BENCH_violation_search.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  const size_t host_cores = std::thread::hardware_concurrency();
+  const int reps = smoke ? 1 : 2;
+  const uint64_t seed = 20260730;
+
+  struct Config {
+    size_t threads;
+    bool cache;
+  };
+  const std::vector<Config> grid = smoke
+                                       ? std::vector<Config>{{1, false},
+                                                             {1, true},
+                                                             {4, true}}
+                                       : std::vector<Config>{{1, false},
+                                                             {1, true},
+                                                             {2, true},
+                                                             {8, true}};
+
+  TablePrinter table({"workload", "trials", "threads", "cache", "wall ms",
+                      "trials/s", "speedup", "hit rate"});
+  std::vector<RowResult> rows;
+  for (const BenchCase& bench_case : MakeCases(smoke)) {
+    auto workload = MakePartitionedWorkload(bench_case.config);
+    NSE_CHECK_MSG(workload.ok(), "%s",
+                  workload.status().ToString().c_str());
+    const size_t ops = SerialOpCount(*workload);
+
+    double baseline_ms = 0;
+    SearchOutcome reference;  // the cache-on outcome all thread counts must match
+    bool have_reference = false;
+    for (const Config& config : grid) {
+      SearchConfig search;
+      search.trials = bench_case.trials;
+      search.threads = config.threads;
+      search.share_solver_cache = config.cache;
+      SearchOutcome outcome;
+      double ms = MillisOf(*workload, search, seed, reps, outcome);
+      if (config.threads == 1 && !config.cache) baseline_ms = ms;
+      if (config.cache) {
+        // Determinism contract: identical outcomes for every thread count.
+        if (!have_reference) {
+          reference = outcome;
+          have_reference = true;
+        } else {
+          NSE_CHECK_MSG(SameCounts(reference, outcome),
+                        "outcome differs across thread counts");
+        }
+      }
+
+      RowResult row;
+      row.workload = bench_case.name;
+      row.ops = ops;
+      row.conjuncts = bench_case.config.num_partitions;
+      row.trials = bench_case.trials;
+      row.threads = config.threads;
+      row.cache = config.cache;
+      row.wall_ms = ms;
+      row.trials_per_s =
+          ms == 0 ? 0 : static_cast<double>(bench_case.trials) / (ms / 1000.0);
+      row.speedup = (baseline_ms == 0 || ms == 0) ? 1.0 : baseline_ms / ms;
+      row.cache_hit_rate = outcome.solver_cache.hit_rate();
+      row.checked = outcome.checked;
+      row.violations = outcome.violations;
+      rows.push_back(row);
+
+      table.AddRow({row.workload, StrCat(row.trials), StrCat(row.threads),
+                    row.cache ? "on" : "off", FormatDouble(row.wall_ms, 2),
+                    FormatDouble(row.trials_per_s, 1),
+                    StrCat(FormatDouble(row.speedup, 2), "x"),
+                    FormatDouble(row.cache_hit_rate, 3)});
+    }
+  }
+
+  std::cout << "\n=== Violation search: worker pool + shared solver cache ===\n"
+            << table.Render() << "(host cores: " << host_cores
+            << "; speedup vs the sequential/uncached row of each workload; "
+               "cache-on outcomes are identical across thread counts)\n";
+
+  if (smoke) {
+    std::cout << "smoke mode: parity checks passed, no baseline written\n";
+    return 0;
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"violation_search\",\n  \"host_cores\": %zu,"
+               "\n  \"rows\": [\n",
+               host_cores);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"workload\": \"%s\", \"ops\": %zu, \"conjuncts\": %zu, "
+        "\"trials\": %llu, \"threads\": %zu, \"solver_cache\": %s, "
+        "\"wall_ms\": %.3f, \"trials_per_s\": %.1f, "
+        "\"speedup_vs_sequential\": %.3f, \"cache_hit_rate\": %.4f, "
+        "\"checked\": %llu, \"violations\": %llu}%s\n",
+        row.workload.c_str(), row.ops, row.conjuncts,
+        static_cast<unsigned long long>(row.trials), row.threads,
+        row.cache ? "true" : "false", row.wall_ms, row.trials_per_s,
+        row.speedup, row.cache_hit_rate,
+        static_cast<unsigned long long>(row.checked),
+        static_cast<unsigned long long>(row.violations),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::cout << "baseline written to " << json_path << "\n";
+  return 0;
+}

@@ -215,7 +215,7 @@ const DataAccessGraph& AnalysisContext::access_graph() {
 
 const ConsistencyChecker& AnalysisContext::consistency_checker() {
   if (!solver_.has_value()) {
-    solver_.emplace(db(), ic());
+    solver_.emplace(db(), ic(), options_.solver_cache);
     ++stats_.solver_builds;
   }
   return *solver_;

@@ -45,6 +45,10 @@ struct AnalysisOptions {
   /// The programs that produced the schedule, when known: enables the
   /// fixed-structure hypothesis of Theorem 1. Not owned.
   const std::vector<const TransactionProgram*>* programs = nullptr;
+  /// When set, the context's ConsistencyChecker memoizes its search trees
+  /// here. Not owned; shared across contexts (and threads) by the violation
+  /// search so overlapping solver queries are answered once.
+  SolverCache* solver_cache = nullptr;
 };
 
 /// How many times each artifact was actually built (not served from cache).

@@ -2,6 +2,7 @@
 
 #include "analysis/theorems.h"
 #include "analysis/view_set.h"
+#include "analysis/witness_mapping.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -75,10 +76,21 @@ class PwsrChecker : public Checker {
     }
     for (const ConjunctSerializability& entry : pwsr.per_conjunct) {
       if (entry.csr.serializable) continue;
-      return CheckResult{
-          std::string(name()), Verdict::kViolated,
-          StrCat("S^d of conjunct ", entry.conjunct + 1, " not serializable: ",
-                 RenderCsrWitness(entry.csr))};
+      std::string witness =
+          StrCat("S^d of conjunct ", entry.conjunct + 1,
+                 " not serializable: ", RenderCsrWitness(entry.csr));
+      if (entry.csr.cycle.has_value()) {
+        // Locate the cycle's conflicts at full-schedule positions via the
+        // projection's source_positions, so the witness points into S, not
+        // into S^d.
+        std::vector<MappedConflictEdge> mapped =
+            MapConjunctCycle(ctx, entry.conjunct, *entry.csr.cycle);
+        if (!mapped.empty()) {
+          witness += StrCat("; conflicts at ", RenderMappedCycle(mapped));
+        }
+      }
+      return CheckResult{std::string(name()), Verdict::kViolated,
+                         std::move(witness)};
     }
     return CheckResult{std::string(name()), Verdict::kViolated,
                        "no serializable projection"};

@@ -1,10 +1,18 @@
 #include "analysis/violation_search.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
 #include "analysis/analysis_context.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace nse {
 
 namespace {
+
+constexpr uint64_t kNoTrial = std::numeric_limits<uint64_t>::max();
 
 /// True iff the execution's schedule satisfies the per-schedule filters.
 /// Drives every filter through the execution's shared context, so the
@@ -19,7 +27,102 @@ bool PassesScheduleFilter(AnalysisContext& ctx, const HypothesisFilter& filter) 
   return true;
 }
 
-/// Checks one execution; updates the outcome.
+/// What one randomized trial amounted to. Stored per global trial index so
+/// the merge step can reconstruct exactly the prefix a sequential run would
+/// have produced, regardless of which worker ran which trial.
+enum class TrialCode : uint8_t {
+  kUnprocessed = 0,  ///< skipped (cancelled past the decisive trial)
+  kFiltered,         ///< failed the hypothesis filter / invalid replay
+  kCheckedOk,        ///< checked, strongly correct
+  kViolation,        ///< checked, Definition 1 violated
+  kError,            ///< a Status failure inside the trial
+};
+
+/// Per-worker accumulation. Workers claim batches of increasing trial
+/// indices, so the first violation / error a worker records is its minimum.
+struct WorkerState {
+  std::optional<Counterexample> best_cex;
+  uint64_t best_cex_trial = kNoTrial;
+  Status error = Status::Ok();
+  uint64_t error_trial = kNoTrial;
+};
+
+/// Monotone min-update of `target`.
+void AtomicMin(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Runs trial `t` start to finish against its private RNG stream. When the
+/// trial violates and `want_cex` is set, `cex` receives the reproducible
+/// counterexample; on kError, `error` holds the status.
+TrialCode RunOneTrial(const Database& db, const IntegrityConstraint& ic,
+                      const std::vector<const TransactionProgram*>& programs,
+                      const HypothesisFilter& filter,
+                      const ConsistencyChecker& checker, SolverCache* cache,
+                      Rng rng, bool want_cex,
+                      std::optional<Counterexample>& cex, Status& error) {
+  auto initial_or = checker.SampleConsistentState(rng);
+  if (!initial_or.ok()) {
+    error = initial_or.status();
+    return TrialCode::kError;
+  }
+  DbState initial = std::move(initial_or).value();
+  // Mix exploration styles: uniformly random interleavings cover the
+  // whole space, near-serial ones populate the PWSR/DR regimes the
+  // filters select for (see NearSerialChoices).
+  std::vector<size_t> choices;
+  if (rng.NextBool(0.5)) {
+    auto choices_or = RandomChoices(db, programs, initial, rng);
+    if (!choices_or.ok()) {
+      error = choices_or.status();
+      return TrialCode::kError;
+    }
+    choices = std::move(choices_or).value();
+  } else {
+    size_t swaps = rng.NextBelow(2 * programs.size() + 6);
+    auto choices_or = NearSerialChoices(db, programs, initial, rng, swaps);
+    if (!choices_or.ok()) {
+      error = choices_or.status();
+      return TrialCode::kError;
+    }
+    choices = std::move(choices_or).value();
+  }
+  auto run = Interleave(db, programs, initial, choices);
+  if (!run.ok()) {
+    // A swapped near-serial sequence can become invalid when program
+    // lengths are interleaving-dependent; discard the sample.
+    if (run.status().code() == StatusCode::kInvalidArgument ||
+        run.status().code() == StatusCode::kFailedPrecondition) {
+      return TrialCode::kFiltered;
+    }
+    error = run.status();
+    return TrialCode::kError;
+  }
+  // One memoized context per sampled execution, sharing the search-wide
+  // solver cache.
+  AnalysisOptions options;
+  options.solver_cache = cache;
+  AnalysisContext ctx(db, ic, run->schedule, options);
+  if (!PassesScheduleFilter(ctx, filter)) return TrialCode::kFiltered;
+  auto report_or = CheckExecution(checker, run->schedule, initial);
+  if (!report_or.ok()) {
+    error = report_or.status();
+    return TrialCode::kError;
+  }
+  if (report_or->strongly_correct) return TrialCode::kCheckedOk;
+  if (want_cex) {
+    cex = Counterexample{std::move(initial), std::move(choices),
+                         std::move(run->schedule),
+                         std::move(report_or).value()};
+  }
+  return TrialCode::kViolation;
+}
+
+/// Checks one execution; updates the outcome. (Exhaustive-search path.)
 Status CheckOne(const ConsistencyChecker& checker, const Schedule& schedule,
                 const DbState& initial, const std::vector<size_t>& choices,
                 SearchOutcome& outcome) {
@@ -41,59 +144,151 @@ Status CheckOne(const ConsistencyChecker& checker, const Schedule& schedule,
 Result<SearchOutcome> SearchForViolations(
     const Database& db, const IntegrityConstraint& ic,
     const std::vector<const TransactionProgram*>& programs,
-    const HypothesisFilter& filter, Rng& rng, uint64_t trials,
-    bool stop_at_first) {
+    const HypothesisFilter& filter, Rng& rng, const SearchConfig& config) {
   SearchOutcome outcome;
-  ConsistencyChecker checker(db, ic);
 
   if (filter.require_fixed_structure) {
     for (const TransactionProgram* program : programs) {
       StructureAnalysis analysis = AnalyzeStructure(db, *program);
       if (!analysis.valid || !analysis.fixed) {
-        outcome.trials = trials;
-        outcome.filtered_out = trials;
+        outcome.trials = config.trials;
+        outcome.filtered_out = config.trials;
         return outcome;
       }
     }
   }
+  if (config.trials == 0) return outcome;
 
-  for (uint64_t t = 0; t < trials; ++t) {
-    ++outcome.trials;
-    NSE_ASSIGN_OR_RETURN(DbState initial,
-                         checker.SampleConsistentState(rng));
-    // Mix exploration styles: uniformly random interleavings cover the
-    // whole space, near-serial ones populate the PWSR/DR regimes the
-    // filters select for (see NearSerialChoices).
-    std::vector<size_t> choices;
-    if (rng.NextBool(0.5)) {
-      NSE_ASSIGN_OR_RETURN(choices, RandomChoices(db, programs, initial, rng));
-    } else {
-      size_t swaps = rng.NextBelow(2 * programs.size() + 6);
-      NSE_ASSIGN_OR_RETURN(
-          choices, NearSerialChoices(db, programs, initial, rng, swaps));
-    }
-    auto run = Interleave(db, programs, initial, choices);
-    if (!run.ok()) {
-      // A swapped near-serial sequence can become invalid when program
-      // lengths are interleaving-dependent; discard the sample.
-      if (run.status().code() == StatusCode::kInvalidArgument ||
-          run.status().code() == StatusCode::kFailedPrecondition) {
-        ++outcome.filtered_out;
-        continue;
-      }
-      return run.status();
-    }
-    // One memoized context per sampled execution.
-    AnalysisContext ctx(db, ic, run->schedule);
-    if (!PassesScheduleFilter(ctx, filter)) {
-      ++outcome.filtered_out;
-      continue;
-    }
-    NSE_RETURN_IF_ERROR(
-        CheckOne(checker, run->schedule, initial, choices, outcome));
-    if (stop_at_first && outcome.violations > 0) break;
+  const size_t threads =
+      config.threads == 0 ? ThreadPool::DefaultNumThreads() : config.threads;
+  const uint64_t batch = config.batch_size == 0 ? 1 : config.batch_size;
+
+  // Determinism backbone: trial t draws from Split(t) of one master
+  // generator, so a trial's outcome is a pure function of (seed, t) — never
+  // of the worker that ran it or of what other trials did.
+  const Rng master = rng.Fork();
+
+  SolverCache cache;
+  SolverCache* cache_ptr = config.share_solver_cache ? &cache : nullptr;
+  if (cache_ptr != nullptr) {
+    // One-time sampling-domain enumerations, done before fan-out so cold
+    // workers don't all recompute them.
+    ConsistencyChecker(db, ic, cache_ptr).WarmSamplingDomains();
   }
+
+  std::vector<TrialCode> codes(config.trials, TrialCode::kUnprocessed);
+  std::atomic<uint64_t> next_trial{0};
+  // Trials with index > cancel_after are skipped: set to the smallest
+  // violating index under stop_at_first, and to the smallest erroring index
+  // always (work past a decisive trial cannot change the result).
+  std::atomic<uint64_t> cancel_after{kNoTrial};
+  std::vector<WorkerState> workers(threads);
+
+  auto worker_fn = [&](size_t w) {
+    // Each worker owns its checker (solver stats are checker-local); all
+    // checkers share the one cache.
+    ConsistencyChecker checker(db, ic, cache_ptr);
+    WorkerState& ws = workers[w];
+    while (true) {
+      const uint64_t start = next_trial.fetch_add(batch);
+      if (start >= config.trials) break;
+      const uint64_t end = std::min(start + batch, config.trials);
+      for (uint64_t t = start; t < end; ++t) {
+        if (t > cancel_after.load(std::memory_order_relaxed)) continue;
+        std::optional<Counterexample> cex;
+        Status error = Status::Ok();
+        const bool want_cex = !ws.best_cex.has_value();
+        TrialCode code = RunOneTrial(db, ic, programs, filter, checker,
+                                     cache_ptr, master.Split(t), want_cex,
+                                     cex, error);
+        codes[t] = code;
+        if (code == TrialCode::kViolation) {
+          if (want_cex) {
+            ws.best_cex = std::move(cex);
+            ws.best_cex_trial = t;
+          }
+          if (config.stop_at_first) AtomicMin(cancel_after, t);
+        } else if (code == TrialCode::kError) {
+          if (ws.error_trial == kNoTrial) {
+            ws.error = std::move(error);
+            ws.error_trial = t;
+          }
+          AtomicMin(cancel_after, t);
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker_fn(0);
+  } else {
+    ThreadPool pool(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      pool.Submit([&worker_fn, w] { worker_fn(w); });
+    }
+    pool.Wait();
+  }
+
+  // Associative merge: scan the per-trial codes in global order for the
+  // first decisive trial — an error, or (under stop_at_first) a violation —
+  // then tally exactly the prefix a sequential run would have produced.
+  uint64_t end = config.trials;
+  for (uint64_t t = 0; t < config.trials; ++t) {
+    const TrialCode code = codes[t];
+    if (code == TrialCode::kError) {
+      for (const WorkerState& ws : workers) {
+        if (ws.error_trial == t) return ws.error;
+      }
+      NSE_CHECK_MSG(false, "trial %llu marked kError but no worker owns it",
+                    static_cast<unsigned long long>(t));
+    }
+    if (config.stop_at_first && code == TrialCode::kViolation) {
+      end = t + 1;
+      break;
+    }
+  }
+  for (uint64_t t = 0; t < end; ++t) {
+    NSE_CHECK_MSG(codes[t] != TrialCode::kUnprocessed,
+                  "trial %llu below the decisive index was never run",
+                  static_cast<unsigned long long>(t));
+    ++outcome.trials;
+    switch (codes[t]) {
+      case TrialCode::kFiltered:
+        ++outcome.filtered_out;
+        break;
+      case TrialCode::kCheckedOk:
+        ++outcome.checked;
+        break;
+      case TrialCode::kViolation:
+        ++outcome.checked;
+        ++outcome.violations;
+        break;
+      default:
+        break;
+    }
+  }
+  for (WorkerState& ws : workers) {
+    if (!ws.best_cex.has_value() || ws.best_cex_trial >= end) continue;
+    if (!outcome.first_violation_trial.has_value() ||
+        ws.best_cex_trial < *outcome.first_violation_trial) {
+      outcome.first_violation_trial = ws.best_cex_trial;
+      outcome.first_counterexample = std::move(ws.best_cex);
+    }
+  }
+  outcome.solver_cache = cache.stats();
   return outcome;
+}
+
+Result<SearchOutcome> SearchForViolations(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const HypothesisFilter& filter, Rng& rng, uint64_t trials,
+    bool stop_at_first) {
+  SearchConfig config;
+  config.trials = trials;
+  config.stop_at_first = stop_at_first;
+  config.threads = 1;
+  return SearchForViolations(db, ic, programs, filter, rng, config);
 }
 
 Result<SearchOutcome> ExhaustiveViolationSearch(
@@ -130,11 +325,12 @@ Result<SearchOutcome> ExhaustiveViolationSearch(
       }
       return !(stop_at_first && outcome.violations > 0);
     };
-    NSE_RETURN_IF_ERROR(
+    NSE_ASSIGN_OR_RETURN(
+        EnumerationOutcome enumerated,
         EnumerateInterleavings(db, programs, initial, interleaving_limit,
-                               visit)
-            .status());
+                               visit));
     NSE_RETURN_IF_ERROR(inner_error);
+    if (!enumerated.exhausted) ++outcome.truncated;
     if (stop_at_first && outcome.violations > 0) break;
   }
   return outcome;

@@ -5,6 +5,15 @@
 // surviving execution. Under any theorem's hypotheses the expected count is
 // zero; dropping a hypothesis should re-expose Example-2-style violations.
 //
+// The randomized search runs on a fixed worker pool. Determinism contract
+// (see docs/adr/0002): trial t draws from the sub-stream Split(t) of one
+// master generator, workers claim trial-index batches from a shared
+// dispenser, and per-worker outcomes merge associatively — so for a fixed
+// seed the outcome counts and the first counterexample (ordered by global
+// trial index) are identical for any thread count, including 1. Workers
+// share one SolverCache, so strong-correctness checks on overlapping
+// sampled schedules reuse each other's solver search trees.
+//
 // Also provides exhaustive search over all interleavings for small
 // scenarios (a bounded model checker).
 
@@ -45,13 +54,53 @@ struct SearchOutcome {
   uint64_t filtered_out = 0;       ///< executions failing the filter
   uint64_t checked = 0;            ///< executions strong-correctness checked
   uint64_t violations = 0;         ///< executions violating Definition 1
+  /// Exhaustive search only: initial states whose interleaving enumeration
+  /// was cut off by the limit (i.e. the search was NOT exhaustive for them).
+  /// Distinguishes "few trials because the filter rejected executions" from
+  /// "few trials because enumeration was truncated".
+  uint64_t truncated = 0;
   std::optional<Counterexample> first_counterexample;
+  /// Global trial index of first_counterexample (randomized search only).
+  std::optional<uint64_t> first_violation_trial;
+  /// Shared solver-cache effort during this search (zeros when disabled).
+  SolverCache::Stats solver_cache;
 };
 
-/// Randomized search: `trials` (initial state, random interleaving) pairs.
-/// Initial states are sampled consistent states. If the programs fail the
-/// fixed-structure requirement (when set), returns an outcome with all
-/// trials filtered out.
+/// Knobs of the randomized search engine.
+struct SearchConfig {
+  uint64_t trials = 0;
+  /// Stop as soon as a violation is found. The returned outcome is the
+  /// deterministic prefix: every trial up to and including the smallest
+  /// violating trial index (later-index work already done is discarded), so
+  /// stop-at-first results are also thread-count independent.
+  bool stop_at_first = false;
+  /// Worker threads; 0 means ThreadPool::DefaultNumThreads(). threads=1
+  /// runs inline on the calling thread (no pool) but through the same
+  /// trial-stream machinery, so it is bit-identical to any other count.
+  size_t threads = 1;
+  /// Trials claimed per dispenser round-trip (tradeoff: dispatch overhead
+  /// vs. tail imbalance).
+  uint64_t batch_size = 16;
+  /// Share one SolverCache across all workers (sampling domains,
+  /// consistency verdicts, extension subtrees). Disable to measure the
+  /// uncached baseline. Note: cached sampling draws uniformly from
+  /// enumerated per-conjunct solution sets, uncached uses the randomized
+  /// backtracking search — so flipping this changes which executions a
+  /// given seed samples. Each mode is internally deterministic; they are
+  /// different (equally valid) random experiments, not the same run.
+  bool share_solver_cache = true;
+};
+
+/// Randomized search: `config.trials` (initial state, random interleaving)
+/// pairs. Initial states are sampled consistent states. If the programs
+/// fail the fixed-structure requirement (when set), returns an outcome with
+/// all trials filtered out.
+Result<SearchOutcome> SearchForViolations(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const HypothesisFilter& filter, Rng& rng, const SearchConfig& config);
+
+/// Single-threaded convenience overload (the pre-engine signature).
 Result<SearchOutcome> SearchForViolations(
     const Database& db, const IntegrityConstraint& ic,
     const std::vector<const TransactionProgram*>& programs,

@@ -1,0 +1,70 @@
+#include "analysis/witness_mapping.h"
+
+#include "analysis/analysis_context.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+namespace {
+
+/// Earliest conflicting operation pair (p, q), p < q, with ops[p].txn ==
+/// `from`, ops[q].txn == `to`, same item, at least one write — positions in
+/// `projected`. Scans later ops outermost so the reported pair is the first
+/// completion of a conflict, matching how the conflict edge arose.
+std::optional<std::pair<size_t, size_t>> FindConflictPair(
+    const Schedule& projected, TxnId from, TxnId to) {
+  const OpSequence& ops = projected.ops();
+  for (size_t q = 0; q < ops.size(); ++q) {
+    if (ops[q].txn != to) continue;
+    for (size_t p = 0; p < q; ++p) {
+      if (ops[p].txn != from) continue;
+      if (ops[p].entity != ops[q].entity) continue;
+      if (ops[p].is_write() || ops[q].is_write()) return std::make_pair(p, q);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<MappedConflictEdge> MapConjunctCycle(
+    AnalysisContext& ctx, size_t e, const std::vector<TxnId>& cycle) {
+  std::vector<MappedConflictEdge> out;
+  if (cycle.size() < 2) return out;
+  const ScheduleProjection& projection = ctx.projection(e);
+  // FindCycle emits first == last; iterate consecutive pairs either way.
+  for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+    TxnId from = cycle[i];
+    TxnId to = cycle[i + 1];
+    std::optional<std::pair<size_t, size_t>> pair =
+        FindConflictPair(projection.schedule, from, to);
+    if (!pair.has_value()) continue;
+    out.push_back(MappedConflictEdge{
+        from, to, projection.source_positions[pair->first],
+        projection.source_positions[pair->second]});
+  }
+  return out;
+}
+
+std::optional<DrViolation> ProjectedDrViolation(AnalysisContext& ctx,
+                                                size_t e) {
+  const ScheduleProjection& projection = ctx.projection(e);
+  std::optional<DrViolation> violation =
+      FindDrViolation(projection.schedule);
+  if (!violation.has_value()) return std::nullopt;
+  return DrViolation{projection.source_positions[violation->reader_pos],
+                     projection.source_positions[violation->writer_pos],
+                     violation->writer_txn};
+}
+
+std::string RenderMappedCycle(const std::vector<MappedConflictEdge>& edges) {
+  std::vector<std::string> parts;
+  parts.reserve(edges.size());
+  for (const MappedConflictEdge& edge : edges) {
+    parts.push_back(StrCat("T", edge.from, " -> T", edge.to, " (ops ",
+                           edge.from_pos, " -> ", edge.to_pos, ")"));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace nse

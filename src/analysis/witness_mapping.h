@@ -1,0 +1,56 @@
+// Witness position mapping: per-conjunct verdicts are found inside the
+// projection S^{d_e}, but users debug the *full* schedule. The
+// ScheduleProjection handle records where each projected operation sits in
+// S (source_positions), so every projected witness — a conflict-cycle edge
+// of the projected conflict graph, a delayed-read violation of S^{d_e} —
+// can be located at full-schedule positions. Checker verdicts render these
+// mapped positions (see PwsrChecker in checker.cc).
+
+#ifndef NSE_ANALYSIS_WITNESS_MAPPING_H_
+#define NSE_ANALYSIS_WITNESS_MAPPING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/delayed_read.h"
+#include "txn/schedule.h"
+
+namespace nse {
+
+class AnalysisContext;
+
+/// One edge of a projected conflict-graph cycle, located in the full
+/// schedule: some operation of `from` at full-schedule position `from_pos`
+/// precedes and conflicts (same item, at least one write) with an operation
+/// of `to` at `to_pos`.
+struct MappedConflictEdge {
+  TxnId from = 0;
+  TxnId to = 0;
+  size_t from_pos = 0;  ///< full-schedule position of the earlier operation
+  size_t to_pos = 0;    ///< full-schedule position of the later operation
+};
+
+/// Locates every consecutive edge of `cycle` (txn ids as produced by
+/// ConflictGraph::FindCycle — first may equal last; both forms accepted)
+/// inside the conjunct-`e` projection, mapped to full-schedule positions
+/// via projection(e).source_positions. Edges whose conflict cannot be found
+/// in the projection (a cycle not of this conjunct's graph) are skipped.
+/// Requires an IC in the context.
+std::vector<MappedConflictEdge> MapConjunctCycle(
+    AnalysisContext& ctx, size_t e, const std::vector<TxnId>& cycle);
+
+/// First delayed-read violation of the conjunct-`e` projection S^{d_e},
+/// with reader/writer positions mapped back to full-schedule positions; or
+/// nullopt when the projection is DR. (A schedule that is DR as a whole has
+/// DR projections, but not conversely — a projected violation pinpoints
+/// the conjunct whose Lemma 6 hypothesis fails.)
+std::optional<DrViolation> ProjectedDrViolation(AnalysisContext& ctx,
+                                                size_t e);
+
+/// Renders "T1 -> T2 (ops 1 -> 2), T2 -> T1 (ops 3 -> 4)".
+std::string RenderMappedCycle(const std::vector<MappedConflictEdge>& edges);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_WITNESS_MAPPING_H_

@@ -64,4 +64,17 @@ bool Rng::NextBool(double p) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::Split(uint64_t stream) const {
+  // Fold all 256 bits of parent state into one word (rotations keep the
+  // words from cancelling), then perturb it with a SplitMix64 jump of the
+  // stream id. For a fixed parent state the map stream -> seed is injective
+  // up to the SplitMix64 output permutation, so distinct ids give distinct,
+  // well-separated seed sequences.
+  uint64_t folded = state_[0] ^ Rotl(state_[1], 17) ^ Rotl(state_[2], 29) ^
+                    Rotl(state_[3], 43);
+  uint64_t jump = stream;
+  uint64_t derived = folded ^ SplitMix64(jump);
+  return Rng(derived);
+}
+
 }  // namespace nse

@@ -53,6 +53,17 @@ class Rng {
   /// Derives an independent generator (for fan-out without stream overlap).
   Rng Fork();
 
+  /// Deterministic sub-stream derivation: the generator for stream id
+  /// `stream`, a pure function of (current state, stream) — the parent is
+  /// not advanced, and the same (state, stream) pair always yields the same
+  /// sub-generator. Distinct stream ids are decorrelated by a SplitMix64
+  /// jump over the id before it is folded into the parent state, so
+  /// Split(0), Split(1), ... are pairwise independent streams. This is the
+  /// primitive behind reproducible parallel fan-out: worker (or trial) k
+  /// draws from Split(k), so results are independent of how work is
+  /// assigned to threads.
+  Rng Split(uint64_t stream) const;
+
  private:
   uint64_t state_[4];
 };

@@ -1,0 +1,61 @@
+// A small fixed-size worker pool for CPU-bound fan-out (the violation
+// search's trial batches). Tasks are opaque closures executed in FIFO order
+// by whichever worker frees up first; Wait() gives a barrier.
+//
+// Deliberately minimal: no futures, no task priorities, no work stealing —
+// callers that need deterministic results must make their tasks commutative
+// (the violation search does this with per-trial RNG streams and an
+// associative outcome merge; see docs/adr/0002).
+
+#ifndef NSE_COMMON_THREAD_POOL_H_
+#define NSE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nse {
+
+/// Fixed pool of worker threads draining one shared task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Waits for every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution by some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// A sensible default worker count: hardware_concurrency, at least 1.
+  static size_t DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): all drained
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;                 // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nse
+
+#endif  // NSE_COMMON_THREAD_POOL_H_

@@ -1,15 +1,141 @@
 #include "constraints/solver.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 
 #include "common/string_util.h"
 #include "constraints/evaluator.h"
 
 namespace nse {
 
+namespace {
+
+/// Caps for the memoized sampling domains. A conjunct's solution set is
+/// usable for sampling only when it enumerates completely within
+/// kConjunctSolutionCap solutions and kConjunctEnumNodeBudget search nodes;
+/// otherwise the (one-time, bounded) attempt is remembered as incomplete
+/// and every later draw falls straight back to the randomized search. The
+/// node budget — not the solution cap — is what protects against conjuncts
+/// whose enumeration tree is huge even though few assignments satisfy them.
+constexpr uint64_t kConjunctSolutionCap = 4096;
+constexpr uint64_t kConjunctEnumNodeBudget = 1u << 20;
+
+/// Serialized cache key: block kind + tag [+ limit] + the block restriction
+/// of the query state. Built with raw appends — this runs on every memoized
+/// solver query, so no ostringstream. Type prefixes keep int / bool /
+/// string values from aliasing.
+std::string BlockKey(char kind, size_t tag, const DbState& state,
+                     uint64_t limit = 0) {
+  std::string key;
+  key.reserve(16 + state.size() * 12);
+  key.push_back(kind);
+  key += std::to_string(tag);
+  key.push_back(':');
+  key += std::to_string(limit);
+  for (const auto& [item, value] : state) {
+    key.push_back('|');
+    key += std::to_string(item);
+    key.push_back('=');
+    if (value.is_int()) {
+      key += std::to_string(value.AsInt());
+    } else if (value.is_bool()) {
+      key.push_back(value.AsBool() ? 'T' : 'F');
+    } else {
+      // Length-prefixed so strings containing the delimiters cannot make
+      // two distinct states serialize to the same key.
+      const std::string& s = value.AsString();
+      key.push_back('"');
+      key += std::to_string(s.size());
+      key.push_back(':');
+      key += s;
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+SolverCache::SolverCache(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SolverCache::Shard& SolverCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<bool> SolverCache::LookupVerdict(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.verdicts.find(key);
+    if (it != shard.verdicts.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void SolverCache::StoreVerdict(const std::string& key, bool verdict) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.verdicts.emplace(key, verdict);
+}
+
+std::optional<SolverCache::SolutionSet> SolverCache::LookupSolutions(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.solutions.find(key);
+    if (it != shard.solutions.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void SolverCache::StoreSolutions(const std::string& key, SolutionSet set) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.solutions.emplace(key, std::move(set));
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    out.hits += shard->hits.load(std::memory_order_relaxed);
+    out.misses += shard->misses.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void SolverCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->verdicts.clear();
+    shard->solutions.clear();
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+  }
+}
+
 ConsistencyChecker::ConsistencyChecker(const Database& db,
                                        const IntegrityConstraint& ic)
     : db_(db), ic_(ic) {}
+
+ConsistencyChecker::ConsistencyChecker(const Database& db,
+                                       const IntegrityConstraint& ic,
+                                       SolverCache* cache)
+    : db_(db), ic_(ic), cache_(cache) {}
 
 Result<bool> ConsistencyChecker::Satisfies(const DbState& state) const {
   for (ItemId item : ic_.constrained_items()) {
@@ -135,8 +261,17 @@ void ConsistencyChecker::EnumerateBlock(const Formula& formula,
                                         const std::vector<ItemId>& items,
                                         size_t idx, DbState& working,
                                         uint64_t limit,
-                                        std::vector<DbState>& out) const {
+                                        std::vector<DbState>& out,
+                                        uint64_t* nodes_remaining,
+                                        bool* aborted) const {
   if (out.size() >= limit) return;
+  if (nodes_remaining != nullptr) {
+    if (*nodes_remaining == 0) {
+      if (aborted != nullptr) *aborted = true;
+      return;
+    }
+    --*nodes_remaining;
+  }
   ++stats_.nodes;
   Truth truth = EvalFormulaPartial(formula, working);
   if (truth.has_value() && !*truth) {
@@ -153,10 +288,29 @@ void ConsistencyChecker::EnumerateBlock(const Formula& formula,
   ItemId item = items[idx];
   const Domain& domain = db_.DomainOf(item);
   for (uint64_t i = 0; i < domain.size() && out.size() < limit; ++i) {
+    if (aborted != nullptr && *aborted) break;
     working.Set(item, domain.At(i));
-    EnumerateBlock(formula, items, idx + 1, working, limit, out);
+    EnumerateBlock(formula, items, idx + 1, working, limit, out,
+                   nodes_remaining, aborted);
     working.Unset(item);
   }
+}
+
+bool ConsistencyChecker::ExtendBlockCached(
+    const Formula& formula, char kind, size_t tag, const DbState& working,
+    const std::vector<ItemId>& todo) const {
+  if (cache_ == nullptr) {
+    DbState scratch = working;
+    return SearchExtend(formula, todo, 0, scratch);
+  }
+  std::string key = BlockKey(kind, tag, working);
+  if (std::optional<bool> hit = cache_->LookupVerdict(key); hit.has_value()) {
+    return *hit;
+  }
+  DbState scratch = working;
+  bool verdict = SearchExtend(formula, todo, 0, scratch);
+  cache_->StoreVerdict(key, verdict);
+  return verdict;
 }
 
 Result<bool> ConsistencyChecker::IsConsistent(const DbState& state) const {
@@ -167,7 +321,9 @@ Result<bool> ConsistencyChecker::IsConsistent(const DbState& state) const {
   for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
     DbState working = state.Restrict(ic_.data_set(e));
     std::vector<ItemId> todo = UnassignedOf(ic_.data_set(e), working);
-    if (!SearchExtend(ic_.conjunct(e), todo, 0, working)) return false;
+    if (!ExtendBlockCached(ic_.conjunct(e), 'C', e, working, todo)) {
+      return false;
+    }
   }
   return true;
 }
@@ -178,7 +334,7 @@ Result<bool> ConsistencyChecker::IsConsistentGlobal(
   DbState working = state.Restrict(ic_.constrained_items());
   std::vector<ItemId> todo = UnassignedOf(ic_.constrained_items(), working);
   Formula all = ic_.AsFormula();
-  return SearchExtend(all, todo, 0, working);
+  return ExtendBlockCached(all, 'G', 0, working, todo);
 }
 
 Result<std::optional<DbState>> ConsistencyChecker::FindConsistentExtension(
@@ -210,10 +366,55 @@ Result<std::optional<DbState>> ConsistencyChecker::FindConsistentExtension(
   return std::optional<DbState>(witness);
 }
 
+SolverCache::SolutionSet ConsistencyChecker::ConjunctSolutionsCached(
+    size_t e) const {
+  std::string key = BlockKey('S', e, DbState());
+  if (std::optional<SolverCache::SolutionSet> hit =
+          cache_->LookupSolutions(key);
+      hit.has_value()) {
+    return *hit;
+  }
+  SolverCache::SolutionSet set;
+  auto states = std::make_shared<std::vector<DbState>>();
+  DbState working;
+  std::vector<ItemId> items(ic_.data_set(e).items());
+  uint64_t nodes_remaining = kConjunctEnumNodeBudget;
+  bool aborted = false;
+  EnumerateBlock(ic_.conjunct(e), items, 0, working, kConjunctSolutionCap,
+                 *states, &nodes_remaining, &aborted);
+  set.complete = !aborted && states->size() < kConjunctSolutionCap;
+  set.states = std::move(states);
+  cache_->StoreSolutions(key, set);
+  return set;
+}
+
+void ConsistencyChecker::WarmSamplingDomains() const {
+  if (cache_ == nullptr || !ic_.disjoint()) return;
+  for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+    ConjunctSolutionsCached(e);
+  }
+}
+
 Result<DbState> ConsistencyChecker::SampleConsistentState(Rng& rng) const {
   DbState out;
   if (ic_.disjoint()) {
     for (size_t e = 0; e < ic_.num_conjuncts(); ++e) {
+      // With a cache: sample uniformly from the conjunct's enumerated
+      // satisfying assignments (computed once, shared by every trial and
+      // worker). Conjuncts too big to enumerate — and the uncached path —
+      // use the randomized backtracking search.
+      if (cache_ != nullptr) {
+        SolverCache::SolutionSet set = ConjunctSolutionsCached(e);
+        if (set.complete) {
+          if (set.states->empty()) {
+            return Status::FailedPrecondition(
+                StrCat("conjunct ", e, " is unsatisfiable over its domains"));
+          }
+          out = DbState::Override(
+              out, (*set.states)[rng.NextBelow(set.states->size())]);
+          continue;
+        }
+      }
       DbState working;
       std::vector<ItemId> items(ic_.data_set(e).items());
       if (!SearchWitnessRandom(ic_.conjunct(e), items, working, rng)) {
@@ -272,10 +473,13 @@ Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentExtensions(
 
   // Enumerate each block's satisfying assignments — pinned items are fixed
   // in the working state, so branching happens on unpinned items only —
-  // then take the cross product (bounded by `limit`).
-  std::vector<std::vector<DbState>> per_block;
-  for (const Block& block : blocks) {
-    std::vector<DbState> assignments;
+  // then take the cross product (bounded by `limit`). Each block's subtree
+  // is memoized by (block, pinned restriction, limit): the pinned-read
+  // states of sampled schedules overlap per conjunct far more than they do
+  // jointly, so across a violation search most blocks are cache hits.
+  std::vector<std::shared_ptr<const std::vector<DbState>>> per_block;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const Block& block = blocks[b];
     DbState working;
     std::vector<ItemId> todo;
     for (ItemId item : block.items) {
@@ -285,8 +489,9 @@ Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentExtensions(
         todo.push_back(item);
       }
     }
-    EnumerateBlock(block.formula, todo, 0, working, limit, assignments);
-    if (assignments.empty()) return std::vector<DbState>{};
+    std::shared_ptr<const std::vector<DbState>> assignments =
+        EnumerateBlockCached(block.formula, 'B', b, working, todo, limit);
+    if (assignments->empty()) return std::vector<DbState>{};
     per_block.push_back(std::move(assignments));
   }
 
@@ -295,19 +500,45 @@ Result<std::vector<DbState>> ConsistencyChecker::EnumerateConsistentExtensions(
   while (out.size() < limit) {
     DbState state;
     for (size_t b = 0; b < per_block.size(); ++b) {
-      state = DbState::Override(state, per_block[b][cursor[b]]);
+      state = DbState::Override(state, (*per_block[b])[cursor[b]]);
     }
     out.push_back(std::move(state));
     // Odometer increment.
     size_t b = per_block.size();
     while (b > 0) {
       --b;
-      if (++cursor[b] < per_block[b].size()) break;
+      if (++cursor[b] < per_block[b]->size()) break;
       cursor[b] = 0;
       if (b == 0) return out;  // wrapped around: complete
     }
   }
   return out;
+}
+
+std::shared_ptr<const std::vector<DbState>>
+ConsistencyChecker::EnumerateBlockCached(const Formula& formula, char kind,
+                                         size_t tag, const DbState& working,
+                                         const std::vector<ItemId>& todo,
+                                         uint64_t limit) const {
+  std::string key;
+  if (cache_ != nullptr) {
+    key = BlockKey(kind, tag, working, limit);
+    if (std::optional<SolverCache::SolutionSet> hit =
+            cache_->LookupSolutions(key);
+        hit.has_value()) {
+      return hit->states;
+    }
+  }
+  auto states = std::make_shared<std::vector<DbState>>();
+  DbState scratch = working;
+  EnumerateBlock(formula, todo, 0, scratch, limit, *states);
+  if (cache_ != nullptr) {
+    SolverCache::SolutionSet set;
+    set.complete = states->size() < limit;
+    set.states = states;
+    cache_->StoreSolutions(key, set);
+  }
+  return states;
 }
 
 Result<bool> ConsistencyChecker::IsSatisfiable() const {

@@ -14,8 +14,13 @@
 #ifndef NSE_CONSTRAINTS_SOLVER_H_
 #define NSE_CONSTRAINTS_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,11 +37,94 @@ struct SolverStats {
   uint64_t solutions = 0;   ///< satisfying assignments found
 };
 
+/// A shared memo of solver search trees, keyed by per-conjunct (block)
+/// restrictions of the query state. The violation search samples thousands
+/// of executions whose pinned-read restrictions overlap heavily: with
+/// disjoint conjunct data sets (Lemma 1), every consistency question
+/// decomposes into per-conjunct sub-questions over a handful of items, and
+/// those sub-questions repeat across trials — so the cache converges to the
+/// small space of distinct per-conjunct restrictions and answers everything
+/// after warm-up in one hash probe.
+///
+/// Three kinds of entries, all keyed by (kind, block, restriction[, limit]):
+///   * extensibility verdicts — SearchExtend over one block (IsConsistent);
+///   * block enumerations — EnumerateConsistentExtensions subtrees;
+///   * per-conjunct solution sets — the sampling domains behind
+///     SampleConsistentState (sampling picks uniformly from the enumerated
+///     satisfying assignments instead of re-running the randomized search).
+///
+/// Thread-safe: sharded, each shard behind its own mutex. Read-mostly after
+/// warm-up. A cache may be shared by many ConsistencyCheckers across many
+/// worker threads, but only for the same (Database, IntegrityConstraint)
+/// pair — keys do not include the constraint identity.
+class SolverCache {
+ public:
+  /// Aggregate hit/miss counters across all shards.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double hit_rate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  explicit SolverCache(size_t num_shards = 8);
+
+  SolverCache(const SolverCache&) = delete;
+  SolverCache& operator=(const SolverCache&) = delete;
+
+  /// Aggregated counters (consistent snapshot per shard, not globally).
+  Stats stats() const;
+
+  /// Drops every entry and zeroes the counters.
+  void Clear();
+
+ private:
+  friend class ConsistencyChecker;
+
+  /// An enumerated block of satisfying assignments. `complete` is false
+  /// when the enumeration was cut off by its limit (consumers needing the
+  /// full set must then fall back to searching).
+  struct SolutionSet {
+    std::shared_ptr<const std::vector<DbState>> states;
+    bool complete = true;
+  };
+
+  /// Read-mostly after warm-up: hits take the shared lock (concurrent, no
+  /// convoy when a reader is preempted mid-probe), only misses write.
+  /// Counters are relaxed atomics so the read path never writes the map.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, bool> verdicts;
+    std::unordered_map<std::string, SolutionSet> solutions;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  /// Probe helpers used by ConsistencyChecker: on hit, bump `hits` and
+  /// return the entry; on miss bump `misses` and return nullopt.
+  std::optional<bool> LookupVerdict(const std::string& key);
+  void StoreVerdict(const std::string& key, bool verdict);
+  std::optional<SolutionSet> LookupSolutions(const std::string& key);
+  void StoreSolutions(const std::string& key, SolutionSet set);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
 /// Decides consistency questions for one (Database, IntegrityConstraint)
 /// pair. Thread-compatible (not thread-safe: stats are mutated).
 class ConsistencyChecker {
  public:
   ConsistencyChecker(const Database& db, const IntegrityConstraint& ic);
+
+  /// Cache-backed checker: consistency verdicts, extension enumerations and
+  /// sampling domains are memoized in `cache` (shared across checkers and
+  /// threads; must outlive this checker and belong to the same (db, ic)).
+  ConsistencyChecker(const Database& db, const IntegrityConstraint& ic,
+                     SolverCache* cache);
 
   /// Total satisfaction DS ⊨ IC. Every constrained item must be assigned;
   /// otherwise FailedPrecondition.
@@ -64,6 +152,12 @@ class ConsistencyChecker {
   /// unsatisfiable over the domains.
   Result<DbState> SampleConsistentState(Rng& rng) const;
 
+  /// Pre-computes the memoized per-conjunct sampling domains (no-op without
+  /// a cache or with overlapping conjuncts). The enumerations are one-time
+  /// but not free — fan-out callers warm them once before spawning workers
+  /// so cold workers don't race to duplicate them.
+  void WarmSamplingDomains() const;
+
   /// Up to `limit` consistent total states, in lexicographic item/value
   /// order. If exactly `limit` states are returned the enumeration may be
   /// incomplete.
@@ -85,6 +179,9 @@ class ConsistencyChecker {
   const SolverStats& stats() const { return stats_; }
   /// Zeroes the effort counters.
   void ResetStats() { stats_ = SolverStats(); }
+
+  /// The attached cache, or nullptr when uncached.
+  SolverCache* cache() const { return cache_; }
 
   /// The catalog this checker reads domains from.
   const Database& database() const { return db_; }
@@ -109,18 +206,42 @@ class ConsistencyChecker {
                            DbState& working, Rng& rng) const;
 
   /// Appends total assignments over `items` satisfying `formula` (extending
-  /// `working`) to `out`, up to `limit` entries in total.
+  /// `working`) to `out`, up to `limit` entries in total. When
+  /// `nodes_remaining` is set, the search also stops once that many nodes
+  /// have been visited, setting `*aborted` — the enumeration is then
+  /// incomplete regardless of out.size().
   void EnumerateBlock(const Formula& formula,
                       const std::vector<ItemId>& items, size_t idx,
                       DbState& working, uint64_t limit,
-                      std::vector<DbState>& out) const;
+                      std::vector<DbState>& out,
+                      uint64_t* nodes_remaining = nullptr,
+                      bool* aborted = nullptr) const;
 
   /// Items of `d` not yet assigned in `state`, cheapest domains first.
   std::vector<ItemId> UnassignedOf(const DataSet& d,
                                    const DbState& state) const;
 
+  /// SearchExtend over one block, memoized in the attached cache when
+  /// present. `tag` identifies the block ('C' + conjunct index, or 'G' for
+  /// the global block); `working` is the query state restricted to the
+  /// block's items.
+  bool ExtendBlockCached(const Formula& formula, char kind, size_t tag,
+                         const DbState& working,
+                         const std::vector<ItemId>& todo) const;
+
+  /// The full satisfying-assignment set of conjunct `e` over its data set
+  /// (no pinning), memoized. `complete` reports whether the set was fully
+  /// enumerated (vs. cut off at the internal cap).
+  SolverCache::SolutionSet ConjunctSolutionsCached(size_t e) const;
+
+  /// EnumerateBlock memoized per (block, pinned restriction, limit).
+  std::shared_ptr<const std::vector<DbState>> EnumerateBlockCached(
+      const Formula& formula, char kind, size_t tag, const DbState& working,
+      const std::vector<ItemId>& todo, uint64_t limit) const;
+
   const Database& db_;
   const IntegrityConstraint& ic_;
+  SolverCache* cache_ = nullptr;
   mutable SolverStats stats_;
 };
 

@@ -155,8 +155,14 @@ Status EnumerateRec(const Database& db,
                     const std::vector<const TransactionProgram*>& programs,
                     const DbState& initial, std::vector<size_t>& prefix,
                     uint64_t limit, uint64_t& visited, bool& stop,
-                    const InterleavingVisitor& visit) {
-  if (stop || visited >= limit) return Status::Ok();
+                    bool& truncated, const InterleavingVisitor& visit) {
+  if (stop) return Status::Ok();
+  if (visited >= limit) {
+    // Reached only when unexplored work remains (callers recurse solely
+    // below the limit): the limit — not the visitor — ended the search.
+    truncated = true;
+    return Status::Ok();
+  }
   // Replay the prefix. O(depth^2) per path, fine for the tiny scenarios
   // exhaustive enumeration targets.
   Arena arena(db, programs, initial);
@@ -172,12 +178,18 @@ Status EnumerateRec(const Database& db,
     return Status::Ok();
   }
   for (size_t i = 0; i < programs.size(); ++i) {
-    if (stop || visited >= limit) break;
+    if (stop) break;
     NSE_ASSIGN_OR_RETURN(bool done, arena.execs[i].ProbeFinished());
     if (done) continue;
+    if (visited >= limit) {
+      // An unfinished program means at least one more complete interleaving
+      // exists along this branch.
+      truncated = true;
+      break;
+    }
     prefix.push_back(i);
     NSE_RETURN_IF_ERROR(EnumerateRec(db, programs, initial, prefix, limit,
-                                     visited, stop, visit));
+                                     visited, stop, truncated, visit));
     prefix.pop_back();
   }
   return Status::Ok();
@@ -185,15 +197,17 @@ Status EnumerateRec(const Database& db,
 
 }  // namespace
 
-Result<uint64_t> EnumerateInterleavings(
+Result<EnumerationOutcome> EnumerateInterleavings(
     const Database& db, const std::vector<const TransactionProgram*>& programs,
     const DbState& initial, uint64_t limit, const InterleavingVisitor& visit) {
   std::vector<size_t> prefix;
-  uint64_t visited = 0;
+  EnumerationOutcome outcome;
   bool stop = false;
+  bool truncated = false;
   NSE_RETURN_IF_ERROR(EnumerateRec(db, programs, initial, prefix, limit,
-                                   visited, stop, visit));
-  return visited;
+                                   outcome.visited, stop, truncated, visit));
+  outcome.exhausted = !truncated;
+  return outcome;
 }
 
 }  // namespace nse

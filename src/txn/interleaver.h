@@ -70,16 +70,26 @@ Result<std::vector<size_t>> NearSerialChoices(
 using InterleavingVisitor = std::function<bool(const InterleaveResult&,
                                                const std::vector<size_t>&)>;
 
+/// How an interleaving enumeration ended.
+struct EnumerationOutcome {
+  uint64_t visited = 0;  ///< complete interleavings passed to the visitor
+  /// True iff every complete interleaving was visited (or the visitor
+  /// stopped the enumeration itself); false iff `limit` cut it off with
+  /// unexplored interleavings remaining. The distinction matters to
+  /// consumers like ExhaustiveViolationSearch, where "no violation found"
+  /// is only evidence when the enumeration was exhaustive.
+  bool exhausted = true;
+};
+
 /// Enumerates every complete interleaving of `programs` from `initial`
 /// (depth-first over the choice tree), invoking `visit` for each. Stops
 /// early when `visit` returns false or after `limit` interleavings.
-/// Returns the number of interleavings visited.
 ///
 /// The number of interleavings is the multinomial (Σn_i)! / Π(n_i!) — keep
 /// programs tiny. Program lengths may be state-dependent; the enumeration
 /// follows actual execution, so it is exact even for non-fixed-structure
 /// programs.
-Result<uint64_t> EnumerateInterleavings(
+Result<EnumerationOutcome> EnumerateInterleavings(
     const Database& db, const std::vector<const TransactionProgram*>& programs,
     const DbState& initial, uint64_t limit, const InterleavingVisitor& visit);
 

@@ -77,7 +77,8 @@ TEST_F(InterleaverTest, EnumerateInterleavingsCountsMultinomial) {
         return true;
       });
   ASSERT_TRUE(visited.ok()) << visited.status();
-  EXPECT_EQ(*visited, 10u);
+  EXPECT_EQ(visited->visited, 10u);
+  EXPECT_TRUE(visited->exhausted);
   EXPECT_EQ(count, 10u);
 }
 
@@ -90,7 +91,9 @@ TEST_F(InterleaverTest, EnumerateStopsOnVisitorFalseAndLimit) {
         return ++count < 3;
       });
   ASSERT_TRUE(stopped.ok());
-  EXPECT_EQ(*stopped, 3u);
+  EXPECT_EQ(stopped->visited, 3u);
+  // The visitor stopped the search; the limit did not cut it off.
+  EXPECT_TRUE(stopped->exhausted);
 
   auto limited = EnumerateInterleavings(
       ex_.db, programs, ex_.ds1, 4,
@@ -98,7 +101,22 @@ TEST_F(InterleaverTest, EnumerateStopsOnVisitorFalseAndLimit) {
         return true;
       });
   ASSERT_TRUE(limited.ok());
-  EXPECT_EQ(*limited, 4u);
+  EXPECT_EQ(limited->visited, 4u);
+  // 10 interleavings exist, only 4 visited: truncated by the limit.
+  EXPECT_FALSE(limited->exhausted);
+}
+
+TEST_F(InterleaverTest, EnumerationExactlyAtLimitIsExhaustive) {
+  // Limit == number of interleavings: everything visited, no truncation.
+  std::vector<const TransactionProgram*> programs{&ex_.tp1, &ex_.tp2};
+  auto exact = EnumerateInterleavings(
+      ex_.db, programs, ex_.ds1, 10,
+      [](const InterleaveResult&, const std::vector<size_t>&) {
+        return true;
+      });
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->visited, 10u);
+  EXPECT_TRUE(exact->exhausted);
 }
 
 TEST_F(InterleaverTest, InterleavingSchedulesAreValidExecutions) {

@@ -203,6 +203,100 @@ TEST_F(SolverTest, StatsAccumulateAndReset) {
   EXPECT_EQ(checker.stats().nodes, 0u);
 }
 
+TEST_F(SolverTest, CachedVerdictsMatchUncached) {
+  // Every consistency verdict must be identical with and without a cache,
+  // on first (miss) and second (hit) query alike.
+  IntegrityConstraint ic = Ic("(a > 0 -> b > 0) & c > 0");
+  ConsistencyChecker plain(db_, ic);
+  SolverCache cache;
+  ConsistencyChecker cached(db_, ic, &cache);
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    DbState partial;
+    for (const char* name : {"a", "b", "c"}) {
+      if (rng.NextBool(0.6)) {
+        partial.Set(db_.MustFind(name), Value(rng.NextInt(-8, 8)));
+      }
+    }
+    auto want = plain.IsConsistent(partial);
+    auto got = cached.IsConsistent(partial);
+    auto again = cached.IsConsistent(partial);
+    ASSERT_TRUE(want.ok() && got.ok() && again.ok());
+    EXPECT_EQ(*got, *want) << partial.ToString(db_);
+    EXPECT_EQ(*again, *want);
+  }
+  SolverCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  // Small per-conjunct key space + repeated queries => mostly hits.
+  EXPECT_GT(stats.hit_rate(), 0.5);
+}
+
+TEST_F(SolverTest, CachedEnumerationMatchesUncached) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker plain(db_, ic);
+  SolverCache cache;
+  ConsistencyChecker cached(db_, ic, &cache);
+  DbState pinned = DbState::OfNamed(db_, {{"a", Value(3)}});
+  auto want = plain.EnumerateConsistentExtensions(pinned, 50);
+  auto got = cached.EnumerateConsistentExtensions(pinned, 50);
+  auto again = cached.EnumerateConsistentExtensions(pinned, 50);
+  ASSERT_TRUE(want.ok() && got.ok() && again.ok());
+  EXPECT_EQ(*got, *want);
+  EXPECT_EQ(*again, *want);
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST_F(SolverTest, CachedEnumerationKeyedByLimit) {
+  // A truncated enumeration must not be served for a larger limit.
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  SolverCache cache;
+  ConsistencyChecker cached(db_, ic, &cache);
+  auto small = cached.EnumerateConsistentExtensions(DbState(), 3);
+  auto large = cached.EnumerateConsistentExtensions(DbState(), 40);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_EQ(small->size(), 3u);
+  EXPECT_EQ(large->size(), 40u);
+}
+
+TEST_F(SolverTest, CachedSamplingProducesConsistentStates) {
+  IntegrityConstraint ic = Ic("(a > 0 -> b > 0) & c > 0");
+  SolverCache cache;
+  ConsistencyChecker cached(db_, ic, &cache);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    auto state = cached.SampleConsistentState(rng);
+    ASSERT_TRUE(state.ok()) << state.status();
+    EXPECT_TRUE(state->IsTotalOver(db_));
+    EXPECT_TRUE(*cached.Satisfies(*state));
+  }
+  // One enumeration per conjunct; the 49 later samples all hit.
+  EXPECT_GT(cache.stats().hit_rate(), 0.9);
+}
+
+TEST_F(SolverTest, CachedSamplingUnsatisfiableConjunctFails) {
+  IntegrityConstraint ic = Ic("a > 100 & c > 0");
+  SolverCache cache;
+  ConsistencyChecker cached(db_, ic, &cache);
+  Rng rng(7);
+  auto state = cached.SampleConsistentState(rng);
+  EXPECT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SolverTest, CacheClearResetsEntriesAndStats) {
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  SolverCache cache;
+  ConsistencyChecker cached(db_, ic, &cache);
+  ASSERT_TRUE(cached.IsConsistent(DbState()).ok());
+  ASSERT_TRUE(cached.IsConsistent(DbState()).ok());
+  EXPECT_GT(cache.stats().hits, 0u);
+  cache.Clear();
+  SolverCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
 class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SolverPropertyTest, ExtensionExistsIffEnumerationNonEmpty) {

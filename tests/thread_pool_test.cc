@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableBetweenBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool must finish all queued work before joining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that must overlap in time: each waits for the other to start.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&started] {
+      started.fetch_add(1);
+      while (started.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(started.load(), 2);
+}
+
+}  // namespace
+}  // namespace nse

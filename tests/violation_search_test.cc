@@ -67,8 +67,143 @@ TEST(ViolationSearchTest, ExhaustiveSearchCoversAllInterleavings) {
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   EXPECT_GT(outcome->trials, 0u);
   EXPECT_GT(outcome->violations, 0u);
+  // The limit was generous: every interleaving really was visited.
+  EXPECT_EQ(outcome->truncated, 0u);
   ASSERT_TRUE(outcome->first_counterexample.has_value());
   EXPECT_EQ(outcome->first_counterexample->initial, ex.ds0);
+}
+
+TEST(ViolationSearchTest, ExhaustiveSearchReportsTruncation) {
+  // With a tiny interleaving limit the enumeration is cut off, and the
+  // outcome must say so — a truncated search finding no violation is not
+  // evidence of correctness, unlike a filtered-but-exhaustive one.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  auto outcome =
+      ExhaustiveViolationSearch(ex.db, *ex.ic, programs, {ex.ds0}, filter, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->trials, 2u);
+  EXPECT_EQ(outcome->truncated, 1u);
+}
+
+/// Canonical parity scenario: enough trials to see violations, filtering,
+/// and both exploration styles.
+SearchConfig ParityConfig(size_t threads) {
+  SearchConfig config;
+  config.trials = 300;
+  config.threads = threads;
+  config.batch_size = 7;  // deliberately unaligned with the trial count
+  return config;
+}
+
+void ExpectSameOutcome(const SearchOutcome& a, const SearchOutcome& b,
+                       const Database& db) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.filtered_out, b.filtered_out);
+  EXPECT_EQ(a.checked, b.checked);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.first_violation_trial, b.first_violation_trial);
+  ASSERT_EQ(a.first_counterexample.has_value(),
+            b.first_counterexample.has_value());
+  if (a.first_counterexample.has_value()) {
+    EXPECT_EQ(a.first_counterexample->initial, b.first_counterexample->initial);
+    EXPECT_EQ(a.first_counterexample->choices, b.first_counterexample->choices);
+    EXPECT_EQ(a.first_counterexample->schedule.ToString(db),
+              b.first_counterexample->schedule.ToString(db));
+  }
+}
+
+TEST(ViolationSearchTest, OutcomeIsIdenticalAcrossThreadCounts) {
+  // The determinism contract: for a fixed seed, counts and the first
+  // counterexample (by global trial index) do not depend on the number of
+  // worker threads.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+
+  Rng rng1(2024);
+  auto sequential = SearchForViolations(ex.db, *ex.ic, programs, filter, rng1,
+                                        ParityConfig(1));
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  EXPECT_GT(sequential->violations, 0u);
+  ASSERT_TRUE(sequential->first_counterexample.has_value());
+
+  for (size_t threads : {2, 8}) {
+    Rng rng(2024);
+    auto parallel = SearchForViolations(ex.db, *ex.ic, programs, filter, rng,
+                                        ParityConfig(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectSameOutcome(*sequential, *parallel, ex.db);
+  }
+}
+
+TEST(ViolationSearchTest, StopAtFirstIsIdenticalAcrossThreadCounts) {
+  // Early cancellation: the outcome is the deterministic prefix ending at
+  // the smallest violating trial index, so stop-at-first results are also
+  // thread-count independent — and genuinely early.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+
+  SearchConfig config = ParityConfig(1);
+  config.trials = 10'000;
+  config.stop_at_first = true;
+
+  Rng rng1(7);
+  auto sequential =
+      SearchForViolations(ex.db, *ex.ic, programs, filter, rng1, config);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  ASSERT_GT(sequential->violations, 0u);
+  EXPECT_LT(sequential->trials, 10'000u);
+  ASSERT_TRUE(sequential->first_violation_trial.has_value());
+  EXPECT_EQ(sequential->trials, *sequential->first_violation_trial + 1);
+
+  config.threads = 8;
+  Rng rng8(7);
+  auto parallel =
+      SearchForViolations(ex.db, *ex.ic, programs, filter, rng8, config);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ExpectSameOutcome(*sequential, *parallel, ex.db);
+}
+
+TEST(ViolationSearchTest, SolverCacheIsSharedAndHot) {
+  // The shared cache sees every worker's solver queries; on this workload
+  // (few conjuncts, small domains) the post-warmup hit rate is high.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  SearchConfig config = ParityConfig(4);
+  Rng rng(11);
+  auto outcome =
+      SearchForViolations(ex.db, *ex.ic, programs, filter, rng, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->solver_cache.hits, 0u);
+  EXPECT_GT(outcome->solver_cache.hit_rate(), 0.5);
+
+  // Cache off: the engine still works and reports zero cache traffic.
+  config.share_solver_cache = false;
+  Rng rng_off(11);
+  auto uncached =
+      SearchForViolations(ex.db, *ex.ic, programs, filter, rng_off, config);
+  ASSERT_TRUE(uncached.ok()) << uncached.status();
+  EXPECT_EQ(uncached->solver_cache.hits + uncached->solver_cache.misses, 0u);
+  EXPECT_EQ(uncached->trials, config.trials);
+}
+
+TEST(ViolationSearchTest, ZeroThreadsMeansHardwareDefault) {
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  SearchConfig config;
+  config.trials = 40;
+  config.threads = 0;  // DefaultNumThreads
+  Rng rng(3);
+  auto outcome =
+      SearchForViolations(ex.db, *ex.ic, programs, filter, rng, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->trials, 40u);
 }
 
 TEST(ViolationSearchTest, GeneratedFixedStructureWorkloadHasNoViolations) {
