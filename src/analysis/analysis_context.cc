@@ -57,7 +57,8 @@ const ConflictGraph& AnalysisContext::conflict_graph() {
     if (ic_ != nullptr && ic_->disjoint()) {
       BuildCoreGraphs();
     } else {
-      conflict_graph_ = ConflictGraph::Build(*schedule_);
+      conflict_graph_ =
+          ConflictGraph::Build(*schedule_, CycleMode::kIncremental);
       ++stats_.conflict_graph_builds;
     }
   }
@@ -94,7 +95,8 @@ const ConflictGraph& AnalysisContext::projection_graph(size_t e) {
     if (ic().disjoint()) {
       BuildCoreGraphs();
     } else {
-      projection_graphs_[e] = ConflictGraph::Build(projection(e).schedule);
+      projection_graphs_[e] =
+          ConflictGraph::Build(projection(e).schedule, CycleMode::kIncremental);
       ++stats_.projection_graph_builds;
     }
   }
@@ -125,12 +127,20 @@ void AnalysisContext::BuildCoreGraphs() {
   const uint32_t n = static_cast<uint32_t>(txn_ids.size());
   const OpSequence& ops = schedule_->ops();
 
+  // Deduped edges in first-occurrence (schedule) order, each with the
+  // position of the operation that created it — inserting them in this
+  // order into incremental graphs makes the recorded first cycle the
+  // earliest one the schedule closes.
+  struct EdgeAt {
+    uint32_t from;
+    uint32_t to;
+    size_t pos;
+  };
   std::vector<char> full_seen(static_cast<size_t>(n) * n, 0);
-  std::vector<std::pair<uint32_t, uint32_t>> full_edges;
+  std::vector<EdgeAt> full_edges;
   std::vector<std::vector<char>> proj_seen(
       num_conjuncts, std::vector<char>(static_cast<size_t>(n) * n, 0));
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> proj_edges(
-      num_conjuncts);
+  std::vector<std::vector<EdgeAt>> proj_edges(num_conjuncts);
   std::vector<std::vector<char>> proj_member(num_conjuncts,
                                              std::vector<char>(n, 0));
   std::vector<ReadsFromEdge> rf;
@@ -167,17 +177,19 @@ void AnalysisContext::BuildCoreGraphs() {
         size_t key = static_cast<size_t>(from) * n + to;
         if (need_full && !full_seen[key]) {
           full_seen[key] = 1;
-          full_edges.emplace_back(from, to);
+          full_edges.push_back({from, to, pos});
         }
         int e = need_proj ? conjunct_of(ops[pos]) : -1;
         if (e >= 0 && !proj_seen[e][key]) {
           proj_seen[e][key] = 1;
-          proj_edges[e].emplace_back(from, to);
+          proj_edges[e].push_back({from, to, pos});
         }
       });
   if (need_full) {
-    ConflictGraph graph(txn_ids);
-    for (const auto& [from, to] : full_edges) graph.AddEdgeByIndex(from, to);
+    ConflictGraph graph(txn_ids, CycleMode::kIncremental);
+    for (const EdgeAt& edge : full_edges) {
+      graph.AddEdgeByIndexAt(edge.from, edge.to, edge.pos);
+    }
     conflict_graph_ = std::move(graph);
     ++stats_.conflict_graph_builds;
   }
@@ -196,9 +208,11 @@ void AnalysisContext::BuildCoreGraphs() {
         nodes.push_back(txn_ids[idx]);
       }
     }
-    ConflictGraph graph(std::move(nodes));
-    for (const auto& [from, to] : proj_edges[e]) {
-      graph.AddEdgeByIndex(local[from], local[to]);
+    ConflictGraph graph(std::move(nodes), CycleMode::kIncremental);
+    for (const EdgeAt& edge : proj_edges[e]) {
+      // The positions are full-schedule positions (the sweep runs over S),
+      // so a projected graph's cycle_op_pos needs no mapping here.
+      graph.AddEdgeByIndexAt(local[edge.from], local[edge.to], edge.pos);
     }
     projection_graphs_[e] = std::move(graph);
     ++stats_.projection_graph_builds;
@@ -238,7 +252,19 @@ const PwsrReport& AnalysisContext::pwsr_report() {
       ConjunctSerializability entry;
       entry.conjunct = e;
       entry.csr = CsrReportFromGraph(projection_graph(e));
-      if (!entry.csr.serializable) report.is_pwsr = false;
+      if (!entry.csr.serializable) {
+        report.is_pwsr = false;
+        // Witness mapping: the disjoint fused sweep records full-schedule
+        // positions directly; a graph built from a materialized projection
+        // records projection-local ones — map those through
+        // source_positions so every verdict renders at positions of S.
+        if (entry.csr.cycle_op_pos.has_value() && !ic().disjoint()) {
+          const std::vector<size_t>& source = projection(e).source_positions;
+          if (*entry.csr.cycle_op_pos < source.size()) {
+            entry.csr.cycle_op_pos = source[*entry.csr.cycle_op_pos];
+          }
+        }
+      }
       report.per_conjunct.push_back(std::move(entry));
     }
     pwsr_ = std::move(report);

@@ -41,7 +41,16 @@ std::string RenderCsrWitness(const CsrReport& csr) {
     return StrCat("serialization order ", RenderTxns(*csr.order, " "));
   }
   if (csr.cycle.has_value()) {
-    return StrCat("conflict cycle ", RenderTxns(*csr.cycle, " -> "));
+    std::string out =
+        StrCat("conflict cycle ", RenderTxns(*csr.cycle, " -> "));
+    if (csr.cycle_edge.has_value()) {
+      out += StrCat("; closed by T", csr.cycle_edge->first, " -> T",
+                    csr.cycle_edge->second);
+      if (csr.cycle_op_pos.has_value()) {
+        out += StrCat(" at op ", *csr.cycle_op_pos);
+      }
+    }
+    return out;
   }
   return "no serialization order";
 }

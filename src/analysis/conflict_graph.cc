@@ -7,25 +7,36 @@
 
 namespace nse {
 
-ConflictGraph::ConflictGraph(std::vector<TxnId> nodes)
+ConflictGraph::ConflictGraph(std::vector<TxnId> nodes, CycleMode mode)
     : nodes_(std::move(nodes)),
       out_(nodes_.size()),
-      indegree_(nodes_.size(), 0) {
+      indegree_(nodes_.size(), 0),
+      mode_(mode) {
   NSE_CHECK_MSG(
       std::is_sorted(nodes_.begin(), nodes_.end()) &&
           std::adjacent_find(nodes_.begin(), nodes_.end()) == nodes_.end(),
       "conflict graph nodes must be sorted and distinct");
+  if (mode_ == CycleMode::kIncremental) {
+    in_.resize(nodes_.size());
+    ord_.resize(nodes_.size());
+    // Any order over an edgeless graph is topological; start at identity.
+    for (size_t i = 0; i < ord_.size(); ++i) {
+      ord_[i] = static_cast<uint32_t>(i);
+    }
+    mark_.assign(nodes_.size(), 0);
+    parent_.assign(nodes_.size(), UINT32_MAX);
+  }
 }
 
-ConflictGraph ConflictGraph::Build(const Schedule& schedule) {
+ConflictGraph ConflictGraph::Build(const Schedule& schedule, CycleMode mode) {
   // One shared sweep (SweepConflicts) over per-item access histories:
   // AddEdgeByIndex dedupes the candidate pairs, so total work is
   // O(ops · txns-per-item) instead of O(ops²).
-  ConflictGraph graph(schedule.txn_ids());
+  ConflictGraph graph(schedule.txn_ids(), mode);
   internal::SweepConflicts(
       schedule, [](size_t, uint32_t) {},
-      [&graph](uint32_t from, uint32_t to, size_t) {
-        graph.AddEdgeByIndex(from, to);
+      [&graph](uint32_t from, uint32_t to, size_t pos) {
+        graph.AddEdgeByIndexAt(from, to, pos);
       });
   return graph;
 }
@@ -36,7 +47,8 @@ size_t ConflictGraph::IndexOf(TxnId txn) const {
   return static_cast<size_t>(it - nodes_.begin());
 }
 
-bool ConflictGraph::AddEdgeByIndex(uint32_t from, uint32_t to) {
+bool ConflictGraph::AddEdgeByIndexInternal(uint32_t from, uint32_t to,
+                                           std::optional<size_t> op_pos) {
   std::vector<uint32_t>& succ = out_[from];
   auto it = std::lower_bound(succ.begin(), succ.end(), to);
   if (it != succ.end() && *it == to) return false;
@@ -44,12 +56,262 @@ bool ConflictGraph::AddEdgeByIndex(uint32_t from, uint32_t to) {
   ++indegree_[to];
   ++num_edges_;
   topo_valid_ = false;
+  if (mode_ == CycleMode::kIncremental) {
+    std::vector<uint32_t>& pred = in_[to];
+    pred.insert(std::lower_bound(pred.begin(), pred.end(), from), from);
+    // While a cycle is recorded the maintained order is suspended (it is
+    // re-anchored by RebuildOrderAndCycle once a removal may have broken
+    // the cycle).
+    if (!cycle_.has_value()) MaintainOrder(from, to, op_pos);
+  }
   return true;
+}
+
+bool ConflictGraph::AddEdgeByIndex(uint32_t from, uint32_t to) {
+  return AddEdgeByIndexInternal(from, to, std::nullopt);
+}
+
+bool ConflictGraph::AddEdgeByIndexAt(uint32_t from, uint32_t to,
+                                     size_t op_pos) {
+  return AddEdgeByIndexInternal(from, to, op_pos);
 }
 
 bool ConflictGraph::AddEdge(TxnId from, TxnId to) {
   return AddEdgeByIndex(static_cast<uint32_t>(IndexOf(from)),
                         static_cast<uint32_t>(IndexOf(to)));
+}
+
+uint32_t ConflictGraph::NextStamp() const {
+  if (++stamp_ == 0) {
+    // Stamp counter wrapped: reset all marks once.
+    std::fill(mark_.begin(), mark_.end(), 0);
+    stamp_ = 1;
+  }
+  return stamp_;
+}
+
+void ConflictGraph::MaintainOrder(uint32_t x, uint32_t y,
+                                  std::optional<size_t> op_pos) {
+  // Pearce–Kelly: the order is violated only when ord(y) <= ord(x); the
+  // affected region is the open interval of ranks (ord(y), ord(x)).
+  if (ord_[x] < ord_[y]) return;
+  const uint32_t lb = ord_[y];
+  const uint32_t ub = ord_[x];
+
+  // Forward search from y over nodes with ord <= ub. Finding x closes the
+  // first cycle: record the edge, a witness walked back over the DFS
+  // parents, and the position of the operation that created the edge.
+  // parent_ entries are only read for nodes marked with this stamp, so the
+  // member scratch needs no per-insertion clearing — the cost stays
+  // O(affected region).
+  const uint32_t stamp = NextStamp();
+  std::vector<uint32_t> delta_f;
+  std::vector<uint32_t> stack{y};
+  mark_[y] = stamp;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    delta_f.push_back(node);
+    for (uint32_t succ : out_[node]) {
+      if (succ == x) {
+        // Cycle x -> y -> ... -> node -> x.
+        std::vector<TxnId> cycle{nodes_[x], nodes_[y]};
+        std::vector<TxnId> tail;
+        for (uint32_t walk = node; walk != y; walk = parent_[walk]) {
+          tail.push_back(nodes_[walk]);
+        }
+        cycle.insert(cycle.end(), tail.rbegin(), tail.rend());
+        cycle.push_back(nodes_[x]);
+        cycle_ = std::move(cycle);
+        cycle_edge_ = std::make_pair(nodes_[x], nodes_[y]);
+        cycle_op_pos_ = op_pos;
+        return;
+      }
+      if (mark_[succ] != stamp && ord_[succ] <= ub) {
+        mark_[succ] = stamp;
+        parent_[succ] = node;
+        stack.push_back(succ);
+      }
+    }
+  }
+
+  // No cycle: backward search from x over nodes with ord >= lb, then merge
+  // the two regions — backward nodes take the smallest pooled ranks (they
+  // must precede x), forward nodes the rest, each group keeping its
+  // relative order.
+  const uint32_t back_stamp = NextStamp();
+  std::vector<uint32_t> delta_b;
+  stack.assign(1, x);
+  mark_[x] = back_stamp;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    delta_b.push_back(node);
+    for (uint32_t pred : in_[node]) {
+      if (mark_[pred] != back_stamp && ord_[pred] >= lb) {
+        mark_[pred] = back_stamp;
+        stack.push_back(pred);
+      }
+    }
+  }
+
+  auto by_ord = [this](uint32_t a, uint32_t b) { return ord_[a] < ord_[b]; };
+  std::sort(delta_b.begin(), delta_b.end(), by_ord);
+  std::sort(delta_f.begin(), delta_f.end(), by_ord);
+  std::vector<uint32_t> pool;
+  pool.reserve(delta_b.size() + delta_f.size());
+  for (uint32_t node : delta_b) pool.push_back(ord_[node]);
+  for (uint32_t node : delta_f) pool.push_back(ord_[node]);
+  std::sort(pool.begin(), pool.end());
+  size_t slot = 0;
+  for (uint32_t node : delta_b) ord_[node] = pool[slot++];
+  for (uint32_t node : delta_f) ord_[node] = pool[slot++];
+}
+
+void ConflictGraph::RebuildOrderAndCycle() {
+  // Kahn over the current edge set. If acyclic, the completion order is a
+  // valid online order and the cycle state clears; otherwise re-detect a
+  // witness with the batch DFS (its closing edge is the witness's last
+  // hop; no operation position is known for a re-detected cycle).
+  NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
+                "RebuildOrderAndCycle requires incremental mode");
+  std::vector<uint32_t> indegree = indegree_;
+  std::vector<uint32_t> ready;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  uint32_t rank = 0;
+  std::vector<uint32_t> order(nodes_.size(), UINT32_MAX);
+  while (!ready.empty()) {
+    uint32_t node = ready.back();
+    ready.pop_back();
+    order[node] = rank++;
+    for (uint32_t succ : out_[node]) {
+      if (--indegree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (rank == nodes_.size()) {
+    ord_ = std::move(order);
+    cycle_.reset();
+    cycle_edge_.reset();
+    cycle_op_pos_.reset();
+    return;
+  }
+  cycle_ = FindCycle();
+  NSE_CHECK(cycle_.has_value());
+  const std::vector<TxnId>& cycle = *cycle_;
+  cycle_edge_ = std::make_pair(cycle[cycle.size() - 2], cycle.front());
+  cycle_op_pos_.reset();
+}
+
+bool ConflictGraph::RemoveEdge(TxnId from, TxnId to) {
+  NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
+                "RemoveEdge requires incremental mode");
+  uint32_t x = static_cast<uint32_t>(IndexOf(from));
+  uint32_t y = static_cast<uint32_t>(IndexOf(to));
+  std::vector<uint32_t>& succ = out_[x];
+  auto it = std::lower_bound(succ.begin(), succ.end(), y);
+  if (it == succ.end() || *it != y) return false;
+  succ.erase(it);
+  std::vector<uint32_t>& pred = in_[y];
+  pred.erase(std::lower_bound(pred.begin(), pred.end(), x));
+  --indegree_[y];
+  --num_edges_;
+  topo_valid_ = false;
+  // Removal never invalidates a valid order (fewer constraints); it can
+  // only break a recorded cycle, so re-anchor in that case.
+  if (cycle_.has_value()) RebuildOrderAndCycle();
+  return true;
+}
+
+void ConflictGraph::RemoveEdgesOf(TxnId txn) {
+  NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
+                "RemoveEdgesOf requires incremental mode");
+  uint32_t idx = static_cast<uint32_t>(IndexOf(txn));
+  for (uint32_t succ : out_[idx]) {
+    std::vector<uint32_t>& pred = in_[succ];
+    pred.erase(std::lower_bound(pred.begin(), pred.end(), idx));
+    --indegree_[succ];
+  }
+  for (uint32_t pred : in_[idx]) {
+    std::vector<uint32_t>& succ = out_[pred];
+    succ.erase(std::lower_bound(succ.begin(), succ.end(), idx));
+  }
+  num_edges_ -= out_[idx].size() + in_[idx].size();
+  out_[idx].clear();
+  in_[idx].clear();
+  indegree_[idx] = 0;
+  topo_valid_ = false;
+  if (cycle_.has_value()) RebuildOrderAndCycle();
+}
+
+std::vector<TxnId> ConflictGraph::Predecessors(TxnId txn) const {
+  NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
+                "Predecessors requires incremental mode");
+  std::vector<TxnId> out;
+  const std::vector<uint32_t>& pred = in_[IndexOf(txn)];
+  out.reserve(pred.size());
+  for (uint32_t idx : pred) out.push_back(nodes_[idx]);
+  return out;
+}
+
+bool ConflictGraph::has_cycle() const {
+  if (mode_ == CycleMode::kIncremental) return cycle_.has_value();
+  return !IsAcyclic();
+}
+
+std::vector<TxnId> ConflictGraph::OnlineTopologicalOrder() const {
+  NSE_CHECK_MSG(mode_ == CycleMode::kIncremental && !cycle_.has_value(),
+                "online order requires an acyclic incremental graph");
+  std::vector<uint32_t> by_rank(nodes_.size());
+  for (uint32_t i = 0; i < nodes_.size(); ++i) by_rank[i] = i;
+  std::sort(by_rank.begin(), by_rank.end(),
+            [this](uint32_t a, uint32_t b) { return ord_[a] < ord_[b]; });
+  std::vector<TxnId> order;
+  order.reserve(by_rank.size());
+  for (uint32_t idx : by_rank) order.push_back(nodes_[idx]);
+  return order;
+}
+
+bool ConflictGraph::WouldCloseCycle(TxnId from, TxnId to) const {
+  uint32_t x = static_cast<uint32_t>(IndexOf(from));
+  uint32_t y = static_cast<uint32_t>(IndexOf(to));
+  if (x == y) return true;
+  // Closing a cycle means `to` already reaches `from`. In the maintained
+  // (acyclic, incremental) order the search is bounded by the affected
+  // region, and ord(from) < ord(to) settles it in O(1).
+  const bool bounded =
+      mode_ == CycleMode::kIncremental && !cycle_.has_value();
+  if (bounded && ord_[x] < ord_[y]) return false;
+  const uint32_t stamp =
+      mode_ == CycleMode::kIncremental ? NextStamp() : 0;
+  std::vector<char> visited;
+  if (mode_ != CycleMode::kIncremental) visited.assign(nodes_.size(), 0);
+  auto seen = [&](uint32_t node) {
+    return mode_ == CycleMode::kIncremental ? mark_[node] == stamp
+                                            : visited[node] != 0;
+  };
+  auto mark = [&](uint32_t node) {
+    if (mode_ == CycleMode::kIncremental) {
+      mark_[node] = stamp;
+    } else {
+      visited[node] = 1;
+    }
+  };
+  std::vector<uint32_t> stack{y};
+  mark(y);
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    if (node == x) return true;
+    for (uint32_t succ : out_[node]) {
+      if (seen(succ)) continue;
+      if (bounded && ord_[succ] > ord_[x]) continue;
+      mark(succ);
+      stack.push_back(succ);
+    }
+  }
+  return false;
 }
 
 bool ConflictGraph::HasEdge(TxnId from, TxnId to) const {
@@ -96,7 +358,12 @@ const std::optional<std::vector<TxnId>>& ConflictGraph::CachedTopo() const {
   return topo_;
 }
 
-bool ConflictGraph::IsAcyclic() const { return CachedTopo().has_value(); }
+bool ConflictGraph::IsAcyclic() const {
+  // Incremental graphs answer in O(1) from the maintained cycle state; the
+  // canonical order (TopologicalOrder) is still computed lazily on demand.
+  if (mode_ == CycleMode::kIncremental) return !cycle_.has_value();
+  return CachedTopo().has_value();
+}
 
 std::optional<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
   return CachedTopo();

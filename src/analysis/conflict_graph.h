@@ -9,6 +9,18 @@
 // demand and cached until the next insertion, so repeated acyclicity /
 // serialization-order queries on the same graph are free. Build sweeps the
 // schedule once per item history instead of comparing all operation pairs.
+//
+// CycleMode::kIncremental additionally maintains an *online* topological
+// order updated in place on every insertion with the Pearce–Kelly
+// algorithm: an edge whose endpoints already agree with the order costs
+// O(1), otherwise only the affected region between the endpoints is
+// searched and reordered — so acyclicity is an O(1) query after every
+// AddEdge instead of an O(V+E) recomputation. The first cycle-closing edge
+// is recorded together with a cycle witness (and, when supplied, the
+// schedule position of the operation that created the edge), which is what
+// the scheduler policies, the deadlock-victim selection in the simulator
+// and the CSR fast path of AnalysisContext consume. The batch DFS
+// (FindCycle) is kept unchanged as the cross-checked reference.
 
 #ifndef NSE_ANALYSIS_CONFLICT_GRAPH_H_
 #define NSE_ANALYSIS_CONFLICT_GRAPH_H_
@@ -23,6 +35,15 @@
 
 namespace nse {
 
+/// How a ConflictGraph answers cycle queries.
+enum class CycleMode : uint8_t {
+  /// Acyclicity / topo order recomputed on demand (cached per revision).
+  kBatch,
+  /// Online topological order maintained per insertion (Pearce–Kelly);
+  /// acyclicity is O(1), the first cycle-closing edge is recorded.
+  kIncremental,
+};
+
 /// The conflict graph of one schedule (or schedule projection).
 class ConflictGraph {
  public:
@@ -31,13 +52,20 @@ class ConflictGraph {
 
   /// An edgeless graph over `nodes` (must be sorted ascending, duplicates
   /// are rejected); edges are added incrementally with AddEdge.
-  explicit ConflictGraph(std::vector<TxnId> nodes);
+  explicit ConflictGraph(std::vector<TxnId> nodes,
+                         CycleMode mode = CycleMode::kBatch);
 
-  /// Builds the graph from `schedule`.
-  static ConflictGraph Build(const Schedule& schedule);
+  /// Builds the graph from `schedule`. In incremental mode the first
+  /// cycle-closing edge additionally records the schedule position of the
+  /// operation that created it (cycle_op_pos).
+  static ConflictGraph Build(const Schedule& schedule,
+                             CycleMode mode = CycleMode::kBatch);
 
   /// Transactions (nodes), ascending by id.
   const std::vector<TxnId>& nodes() const { return nodes_; }
+
+  /// The cycle-query mode this graph was constructed with.
+  CycleMode cycle_mode() const { return mode_; }
 
   /// Inserts the edge from → to (both must be nodes). Returns true when the
   /// edge is new; the cached topological state is invalidated only then.
@@ -47,6 +75,56 @@ class ConflictGraph {
   /// producers that already work in node indices (the shared analysis
   /// sweep, graph builders).
   bool AddEdgeByIndex(uint32_t from, uint32_t to);
+
+  /// AddEdgeByIndex recording the schedule position of the operation that
+  /// created the edge: if this insertion closes the first cycle, the
+  /// position is reported as cycle_op_pos() (incremental mode).
+  bool AddEdgeByIndexAt(uint32_t from, uint32_t to, size_t op_pos);
+
+  /// Removes the edge from → to if present (incremental mode only; the
+  /// simulator's waits-for graph retracts edges as blockers resolve).
+  /// Removing an edge never invalidates the maintained order; if a recorded
+  /// cycle might have been broken, the cycle state is recomputed.
+  bool RemoveEdge(TxnId from, TxnId to);
+
+  /// Removes every in- and out-edge of `txn` (incremental mode only) — the
+  /// deadlock-victim abort path.
+  void RemoveEdgesOf(TxnId txn);
+
+  // ---- incremental cycle state (kIncremental) --------------------------
+
+  /// True iff a cycle has been detected. O(1) in incremental mode; in
+  /// batch mode equivalent to !IsAcyclic().
+  bool has_cycle() const;
+
+  /// The first cycle-closing edge (from, to) as txn ids, or nullopt while
+  /// acyclic. After a removal-triggered re-detection this is the closing
+  /// edge of the freshly discovered cycle.
+  const std::optional<std::pair<TxnId, TxnId>>& cycle_edge() const {
+    return cycle_edge_;
+  }
+
+  /// Schedule position of the operation that closed the cycle, when the
+  /// cycle-closing edge was inserted with AddEdgeByIndexAt (the fused
+  /// analysis sweep and Build record positions; waits-for edges have none).
+  const std::optional<size_t>& cycle_op_pos() const { return cycle_op_pos_; }
+
+  /// The recorded cycle witness (txn ids, first == last), or nullopt while
+  /// acyclic. Incremental mode only; batch callers use FindCycle.
+  const std::optional<std::vector<TxnId>>& cycle() const { return cycle_; }
+
+  /// The maintained online topological order (incremental mode, acyclic
+  /// graphs): a valid — not necessarily canonical — serialization order.
+  std::vector<TxnId> OnlineTopologicalOrder() const;
+
+  /// True iff inserting from → to now would close a cycle, i.e. `to`
+  /// reaches `from`. O(affected region) in incremental acyclic state via
+  /// the order bounds; plain DFS otherwise. Does not mutate the graph.
+  bool WouldCloseCycle(TxnId from, TxnId to) const;
+
+  /// The direct predecessors of `txn` (incremental mode only — that is
+  /// where predecessor lists are maintained). O(in-degree).
+  std::vector<TxnId> Predecessors(TxnId txn) const;
 
   /// True iff the edge from → to is present.
   bool HasEdge(TxnId from, TxnId to) const;
@@ -81,10 +159,39 @@ class ConflictGraph {
   /// computed once per edge-set revision.
   const std::optional<std::vector<TxnId>>& CachedTopo() const;
 
+  /// Pearce–Kelly order maintenance for a freshly inserted edge x → y with
+  /// ord_[y] <= ord_[x]: forward search from y bounded by ord_[x] either
+  /// finds x (cycle — recorded, order left untouched) or yields the
+  /// affected forward region, which is then merged with the backward region
+  /// of x over the pooled order slots.
+  void MaintainOrder(uint32_t x, uint32_t y, std::optional<size_t> op_pos);
+
+  /// Recomputes the online order and cycle state from scratch (Kahn + DFS
+  /// reference); used after removals while a cycle was recorded, when the
+  /// suspended order maintenance must be re-anchored.
+  void RebuildOrderAndCycle();
+
+  /// Fresh visit stamp for the bounded searches (avoids O(V) clears).
+  uint32_t NextStamp() const;
+
+  bool AddEdgeByIndexInternal(uint32_t from, uint32_t to,
+                              std::optional<size_t> op_pos);
+
   std::vector<TxnId> nodes_;
   std::vector<std::vector<uint32_t>> out_;  // sorted successor indices
   std::vector<uint32_t> indegree_;          // by node index
   size_t num_edges_ = 0;
+  CycleMode mode_ = CycleMode::kBatch;
+
+  // Incremental mode state.
+  std::vector<std::vector<uint32_t>> in_;  // sorted predecessor indices
+  std::vector<uint32_t> ord_;              // node index -> online rank
+  std::optional<std::pair<TxnId, TxnId>> cycle_edge_;
+  std::optional<size_t> cycle_op_pos_;
+  std::optional<std::vector<TxnId>> cycle_;
+  mutable std::vector<uint32_t> mark_;     // visit stamps for bounded DFS
+  mutable uint32_t stamp_ = 0;
+  std::vector<uint32_t> parent_;  // DFS parents; valid for current stamp only
 
   mutable bool topo_valid_ = false;
   mutable std::optional<std::vector<TxnId>> topo_;

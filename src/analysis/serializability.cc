@@ -18,7 +18,18 @@ CsrReport CsrReportFromGraph(const ConflictGraph& graph) {
   CsrReport report;
   report.order = graph.TopologicalOrder();
   report.serializable = report.order.has_value();
-  if (!report.serializable) report.cycle = graph.FindCycle();
+  if (!report.serializable) {
+    // Fast path: a graph built with incremental detection already recorded
+    // the first cycle (and the edge / operation position that closed it) —
+    // no second DFS. Batch graphs fall back to the reference DFS.
+    if (graph.cycle().has_value()) {
+      report.cycle = graph.cycle();
+      report.cycle_edge = graph.cycle_edge();
+      report.cycle_op_pos = graph.cycle_op_pos();
+    } else {
+      report.cycle = graph.FindCycle();
+    }
+  }
   return report;
 }
 

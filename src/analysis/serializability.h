@@ -21,6 +21,15 @@ struct CsrReport {
   std::optional<std::vector<TxnId>> order;
   /// A conflict-graph cycle witness when not.
   std::optional<std::vector<TxnId>> cycle;
+  /// The conflict edge whose insertion closed the cycle, when the graph was
+  /// built with incremental (Pearce–Kelly) detection.
+  std::optional<std::pair<TxnId, TxnId>> cycle_edge;
+  /// Schedule position of the operation that created the cycle-closing
+  /// edge, when recorded. For a projected conflict graph this is mapped to
+  /// a *full-schedule* position by the AnalysisContext pwsr path (via
+  /// ScheduleProjection::source_positions), so verdicts render where the
+  /// user can see them.
+  std::optional<size_t> cycle_op_pos;
 };
 
 /// True iff `schedule` is conflict serializable.

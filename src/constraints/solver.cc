@@ -88,25 +88,84 @@ void SolverCache::StoreVerdict(const std::string& key, bool verdict) {
   shard.verdicts.emplace(key, verdict);
 }
 
-std::optional<SolverCache::SolutionSet> SolverCache::LookupSolutions(
-    const std::string& key) {
+SolverCache::SolutionSet SolverCache::GetOrComputeSolutions(
+    const std::string& key, const std::function<SolutionSet()>& compute) {
   Shard& shard = ShardFor(key);
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    auto it = shard.solutions.find(key);
-    if (it != shard.solutions.end()) {
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      auto it = shard.solutions.find(key);
+      if (it != shard.solutions.end()) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
+    std::shared_ptr<InflightSolutions> cell;
+    bool owner = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      auto it = shard.solutions.find(key);
+      if (it != shard.solutions.end()) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      auto [slot, inserted] = shard.inflight.try_emplace(key);
+      if (inserted) {
+        slot->second = std::make_shared<InflightSolutions>();
+        owner = true;
+      }
+      cell = slot->second;
+    }
+    if (!owner) {
+      // Another worker is computing this key: wait for its once-cell
+      // instead of recomputing the subtree. An abandoned cell (the owner
+      // unwound) sends us back to compete for ownership.
+      shard.coalesced.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> wait(cell->mu);
+      cell->cv.wait(wait, [&] { return cell->done || cell->abandoned; });
+      if (cell->done) return cell->result;
+      continue;
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    SolutionSet result;
+    try {
+      result = compute();
+    } catch (...) {
+      // Release the key and wake waiters so a failed computation degrades
+      // to a retry instead of wedging the cell forever.
+      {
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        auto it = shard.inflight.find(key);
+        // Erase only our own cell: a concurrent Clear() may have dropped
+        // it and a new owner re-inserted a fresh one under the same key.
+        if (it != shard.inflight.end() && it->second == cell) {
+          shard.inflight.erase(it);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> publish(cell->mu);
+        cell->abandoned = true;
+      }
+      cell->cv.notify_all();
+      throw;
+    }
+    shard.computes.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      shard.solutions.emplace(key, result);
+      auto it = shard.inflight.find(key);
+      if (it != shard.inflight.end() && it->second == cell) {
+        shard.inflight.erase(it);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> publish(cell->mu);
+      cell->result = result;
+      cell->done = true;
+    }
+    cell->cv.notify_all();
+    return result;
   }
-  shard.misses.fetch_add(1, std::memory_order_relaxed);
-  return std::nullopt;
-}
-
-void SolverCache::StoreSolutions(const std::string& key, SolutionSet set) {
-  Shard& shard = ShardFor(key);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  shard.solutions.emplace(key, std::move(set));
 }
 
 SolverCache::Stats SolverCache::stats() const {
@@ -114,6 +173,8 @@ SolverCache::Stats SolverCache::stats() const {
   for (const auto& shard : shards_) {
     out.hits += shard->hits.load(std::memory_order_relaxed);
     out.misses += shard->misses.load(std::memory_order_relaxed);
+    out.computes += shard->computes.load(std::memory_order_relaxed);
+    out.coalesced += shard->coalesced.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -123,8 +184,13 @@ void SolverCache::Clear() {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
     shard->verdicts.clear();
     shard->solutions.clear();
+    // In-flight owners finish against their once-cells and re-store into
+    // the cleared map; dropping the entries only forgets the coalescing.
+    shard->inflight.clear();
     shard->hits.store(0, std::memory_order_relaxed);
     shard->misses.store(0, std::memory_order_relaxed);
+    shard->computes.store(0, std::memory_order_relaxed);
+    shard->coalesced.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -368,24 +434,22 @@ Result<std::optional<DbState>> ConsistencyChecker::FindConsistentExtension(
 
 SolverCache::SolutionSet ConsistencyChecker::ConjunctSolutionsCached(
     size_t e) const {
+  // Per-key once-cell: concurrent cold workers asking for the same conjunct
+  // run exactly one enumeration and share the result.
   std::string key = BlockKey('S', e, DbState());
-  if (std::optional<SolverCache::SolutionSet> hit =
-          cache_->LookupSolutions(key);
-      hit.has_value()) {
-    return *hit;
-  }
-  SolverCache::SolutionSet set;
-  auto states = std::make_shared<std::vector<DbState>>();
-  DbState working;
-  std::vector<ItemId> items(ic_.data_set(e).items());
-  uint64_t nodes_remaining = kConjunctEnumNodeBudget;
-  bool aborted = false;
-  EnumerateBlock(ic_.conjunct(e), items, 0, working, kConjunctSolutionCap,
-                 *states, &nodes_remaining, &aborted);
-  set.complete = !aborted && states->size() < kConjunctSolutionCap;
-  set.states = std::move(states);
-  cache_->StoreSolutions(key, set);
-  return set;
+  return cache_->GetOrComputeSolutions(key, [&] {
+    SolverCache::SolutionSet set;
+    auto states = std::make_shared<std::vector<DbState>>();
+    DbState working;
+    std::vector<ItemId> items(ic_.data_set(e).items());
+    uint64_t nodes_remaining = kConjunctEnumNodeBudget;
+    bool aborted = false;
+    EnumerateBlock(ic_.conjunct(e), items, 0, working, kConjunctSolutionCap,
+                   *states, &nodes_remaining, &aborted);
+    set.complete = !aborted && states->size() < kConjunctSolutionCap;
+    set.states = std::move(states);
+    return set;
+  });
 }
 
 void ConsistencyChecker::WarmSamplingDomains() const {
@@ -520,25 +584,23 @@ ConsistencyChecker::EnumerateBlockCached(const Formula& formula, char kind,
                                          size_t tag, const DbState& working,
                                          const std::vector<ItemId>& todo,
                                          uint64_t limit) const {
-  std::string key;
-  if (cache_ != nullptr) {
-    key = BlockKey(kind, tag, working, limit);
-    if (std::optional<SolverCache::SolutionSet> hit =
-            cache_->LookupSolutions(key);
-        hit.has_value()) {
-      return hit->states;
-    }
-  }
-  auto states = std::make_shared<std::vector<DbState>>();
-  DbState scratch = working;
-  EnumerateBlock(formula, todo, 0, scratch, limit, *states);
-  if (cache_ != nullptr) {
-    SolverCache::SolutionSet set;
-    set.complete = states->size() < limit;
-    set.states = states;
-    cache_->StoreSolutions(key, set);
-  }
-  return states;
+  auto enumerate = [&] {
+    auto states = std::make_shared<std::vector<DbState>>();
+    DbState scratch = working;
+    EnumerateBlock(formula, todo, 0, scratch, limit, *states);
+    return states;
+  };
+  if (cache_ == nullptr) return enumerate();
+  // Once-cell per (block, restriction, limit): a cold subtree is computed
+  // by exactly one worker, everyone else coalesces onto its result.
+  std::string key = BlockKey(kind, tag, working, limit);
+  SolverCache::SolutionSet set = cache_->GetOrComputeSolutions(key, [&] {
+    SolverCache::SolutionSet fresh;
+    fresh.states = enumerate();
+    fresh.complete = fresh.states->size() < limit;
+    return fresh;
+  });
+  return set.states;
 }
 
 Result<bool> ConsistencyChecker::IsSatisfiable() const {

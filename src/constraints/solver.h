@@ -15,8 +15,11 @@
 #define NSE_CONSTRAINTS_SOLVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -63,6 +66,12 @@ class SolverCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Solution-set computations actually executed (per-key once-cell:
+    /// concurrent cold requests for one key run exactly one computation).
+    uint64_t computes = 0;
+    /// Requests that arrived while another worker was computing the same
+    /// key and waited for its result instead of recomputing the subtree.
+    uint64_t coalesced = 0;
     double hit_rate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -91,6 +100,18 @@ class SolverCache {
     bool complete = true;
   };
 
+  /// A per-key once-cell: the first cold requester computes, concurrent
+  /// requesters for the same key block on `cv` and reuse the result. If
+  /// the owner's computation unwinds, the cell is marked abandoned and
+  /// waiters retry (competing for ownership again) instead of hanging.
+  struct InflightSolutions {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    SolutionSet result;
+  };
+
   /// Read-mostly after warm-up: hits take the shared lock (concurrent, no
   /// convoy when a reader is preempted mid-probe), only misses write.
   /// Counters are relaxed atomics so the read path never writes the map.
@@ -98,8 +119,13 @@ class SolverCache {
     mutable std::shared_mutex mu;
     std::unordered_map<std::string, bool> verdicts;
     std::unordered_map<std::string, SolutionSet> solutions;
+    /// Keys whose solution set is being computed right now (once-cells).
+    std::unordered_map<std::string, std::shared_ptr<InflightSolutions>>
+        inflight;
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> computes{0};
+    std::atomic<uint64_t> coalesced{0};
   };
 
   Shard& ShardFor(const std::string& key);
@@ -108,8 +134,13 @@ class SolverCache {
   /// return the entry; on miss bump `misses` and return nullopt.
   std::optional<bool> LookupVerdict(const std::string& key);
   void StoreVerdict(const std::string& key, bool verdict);
-  std::optional<SolutionSet> LookupSolutions(const std::string& key);
-  void StoreSolutions(const std::string& key, SolutionSet set);
+
+  /// The memoized read path for solution sets: returns the cached set, or
+  /// runs `compute` exactly once per key — concurrent cold workers
+  /// requesting the same key wait for the in-flight computation instead of
+  /// duplicating the enumeration subtree (ROADMAP: compute-once guard).
+  SolutionSet GetOrComputeSolutions(
+      const std::string& key, const std::function<SolutionSet()>& compute);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

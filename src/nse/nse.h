@@ -44,6 +44,7 @@
 #include "scheduler/scheduler.h"
 #include "scheduler/sim.h"
 #include "scheduler/two_phase_locking.h"
+#include "scheduler/waits_for.h"
 #include "scheduler/workload.h"
 #include "state/database.h"
 #include "state/db_state.h"

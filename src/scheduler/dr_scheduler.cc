@@ -13,14 +13,27 @@ SchedulerDecision DelayedReadScheduler::OnAccess(TxnId txn,
                                                  const TxnScript& script,
                                                  size_t step) {
   const AccessStep& access = script.steps[step];
-  if (access.action == OpAction::kRead) {
-    auto dirty = DirtyWriter(access.item);
-    if (dirty.has_value() && *dirty != txn) return SchedulerDecision::kWait;
+  std::optional<TxnId> dirty;
+  if (access.action == OpAction::kRead) dirty = DirtyWriter(access.item);
+  SchedulerDecision decision;
+  if (dirty.has_value() && *dirty != txn) {
+    decision = SchedulerDecision::kWait;
+  } else {
+    decision = inner_.OnAccess(txn, script, step);
+    if (decision == SchedulerDecision::kProceed) {
+      incomplete_.insert(txn);
+      if (access.action == OpAction::kWrite) last_writer_[access.item] = txn;
+    }
   }
-  SchedulerDecision decision = inner_.OnAccess(txn, script, step);
-  if (decision == SchedulerDecision::kProceed) {
-    incomplete_.insert(txn);
-    if (access.action == OpAction::kWrite) last_writer_[access.item] = txn;
+  // Stall handling: feed the blocker set of a waiting transaction into the
+  // incremental waits-for graph (diffed — an unchanged wait is free), so
+  // the policy's deadlock state is maintained online instead of re-derived
+  // per stall tick.
+  if (decision == SchedulerDecision::kWait) {
+    ++wait_events_;
+    waits_.SetWaits(txn, Blockers(txn, script, step));
+  } else {
+    waits_.ClearWaits(txn);
   }
   return decision;
 }
@@ -32,11 +45,13 @@ void DelayedReadScheduler::AfterAccess(TxnId txn, const TxnScript& script,
 
 void DelayedReadScheduler::OnComplete(TxnId txn) {
   incomplete_.erase(txn);
+  waits_.OnResolved(txn);
   inner_.OnComplete(txn);
 }
 
 void DelayedReadScheduler::OnAbort(TxnId txn) {
   incomplete_.erase(txn);
+  waits_.OnResolved(txn);
   // Remove the aborted transaction's dirty marks; its writes are undone by
   // the restart semantics of the simulator.
   for (auto it = last_writer_.begin(); it != last_writer_.end();) {

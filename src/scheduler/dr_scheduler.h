@@ -4,6 +4,13 @@
 // released by the per-conjunct shrinking phase. The produced schedules are
 // PWSR ∧ DR, the hypothesis of Theorem 2, without any restriction on
 // transaction programs.
+//
+// The scheduler also watches its own stalls: every kWait feeds the waiting
+// transaction's blocker set into an incremental waits-for graph
+// (Pearce–Kelly, O(affected region) per new wait edge), so the policy can
+// report — without any per-tick DFS — when its commit gates and lock waits
+// have closed a wait cycle (StalledCycle). Edges are as-of each waiter's
+// most recent OnAccess poll; see StalledCycle for the freshness contract.
 
 #ifndef NSE_SCHEDULER_DR_SCHEDULER_H_
 #define NSE_SCHEDULER_DR_SCHEDULER_H_
@@ -13,6 +20,7 @@
 #include <set>
 
 #include "scheduler/pw_two_phase_locking.h"
+#include "scheduler/waits_for.h"
 
 namespace nse {
 
@@ -31,6 +39,30 @@ class DelayedReadScheduler : public SchedulerPolicy {
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
+  /// The wait cycle the scheduler's own waits have closed (txn ids,
+  /// first == last), or nullopt while its waits-for graph is acyclic.
+  /// Maintained online: each kWait costs O(affected region), the query
+  /// O(1) — no per-stall-tick DFS.
+  ///
+  /// Freshness contract: a transaction's edges reflect its blockers as of
+  /// its most recent OnAccess poll. A lock-wait edge can go stale between
+  /// polls (PW-2PL releases locks mid-run via per-conjunct shrinking), so
+  /// a reported cycle is a certain deadlock only when every participant
+  /// was polled — and still waiting — in the current scheduling round
+  /// (the simulator's stall-tick condition); a driver that polls blocked
+  /// transactions each round gets at most a one-round-stale witness.
+  /// Commit-gate edges never go stale: dirty writers are cleared only at
+  /// OnComplete/OnAbort, which also retract their edges here.
+  const std::optional<std::vector<TxnId>>& StalledCycle() const {
+    return waits_.cycle();
+  }
+
+  /// Number of OnAccess calls that returned kWait.
+  uint64_t wait_events() const { return wait_events_; }
+
+  /// The waits-for tracker (read-only; tests and diagnostics).
+  const WaitsForTracker& waits() const { return waits_; }
+
  private:
   /// The incomplete transaction that last wrote `item`, if any.
   std::optional<TxnId> DirtyWriter(ItemId item) const;
@@ -38,6 +70,8 @@ class DelayedReadScheduler : public SchedulerPolicy {
   PredicatewiseTwoPhaseLocking inner_;
   std::map<ItemId, TxnId> last_writer_;   // most recent writer per item
   std::set<TxnId> incomplete_;            // writers still running
+  WaitsForTracker waits_;                 // online stall / deadlock watch
+  uint64_t wait_events_ = 0;
 };
 
 }  // namespace nse

@@ -10,7 +10,12 @@ namespace nse {
 
 TraceClassification ClassifyTrace(AnalysisContext& ctx) {
   TraceClassification out;
-  out.csr = ctx.csr_report().serializable;
+  // The context builds its conflict graphs with incremental (Pearce–Kelly)
+  // detection, so a non-CSR verdict arrives with the cycle-closing edge's
+  // trace position already recorded — no extra DFS here.
+  const CsrReport& csr = ctx.csr_report();
+  out.csr = csr.serializable;
+  if (!out.csr) out.csr_cycle_op_pos = csr.cycle_op_pos;
   if (ctx.has_ic()) out.pwsr = ctx.pwsr_report().is_pwsr;
   out.delayed_read = ctx.delayed_read();
   out.strict = ctx.strict();
@@ -19,9 +24,14 @@ TraceClassification ClassifyTrace(AnalysisContext& ctx) {
 
 std::string TraceClassification::ToString() const {
   auto yn = [](bool b) { return b ? "yes" : "no"; };
-  return StrCat("CSR ", yn(csr), ", PWSR ",
-                pwsr.has_value() ? yn(*pwsr) : "n/a", ", DR ",
-                yn(delayed_read), ", strict ", yn(strict));
+  std::string out =
+      StrCat("CSR ", yn(csr), ", PWSR ",
+             pwsr.has_value() ? yn(*pwsr) : "n/a", ", DR ",
+             yn(delayed_read), ", strict ", yn(strict));
+  if (csr_cycle_op_pos.has_value()) {
+    out += StrCat(", cycle closed at op ", *csr_cycle_op_pos);
+  }
+  return out;
 }
 
 void SeriesSummary::Add(double x) {

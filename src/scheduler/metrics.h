@@ -22,8 +22,12 @@ struct TraceClassification {
   std::optional<bool> pwsr;         ///< Definition 2; nullopt without an IC
   bool delayed_read = false;        ///< Definition 5
   bool strict = false;              ///< strict ⊂ ACA ⊆ DR
+  /// When not CSR: the trace position whose operation closed the conflict
+  /// cycle (recorded by the incremental detection during the graph build).
+  std::optional<size_t> csr_cycle_op_pos;
 
-  /// Renders e.g. "CSR yes, PWSR yes, DR yes, strict no".
+  /// Renders e.g. "CSR yes, PWSR yes, DR yes, strict no" (plus
+  /// ", cycle closed at op N" for non-CSR traces with a recorded position).
   std::string ToString() const;
 };
 

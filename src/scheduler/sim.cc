@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "analysis/conflict_graph.h"
 #include "common/string_util.h"
+#include "scheduler/waits_for.h"
 
 namespace nse {
 
@@ -19,23 +19,6 @@ struct TxnRuntime {
   uint64_t abort_count = 0;
 };
 
-/// Finds a cycle in the waits-for graph (edges u → each blocker of u) and
-/// returns the largest txn id on it, or 0 if none. The graph machinery is
-/// the analysis layer's incremental ConflictGraph rather than a bespoke DFS.
-TxnId PickDeadlockVictim(const std::vector<std::vector<TxnId>>& waits_for) {
-  size_t n = waits_for.size();  // indexed by txn id (1-based, slot 0 unused)
-  std::vector<TxnId> ids;
-  ids.reserve(n == 0 ? 0 : n - 1);
-  for (TxnId u = 1; u < n; ++u) ids.push_back(u);
-  ConflictGraph graph(std::move(ids));
-  for (TxnId u = 1; u < n; ++u) {
-    for (TxnId v : waits_for[u]) graph.AddEdge(u, v);
-  }
-  auto cycle = graph.FindCycle();
-  if (!cycle.has_value()) return 0;
-  return *std::max_element(cycle->begin(), cycle->end());
-}
-
 }  // namespace
 
 Result<SimResult> RunSimulation(SchedulerPolicy& policy,
@@ -45,6 +28,11 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
   std::vector<TxnRuntime> runtime(n);
   OpSequence trace;
   SimResult result;
+  // Persistent waits-for graph across stall ticks: each tick only diffs the
+  // blocker sets against the previous tick (usually unchanged), instead of
+  // rebuilding a graph and running a DFS per tick.
+  WaitsForTracker waits;
+  waits.EnsureTxns(n);
 
   auto all_done = [&]() {
     for (const auto& rt : runtime) {
@@ -72,6 +60,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       }
       if (script.steps.empty()) {
         policy.OnComplete(txn);
+        waits.OnResolved(txn);
         rt.done = true;
         rt.completion_tick = tick;
         ++result.completed;
@@ -98,6 +87,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       progress = true;
       if (rt.pc == script.steps.size()) {
         policy.OnComplete(txn);
+        waits.OnResolved(txn);
         rt.done = true;
         rt.completion_tick = tick;
         ++result.completed;
@@ -107,24 +97,30 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
     if (progress) continue;
 
     // No transaction moved: look for a deadlock among blocked transactions.
-    std::vector<std::vector<TxnId>> waits_for(n + 1);
+    // The tracker diffs each blocker set against the previous stall tick's,
+    // so an unchanged waits-for relation does no graph work and the cycle
+    // query is O(1).
     bool any_blocked = false;
     for (size_t i = 0; i < n; ++i) {
-      if (runtime[i].done || scripts[i].arrival_tick > tick ||
-          runtime[i].resume_tick > tick) {
-        continue;
+      TxnId txn = static_cast<TxnId>(i + 1);
+      bool eligible = !runtime[i].done && scripts[i].arrival_tick <= tick &&
+                      runtime[i].resume_tick <= tick;
+      if (eligible && runtime[i].blocked) {
+        any_blocked = true;
+        waits.SetWaits(txn, policy.Blockers(txn, scripts[i], runtime[i].pc));
+      } else {
+        waits.ClearWaits(txn);
       }
-      if (!runtime[i].blocked) continue;
-      any_blocked = true;
-      waits_for[i + 1] =
-          policy.Blockers(static_cast<TxnId>(i + 1), scripts[i],
-                          runtime[i].pc);
     }
     if (!any_blocked) {
       if (pending_arrival) continue;  // quiet tick before arrivals
       return Status::Internal("simulation stalled with no blocked txn");
     }
-    TxnId victim = PickDeadlockVictim(waits_for);
+    TxnId victim = 0;
+    if (waits.cycle().has_value()) {
+      const std::vector<TxnId>& cycle = *waits.cycle();
+      victim = *std::max_element(cycle.begin(), cycle.end());
+    }
     if (victim == 0) {
       if (pending_arrival) continue;  // blockers will arrive and finish
       return Status::Internal(
@@ -134,6 +130,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
     // the surviving transactions drain before it re-enters (otherwise the
     // same cycle can re-form forever).
     policy.OnAbort(victim);
+    waits.OnResolved(victim);
     trace.erase(std::remove_if(trace.begin(), trace.end(),
                                [victim](const Operation& op) {
                                  return op.txn == victim;

@@ -1,0 +1,95 @@
+#include "scheduler/waits_for.h"
+
+#include <algorithm>
+
+namespace nse {
+
+namespace {
+
+const std::optional<std::vector<TxnId>> kNoCycle;
+const std::optional<std::pair<TxnId, TxnId>> kNoEdge;
+
+}  // namespace
+
+void WaitsForTracker::EnsureTxns(size_t n) {
+  if (n <= capacity_) return;
+  size_t grown = std::max(n, capacity_ == 0 ? size_t{8} : capacity_ * 2);
+  std::vector<TxnId> nodes;
+  nodes.reserve(grown);
+  for (TxnId id = 1; id <= grown; ++id) nodes.push_back(id);
+  ConflictGraph fresh(std::move(nodes), CycleMode::kIncremental);
+  // Replay the current waits into the larger graph (rare: only when a new
+  // high txn id first appears).
+  for (TxnId from = 1; from <= capacity_; ++from) {
+    for (TxnId to : waits_[from]) fresh.AddEdge(from, to);
+  }
+  graph_ = std::move(fresh);
+  waits_.resize(grown + 1);
+  capacity_ = grown;
+}
+
+void WaitsForTracker::SetWaits(TxnId txn, const std::vector<TxnId>& blockers) {
+  TxnId high = txn;
+  for (TxnId blocker : blockers) high = std::max(high, blocker);
+  EnsureTxns(high);
+
+  std::vector<TxnId> next;
+  next.reserve(blockers.size());
+  for (TxnId blocker : blockers) {
+    if (blocker != txn && blocker != 0) next.push_back(blocker);
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+
+  std::vector<TxnId>& prev = waits_[txn];
+  if (next == prev) return;  // the common stall tick: nothing changed
+  // Retract stale edges first (removals cannot create cycles), then insert
+  // the new waits — each insert is where a deadlock can close.
+  for (TxnId old : prev) {
+    if (!std::binary_search(next.begin(), next.end(), old)) {
+      graph_->RemoveEdge(txn, old);
+      ++edges_removed_;
+    }
+  }
+  for (TxnId blocker : next) {
+    if (!std::binary_search(prev.begin(), prev.end(), blocker)) {
+      graph_->AddEdge(txn, blocker);
+      ++edges_added_;
+    }
+  }
+  prev = std::move(next);
+}
+
+void WaitsForTracker::OnResolved(TxnId txn) {
+  if (txn > capacity_) return;
+  size_t dropped = waits_[txn].size();
+  // Strip txn from its waiters' recorded blocker sets (exactly the graph's
+  // predecessors of txn) so later diffs stay in sync with the graph —
+  // O(degree), not O(capacity).
+  for (TxnId waiter : graph_->Predecessors(txn)) {
+    std::vector<TxnId>& set = waits_[waiter];
+    auto it = std::lower_bound(set.begin(), set.end(), txn);
+    if (it != set.end() && *it == txn) {
+      set.erase(it);
+      ++dropped;
+    }
+  }
+  graph_->RemoveEdgesOf(txn);
+  waits_[txn].clear();
+  edges_removed_ += dropped;
+}
+
+bool WaitsForTracker::has_cycle() const {
+  return graph_.has_value() && graph_->has_cycle();
+}
+
+const std::optional<std::vector<TxnId>>& WaitsForTracker::cycle() const {
+  return graph_.has_value() ? graph_->cycle() : kNoCycle;
+}
+
+const std::optional<std::pair<TxnId, TxnId>>& WaitsForTracker::cycle_edge()
+    const {
+  return graph_.has_value() ? graph_->cycle_edge() : kNoEdge;
+}
+
+}  // namespace nse

@@ -250,6 +250,46 @@ TEST_F(AnalysisContextTest, IncrementalConflictGraphEdgesAndTopoCache) {
   EXPECT_EQ(cycle->size(), 4u);
 }
 
+TEST_F(AnalysisContextTest, CsrFastPathRecordsCycleClosingOperation) {
+  // r1(a) w2(a) r2(b) w1(b): the edge T2 -> T1 created by w1(b) at trace
+  // position 3 closes the conflict cycle. Both context paths — the fused
+  // disjoint-conjunct sweep and the schedule-only build — must record it.
+  Schedule s = CyclicSchedule();
+
+  AnalysisContext fused(db_, *ic_, s);  // disjoint IC: fused core build
+  const CsrReport& fused_csr = fused.csr_report();
+  EXPECT_FALSE(fused_csr.serializable);
+  ASSERT_TRUE(fused_csr.cycle_edge.has_value());
+  EXPECT_EQ(*fused_csr.cycle_edge, std::make_pair(TxnId{2}, TxnId{1}));
+  ASSERT_TRUE(fused_csr.cycle_op_pos.has_value());
+  EXPECT_EQ(*fused_csr.cycle_op_pos, 3u);
+  ASSERT_TRUE(fused_csr.cycle.has_value());
+  EXPECT_EQ(fused_csr.cycle->front(), fused_csr.cycle->back());
+
+  AnalysisContext plain(s);  // schedule-only: direct incremental build
+  const CsrReport& plain_csr = plain.csr_report();
+  EXPECT_FALSE(plain_csr.serializable);
+  EXPECT_EQ(plain_csr.cycle_edge, fused_csr.cycle_edge);
+  EXPECT_EQ(plain_csr.cycle_op_pos, fused_csr.cycle_op_pos);
+}
+
+TEST_F(AnalysisContextTest, PwsrConjunctCycleRendersAtFullSchedulePosition) {
+  // The cycle lives in conjunct {a, b}; its closing operation w1(b) sits at
+  // full-schedule position 3 even though the conjunct projection would
+  // place it earlier — the witness must point into S.
+  Schedule s = CyclicSchedule();
+  AnalysisContext ctx(db_, *ic_, s);
+  const PwsrReport& pwsr = ctx.pwsr_report();
+  EXPECT_FALSE(pwsr.is_pwsr);
+  ASSERT_EQ(pwsr.per_conjunct.size(), 2u);
+  const CsrReport& conjunct_csr = pwsr.per_conjunct[0].csr;
+  EXPECT_FALSE(conjunct_csr.serializable);
+  ASSERT_TRUE(conjunct_csr.cycle_op_pos.has_value());
+  EXPECT_EQ(*conjunct_csr.cycle_op_pos, 3u);
+  // Conjunct {c, d} saw no operation conflicts at all.
+  EXPECT_TRUE(pwsr.per_conjunct[1].csr.serializable);
+}
+
 TEST_F(AnalysisContextTest, ContextAgreesWithCheckersOnRandomSchedules) {
   Rng rng(2026);
   for (int trial = 0; trial < 50; ++trial) {

@@ -1,0 +1,259 @@
+// Incremental (Pearce–Kelly) cycle detection, differentially tested against
+// the batch DFS reference: randomized insert-only edge streams must agree
+// with the reference on the acyclicity verdict after every insertion and
+// fire cycle detection on exactly the same edge, and the maintained online
+// order must be a valid topological order at every acyclic step.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/conflict_graph.h"
+#include "common/rng.h"
+
+namespace nse {
+namespace {
+
+std::vector<TxnId> Nodes(size_t n) {
+  std::vector<TxnId> nodes;
+  for (TxnId id = 1; id <= n; ++id) nodes.push_back(id);
+  return nodes;
+}
+
+/// Asserts `order` is a valid topological order of `graph`: a permutation
+/// of the nodes with every edge pointing forward.
+void ExpectValidTopoOrder(const ConflictGraph& graph,
+                          const std::vector<TxnId>& order) {
+  std::vector<TxnId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(sorted, graph.nodes()) << "order is not a node permutation";
+  std::vector<size_t> position(graph.nodes().back() + 1, 0);
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const auto& [from, to] : graph.Edges()) {
+    EXPECT_LT(position[from], position[to])
+        << "edge T" << from << " -> T" << to << " violates the order";
+  }
+}
+
+/// Asserts `cycle` is a closed walk over existing edges (first == last).
+void ExpectValidCycle(const ConflictGraph& graph,
+                      const std::vector<TxnId>& cycle) {
+  ASSERT_GE(cycle.size(), 2u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+  for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+    EXPECT_TRUE(graph.HasEdge(cycle[i], cycle[i + 1]))
+        << "missing cycle edge T" << cycle[i] << " -> T" << cycle[i + 1];
+  }
+}
+
+TEST(ConflictGraphIncrementalTest, MaintainsOrderAcrossInsertions) {
+  ConflictGraph g(Nodes(5), CycleMode::kIncremental);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_FALSE(g.has_cycle());
+  // Insert edges against the initial identity order to force reordering.
+  EXPECT_TRUE(g.AddEdge(5, 1));
+  EXPECT_TRUE(g.AddEdge(4, 2));
+  EXPECT_TRUE(g.AddEdge(2, 1));
+  EXPECT_TRUE(g.IsAcyclic());
+  ExpectValidTopoOrder(g, g.OnlineTopologicalOrder());
+  // The canonical order is still served (and agrees on acyclicity).
+  ASSERT_TRUE(g.TopologicalOrder().has_value());
+}
+
+TEST(ConflictGraphIncrementalTest, ReportsFirstCycleClosingEdge) {
+  ConflictGraph g(Nodes(4), CycleMode::kIncremental);
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_TRUE(g.WouldCloseCycle(3, 1));
+  EXPECT_FALSE(g.WouldCloseCycle(1, 4));
+  EXPECT_TRUE(g.AddEdge(3, 1));  // closes 1 -> 2 -> 3 -> 1
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_FALSE(g.IsAcyclic());
+  ASSERT_TRUE(g.cycle_edge().has_value());
+  EXPECT_EQ(*g.cycle_edge(), std::make_pair(TxnId{3}, TxnId{1}));
+  ASSERT_TRUE(g.cycle().has_value());
+  ExpectValidCycle(g, *g.cycle());
+  // The batch DFS reference agrees.
+  EXPECT_TRUE(g.FindCycle().has_value());
+}
+
+TEST(ConflictGraphIncrementalTest, CycleOpPositionRecordedByBuild) {
+  // r1(a) w2(a) r2(b) w1(b): the edge T2 -> T1 created by w1(b) at
+  // position 3 closes the cycle.
+  OpSequence ops;
+  ops.push_back(Operation::Read(1, 0, Value(0)));
+  ops.push_back(Operation::Write(2, 0, Value(1)));
+  ops.push_back(Operation::Read(2, 1, Value(0)));
+  ops.push_back(Operation::Write(1, 1, Value(1)));
+  Schedule schedule{std::move(ops)};
+  ConflictGraph g = ConflictGraph::Build(schedule, CycleMode::kIncremental);
+  EXPECT_TRUE(g.has_cycle());
+  ASSERT_TRUE(g.cycle_edge().has_value());
+  EXPECT_EQ(*g.cycle_edge(), std::make_pair(TxnId{2}, TxnId{1}));
+  ASSERT_TRUE(g.cycle_op_pos().has_value());
+  EXPECT_EQ(*g.cycle_op_pos(), 3u);
+}
+
+TEST(ConflictGraphIncrementalTest, RemovalRepairsCycleState) {
+  ConflictGraph g(Nodes(4), CycleMode::kIncremental);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  ASSERT_TRUE(g.has_cycle());
+  EXPECT_TRUE(g.RemoveEdge(2, 3));
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_TRUE(g.IsAcyclic());
+  ExpectValidTopoOrder(g, g.OnlineTopologicalOrder());
+  EXPECT_FALSE(g.RemoveEdge(2, 3));  // already gone
+}
+
+TEST(ConflictGraphIncrementalTest, VictimRemovalBreaksOnlyItsCycles) {
+  // Two disjoint cycles: 1 <-> 2 and 3 <-> 4. Removing one victim must
+  // leave the other cycle detected.
+  ConflictGraph g(Nodes(4), CycleMode::kIncremental);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);
+  ASSERT_TRUE(g.has_cycle());
+  g.RemoveEdgesOf(2);
+  EXPECT_TRUE(g.has_cycle()) << "second cycle must survive the repair";
+  ASSERT_TRUE(g.cycle().has_value());
+  ExpectValidCycle(g, *g.cycle());
+  g.RemoveEdgesOf(4);
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.num_edges(), 0u);
+  ExpectValidTopoOrder(g, g.OnlineTopologicalOrder());
+}
+
+TEST(ConflictGraphIncrementalTest, EdgesInsertedWhileCyclicSurviveRepair) {
+  ConflictGraph g(Nodes(4), CycleMode::kIncremental);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  ASSERT_TRUE(g.has_cycle());
+  // Order maintenance is suspended while cyclic; these must still be
+  // re-anchored by the repair after the cycle breaks.
+  g.AddEdge(4, 3);
+  g.AddEdge(3, 1);
+  g.RemoveEdge(2, 1);
+  EXPECT_FALSE(g.has_cycle());
+  ExpectValidTopoOrder(g, g.OnlineTopologicalOrder());
+  EXPECT_TRUE(g.HasEdge(4, 3));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+}
+
+// Property test (ISSUE 3): streaming randomized insert-only conflict-edge
+// sequences, the Pearce–Kelly order is a valid topo order after every
+// insertion and cycle detection fires on exactly the same edge as the DFS
+// reference.
+TEST(ConflictGraphIncrementalTest, RandomStreamsAgreeWithDfsReference) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const size_t n = 2 + rng.NextBelow(20);
+    const size_t stream_len = 1 + rng.NextBelow(4 * n);
+    ConflictGraph incremental(Nodes(n), CycleMode::kIncremental);
+    ConflictGraph reference(Nodes(n), CycleMode::kBatch);
+    size_t incremental_cycle_at = 0;  // 1-based stream index, 0 = never
+    size_t reference_cycle_at = 0;
+    for (size_t i = 0; i < stream_len; ++i) {
+      TxnId from = static_cast<TxnId>(1 + rng.NextBelow(n));
+      TxnId to = static_cast<TxnId>(1 + rng.NextBelow(n));
+      if (from == to) continue;
+      bool would_close =
+          !incremental.has_cycle() && incremental.WouldCloseCycle(from, to);
+      bool inserted = incremental.AddEdge(from, to);
+      EXPECT_EQ(reference.AddEdge(from, to), inserted);
+
+      ASSERT_EQ(incremental.IsAcyclic(), reference.IsAcyclic())
+          << "verdicts diverged at seed " << seed << " step " << i;
+      if (inserted && would_close) {
+        EXPECT_TRUE(incremental.has_cycle())
+            << "WouldCloseCycle predicted a cycle that did not happen";
+      }
+      if (incremental.has_cycle() && incremental_cycle_at == 0) {
+        incremental_cycle_at = i + 1;
+        ASSERT_TRUE(incremental.cycle_edge().has_value());
+        EXPECT_EQ(*incremental.cycle_edge(), std::make_pair(from, to))
+            << "cycle must fire on the edge that closed it";
+        ExpectValidCycle(incremental, *incremental.cycle());
+      }
+      if (!reference.IsAcyclic() && reference_cycle_at == 0) {
+        reference_cycle_at = i + 1;
+      }
+      if (incremental.IsAcyclic()) {
+        ExpectValidTopoOrder(incremental,
+                             incremental.OnlineTopologicalOrder());
+      }
+    }
+    EXPECT_EQ(incremental_cycle_at, reference_cycle_at)
+        << "cycle fired on different stream steps at seed " << seed;
+  }
+}
+
+// Removal fuzz: interleaved inserts and removals keep the online order
+// valid and the verdict in lockstep with a per-step batch rebuild.
+TEST(ConflictGraphIncrementalTest, RandomInsertRemoveStreamsStayConsistent) {
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    const size_t n = 2 + rng.NextBelow(12);
+    ConflictGraph incremental(Nodes(n), CycleMode::kIncremental);
+    std::vector<std::pair<TxnId, TxnId>> live;
+    for (size_t step = 0; step < 6 * n; ++step) {
+      if (!live.empty() && rng.NextBool(0.35)) {
+        size_t pick = rng.NextBelow(live.size());
+        auto [from, to] = live[pick];
+        live.erase(live.begin() + pick);
+        EXPECT_TRUE(incremental.RemoveEdge(from, to));
+      } else {
+        TxnId from = static_cast<TxnId>(1 + rng.NextBelow(n));
+        TxnId to = static_cast<TxnId>(1 + rng.NextBelow(n));
+        if (from == to) continue;
+        if (incremental.AddEdge(from, to)) live.push_back({from, to});
+      }
+      ConflictGraph rebuilt(Nodes(n));
+      for (const auto& [from, to] : live) rebuilt.AddEdge(from, to);
+      ASSERT_EQ(incremental.IsAcyclic(), rebuilt.IsAcyclic())
+          << "seed " << seed << " step " << step;
+      EXPECT_EQ(incremental.num_edges(), live.size());
+      if (incremental.IsAcyclic()) {
+        ExpectValidTopoOrder(incremental,
+                             incremental.OnlineTopologicalOrder());
+      } else {
+        ExpectValidCycle(incremental, *incremental.cycle());
+      }
+    }
+  }
+}
+
+TEST(ConflictGraphIncrementalTest, BuildMatchesBatchBuildOnSchedules) {
+  // Random schedules: both modes must produce identical edge sets and
+  // verdicts.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    OpSequence ops;
+    const size_t txns = 2 + rng.NextBelow(6);
+    const size_t items = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < 30; ++i) {
+      TxnId txn = static_cast<TxnId>(1 + rng.NextBelow(txns));
+      ItemId item = static_cast<ItemId>(rng.NextBelow(items));
+      if (rng.NextBool()) {
+        ops.push_back(Operation::Read(txn, item, Value(0)));
+      } else {
+        ops.push_back(Operation::Write(txn, item, Value(1)));
+      }
+    }
+    Schedule schedule{std::move(ops)};
+    ConflictGraph batch = ConflictGraph::Build(schedule);
+    ConflictGraph incremental =
+        ConflictGraph::Build(schedule, CycleMode::kIncremental);
+    EXPECT_EQ(batch.Edges(), incremental.Edges());
+    EXPECT_EQ(batch.IsAcyclic(), incremental.IsAcyclic());
+    EXPECT_EQ(batch.TopologicalOrder(), incremental.TopologicalOrder());
+  }
+}
+
+}  // namespace
+}  // namespace nse

@@ -4,8 +4,41 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analysis_context.h"
+#include "txn/schedule.h"
+
 namespace nse {
 namespace {
+
+TEST(ClassifyTraceTest, RecordsCycleClosingPositionForNonCsrTraces) {
+  // r1(a) w2(a) r2(b) w1(b): not CSR; the incremental detection hands the
+  // classification the position of the cycle-closing operation (3).
+  OpSequence ops;
+  ops.push_back(Operation::Read(1, 0, Value(0)));
+  ops.push_back(Operation::Write(2, 0, Value(1)));
+  ops.push_back(Operation::Read(2, 1, Value(0)));
+  ops.push_back(Operation::Write(1, 1, Value(1)));
+  Schedule schedule{std::move(ops)};
+  AnalysisContext ctx(schedule);
+  TraceClassification c = ClassifyTrace(ctx);
+  EXPECT_FALSE(c.csr);
+  ASSERT_TRUE(c.csr_cycle_op_pos.has_value());
+  EXPECT_EQ(*c.csr_cycle_op_pos, 3u);
+  EXPECT_NE(c.ToString().find("cycle closed at op 3"), std::string::npos)
+      << c.ToString();
+}
+
+TEST(ClassifyTraceTest, NoCyclePositionForCsrTraces) {
+  OpSequence ops;
+  ops.push_back(Operation::Write(1, 0, Value(1)));
+  ops.push_back(Operation::Read(2, 0, Value(1)));
+  Schedule schedule{std::move(ops)};
+  AnalysisContext ctx(schedule);
+  TraceClassification c = ClassifyTrace(ctx);
+  EXPECT_TRUE(c.csr);
+  EXPECT_FALSE(c.csr_cycle_op_pos.has_value());
+  EXPECT_EQ(c.ToString().find("cycle"), std::string::npos);
+}
 
 TEST(SeriesSummaryTest, EmptySummary) {
   SeriesSummary s;

@@ -3,6 +3,8 @@
 // PW-2PL+DR ⇒ PWSR ∧ DR). Verified against generated workloads across
 // seeds — the executable counterpart of the paper's §3 schedule classes.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "analysis/delayed_read.h"
@@ -112,6 +114,75 @@ TEST(PolicyBehaviorTest, Pw2plWaitsNoWorseThan2plOnPartitionedWork) {
   }
   // On average PW-2PL waits strictly less.
   EXPECT_LE(ratio.mean(), 0.0);
+}
+
+TEST(DrSchedulerStallTest, OnlineWaitsForDetectsCommitGateDeadlock) {
+  // The DR scheduler's stall handling maintains its own incremental
+  // waits-for graph: when the commit-gated reads close a wait cycle the
+  // policy knows without any external per-tick DFS.
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"a", "b"}, -8, 8).ok());
+  auto ic = IntegrityConstraint::Parse(db, "a = b");
+  ASSERT_TRUE(ic.ok()) << ic.status();
+  DelayedReadScheduler policy(&*ic);
+
+  ItemId a = db.MustFind("a");
+  ItemId b = db.MustFind("b");
+  TxnScript t1;
+  t1.steps = {{OpAction::kWrite, a}, {OpAction::kRead, b}};
+  TxnScript t2;
+  t2.steps = {{OpAction::kWrite, b}, {OpAction::kRead, a}};
+
+  // Both writes proceed and leave dirty, incomplete writers behind.
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  policy.AfterAccess(1, t1, 0);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  policy.AfterAccess(2, t2, 0);
+  EXPECT_FALSE(policy.StalledCycle().has_value());
+
+  // T1's read of b is commit-gated on T2; no cycle yet.
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kWait);
+  EXPECT_FALSE(policy.StalledCycle().has_value());
+  EXPECT_EQ(policy.wait_events(), 1u);
+
+  // T2's read of a closes the wait cycle — detected at the insertion.
+  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kWait);
+  ASSERT_TRUE(policy.StalledCycle().has_value());
+  const std::vector<TxnId>& cycle = *policy.StalledCycle();
+  EXPECT_EQ(cycle.front(), cycle.back());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), TxnId{1}), cycle.end());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), TxnId{2}), cycle.end());
+
+  // Aborting one participant resolves the policy's deadlock state, and the
+  // survivor's retried read goes through once the victim's marks are gone.
+  policy.OnAbort(2);
+  EXPECT_FALSE(policy.StalledCycle().has_value());
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+}
+
+TEST(DrSchedulerStallTest, SimResolvesCommitGateDeadlock) {
+  // End to end: the same deadlock under the simulator — victim abort,
+  // restart, both complete, and the trace keeps the policy's promises.
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"a", "b"}, -8, 8).ok());
+  auto ic = IntegrityConstraint::Parse(db, "a = b");
+  ASSERT_TRUE(ic.ok()) << ic.status();
+  DelayedReadScheduler policy(&*ic);
+
+  ItemId a = db.MustFind("a");
+  ItemId b = db.MustFind("b");
+  TxnScript t1;
+  t1.steps = {{OpAction::kWrite, a}, {OpAction::kRead, b}};
+  TxnScript t2;
+  t2.steps = {{OpAction::kWrite, b}, {OpAction::kRead, a}};
+
+  auto result = RunSimulation(policy, {t1, t2});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_GE(result->aborts, 1u);
+  EXPECT_GT(policy.wait_events(), 0u);
+  EXPECT_TRUE(IsDelayedRead(result->schedule));
+  EXPECT_TRUE(CheckPwsr(result->schedule, *ic).is_pwsr);
 }
 
 }  // namespace

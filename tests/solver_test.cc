@@ -1,5 +1,8 @@
 #include "constraints/solver.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "constraints/evaluator.h"
@@ -295,6 +298,61 @@ TEST_F(SolverTest, CacheClearResetsEntriesAndStats) {
   SolverCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST_F(SolverTest, ConcurrentColdWorkersComputeEachConjunctOnce) {
+  // The per-key once-cell: N workers warming the sampling domains of a cold
+  // cache concurrently must run exactly one enumeration per conjunct — the
+  // others coalesce onto the in-flight computation (ROADMAP: compute-once
+  // guard for block enumerations).
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  constexpr size_t kThreads = 8;
+  SolverCache cache;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      ConsistencyChecker checker(db_, ic, &cache);
+      checker.WarmSamplingDomains();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  SolverCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.computes, ic.num_conjuncts());
+  EXPECT_EQ(stats.misses, ic.num_conjuncts());
+  // Every other request was served from the cache or the once-cell.
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            kThreads * ic.num_conjuncts() - ic.num_conjuncts());
+}
+
+TEST_F(SolverTest, ConcurrentEnumerationsShareOneSubtreePerBlock) {
+  // Same guard on the extension-enumeration path: identical pinned queries
+  // from concurrent cold workers compute each block subtree once and all
+  // receive the same answer.
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  ConsistencyChecker plain(db_, ic);
+  DbState pinned = DbState::OfNamed(db_, {{"a", Value(3)}});
+  auto want = plain.EnumerateConsistentExtensions(pinned, 50);
+  ASSERT_TRUE(want.ok());
+
+  constexpr size_t kThreads = 8;
+  SolverCache cache;
+  std::vector<std::vector<DbState>> results(kThreads);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ConsistencyChecker checker(db_, ic, &cache);
+      auto got = checker.EnumerateConsistentExtensions(pinned, 50);
+      ASSERT_TRUE(got.ok()) << got.status();
+      results[t] = std::move(got).value();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  // One 'B' subtree per block (two disjoint conjuncts, no unconstrained
+  // items), regardless of the thread count.
+  EXPECT_EQ(cache.stats().computes, 2u);
+  for (const std::vector<DbState>& result : results) {
+    EXPECT_EQ(result, *want);
+  }
 }
 
 class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a fresh bench JSON against the committed
+baseline within a tolerance.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--tolerance 2.0]
+
+Rows are joined on their identity fields (every field that is not a
+measurement). Only *relative* measurements — the speedup fields — are
+guarded, because absolute wall times are incomparable across CI hardware;
+a fresh speedup may not fall below baseline/tolerance. Deterministic count
+fields (checked / violations / cycles_resolved) must match exactly: they
+are outputs of seeded runs, so a mismatch means the engine's determinism
+contract broke, not that the hardware was slow.
+
+Exit code 0 when everything holds, 1 on regression or determinism break.
+Stdlib only (runs on a bare CI image).
+"""
+
+import argparse
+import json
+import sys
+
+# Fields guarded as relative performance (fresh >= baseline / tolerance).
+SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential")
+# Deterministic outputs of seeded runs: must match exactly.
+EXACT_FIELDS = ("checked", "violations", "cycles_resolved", "conjuncts")
+# Measurements (never part of the row identity).
+MEASUREMENT_FIELDS = set(SPEEDUP_FIELDS) | set(EXACT_FIELDS) | {
+    "wall_ms", "trials_per_s", "cache_hit_rate", "legacy_ms",
+    "incremental_ms", "legacy_per_tick_us", "incremental_per_tick_us",
+    "edge_updates",
+}
+
+
+def row_identity(row):
+    return tuple(sorted(
+        (k, v) for k, v in row.items() if k not in MEASUREMENT_FIELDS))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed slowdown factor on speedup fields")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    if baseline.get("bench") != fresh.get("bench"):
+        print(f"FAIL: bench name mismatch: baseline "
+              f"{baseline.get('bench')!r} vs fresh {fresh.get('bench')!r}")
+        return 1
+
+    fresh_rows = {row_identity(r): r for r in fresh.get("rows", [])}
+    failures = []
+    compared = 0
+    for base_row in baseline.get("rows", []):
+        identity = row_identity(base_row)
+        label = ", ".join(f"{k}={v}" for k, v in identity)
+        fresh_row = fresh_rows.get(identity)
+        if fresh_row is None:
+            failures.append(f"row missing from fresh run: {label}")
+            continue
+        for field in SPEEDUP_FIELDS:
+            if field not in base_row:
+                continue
+            floor = base_row[field] / args.tolerance
+            got = fresh_row.get(field, 0.0)
+            compared += 1
+            status = "ok" if got >= floor else "REGRESSION"
+            print(f"[{status}] {label}: {field} baseline "
+                  f"{base_row[field]:.3f}, floor {floor:.3f}, "
+                  f"fresh {got:.3f}")
+            if got < floor:
+                failures.append(
+                    f"{label}: {field} {got:.3f} < floor {floor:.3f}")
+        for field in EXACT_FIELDS:
+            if field not in base_row:
+                continue
+            if fresh_row.get(field) != base_row[field]:
+                failures.append(
+                    f"{label}: {field} changed {base_row[field]} -> "
+                    f"{fresh_row.get(field)} (determinism break)")
+
+    if compared == 0:
+        failures.append("no speedup fields compared — baseline empty?")
+    if failures:
+        print(f"\nFAIL ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: {compared} speedup field(s) within {args.tolerance}x "
+          f"of baseline, determinism fields exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
