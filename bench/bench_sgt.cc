@@ -1,0 +1,228 @@
+// SGT vs the lock-based policies on contended workloads: the optimistic
+// scheduler's bet is that most conflicts order cleanly and only genuine
+// would-be cycles cost anything, so on hot-spot workloads it should beat
+// strict 2PL's makespan/throughput while paying in restarts instead of
+// lock waits. Every SGT trace is differentially checked against the
+// independent CSR checker (the policy's promise), and PW-2PL / SGT rows
+// carry the abort/restart/veto economics next to the wait ticks.
+//
+// Simulated time (makespan, throughput = completed / makespan) is fully
+// deterministic per seed, so the throughput ratio SGT/2PL is a stable
+// regression-guard field ("speedup"), and the SGT outcome counters
+// (completed, aborts, restarts, vetoes) are guarded exactly. Wall-clock
+// columns are informational only. --smoke runs tiny configurations
+// (differential asserts, no JSON); the full run writes BENCH_sgt.json
+// (override the path with the last argument).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/serializability.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "scheduler/metrics.h"
+#include "scheduler/pw_two_phase_locking.h"
+#include "scheduler/sgt_policy.h"
+#include "scheduler/sim.h"
+#include "scheduler/two_phase_locking.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+struct BenchCase {
+  std::string name;
+  PartitionedWorkloadConfig config;
+  bool contended = false;  // rows where SGT is expected to beat 2PL
+};
+
+struct PolicyOutcome {
+  SimResult result;
+  double wall_ms = 0;
+};
+
+PolicyOutcome RunPolicy(SchedulerPolicy& policy, const Workload& workload) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = RunSimulation(policy, workload.scripts);
+  auto end = std::chrono::steady_clock::now();
+  NSE_CHECK_MSG(result.ok(), "simulation failed under %s: %s",
+                policy.name().c_str(), result.status().ToString().c_str());
+  NSE_CHECK_MSG(result->completed == workload.scripts.size(),
+                "%s completed %llu of %zu txns", policy.name().c_str(),
+                static_cast<unsigned long long>(result->completed),
+                workload.scripts.size());
+  PolicyOutcome outcome;
+  outcome.result = std::move(result).value();
+  outcome.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return outcome;
+}
+
+struct Row {
+  std::string workload;
+  size_t txns = 0;
+  bool contended = false;
+  PolicyOutcome strict_2pl;
+  PolicyOutcome pw_2pl;
+  PolicyOutcome sgt;
+  double speedup = 0;  // SGT throughput / strict-2PL throughput
+};
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) {
+  using namespace nse;
+  bool smoke = false;
+  std::string json_path = "BENCH_sgt.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  auto make_case = [&](std::string name, size_t txns, size_t partitions,
+                       size_t per_txn, double hotspot, uint64_t seed,
+                       bool contended) {
+    BenchCase c;
+    c.name = std::move(name);
+    c.config.num_partitions = partitions;
+    c.config.items_per_partition = 2;
+    c.config.num_txns = smoke ? std::min<size_t>(txns, 8) : txns;
+    c.config.partitions_per_txn = per_txn;
+    c.config.cross_read_probability = 0.3;
+    c.config.hotspot_probability = hotspot;
+    c.config.seed = seed;
+    c.contended = contended;
+    return c;
+  };
+
+  // Sweep the contention axis. Even the "uniform" row is moderately
+  // contended (32 txns x 2 partitions over 16 partitions — ~4 txns share
+  // each partition), so SGT wins everywhere; the hot-spot rows crank the
+  // sharing further. Only the hot rows feed the beats-2PL acceptance
+  // check, since they are the regime the ISSUE names.
+  std::vector<BenchCase> cases = {
+      make_case("uniform", 32, 16, 2, 0.0, 7, /*contended=*/false),
+      make_case("hotspot_50", 32, 16, 2, 0.5, 7, /*contended=*/true),
+      make_case("hotspot_90", 32, 16, 2, 0.9, 7, /*contended=*/true),
+      make_case("hotspot_long_txns", 16, 12, 4, 0.8, 11, /*contended=*/true),
+  };
+
+  TablePrinter table({"workload", "txns", "policy", "makespan", "waits",
+                      "aborts", "restarts", "vetoes", "throughput"});
+  std::vector<Row> rows;
+  bool sgt_beat_2pl_when_contended = false;
+
+  for (const BenchCase& c : cases) {
+    auto workload = MakePartitionedWorkload(c.config);
+    NSE_CHECK_MSG(workload.ok(), "workload generation failed: %s",
+                  workload.status().ToString().c_str());
+
+    Row row;
+    row.workload = c.name;
+    row.txns = workload->scripts.size();
+    row.contended = c.contended;
+    {
+      StrictTwoPhaseLocking policy;
+      row.strict_2pl = RunPolicy(policy, *workload);
+    }
+    {
+      PredicatewiseTwoPhaseLocking policy(&*workload->ic);
+      row.pw_2pl = RunPolicy(policy, *workload);
+    }
+    {
+      SgtPolicy policy(workload->scripts.size());
+      row.sgt = RunPolicy(policy, *workload);
+      // Differential contract: the committed SGT trace must pass the
+      // independent CSR checker, and the policy's live graph must be the
+      // committed trace's conflict graph (no residual edges).
+      NSE_CHECK_MSG(IsConflictSerializable(row.sgt.result.schedule),
+                    "SGT emitted a non-CSR trace on %s", c.name.c_str());
+      NSE_CHECK_MSG(
+          policy.graph().Edges() ==
+              ConflictGraph::Build(row.sgt.result.schedule).Edges(),
+          "SGT left residual graph edges on %s", c.name.c_str());
+    }
+    row.speedup = row.strict_2pl.result.throughput == 0
+                      ? 0
+                      : row.sgt.result.throughput /
+                            row.strict_2pl.result.throughput;
+    if (c.contended && row.speedup > 1.0) sgt_beat_2pl_when_contended = true;
+    rows.push_back(row);
+
+    auto add = [&](const char* policy, const PolicyOutcome& o) {
+      table.AddRow({row.workload, StrCat(row.txns), policy,
+                    StrCat(o.result.makespan),
+                    StrCat(o.result.total_wait_ticks),
+                    StrCat(o.result.aborts), StrCat(o.result.restarts),
+                    StrCat(o.result.vetoes),
+                    FormatDouble(o.result.throughput, 3)});
+    };
+    add("strict-2pl", row.strict_2pl);
+    add("pw-2pl", row.pw_2pl);
+    add("sgt", row.sgt);
+  }
+
+  std::cout << "\n=== SGT (optimistic, cycle-vetoing) vs lock-based "
+               "policies ===\n"
+            << table.Render()
+            << "(makespan/throughput are simulated ticks — deterministic "
+               "per seed; SGT pays restarts+vetoes instead of lock "
+               "waits)\n";
+
+  NSE_CHECK_MSG(sgt_beat_2pl_when_contended,
+                "SGT did not beat strict 2PL throughput on any contended "
+                "workload — the optimistic bet regressed");
+
+  if (smoke) {
+    std::cout << "smoke mode: CSR differential + residual-edge checks "
+                 "passed, no baseline written\n";
+    return 0;
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"sgt\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"workload\": \"%s\", \"txns\": %zu, "
+        "\"speedup\": %.3f, "
+        "\"completed\": %llu, \"aborts\": %llu, \"restarts\": %llu, "
+        "\"vetoes\": %llu, "
+        "\"makespan_2pl\": %llu, \"makespan_pw2pl\": %llu, "
+        "\"makespan_sgt\": %llu, "
+        "\"wait_ticks_2pl\": %llu, \"wait_ticks_sgt\": %llu, "
+        "\"throughput_2pl\": %.4f, \"throughput_pw2pl\": %.4f, "
+        "\"throughput_sgt\": %.4f, "
+        "\"wall_ms\": %.3f}%s\n",
+        row.workload.c_str(), row.txns, row.speedup,
+        static_cast<unsigned long long>(row.sgt.result.completed),
+        static_cast<unsigned long long>(row.sgt.result.aborts),
+        static_cast<unsigned long long>(row.sgt.result.restarts),
+        static_cast<unsigned long long>(row.sgt.result.vetoes),
+        static_cast<unsigned long long>(row.strict_2pl.result.makespan),
+        static_cast<unsigned long long>(row.pw_2pl.result.makespan),
+        static_cast<unsigned long long>(row.sgt.result.makespan),
+        static_cast<unsigned long long>(row.strict_2pl.result.total_wait_ticks),
+        static_cast<unsigned long long>(row.sgt.result.total_wait_ticks),
+        row.strict_2pl.result.throughput, row.pw_2pl.result.throughput,
+        row.sgt.result.throughput, row.sgt.wall_ms,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::cout << "baseline written to " << json_path << "\n";
+  return 0;
+}

@@ -7,6 +7,25 @@
 
 namespace nse {
 
+void ConflictAccessIndex::Record(uint32_t accessor, bool is_write,
+                                 ItemId item) {
+  if (item >= history_.size()) history_.resize(item + 1);
+  std::vector<uint32_t>& txns =
+      is_write ? history_[item].writers : history_[item].readers;
+  if (std::find(txns.begin(), txns.end(), accessor) == txns.end()) {
+    txns.push_back(accessor);
+  }
+}
+
+void ConflictAccessIndex::Erase(uint32_t accessor) {
+  for (ItemHistory& h : history_) {
+    h.writers.erase(std::remove(h.writers.begin(), h.writers.end(), accessor),
+                    h.writers.end());
+    h.readers.erase(std::remove(h.readers.begin(), h.readers.end(), accessor),
+                    h.readers.end());
+  }
+}
+
 ConflictGraph::ConflictGraph(std::vector<TxnId> nodes, CycleMode mode)
     : nodes_(std::move(nodes)),
       out_(nodes_.size()),

@@ -197,13 +197,60 @@ class ConflictGraph {
   mutable std::optional<std::vector<TxnId>> topo_;
 };
 
+/// Per-item access histories with streaming conflict-edge derivation — the
+/// single statement of the paper's conflict rule (same item, distinct
+/// transactions, at least one write) shared by the batch analysis sweep
+/// (internal::SweepConflicts, hence ConflictGraph::Build and the
+/// AnalysisContext fused core build) and the SGT policy's online veto
+/// check. Accessors are caller-chosen uint32_t handles: txn indices into
+/// schedule.txn_ids() for the sweep, raw txn ids for the scheduler.
+class ConflictAccessIndex {
+ public:
+  /// Calls emit(prior) for every distinct prior accessor whose recorded
+  /// access conflicts with an (is_write, item) access by `accessor`: a
+  /// write conflicts with every earlier accessor of the item, a read with
+  /// every earlier writer. `accessor` itself is never emitted. Prior
+  /// writers are emitted before prior readers, each group in first-access
+  /// order.
+  template <typename EmitFn>
+  void ForEachConflict(uint32_t accessor, bool is_write, ItemId item,
+                       EmitFn emit) const {
+    if (item >= history_.size()) return;
+    const ItemHistory& h = history_[item];
+    for (uint32_t writer : h.writers) {
+      if (writer != accessor) emit(writer);
+    }
+    if (is_write) {
+      for (uint32_t reader : h.readers) {
+        if (reader != accessor) emit(reader);
+      }
+    }
+  }
+
+  /// Records the access into the item's history (repeat accesses dedupe).
+  void Record(uint32_t accessor, bool is_write, ItemId item);
+
+  /// Erases `accessor` from every item history — the abort-retraction
+  /// counterpart of ConflictGraph::RemoveEdgesOf.
+  void Erase(uint32_t accessor);
+
+  /// Drops all histories.
+  void Clear() { history_.clear(); }
+
+ private:
+  struct ItemHistory {
+    std::vector<uint32_t> writers;  // distinct accessors, insertion order
+    std::vector<uint32_t> readers;
+  };
+  std::vector<ItemHistory> history_;
+};
+
 namespace internal {
 
 /// The single implementation of the per-item conflict sweep shared by
 /// ConflictGraph::Build and the AnalysisContext fused core build. Walks the
-/// schedule once, maintaining per-item histories of the distinct
-/// transactions (as indices into schedule.txn_ids()) that have written /
-/// read each item, and calls:
+/// schedule once, feeding each operation through a ConflictAccessIndex
+/// keyed by txn indices into schedule.txn_ids(), and calls:
 ///
 ///   on_op(op_pos, txn_index)        for every operation, in order;
 ///   emit(from_index, to_index, op_pos)
@@ -215,36 +262,17 @@ namespace internal {
 template <typename OnOpFn, typename EmitFn>
 void SweepConflicts(const Schedule& schedule, OnOpFn on_op, EmitFn emit) {
   const std::vector<TxnId>& txn_ids = schedule.txn_ids();
-  struct ItemHistory {
-    std::vector<uint32_t> writers;  // distinct txn indices, insertion order
-    std::vector<uint32_t> readers;
-  };
-  std::vector<ItemHistory> history;
-  auto remember = [](std::vector<uint32_t>& txns, uint32_t idx) {
-    if (std::find(txns.begin(), txns.end(), idx) == txns.end()) {
-      txns.push_back(idx);
-    }
-  };
+  ConflictAccessIndex index;
   const OpSequence& ops = schedule.ops();
   for (size_t i = 0; i < ops.size(); ++i) {
     const Operation& op = ops[i];
-    if (op.entity >= history.size()) history.resize(op.entity + 1);
-    ItemHistory& h = history[op.entity];
     const uint32_t idx = static_cast<uint32_t>(
         std::lower_bound(txn_ids.begin(), txn_ids.end(), op.txn) -
         txn_ids.begin());
     on_op(i, idx);
-    for (uint32_t writer : h.writers) {
-      if (writer != idx) emit(writer, idx, i);
-    }
-    if (op.is_write()) {
-      for (uint32_t reader : h.readers) {
-        if (reader != idx) emit(reader, idx, i);
-      }
-      remember(h.writers, idx);
-    } else {
-      remember(h.readers, idx);
-    }
+    index.ForEachConflict(idx, op.is_write(), op.entity,
+                          [&](uint32_t from) { emit(from, idx, i); });
+    index.Record(idx, op.is_write(), op.entity);
   }
 }
 

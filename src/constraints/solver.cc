@@ -56,16 +56,35 @@ std::string BlockKey(char kind, size_t tag, const DbState& state,
 
 }  // namespace
 
-SolverCache::SolverCache(size_t num_shards) {
+SolverCache::SolverCache(size_t num_shards, size_t max_entries) {
   if (num_shards == 0) num_shards = 1;
+  if (max_entries == 0) max_entries = 1;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  max_entries_ = max_entries;
+  per_shard_cap_ = std::max<size_t>(1, max_entries / num_shards);
 }
 
 SolverCache::Shard& SolverCache::ShardFor(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void SolverCache::EvictForInsert(Shard& shard) {
+  // The loop condition (>= cap >= 1) guarantees at least one map is
+  // non-empty on every pass.
+  while (shard.verdicts.size() + shard.solutions.size() >= per_shard_cap_) {
+    // Hash-order random replacement: drop the first entry of whichever map
+    // holds more (solution sets are the expensive ones to hold, verdicts
+    // the cheap ones to recompute — ties go to the verdicts).
+    if (shard.solutions.size() > shard.verdicts.size()) {
+      shard.solutions.erase(shard.solutions.begin());
+    } else {
+      shard.verdicts.erase(shard.verdicts.begin());
+    }
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::optional<bool> SolverCache::LookupVerdict(const std::string& key) {
@@ -85,6 +104,8 @@ std::optional<bool> SolverCache::LookupVerdict(const std::string& key) {
 void SolverCache::StoreVerdict(const std::string& key, bool verdict) {
   Shard& shard = ShardFor(key);
   std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.verdicts.find(key) != shard.verdicts.end()) return;
+  EvictForInsert(shard);
   shard.verdicts.emplace(key, verdict);
 }
 
@@ -152,6 +173,9 @@ SolverCache::SolutionSet SolverCache::GetOrComputeSolutions(
     shard.computes.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::shared_mutex> lock(shard.mu);
+      if (shard.solutions.find(key) == shard.solutions.end()) {
+        EvictForInsert(shard);
+      }
       shard.solutions.emplace(key, result);
       auto it = shard.inflight.find(key);
       if (it != shard.inflight.end() && it->second == cell) {
@@ -175,6 +199,9 @@ SolverCache::Stats SolverCache::stats() const {
     out.misses += shard->misses.load(std::memory_order_relaxed);
     out.computes += shard->computes.load(std::memory_order_relaxed);
     out.coalesced += shard->coalesced.load(std::memory_order_relaxed);
+    out.evictions += shard->evictions.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    out.entries += shard->verdicts.size() + shard->solutions.size();
   }
   return out;
 }
@@ -191,6 +218,7 @@ void SolverCache::Clear() {
     shard->misses.store(0, std::memory_order_relaxed);
     shard->computes.store(0, std::memory_order_relaxed);
     shard->coalesced.store(0, std::memory_order_relaxed);
+    shard->evictions.store(0, std::memory_order_relaxed);
   }
 }
 

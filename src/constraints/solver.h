@@ -72,19 +72,38 @@ class SolverCache {
     /// Requests that arrived while another worker was computing the same
     /// key and waited for its result instead of recomputing the subtree.
     uint64_t coalesced = 0;
+    /// Entries dropped to keep the cache under its entry cap.
+    uint64_t evictions = 0;
+    /// Entries currently resident (verdicts + solution sets, all shards).
+    uint64_t entries = 0;
     double hit_rate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
   };
 
-  explicit SolverCache(size_t num_shards = 8);
+  /// Default entry cap: ample for any single search (per-search caches stay
+  /// far below it) while bounding a long-lived service's cache.
+  static constexpr size_t kDefaultMaxEntries = size_t{1} << 20;
+
+  /// `max_entries` caps the total resident entries (verdicts + solution
+  /// sets) across all shards; the cap is enforced per shard at
+  /// max_entries / num_shards (>= 1). Eviction is random-replacement in
+  /// hash order — O(1), no recency bookkeeping on the hot read path —
+  /// which suits this cache's access pattern: after warm-up the working
+  /// set is small and re-fetching an evicted entry costs one bounded
+  /// solver search, not a user-visible miss.
+  explicit SolverCache(size_t num_shards = 8,
+                       size_t max_entries = kDefaultMaxEntries);
 
   SolverCache(const SolverCache&) = delete;
   SolverCache& operator=(const SolverCache&) = delete;
 
   /// Aggregated counters (consistent snapshot per shard, not globally).
   Stats stats() const;
+
+  /// The configured total entry cap.
+  size_t max_entries() const { return max_entries_; }
 
   /// Drops every entry and zeroes the counters.
   void Clear();
@@ -126,9 +145,15 @@ class SolverCache {
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> computes{0};
     std::atomic<uint64_t> coalesced{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Shard& ShardFor(const std::string& key);
+
+  /// Drops entries (hash-order random replacement, alternating between the
+  /// larger of the two maps) until the shard is strictly below its cap,
+  /// making room for one insertion. Caller holds the shard's unique lock.
+  void EvictForInsert(Shard& shard);
 
   /// Probe helpers used by ConsistencyChecker: on hit, bump `hits` and
   /// return the entry; on miss bump `misses` and return nullopt.
@@ -143,6 +168,8 @@ class SolverCache {
       const std::string& key, const std::function<SolutionSet()>& compute);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  size_t max_entries_ = kDefaultMaxEntries;
+  size_t per_shard_cap_ = kDefaultMaxEntries;
 };
 
 /// Decides consistency questions for one (Database, IntegrityConstraint)

@@ -5,6 +5,7 @@
 
 #include "analysis/analysis_context.h"
 #include "common/string_util.h"
+#include "scheduler/sim.h"
 
 namespace nse {
 
@@ -32,6 +33,14 @@ std::string TraceClassification::ToString() const {
     out += StrCat(", cycle closed at op ", *csr_cycle_op_pos);
   }
   return out;
+}
+
+std::string SimSummary(const SimResult& result) {
+  return StrCat("makespan ", result.makespan, ", completed ",
+                result.completed, ", aborts ", result.aborts, ", restarts ",
+                result.restarts, ", vetoes ", result.vetoes, ", wait_ticks ",
+                result.total_wait_ticks, ", throughput ",
+                FormatDouble(result.throughput, 3));
 }
 
 void SeriesSummary::Add(double x) {

@@ -13,6 +13,7 @@
 namespace nse {
 
 class AnalysisContext;
+struct SimResult;
 
 /// Schedule-class membership of one committed trace, computed from a single
 /// shared AnalysisContext (each underlying artifact is built once, however
@@ -34,6 +35,12 @@ struct TraceClassification {
 /// Classifies ctx's schedule. PWSR is probed only when the context carries
 /// an integrity constraint.
 TraceClassification ClassifyTrace(AnalysisContext& ctx);
+
+/// One-line performance summary of a simulation run, e.g.
+/// "makespan 42, completed 8, aborts 1, restarts 2, vetoes 5,
+/// throughput 0.19" — restart and veto counts included so optimistic
+/// policies (SGT) render their abort economics next to the lock waits.
+std::string SimSummary(const SimResult& result);
 
 /// Streaming summary of a numeric series.
 class SeriesSummary {

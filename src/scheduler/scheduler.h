@@ -36,8 +36,11 @@ struct TxnScript {
 
 /// Verdict of a policy for an access request.
 enum class SchedulerDecision {
-  kProceed,  ///< perform the operation now
-  kWait,     ///< blocked; retry later
+  kProceed,       ///< perform the operation now
+  kWait,          ///< blocked; retry later
+  kAbortRestart,  ///< abort the requesting txn and restart it from scratch
+                  ///< (optimistic policies: waiting cannot resolve the
+                  ///< conflict, e.g. an SGT veto against committed edges)
 };
 
 /// A pluggable concurrency-control policy.
@@ -71,6 +74,12 @@ class SchedulerPolicy {
   /// detection). Only meaningful right after OnAccess returned kWait.
   virtual std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                                       size_t step) const = 0;
+
+  /// OnAccess calls this policy answered kWait because granting the access
+  /// would have violated the policy's schedule-class guarantee (an SGT
+  /// cycle veto), as opposed to an ordinary lock wait. Lock-based policies
+  /// report 0; the simulator copies the count into SimResult.vetoes.
+  virtual uint64_t veto_events() const { return 0; }
 };
 
 }  // namespace nse

@@ -1,0 +1,133 @@
+#include "scheduler/sgt_policy.h"
+
+#include "common/logging.h"
+
+namespace nse {
+
+namespace {
+
+std::vector<TxnId> AllTxnIds(size_t num_txns) {
+  std::vector<TxnId> ids;
+  ids.reserve(num_txns);
+  for (TxnId id = 1; id <= num_txns; ++id) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace
+
+SgtPolicy::SgtPolicy(size_t num_txns) : SgtPolicy(num_txns, Options()) {}
+
+SgtPolicy::SgtPolicy(size_t num_txns, Options options)
+    : options_(options),
+      graph_(AllTxnIds(num_txns), CycleMode::kIncremental),
+      committed_(num_txns + 1, false),
+      consecutive_vetoes_(num_txns + 1, 0) {
+  NSE_CHECK_MSG(options_.max_consecutive_vetoes >= 1,
+                "SGT veto threshold must be at least 1");
+}
+
+std::vector<TxnId> SgtPolicy::VetoingPredecessors(TxnId txn,
+                                                  const TxnScript& script,
+                                                  size_t step) const {
+  const AccessStep& access = script.steps[step];
+  std::vector<TxnId> vetoing;
+  index_.ForEachConflict(
+      txn, access.action == OpAction::kWrite, access.item,
+      [&](uint32_t from) {
+        // Only a *new* edge can close a cycle: an edge already present
+        // was admitted while the graph stayed acyclic.
+        if (!graph_.HasEdge(from, txn) && graph_.WouldCloseCycle(from, txn)) {
+          vetoing.push_back(from);
+        }
+      });
+  return vetoing;
+}
+
+SgtPolicy::VetoProbe SgtPolicy::ProbeAccess(TxnId txn,
+                                            const TxnScript& script,
+                                            size_t step) const {
+  // Decision-only variant of VetoingPredecessors: the remaining
+  // (graph-search) probes are skipped once the decision is settled — this
+  // is the per-access hot path on contended items.
+  const AccessStep& access = script.steps[step];
+  VetoProbe probe;
+  index_.ForEachConflict(
+      txn, access.action == OpAction::kWrite, access.item,
+      [&](uint32_t from) {
+        if (probe.vetoed && (probe.active_blocker || committed_[from])) {
+          return;
+        }
+        if (!graph_.HasEdge(from, txn) && graph_.WouldCloseCycle(from, txn)) {
+          probe.vetoed = true;
+          if (!committed_[from]) probe.active_blocker = true;
+        }
+      });
+  return probe;
+}
+
+SchedulerDecision SgtPolicy::OnAccess(TxnId txn, const TxnScript& script,
+                                      size_t step) {
+  VetoProbe probe = ProbeAccess(txn, script, step);
+  if (probe.vetoed) {
+    ++vetoes_;
+    // Wait only while some vetoing edge's source is still running (its
+    // abort would retract that edge directly); with committed-only
+    // sources, restart at once — always safe, and independent of the
+    // simulator's stall patience. Recurring vetoes against active sources
+    // restart at the threshold — the livelock guard. Either way the
+    // restarted transaction re-enters *after* its former successors and
+    // the cycle cannot re-form from the same conflicts.
+    if (!probe.active_blocker ||
+        ++consecutive_vetoes_[txn] >= options_.max_consecutive_vetoes) {
+      consecutive_vetoes_[txn] = 0;
+      ++restarts_requested_;
+      return SchedulerDecision::kAbortRestart;
+    }
+    return SchedulerDecision::kWait;
+  }
+  consecutive_vetoes_[txn] = 0;
+  // Admit: materialize the step's conflict edges and record the access.
+  // Every new edge ends at `txn`, so a simple cycle could use at most one
+  // of them — each was individually cleared by WouldCloseCycle above, and
+  // the graph stays acyclic.
+  const AccessStep& access = script.steps[step];
+  const bool is_write = access.action == OpAction::kWrite;
+  index_.ForEachConflict(txn, is_write, access.item, [&](uint32_t from) {
+    graph_.AddEdge(from, txn);
+  });
+  index_.Record(txn, is_write, access.item);
+  NSE_CHECK_MSG(!graph_.has_cycle(),
+                "SGT admitted an access that closed a conflict cycle");
+  return SchedulerDecision::kProceed;
+}
+
+void SgtPolicy::AfterAccess(TxnId, const TxnScript&, size_t) {}
+
+void SgtPolicy::OnComplete(TxnId txn) {
+  // Committed edges stay: later accesses must still serialize after txn.
+  committed_[txn] = true;
+  consecutive_vetoes_[txn] = 0;
+}
+
+void SgtPolicy::OnAbort(TxnId txn) {
+  // Retract the aborted transaction's whole footprint; it restarts from
+  // scratch with a clean node.
+  graph_.RemoveEdgesOf(txn);
+  index_.Erase(txn);
+  committed_[txn] = false;
+  consecutive_vetoes_[txn] = 0;
+}
+
+std::vector<TxnId> SgtPolicy::Blockers(TxnId txn, const TxnScript& script,
+                                       size_t step) const {
+  // A vetoed access waits on the still-running sources of its cycle-closing
+  // edges (a committed source can never unblock it — that case escalates to
+  // kAbortRestart via the veto threshold instead).
+  std::vector<TxnId> blockers;
+  for (TxnId from : VetoingPredecessors(txn, script, step)) {
+    if (!committed_[from]) blockers.push_back(from);
+  }
+  return blockers;
+}
+
+}  // namespace nse

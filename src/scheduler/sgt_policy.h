@@ -1,0 +1,103 @@
+// Serialization-graph-testing (SGT) scheduling: the optimistic,
+// cycle-vetoing counterpart of the lock-based policies. The policy keeps an
+// online incremental ConflictGraph (Pearce–Kelly mode) of every operation
+// the simulator has executed — committed and active transactions alike —
+// and, before admitting a step, derives the conflict edges that step would
+// add (through the same ConflictAccessIndex rule the analysis sweep uses)
+// and asks WouldCloseCycle. An access whose edges keep the graph acyclic
+// proceeds immediately, without any locks; an access that would close a
+// conflict cycle is vetoed.
+//
+// A vetoed transaction waits only while some vetoing edge has a still-
+// running source (its abort would retract that edge directly); once every
+// vetoing edge comes from a committed predecessor the policy answers
+// kAbortRestart at once — those edges never retract, and although an
+// *active* transaction elsewhere on the cycle path could in principle
+// break the cycle by aborting, the probe does not trace the path:
+// restarting is always safe, and the immediate escalation keeps the
+// policy independent of the simulator's stall patience. Recurring vetoes
+// against active sources escalate the same way after
+// max_consecutive_vetoes straight vetoes (the livelock guard). The
+// simulator then rolls the transaction back (RemoveEdgesOf /
+// ConflictAccessIndex::Erase retract its footprint) and restarts it.
+//
+// Every committed trace is therefore acyclic — CSR *by construction*
+// (Papadimitriou [13] via the paper's footnote-2 baseline) — even though
+// no two-phase rule is ever enforced. This is the scheduler-side consumer
+// of the incremental cycle detection built in PR 3 (ADR 0004).
+
+#ifndef NSE_SCHEDULER_SGT_POLICY_H_
+#define NSE_SCHEDULER_SGT_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/conflict_graph.h"
+#include "scheduler/scheduler.h"
+
+namespace nse {
+
+/// SGT policy over a fixed transaction population (ids 1..num_txns, the
+/// simulator's convention).
+class SgtPolicy : public SchedulerPolicy {
+ public:
+  struct Options {
+    /// Straight vetoes of one step before the policy gives up waiting and
+    /// requests abort-restart (the livelock guard). Must be >= 1.
+    uint64_t max_consecutive_vetoes = 4;
+  };
+
+  explicit SgtPolicy(size_t num_txns);
+  SgtPolicy(size_t num_txns, Options options);
+
+  std::string name() const override { return "sgt"; }
+
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                             size_t step) override;
+  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
+  void OnComplete(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                              size_t step) const override;
+
+  /// Accesses vetoed because they would have closed a conflict cycle.
+  uint64_t veto_events() const override { return vetoes_; }
+
+  /// Vetoed transactions that escalated to kAbortRestart.
+  uint64_t restarts_requested() const { return restarts_requested_; }
+
+  /// The live serialization graph (read-only; tests assert it stays acyclic
+  /// and, at quiescence, equals the committed schedule's conflict graph).
+  const ConflictGraph& graph() const { return graph_; }
+
+ private:
+  /// The conflict predecessors whose edges veto txn's access to `step`
+  /// right now (empty when the access is admissible). Blockers-only path.
+  std::vector<TxnId> VetoingPredecessors(TxnId txn, const TxnScript& script,
+                                         size_t step) const;
+
+  struct VetoProbe {
+    bool vetoed = false;          ///< some predecessor vetoes the access
+    bool active_blocker = false;  ///< ... and at least one is still running
+  };
+
+  /// Decides the access in one pass over the item history, short-circuiting
+  /// once both answers are known (the OnAccess hot path). `active_blocker`
+  /// is set when some vetoing edge's *source* is still running — a wait
+  /// that source's abort would directly resolve. It inspects only the
+  /// closing edges, not the full cycle path (see the file comment).
+  VetoProbe ProbeAccess(TxnId txn, const TxnScript& script,
+                        size_t step) const;
+
+  Options options_;
+  ConflictGraph graph_;         // incremental mode, nodes 1..num_txns
+  ConflictAccessIndex index_;   // per-item histories, keyed by raw txn id
+  std::vector<bool> committed_;            // by txn id
+  std::vector<uint64_t> consecutive_vetoes_;  // by txn id
+  uint64_t vetoes_ = 0;
+  uint64_t restarts_requested_ = 0;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_SGT_POLICY_H_

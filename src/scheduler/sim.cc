@@ -42,6 +42,28 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
   };
 
   uint64_t tick = 0;
+  uint64_t stalled_ticks = 0;  // consecutive blocked-but-no-victim ticks
+
+  // Abort `victim` and schedule its restart: undo its trace, rewind, and
+  // back off so the surviving transactions drain before it re-enters
+  // (otherwise the same conflict can re-form forever). Shared by the
+  // deadlock-victim path and policy-requested kAbortRestart verdicts.
+  auto restart_txn = [&](TxnId victim) {
+    policy.OnAbort(victim);
+    waits.OnResolved(victim);
+    trace.erase(std::remove_if(trace.begin(), trace.end(),
+                               [victim](const Operation& op) {
+                                 return op.txn == victim;
+                               }),
+                trace.end());
+    TxnRuntime& vrt = runtime[victim - 1];
+    vrt.pc = 0;
+    vrt.blocked = false;
+    ++vrt.abort_count;
+    uint64_t backoff = std::min<uint64_t>(2 + 4 * vrt.abort_count, 128);
+    vrt.resume_tick = tick + backoff;
+  };
+
   for (; tick < config.max_ticks; ++tick) {
     if (all_done()) break;
     bool progress = false;
@@ -73,6 +95,14 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
         ++rt.wait_ticks;
         continue;
       }
+      if (decision == SchedulerDecision::kAbortRestart) {
+        // The policy declared waiting hopeless (e.g. an SGT veto against
+        // committed edges): roll the transaction back and restart it.
+        restart_txn(txn);
+        ++result.restarts;
+        progress = true;  // state changed; this is not a stall tick
+        continue;
+      }
       rt.blocked = false;
       const AccessStep& step = script.steps[rt.pc];
       // Structural trace values: reads 0, writes the current tick (distinct
@@ -94,7 +124,10 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       }
     }
 
-    if (progress) continue;
+    if (progress) {
+      stalled_ticks = 0;
+      continue;
+    }
 
     // No transaction moved: look for a deadlock among blocked transactions.
     // The tracker diffs each blocker set against the previous stall tick's,
@@ -123,25 +156,17 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
     }
     if (victim == 0) {
       if (pending_arrival) continue;  // blockers will arrive and finish
-      return Status::Internal(
-          "simulation stalled: blocked transactions but no waits-for cycle");
+      // Blocked transactions without a waits-for cycle: an optimistic
+      // policy resolves this itself (SGT's veto threshold escalates to
+      // kAbortRestart), so keep ticking within the patience budget.
+      if (++stalled_ticks > config.stall_patience) {
+        return Status::Internal(
+            "simulation stalled: blocked transactions but no waits-for cycle");
+      }
+      continue;
     }
-    // Abort and restart the victim: undo its trace, rewind, and back off so
-    // the surviving transactions drain before it re-enters (otherwise the
-    // same cycle can re-form forever).
-    policy.OnAbort(victim);
-    waits.OnResolved(victim);
-    trace.erase(std::remove_if(trace.begin(), trace.end(),
-                               [victim](const Operation& op) {
-                                 return op.txn == victim;
-                               }),
-                trace.end());
-    TxnRuntime& vrt = runtime[victim - 1];
-    vrt.pc = 0;
-    vrt.blocked = false;
-    ++vrt.abort_count;
-    uint64_t backoff = std::min<uint64_t>(2 + 4 * vrt.abort_count, 128);
-    vrt.resume_tick = tick + backoff;
+    stalled_ticks = 0;
+    restart_txn(victim);
     ++result.aborts;
   }
 
@@ -152,6 +177,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
 
   result.makespan = tick;
   result.total_ops = trace.size();
+  result.vetoes = policy.veto_events();
   double response_sum = 0;
   for (size_t i = 0; i < n; ++i) {
     result.total_wait_ticks += runtime[i].wait_ticks;

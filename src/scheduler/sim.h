@@ -25,6 +25,13 @@ namespace nse {
 /// Simulation limits and switches.
 struct SimConfig {
   uint64_t max_ticks = 1'000'000;  ///< hard stop (error if exceeded)
+  /// Consecutive fully-stalled ticks (blocked transactions, no waits-for
+  /// cycle) tolerated before the run is declared wedged. Optimistic
+  /// policies resolve such stalls themselves — an SGT veto escalates to
+  /// kAbortRestart after its veto threshold — so the simulator must not
+  /// error on the first cycle-free stall; a genuinely stuck policy still
+  /// fails, just `stall_patience` ticks later.
+  uint64_t stall_patience = 64;
 };
 
 /// Aggregate outcome of one simulation run.
@@ -32,6 +39,8 @@ struct SimResult {
   uint64_t makespan = 0;           ///< tick after the last completion
   uint64_t completed = 0;          ///< transactions committed
   uint64_t aborts = 0;             ///< deadlock victims (each restarts)
+  uint64_t restarts = 0;           ///< policy-requested kAbortRestart events
+  uint64_t vetoes = 0;             ///< policy veto_events() (SGT cycle vetoes)
   uint64_t total_wait_ticks = 0;   ///< ticks spent blocked, all txns
   uint64_t total_ops = 0;          ///< committed operations
   double avg_response_ticks = 0;   ///< mean completion − arrival

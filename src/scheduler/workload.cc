@@ -76,6 +76,7 @@ struct CoreConfig {
   double cross_read_probability;
   bool acyclic_cross_reads;
   double branch_probability;
+  double hotspot_probability = 0.0;
   int64_t domain_lo;
   int64_t domain_hi;
   uint64_t seed;
@@ -119,6 +120,14 @@ Result<Workload> GenerateCore(const CoreConfig& config) {
     rng.Shuffle(all);
     std::vector<size_t> visit(all.begin(),
                               all.begin() + static_cast<long>(visits));
+    // Hot-spot contention: redirect one visit to partition 0. The rng is
+    // only consulted when the knob is on, so default-configured workloads
+    // reproduce byte-identically across this change.
+    if (config.hotspot_probability > 0 &&
+        rng.NextBool(config.hotspot_probability) &&
+        std::find(visit.begin(), visit.end(), size_t{0}) == visit.end()) {
+      visit[rng.NextBelow(visit.size())] = 0;
+    }
     if (config.acyclic_cross_reads) std::sort(visit.begin(), visit.end());
 
     StmtBlock body;
@@ -207,6 +216,7 @@ Result<Workload> MakePartitionedWorkload(
   core.cross_read_probability = config.cross_read_probability;
   core.acyclic_cross_reads = config.acyclic_cross_reads;
   core.branch_probability = config.branch_probability;
+  core.hotspot_probability = config.hotspot_probability;
   core.domain_lo = config.domain_lo;
   core.domain_hi = config.domain_hi;
   core.seed = config.seed;

@@ -44,6 +44,13 @@ struct PartitionedWorkloadConfig {
   double cross_read_probability = 0.5;
   bool acyclic_cross_reads = false;
   double branch_probability = 0.0;
+  /// Contention knob: probability that a transaction redirects one of its
+  /// partition visits to partition 0 (the hot spot). 0 leaves the uniform
+  /// partition choice (and the seeded rng stream) untouched; values near 1
+  /// funnel most transactions through one shared partition — the regime
+  /// where lock-based and optimistic policies diverge (bench_sgt, the
+  /// policy-vs-checker differential fuzz harness).
+  double hotspot_probability = 0.0;
   int64_t domain_lo = -64;
   int64_t domain_hi = 64;
   uint64_t seed = 1;

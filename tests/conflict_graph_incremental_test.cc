@@ -12,6 +12,7 @@
 
 #include "analysis/conflict_graph.h"
 #include "common/rng.h"
+#include "fuzz_env.h"
 
 namespace nse {
 namespace {
@@ -226,6 +227,109 @@ TEST(ConflictGraphIncrementalTest, RandomInsertRemoveStreamsStayConsistent) {
       }
     }
   }
+}
+
+// Decremental-path fuzz: removals fired deliberately *while a cycle is
+// recorded* — the Kahn+DFS re-anchor path (order maintenance is suspended
+// during cyclic phases and must be rebuilt when a removal may break the
+// cycle). Three removal flavours are interleaved: RemoveEdge on an edge of
+// the recorded cycle witness (breaks it), RemoveEdge on an edge outside
+// the witness (cycle must survive), and RemoveEdgesOf on a cycle
+// participant (the deadlock-victim abort path). Every step is
+// cross-checked against a from-scratch batch-DFS rebuild.
+TEST(ConflictGraphDecrementalFuzz, RemovalsWhileCycleRecordedAgreeWithDfs) {
+  const size_t seeds = FuzzSeedCount(10);
+  size_t cyclic_removals = 0;  // removals issued while a cycle was live
+  size_t victim_removals = 0;  // RemoveEdgesOf issued while cyclic
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    Rng rng(seed * 977 + 5);
+    const size_t n = 3 + rng.NextBelow(14);
+    ConflictGraph g(Nodes(n), CycleMode::kIncremental);
+    std::vector<std::pair<TxnId, TxnId>> live;  // mirror of the edge set
+
+    auto remove_mirror_edge = [&](TxnId from, TxnId to) {
+      auto it = std::find(live.begin(), live.end(), std::make_pair(from, to));
+      ASSERT_NE(it, live.end());
+      live.erase(it);
+    };
+
+    for (size_t step = 0; step < 10 * n; ++step) {
+      if (g.has_cycle()) {
+        // Removal under a recorded cycle: pick the flavour randomly. The
+        // witness is copied — the removal below re-anchors the graph's
+        // cycle state and would invalidate a reference.
+        const std::vector<TxnId> cycle = *g.cycle();
+        double flavour = rng.NextDouble();
+        if (flavour < 0.4) {
+          // Break the witness: remove one of its edges.
+          size_t hop = rng.NextBelow(cycle.size() - 1);
+          ASSERT_TRUE(g.RemoveEdge(cycle[hop], cycle[hop + 1]));
+          remove_mirror_edge(cycle[hop], cycle[hop + 1]);
+          ++cyclic_removals;
+        } else if (flavour < 0.7 && live.size() > cycle.size()) {
+          // Remove an edge that is not a witness hop; the recorded cycle
+          // must survive the re-anchor (possibly as a different witness).
+          std::vector<std::pair<TxnId, TxnId>> witness_edges;
+          for (size_t h = 0; h + 1 < cycle.size(); ++h) {
+            witness_edges.emplace_back(cycle[h], cycle[h + 1]);
+          }
+          std::vector<std::pair<TxnId, TxnId>> outside;
+          for (const auto& edge : live) {
+            if (std::find(witness_edges.begin(), witness_edges.end(), edge) ==
+                witness_edges.end()) {
+              outside.push_back(edge);
+            }
+          }
+          if (!outside.empty()) {
+            auto [from, to] = outside[rng.NextBelow(outside.size())];
+            ASSERT_TRUE(g.RemoveEdge(from, to));
+            remove_mirror_edge(from, to);
+            ++cyclic_removals;
+          }
+        } else {
+          // Victim abort: drop every edge of one cycle participant.
+          TxnId victim = cycle[rng.NextBelow(cycle.size() - 1)];
+          g.RemoveEdgesOf(victim);
+          live.erase(std::remove_if(live.begin(), live.end(),
+                                    [victim](const auto& edge) {
+                                      return edge.first == victim ||
+                                             edge.second == victim;
+                                    }),
+                     live.end());
+          ++cyclic_removals;
+          ++victim_removals;
+        }
+      } else {
+        // Acyclic phase: mostly insert, occasionally remove.
+        if (!live.empty() && rng.NextBool(0.2)) {
+          size_t pick = rng.NextBelow(live.size());
+          auto [from, to] = live[pick];
+          live.erase(live.begin() + pick);
+          ASSERT_TRUE(g.RemoveEdge(from, to));
+        } else {
+          TxnId from = static_cast<TxnId>(1 + rng.NextBelow(n));
+          TxnId to = static_cast<TxnId>(1 + rng.NextBelow(n));
+          if (from == to) continue;
+          if (g.AddEdge(from, to)) live.push_back({from, to});
+        }
+      }
+
+      // Cross-check against the batch-DFS reference built from scratch.
+      ConflictGraph rebuilt(Nodes(n));
+      for (const auto& [from, to] : live) rebuilt.AddEdge(from, to);
+      ASSERT_EQ(g.IsAcyclic(), rebuilt.IsAcyclic())
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(g.num_edges(), live.size());
+      if (g.IsAcyclic()) {
+        ExpectValidTopoOrder(g, g.OnlineTopologicalOrder());
+      } else {
+        ExpectValidCycle(g, *g.cycle());
+      }
+    }
+  }
+  // The sweep must actually have exercised the re-anchor paths.
+  EXPECT_GT(cyclic_removals, 0u);
+  EXPECT_GT(victim_removals, 0u);
 }
 
 TEST(ConflictGraphIncrementalTest, BuildMatchesBatchBuildOnSchedules) {

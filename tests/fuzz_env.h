@@ -1,0 +1,24 @@
+// Shared seed-count plumbing for the randomized/differential suites: each
+// fuzz-labeled ctest entry re-runs its suite with NSE_FUZZ_SEEDS set (see
+// CMakeLists.txt); without the variable the suites use their small tier-1
+// defaults.
+
+#ifndef NSE_TESTS_FUZZ_ENV_H_
+#define NSE_TESTS_FUZZ_ENV_H_
+
+#include <cstdlib>
+
+namespace nse {
+
+/// Seeds to sweep: NSE_FUZZ_SEEDS when set and positive, else the suite's
+/// tier-1 default.
+inline size_t FuzzSeedCount(size_t default_count) {
+  const char* env = std::getenv("NSE_FUZZ_SEEDS");
+  if (env == nullptr) return default_count;
+  int parsed = std::atoi(env);
+  return parsed > 0 ? static_cast<size_t>(parsed) : default_count;
+}
+
+}  // namespace nse
+
+#endif  // NSE_TESTS_FUZZ_ENV_H_

@@ -1,0 +1,127 @@
+// Policy-vs-checker differential fuzz harness: the oracle loop of Nagar &
+// Jagannathan ("Automated Detection of Serializability Violations under
+// Weak Consistency") and Biswas & Enea ("On the Complexity of Checking
+// Transactional Consistency") turned into a ctest suite. For K seeds, a
+// randomized workload sweep (contention via the hot-spot knob, transaction
+// count, script length, arrival spread) is run under every scheduler
+// policy, and the committed schedule is fed to the *independent* checkers
+// behind CheckerRegistry — each policy's output must land in the class it
+// promises:
+//
+//   strict 2PL   ->  CSR ∧ strict (hence DR)
+//   SGT          ->  CSR (by construction: cycle vetoes)
+//   PW-2PL       ->  PWSR
+//   PW-2PL + DR  ->  PWSR ∧ DR
+//
+// The default seed count keeps the tier-1 wall time flat; the fuzz-labeled
+// ctest entry re-runs the suite with NSE_FUZZ_SEEDS extra seeds in CI.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis_context.h"
+#include "analysis/checker.h"
+#include "common/rng.h"
+#include "fuzz_env.h"
+#include "scheduler/dr_scheduler.h"
+#include "scheduler/pw_two_phase_locking.h"
+#include "scheduler/sgt_policy.h"
+#include "scheduler/sim.h"
+#include "scheduler/two_phase_locking.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+std::vector<uint64_t> FuzzSeeds() {
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= FuzzSeedCount(6); ++s) seeds.push_back(s);
+  return seeds;
+}
+
+/// One randomized point of the workload sweep, drawn from the seed's own
+/// sub-streams so every knob varies independently across seeds.
+Workload DrawWorkload(uint64_t seed) {
+  Rng knobs = Rng(seed).Split(0);
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 2 + knobs.NextBelow(4);           // 2..5
+  config.items_per_partition = 1 + knobs.NextBelow(3);      // 1..3
+  config.num_txns = 4 + knobs.NextBelow(7);                 // 4..10
+  config.partitions_per_txn =
+      1 + knobs.NextBelow(config.num_partitions);           // script length
+  config.cross_read_probability = knobs.NextDouble();
+  config.hotspot_probability = 0.3 * knobs.NextBelow(4);    // 0, .3, .6, .9
+  config.arrival_spread = knobs.NextBelow(3) * 4;           // 0, 4, 8
+  config.seed = seed;
+  auto workload = MakePartitionedWorkload(config);
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  return std::move(workload).value();
+}
+
+/// Runs `checker_name` from the built-in registry against the committed
+/// schedule and asserts it is satisfied.
+void ExpectClass(const Workload& workload, const Schedule& schedule,
+                 std::string_view checker_name, std::string_view policy) {
+  AnalysisContext ctx(*workload.ic, schedule);
+  auto result = CheckerRegistry::BuiltIn().Run(checker_name, ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->verdict, Verdict::kSatisfied)
+      << policy << " broke its " << checker_name
+      << " promise: " << result->ToString() << "\nschedule:\n"
+      << schedule.ToString(workload.db);
+}
+
+class PolicyDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyDifferentialFuzz, Strict2plCommitsCsrStrictSchedules) {
+  Workload workload = DrawWorkload(GetParam());
+  StrictTwoPhaseLocking policy;
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "csr", policy.name());
+  ExpectClass(workload, result->schedule, "delayed-read", policy.name());
+  AnalysisContext strict_ctx(*workload.ic, result->schedule);
+  EXPECT_TRUE(strict_ctx.strict());
+}
+
+TEST_P(PolicyDifferentialFuzz, SgtCommitsCsrSchedules) {
+  Workload workload = DrawWorkload(GetParam());
+  SgtPolicy policy(workload.scripts.size());
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "csr", policy.name());
+  // Abort-restart hygiene: whatever restarted left no residual edges — the
+  // live graph equals the committed trace's conflict graph.
+  EXPECT_FALSE(policy.graph().has_cycle());
+  EXPECT_EQ(policy.graph().Edges(),
+            ConflictGraph::Build(result->schedule).Edges());
+}
+
+TEST_P(PolicyDifferentialFuzz, Pw2plCommitsPwsrSchedules) {
+  Workload workload = DrawWorkload(GetParam());
+  PredicatewiseTwoPhaseLocking policy(&*workload.ic);
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "pwsr", policy.name());
+}
+
+TEST_P(PolicyDifferentialFuzz, DrSchedulerCommitsPwsrDrSchedules) {
+  Workload workload = DrawWorkload(GetParam());
+  DelayedReadScheduler policy(&*workload.ic);
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "pwsr", policy.name());
+  ExpectClass(workload, result->schedule, "delayed-read", policy.name());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyDifferentialFuzz,
+                         ::testing::ValuesIn(FuzzSeeds()));
+
+}  // namespace
+}  // namespace nse

@@ -300,6 +300,53 @@ TEST_F(SolverTest, CacheClearResetsEntriesAndStats) {
   EXPECT_EQ(stats.misses, 0u);
 }
 
+TEST_F(SolverTest, CacheCapsEntriesAndCountsEvictions) {
+  // Entry-bounded cache (ROADMAP: eviction before a long-lived service
+  // holds one): the resident entry count never exceeds the cap, evictions
+  // are surfaced in the stats, and evicted keys simply recompute — answers
+  // never change, only their cost.
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  SolverCache cache(/*num_shards=*/1, /*max_entries=*/4);
+  EXPECT_EQ(cache.max_entries(), 4u);
+  ConsistencyChecker checker(db_, ic, &cache);
+  for (int64_t v = -8; v <= 8; ++v) {
+    // Each pinned value of `a` is a distinct per-conjunct cache key.
+    DbState state = DbState::OfNamed(db_, {{"a", Value(v)}});
+    auto verdict = checker.IsConsistent(state);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_TRUE(*verdict);
+    EXPECT_LE(cache.stats().entries, 4u) << "cap breached at a=" << v;
+  }
+  SolverCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+
+  // A key that was evicted early still answers correctly on re-query.
+  DbState state = DbState::OfNamed(db_, {{"a", Value(-8)}});
+  EXPECT_TRUE(*checker.IsConsistent(state));
+  EXPECT_LE(cache.stats().entries, 4u);
+}
+
+TEST_F(SolverTest, CacheCapAppliesToSolutionSets) {
+  // Enumeration subtrees (the expensive entries) respect the same cap.
+  IntegrityConstraint ic = Ic("a = b & c > 0");
+  SolverCache cache(/*num_shards=*/1, /*max_entries=*/2);
+  ConsistencyChecker checker(db_, ic, &cache);
+  for (int64_t v = 1; v <= 6; ++v) {
+    DbState pinned = DbState::OfNamed(db_, {{"a", Value(v)}});
+    auto states = checker.EnumerateConsistentExtensions(pinned, 4);
+    ASSERT_TRUE(states.ok()) << states.status();
+    EXPECT_FALSE(states->empty());
+    EXPECT_LE(cache.stats().entries, 2u);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST_F(SolverTest, DefaultCacheCapIsGenerous) {
+  SolverCache cache;
+  EXPECT_EQ(cache.max_entries(), SolverCache::kDefaultMaxEntries);
+}
+
 TEST_F(SolverTest, ConcurrentColdWorkersComputeEachConjunctOnce) {
   // The per-key once-cell: N workers warming the sampling domains of a cold
   // cache concurrently must run exactly one enumeration per conjunct — the

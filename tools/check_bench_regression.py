@@ -22,14 +22,20 @@ import json
 import sys
 
 # Fields guarded as relative performance (fresh >= baseline / tolerance).
+# bench_sgt's "speedup" is a ratio of simulated-tick throughputs, which is
+# deterministic per seed — it passes any tolerance unless the policy logic
+# itself changes.
 SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential")
 # Deterministic outputs of seeded runs: must match exactly.
-EXACT_FIELDS = ("checked", "violations", "cycles_resolved", "conjuncts")
+EXACT_FIELDS = ("checked", "violations", "cycles_resolved", "conjuncts",
+                "completed", "aborts", "restarts", "vetoes")
 # Measurements (never part of the row identity).
 MEASUREMENT_FIELDS = set(SPEEDUP_FIELDS) | set(EXACT_FIELDS) | {
     "wall_ms", "trials_per_s", "cache_hit_rate", "legacy_ms",
     "incremental_ms", "legacy_per_tick_us", "incremental_per_tick_us",
-    "edge_updates",
+    "edge_updates", "makespan_2pl", "makespan_pw2pl", "makespan_sgt",
+    "wait_ticks_2pl", "wait_ticks_sgt", "throughput_2pl",
+    "throughput_pw2pl", "throughput_sgt",
 }
 
 
