@@ -1,18 +1,22 @@
-// SGT vs the lock-based policies on contended workloads: the optimistic
-// scheduler's bet is that most conflicts order cleanly and only genuine
-// would-be cycles cost anything, so on hot-spot workloads it should beat
-// strict 2PL's makespan/throughput while paying in restarts instead of
-// lock waits. Every SGT trace is differentially checked against the
-// independent CSR checker (the policy's promise), and PW-2PL / SGT rows
-// carry the abort/restart/veto economics next to the wait ticks.
+// The policy zoo on contended workloads: strict/priority 2PL vs the
+// optimistic schedulers. The optimistic bet is that most conflicts order
+// cleanly and only genuine would-be cycles cost anything, so on hot-spot
+// workloads SGT should beat strict 2PL's makespan/throughput while paying
+// in restarts instead of lock waits; timestamp ordering pays the same
+// currency without ever blocking; wound-wait keeps 2PL's locks but trades
+// deadlock detection for priority wounds; victim-choice SGT spends the
+// fewest rollback operations of the SGT family. Every CSR-promising trace
+// is differentially checked against the independent CSR checker, and every
+// row carries the abort/restart/wound/veto economics next to the wait
+// ticks.
 //
 // Simulated time (makespan, throughput = completed / makespan) is fully
 // deterministic per seed, so the throughput ratio SGT/2PL is a stable
-// regression-guard field ("speedup"), and the SGT outcome counters
-// (completed, aborts, restarts, vetoes) are guarded exactly. Wall-clock
-// columns are informational only. --smoke runs tiny configurations
-// (differential asserts, no JSON); the full run writes BENCH_sgt.json
-// (override the path with the last argument).
+// regression-guard field ("speedup"), and the outcome counters of every
+// policy (completed, aborts, restarts, wounds, vetoes) are guarded
+// exactly. Wall-clock columns are informational only. --smoke runs tiny
+// configurations (differential asserts, no JSON); the full run writes
+// BENCH_sgt.json (override the path with the last argument).
 
 #include <chrono>
 #include <cstdio>
@@ -25,9 +29,12 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "scheduler/metrics.h"
+#include "scheduler/priority_locking.h"
 #include "scheduler/pw_two_phase_locking.h"
 #include "scheduler/sgt_policy.h"
+#include "scheduler/sgt_victim_policy.h"
 #include "scheduler/sim.h"
+#include "scheduler/timestamp_ordering.h"
 #include "scheduler/two_phase_locking.h"
 #include "scheduler/workload.h"
 
@@ -68,7 +75,10 @@ struct Row {
   bool contended = false;
   PolicyOutcome strict_2pl;
   PolicyOutcome pw_2pl;
+  PolicyOutcome wound_wait;
+  PolicyOutcome to;
   PolicyOutcome sgt;
+  PolicyOutcome sgt_victim;
   double speedup = 0;  // SGT throughput / strict-2PL throughput
 };
 
@@ -116,7 +126,8 @@ int main(int argc, char** argv) {
   };
 
   TablePrinter table({"workload", "txns", "policy", "makespan", "waits",
-                      "aborts", "restarts", "vetoes", "throughput"});
+                      "aborts", "restarts", "wounds", "vetoes",
+                      "throughput"});
   std::vector<Row> rows;
   bool sgt_beat_2pl_when_contended = false;
 
@@ -138,6 +149,28 @@ int main(int argc, char** argv) {
       row.pw_2pl = RunPolicy(policy, *workload);
     }
     {
+      WoundWaitPolicy policy(workload->scripts.size());
+      row.wound_wait = RunPolicy(policy, *workload);
+      // Deadlock-free by construction: priority waits cannot cycle, so
+      // the victim machinery must never have fired.
+      NSE_CHECK_MSG(row.wound_wait.result.aborts == 0,
+                    "wound-wait hit a deadlock on %s", c.name.c_str());
+      NSE_CHECK_MSG(IsConflictSerializable(row.wound_wait.result.schedule),
+                    "wound-wait emitted a non-CSR trace on %s",
+                    c.name.c_str());
+    }
+    {
+      TimestampOrderingPolicy policy(workload->scripts.size());
+      row.to = RunPolicy(policy, *workload);
+      // TO never blocks: its entire cost is rejections-turned-restarts.
+      NSE_CHECK_MSG(row.to.result.total_wait_ticks == 0,
+                    "TO waited on %s", c.name.c_str());
+      NSE_CHECK_MSG(row.to.result.aborts == 0, "TO deadlocked on %s",
+                    c.name.c_str());
+      NSE_CHECK_MSG(IsConflictSerializable(row.to.result.schedule),
+                    "TO emitted a non-CSR trace on %s", c.name.c_str());
+    }
+    {
       SgtPolicy policy(workload->scripts.size());
       row.sgt = RunPolicy(policy, *workload);
       // Differential contract: the committed SGT trace must pass the
@@ -149,6 +182,17 @@ int main(int argc, char** argv) {
           policy.graph().Edges() ==
               ConflictGraph::Build(row.sgt.result.schedule).Edges(),
           "SGT left residual graph edges on %s", c.name.c_str());
+    }
+    {
+      SgtVictimPolicy policy(workload->scripts.size());
+      row.sgt_victim = RunPolicy(policy, *workload);
+      NSE_CHECK_MSG(IsConflictSerializable(row.sgt_victim.result.schedule),
+                    "SGT-victim emitted a non-CSR trace on %s",
+                    c.name.c_str());
+      NSE_CHECK_MSG(
+          policy.graph().Edges() ==
+              ConflictGraph::Build(row.sgt_victim.result.schedule).Edges(),
+          "SGT-victim left residual graph edges on %s", c.name.c_str());
     }
     row.speedup = row.strict_2pl.result.throughput == 0
                       ? 0
@@ -162,28 +206,48 @@ int main(int argc, char** argv) {
                     StrCat(o.result.makespan),
                     StrCat(o.result.total_wait_ticks),
                     StrCat(o.result.aborts), StrCat(o.result.restarts),
-                    StrCat(o.result.vetoes),
+                    StrCat(o.result.wounds), StrCat(o.result.vetoes),
                     FormatDouble(o.result.throughput, 3)});
     };
     add("strict-2pl", row.strict_2pl);
     add("pw-2pl", row.pw_2pl);
+    add("wound-wait", row.wound_wait);
+    add("to", row.to);
     add("sgt", row.sgt);
+    add("sgt-victim", row.sgt_victim);
   }
 
-  std::cout << "\n=== SGT (optimistic, cycle-vetoing) vs lock-based "
-               "policies ===\n"
+  std::cout << "\n=== Policy zoo (lock-based, priority, optimistic) on the "
+               "contention sweep ===\n"
             << table.Render()
             << "(makespan/throughput are simulated ticks — deterministic "
-               "per seed; SGT pays restarts+vetoes instead of lock "
-               "waits)\n";
+               "per seed; the optimistic rows pay restarts/wounds+vetoes "
+               "instead of lock waits)\n";
 
   NSE_CHECK_MSG(sgt_beat_2pl_when_contended,
                 "SGT did not beat strict 2PL throughput on any contended "
                 "workload — the optimistic bet regressed");
 
+  // Victim-choice economics, reported for the record: the cross-run
+  // rollback comparison is an aggregate property of the *randomized*
+  // differential-harness distribution (where PolicyInvariantFuzz pins it
+  // with prefix dominance); on these four curated hot-spot rows it can go
+  // either way per row, so here the per-row counters are exact-guarded in
+  // the JSON instead of inequality-asserted.
+  uint64_t victim_rollbacks = 0, sgt_rollbacks = 0;
+  for (const Row& row : rows) {
+    victim_rollbacks += row.sgt_victim.result.restarts +
+                        row.sgt_victim.result.wounds +
+                        row.sgt_victim.result.aborts;
+    sgt_rollbacks += row.sgt.result.restarts + row.sgt.result.aborts;
+  }
+  std::cout << "sgt-victim rollbacks " << victim_rollbacks
+            << " vs baseline sgt " << sgt_rollbacks << " across the sweep\n";
+
   if (smoke) {
-    std::cout << "smoke mode: CSR differential + residual-edge checks "
-                 "passed, no baseline written\n";
+    std::cout << "smoke mode: CSR differential + residual-edge + "
+                 "no-deadlock + no-wait checks passed, no baseline "
+                 "written\n";
     return 0;
   }
 
@@ -201,25 +265,42 @@ int main(int argc, char** argv) {
         "\"speedup\": %.3f, "
         "\"completed\": %llu, \"aborts\": %llu, \"restarts\": %llu, "
         "\"vetoes\": %llu, "
+        "\"restarts_to\": %llu, \"aborts_ww\": %llu, \"wounds_ww\": %llu, "
+        "\"restarts_victim\": %llu, \"wounds_victim\": %llu, "
+        "\"aborts_victim\": %llu, "
         "\"makespan_2pl\": %llu, \"makespan_pw2pl\": %llu, "
         "\"makespan_sgt\": %llu, "
+        "\"makespan_ww\": %llu, \"makespan_to\": %llu, "
+        "\"makespan_victim\": %llu, "
         "\"wait_ticks_2pl\": %llu, \"wait_ticks_sgt\": %llu, "
         "\"throughput_2pl\": %.4f, \"throughput_pw2pl\": %.4f, "
         "\"throughput_sgt\": %.4f, "
+        "\"throughput_ww\": %.4f, \"throughput_to\": %.4f, "
+        "\"throughput_victim\": %.4f, "
         "\"wall_ms\": %.3f}%s\n",
         row.workload.c_str(), row.txns, row.speedup,
         static_cast<unsigned long long>(row.sgt.result.completed),
         static_cast<unsigned long long>(row.sgt.result.aborts),
         static_cast<unsigned long long>(row.sgt.result.restarts),
         static_cast<unsigned long long>(row.sgt.result.vetoes),
+        static_cast<unsigned long long>(row.to.result.restarts),
+        static_cast<unsigned long long>(row.wound_wait.result.aborts),
+        static_cast<unsigned long long>(row.wound_wait.result.wounds),
+        static_cast<unsigned long long>(row.sgt_victim.result.restarts),
+        static_cast<unsigned long long>(row.sgt_victim.result.wounds),
+        static_cast<unsigned long long>(row.sgt_victim.result.aborts),
         static_cast<unsigned long long>(row.strict_2pl.result.makespan),
         static_cast<unsigned long long>(row.pw_2pl.result.makespan),
         static_cast<unsigned long long>(row.sgt.result.makespan),
+        static_cast<unsigned long long>(row.wound_wait.result.makespan),
+        static_cast<unsigned long long>(row.to.result.makespan),
+        static_cast<unsigned long long>(row.sgt_victim.result.makespan),
         static_cast<unsigned long long>(row.strict_2pl.result.total_wait_ticks),
         static_cast<unsigned long long>(row.sgt.result.total_wait_ticks),
         row.strict_2pl.result.throughput, row.pw_2pl.result.throughput,
-        row.sgt.result.throughput, row.sgt.wall_ms,
-        i + 1 < rows.size() ? "," : "");
+        row.sgt.result.throughput, row.wound_wait.result.throughput,
+        row.to.result.throughput, row.sgt_victim.result.throughput,
+        row.sgt.wall_ms, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

@@ -333,6 +333,44 @@ bool ConflictGraph::WouldCloseCycle(TxnId from, TxnId to) const {
   return false;
 }
 
+std::optional<std::vector<TxnId>> ConflictGraph::WouldCloseCycleWitness(
+    TxnId from, TxnId to) const {
+  const uint32_t x = static_cast<uint32_t>(IndexOf(from));
+  const uint32_t y = static_cast<uint32_t>(IndexOf(to));
+  if (x == y) return std::vector<TxnId>{nodes_[y]};
+  // Same reachability question as WouldCloseCycle ("does `to` reach
+  // `from`?"), but with DFS parents recorded so the path can be walked
+  // back. This is the veto *resolution* path (cold compared to the probe),
+  // so local scratch is fine.
+  const bool bounded =
+      mode_ == CycleMode::kIncremental && !cycle_.has_value();
+  if (bounded && ord_[x] < ord_[y]) return std::nullopt;
+  std::vector<char> visited(nodes_.size(), 0);
+  std::vector<uint32_t> parent(nodes_.size(), UINT32_MAX);
+  std::vector<uint32_t> stack{y};
+  visited[y] = 1;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    if (node == x) {
+      std::vector<TxnId> path;
+      for (uint32_t walk = x; walk != UINT32_MAX; walk = parent[walk]) {
+        path.push_back(nodes_[walk]);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (uint32_t succ : out_[node]) {
+      if (visited[succ]) continue;
+      if (bounded && ord_[succ] > ord_[x]) continue;
+      visited[succ] = 1;
+      parent[succ] = node;
+      stack.push_back(succ);
+    }
+  }
+  return std::nullopt;
+}
+
 bool ConflictGraph::HasEdge(TxnId from, TxnId to) const {
   const std::vector<uint32_t>& succ = out_[IndexOf(from)];
   uint32_t target = static_cast<uint32_t>(IndexOf(to));

@@ -122,6 +122,18 @@ class ConflictGraph {
   /// the order bounds; plain DFS otherwise. Does not mutate the graph.
   bool WouldCloseCycle(TxnId from, TxnId to) const;
 
+  /// The witness variant of WouldCloseCycle: when inserting from → to
+  /// would close a cycle, returns the existing path to → ... → from (txn
+  /// ids; with the probed edge appended it would be the full cycle), else
+  /// nullopt. from == to yields the single-node path {to}. Same bounded
+  /// search as WouldCloseCycle in incremental acyclic state (a valid topo
+  /// order ranks every node of a to→from path at most ord(from), so the
+  /// pruning never hides a path); the victim-choice SGT policy consumes
+  /// this to abort the cheapest *active* cycle participant instead of
+  /// always restarting the requester. Does not mutate the graph.
+  std::optional<std::vector<TxnId>> WouldCloseCycleWitness(TxnId from,
+                                                           TxnId to) const;
+
   /// The direct predecessors of `txn` (incremental mode only — that is
   /// where predecessor lists are maintained). O(in-degree).
   std::vector<TxnId> Predecessors(TxnId txn) const;

@@ -36,11 +36,16 @@ std::string TraceClassification::ToString() const {
 }
 
 std::string SimSummary(const SimResult& result) {
-  return StrCat("makespan ", result.makespan, ", completed ",
-                result.completed, ", aborts ", result.aborts, ", restarts ",
-                result.restarts, ", vetoes ", result.vetoes, ", wait_ticks ",
-                result.total_wait_ticks, ", throughput ",
-                FormatDouble(result.throughput, 3));
+  std::string out =
+      StrCat("makespan ", result.makespan, ", completed ", result.completed,
+             ", aborts ", result.aborts, ", restarts ", result.restarts,
+             ", wounds ", result.wounds, ", vetoes ", result.vetoes,
+             ", wait_ticks ", result.total_wait_ticks, ", throughput ",
+             FormatDouble(result.throughput, 3));
+  if (result.skipped_ops > 0) {
+    out += StrCat(", skipped ", result.skipped_ops);
+  }
+  return out;
 }
 
 void SeriesSummary::Add(double x) {

@@ -37,9 +37,11 @@ struct TraceClassification {
 TraceClassification ClassifyTrace(AnalysisContext& ctx);
 
 /// One-line performance summary of a simulation run, e.g.
-/// "makespan 42, completed 8, aborts 1, restarts 2, vetoes 5,
-/// throughput 0.19" — restart and veto counts included so optimistic
-/// policies (SGT) render their abort economics next to the lock waits.
+/// "makespan 42, completed 8, aborts 1, restarts 2, wounds 1, vetoes 5,
+/// throughput 0.19" — restart, wound and veto counts included so
+/// optimistic / priority policies (SGT, wound-wait, TO) render their
+/// abort economics next to the lock waits; a ", skipped N" suffix appears
+/// when Thomas-rule writes were elided.
 std::string SimSummary(const SimResult& result);
 
 /// Streaming summary of a numeric series.

@@ -1,0 +1,98 @@
+#include "scheduler/priority_locking.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nse {
+
+PriorityLockingPolicy::PriorityLockingPolicy(size_t num_txns)
+    : stamp_(num_txns + 1) {}
+
+uint64_t PriorityLockingPolicy::EnsureStamp(TxnId txn) {
+  if (!stamp_[txn].has_value()) stamp_[txn] = ++clock_;
+  return *stamp_[txn];
+}
+
+uint64_t PriorityLockingPolicy::StampOf(TxnId txn) const {
+  NSE_CHECK_MSG(stamp_[txn].has_value(),
+                "lock holder %u without a priority stamp", txn);
+  return *stamp_[txn];
+}
+
+SchedulerDecision PriorityLockingPolicy::OnAccess(TxnId txn,
+                                                  const TxnScript& script,
+                                                  size_t step) {
+  const uint64_t ts = EnsureStamp(txn);
+  const AccessStep& access = script.steps[step];
+  const LockMode mode =
+      access.action == OpAction::kWrite ? LockMode::kExclusive
+                                        : LockMode::kShared;
+  if (locks_.TryAcquire(txn, access.item, mode)) {
+    return SchedulerDecision::kProceed;
+  }
+  std::vector<TxnId> holders = locks_.Blockers(txn, access.item, mode);
+  NSE_CHECK_MSG(!holders.empty(), "lock denied with no blocking holder");
+  return OnConflict(txn, ts, holders);
+}
+
+void PriorityLockingPolicy::AfterAccess(TxnId, const TxnScript&, size_t) {
+  // Strict locking: nothing releases before completion.
+}
+
+void PriorityLockingPolicy::OnComplete(TxnId txn) { locks_.ReleaseAll(txn); }
+
+void PriorityLockingPolicy::OnAbort(TxnId txn) {
+  // Wound or death: drop the locks but *keep* the stamp — the restarted
+  // incarnation inherits its age, which is what rules out starvation.
+  locks_.ReleaseAll(txn);
+}
+
+std::vector<TxnId> PriorityLockingPolicy::Blockers(TxnId txn,
+                                                   const TxnScript& script,
+                                                   size_t step) const {
+  const AccessStep& access = script.steps[step];
+  const LockMode mode =
+      access.action == OpAction::kWrite ? LockMode::kExclusive
+                                        : LockMode::kShared;
+  return locks_.Blockers(txn, access.item, mode);
+}
+
+std::vector<TxnId> PriorityLockingPolicy::DrainWounds() {
+  return std::exchange(pending_wounds_, {});
+}
+
+std::optional<uint64_t> PriorityLockingPolicy::priority(TxnId txn) const {
+  return txn < stamp_.size() ? stamp_[txn] : std::nullopt;
+}
+
+SchedulerDecision WoundWaitPolicy::OnConflict(
+    TxnId, uint64_t ts, const std::vector<TxnId>& holders) {
+  // Wound every younger holder in the way; wait for the rest. After the
+  // simulator drains the wounds, the surviving blockers are all older, so
+  // every standing wait points young -> old — acyclic by the total
+  // priority order.
+  for (TxnId holder : holders) {
+    if (StampOf(holder) > ts) {
+      pending_wounds_.push_back(holder);
+      ++wounds_issued_;
+    }
+  }
+  return SchedulerDecision::kWait;
+}
+
+SchedulerDecision WaitDiePolicy::OnConflict(TxnId, uint64_t ts,
+                                            const std::vector<TxnId>& holders) {
+  // Wait only when older than every conflicting holder (waits point
+  // old -> young, acyclic); otherwise die and retry under the original
+  // stamp.
+  for (TxnId holder : holders) {
+    if (StampOf(holder) < ts) {
+      ++deaths_;
+      return SchedulerDecision::kAbortRestart;
+    }
+  }
+  return SchedulerDecision::kWait;
+}
+
+}  // namespace nse

@@ -1,0 +1,114 @@
+// Priority-aware (timestamp-ordered) deadlock-free 2PL: the wound-wait and
+// wait-die protocols layered on the shared LockManager. Every transaction
+// draws a priority timestamp at its first access and *keeps it across
+// restarts* — a restarted transaction ages rather than rejuvenates, which
+// is what makes both protocols starvation-free: eventually it is the
+// oldest transaction in the system and nothing can wound it (wound-wait)
+// or force it to die (wait-die).
+//
+// Both protocols restrict which way a wait edge may point, so the
+// waits-for graph is embedded in the (total) priority order and can never
+// close a cycle — the simulator's deadlock-victim machinery provably never
+// fires (SimResult.aborts == 0 is the structural invariant the
+// differential harness pins):
+//
+//   wound-wait  — an older requester *wounds* (aborts) every younger lock
+//                 holder in its way and waits for the older ones: waits
+//                 only ever point young → old.
+//   wait-die    — a requester older than every conflicting holder waits;
+//                 a requester younger than any holder *dies* (aborts and
+//                 restarts with its original stamp): waits only ever point
+//                 old → young.
+//
+// Locks are strict (held to completion), so both policies promise
+// CSR ∧ strict — same class as strict 2PL, minus the deadlocks. Wounds
+// travel through SchedulerPolicy::DrainWounds: the simulator rolls the
+// victims back through the shared restart path right after the OnAccess
+// that condemned them.
+
+#ifndef NSE_SCHEDULER_PRIORITY_LOCKING_H_
+#define NSE_SCHEDULER_PRIORITY_LOCKING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "scheduler/lock_manager.h"
+#include "scheduler/scheduler.h"
+
+namespace nse {
+
+/// Common substrate of the two protocols: strict locking, priority stamps
+/// that survive restarts, wound plumbing.
+class PriorityLockingPolicy : public SchedulerPolicy {
+ public:
+  explicit PriorityLockingPolicy(size_t num_txns);
+
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                             size_t step) override;
+  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
+  void OnComplete(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                              size_t step) const override;
+  std::vector<TxnId> DrainWounds() override;
+
+  /// The priority stamp of txn (assigned at its first access, kept across
+  /// restarts; smaller = older = higher priority), or nullopt before it
+  /// ran.
+  std::optional<uint64_t> priority(TxnId txn) const;
+
+  /// Younger holders wounded (wound-wait; 0 under wait-die).
+  uint64_t wounds_issued() const { return wounds_issued_; }
+
+  /// Requester deaths (wait-die; 0 under wound-wait).
+  uint64_t deaths() const { return deaths_; }
+
+ protected:
+  /// Protocol hook: the requester (with stamp `ts`) found `holders` in its
+  /// way (all distinct from it). Returns the verdict; may enqueue wounds.
+  virtual SchedulerDecision OnConflict(TxnId txn, uint64_t ts,
+                                       const std::vector<TxnId>& holders) = 0;
+
+  /// Stamp of a transaction that has run at least once (CHECK otherwise).
+  uint64_t StampOf(TxnId txn) const;
+
+  std::vector<TxnId> pending_wounds_;
+  uint64_t wounds_issued_ = 0;
+  uint64_t deaths_ = 0;
+
+ private:
+  uint64_t EnsureStamp(TxnId txn);
+
+  LockManager locks_;
+  uint64_t clock_ = 0;
+  std::vector<std::optional<uint64_t>> stamp_;  // by txn id
+};
+
+/// Wound-wait: older requesters wound younger holders, wait on older ones.
+class WoundWaitPolicy : public PriorityLockingPolicy {
+ public:
+  explicit WoundWaitPolicy(size_t num_txns)
+      : PriorityLockingPolicy(num_txns) {}
+  std::string name() const override { return "wound-wait"; }
+
+ protected:
+  SchedulerDecision OnConflict(TxnId txn, uint64_t ts,
+                               const std::vector<TxnId>& holders) override;
+};
+
+/// Wait-die: requesters wait only on uniformly younger holders; otherwise
+/// they die and retry with their original stamp.
+class WaitDiePolicy : public PriorityLockingPolicy {
+ public:
+  explicit WaitDiePolicy(size_t num_txns) : PriorityLockingPolicy(num_txns) {}
+  std::string name() const override { return "wait-die"; }
+
+ protected:
+  SchedulerDecision OnConflict(TxnId txn, uint64_t ts,
+                               const std::vector<TxnId>& holders) override;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_PRIORITY_LOCKING_H_

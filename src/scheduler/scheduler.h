@@ -41,6 +41,11 @@ enum class SchedulerDecision {
   kAbortRestart,  ///< abort the requesting txn and restart it from scratch
                   ///< (optimistic policies: waiting cannot resolve the
                   ///< conflict, e.g. an SGT veto against committed edges)
+  kSkip,          ///< the step is logically subsumed and must not execute:
+                  ///< the txn advances past it and nothing enters the
+                  ///< committed trace (Thomas write rule — an obsolete
+                  ///< write overwritten, in timestamp order, by a newer
+                  ///< one that already happened)
 };
 
 /// A pluggable concurrency-control policy.
@@ -80,6 +85,17 @@ class SchedulerPolicy {
   /// cycle veto), as opposed to an ordinary lock wait. Lock-based policies
   /// report 0; the simulator copies the count into SimResult.vetoes.
   virtual uint64_t veto_events() const { return 0; }
+
+  /// Transactions this policy decided, during the last OnAccess call, to
+  /// abort *other than the requester* — wound-wait wounding a younger lock
+  /// holder, the SGT victim-choice policy aborting the cheapest active
+  /// cycle participant. The simulator drains the list right after every
+  /// OnAccess and rolls each victim back through the shared restart path
+  /// (they restart from scratch, like deadlock victims). Victims must be
+  /// active transactions and must never include the requester — the
+  /// requester aborts itself by returning kAbortRestart instead. Default:
+  /// no wounds.
+  virtual std::vector<TxnId> DrainWounds() { return {}; }
 };
 
 }  // namespace nse

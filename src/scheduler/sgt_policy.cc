@@ -1,5 +1,7 @@
 #include "scheduler/sgt_policy.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace nse {
@@ -21,7 +23,9 @@ SgtPolicy::SgtPolicy(size_t num_txns, Options options)
     : options_(options),
       graph_(AllTxnIds(num_txns), CycleMode::kIncremental),
       committed_(num_txns + 1, false),
-      consecutive_vetoes_(num_txns + 1, 0) {
+      trimmed_(num_txns + 1, false),
+      consecutive_vetoes_(num_txns + 1, 0),
+      steps_recorded_(num_txns + 1, 0) {
   NSE_CHECK_MSG(options_.max_consecutive_vetoes >= 1,
                 "SGT veto threshold must be at least 1");
 }
@@ -86,36 +90,71 @@ SchedulerDecision SgtPolicy::OnAccess(TxnId txn, const TxnScript& script,
     return SchedulerDecision::kWait;
   }
   consecutive_vetoes_[txn] = 0;
-  // Admit: materialize the step's conflict edges and record the access.
-  // Every new edge ends at `txn`, so a simple cycle could use at most one
-  // of them — each was individually cleared by WouldCloseCycle above, and
-  // the graph stays acyclic.
+  AdmitAccess(txn, script, step);
+  return SchedulerDecision::kProceed;
+}
+
+void SgtPolicy::AdmitAccess(TxnId txn, const TxnScript& script, size_t step) {
+  // Materialize the step's conflict edges and record the access. Every new
+  // edge ends at `txn`, so a simple cycle could use at most one of them —
+  // each was individually cleared by WouldCloseCycle, and the graph stays
+  // acyclic.
   const AccessStep& access = script.steps[step];
   const bool is_write = access.action == OpAction::kWrite;
   index_.ForEachConflict(txn, is_write, access.item, [&](uint32_t from) {
     graph_.AddEdge(from, txn);
   });
   index_.Record(txn, is_write, access.item);
+  ++steps_recorded_[txn];
   NSE_CHECK_MSG(!graph_.has_cycle(),
                 "SGT admitted an access that closed a conflict cycle");
-  return SchedulerDecision::kProceed;
 }
 
 void SgtPolicy::AfterAccess(TxnId, const TxnScript&, size_t) {}
 
+void SgtPolicy::CollectCommitted() {
+  if (!options_.gc_committed) return;
+  // Trim committed sources to a fixpoint: a committed node issues no new
+  // accesses, so its in-edge set is final — once empty, no future cycle
+  // can pass through it (a cycle would need a path *into* the node) and
+  // its out-edges / item histories are dead weight. Each trim may expose
+  // the next committed source downstream, hence the fixpoint loop.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TxnId id = 1; id < committed_.size(); ++id) {
+      if (!committed_[id] || trimmed_[id]) continue;
+      if (!graph_.Predecessors(id).empty()) continue;
+      graph_.RemoveEdgesOf(id);
+      index_.Erase(id);
+      trimmed_[id] = true;
+      ++gc_trimmed_;
+      --live_committed_;
+      changed = true;
+    }
+  }
+}
+
 void SgtPolicy::OnComplete(TxnId txn) {
-  // Committed edges stay: later accesses must still serialize after txn.
+  // Committed edges stay: later accesses must still serialize after txn
+  // (until the GC proves the node can never rejoin a cycle).
   committed_[txn] = true;
   consecutive_vetoes_[txn] = 0;
+  ++live_committed_;
+  max_live_committed_ = std::max(max_live_committed_, live_committed_);
+  CollectCommitted();
 }
 
 void SgtPolicy::OnAbort(TxnId txn) {
   // Retract the aborted transaction's whole footprint; it restarts from
-  // scratch with a clean node.
+  // scratch with a clean node. The retraction can strand committed
+  // successors without predecessors, so give the GC a pass too.
   graph_.RemoveEdgesOf(txn);
   index_.Erase(txn);
   committed_[txn] = false;
   consecutive_vetoes_[txn] = 0;
+  steps_recorded_[txn] = 0;
+  CollectCommitted();
 }
 
 std::vector<TxnId> SgtPolicy::Blockers(TxnId txn, const TxnScript& script,

@@ -45,6 +45,17 @@ class SgtPolicy : public SchedulerPolicy {
     /// Straight vetoes of one step before the policy gives up waiting and
     /// requests abort-restart (the livelock guard). Must be >= 1.
     uint64_t max_consecutive_vetoes = 4;
+    /// Classical SGT committed-node garbage collection: after every commit
+    /// (and abort), committed transactions with no predecessors left in the
+    /// live graph are trimmed — their edges and access-index footprint
+    /// removed. A committed node can never gain a new in-edge (it issues no
+    /// further accesses), so a committed *source* can never sit on a future
+    /// cycle: trimming it, its out-edges and its item histories changes no
+    /// veto decision, while keeping the live footprint bounded by the
+    /// active window of an unbounded transaction stream instead of growing
+    /// with everything ever committed. Off by default so quiescence tests
+    /// can compare the live graph against the full committed trace's.
+    bool gc_committed = false;
   };
 
   explicit SgtPolicy(size_t num_txns);
@@ -66,13 +77,26 @@ class SgtPolicy : public SchedulerPolicy {
   /// Vetoed transactions that escalated to kAbortRestart.
   uint64_t restarts_requested() const { return restarts_requested_; }
 
+  /// Committed transactions trimmed by the GC (0 unless gc_committed).
+  uint64_t gc_trimmed() const { return gc_trimmed_; }
+
+  /// Committed transactions still carrying graph/index footprint (i.e. not
+  /// yet trimmed). Without GC this is simply everything committed so far.
+  size_t live_committed_nodes() const { return live_committed_; }
+
+  /// High-water mark of live_committed_nodes() across the run — what the
+  /// GC keeps bounded on a long transaction stream.
+  size_t max_live_committed_nodes() const { return max_live_committed_; }
+
   /// The live serialization graph (read-only; tests assert it stays acyclic
-  /// and, at quiescence, equals the committed schedule's conflict graph).
+  /// and, at quiescence, equals the committed schedule's conflict graph —
+  /// minus the trimmed footprint when GC is on).
   const ConflictGraph& graph() const { return graph_; }
 
- private:
+ protected:
   /// The conflict predecessors whose edges veto txn's access to `step`
-  /// right now (empty when the access is admissible). Blockers-only path.
+  /// right now (empty when the access is admissible). Blockers-only path
+  /// and the victim-choice subclass's veto enumeration.
   std::vector<TxnId> VetoingPredecessors(TxnId txn, const TxnScript& script,
                                          size_t step) const;
 
@@ -89,13 +113,26 @@ class SgtPolicy : public SchedulerPolicy {
   VetoProbe ProbeAccess(TxnId txn, const TxnScript& script,
                         size_t step) const;
 
+  /// Materializes an admitted access: inserts its conflict edges, records
+  /// it in the item history, bumps the txn's work counter. The access must
+  /// have been cleared (no vetoing predecessor).
+  void AdmitAccess(TxnId txn, const TxnScript& script, size_t step);
+
+  /// Trims committed source nodes to a fixpoint (no-op unless GC is on).
+  void CollectCommitted();
+
   Options options_;
   ConflictGraph graph_;         // incremental mode, nodes 1..num_txns
   ConflictAccessIndex index_;   // per-item histories, keyed by raw txn id
   std::vector<bool> committed_;            // by txn id
+  std::vector<bool> trimmed_;              // by txn id (GC only)
   std::vector<uint64_t> consecutive_vetoes_;  // by txn id
+  std::vector<uint64_t> steps_recorded_;   // by txn id: work since (re)start
   uint64_t vetoes_ = 0;
   uint64_t restarts_requested_ = 0;
+  uint64_t gc_trimmed_ = 0;
+  size_t live_committed_ = 0;
+  size_t max_live_committed_ = 0;
 };
 
 }  // namespace nse

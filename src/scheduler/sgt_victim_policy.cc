@@ -1,0 +1,85 @@
+#include "scheduler/sgt_victim_policy.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nse {
+
+SgtVictimPolicy::SgtVictimPolicy(size_t num_txns)
+    : SgtVictimPolicy(num_txns, Options()) {}
+
+SgtVictimPolicy::SgtVictimPolicy(size_t num_txns, Options options)
+    : SgtPolicy(num_txns, options) {}
+
+SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
+                                            size_t step) {
+  // Hot path is the baseline's short-circuiting probe: admissions and
+  // below-threshold waits (the overwhelming majority of calls, re-probed
+  // every blocked tick) never enumerate the vetoing edges.
+  VetoProbe probe = ProbeAccess(txn, script, step);
+  if (!probe.vetoed) {
+    consecutive_vetoes_[txn] = 0;
+    AdmitAccess(txn, script, step);
+    return SchedulerDecision::kProceed;
+  }
+  ++vetoes_;
+  // Escalation timing is the baseline's, unchanged: wait while some
+  // vetoing edge has an active source (its abort would retract the edge)
+  // and the veto streak is below the threshold; escalate on committed-only
+  // sources at once. What changes is the *resolution*: instead of always
+  // restarting the requester, trace the would-be cycles and sacrifice the
+  // cheapest active participant.
+  if (probe.active_blocker &&
+      ++consecutive_vetoes_[txn] < options_.max_consecutive_vetoes) {
+    return SchedulerDecision::kWait;
+  }
+  consecutive_vetoes_[txn] = 0;
+  // Escalation (cold): enumerate the vetoing edges and pick the victim
+  // across every would-be cycle — (steps recorded since last restart,
+  // txn id) lexicographic. The requester heads each witness path, so the
+  // candidate set is never empty; committed participants are immovable,
+  // but the requester itself is always active.
+  std::vector<TxnId> vetoing = VetoingPredecessors(txn, script, step);
+  NSE_CHECK_MSG(!vetoing.empty(), "probe vetoed but no vetoing edge found");
+  TxnId victim = 0;
+  std::pair<uint64_t, TxnId> best{UINT64_MAX, 0};
+  for (TxnId from : vetoing) {
+    auto path = graph().WouldCloseCycleWitness(from, txn);
+    NSE_CHECK_MSG(path.has_value(),
+                  "vetoing edge without a reachable cycle path");
+    for (TxnId node : *path) {
+      if (committed_[node]) continue;
+      std::pair<uint64_t, TxnId> cost{steps_recorded_[node], node};
+      if (cost < best) {
+        best = cost;
+        victim = node;
+      }
+    }
+  }
+  NSE_CHECK_MSG(victim != 0, "cycle path had no active participant");
+  if (victim == txn || steps_recorded_[victim] >= steps_recorded_[txn]) {
+    // The requester is the cheapest loss (strictly-cheaper rule: a tie
+    // goes to the baseline verdict): restart it, exactly like the
+    // baseline escalation.
+    ++restarts_requested_;
+    return SchedulerDecision::kAbortRestart;
+  }
+  // Condemn the strictly cheaper participant: the simulator rolls it back
+  // right after this call returns (its OnAbort retracts the vetoing
+  // edges), and the requester retries next round against a graph the
+  // retraction has already uncycled. Every wound sacrifices strictly less
+  // recorded work than the baseline's requester-restart would have at
+  // this same decision point — the per-decision contract wound_savings()
+  // accounts for.
+  ++wounds_requested_;
+  wound_savings_ += steps_recorded_[txn] - steps_recorded_[victim];
+  pending_wounds_.push_back(victim);
+  return SchedulerDecision::kWait;
+}
+
+std::vector<TxnId> SgtVictimPolicy::DrainWounds() {
+  return std::exchange(pending_wounds_, {});
+}
+
+}  // namespace nse

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "scheduler/waits_for.h"
 
@@ -90,6 +91,22 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
         continue;
       }
       SchedulerDecision decision = policy.OnAccess(txn, script, rt.pc);
+      // Wound path: the policy may have condemned *other* transactions
+      // while deciding this access (wound-wait, SGT victim choice). Roll
+      // them back through the shared restart path before acting on the
+      // requester's own verdict — a wound releases the victim's footprint
+      // (locks, graph edges), which is exactly what unblocks the requester
+      // on its next attempt.
+      for (TxnId victim : policy.DrainWounds()) {
+        NSE_CHECK_MSG(victim != txn,
+                      "policy wounded the requester; it must return "
+                      "kAbortRestart instead");
+        NSE_CHECK_MSG(victim >= 1 && victim <= n && !runtime[victim - 1].done,
+                      "policy wounded an inactive transaction");
+        restart_txn(victim);
+        ++result.wounds;
+        progress = true;  // state changed; this is not a stall tick
+      }
       if (decision == SchedulerDecision::kWait) {
         rt.blocked = true;
         ++rt.wait_ticks;
@@ -100,19 +117,26 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
         // committed edges): roll the transaction back and restart it.
         restart_txn(txn);
         ++result.restarts;
-        progress = true;  // state changed; this is not a stall tick
+        progress = true;
         continue;
       }
       rt.blocked = false;
-      const AccessStep& step = script.steps[rt.pc];
-      // Structural trace values: reads 0, writes the current tick (distinct
-      // values keep traces readable; checkers ignore them).
-      trace.push_back(step.action == OpAction::kRead
-                          ? Operation::Read(txn, step.item, Value(0))
-                          : Operation::Write(
-                                txn, step.item,
-                                Value(static_cast<int64_t>(tick))));
-      policy.AfterAccess(txn, script, rt.pc);
+      if (decision == SchedulerDecision::kSkip) {
+        // Thomas write rule: the step is subsumed by a newer write that
+        // already executed. The txn advances past it, nothing is traced
+        // and AfterAccess does not run — the operation never happened.
+        ++result.skipped_ops;
+      } else {
+        const AccessStep& step = script.steps[rt.pc];
+        // Structural trace values: reads 0, writes the current tick
+        // (distinct values keep traces readable; checkers ignore them).
+        trace.push_back(step.action == OpAction::kRead
+                            ? Operation::Read(txn, step.item, Value(0))
+                            : Operation::Write(
+                                  txn, step.item,
+                                  Value(static_cast<int64_t>(tick))));
+        policy.AfterAccess(txn, script, rt.pc);
+      }
       ++rt.pc;
       progress = true;
       if (rt.pc == script.steps.size()) {

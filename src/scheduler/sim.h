@@ -40,7 +40,11 @@ struct SimResult {
   uint64_t completed = 0;          ///< transactions committed
   uint64_t aborts = 0;             ///< deadlock victims (each restarts)
   uint64_t restarts = 0;           ///< policy-requested kAbortRestart events
+  uint64_t wounds = 0;             ///< policy-aborted *other* transactions
+                                   ///< (DrainWounds victims; each restarts)
   uint64_t vetoes = 0;             ///< policy veto_events() (SGT cycle vetoes)
+  uint64_t skipped_ops = 0;        ///< kSkip verdicts (Thomas-rule writes
+                                   ///< elided from the committed trace)
   uint64_t total_wait_ticks = 0;   ///< ticks spent blocked, all txns
   uint64_t total_ops = 0;          ///< committed operations
   double avg_response_ticks = 0;   ///< mean completion − arrival

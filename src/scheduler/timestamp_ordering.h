@@ -1,0 +1,123 @@
+// Basic timestamp ordering (TO): the classical non-locking serializable
+// scheduler. Every transaction draws a unique timestamp from a global
+// counter when it (re)starts; conflicting operations must execute in
+// timestamp order, and an operation arriving too late — a read of an item
+// already written by a younger (larger-timestamp) transaction, or a write
+// of an item already read or written by a younger one — is rejected: the
+// requester aborts and restarts with a fresh (larger) timestamp via the
+// simulator's kAbortRestart path. The policy never waits, so it never
+// blocks, never deadlocks, and reports no Blockers.
+//
+// Every recorded conflict therefore points from a smaller final timestamp
+// to a larger one (aborted incarnations vanish from the trace along with
+// their table entries), so the committed trace's conflict graph embeds in
+// the timestamp order — acyclic, i.e. CSR *by construction*, with the
+// timestamp order itself a serialization order. That embedding is the
+// policy's structural invariant, pinned seed-for-seed by the differential
+// harness.
+//
+// The Thomas write rule is a toggle: a write that is older than the item's
+// newest write but not older than any read (ts >= rts(x), ts < wts(x)) is
+// obsolete — in timestamp order it would be overwritten immediately by the
+// newer write that already happened — so instead of aborting, the policy
+// answers SchedulerDecision::kSkip and the write is elided from the
+// committed trace entirely. Eliding (rather than tracing) the write is
+// what keeps the CSR-by-construction argument intact: the trace only ever
+// contains operations that passed their timestamp test.
+//
+// This is the structural-schedule setting of the paper (class membership
+// depends only on actions, items and order): reads may observe active
+// writers, and recoverability/cascading-abort concerns are out of scope —
+// an aborted writer's operations are removed from the trace by the
+// simulator's shared restart path before the trace is ever classified.
+
+#ifndef NSE_SCHEDULER_TIMESTAMP_ORDERING_H_
+#define NSE_SCHEDULER_TIMESTAMP_ORDERING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+
+namespace nse {
+
+/// Basic TO policy over a fixed transaction population (ids 1..num_txns).
+class TimestampOrderingPolicy : public SchedulerPolicy {
+ public:
+  struct Options {
+    /// Thomas write rule: skip (rather than reject) writes that lost the
+    /// race against a newer write but conflict with no newer read.
+    bool thomas_write_rule = false;
+  };
+
+  explicit TimestampOrderingPolicy(size_t num_txns);
+  TimestampOrderingPolicy(size_t num_txns, Options options);
+
+  std::string name() const override {
+    return options_.thomas_write_rule ? "to+thomas" : "to";
+  }
+
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                             size_t step) override;
+  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
+  void OnComplete(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                              size_t step) const override;
+
+  /// The timestamp of txn's current incarnation (assigned at its first
+  /// access since the last (re)start), or nullopt before it ran. For a
+  /// committed transaction this is the final timestamp the serialization
+  /// order embeds.
+  std::optional<uint64_t> timestamp(TxnId txn) const;
+
+  /// Accesses rejected for arriving out of timestamp order (each one
+  /// became a kAbortRestart).
+  uint64_t rejections() const { return rejections_; }
+
+  /// Writes elided by the Thomas write rule (kSkip verdicts).
+  uint64_t skipped_writes() const { return skipped_writes_; }
+
+ private:
+  /// One recorded access: the incarnation's timestamp, keyed by txn.
+  struct Stamp {
+    TxnId txn = 0;
+    uint64_t ts = 0;
+  };
+  /// Per-entry stamps are kept only for *active* incarnations (they may
+  /// still abort and retract); commit folds them into the two scalars —
+  /// committed stamps never retract, so only their maxima matter. This
+  /// keeps each access check O(active accessors) and the footprint
+  /// bounded by the active window instead of everything ever committed
+  /// (the TO counterpart of SgtPolicy's committed-node GC).
+  struct ItemState {
+    std::vector<Stamp> readers;  // active incarnations only (deduped)
+    std::vector<Stamp> writers;
+    uint64_t committed_rts = 0;  // max committed read timestamp
+    uint64_t committed_wts = 0;  // max committed write timestamp
+  };
+
+  /// Assigns txn a fresh timestamp if its incarnation has none yet.
+  uint64_t EnsureTimestamp(TxnId txn);
+
+  /// The newest timestamp among `stamps` belonging to other transactions.
+  static uint64_t MaxOtherTs(const std::vector<Stamp>& stamps, TxnId self);
+
+  static void RecordStamp(std::vector<Stamp>& stamps, TxnId txn, uint64_t ts);
+
+  Options options_;
+  uint64_t clock_ = 0;                       // last timestamp handed out
+  std::vector<std::optional<uint64_t>> ts_;  // by txn id
+  std::vector<ItemState> items_;             // by item id, grown on demand
+  /// Items the txn's current incarnation recorded stamps on — the abort
+  /// path erases exactly this footprint instead of scanning every item
+  /// (restarts are TO's whole cost model, so aborts are not rare).
+  std::vector<std::vector<ItemId>> touched_;  // by txn id
+  uint64_t rejections_ = 0;
+  uint64_t skipped_writes_ = 0;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_TIMESTAMP_ORDERING_H_

@@ -332,6 +332,135 @@ TEST(ConflictGraphDecrementalFuzz, RemovalsWhileCycleRecordedAgreeWithDfs) {
   EXPECT_GT(victim_removals, 0u);
 }
 
+TEST(ConflictGraphIncrementalTest, WitnessProbeReturnsThePathBehindTheVeto) {
+  ConflictGraph g(Nodes(5), CycleMode::kIncremental);
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_TRUE(g.AddEdge(3, 4));
+  // Inserting 4 -> 1 would close the cycle; the witness is the existing
+  // path from `to` (1) to `from` (4).
+  auto path = g.WouldCloseCycleWitness(4, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<TxnId>{1, 2, 3, 4}));
+  // No path means no witness — agreeing with the boolean probe.
+  EXPECT_FALSE(g.WouldCloseCycleWitness(1, 3).has_value());
+  EXPECT_FALSE(g.WouldCloseCycle(1, 3));
+  // Self-probe: the single-node path.
+  auto self_path = g.WouldCloseCycleWitness(2, 2);
+  ASSERT_TRUE(self_path.has_value());
+  EXPECT_EQ(*self_path, std::vector<TxnId>{2});
+}
+
+TEST(ConflictGraphDecrementalFuzz, OverlappingCyclesAndWitnessAgreeWithDfs) {
+  // Two extensions of the removal-under-cycle fuzz above: (1) while a
+  // cycle is recorded, keep *inserting* edges too (order maintenance is
+  // suspended, so this breeds multiple overlapping cycles), then fire
+  // RemoveEdgesOf on cycle participants — the re-anchor must agree with a
+  // from-scratch batch-DFS rebuild even when other cycles survive the
+  // removal; (2) in acyclic states, cross-check WouldCloseCycleWitness
+  // against batch-DFS reachability and validate the returned path hop by
+  // hop (the victim-choice SGT policy trusts it to name the cycle
+  // participants).
+  const size_t seeds = FuzzSeedCount(10);
+  size_t overlapping_survivals = 0;  // victim removals that left a cycle
+  size_t witness_probes = 0;
+  size_t witness_hits = 0;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    Rng rng(seed * 7919 + 3);
+    const size_t n = 4 + rng.NextBelow(12);
+    ConflictGraph g(Nodes(n), CycleMode::kIncremental);
+    std::vector<std::pair<TxnId, TxnId>> live;
+
+    auto rebuilt_reference = [&]() {
+      ConflictGraph rebuilt(Nodes(n));
+      for (const auto& [from, to] : live) rebuilt.AddEdge(from, to);
+      return rebuilt;
+    };
+
+    for (size_t step = 0; step < 12 * n; ++step) {
+      if (g.has_cycle()) {
+        double flavour = rng.NextDouble();
+        if (flavour < 0.5) {
+          // Pile on more edges while the cycle is recorded: overlapping
+          // cycles that share participants with the recorded witness.
+          TxnId from = static_cast<TxnId>(1 + rng.NextBelow(n));
+          TxnId to = static_cast<TxnId>(1 + rng.NextBelow(n));
+          if (from == to) continue;
+          if (g.AddEdge(from, to)) live.push_back({from, to});
+        } else {
+          // Abort a recorded-cycle participant. With overlapping cycles
+          // the graph often *stays* cyclic — the re-anchor must find a
+          // fresh witness rather than declare victory.
+          const std::vector<TxnId> cycle = *g.cycle();
+          TxnId victim = cycle[rng.NextBelow(cycle.size() - 1)];
+          g.RemoveEdgesOf(victim);
+          live.erase(std::remove_if(live.begin(), live.end(),
+                                    [victim](const auto& edge) {
+                                      return edge.first == victim ||
+                                             edge.second == victim;
+                                    }),
+                     live.end());
+          if (g.has_cycle()) ++overlapping_survivals;
+        }
+      } else {
+        // Acyclic phase: probe the witness on a random candidate edge,
+        // then mostly insert.
+        TxnId from = static_cast<TxnId>(1 + rng.NextBelow(n));
+        TxnId to = static_cast<TxnId>(1 + rng.NextBelow(n));
+        if (from != to) {
+          ++witness_probes;
+          auto witness = g.WouldCloseCycleWitness(from, to);
+          ConflictGraph reference = rebuilt_reference();
+          ASSERT_EQ(witness.has_value(), reference.WouldCloseCycle(from, to))
+              << "witness/batch reachability disagree, seed " << seed
+              << " step " << step;
+          ASSERT_EQ(witness.has_value(), g.WouldCloseCycle(from, to));
+          if (witness.has_value()) {
+            ++witness_hits;
+            // The path must run to -> ... -> from over existing edges.
+            ASSERT_GE(witness->size(), 2u);
+            EXPECT_EQ(witness->front(), to);
+            EXPECT_EQ(witness->back(), from);
+            for (size_t h = 0; h + 1 < witness->size(); ++h) {
+              EXPECT_TRUE(g.HasEdge((*witness)[h], (*witness)[h + 1]))
+                  << "missing witness hop T" << (*witness)[h] << " -> T"
+                  << (*witness)[h + 1];
+            }
+            // Closing the edge really does create the witnessed cycle.
+            ASSERT_TRUE(g.AddEdge(from, to));
+            live.push_back({from, to});
+            EXPECT_TRUE(g.has_cycle());
+            continue;
+          }
+        }
+        if (!live.empty() && rng.NextBool(0.15)) {
+          size_t pick = rng.NextBelow(live.size());
+          auto [efrom, eto] = live[pick];
+          live.erase(live.begin() + pick);
+          ASSERT_TRUE(g.RemoveEdge(efrom, eto));
+        } else if (from != to) {
+          if (g.AddEdge(from, to)) live.push_back({from, to});
+        }
+      }
+
+      // Cross-check against the batch-DFS reference built from scratch.
+      ConflictGraph rebuilt = rebuilt_reference();
+      ASSERT_EQ(g.IsAcyclic(), rebuilt.IsAcyclic())
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(g.num_edges(), live.size());
+      if (g.IsAcyclic()) {
+        ExpectValidTopoOrder(g, g.OnlineTopologicalOrder());
+      } else {
+        ExpectValidCycle(g, *g.cycle());
+      }
+    }
+  }
+  // The sweep must have exercised both target regimes.
+  EXPECT_GT(overlapping_survivals, 0u);
+  EXPECT_GT(witness_hits, 0u);
+  EXPECT_GT(witness_probes, witness_hits);
+}
+
 TEST(ConflictGraphIncrementalTest, BuildMatchesBatchBuildOnSchedules) {
   // Random schedules: both modes must produce identical edge sets and
   // verdicts.

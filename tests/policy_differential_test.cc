@@ -9,26 +9,45 @@
 // promises:
 //
 //   strict 2PL   ->  CSR ∧ strict (hence DR)
+//   wound-wait   ->  CSR ∧ strict, zero deadlocks (priority 2PL)
+//   wait-die     ->  CSR ∧ strict, zero deadlocks (priority 2PL)
 //   SGT          ->  CSR (by construction: cycle vetoes)
+//   SGT-victim   ->  CSR, cheapest-participant veto resolution
+//   TO (±Thomas) ->  CSR, conflict edges embed in timestamp order
 //   PW-2PL       ->  PWSR
 //   PW-2PL + DR  ->  PWSR ∧ DR
 //
+// Each new family also carries its structural invariant per seed — the
+// priority protocols never trip the deadlock-victim machinery, TO never
+// waits and its committed conflict graph embeds in the final timestamp
+// order, SGT-victim leaves no residual edges and every wound strictly
+// saves work — while the cross-run restart-economics comparison against
+// baseline SGT lives in PolicyInvariantFuzz (aggregated over the sweep:
+// whole-run counters of two different schedulers diverge chaotically, so
+// seed-for-seed deltas are not a stable invariant, but every prefix sum
+// of the sweep is).
+//
 // The default seed count keeps the tier-1 wall time flat; the fuzz-labeled
-// ctest entry re-runs the suite with NSE_FUZZ_SEEDS extra seeds in CI.
+// ctest entries re-run the suites with NSE_FUZZ_SEEDS extra seeds in CI.
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/analysis_context.h"
 #include "analysis/checker.h"
+#include "analysis/conflict_graph.h"
 #include "common/rng.h"
 #include "fuzz_env.h"
 #include "scheduler/dr_scheduler.h"
+#include "scheduler/priority_locking.h"
 #include "scheduler/pw_two_phase_locking.h"
 #include "scheduler/sgt_policy.h"
+#include "scheduler/sgt_victim_policy.h"
 #include "scheduler/sim.h"
+#include "scheduler/timestamp_ordering.h"
 #include "scheduler/two_phase_locking.h"
 #include "scheduler/workload.h"
 
@@ -101,6 +120,91 @@ TEST_P(PolicyDifferentialFuzz, SgtCommitsCsrSchedules) {
             ConflictGraph::Build(result->schedule).Edges());
 }
 
+TEST_P(PolicyDifferentialFuzz, SgtVictimCommitsCsrSchedules) {
+  Workload workload = DrawWorkload(GetParam());
+  SgtVictimPolicy policy(workload.scripts.size());
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "csr", policy.name());
+  // Same quiescence contract as baseline SGT, wounds notwithstanding.
+  EXPECT_FALSE(policy.graph().has_cycle());
+  EXPECT_EQ(policy.graph().Edges(),
+            ConflictGraph::Build(result->schedule).Edges());
+  // Every wound chose a strictly cheaper victim than the requester.
+  EXPECT_EQ(result->wounds, policy.wounds_requested());
+  EXPECT_GE(policy.wound_savings(), policy.wounds_requested());
+}
+
+TEST_P(PolicyDifferentialFuzz, WoundWaitCommitsCsrStrictWithoutDeadlocks) {
+  Workload workload = DrawWorkload(GetParam());
+  WoundWaitPolicy policy(workload.scripts.size());
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "csr", policy.name());
+  ExpectClass(workload, result->schedule, "delayed-read", policy.name());
+  AnalysisContext strict_ctx(*workload.ic, result->schedule);
+  EXPECT_TRUE(strict_ctx.strict());
+  // Deadlock-free by construction: waits only ever point young -> old, so
+  // the simulator's victim machinery must never fire.
+  EXPECT_EQ(result->aborts, 0u);
+  EXPECT_EQ(result->restarts, 0u);  // wound-wait never self-aborts
+  EXPECT_EQ(result->wounds, policy.wounds_issued());
+}
+
+TEST_P(PolicyDifferentialFuzz, WaitDieCommitsCsrStrictWithoutDeadlocks) {
+  Workload workload = DrawWorkload(GetParam());
+  WaitDiePolicy policy(workload.scripts.size());
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "csr", policy.name());
+  ExpectClass(workload, result->schedule, "delayed-read", policy.name());
+  AnalysisContext strict_ctx(*workload.ic, result->schedule);
+  EXPECT_TRUE(strict_ctx.strict());
+  // Deadlock-free by construction: waits only ever point old -> young.
+  EXPECT_EQ(result->aborts, 0u);
+  EXPECT_EQ(result->wounds, 0u);  // wait-die victims are always requesters
+  EXPECT_EQ(result->restarts, policy.deaths());
+}
+
+class ToDifferentialFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(ToDifferentialFuzz, ToCommitsCsrSchedulesEmbeddedInTimestampOrder) {
+  const auto [seed, thomas] = GetParam();
+  Workload workload = DrawWorkload(seed);
+  TimestampOrderingPolicy::Options options;
+  options.thomas_write_rule = thomas;
+  TimestampOrderingPolicy policy(workload.scripts.size(), options);
+  auto result = RunSimulation(policy, workload.scripts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->completed, workload.scripts.size());
+  ExpectClass(workload, result->schedule, "csr", policy.name());
+  // TO never blocks: no waits, no deadlocks; restarts are its whole cost.
+  EXPECT_EQ(result->aborts, 0u);
+  EXPECT_EQ(result->total_wait_ticks, 0u);
+  EXPECT_EQ(result->restarts, policy.rejections());
+  EXPECT_EQ(result->skipped_ops, policy.skipped_writes());
+  if (!thomas) EXPECT_EQ(result->skipped_ops, 0u);
+  // Structural invariant: the committed conflict graph embeds in the final
+  // timestamp order — the timestamp order is a serialization order.
+  ConflictGraph graph = ConflictGraph::Build(result->schedule);
+  for (const auto& [from, to] : graph.Edges()) {
+    ASSERT_TRUE(policy.timestamp(from).has_value());
+    ASSERT_TRUE(policy.timestamp(to).has_value());
+    EXPECT_LT(*policy.timestamp(from), *policy.timestamp(to))
+        << policy.name() << " conflict edge T" << from << " -> T" << to
+        << " against timestamp order, seed " << seed << "\nschedule:\n"
+        << result->schedule.ToString(workload.db);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ToDifferentialFuzz,
+    ::testing::Combine(::testing::ValuesIn(FuzzSeeds()), ::testing::Bool()));
+
 TEST_P(PolicyDifferentialFuzz, Pw2plCommitsPwsrSchedules) {
   Workload workload = DrawWorkload(GetParam());
   PredicatewiseTwoPhaseLocking policy(&*workload.ic);
@@ -122,6 +226,47 @@ TEST_P(PolicyDifferentialFuzz, DrSchedulerCommitsPwsrDrSchedules) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicyDifferentialFuzz,
                          ::testing::ValuesIn(FuzzSeeds()));
+
+// Cross-run invariants that only make sense across the whole seed sweep.
+// Whole-run counters of two *different* schedulers diverge chaotically
+// after their first differing decision (a wound changes every subsequent
+// tick), so a seed-for-seed inequality is not a stable property — but the
+// running sums over the sweep are: the victim policy's aggregate rollback
+// and self-restart counts stay at or below baseline SGT's at every prefix
+// of the seed range (verified far beyond the CI seed counts), which is
+// what "fewer restarts on the same seeds" means here.
+TEST(PolicyInvariantFuzz, SgtVictimRestartEconomicsDominateBaseline) {
+  uint64_t victim_rollbacks = 0, baseline_rollbacks = 0;
+  uint64_t victim_restarts = 0, baseline_restarts = 0;
+  uint64_t wounds = 0;
+  for (uint64_t seed : FuzzSeeds()) {
+    Workload workload = DrawWorkload(seed);
+
+    SgtPolicy baseline(workload.scripts.size());
+    auto base = RunSimulation(baseline, workload.scripts);
+    ASSERT_TRUE(base.ok()) << base.status();
+
+    SgtVictimPolicy policy(workload.scripts.size());
+    auto result = RunSimulation(policy, workload.scripts);
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    victim_rollbacks += result->restarts + result->wounds + result->aborts;
+    baseline_rollbacks += base->restarts + base->aborts;
+    victim_restarts += result->restarts;
+    baseline_restarts += base->restarts;
+    wounds += result->wounds;
+
+    // The running sums dominate at *every* prefix of the sweep, not just
+    // its end — a much stronger pin than one final comparison.
+    ASSERT_LE(victim_rollbacks, baseline_rollbacks)
+        << "aggregate rollbacks overtook baseline at seed " << seed;
+    ASSERT_LE(victim_restarts, baseline_restarts)
+        << "aggregate self-restarts overtook baseline at seed " << seed;
+  }
+  // The sweep exercised the wound path (victim choice actually differed
+  // from the baseline's requester-restart).
+  EXPECT_GT(wounds, 0u);
+}
 
 }  // namespace
 }  // namespace nse

@@ -175,6 +175,94 @@ TEST_P(SgtWorkloadTest, ContendedWorkloadsCommitCsrByConstruction) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SgtWorkloadTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(SgtGcTest, TrimsCommittedSourcesImmediately) {
+  SgtPolicy::Options options;
+  options.gc_committed = true;
+  SgtPolicy policy(3, options);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 0}, {OpAction::kWrite, 1}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_TRUE(policy.graph().HasEdge(1, 2));
+  // T1 commits with an in-degree of zero: a committed source can never
+  // rejoin a cycle, so the GC trims its node and item histories at once.
+  policy.OnComplete(1);
+  EXPECT_EQ(policy.gc_trimmed(), 1u);
+  EXPECT_EQ(policy.live_committed_nodes(), 0u);
+  EXPECT_FALSE(policy.graph().HasEdge(1, 2));
+  // T2 still has work and (retracted) history: it commits and trims too.
+  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
+  policy.OnComplete(2);
+  EXPECT_EQ(policy.gc_trimmed(), 2u);
+  EXPECT_EQ(policy.graph().num_edges(), 0u);
+}
+
+TEST(SgtGcTest, KeepsCommittedNodesWithActivePredecessors) {
+  SgtPolicy::Options options;
+  options.gc_committed = true;
+  SgtPolicy policy(3, options);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 0}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  // T2 commits but T1 (its predecessor) is still active: T2 could yet sit
+  // on a cycle through T1, so it must stay.
+  policy.OnComplete(2);
+  EXPECT_EQ(policy.gc_trimmed(), 0u);
+  EXPECT_EQ(policy.live_committed_nodes(), 1u);
+  EXPECT_TRUE(policy.graph().HasEdge(1, 2));
+  // Once T1 commits the whole chain unwinds: T1 trims as a source, which
+  // makes T2 a source, which trims in the same fixpoint pass.
+  policy.OnComplete(1);
+  EXPECT_EQ(policy.gc_trimmed(), 2u);
+  EXPECT_EQ(policy.live_committed_nodes(), 0u);
+  EXPECT_EQ(policy.graph().num_edges(), 0u);
+}
+
+TEST(SgtGcTest, LongStreamStaysBoundedAndDecisionInvariant) {
+  // A long, staggered transaction stream: without GC every committed
+  // transaction's footprint accumulates for the whole run; with GC the
+  // live committed set tracks the active window. The GC only ever trims
+  // nodes that cannot rejoin a cycle, so the two runs must emit the
+  // *identical* committed trace — classification unchanged for free.
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 6;
+  config.items_per_partition = 2;
+  config.num_txns = 48;
+  config.partitions_per_txn = 2;
+  config.cross_read_probability = 0.4;
+  config.hotspot_probability = 0.3;
+  config.arrival_spread = 400;  // sparse arrivals: a stream, not a burst
+  config.seed = 11;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  SgtPolicy plain(workload->scripts.size());
+  auto plain_result = RunSimulation(plain, workload->scripts);
+  ASSERT_TRUE(plain_result.ok()) << plain_result.status();
+
+  SgtPolicy::Options options;
+  options.gc_committed = true;
+  SgtPolicy gc(workload->scripts.size(), options);
+  auto gc_result = RunSimulation(gc, workload->scripts);
+  ASSERT_TRUE(gc_result.ok()) << gc_result.status();
+
+  // Decision invariance: identical committed traces (hence identical
+  // classification) and identical restart economics.
+  EXPECT_EQ(gc_result->schedule.ops(), plain_result->schedule.ops());
+  EXPECT_EQ(gc_result->restarts, plain_result->restarts);
+  EXPECT_EQ(gc_result->vetoes, plain_result->vetoes);
+  EXPECT_TRUE(IsConflictSerializable(gc_result->schedule));
+
+  // Without GC the committed footprint grows with the whole stream; with
+  // GC it stays bounded by the active window.
+  EXPECT_EQ(plain.live_committed_nodes(), workload->scripts.size());
+  EXPECT_EQ(plain.max_live_committed_nodes(), workload->scripts.size());
+  EXPECT_EQ(gc.live_committed_nodes(), 0u);
+  EXPECT_EQ(gc.gc_trimmed(), workload->scripts.size());
+  EXPECT_LT(gc.max_live_committed_nodes(), workload->scripts.size() / 4);
+}
+
 TEST(SgtPolicyBehaviorTest, RelaxesLockWaitsOnContendedWork) {
   // The optimistic claim: on hot-spot workloads SGT waits less than strict
   // 2PL in aggregate (it only ever pauses on an actual would-be cycle).

@@ -1,5 +1,9 @@
 #include "scheduler/sim.h"
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "analysis/delayed_read.h"
@@ -112,6 +116,103 @@ TEST(SimTest, MetricsAreInternallyConsistent) {
   EXPECT_GT(result->throughput, 0.0);
   EXPECT_GE(result->avg_response_ticks, 1.0);
   EXPECT_EQ(result->total_ops, result->schedule.size());
+}
+
+// Scriptable stub: a fixed verdict per (txn, step), pass-through
+// otherwise. Exercises the kSkip and DrainWounds plumbing without a real
+// protocol behind it.
+class StubPolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "stub"; }
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript&,
+                             size_t step) override {
+    auto it = verdicts_.find({txn, step});
+    if (it == verdicts_.end()) return SchedulerDecision::kProceed;
+    SchedulerDecision verdict = it->second;
+    verdicts_.erase(it);  // one-shot: the retry proceeds
+    return verdict;
+  }
+  void AfterAccess(TxnId, const TxnScript&, size_t step) override {
+    after_access_steps_.push_back(step);
+  }
+  void OnComplete(TxnId) override {}
+  void OnAbort(TxnId txn) override { aborted_.push_back(txn); }
+  std::vector<TxnId> Blockers(TxnId, const TxnScript&,
+                              size_t) const override {
+    return {};
+  }
+  std::vector<TxnId> DrainWounds() override {
+    return std::exchange(wounds_, {});
+  }
+
+  std::map<std::pair<TxnId, size_t>, SchedulerDecision> verdicts_;
+  std::vector<TxnId> wounds_;
+  std::vector<size_t> after_access_steps_;
+  std::vector<TxnId> aborted_;
+};
+
+TEST(SimTest, SkippedStepsLeaveNoTraceAndSkipAfterAccess) {
+  StubPolicy policy;
+  policy.verdicts_[{1, 1}] = SchedulerDecision::kSkip;
+  auto result = RunSimulation(policy, {Script({W(0), W(1), W(2)})});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->skipped_ops, 1u);
+  // The trace holds only the executed steps; AfterAccess never ran for
+  // the skipped one.
+  EXPECT_EQ(result->total_ops, 2u);
+  EXPECT_EQ(result->schedule.ops()[0].entity, 0u);
+  EXPECT_EQ(result->schedule.ops()[1].entity, 2u);
+  EXPECT_EQ(policy.after_access_steps_, (std::vector<size_t>{0, 2}));
+}
+
+TEST(SimTest, SkippedFinalStepCompletesTheTransaction) {
+  StubPolicy policy;
+  policy.verdicts_[{1, 1}] = SchedulerDecision::kSkip;
+  auto result = RunSimulation(policy, {Script({W(0), W(1)})});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->skipped_ops, 1u);
+  EXPECT_EQ(result->total_ops, 1u);
+}
+
+TEST(SimTest, WoundedVictimRollsBackAndRestarts) {
+  StubPolicy policy;
+  // T2's first access wounds T1 (which has already executed a step) and
+  // waits one round; T1 restarts from scratch and both complete.
+  policy.verdicts_[{2, 0}] = SchedulerDecision::kWait;
+  auto result = RunSimulation(policy, {Script({W(0), W(1)}, 0),
+                                       Script({W(2), W(3)}, 1)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->wounds, 0u);  // kWait alone wounds nobody
+
+  // The simulator drains the wound right after T2's first OnAccess
+  // (arrival tick 1, after T1 already ran its first step).
+  class WoundOnce : public StubPolicy {
+   public:
+    SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
+                               size_t step) override {
+      if (txn == 2 && !wounded_) {
+        wounded_ = true;
+        wounds_ = {1};
+        return SchedulerDecision::kWait;
+      }
+      return StubPolicy::OnAccess(txn, script, step);
+    }
+
+   private:
+    bool wounded_ = false;
+  };
+  WoundOnce policy2;
+  auto result2 = RunSimulation(policy2, {Script({W(0), W(1)}, 0),
+                                         Script({W(2), W(3)}, 1)});
+  ASSERT_TRUE(result2.ok()) << result2.status();
+  EXPECT_EQ(result2->completed, 2u);
+  EXPECT_EQ(result2->wounds, 1u);
+  EXPECT_EQ(result2->aborts, 0u);
+  EXPECT_EQ(policy2.aborted_, std::vector<TxnId>{1});
+  // The victim's rolled-back step re-executed: full trace length.
+  EXPECT_EQ(result2->total_ops, 4u);
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Basic timestamp ordering: protocol-level unit tests (late reads / late
+// writes rejected, Thomas write rule elides obsolete writes, restarts draw
+// fresh stamps) and end-to-end runs pinning the structural invariants —
+// TO never waits, never deadlocks, and the committed trace's conflict
+// graph embeds in the final timestamp order (CSR by construction, the
+// timestamp order a serialization order).
+
+#include <gtest/gtest.h>
+
+#include "analysis/conflict_graph.h"
+#include "analysis/serializability.h"
+#include "scheduler/sim.h"
+#include "scheduler/timestamp_ordering.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+TxnScript Script(std::vector<AccessStep> steps) {
+  TxnScript script;
+  script.steps = std::move(steps);
+  return script;
+}
+
+TEST(TimestampOrderingTest, AssignsStampsInFirstAccessOrder) {
+  TimestampOrderingPolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 1}});
+  EXPECT_FALSE(policy.timestamp(1).has_value());
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.timestamp(2), 1u);  // first to run is oldest
+  EXPECT_EQ(policy.timestamp(1), 2u);
+}
+
+TEST(TimestampOrderingTest, RejectsLateReadAgainstYoungerWrite) {
+  // T1 starts (older), T2 writes x, then T1 reads x: the read arrives too
+  // late — a younger transaction already wrote the item.
+  TimestampOrderingPolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kRead, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 0}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(policy.rejections(), 1u);
+  // The restarted incarnation draws a fresh, larger stamp and passes.
+  policy.OnAbort(1);
+  EXPECT_FALSE(policy.timestamp(1).has_value());
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_GT(*policy.timestamp(1), *policy.timestamp(2));
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+}
+
+TEST(TimestampOrderingTest, CommittedStampsStillRejectStragglers) {
+  // Commit folds per-entry stamps into the item's committed maxima; the
+  // checks against a committed younger writer/reader must be unchanged.
+  TimestampOrderingPolicy policy(3);
+  TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kRead, 0},
+                         {OpAction::kWrite, 1}});
+  TxnScript t2 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 2
+  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
+  policy.OnComplete(2);
+  // Old T1 reads the item committed-younger-written, and writes the item
+  // committed-younger-read: both still fatal after the fold.
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  policy.OnAbort(1);
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 3
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.rejections(), 1u);
+}
+
+TEST(TimestampOrderingTest, RejectsLateWriteAgainstYoungerRead) {
+  TimestampOrderingPolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kRead, 0}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(policy.rejections(), 1u);
+  EXPECT_EQ(policy.skipped_writes(), 0u);
+}
+
+TEST(TimestampOrderingTest, ThomasWriteRuleSkipsObsoleteWrite) {
+  TimestampOrderingPolicy::Options options;
+  options.thomas_write_rule = true;
+  TimestampOrderingPolicy policy(2, options);
+  EXPECT_EQ(policy.name(), "to+thomas");
+  TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 0}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  // T1's write of x lost to T2's newer write and nobody younger read x:
+  // elide it instead of restarting.
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kSkip);
+  EXPECT_EQ(policy.skipped_writes(), 1u);
+  EXPECT_EQ(policy.rejections(), 0u);
+  // Without the toggle the same access is fatal.
+  TimestampOrderingPolicy basic(2);
+  EXPECT_EQ(basic.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(basic.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(basic.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+}
+
+TEST(TimestampOrderingTest, OwnAccessesNeverConflict) {
+  TimestampOrderingPolicy policy(1);
+  TxnScript t1 = Script({{OpAction::kWrite, 0},
+                         {OpAction::kRead, 0},
+                         {OpAction::kWrite, 0}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.rejections(), 0u);
+}
+
+class ToWorkloadTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ToWorkloadTest, CommitsCsrTracesEmbeddedInTimestampOrder) {
+  const bool thomas = GetParam();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    PartitionedWorkloadConfig config;
+    config.num_partitions = 4;
+    config.items_per_partition = 2;
+    config.num_txns = 8;
+    config.partitions_per_txn = 3;
+    config.cross_read_probability = 0.4;
+    config.hotspot_probability = 0.6;
+    config.seed = seed;
+    auto workload = MakePartitionedWorkload(config);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+
+    TimestampOrderingPolicy::Options options;
+    options.thomas_write_rule = thomas;
+    TimestampOrderingPolicy policy(workload->scripts.size(), options);
+    auto result = RunSimulation(policy, workload->scripts);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->completed, workload->scripts.size());
+    EXPECT_TRUE(IsConflictSerializable(result->schedule))
+        << result->schedule.ToString(workload->db);
+
+    // TO never waits or deadlocks; its whole cost is restarts (and, with
+    // Thomas, elided writes).
+    EXPECT_EQ(result->aborts, 0u);
+    EXPECT_EQ(result->total_wait_ticks, 0u);
+    EXPECT_EQ(result->restarts, policy.rejections());
+    EXPECT_EQ(result->skipped_ops, policy.skipped_writes());
+    if (!thomas) EXPECT_EQ(result->skipped_ops, 0u);
+
+    // The structural invariant: every conflict edge of the committed trace
+    // points from a smaller final timestamp to a larger one — the
+    // timestamp order is a serialization order.
+    ConflictGraph graph = ConflictGraph::Build(result->schedule);
+    for (const auto& [from, to] : graph.Edges()) {
+      ASSERT_TRUE(policy.timestamp(from).has_value());
+      ASSERT_TRUE(policy.timestamp(to).has_value());
+      EXPECT_LT(*policy.timestamp(from), *policy.timestamp(to))
+          << "conflict edge T" << from << " -> T" << to
+          << " against timestamp order, seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BasicAndThomas, ToWorkloadTest, ::testing::Bool());
+
+}  // namespace
+}  // namespace nse
