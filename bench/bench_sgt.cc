@@ -79,6 +79,7 @@ struct Row {
   PolicyOutcome to;
   PolicyOutcome sgt;
   PolicyOutcome sgt_victim;
+  PolicyOutcome sgt_victim_pred;  // predictive victim-cost scoring
   double speedup = 0;  // SGT throughput / strict-2PL throughput
 };
 
@@ -118,11 +119,18 @@ int main(int argc, char** argv) {
   // each partition), so SGT wins everywhere; the hot-spot rows crank the
   // sharing further. Only the hot rows feed the beats-2PL acceptance
   // check, since they are the regime the ISSUE names.
+  // The two hotspot_100 rows are the extreme-hotspot regime the predictive
+  // victim rule targets: with every access on the hot partition, the
+  // sunk-cost rule's cheapest participant is usually whichever transaction
+  // it knocked down last round (a fresh restart has zero sunk work).
   std::vector<BenchCase> cases = {
       make_case("uniform", 32, 16, 2, 0.0, 7, /*contended=*/false),
       make_case("hotspot_50", 32, 16, 2, 0.5, 7, /*contended=*/true),
       make_case("hotspot_90", 32, 16, 2, 0.9, 7, /*contended=*/true),
       make_case("hotspot_long_txns", 16, 12, 4, 0.8, 11, /*contended=*/true),
+      make_case("hotspot_100", 32, 16, 2, 1.0, 7, /*contended=*/true),
+      make_case("hotspot_100_long_txns", 16, 12, 4, 1.0, 11,
+                /*contended=*/true),
   };
 
   TablePrinter table({"workload", "txns", "policy", "makespan", "waits",
@@ -194,6 +202,22 @@ int main(int argc, char** argv) {
               ConflictGraph::Build(row.sgt_victim.result.schedule).Edges(),
           "SGT-victim left residual graph edges on %s", c.name.c_str());
     }
+    {
+      SgtPolicy::Options options;
+      options.victim_cost = SgtPolicy::Options::VictimCost::kPredictive;
+      SgtVictimPolicy policy(workload->scripts.size(), options);
+      row.sgt_victim_pred = RunPolicy(policy, *workload);
+      NSE_CHECK_MSG(
+          IsConflictSerializable(row.sgt_victim_pred.result.schedule),
+          "predictive SGT-victim emitted a non-CSR trace on %s",
+          c.name.c_str());
+      NSE_CHECK_MSG(
+          policy.graph().Edges() ==
+              ConflictGraph::Build(row.sgt_victim_pred.result.schedule)
+                  .Edges(),
+          "predictive SGT-victim left residual graph edges on %s",
+          c.name.c_str());
+    }
     row.speedup = row.strict_2pl.result.throughput == 0
                       ? 0
                       : row.sgt.result.throughput /
@@ -215,6 +239,7 @@ int main(int argc, char** argv) {
     add("to", row.to);
     add("sgt", row.sgt);
     add("sgt-victim", row.sgt_victim);
+    add("sgt-victim-pred", row.sgt_victim_pred);
   }
 
   std::cout << "\n=== Policy zoo (lock-based, priority, optimistic) on the "
@@ -234,15 +259,19 @@ int main(int argc, char** argv) {
   // with prefix dominance); on these four curated hot-spot rows it can go
   // either way per row, so here the per-row counters are exact-guarded in
   // the JSON instead of inequality-asserted.
-  uint64_t victim_rollbacks = 0, sgt_rollbacks = 0;
+  uint64_t victim_rollbacks = 0, sgt_rollbacks = 0, pred_rollbacks = 0;
   for (const Row& row : rows) {
     victim_rollbacks += row.sgt_victim.result.restarts +
                         row.sgt_victim.result.wounds +
                         row.sgt_victim.result.aborts;
+    pred_rollbacks += row.sgt_victim_pred.result.restarts +
+                      row.sgt_victim_pred.result.wounds +
+                      row.sgt_victim_pred.result.aborts;
     sgt_rollbacks += row.sgt.result.restarts + row.sgt.result.aborts;
   }
   std::cout << "sgt-victim rollbacks " << victim_rollbacks
-            << " vs baseline sgt " << sgt_rollbacks << " across the sweep\n";
+            << " (predictive " << pred_rollbacks << ") vs baseline sgt "
+            << sgt_rollbacks << " across the sweep\n";
 
   if (smoke) {
     std::cout << "smoke mode: CSR differential + residual-edge + "
@@ -268,15 +297,17 @@ int main(int argc, char** argv) {
         "\"restarts_to\": %llu, \"aborts_ww\": %llu, \"wounds_ww\": %llu, "
         "\"restarts_victim\": %llu, \"wounds_victim\": %llu, "
         "\"aborts_victim\": %llu, "
+        "\"restarts_victim_pred\": %llu, \"wounds_victim_pred\": %llu, "
+        "\"aborts_victim_pred\": %llu, "
         "\"makespan_2pl\": %llu, \"makespan_pw2pl\": %llu, "
         "\"makespan_sgt\": %llu, "
         "\"makespan_ww\": %llu, \"makespan_to\": %llu, "
-        "\"makespan_victim\": %llu, "
+        "\"makespan_victim\": %llu, \"makespan_victim_pred\": %llu, "
         "\"wait_ticks_2pl\": %llu, \"wait_ticks_sgt\": %llu, "
         "\"throughput_2pl\": %.4f, \"throughput_pw2pl\": %.4f, "
         "\"throughput_sgt\": %.4f, "
         "\"throughput_ww\": %.4f, \"throughput_to\": %.4f, "
-        "\"throughput_victim\": %.4f, "
+        "\"throughput_victim\": %.4f, \"throughput_victim_pred\": %.4f, "
         "\"wall_ms\": %.3f}%s\n",
         row.workload.c_str(), row.txns, row.speedup,
         static_cast<unsigned long long>(row.sgt.result.completed),
@@ -289,17 +320,22 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.sgt_victim.result.restarts),
         static_cast<unsigned long long>(row.sgt_victim.result.wounds),
         static_cast<unsigned long long>(row.sgt_victim.result.aborts),
+        static_cast<unsigned long long>(row.sgt_victim_pred.result.restarts),
+        static_cast<unsigned long long>(row.sgt_victim_pred.result.wounds),
+        static_cast<unsigned long long>(row.sgt_victim_pred.result.aborts),
         static_cast<unsigned long long>(row.strict_2pl.result.makespan),
         static_cast<unsigned long long>(row.pw_2pl.result.makespan),
         static_cast<unsigned long long>(row.sgt.result.makespan),
         static_cast<unsigned long long>(row.wound_wait.result.makespan),
         static_cast<unsigned long long>(row.to.result.makespan),
         static_cast<unsigned long long>(row.sgt_victim.result.makespan),
+        static_cast<unsigned long long>(row.sgt_victim_pred.result.makespan),
         static_cast<unsigned long long>(row.strict_2pl.result.total_wait_ticks),
         static_cast<unsigned long long>(row.sgt.result.total_wait_ticks),
         row.strict_2pl.result.throughput, row.pw_2pl.result.throughput,
         row.sgt.result.throughput, row.wound_wait.result.throughput,
         row.to.result.throughput, row.sgt_victim.result.throughput,
+        row.sgt_victim_pred.result.throughput,
         row.sgt.wall_ms, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -13,6 +13,17 @@
 // search instead of the cached sampling domains, so its outcome is a
 // different (equally valid) draw and only its wall time is comparable.
 //
+// Each workload also runs in exhaustive mode: the parallel subtree engine
+// enumerating a budgeted canonical prefix of all interleavings from two
+// enumerated consistent initial states. Exhaustive verdicts are independent
+// of the thread count, the cache, and the enumerator (nothing is sampled),
+// so every exhaustive row — including the sequential baseline — must agree
+// on every count. The baseline row is the pre-engine configuration
+// (replay-per-node reference enumerator, one thread, no cache); the
+// speedups of the other rows are dominated by the incremental step/undo
+// enumerator, with the shared pre-warmed SolverCache and worker threads
+// composing on top on multi-core hosts.
+//
 // Emits a fixed-width table on stdout and a JSON baseline (default
 // BENCH_violation_search.json, override with the last argument). The JSON
 // records host_cores: on a single-core container the thread rows measure
@@ -81,6 +92,10 @@ std::vector<BenchCase> MakeCases(bool smoke) {
 
 struct RowResult {
   std::string workload;
+  const char* mode = "randomized";
+  /// Exhaustive rows only: "reference" (replay-per-node, the pre-engine
+  /// sequential baseline) or "incremental" (persistent-arena step/undo).
+  const char* enumerator = nullptr;
   size_t ops = 0;  // measured ops of one serial execution
   size_t conjuncts = 0;
   uint64_t trials = 0;
@@ -90,8 +105,10 @@ struct RowResult {
   double trials_per_s = 0;
   double speedup = 1.0;  // vs. the workload's sequential/uncached row
   double cache_hit_rate = 0;
+  uint64_t cache_computes = 0;
   uint64_t checked = 0;
   uint64_t violations = 0;
+  uint64_t truncated = 0;
 };
 
 SearchOutcome MustSearch(const Workload& workload, const SearchConfig& config,
@@ -135,7 +152,35 @@ size_t SerialOpCount(const Workload& workload) {
 bool SameCounts(const SearchOutcome& a, const SearchOutcome& b) {
   return a.trials == b.trials && a.filtered_out == b.filtered_out &&
          a.checked == b.checked && a.violations == b.violations &&
+         a.truncated == b.truncated &&
          a.first_violation_trial == b.first_violation_trial;
+}
+
+SearchOutcome MustExhaustive(const Workload& workload,
+                             const std::vector<DbState>& states,
+                             const ExhaustiveSearchConfig& config) {
+  HypothesisFilter filter;  // no filter: every enumerated execution checked
+  auto outcome = ExhaustiveViolationSearch(workload.db, *workload.ic,
+                                           workload.ProgramPtrs(), states,
+                                           filter, config);
+  NSE_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
+  return std::move(outcome).value();
+}
+
+/// Best-of-`reps` wall time for one exhaustive configuration.
+double ExhaustiveMillisOf(const Workload& workload,
+                          const std::vector<DbState>& states,
+                          const ExhaustiveSearchConfig& config, int reps,
+                          SearchOutcome& outcome) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    outcome = MustExhaustive(workload, states, config);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
 }
 
 }  // namespace
@@ -170,8 +215,8 @@ int main(int argc, char** argv) {
                                                              {2, true},
                                                              {8, true}};
 
-  TablePrinter table({"workload", "trials", "threads", "cache", "wall ms",
-                      "trials/s", "speedup", "hit rate"});
+  TablePrinter table({"workload", "mode", "trials", "threads", "cache",
+                      "wall ms", "trials/s", "speedup", "hit rate"});
   std::vector<RowResult> rows;
   for (const BenchCase& bench_case : MakeCases(smoke)) {
     auto workload = MakePartitionedWorkload(bench_case.config);
@@ -213,11 +258,99 @@ int main(int argc, char** argv) {
           ms == 0 ? 0 : static_cast<double>(bench_case.trials) / (ms / 1000.0);
       row.speedup = (baseline_ms == 0 || ms == 0) ? 1.0 : baseline_ms / ms;
       row.cache_hit_rate = outcome.solver_cache.hit_rate();
+      row.cache_computes = outcome.solver_cache.computes;
       row.checked = outcome.checked;
       row.violations = outcome.violations;
+      row.truncated = outcome.truncated;
       rows.push_back(row);
 
-      table.AddRow({row.workload, StrCat(row.trials), StrCat(row.threads),
+      table.AddRow({row.workload, row.mode, StrCat(row.trials),
+                    StrCat(row.threads), row.cache ? "on" : "off",
+                    FormatDouble(row.wall_ms, 2),
+                    FormatDouble(row.trials_per_s, 1),
+                    StrCat(FormatDouble(row.speedup, 2), "x"),
+                    FormatDouble(row.cache_hit_rate, 3)});
+    }
+
+    // ---- exhaustive mode ------------------------------------------------
+    // The exhaustive engine enumerates the same canonical interleaving
+    // stream whatever the thread count, cache setting, or enumerator
+    // (nothing is sampled), so EVERY exhaustive row must agree on every
+    // count — including the sequential baseline the speedups are measured
+    // against. That baseline is the pre-engine configuration: one thread,
+    // no cache, and the replay-per-node reference enumerator. The win of
+    // the other rows is dominated by the incremental step/undo enumerator
+    // (one program step per tree edge instead of an O(depth) prefix replay
+    // per node); the shared pre-warmed SolverCache and extra workers
+    // compose with it on multi-core hosts.
+    const uint64_t limit = smoke
+                               ? 4
+                               : (std::strcmp(bench_case.name, "64op_4conj")
+                                      ? 40    // 256op_8conj
+                                      : 150); // 64op_4conj
+    ConsistencyChecker checker(workload->db, *workload->ic);
+    auto states = checker.EnumerateConsistentStates(2);
+    NSE_CHECK_MSG(states.ok(), "%s", states.status().ToString().c_str());
+
+    struct ExhaustiveConfig {
+      size_t threads;
+      bool cache;
+      bool reference;
+    };
+    const std::vector<ExhaustiveConfig> exhaustive_grid =
+        smoke ? std::vector<ExhaustiveConfig>{{1, false, true},
+                                              {1, true, false},
+                                              {4, true, false}}
+              : std::vector<ExhaustiveConfig>{{1, false, true},
+                                              {1, false, false},
+                                              {1, true, false},
+                                              {2, true, false},
+                                              {8, true, false}};
+
+    double exh_baseline_ms = 0;
+    SearchOutcome exh_reference;
+    bool have_exh_reference = false;
+    for (const ExhaustiveConfig& config : exhaustive_grid) {
+      ExhaustiveSearchConfig search;
+      search.interleaving_limit = limit;
+      search.threads = config.threads;
+      search.share_solver_cache = config.cache;
+      search.reference_enumerator = config.reference;
+      SearchOutcome outcome;
+      double ms = ExhaustiveMillisOf(*workload, *states, search, reps, outcome);
+      if (config.reference) exh_baseline_ms = ms;
+      if (!have_exh_reference) {
+        exh_reference = outcome;
+        have_exh_reference = true;
+      } else {
+        NSE_CHECK_MSG(SameCounts(exh_reference, outcome),
+                      "exhaustive outcome differs across configurations");
+      }
+
+      RowResult row;
+      row.workload = bench_case.name;
+      row.mode = "exhaustive";
+      row.enumerator = config.reference ? "reference" : "incremental";
+      row.ops = ops;
+      row.conjuncts = bench_case.config.num_partitions;
+      row.trials = outcome.trials;
+      row.threads = config.threads;
+      row.cache = config.cache;
+      row.wall_ms = ms;
+      row.trials_per_s =
+          ms == 0 ? 0 : static_cast<double>(outcome.trials) / (ms / 1000.0);
+      row.speedup =
+          (exh_baseline_ms == 0 || ms == 0) ? 1.0 : exh_baseline_ms / ms;
+      row.cache_hit_rate = outcome.solver_cache.hit_rate();
+      row.cache_computes = outcome.solver_cache.computes;
+      row.checked = outcome.checked;
+      row.violations = outcome.violations;
+      row.truncated = outcome.truncated;
+      rows.push_back(row);
+
+      table.AddRow({row.workload,
+                    config.reference ? "exh-ref" : "exhaustive",
+                    StrCat(row.trials), StrCat(row.threads),
                     row.cache ? "on" : "off", FormatDouble(row.wall_ms, 2),
                     FormatDouble(row.trials_per_s, 1),
                     StrCat(FormatDouble(row.speedup, 2), "x"),
@@ -246,19 +379,28 @@ int main(int argc, char** argv) {
                host_cores);
   for (size_t i = 0; i < rows.size(); ++i) {
     const RowResult& row = rows[i];
+    const std::string enum_field =
+        row.enumerator == nullptr
+            ? std::string()
+            : StrCat("\"enumerator\": \"", row.enumerator, "\", ");
     std::fprintf(
         json,
-        "    {\"workload\": \"%s\", \"ops\": %zu, \"conjuncts\": %zu, "
+        "    {\"workload\": \"%s\", \"mode\": \"%s\", %s\"ops\": %zu, "
+        "\"conjuncts\": %zu, "
         "\"trials\": %llu, \"threads\": %zu, \"solver_cache\": %s, "
         "\"wall_ms\": %.3f, \"trials_per_s\": %.1f, "
         "\"speedup_vs_sequential\": %.3f, \"cache_hit_rate\": %.4f, "
-        "\"checked\": %llu, \"violations\": %llu}%s\n",
-        row.workload.c_str(), row.ops, row.conjuncts,
+        "\"cache_computes\": %llu, "
+        "\"checked\": %llu, \"violations\": %llu, \"truncated\": %llu}%s\n",
+        row.workload.c_str(), row.mode, enum_field.c_str(), row.ops,
+        row.conjuncts,
         static_cast<unsigned long long>(row.trials), row.threads,
         row.cache ? "true" : "false", row.wall_ms, row.trials_per_s,
         row.speedup, row.cache_hit_rate,
+        static_cast<unsigned long long>(row.cache_computes),
         static_cast<unsigned long long>(row.checked),
         static_cast<unsigned long long>(row.violations),
+        static_cast<unsigned long long>(row.truncated),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -119,13 +119,16 @@ void AnalysisContext::BuildCoreGraphs() {
   }
   if (!need_full && !need_rf && !need_proj) return;
 
-  // One SweepConflicts pass (the same implementation ConflictGraph::Build
-  // uses) in txn-index space, with n×n seen-bitsets deduplicating candidate
-  // edges so each distinct edge is inserted exactly once. The per-op hook
-  // tracks last writes (reads-from) and per-conjunct membership alongside.
+  // One dense bitset sweep (ConflictBitSweep) in txn-index space: plane 0
+  // dedupes the full graph's edges, plane 1+e conjunct e's, so each
+  // distinct edge is emitted exactly once per consumer — the n×n seen
+  // matrices of the earlier implementation are gone. The per-op bookkeeping
+  // tracks last writes (reads-from) and per-conjunct membership alongside,
+  // and all scratch bump-allocates from the per-schedule arena.
   const std::vector<TxnId>& txn_ids = schedule_->txn_ids();
   const uint32_t n = static_cast<uint32_t>(txn_ids.size());
   const OpSequence& ops = schedule_->ops();
+  arena_.Reset();
 
   // Deduped edges in first-occurrence (schedule) order, each with the
   // position of the operation that created it — inserting them in this
@@ -136,19 +139,17 @@ void AnalysisContext::BuildCoreGraphs() {
     uint32_t to;
     size_t pos;
   };
-  std::vector<char> full_seen(static_cast<size_t>(n) * n, 0);
-  std::vector<EdgeAt> full_edges;
-  std::vector<std::vector<char>> proj_seen(
-      num_conjuncts, std::vector<char>(static_cast<size_t>(n) * n, 0));
-  std::vector<std::vector<EdgeAt>> proj_edges(num_conjuncts);
-  std::vector<std::vector<char>> proj_member(num_conjuncts,
-                                             std::vector<char>(n, 0));
-  std::vector<ReadsFromEdge> rf;
+  ArenaVector<EdgeAt> full_edges{ArenaAllocator<EdgeAt>(&arena_)};
+  std::vector<ArenaVector<EdgeAt>> proj_edges(
+      num_conjuncts, ArenaVector<EdgeAt>{ArenaAllocator<EdgeAt>(&arena_)});
+  ArenaVector<char> proj_member(static_cast<size_t>(num_conjuncts) * n, 0,
+                                ArenaAllocator<char>(&arena_));
+  std::vector<ReadsFromEdge> rf;  // kept artifact, not scratch
   struct ItemState {
     int conjunct = -2;  // -2 = not looked up yet, -1 = unconstrained
     std::optional<size_t> last_write;
   };
-  std::vector<ItemState> items;
+  ArenaVector<ItemState> items{ArenaAllocator<ItemState>(&arena_)};
   // Conjunct of the item an operation touches, memoized per item; -1 when
   // unconstrained.
   auto conjunct_of = [&](const Operation& op) {
@@ -160,31 +161,32 @@ void AnalysisContext::BuildCoreGraphs() {
     }
     return item.conjunct;
   };
-  internal::SweepConflicts(
-      *schedule_,
-      [&](size_t pos, uint32_t idx) {
-        const Operation& op = ops[pos];
-        int e = conjunct_of(op);
-        if (need_proj && e >= 0) proj_member[e][idx] = 1;
-        ItemState& item = items[op.entity];
-        if (op.is_write()) {
-          item.last_write = pos;
-        } else if (need_rf && item.last_write.has_value()) {
-          rf.push_back(ReadsFromEdge{pos, *item.last_write});
-        }
-      },
-      [&](uint32_t from, uint32_t to, size_t pos) {
-        size_t key = static_cast<size_t>(from) * n + to;
-        if (need_full && !full_seen[key]) {
-          full_seen[key] = 1;
-          full_edges.push_back({from, to, pos});
-        }
-        int e = need_proj ? conjunct_of(ops[pos]) : -1;
-        if (e >= 0 && !proj_seen[e][key]) {
-          proj_seen[e][key] = 1;
-          proj_edges[e].push_back({from, to, pos});
-        }
-      });
+  internal::ConflictBitSweep sweep(n, 1 + num_conjuncts);
+  for (size_t pos = 0; pos < ops.size(); ++pos) {
+    const Operation& op = ops[pos];
+    const uint32_t idx = static_cast<uint32_t>(
+        std::lower_bound(txn_ids.begin(), txn_ids.end(), op.txn) -
+        txn_ids.begin());
+    const int e = conjunct_of(op);
+    if (need_proj && e >= 0) {
+      proj_member[static_cast<size_t>(e) * n + idx] = 1;
+    }
+    ItemState& item = items[op.entity];
+    if (op.is_write()) {
+      item.last_write = pos;
+    } else if (need_rf && item.last_write.has_value()) {
+      rf.push_back(ReadsFromEdge{pos, *item.last_write});
+    }
+    const int extra_plane = (need_proj && e >= 0) ? 1 + e : -1;
+    sweep.Access(idx, op.is_write(), op.entity, extra_plane,
+                 [&](size_t plane, uint32_t from) {
+                   if (plane == 0) {
+                     if (need_full) full_edges.push_back({from, idx, pos});
+                   } else {
+                     proj_edges[plane - 1].push_back({from, idx, pos});
+                   }
+                 });
+  }
   if (need_full) {
     ConflictGraph graph(txn_ids, CycleMode::kIncremental);
     for (const EdgeAt& edge : full_edges) {
@@ -201,9 +203,9 @@ void AnalysisContext::BuildCoreGraphs() {
     if (projection_graphs_[e].has_value()) continue;
     // Local node list of S^{d_e} plus the full-index → local-index map.
     std::vector<TxnId> nodes;
-    std::vector<uint32_t> local(n, 0);
+    ArenaVector<uint32_t> local(n, 0, ArenaAllocator<uint32_t>(&arena_));
     for (uint32_t idx = 0; idx < n; ++idx) {
-      if (proj_member[e][idx]) {
+      if (proj_member[e * n + idx]) {
         local[idx] = static_cast<uint32_t>(nodes.size());
         nodes.push_back(txn_ids[idx]);
       }

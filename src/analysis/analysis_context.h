@@ -28,6 +28,7 @@
 #include "analysis/reads_from.h"
 #include "analysis/serializability.h"
 #include "analysis/strong_correctness.h"
+#include "common/arena.h"
 #include "common/status.h"
 #include "constraints/integrity_constraint.h"
 #include "constraints/solver.h"
@@ -160,7 +161,9 @@ class AnalysisContext {
   /// the schedule: conflicts are same-item, so every graph is a regrouping
   /// of the same per-item access histories. The projected-graph part is
   /// valid only for disjoint conjuncts (each item feeds exactly one
-  /// conjunct's graph); callers gate on ic().disjoint().
+  /// conjunct's graph); callers gate on ic().disjoint(). The pass runs the
+  /// dense bitset sweep (one plane per graph) with its scratch in the
+  /// per-schedule arena.
   void BuildCoreGraphs();
 
   const Database* db_ = nullptr;
@@ -180,6 +183,10 @@ class AnalysisContext {
   std::optional<std::optional<DrViolation>> dr_violation_;
   std::optional<std::optional<DrViolation>> strict_violation_;
   std::optional<Result<StrongCorrectnessReport>> strong_;
+
+  /// Scratch for the fused builds: edge lists, membership flags and item
+  /// states bump-allocate here instead of issuing per-container mallocs.
+  MonotonicArena arena_;
 
   AnalysisCacheStats stats_;
 };

@@ -7,24 +7,132 @@
 
 namespace nse {
 
+namespace {
+
+/// Test-and-set of `accessor`'s bit in a lazily grown word vector; returns
+/// true when the bit was newly set.
+bool TestAndSetBit(std::vector<uint64_t>& words, uint32_t accessor) {
+  const size_t w = accessor >> 6;
+  if (w >= words.size()) words.resize(w + 1, 0);
+  const uint64_t bit = uint64_t{1} << (accessor & 63);
+  if ((words[w] & bit) != 0) return false;
+  words[w] |= bit;
+  return true;
+}
+
+bool TestBit(const std::vector<uint64_t>& words, uint32_t accessor) {
+  const size_t w = accessor >> 6;
+  return w < words.size() &&
+         (words[w] & (uint64_t{1} << (accessor & 63))) != 0;
+}
+
+void ClearBit(std::vector<uint64_t>& words, uint32_t accessor) {
+  const size_t w = accessor >> 6;
+  if (w < words.size()) words[w] &= ~(uint64_t{1} << (accessor & 63));
+}
+
+}  // namespace
+
 void ConflictAccessIndex::Record(uint32_t accessor, bool is_write,
                                  ItemId item) {
   if (item >= history_.size()) history_.resize(item + 1);
-  std::vector<uint32_t>& txns =
-      is_write ? history_[item].writers : history_[item].readers;
-  if (std::find(txns.begin(), txns.end(), accessor) == txns.end()) {
-    txns.push_back(accessor);
+  ItemHistory& h = history_[item];
+  if (TestAndSetBit(is_write ? h.writer_bits : h.reader_bits, accessor)) {
+    (is_write ? h.writers : h.readers).push_back(accessor);
   }
 }
 
 void ConflictAccessIndex::Erase(uint32_t accessor) {
   for (ItemHistory& h : history_) {
-    h.writers.erase(std::remove(h.writers.begin(), h.writers.end(), accessor),
-                    h.writers.end());
-    h.readers.erase(std::remove(h.readers.begin(), h.readers.end(), accessor),
-                    h.readers.end());
+    if (TestBit(h.writer_bits, accessor)) {
+      ClearBit(h.writer_bits, accessor);
+      h.writers.erase(
+          std::remove(h.writers.begin(), h.writers.end(), accessor),
+          h.writers.end());
+    }
+    if (TestBit(h.reader_bits, accessor)) {
+      ClearBit(h.reader_bits, accessor);
+      h.readers.erase(
+          std::remove(h.readers.begin(), h.readers.end(), accessor),
+          h.readers.end());
+    }
   }
 }
+
+namespace internal {
+
+void FlatAdjacency::Reset(size_t num_nodes) {
+  // Fresh regions with a little slack each, so the first neighbors land
+  // without an immediate compaction.
+  constexpr uint32_t kInitialCap = 2;
+  start_.resize(num_nodes);
+  count_.assign(num_nodes, 0);
+  cap_.assign(num_nodes, kInitialCap);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    start_[i] = static_cast<uint32_t>(i * kInitialCap);
+  }
+  slab_.assign(num_nodes * kInitialCap, 0);
+  compactions_ = 0;
+}
+
+bool FlatAdjacency::Insert(size_t node, uint32_t value) {
+  uint32_t* base = slab_.data() + start_[node];
+  uint32_t* end = base + count_[node];
+  uint32_t* pos = std::lower_bound(base, end, value);
+  if (pos != end && *pos == value) return false;
+  if (count_[node] == cap_[node]) {
+    const size_t offset = static_cast<size_t>(pos - base);
+    Compact(node);
+    base = slab_.data() + start_[node];
+    end = base + count_[node];
+    pos = base + offset;
+  }
+  std::copy_backward(pos, end, end + 1);
+  *pos = value;
+  ++count_[node];
+  return true;
+}
+
+bool FlatAdjacency::Erase(size_t node, uint32_t value) {
+  uint32_t* base = slab_.data() + start_[node];
+  uint32_t* end = base + count_[node];
+  uint32_t* pos = std::lower_bound(base, end, value);
+  if (pos == end || *pos != value) return false;
+  std::copy(pos + 1, end, pos);
+  --count_[node];
+  return true;
+}
+
+bool FlatAdjacency::Contains(size_t node, uint32_t value) const {
+  const uint32_t* base = slab_.data() + start_[node];
+  return std::binary_search(base, base + count_[node], value);
+}
+
+void FlatAdjacency::Compact(size_t grow_node) {
+  // One pass re-layout: every region gets proportional slack (count/2 + 2),
+  // so each node triggers at most O(log degree) compactions as it grows and
+  // the slab stays within a constant factor of the live data.
+  ++compactions_;
+  std::vector<uint32_t> new_start(start_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < start_.size(); ++i) {
+    new_start[i] = static_cast<uint32_t>(total);
+    uint32_t cap = count_[i] + count_[i] / 2 + 2;
+    if (i == grow_node && cap < count_[i] + 1) cap = count_[i] + 1;
+    cap_[i] = cap;
+    total += cap;
+  }
+  std::vector<uint32_t> new_slab(total);
+  for (size_t i = 0; i < start_.size(); ++i) {
+    std::copy(slab_.begin() + start_[i],
+              slab_.begin() + start_[i] + count_[i],
+              new_slab.begin() + new_start[i]);
+  }
+  slab_ = std::move(new_slab);
+  start_ = std::move(new_start);
+}
+
+}  // namespace internal
 
 ConflictGraph::ConflictGraph(std::vector<TxnId> nodes, CycleMode mode)
     : nodes_(std::move(nodes)),
@@ -36,7 +144,7 @@ ConflictGraph::ConflictGraph(std::vector<TxnId> nodes, CycleMode mode)
           std::adjacent_find(nodes_.begin(), nodes_.end()) == nodes_.end(),
       "conflict graph nodes must be sorted and distinct");
   if (mode_ == CycleMode::kIncremental) {
-    in_.resize(nodes_.size());
+    in_.Reset(nodes_.size());
     ord_.resize(nodes_.size());
     // Any order over an edgeless graph is topological; start at identity.
     for (size_t i = 0; i < ord_.size(); ++i) {
@@ -48,6 +156,31 @@ ConflictGraph::ConflictGraph(std::vector<TxnId> nodes, CycleMode mode)
 }
 
 ConflictGraph ConflictGraph::Build(const Schedule& schedule, CycleMode mode) {
+  // Dense bitset sweep: first-occurrence conflict pairs only, so the graph
+  // sees no duplicate inserts at all and hot items cost word scans instead
+  // of history walks. Emission order equals the reference sweep's
+  // successful-insert order (see ConflictBitSweep), so the result is
+  // bit-identical to BuildReference.
+  ConflictGraph graph(schedule.txn_ids(), mode);
+  const std::vector<TxnId>& txn_ids = schedule.txn_ids();
+  internal::ConflictBitSweep sweep(static_cast<uint32_t>(txn_ids.size()),
+                                   /*num_planes=*/1);
+  const OpSequence& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    const uint32_t idx = static_cast<uint32_t>(
+        std::lower_bound(txn_ids.begin(), txn_ids.end(), op.txn) -
+        txn_ids.begin());
+    sweep.Access(idx, op.is_write(), op.entity, /*extra_plane=*/-1,
+                 [&graph, idx, i](size_t, uint32_t from) {
+                   graph.AddEdgeByIndexAt(from, idx, i);
+                 });
+  }
+  return graph;
+}
+
+ConflictGraph ConflictGraph::BuildReference(const Schedule& schedule,
+                                            CycleMode mode) {
   // One shared sweep (SweepConflicts) over per-item access histories:
   // AddEdgeByIndex dedupes the candidate pairs, so total work is
   // O(ops · txns-per-item) instead of O(ops²).
@@ -68,16 +201,12 @@ size_t ConflictGraph::IndexOf(TxnId txn) const {
 
 bool ConflictGraph::AddEdgeByIndexInternal(uint32_t from, uint32_t to,
                                            std::optional<size_t> op_pos) {
-  std::vector<uint32_t>& succ = out_[from];
-  auto it = std::lower_bound(succ.begin(), succ.end(), to);
-  if (it != succ.end() && *it == to) return false;
-  succ.insert(it, to);
+  if (!out_.Insert(from, to)) return false;
   ++indegree_[to];
   ++num_edges_;
   topo_valid_ = false;
   if (mode_ == CycleMode::kIncremental) {
-    std::vector<uint32_t>& pred = in_[to];
-    pred.insert(std::lower_bound(pred.begin(), pred.end(), from), from);
+    in_.Insert(to, from);
     // While a cycle is recorded the maintained order is suspended (it is
     // re-anchored by RebuildOrderAndCycle once a removal may have broken
     // the cycle).
@@ -228,12 +357,8 @@ bool ConflictGraph::RemoveEdge(TxnId from, TxnId to) {
                 "RemoveEdge requires incremental mode");
   uint32_t x = static_cast<uint32_t>(IndexOf(from));
   uint32_t y = static_cast<uint32_t>(IndexOf(to));
-  std::vector<uint32_t>& succ = out_[x];
-  auto it = std::lower_bound(succ.begin(), succ.end(), y);
-  if (it == succ.end() || *it != y) return false;
-  succ.erase(it);
-  std::vector<uint32_t>& pred = in_[y];
-  pred.erase(std::lower_bound(pred.begin(), pred.end(), x));
+  if (!out_.Erase(x, y)) return false;
+  NSE_CHECK(in_.Erase(y, x));
   --indegree_[y];
   --num_edges_;
   topo_valid_ = false;
@@ -247,18 +372,18 @@ void ConflictGraph::RemoveEdgesOf(TxnId txn) {
   NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
                 "RemoveEdgesOf requires incremental mode");
   uint32_t idx = static_cast<uint32_t>(IndexOf(txn));
+  // Erases shift only within the touched region, so the spans over idx's
+  // own regions stay valid throughout.
   for (uint32_t succ : out_[idx]) {
-    std::vector<uint32_t>& pred = in_[succ];
-    pred.erase(std::lower_bound(pred.begin(), pred.end(), idx));
+    NSE_CHECK(in_.Erase(succ, idx));
     --indegree_[succ];
   }
   for (uint32_t pred : in_[idx]) {
-    std::vector<uint32_t>& succ = out_[pred];
-    succ.erase(std::lower_bound(succ.begin(), succ.end(), idx));
+    NSE_CHECK(out_.Erase(pred, idx));
   }
-  num_edges_ -= out_[idx].size() + in_[idx].size();
-  out_[idx].clear();
-  in_[idx].clear();
+  num_edges_ -= out_.size(idx) + in_.size(idx);
+  out_.Clear(idx);
+  in_.Clear(idx);
   indegree_[idx] = 0;
   topo_valid_ = false;
   if (cycle_.has_value()) RebuildOrderAndCycle();
@@ -268,7 +393,7 @@ std::vector<TxnId> ConflictGraph::Predecessors(TxnId txn) const {
   NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
                 "Predecessors requires incremental mode");
   std::vector<TxnId> out;
-  const std::vector<uint32_t>& pred = in_[IndexOf(txn)];
+  const internal::FlatAdjacency::Span pred = in_[IndexOf(txn)];
   out.reserve(pred.size());
   for (uint32_t idx : pred) out.push_back(nodes_[idx]);
   return out;
@@ -372,9 +497,7 @@ std::optional<std::vector<TxnId>> ConflictGraph::WouldCloseCycleWitness(
 }
 
 bool ConflictGraph::HasEdge(TxnId from, TxnId to) const {
-  const std::vector<uint32_t>& succ = out_[IndexOf(from)];
-  uint32_t target = static_cast<uint32_t>(IndexOf(to));
-  return std::binary_search(succ.begin(), succ.end(), target);
+  return out_.Contains(IndexOf(from), static_cast<uint32_t>(IndexOf(to)));
 }
 
 std::vector<std::pair<TxnId, TxnId>> ConflictGraph::Edges() const {
@@ -429,7 +552,7 @@ std::optional<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
 namespace {
 
 void AllTopoRec(const std::vector<TxnId>& nodes,
-                const std::vector<std::vector<uint32_t>>& out_adj,
+                const internal::FlatAdjacency& out_adj,
                 std::vector<uint32_t>& indegree, std::vector<bool>& used,
                 std::vector<TxnId>& current, size_t limit,
                 std::vector<std::vector<TxnId>>& out) {
@@ -477,7 +600,7 @@ std::optional<std::vector<TxnId>> ConflictGraph::FindCycle() const {
     while (!stack.empty()) {
       auto& [node, next] = stack.back();
       bool advanced = false;
-      const std::vector<uint32_t>& succ = out_[node];
+      const internal::FlatAdjacency::Span succ = out_[node];
       for (size_t k = next; k < succ.size(); ++k) {
         size_t j = succ[k];
         next = k + 1;

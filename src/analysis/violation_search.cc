@@ -122,22 +122,30 @@ TrialCode RunOneTrial(const Database& db, const IntegrityConstraint& ic,
   return TrialCode::kViolation;
 }
 
-/// Checks one execution; updates the outcome. (Exhaustive-search path.)
-Status CheckOne(const ConsistencyChecker& checker, const Schedule& schedule,
-                const DbState& initial, const std::vector<size_t>& choices,
-                SearchOutcome& outcome) {
-  ++outcome.checked;
-  NSE_ASSIGN_OR_RETURN(StrongCorrectnessReport report,
-                       CheckExecution(checker, schedule, initial));
-  if (!report.strongly_correct) {
-    ++outcome.violations;
-    if (!outcome.first_counterexample.has_value()) {
-      outcome.first_counterexample =
-          Counterexample{initial, choices, schedule, std::move(report)};
-    }
-  }
-  return Status::Ok();
-}
+/// One unit of exhaustive work: the subtree of complete interleavings of
+/// `initial_states[state]` under a fixed top-level choice (or the whole
+/// tree, with an empty prefix, when every program is already finished).
+/// Units inherit the canonical order: states in order, prefixes ascending.
+struct ExhaustiveUnit {
+  size_t state = 0;
+  size_t slot = 0;  ///< position among the state's units (0 = first choice)
+  std::vector<size_t> prefix;
+};
+
+/// What one unit's enumeration produced, in subtree depth-first order. The
+/// merge consumes a prefix of `codes` bounded by the state's remaining
+/// visit budget, so later entries may be discarded — exactly mirroring
+/// where a sequential run would have been cut off by the limit.
+struct ExhaustiveUnitResult {
+  std::vector<TrialCode> codes;
+  std::optional<Counterexample> cex;  ///< first in-unit violation
+  uint64_t cex_index = kNoTrial;      ///< its index within `codes`
+  Status trial_error = Status::Ok();  ///< the status behind a kError code
+  Status enum_error = Status::Ok();   ///< enumeration failed after `codes`
+  bool enum_failed = false;
+  bool truncated = false;  ///< the unit alone exceeded the visit budget
+  bool ran = false;
+};
 
 }  // namespace
 
@@ -294,11 +302,9 @@ Result<SearchOutcome> SearchForViolations(
 Result<SearchOutcome> ExhaustiveViolationSearch(
     const Database& db, const IntegrityConstraint& ic,
     const std::vector<const TransactionProgram*>& programs,
-    const std::vector<DbState>& initial_states,
-    const HypothesisFilter& filter, uint64_t interleaving_limit,
-    bool stop_at_first) {
+    const std::vector<DbState>& initial_states, const HypothesisFilter& filter,
+    const ExhaustiveSearchConfig& config) {
   SearchOutcome outcome;
-  ConsistencyChecker checker(db, ic);
 
   if (filter.require_fixed_structure) {
     for (const TransactionProgram* program : programs) {
@@ -306,34 +312,216 @@ Result<SearchOutcome> ExhaustiveViolationSearch(
       if (!analysis.valid || !analysis.fixed) return outcome;
     }
   }
+  const uint64_t limit = config.interleaving_limit;
+  if (limit == 0) {
+    // A zero budget truncates every state before the first probe, so not
+    // even probe errors can surface (matches the sequential enumeration,
+    // whose budget check precedes any replay).
+    outcome.truncated = initial_states.size();
+    return outcome;
+  }
+  const size_t threads =
+      config.threads == 0 ? ThreadPool::DefaultNumThreads() : config.threads;
 
-  Status inner_error = Status::Ok();
-  for (const DbState& initial : initial_states) {
+  SolverCache cache;
+  SolverCache* cache_ptr = config.share_solver_cache ? &cache : nullptr;
+  if (cache_ptr != nullptr) {
+    // Pre-warm before fan-out, as on the randomized path, so cold workers
+    // don't all recompute the one-time domain enumerations.
+    ConsistencyChecker(db, ic, cache_ptr).WarmSamplingDomains();
+  }
+
+  // Decompose each state's interleaving tree into the subtrees under its
+  // live top-level choices. A state whose probe fails contributes no units;
+  // its error surfaces when (and only when) the merge reaches the state, as
+  // it would sequentially.
+  std::vector<ExhaustiveUnit> units;
+  std::vector<Status> state_probe(initial_states.size(), Status::Ok());
+  std::vector<size_t> state_begin(initial_states.size() + 1, 0);
+  for (size_t s = 0; s < initial_states.size(); ++s) {
+    state_begin[s] = units.size();
+    auto live_or = LiveFirstChoices(db, programs, initial_states[s]);
+    if (!live_or.ok()) {
+      state_probe[s] = live_or.status();
+      continue;
+    }
+    if (live_or->empty()) {
+      // Every program already finished: the single empty interleaving.
+      units.push_back(ExhaustiveUnit{s, 0, {}});
+    } else {
+      for (size_t j = 0; j < live_or->size(); ++j) {
+        units.push_back(ExhaustiveUnit{s, j, {(*live_or)[j]}});
+      }
+    }
+  }
+  state_begin[initial_states.size()] = units.size();
+
+  std::vector<ExhaustiveUnitResult> results(units.size());
+  std::atomic<size_t> next_unit{0};
+  // Units with index > cancel_after are skipped. Only *certain* decisive
+  // events may cancel: a kError, enumeration failure, or stop-at-first
+  // violation in a slot-0 unit, whose starting budget is always the full
+  // limit — so the merge provably stops at or before it. The same event in
+  // a later slot might fall past the budget cut and be discarded, so it
+  // must not cancel work the merge may still need.
+  std::atomic<uint64_t> cancel_after{kNoTrial};
+
+  auto run_unit = [&](const ConsistencyChecker& checker, size_t u) {
+    const ExhaustiveUnit& unit = units[u];
+    ExhaustiveUnitResult& res = results[u];
+    res.ran = true;
+    const DbState& initial = initial_states[unit.state];
     auto visit = [&](const InterleaveResult& run,
                      const std::vector<size_t>& choices) -> bool {
-      ++outcome.trials;
-      AnalysisContext ctx(db, ic, run.schedule);
-      if (!PassesScheduleFilter(ctx, filter)) {
-        ++outcome.filtered_out;
-        return true;
-      }
-      Status status =
-          CheckOne(checker, run.schedule, initial, choices, outcome);
-      if (!status.ok()) {
-        inner_error = status;
+      if (u > cancel_after.load(std::memory_order_relaxed)) {
+        // A certain decisive event before this unit: the merge will never
+        // read it, so abandon the subtree mid-enumeration.
         return false;
       }
-      return !(stop_at_first && outcome.violations > 0);
+      AnalysisOptions options;
+      options.solver_cache = cache_ptr;
+      AnalysisContext ctx(db, ic, run.schedule, options);
+      if (!PassesScheduleFilter(ctx, filter)) {
+        res.codes.push_back(TrialCode::kFiltered);
+        return true;
+      }
+      auto report_or = CheckExecution(checker, run.schedule, initial);
+      if (!report_or.ok()) {
+        res.trial_error = report_or.status();
+        res.codes.push_back(TrialCode::kError);
+        return false;
+      }
+      if (report_or->strongly_correct) {
+        res.codes.push_back(TrialCode::kCheckedOk);
+        return true;
+      }
+      if (!res.cex.has_value()) {
+        res.cex_index = res.codes.size();
+        res.cex = Counterexample{initial, choices, run.schedule,
+                                 std::move(report_or).value()};
+      }
+      res.codes.push_back(TrialCode::kViolation);
+      // Past the first violation the unit's remainder is never needed under
+      // stop-at-first: the merge either stops at this violation or was cut
+      // off by the budget even earlier.
+      return !config.stop_at_first;
     };
-    NSE_ASSIGN_OR_RETURN(
-        EnumerationOutcome enumerated,
-        EnumerateInterleavings(db, programs, initial, interleaving_limit,
-                               visit));
-    NSE_RETURN_IF_ERROR(inner_error);
-    if (!enumerated.exhausted) ++outcome.truncated;
-    if (stop_at_first && outcome.violations > 0) break;
+    auto enumerated =
+        config.reference_enumerator
+            ? EnumerateInterleavingsFromReference(db, programs, initial,
+                                                  unit.prefix, limit, visit)
+            : EnumerateInterleavingsFrom(db, programs, initial, unit.prefix,
+                                         limit, visit);
+    if (!enumerated.ok()) {
+      res.enum_failed = true;
+      res.enum_error = enumerated.status();
+    } else {
+      res.truncated = !enumerated->exhausted;
+    }
+    const bool decisive =
+        res.enum_failed ||
+        (!res.codes.empty() &&
+         (res.codes.back() == TrialCode::kError ||
+          (config.stop_at_first &&
+           res.codes.back() == TrialCode::kViolation)));
+    if (unit.slot == 0 && decisive) AtomicMin(cancel_after, u);
+  };
+
+  auto worker_fn = [&]() {
+    // As on the randomized path: checkers are worker-local, the cache is
+    // shared.
+    ConsistencyChecker checker(db, ic, cache_ptr);
+    while (true) {
+      const size_t u = next_unit.fetch_add(1);
+      if (u >= units.size()) break;
+      if (u > cancel_after.load(std::memory_order_relaxed)) continue;
+      run_unit(checker, u);
+    }
+  };
+
+  if (threads == 1) {
+    worker_fn();
+  } else {
+    ThreadPool pool(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      pool.Submit(worker_fn);
+    }
+    pool.Wait();
   }
+
+  // Merge in canonical order: states in order; within a state, unit code
+  // lists concatenated in slot order under a fresh per-state budget of
+  // `limit` visits — the exact prefix the sequential enumeration produces.
+  bool stopped = false;
+  for (size_t s = 0; s < initial_states.size() && !stopped; ++s) {
+    NSE_RETURN_IF_ERROR(state_probe[s]);
+    uint64_t remaining = limit;
+    bool state_truncated = false;
+    for (size_t u = state_begin[s]; u < state_begin[s + 1]; ++u) {
+      ExhaustiveUnitResult& res = results[u];
+      NSE_CHECK_MSG(res.ran,
+                    "exhaustive unit %llu reached by the merge but skipped",
+                    static_cast<unsigned long long>(u));
+      const uint64_t len = res.codes.size();
+      const uint64_t take = std::min<uint64_t>(len, remaining);
+      for (uint64_t k = 0; k < take && !stopped; ++k) {
+        ++outcome.trials;
+        switch (res.codes[k]) {
+          case TrialCode::kFiltered:
+            ++outcome.filtered_out;
+            break;
+          case TrialCode::kCheckedOk:
+            ++outcome.checked;
+            break;
+          case TrialCode::kViolation:
+            ++outcome.checked;
+            ++outcome.violations;
+            if (!outcome.first_counterexample.has_value()) {
+              NSE_CHECK(res.cex_index == k && res.cex.has_value());
+              outcome.first_counterexample = std::move(res.cex);
+              outcome.first_violation_trial = outcome.trials - 1;
+            }
+            if (config.stop_at_first) stopped = true;
+            break;
+          case TrialCode::kError:
+            return res.trial_error;
+          case TrialCode::kUnprocessed:
+            NSE_CHECK_MSG(false, "unprocessed code below the budget cut");
+            break;
+        }
+      }
+      if (stopped) break;  // visitor-stopped, not truncated (as sequential)
+      remaining -= take;
+      if (take < len || res.truncated) {
+        state_truncated = true;
+        break;
+      }
+      if (res.enum_failed) {
+        // The failing replay was entered with `remaining` budget left; with
+        // none, the sequential run truncates just before it instead.
+        if (remaining > 0) return res.enum_error;
+        state_truncated = true;
+        break;
+      }
+    }
+    if (state_truncated) ++outcome.truncated;
+  }
+  outcome.solver_cache = cache.stats();
   return outcome;
+}
+
+Result<SearchOutcome> ExhaustiveViolationSearch(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const std::vector<DbState>& initial_states,
+    const HypothesisFilter& filter, uint64_t interleaving_limit,
+    bool stop_at_first) {
+  ExhaustiveSearchConfig config;
+  config.interleaving_limit = interleaving_limit;
+  config.stop_at_first = stop_at_first;
+  config.threads = 1;
+  return ExhaustiveViolationSearch(db, ic, programs, initial_states, filter,
+                                   config);
 }
 
 }  // namespace nse

@@ -14,8 +14,16 @@
 // share one SolverCache, so strong-correctness checks on overlapping
 // sampled schedules reuse each other's solver search trees.
 //
-// Also provides exhaustive search over all interleavings for small
-// scenarios (a bounded model checker).
+// The exhaustive search (a bounded model checker) runs on the same pool
+// with the same discipline: the interleaving tree of each initial state
+// partitions into the subtrees under its top-level choices, workers claim
+// (state, first-choice) subtree units from a shared dispenser, and the
+// merge replays the canonical depth-first order under the per-state visit
+// budget — so counts, truncation, and the first counterexample (in
+// enumeration order) are bit-identical at any thread count. Enumeration is
+// deterministic, so no per-unit RNG streams are needed; workers share one
+// pre-warmed SolverCache, which changes only speed and cache stats, never
+// verdicts (the exhaustive path samples nothing).
 
 #ifndef NSE_ANALYSIS_VIOLATION_SEARCH_H_
 #define NSE_ANALYSIS_VIOLATION_SEARCH_H_
@@ -60,7 +68,9 @@ struct SearchOutcome {
   /// "few trials because enumeration was truncated".
   uint64_t truncated = 0;
   std::optional<Counterexample> first_counterexample;
-  /// Global trial index of first_counterexample (randomized search only).
+  /// Global trial index of first_counterexample: the sampled trial index on
+  /// the randomized path, the canonical enumeration index on the
+  /// exhaustive path.
   std::optional<uint64_t> first_violation_trial;
   /// Shared solver-cache effort during this search (zeros when disabled).
   SolverCache::Stats solver_cache;
@@ -107,8 +117,41 @@ Result<SearchOutcome> SearchForViolations(
     const HypothesisFilter& filter, Rng& rng, uint64_t trials,
     bool stop_at_first = false);
 
+/// Knobs of the exhaustive search engine.
+struct ExhaustiveSearchConfig {
+  /// Complete-interleaving visit budget per initial state; enumeration past
+  /// it is reported via SearchOutcome::truncated.
+  uint64_t interleaving_limit = 0;
+  /// Stop at the first violation in canonical enumeration order. As on the
+  /// randomized path the returned outcome is the deterministic prefix
+  /// ending at that violation, so it is thread-count independent.
+  bool stop_at_first = false;
+  /// Worker threads; 0 means ThreadPool::DefaultNumThreads(). threads=1
+  /// runs inline on the calling thread through the same unit machinery.
+  size_t threads = 1;
+  /// Share one pre-warmed SolverCache across all workers. Unlike the
+  /// randomized path this never changes the outcome (nothing is sampled);
+  /// disable only to measure the uncached baseline.
+  bool share_solver_cache = true;
+  /// Drive the units through EnumerateInterleavingsFromReference (the
+  /// original replay-per-node enumerator) instead of the incremental
+  /// step/undo enumerator. Visit order and every count are identical —
+  /// only wall time differs. This is the sequential baseline configuration
+  /// of bench_violation_search's exhaustive rows.
+  bool reference_enumerator = false;
+};
+
 /// Exhaustive search over every interleaving from each given initial state
-/// (up to `interleaving_limit` interleavings per state).
+/// (up to `config.interleaving_limit` interleavings per state), fanned
+/// over (state, top-level choice) subtree units. SearchOutcome is
+/// bit-identical at any thread count; see the header comment.
+Result<SearchOutcome> ExhaustiveViolationSearch(
+    const Database& db, const IntegrityConstraint& ic,
+    const std::vector<const TransactionProgram*>& programs,
+    const std::vector<DbState>& initial_states, const HypothesisFilter& filter,
+    const ExhaustiveSearchConfig& config);
+
+/// Single-threaded convenience overload (the pre-engine signature).
 Result<SearchOutcome> ExhaustiveViolationSearch(
     const Database& db, const IntegrityConstraint& ic,
     const std::vector<const TransactionProgram*>& programs,

@@ -1,0 +1,137 @@
+// A monotonic bump allocator for per-computation scratch: allocations are
+// O(1) pointer bumps out of geometrically growing blocks, individual frees
+// do not exist, and Reset() rewinds the whole arena while keeping the
+// blocks for reuse. The analysis layer uses one arena per schedule context
+// so a fused graph build performs a handful of block mallocs instead of a
+// storm of small vector allocations (ISSUE 6; cf. the cache-conscious
+// layout arguments of Ailamaki et al., PAPERS.md).
+//
+// ArenaAllocator adapts the arena to the standard allocator interface, so
+// scratch containers are ordinary std::vectors that happen to bump-allocate
+// (`std::vector<T, ArenaAllocator<T>>`). Deallocate is a no-op; memory
+// comes back only via Reset()/destruction. Containers bound to an arena
+// must not outlive it.
+//
+// Thread-compatible, not thread-safe: one arena per thread/context.
+
+#ifndef NSE_COMMON_ARENA_H_
+#define NSE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nse {
+
+/// Monotonic block-chained bump allocator.
+class MonotonicArena {
+ public:
+  /// `first_block_bytes` sizes the first block; later blocks double (capped
+  /// at kMaxBlockBytes) so total malloc traffic is logarithmic in bytes
+  /// served.
+  explicit MonotonicArena(size_t first_block_bytes = 1 << 12)
+      : next_block_bytes_(first_block_bytes < kMinBlockBytes
+                              ? kMinBlockBytes
+                              : first_block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two). Oversized
+  /// requests get a dedicated block.
+  void* Allocate(size_t bytes, size_t align) {
+    if (bytes == 0) bytes = 1;
+    size_t offset = (offset_ + (align - 1)) & ~(align - 1);
+    if (current_ >= blocks_.size() || offset + bytes > blocks_[current_].size) {
+      NextBlock(bytes + align);
+      offset = (offset_ + (align - 1)) & ~(align - 1);
+    }
+    offset_ = offset + bytes;
+    return blocks_[current_].data.get() + offset;
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void Reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes owned across blocks (capacity, not live bytes).
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kMinBlockBytes = 256;
+  static constexpr size_t kMaxBlockBytes = 1 << 20;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Advances to the next block that can serve `min_bytes`, allocating one
+  /// when no retained block fits.
+  void NextBlock(size_t min_bytes) {
+    while (current_ + 1 < blocks_.size()) {
+      ++current_;
+      offset_ = 0;
+      if (blocks_[current_].size >= min_bytes) return;
+    }
+    size_t size = next_block_bytes_;
+    if (size < min_bytes) size = min_bytes;
+    if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+    Block block;
+    block.data = std::make_unique<char[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    current_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  size_t offset_ = 0;
+  size_t next_block_bytes_;
+};
+
+/// Standard-allocator adapter over a MonotonicArena (deallocate is a no-op).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  MonotonicArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+/// A std::vector bound to an arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace nse
+
+#endif  // NSE_COMMON_ARENA_H_

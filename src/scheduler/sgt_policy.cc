@@ -25,7 +25,9 @@ SgtPolicy::SgtPolicy(size_t num_txns, Options options)
       committed_(num_txns + 1, false),
       trimmed_(num_txns + 1, false),
       consecutive_vetoes_(num_txns + 1, 0),
-      steps_recorded_(num_txns + 1, 0) {
+      steps_recorded_(num_txns + 1, 0),
+      script_total_(num_txns + 1, 0),
+      restart_count_(num_txns + 1, 0) {
   NSE_CHECK_MSG(options_.max_consecutive_vetoes >= 1,
                 "SGT veto threshold must be at least 1");
 }
@@ -106,6 +108,7 @@ void SgtPolicy::AdmitAccess(TxnId txn, const TxnScript& script, size_t step) {
   });
   index_.Record(txn, is_write, access.item);
   ++steps_recorded_[txn];
+  script_total_[txn] = script.steps.size();
   NSE_CHECK_MSG(!graph_.has_cycle(),
                 "SGT admitted an access that closed a conflict cycle");
 }
@@ -154,6 +157,7 @@ void SgtPolicy::OnAbort(TxnId txn) {
   committed_[txn] = false;
   consecutive_vetoes_[txn] = 0;
   steps_recorded_[txn] = 0;
+  ++restart_count_[txn];
   CollectCommitted();
 }
 

@@ -56,6 +56,24 @@ class SgtPolicy : public SchedulerPolicy {
     /// with everything ever committed. Off by default so quiescence tests
     /// can compare the live graph against the full committed trace's.
     bool gc_committed = false;
+    /// Victim scoring rule for the victim-choice subclass (the base policy
+    /// always restarts the requester and ignores this).
+    enum class VictimCost {
+      /// Fewest operations recorded since the last (re)start — least sunk
+      /// work lost. Backward-looking: a freshly (re)started transaction
+      /// always scores 0, so on an extreme hotspot the rule re-condemns
+      /// whichever participant it knocked down last round, forever.
+      kSunkCost,
+      /// Estimated cost to get the victim re-executed to completion:
+      /// remaining script steps plus victim_backoff per prior restart.
+      /// Forward-looking: prefers victims that are quick to replay, and
+      /// the backoff term steers subsequent wounds away from transactions
+      /// the policy keeps knocking down.
+      kPredictive,
+    };
+    VictimCost victim_cost = VictimCost::kSunkCost;
+    /// Per-prior-restart penalty added to a candidate's kPredictive score.
+    uint64_t victim_backoff = 4;
   };
 
   explicit SgtPolicy(size_t num_txns);
@@ -128,6 +146,9 @@ class SgtPolicy : public SchedulerPolicy {
   std::vector<bool> trimmed_;              // by txn id (GC only)
   std::vector<uint64_t> consecutive_vetoes_;  // by txn id
   std::vector<uint64_t> steps_recorded_;   // by txn id: work since (re)start
+  std::vector<uint64_t> script_total_;     // by txn id: script length, set on
+                                           // first admitted access
+  std::vector<uint64_t> restart_count_;    // by txn id: rollbacks so far
   uint64_t vetoes_ = 0;
   uint64_t restarts_requested_ = 0;
   uint64_t gc_trimmed_ = 0;

@@ -36,10 +36,24 @@ SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
   }
   consecutive_vetoes_[txn] = 0;
   // Escalation (cold): enumerate the vetoing edges and pick the victim
-  // across every would-be cycle — (steps recorded since last restart,
-  // txn id) lexicographic. The requester heads each witness path, so the
+  // across every would-be cycle — (score, txn id) lexicographic under the
+  // configured cost rule. The requester heads each witness path, so the
   // candidate set is never empty; committed participants are immovable,
   // but the requester itself is always active.
+  const bool predictive =
+      options_.victim_cost == Options::VictimCost::kPredictive;
+  // Every other cycle participant has admitted at least one access (it has
+  // conflict edges), so its script length is on record; the requester may
+  // be vetoed on its very first step, so seed its entry from the script in
+  // hand.
+  if (predictive) script_total_[txn] = script.steps.size();
+  auto cost_of = [&](TxnId node) -> uint64_t {
+    if (!predictive) return steps_recorded_[node];
+    const uint64_t total = script_total_[node];
+    const uint64_t done = steps_recorded_[node];
+    const uint64_t remaining = total > done ? total - done : 0;
+    return remaining + options_.victim_backoff * restart_count_[node];
+  };
   std::vector<TxnId> vetoing = VetoingPredecessors(txn, script, step);
   NSE_CHECK_MSG(!vetoing.empty(), "probe vetoed but no vetoing edge found");
   TxnId victim = 0;
@@ -50,7 +64,7 @@ SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
                   "vetoing edge without a reachable cycle path");
     for (TxnId node : *path) {
       if (committed_[node]) continue;
-      std::pair<uint64_t, TxnId> cost{steps_recorded_[node], node};
+      std::pair<uint64_t, TxnId> cost{cost_of(node), node};
       if (cost < best) {
         best = cost;
         victim = node;
@@ -58,7 +72,7 @@ SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
     }
   }
   NSE_CHECK_MSG(victim != 0, "cycle path had no active participant");
-  if (victim == txn || steps_recorded_[victim] >= steps_recorded_[txn]) {
+  if (victim == txn || cost_of(victim) >= cost_of(txn)) {
     // The requester is the cheapest loss (strictly-cheaper rule: a tie
     // goes to the baseline verdict): restart it, exactly like the
     // baseline escalation.
@@ -68,12 +82,13 @@ SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
   // Condemn the strictly cheaper participant: the simulator rolls it back
   // right after this call returns (its OnAbort retracts the vetoing
   // edges), and the requester retries next round against a graph the
-  // retraction has already uncycled. Every wound sacrifices strictly less
-  // recorded work than the baseline's requester-restart would have at
-  // this same decision point — the per-decision contract wound_savings()
-  // accounts for.
+  // retraction has already uncycled. Under the sunk-cost rule every wound
+  // sacrifices strictly less recorded work than the baseline's
+  // requester-restart would have at this same decision point — the
+  // per-decision contract wound_savings() accounts for; under the
+  // predictive rule the same accumulator records the score margin.
   ++wounds_requested_;
-  wound_savings_ += steps_recorded_[txn] - steps_recorded_[victim];
+  wound_savings_ += cost_of(txn) - cost_of(victim);
   pending_wounds_.push_back(victim);
   return SchedulerDecision::kWait;
 }

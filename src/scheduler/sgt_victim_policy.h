@@ -21,7 +21,16 @@
 // requester (ties go to the baseline verdict), so every single wound
 // sacrifices less recorded work than the baseline's requester-restart
 // would have at the same decision point — the per-decision contract
-// (wound_savings()). Whole-run rollback counts of two different
+// (wound_savings()).
+//
+// Options::victim_cost selects the scoring rule. The default kSunkCost is
+// the strictly-cheaper sunk-work rule above. kPredictive scores each
+// candidate by its estimated re-execution cost going forward — remaining
+// script steps plus victim_backoff per prior restart — which breaks the
+// sunk-cost rule's pathological hotspot loop: a freshly wounded
+// transaction restarts with zero sunk work, so on a near-total hotspot
+// the backward-looking rule condemns the same victim every round while
+// the backoff term steers the predictive rule away from it. Whole-run rollback counts of two different
 // schedulers diverge chaotically after the first differing decision, so
 // the cross-run claim is pinned in aggregate: over the differential
 // harness's seed sweep, total rollbacks (restarts + wounds + deadlock
@@ -55,8 +64,9 @@ class SgtVictimPolicy : public SgtPolicy {
   /// Cycle participants condemned instead of the requester.
   uint64_t wounds_requested() const { return wounds_requested_; }
 
-  /// Recorded operations saved at the wound decision points: for each
-  /// wound, requester work minus victim work (both at that instant). The
+  /// Score margin saved at the wound decision points: for each wound,
+  /// requester score minus victim score (both at that instant) under the
+  /// configured cost rule — recorded operations under kSunkCost. The
   /// strictly-cheaper rule makes every wound contribute at least 1 — the
   /// policy's per-decision contract (full-run rollback counts diverge
   /// chaotically between two different schedulers, so the cross-run

@@ -36,6 +36,23 @@ struct Arena {
   /// Steps program `index`; appends the op and applies writes.
   /// Returns true if an op was performed, false if the program was finished.
   Result<bool> StepOne(const Database& db, size_t index) {
+    StepUndo ignored;
+    return StepOneUndoable(db, index, ignored);
+  }
+
+  /// What UndoStep needs to rewind one performed operation.
+  struct StepUndo {
+    size_t index = 0;               ///< program that stepped
+    bool wrote = false;             ///< whether the op was a write
+    ItemId entity = 0;              ///< written item (wrote only)
+    std::optional<Value> old_value; ///< its prior binding (wrote only)
+  };
+
+  /// StepOne recording enough to rewind: the DFS enumerator steps into a
+  /// child, recurses, and undoes, so the whole choice tree is walked with
+  /// one persistent arena instead of a fresh prefix replay per node.
+  Result<bool> StepOneUndoable(const Database& db, size_t index,
+                               StepUndo& undo) {
     ProgramExecution& exec = execs[index];
     ReadEnv env = [this, &db](ItemId item) -> Result<Value> {
       auto value = state.Get(item);
@@ -48,9 +65,28 @@ struct Arena {
     };
     NSE_ASSIGN_OR_RETURN(std::optional<Operation> op, exec.Step(env));
     if (!op.has_value()) return false;
-    if (op->is_write()) state.Set(op->entity, op->value);
+    undo.index = index;
+    undo.wrote = op->is_write();
+    if (undo.wrote) {
+      undo.entity = op->entity;
+      undo.old_value = state.Get(op->entity);
+      state.Set(op->entity, op->value);
+    }
     ops.push_back(*op);
     return true;
+  }
+
+  /// Rewinds the step recorded in `undo` (strictly LIFO).
+  void UndoStep(const StepUndo& undo) {
+    ops.pop_back();
+    if (undo.wrote) {
+      if (undo.old_value.has_value()) {
+        state.Set(undo.entity, *undo.old_value);
+      } else {
+        state.Unset(undo.entity);
+      }
+    }
+    execs[undo.index].UndoLastOp();
   }
 };
 
@@ -151,11 +187,18 @@ Result<std::vector<size_t>> NearSerialChoices(
 
 namespace {
 
-Status EnumerateRec(const Database& db,
-                    const std::vector<const TransactionProgram*>& programs,
-                    const DbState& initial, std::vector<size_t>& prefix,
-                    uint64_t limit, uint64_t& visited, bool& stop,
-                    bool& truncated, const InterleavingVisitor& visit) {
+/// Incremental DFS over the choice tree: one persistent Arena, stepping
+/// into a child and rewinding on the way back (StepOneUndoable/UndoStep),
+/// so each tree edge costs one program step instead of a full prefix
+/// replay. Liveness is discovered by *attempting* the step — a program is
+/// finished exactly when Step yields nothing — which also replaces the
+/// per-node ProbeAllFinished pass: a node is a leaf iff no child stepped.
+/// Visit order, visited counts, and the truncated flag are identical to
+/// EnumerateRecReference (differential-fuzzed in interleaver_test.cc).
+Status EnumerateRec(const Database& db, Arena& arena,
+                    std::vector<size_t>& prefix, uint64_t limit,
+                    uint64_t& visited, bool& stop, bool& truncated,
+                    const InterleavingVisitor& visit) {
   if (stop) return Status::Ok();
   if (visited >= limit) {
     // Reached only when unexplored work remains (callers recurse solely
@@ -163,8 +206,49 @@ Status EnumerateRec(const Database& db,
     truncated = true;
     return Status::Ok();
   }
-  // Replay the prefix. O(depth^2) per path, fine for the tiny scenarios
-  // exhaustive enumeration targets.
+  bool any_live = false;
+  for (size_t i = 0; i < arena.execs.size(); ++i) {
+    if (stop) break;
+    Arena::StepUndo undo;
+    NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOneUndoable(db, i, undo));
+    if (!stepped) continue;
+    any_live = true;
+    if (visited >= limit) {
+      // An unfinished program means at least one more complete interleaving
+      // exists along this branch.
+      arena.UndoStep(undo);
+      truncated = true;
+      break;
+    }
+    prefix.push_back(i);
+    Status status = EnumerateRec(db, arena, prefix, limit, visited, stop,
+                                 truncated, visit);
+    prefix.pop_back();
+    arena.UndoStep(undo);
+    NSE_RETURN_IF_ERROR(status);
+  }
+  if (!any_live) {
+    ++visited;
+    InterleaveResult result{Schedule(arena.ops), arena.state, true};
+    if (!visit(result, prefix)) stop = true;
+  }
+  return Status::Ok();
+}
+
+/// The original enumeration: a fresh Arena + full prefix replay at every
+/// node, O(depth^2) program steps per path. Kept as the differential
+/// reference for EnumerateRec and as the sequential baseline the
+/// bench_violation_search exhaustive speedups are measured against.
+Status EnumerateRecReference(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, std::vector<size_t>& prefix, uint64_t limit,
+    uint64_t& visited, bool& stop, bool& truncated,
+    const InterleavingVisitor& visit) {
+  if (stop) return Status::Ok();
+  if (visited >= limit) {
+    truncated = true;
+    return Status::Ok();
+  }
   Arena arena(db, programs, initial);
   for (size_t index : prefix) {
     NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
@@ -182,17 +266,38 @@ Status EnumerateRec(const Database& db,
     NSE_ASSIGN_OR_RETURN(bool done, arena.execs[i].ProbeFinished());
     if (done) continue;
     if (visited >= limit) {
-      // An unfinished program means at least one more complete interleaving
-      // exists along this branch.
       truncated = true;
       break;
     }
     prefix.push_back(i);
-    NSE_RETURN_IF_ERROR(EnumerateRec(db, programs, initial, prefix, limit,
-                                     visited, stop, truncated, visit));
+    NSE_RETURN_IF_ERROR(EnumerateRecReference(db, programs, initial, prefix,
+                                              limit, visited, stop, truncated,
+                                              visit));
     prefix.pop_back();
   }
   return Status::Ok();
+}
+
+/// Shared driver: seeds the arena with `prefix` (pinning the subtree; the
+/// recursion pushes/pops strictly above the seed) and runs the incremental
+/// enumeration.
+Result<EnumerationOutcome> EnumerateFromImpl(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& prefix, uint64_t limit,
+    const InterleavingVisitor& visit) {
+  Arena arena(db, programs, initial);
+  for (size_t index : prefix) {
+    NSE_ASSIGN_OR_RETURN(bool stepped, arena.StepOne(db, index));
+    NSE_CHECK(stepped);
+  }
+  std::vector<size_t> seeded = prefix;
+  EnumerationOutcome outcome;
+  bool stop = false;
+  bool truncated = false;
+  NSE_RETURN_IF_ERROR(EnumerateRec(db, arena, seeded, limit, outcome.visited,
+                                   stop, truncated, visit));
+  outcome.exhausted = !truncated;
+  return outcome;
 }
 
 }  // namespace
@@ -200,14 +305,41 @@ Status EnumerateRec(const Database& db,
 Result<EnumerationOutcome> EnumerateInterleavings(
     const Database& db, const std::vector<const TransactionProgram*>& programs,
     const DbState& initial, uint64_t limit, const InterleavingVisitor& visit) {
-  std::vector<size_t> prefix;
+  return EnumerateFromImpl(db, programs, initial, {}, limit, visit);
+}
+
+Result<EnumerationOutcome> EnumerateInterleavingsFrom(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& prefix, uint64_t limit,
+    const InterleavingVisitor& visit) {
+  return EnumerateFromImpl(db, programs, initial, prefix, limit, visit);
+}
+
+Result<EnumerationOutcome> EnumerateInterleavingsFromReference(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& prefix, uint64_t limit,
+    const InterleavingVisitor& visit) {
+  std::vector<size_t> seeded = prefix;
   EnumerationOutcome outcome;
   bool stop = false;
   bool truncated = false;
-  NSE_RETURN_IF_ERROR(EnumerateRec(db, programs, initial, prefix, limit,
-                                   outcome.visited, stop, truncated, visit));
+  NSE_RETURN_IF_ERROR(EnumerateRecReference(db, programs, initial, seeded,
+                                            limit, outcome.visited, stop,
+                                            truncated, visit));
   outcome.exhausted = !truncated;
   return outcome;
+}
+
+Result<std::vector<size_t>> LiveFirstChoices(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial) {
+  Arena arena(db, programs, initial);
+  std::vector<size_t> live;
+  for (size_t i = 0; i < arena.execs.size(); ++i) {
+    NSE_ASSIGN_OR_RETURN(bool done, arena.execs[i].ProbeFinished());
+    if (!done) live.push_back(i);
+  }
+  return live;
 }
 
 }  // namespace nse

@@ -93,6 +93,40 @@ Result<EnumerationOutcome> EnumerateInterleavings(
     const Database& db, const std::vector<const TransactionProgram*>& programs,
     const DbState& initial, uint64_t limit, const InterleavingVisitor& visit);
 
+/// Enumerates the complete interleavings whose choice sequences extend the
+/// fixed `prefix`, in the same depth-first order EnumerateInterleavings
+/// would visit them. The visitor receives full choice sequences (prefix
+/// included); `visited` counts only this subtree. This is the unit of work
+/// for the parallel exhaustive search: the root tree partitions exactly
+/// into the subtrees under each live first choice, so enumerating them
+/// independently and concatenating in ascending first-choice order
+/// reproduces the sequential enumeration.
+Result<EnumerationOutcome> EnumerateInterleavingsFrom(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& prefix, uint64_t limit,
+    const InterleavingVisitor& visit);
+
+/// EnumerateInterleavingsFrom, original implementation: a fresh execution
+/// arena plus a full prefix replay at every tree node (O(depth^2) program
+/// steps per path). The production enumerator above walks the same tree
+/// with one persistent arena and step/undo per edge; this replay-per-node
+/// version is kept as its differential reference (identical visit order,
+/// visited counts, and truncation behavior — fuzz-checked) and as the
+/// sequential baseline bench_violation_search measures the exhaustive
+/// engine against.
+Result<EnumerationOutcome> EnumerateInterleavingsFromReference(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial, const std::vector<size_t>& prefix, uint64_t limit,
+    const InterleavingVisitor& visit);
+
+/// The program indices that can perform an operation first from `initial`,
+/// in ascending order — i.e. the valid first choices of any complete
+/// interleaving. Empty iff every program is already finished, in which case
+/// the only complete interleaving is the empty one.
+Result<std::vector<size_t>> LiveFirstChoices(
+    const Database& db, const std::vector<const TransactionProgram*>& programs,
+    const DbState& initial);
+
 }  // namespace nse
 
 #endif  // NSE_TXN_INTERLEAVER_H_

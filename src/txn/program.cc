@@ -313,6 +313,12 @@ Result<bool> ProgramExecution::ProbeFinished() {
   return false;
 }
 
+void ProgramExecution::UndoLastOp() {
+  NSE_CHECK_MSG(!history_.empty(), "UndoLastOp with no emitted operation");
+  history_.pop_back();
+  finished_ = false;
+}
+
 Result<Transaction> ProgramExecution::Finish() const {
   if (!finished_) {
     return Status::FailedPrecondition(

@@ -166,6 +166,14 @@ class ProgramExecution {
   /// anything; latches finished() when the program turns out to be complete.
   Result<bool> ProbeFinished();
 
+  /// Rewinds the most recent Step: drops the last emitted operation and
+  /// clears the finished latch (the next replay re-derives it). Because the
+  /// stepper re-interprets from history(), this is a complete undo. The
+  /// exhaustive enumerator uses it to walk the choice tree with one
+  /// persistent stepper per program instead of replaying every prefix.
+  /// Aborts if no operation has been emitted.
+  void UndoLastOp();
+
   /// The completed transaction; FailedPrecondition if not finished.
   Result<Transaction> Finish() const;
 

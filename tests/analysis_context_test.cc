@@ -6,6 +6,7 @@
 #include "analysis/theorems.h"
 #include "common/rng.h"
 #include "constraints/ast.h"
+#include "fuzz_env.h"
 #include "txn/program.h"
 
 namespace nse {
@@ -315,6 +316,62 @@ TEST_F(AnalysisContextTest, ContextAgreesWithCheckersOnRandomSchedules) {
       ConflictGraph direct = ConflictGraph::Build(s.Project(ic_->data_set(e)));
       EXPECT_EQ(ctx.projection_graph(e).nodes(), direct.nodes());
       EXPECT_EQ(ctx.projection_graph(e).Edges(), direct.Edges());
+    }
+  }
+}
+
+// Fused-sweep differential, fuzz-scaled: the arena-backed multi-plane
+// bitset pass behind BuildCoreGraphs (full graph + every conjunct graph +
+// reads-from in one walk of the schedule) against artifacts built one at a
+// time from materialized projections by the reference vector sweep.
+TEST(AnalysisContextFusedSweepFuzz, FusedPlanesMatchMaterializedReference) {
+  Database db;
+  ASSERT_TRUE(db.AddIntItems({"a", "b", "c", "d", "e", "f"}, -4, 4).ok());
+  // Three disjoint conjuncts, so the fused pass drives real extra planes.
+  auto ic = IntegrityConstraint::FromConjuncts(
+      db, {Eq(Var(db.MustFind("a")), Var(db.MustFind("b"))),
+           Eq(Var(db.MustFind("c")), Var(db.MustFind("d"))),
+           Eq(Var(db.MustFind("e")), Var(db.MustFind("f")))});
+  ASSERT_TRUE(ic.ok()) << ic.status();
+
+  const size_t seeds = FuzzSeedCount(10);
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    Rng rng(seed * 6151 + 7);
+    const size_t num_txns = 2 + rng.NextBelow(10);
+    const size_t num_ops = 6 + rng.NextBelow(50);
+    OpSequence ops;
+    for (size_t i = 0; i < num_ops; ++i) {
+      TxnId txn = static_cast<TxnId>(1 + rng.NextBelow(num_txns));
+      ItemId item = static_cast<ItemId>(rng.NextBelow(db.num_items()));
+      if (rng.NextBool(0.5)) {
+        ops.push_back(Operation::Write(txn, item, Value(0)));
+      } else {
+        ops.push_back(Operation::Read(txn, item, Value(0)));
+      }
+    }
+    Schedule s(std::move(ops));
+    AnalysisContext ctx(db, *ic, s);
+
+    ConflictGraph full = ConflictGraph::BuildReference(s);
+    EXPECT_EQ(ctx.conflict_graph().Edges(), full.Edges()) << "seed " << seed;
+    EXPECT_EQ(ctx.conflict_graph().ToString(), full.ToString());
+
+    for (size_t e = 0; e < ic->num_conjuncts(); ++e) {
+      ConflictGraph direct =
+          ConflictGraph::BuildReference(s.Project(ic->data_set(e)));
+      EXPECT_EQ(ctx.projection_graph(e).nodes(), direct.nodes())
+          << "seed " << seed << " conjunct " << e;
+      EXPECT_EQ(ctx.projection_graph(e).Edges(), direct.Edges())
+          << "seed " << seed << " conjunct " << e;
+      EXPECT_EQ(ctx.projection_graph(e).IsAcyclic(), direct.IsAcyclic());
+    }
+
+    const auto& fused_rf = ctx.reads_from();
+    const auto direct_rf = ReadsFromPairs(s);
+    ASSERT_EQ(fused_rf.size(), direct_rf.size()) << "seed " << seed;
+    for (size_t i = 0; i < fused_rf.size(); ++i) {
+      EXPECT_EQ(fused_rf[i].reader_pos, direct_rf[i].reader_pos);
+      EXPECT_EQ(fused_rf[i].writer_pos, direct_rf[i].writer_pos);
     }
   }
 }

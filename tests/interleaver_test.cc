@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "constraints/solver.h"
+#include "fuzz_env.h"
 #include "paper/paper_examples.h"
+#include "scheduler/workload.h"
 
 namespace nse {
 namespace {
@@ -133,6 +139,105 @@ TEST_F(InterleaverTest, InterleavingSchedulesAreValidExecutions) {
         return true;
       });
   ASSERT_TRUE(visited.ok());
+}
+
+// One visited interleaving, flattened for sequence comparison.
+struct VisitRecord {
+  std::vector<size_t> choices;
+  std::string schedule;
+  DbState final_state;
+  bool complete = false;
+
+  bool operator==(const VisitRecord& other) const {
+    return choices == other.choices && schedule == other.schedule &&
+           final_state == other.final_state && complete == other.complete;
+  }
+};
+
+// The incremental step/undo enumerator must reproduce the replay-per-node
+// reference exactly: same visit sequence (choices, schedules with value
+// attributes, final states), same visited count, same truncation flag —
+// across random workloads (including branching programs whose lengths are
+// state-dependent), random subtree prefixes, tight limits, and early-stop
+// visitors. This is the contract that makes the reference a valid
+// sequential baseline in bench_violation_search.
+TEST(InterleaverEnumeratorFuzz, IncrementalMatchesReferenceEnumerator) {
+  const size_t seeds = FuzzSeedCount(10);
+  size_t truncated_runs = 0;
+  size_t branchy_runs = 0;
+  for (size_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(seed * 2713 + 17);
+    PartitionedWorkloadConfig config;
+    config.num_partitions = 2 + rng.NextBelow(2);
+    config.items_per_partition = 1 + rng.NextBelow(2);
+    config.num_txns = 2 + rng.NextBelow(2);
+    config.partitions_per_txn = 1 + rng.NextBelow(2);
+    config.cross_read_probability = 0.5;
+    config.branch_probability = (seed % 2 == 0) ? 0.6 : 0.0;
+    config.domain_lo = -4;
+    config.domain_hi = 4;
+    config.seed = seed + 1;
+    if (config.branch_probability > 0) ++branchy_runs;
+    auto workload = MakePartitionedWorkload(config);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    auto programs = workload->ProgramPtrs();
+
+    ConsistencyChecker checker(workload->db, *workload->ic);
+    auto initial = checker.SampleConsistentState(rng);
+    ASSERT_TRUE(initial.ok()) << initial.status();
+
+    // A random valid subtree prefix: empty, or one live first choice.
+    std::vector<size_t> prefix;
+    if (rng.NextBool(0.5)) {
+      auto live = LiveFirstChoices(workload->db, programs, *initial);
+      ASSERT_TRUE(live.ok()) << live.status();
+      if (!live->empty()) prefix.push_back((*live)[rng.NextBelow(live->size())]);
+    }
+
+    const uint64_t limits[] = {1, 3, 1 + rng.NextBelow(40), 10'000};
+    for (uint64_t limit : limits) {
+      // stop_after == 0 means "never stop early".
+      for (uint64_t stop_after : {uint64_t{0}, uint64_t{2}}) {
+        auto run_one = [&](bool reference, std::vector<VisitRecord>& out)
+            -> Result<EnumerationOutcome> {
+          auto visit = [&](const InterleaveResult& run,
+                           const std::vector<size_t>& choices) {
+            out.push_back(VisitRecord{choices,
+                                      run.schedule.ToString(workload->db),
+                                      run.final_state, run.complete});
+            return stop_after == 0 || out.size() < stop_after;
+          };
+          return reference
+                     ? EnumerateInterleavingsFromReference(
+                           workload->db, programs, *initial, prefix, limit,
+                           visit)
+                     : EnumerateInterleavingsFrom(workload->db, programs,
+                                                  *initial, prefix, limit,
+                                                  visit);
+        };
+        std::vector<VisitRecord> got, want;
+        auto got_outcome = run_one(false, got);
+        auto want_outcome = run_one(true, want);
+        ASSERT_TRUE(got_outcome.ok()) << got_outcome.status();
+        ASSERT_TRUE(want_outcome.ok()) << want_outcome.status();
+        EXPECT_EQ(got_outcome->visited, want_outcome->visited)
+            << "seed " << seed << " limit " << limit;
+        EXPECT_EQ(got_outcome->exhausted, want_outcome->exhausted)
+            << "seed " << seed << " limit " << limit;
+        ASSERT_EQ(got.size(), want.size())
+            << "seed " << seed << " limit " << limit;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_TRUE(got[i] == want[i])
+              << "seed " << seed << " limit " << limit << " visit " << i
+              << ": " << got[i].schedule << " vs " << want[i].schedule;
+        }
+        if (!got_outcome->exhausted) ++truncated_runs;
+      }
+    }
+  }
+  // The sweep must exercise both regimes.
+  EXPECT_GT(truncated_runs, 0u);
+  EXPECT_GT(branchy_runs, 0u);
 }
 
 TEST_F(InterleaverTest, StateDependentProgramLengths) {

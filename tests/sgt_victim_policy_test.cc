@@ -109,6 +109,102 @@ TEST(SgtVictimPolicyTest, CommittedParticipantsAreNeverWounded) {
   EXPECT_EQ(policy.restarts_requested(), 1u);
 }
 
+/// Predictive scoring at threshold 1 (escalate on the first veto).
+SgtVictimPolicy PredictiveAtOnce(size_t num_txns) {
+  SgtPolicy::Options options;
+  options.max_consecutive_vetoes = 1;
+  options.victim_cost = SgtPolicy::Options::VictimCost::kPredictive;
+  return SgtVictimPolicy(num_txns, options);
+}
+
+TEST(SgtVictimPolicyTest, PredictiveWoundsQuickToReplayParticipant) {
+  SgtVictimPolicy policy = PredictiveAtOnce(2);
+  // T1 is one step from done (remaining 1, never restarted: score 1); the
+  // requester T2 still has two steps to go (score 2). The forward-looking
+  // rule condemns the participant that is cheapest to replay to completion.
+  TxnScript t1 = Script({{OpAction::kWrite, 0},
+                         {OpAction::kRead, 1},
+                         {OpAction::kWrite, 4}});
+  TxnScript t2 = Script({{OpAction::kWrite, 1},
+                         {OpAction::kWrite, 2},
+                         {OpAction::kWrite, 3},
+                         {OpAction::kRead, 0},
+                         {OpAction::kWrite, 5}});
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  // r1(1) after w2(1): edge T2 -> T1.
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  // T2's read of item 0 would close the cycle. Scores: T1 = 1 remaining,
+  // T2 = 2 remaining; wound T1 and record the margin.
+  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kWait);
+  EXPECT_EQ(policy.wounds_requested(), 1u);
+  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{1});
+  EXPECT_EQ(policy.wound_savings(), 1u);  // score margin 2 - 1
+}
+
+TEST(SgtVictimPolicyTest, PredictiveBackoffSparesRepeatVictims) {
+  SgtVictimPolicy policy = PredictiveAtOnce(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
+  TxnScript t2 = Script({{OpAction::kWrite, 1},
+                         {OpAction::kWrite, 2},
+                         {OpAction::kWrite, 3},
+                         {OpAction::kRead, 0}});
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  // First escalation: T1 has finished its recorded script (remaining 0,
+  // no restarts: score 0), requester T2 has one step left (score 1) —
+  // wound T1.
+  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kWait);
+  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{1});
+  policy.OnAbort(1);
+  // T1 replays into the same conflicts...
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  // ...and the same cycle re-forms. The sunk-cost rule would condemn T1
+  // again (its sunk work, 2, is still below the requester's 3 — the
+  // hotspot loop). Predictively T1 now scores 0 + backoff*1 = 4 against
+  // the requester's 1: the requester restarts itself instead.
+  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(policy.wounds_requested(), 1u);
+  EXPECT_EQ(policy.restarts_requested(), 1u);
+  EXPECT_TRUE(policy.DrainWounds().empty());
+}
+
+TEST(SgtVictimWorkloadTest, PredictiveModeStaysCsrOnExtremeHotspot) {
+  // The predictive rule changes only victim choice, never admission
+  // clearance: on a near-total hotspot every committed trace must still be
+  // CSR with clean quiescence, and every transaction must finish.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PartitionedWorkloadConfig config;
+    config.num_partitions = 2;
+    config.items_per_partition = 2;
+    config.num_txns = 8;
+    config.partitions_per_txn = 2;
+    config.cross_read_probability = 0.5;
+    config.hotspot_probability = 1.0;
+    config.seed = seed;
+    auto workload = MakePartitionedWorkload(config);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+
+    SgtPolicy::Options options;
+    options.victim_cost = SgtPolicy::Options::VictimCost::kPredictive;
+    SgtVictimPolicy policy(workload->scripts.size(), options);
+    auto result = RunSimulation(policy, workload->scripts);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->completed, workload->scripts.size());
+    EXPECT_TRUE(IsConflictSerializable(result->schedule))
+        << result->schedule.ToString(workload->db);
+    EXPECT_FALSE(policy.graph().has_cycle());
+    EXPECT_EQ(policy.graph().Edges(),
+              ConflictGraph::Build(result->schedule).Edges());
+  }
+}
+
 TEST(SgtVictimWorkloadTest, CsrByConstructionAndCheaperThanBaseline) {
   // Per seed: promise class + quiescence + the per-decision wound
   // contract. Across the sweep: the restart-economics bet — aggregate

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "constraints/solver.h"
 #include "paper/paper_examples.h"
 #include "scheduler/workload.h"
 
@@ -103,6 +104,7 @@ void ExpectSameOutcome(const SearchOutcome& a, const SearchOutcome& b,
   EXPECT_EQ(a.filtered_out, b.filtered_out);
   EXPECT_EQ(a.checked, b.checked);
   EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.truncated, b.truncated);
   EXPECT_EQ(a.first_violation_trial, b.first_violation_trial);
   ASSERT_EQ(a.first_counterexample.has_value(),
             b.first_counterexample.has_value());
@@ -204,6 +206,130 @@ TEST(ViolationSearchTest, ZeroThreadsMeansHardwareDefault) {
       SearchForViolations(ex.db, *ex.ic, programs, filter, rng, config);
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   EXPECT_EQ(outcome->trials, 40u);
+}
+
+/// Exhaustive-mode parity scenario: a generous budget over several initial
+/// states, so the engine has both state- and first-choice-subtree units to
+/// distribute across workers.
+ExhaustiveSearchConfig ExhaustiveParityConfig(size_t threads) {
+  ExhaustiveSearchConfig config;
+  config.interleaving_limit = 10'000;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ViolationSearchTest, ExhaustiveOutcomeIsIdenticalAcrossThreadCounts) {
+  // The exhaustive determinism contract: counts, truncation, and the first
+  // counterexample (by canonical enumeration index) do not depend on the
+  // number of workers the subtree units land on.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto states =
+      ConsistencyChecker(ex.db, *ex.ic).EnumerateConsistentStates(3);
+  ASSERT_TRUE(states.ok()) << states.status();
+  ASSERT_GT(states->size(), 1u);
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+
+  auto sequential = ExhaustiveViolationSearch(ex.db, *ex.ic, programs, *states,
+                                              filter, ExhaustiveParityConfig(1));
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  EXPECT_GT(sequential->violations, 0u);
+  EXPECT_EQ(sequential->truncated, 0u);
+  ASSERT_TRUE(sequential->first_counterexample.has_value());
+
+  for (size_t threads : {2, 4, 8}) {
+    auto parallel = ExhaustiveViolationSearch(
+        ex.db, *ex.ic, programs, *states, filter,
+        ExhaustiveParityConfig(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectSameOutcome(*sequential, *parallel, ex.db);
+  }
+
+  // The pre-engine overload is exactly the threads=1 configuration.
+  auto legacy = ExhaustiveViolationSearch(ex.db, *ex.ic, programs, *states,
+                                          filter, /*interleaving_limit=*/10'000);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  ExpectSameOutcome(*sequential, *legacy, ex.db);
+}
+
+TEST(ViolationSearchTest, ExhaustiveStopAtFirstIsIdenticalAcrossThreadCounts) {
+  // Stop-at-first returns the deterministic prefix ending at the first
+  // violating enumeration index; a worker deep in a later subtree must not
+  // leak trials past that cut.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;  // unfiltered: the first violation comes early
+
+  ExhaustiveSearchConfig config = ExhaustiveParityConfig(1);
+  config.stop_at_first = true;
+  auto sequential = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                              {ex.ds0}, filter, config);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  ASSERT_GT(sequential->violations, 0u);
+  ASSERT_TRUE(sequential->first_violation_trial.has_value());
+  EXPECT_EQ(sequential->trials, *sequential->first_violation_trial + 1);
+
+  for (size_t threads : {2, 8}) {
+    config.threads = threads;
+    auto parallel = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                              {ex.ds0}, filter, config);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectSameOutcome(*sequential, *parallel, ex.db);
+  }
+}
+
+TEST(ViolationSearchTest, ExhaustiveTruncationIsIdenticalAcrossThreadCounts) {
+  // Tiny budgets cut enumerations mid-subtree; the parallel merge must
+  // reconstruct the same per-state budget cuts (and truncated count) the
+  // sequential walk hits, for every awkward limit.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  auto states =
+      ConsistencyChecker(ex.db, *ex.ic).EnumerateConsistentStates(3);
+  ASSERT_TRUE(states.ok()) << states.status();
+  HypothesisFilter filter;
+
+  for (uint64_t limit : {1, 2, 3, 7, 19}) {
+    ExhaustiveSearchConfig config;
+    config.interleaving_limit = limit;
+    auto sequential = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                                *states, filter, config);
+    ASSERT_TRUE(sequential.ok()) << sequential.status();
+    EXPECT_GT(sequential->truncated, 0u) << "limit " << limit;
+    for (size_t threads : {2, 8}) {
+      config.threads = threads;
+      auto parallel = ExhaustiveViolationSearch(ex.db, *ex.ic, programs,
+                                                *states, filter, config);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      ExpectSameOutcome(*sequential, *parallel, ex.db);
+    }
+  }
+}
+
+TEST(ViolationSearchTest, ExhaustiveCacheToggleNeverChangesTheVerdicts) {
+  // Unlike the randomized path (where the cache changes which executions a
+  // seed samples), exhaustive enumeration draws nothing at random: cache on
+  // and off must agree on every count and the counterexample, differing
+  // only in the reported cache traffic.
+  auto ex = paper::Example2::Make();
+  std::vector<const TransactionProgram*> programs{&ex.tp1, &ex.tp2};
+  HypothesisFilter filter;
+  filter.require_pwsr = true;
+
+  ExhaustiveSearchConfig config = ExhaustiveParityConfig(2);
+  auto cached = ExhaustiveViolationSearch(ex.db, *ex.ic, programs, {ex.ds0},
+                                          filter, config);
+  ASSERT_TRUE(cached.ok()) << cached.status();
+  EXPECT_GT(cached->solver_cache.hits, 0u);
+  EXPECT_GT(cached->solver_cache.hit_rate(), 0.5);
+
+  config.share_solver_cache = false;
+  auto uncached = ExhaustiveViolationSearch(ex.db, *ex.ic, programs, {ex.ds0},
+                                            filter, config);
+  ASSERT_TRUE(uncached.ok()) << uncached.status();
+  EXPECT_EQ(uncached->solver_cache.hits + uncached->solver_cache.misses, 0u);
+  ExpectSameOutcome(*cached, *uncached, ex.db);
 }
 
 TEST(ViolationSearchTest, GeneratedFixedStructureWorkloadHasNoViolations) {

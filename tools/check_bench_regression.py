@@ -30,19 +30,25 @@ SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential")
 # bench_sgt counters pin the policy zoo's structural invariants in CI:
 # aborts_ww must stay 0 (wound-wait deadlock freedom), restarts_to is TO's
 # whole cost, and the victim counters are the SGT-victim economics.
-EXACT_FIELDS = ("checked", "violations", "cycles_resolved", "conjuncts",
+EXACT_FIELDS = ("checked", "violations", "truncated", "cycles_resolved",
+                "conjuncts",
                 "completed", "aborts", "restarts", "vetoes",
                 "restarts_to", "aborts_ww", "wounds_ww",
-                "restarts_victim", "wounds_victim", "aborts_victim")
-# Measurements (never part of the row identity).
+                "restarts_victim", "wounds_victim", "aborts_victim",
+                "restarts_victim_pred", "wounds_victim_pred",
+                "aborts_victim_pred")
+# Measurements (never part of the row identity). cache_computes is
+# deterministic single-threaded but depends on request-coalescing timing
+# across workers, so it is reported, not guarded.
 MEASUREMENT_FIELDS = set(SPEEDUP_FIELDS) | set(EXACT_FIELDS) | {
-    "wall_ms", "trials_per_s", "cache_hit_rate", "legacy_ms",
+    "wall_ms", "trials_per_s", "cache_hit_rate", "cache_computes",
+    "legacy_ms",
     "incremental_ms", "legacy_per_tick_us", "incremental_per_tick_us",
     "edge_updates", "makespan_2pl", "makespan_pw2pl", "makespan_sgt",
-    "makespan_ww", "makespan_to", "makespan_victim",
+    "makespan_ww", "makespan_to", "makespan_victim", "makespan_victim_pred",
     "wait_ticks_2pl", "wait_ticks_sgt", "throughput_2pl",
     "throughput_pw2pl", "throughput_sgt", "throughput_ww",
-    "throughput_to", "throughput_victim",
+    "throughput_to", "throughput_victim", "throughput_victim_pred",
 }
 
 
