@@ -28,6 +28,7 @@
 #include "analysis/serializability.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "scheduler/fault_injection.h"
 #include "scheduler/metrics.h"
 #include "scheduler/priority_locking.h"
 #include "scheduler/pw_two_phase_locking.h"
@@ -62,6 +63,39 @@ PolicyOutcome RunPolicy(SchedulerPolicy& policy, const Workload& workload) {
                 "%s completed %llu of %zu txns", policy.name().c_str(),
                 static_cast<unsigned long long>(result->completed),
                 workload.scripts.size());
+  PolicyOutcome outcome;
+  outcome.result = std::move(result).value();
+  outcome.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return outcome;
+}
+
+/// A policy run under an injected fault plan: the run may legitimately
+/// lose transactions to crashes or admission shedding, so the forward-
+/// progress ledger (completed + crashes + shed == population) replaces the
+/// everything-commits check, and the committed trace must still pass the
+/// independent CSR checker.
+PolicyOutcome RunPolicyFaulted(SchedulerPolicy& policy,
+                               const Workload& workload,
+                               const SimConfig& sim_config) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = RunSimulation(policy, workload.scripts, sim_config);
+  auto end = std::chrono::steady_clock::now();
+  NSE_CHECK_MSG(result.ok(), "faulted simulation failed under %s: %s",
+                policy.name().c_str(), result.status().ToString().c_str());
+  NSE_CHECK_MSG(
+      result->completed + result->crashes + result->shed ==
+          workload.scripts.size(),
+      "%s forward-progress ledger broke: %llu completed + %llu crashed + "
+      "%llu shed != %zu txns",
+      policy.name().c_str(),
+      static_cast<unsigned long long>(result->completed),
+      static_cast<unsigned long long>(result->crashes),
+      static_cast<unsigned long long>(result->shed),
+      workload.scripts.size());
+  NSE_CHECK_MSG(IsConflictSerializable(result->schedule),
+                "%s emitted a non-CSR trace under faults",
+                policy.name().c_str());
   PolicyOutcome outcome;
   outcome.result = std::move(result).value();
   outcome.wall_ms =
@@ -273,6 +307,116 @@ int main(int argc, char** argv) {
             << " (predictive " << pred_rollbacks << ") vs baseline sgt "
             << sgt_rollbacks << " across the sweep\n";
 
+  // === Fault-injection rows: the same engine under injected adversity ===
+  // An abort-rate x backoff sweep plus a crash/latency row and an
+  // admission-gate row, on the hotspot_90 workload under the pessimistic
+  // (strict 2PL), non-blocking (TO) and optimistic (SGT) corners of the
+  // zoo. Every counter is a pure function of the seeds, so the JSON guards
+  // them exactly: a drift means the fault / backoff / admission machinery
+  // changed behavior, not that the hardware was slow.
+  struct FaultBench {
+    std::string name;
+    FaultPlanConfig faults;
+    RestartPolicy restart;
+  };
+  auto abort_plan = [](uint64_t seed, double p) {
+    FaultPlanConfig fc;
+    fc.seed = seed;
+    fc.client_abort_probability = p;
+    return fc;
+  };
+  RestartPolicy expo;
+  expo.backoff = RestartPolicy::Backoff::kExponential;
+  expo.base = 2;
+  expo.cap = 64;
+  expo.jitter = 3;
+  expo.jitter_seed = 29;
+  std::vector<FaultBench> fault_cases = {
+      {"faults_abort30_linear", abort_plan(101, 0.3), RestartPolicy{}},
+      {"faults_abort70_linear", abort_plan(102, 0.7), RestartPolicy{}},
+      {"faults_abort30_expo", abort_plan(103, 0.3), expo},
+      {"faults_abort70_expo", abort_plan(104, 0.7), expo},
+  };
+  {
+    FaultPlanConfig fc;
+    fc.seed = 105;
+    fc.crash_probability = 0.25;
+    fc.latency_spike_probability = 0.3;
+    fc.max_latency_spike_ticks = 6;
+    fc.max_arrival_delay = 4;
+    fault_cases.push_back({"faults_crash_latency", fc, RestartPolicy{}});
+  }
+  {
+    RestartPolicy gate = expo;
+    gate.max_restarts_before_boost = 8;
+    gate.max_live_txns = 4;
+    gate.overflow = RestartPolicy::Overflow::kQueue;
+    fault_cases.push_back({"faults_admission_q4", abort_plan(106, 0.4), gate});
+  }
+
+  struct FaultRow {
+    std::string name;
+    size_t txns = 0;
+    PolicyOutcome strict_2pl;
+    PolicyOutcome to;
+    PolicyOutcome sgt;
+  };
+  std::vector<FaultRow> fault_rows;
+  TablePrinter fault_table({"workload", "policy", "completed", "crashes",
+                            "fault_aborts", "boosts", "shed",
+                            "backoff_ticks", "max_restarts", "makespan"});
+  BenchCase fault_case =
+      make_case("hotspot_90", 32, 16, 2, 0.9, 7, /*contended=*/true);
+  auto fault_workload = MakePartitionedWorkload(fault_case.config);
+  NSE_CHECK_MSG(fault_workload.ok(), "fault workload generation failed: %s",
+                fault_workload.status().ToString().c_str());
+  for (const FaultBench& fb : fault_cases) {
+    FaultPlan plan(fb.faults);
+    SimConfig sim_config;
+    sim_config.faults = &plan;
+    sim_config.restart = fb.restart;
+
+    FaultRow frow;
+    frow.name = fb.name;
+    frow.txns = fault_workload->scripts.size();
+    {
+      StrictTwoPhaseLocking policy;
+      frow.strict_2pl = RunPolicyFaulted(policy, *fault_workload, sim_config);
+      NSE_CHECK_MSG(policy.held_locks() == 0,
+                    "strict 2PL left residual locks on %s", fb.name.c_str());
+    }
+    {
+      TimestampOrderingPolicy policy(fault_workload->scripts.size());
+      frow.to = RunPolicyFaulted(policy, *fault_workload, sim_config);
+      NSE_CHECK_MSG(policy.active_stamp_entries() == 0,
+                    "TO left residual stamp entries on %s", fb.name.c_str());
+    }
+    {
+      SgtPolicy policy(fault_workload->scripts.size());
+      frow.sgt = RunPolicyFaulted(policy, *fault_workload, sim_config);
+      NSE_CHECK_MSG(policy.graph().Edges() ==
+                        ConflictGraph::Build(frow.sgt.result.schedule).Edges(),
+                    "SGT left residual graph edges on %s", fb.name.c_str());
+    }
+    auto add_fault = [&](const char* policy, const PolicyOutcome& o) {
+      fault_table.AddRow(
+          {frow.name, policy, StrCat(o.result.completed),
+           StrCat(o.result.crashes), StrCat(o.result.fault_aborts),
+           StrCat(o.result.boosts), StrCat(o.result.shed),
+           StrCat(o.result.backoff_ticks), StrCat(o.result.max_txn_restarts),
+           StrCat(o.result.makespan)});
+    };
+    add_fault("strict-2pl", frow.strict_2pl);
+    add_fault("to", frow.to);
+    add_fault("sgt", frow.sgt);
+    fault_rows.push_back(frow);
+  }
+  std::cout << "\n=== Fault injection (client aborts / crashes / latency / "
+               "admission) on hotspot_90 ===\n"
+            << fault_table.Render()
+            << "(every counter is deterministic per seed; crashed and shed "
+               "transactions never commit, everything else must)\n";
+
   if (smoke) {
     std::cout << "smoke mode: CSR differential + residual-edge + "
                  "no-deadlock + no-wait checks passed, no baseline "
@@ -336,7 +480,56 @@ int main(int argc, char** argv) {
         row.sgt.result.throughput, row.wound_wait.result.throughput,
         row.to.result.throughput, row.sgt_victim.result.throughput,
         row.sgt_victim_pred.result.throughput,
-        row.sgt.wall_ms, i + 1 < rows.size() ? "," : "");
+        row.sgt.wall_ms,
+        i + 1 < rows.size() || !fault_rows.empty() ? "," : "");
+  }
+  for (size_t i = 0; i < fault_rows.size(); ++i) {
+    const FaultRow& frow = fault_rows[i];
+    const SimResult& r2pl = frow.strict_2pl.result;
+    const SimResult& rto = frow.to.result;
+    const SimResult& rsgt = frow.sgt.result;
+    std::fprintf(
+        json,
+        "    {\"workload\": \"%s\", \"txns\": %zu, "
+        "\"completed_2pl\": %llu, \"crashes_2pl\": %llu, "
+        "\"fault_aborts_2pl\": %llu, \"boosts_2pl\": %llu, "
+        "\"shed_2pl\": %llu, \"backoff_ticks_2pl\": %llu, "
+        "\"max_restarts_2pl\": %llu, \"makespan_2pl\": %llu, "
+        "\"completed_to\": %llu, \"crashes_to\": %llu, "
+        "\"fault_aborts_to\": %llu, \"boosts_to\": %llu, "
+        "\"shed_to\": %llu, \"backoff_ticks_to\": %llu, "
+        "\"max_restarts_to\": %llu, \"makespan_to\": %llu, "
+        "\"completed_sgt\": %llu, \"crashes_sgt\": %llu, "
+        "\"fault_aborts_sgt\": %llu, \"boosts_sgt\": %llu, "
+        "\"shed_sgt\": %llu, \"backoff_ticks_sgt\": %llu, "
+        "\"max_restarts_sgt\": %llu, \"makespan_sgt\": %llu, "
+        "\"wall_ms\": %.3f}%s\n",
+        frow.name.c_str(), frow.txns,
+        static_cast<unsigned long long>(r2pl.completed),
+        static_cast<unsigned long long>(r2pl.crashes),
+        static_cast<unsigned long long>(r2pl.fault_aborts),
+        static_cast<unsigned long long>(r2pl.boosts),
+        static_cast<unsigned long long>(r2pl.shed),
+        static_cast<unsigned long long>(r2pl.backoff_ticks),
+        static_cast<unsigned long long>(r2pl.max_txn_restarts),
+        static_cast<unsigned long long>(r2pl.makespan),
+        static_cast<unsigned long long>(rto.completed),
+        static_cast<unsigned long long>(rto.crashes),
+        static_cast<unsigned long long>(rto.fault_aborts),
+        static_cast<unsigned long long>(rto.boosts),
+        static_cast<unsigned long long>(rto.shed),
+        static_cast<unsigned long long>(rto.backoff_ticks),
+        static_cast<unsigned long long>(rto.max_txn_restarts),
+        static_cast<unsigned long long>(rto.makespan),
+        static_cast<unsigned long long>(rsgt.completed),
+        static_cast<unsigned long long>(rsgt.crashes),
+        static_cast<unsigned long long>(rsgt.fault_aborts),
+        static_cast<unsigned long long>(rsgt.boosts),
+        static_cast<unsigned long long>(rsgt.shed),
+        static_cast<unsigned long long>(rsgt.backoff_ticks),
+        static_cast<unsigned long long>(rsgt.max_txn_restarts),
+        static_cast<unsigned long long>(rsgt.makespan),
+        frow.sgt.wall_ms, i + 1 < fault_rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

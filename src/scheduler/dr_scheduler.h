@@ -63,6 +63,13 @@ class DelayedReadScheduler : public SchedulerPolicy {
   /// The waits-for tracker (read-only; tests and diagnostics).
   const WaitsForTracker& waits() const { return waits_; }
 
+  /// Outstanding lock grants of the inner PW-2PL — 0 at quiescence, or the
+  /// policy leaked (the chaos harness's residual-state check).
+  size_t held_locks() const { return inner_.held_locks(); }
+
+  /// Writers still marked dirty (commit-gating reads) — 0 at quiescence.
+  size_t dirty_writers() const { return incomplete_.size(); }
+
  private:
   /// The incomplete transaction that last wrote `item`, if any.
   std::optional<TxnId> DirtyWriter(ItemId item) const;

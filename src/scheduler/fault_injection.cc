@@ -1,0 +1,70 @@
+#include "scheduler/fault_injection.h"
+
+#include "common/logging.h"
+
+namespace nse {
+
+namespace {
+
+// Stream-family ids, SplitMix64-jumped apart by Rng::Split so the fault
+// classes draw from pairwise independent streams: tweaking one knob never
+// shifts another class's decisions.
+constexpr uint64_t kArrivalStream = 1;
+constexpr uint64_t kCrashStream = 2;
+constexpr uint64_t kClientAbortStream = 3;
+constexpr uint64_t kLatencyStream = 4;
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config)
+    : config_(config), base_(config.seed) {
+  NSE_CHECK_MSG(config_.max_latency_spike_ticks >= 1,
+                "latency spikes must last at least one tick");
+}
+
+uint64_t FaultPlan::PerturbedArrival(TxnId txn,
+                                     uint64_t scripted_arrival) const {
+  if (config_.max_arrival_delay == 0) return scripted_arrival;
+  Rng stream = base_.Split(kArrivalStream).Split(txn);
+  return scripted_arrival + stream.NextBelow(config_.max_arrival_delay + 1);
+}
+
+std::optional<size_t> FaultPlan::CrashStep(TxnId txn,
+                                           size_t script_len) const {
+  if (config_.crash_probability <= 0.0 || script_len == 0) {
+    return std::nullopt;
+  }
+  Rng stream = base_.Split(kCrashStream).Split(txn);
+  if (!stream.NextBool(config_.crash_probability)) return std::nullopt;
+  return static_cast<size_t>(stream.NextBelow(script_len));
+}
+
+bool FaultPlan::ClientAbortsAt(TxnId txn, uint64_t incarnation, size_t step,
+                               size_t script_len,
+                               uint64_t aborts_so_far) const {
+  if (config_.client_abort_probability <= 0.0 || script_len == 0 ||
+      aborts_so_far >= config_.max_client_aborts_per_txn) {
+    return false;
+  }
+  Rng stream = base_.Split(kClientAbortStream).Split(txn).Split(incarnation);
+  if (!stream.NextBool(config_.client_abort_probability)) return false;
+  return static_cast<size_t>(stream.NextBelow(script_len)) == step;
+}
+
+uint64_t FaultPlan::LatencySpikeAt(TxnId txn, uint64_t incarnation,
+                                   size_t step) const {
+  if (config_.latency_spike_probability <= 0.0) return 0;
+  Rng stream =
+      base_.Split(kLatencyStream).Split(txn).Split(incarnation).Split(step);
+  if (!stream.NextBool(config_.latency_spike_probability)) return 0;
+  return 1 + stream.NextBelow(config_.max_latency_spike_ticks);
+}
+
+bool FaultPlan::empty() const {
+  return config_.client_abort_probability <= 0.0 &&
+         config_.crash_probability <= 0.0 &&
+         config_.latency_spike_probability <= 0.0 &&
+         config_.max_arrival_delay == 0;
+}
+
+}  // namespace nse

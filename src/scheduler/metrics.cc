@@ -45,6 +45,18 @@ std::string SimSummary(const SimResult& result) {
   if (result.skipped_ops > 0) {
     out += StrCat(", skipped ", result.skipped_ops);
   }
+  if (result.fault_aborts > 0) {
+    out += StrCat(", fault_aborts ", result.fault_aborts);
+  }
+  if (result.crashes > 0) out += StrCat(", crashes ", result.crashes);
+  if (result.shed > 0) out += StrCat(", shed ", result.shed);
+  if (result.boosts > 0) out += StrCat(", boosts ", result.boosts);
+  if (result.backoff_ticks > 0) {
+    out += StrCat(", backoff_ticks ", result.backoff_ticks);
+  }
+  if (result.max_txn_restarts > 0) {
+    out += StrCat(", max_txn_restarts ", result.max_txn_restarts);
+  }
   return out;
 }
 

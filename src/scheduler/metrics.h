@@ -41,7 +41,9 @@ TraceClassification ClassifyTrace(AnalysisContext& ctx);
 /// throughput 0.19" — restart, wound and veto counts included so
 /// optimistic / priority policies (SGT, wound-wait, TO) render their
 /// abort economics next to the lock waits; a ", skipped N" suffix appears
-/// when Thomas-rule writes were elided.
+/// when Thomas-rule writes were elided. Fault/robustness counters
+/// (fault_aborts, crashes, shed, boosts, backoff_ticks, max_txn_restarts)
+/// are appended only when non-zero, so fault-free summaries are unchanged.
 std::string SimSummary(const SimResult& result);
 
 /// Streaming summary of a numeric series.

@@ -64,6 +64,10 @@ class PriorityLockingPolicy : public SchedulerPolicy {
   /// Requester deaths (wait-die; 0 under wound-wait).
   uint64_t deaths() const { return deaths_; }
 
+  /// Outstanding lock grants — 0 at quiescence, or the policy leaked
+  /// (the chaos harness's residual-state check).
+  size_t held_locks() const { return locks_.num_locks(); }
+
  protected:
   /// Protocol hook: the requester (with stamp `ts`) found `holders` in its
   /// way (all distinct from it). Returns the verdict; may enqueue wounds.

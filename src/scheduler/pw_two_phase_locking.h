@@ -34,6 +34,10 @@ class PredicatewiseTwoPhaseLocking : public SchedulerPolicy {
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
+  /// Outstanding lock grants — 0 at quiescence, or the policy leaked
+  /// (the chaos harness's residual-state check).
+  size_t held_locks() const { return locks_.num_locks(); }
+
  private:
   const IntegrityConstraint* ic_;
   LockManager locks_;

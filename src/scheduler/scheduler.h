@@ -72,7 +72,12 @@ class SchedulerPolicy {
   /// Called when `txn` performed its last step.
   virtual void OnComplete(TxnId txn) = 0;
 
-  /// Called when `txn` is chosen as a deadlock victim.
+  /// Called when `txn` aborts — as a deadlock victim, a wound victim, after
+  /// its own kAbortRestart verdict, or through an injected fault (client
+  /// abort / terminal crash). Must fully retract `txn`'s footprint (locks,
+  /// graph edges, stamps) and must be idempotent: a crash-at-op fault can
+  /// abort a transaction that already aborted and never ran again, so a
+  /// repeated OnAbort for the same quiescent txn must be a harmless no-op.
   virtual void OnAbort(TxnId txn) = 0;
 
   /// Transactions currently blocking `txn`'s pending request (for deadlock

@@ -1,9 +1,12 @@
 #include "scheduler/sim.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/string_util.h"
+#include "scheduler/fault_injection.h"
 #include "scheduler/waits_for.h"
 
 namespace nse {
@@ -13,12 +16,48 @@ namespace {
 struct TxnRuntime {
   size_t pc = 0;          // next step index
   bool done = false;
+  bool admitted = false;  // passed the admission gate
+  bool crashed = false;   // terminal crash-at-op fault fired
+  bool was_shed = false;  // dropped by the admission gate
   bool blocked = false;   // last OnAccess returned kWait
+  bool boosted = false;   // starvation watchdog fired
+  bool parked = false;    // boosted but waiting for the privileged one
   uint64_t wait_ticks = 0;
   uint64_t completion_tick = 0;
-  uint64_t resume_tick = 0;  // abort backoff: idle until this tick
-  uint64_t abort_count = 0;
+  uint64_t resume_tick = 0;  // abort backoff / latency spike: idle until then
+  uint64_t abort_count = 0;  // restarts of any kind (= incarnation index)
+  uint64_t fault_aborts = 0;  // injected client aborts (capped by the plan)
+  uint64_t arrival = 0;       // effective (possibly perturbed) arrival tick
+  size_t spike_paid_pc = SIZE_MAX;  // last step latency-checked this life
 };
+
+/// The restart delay for a transaction entering its n-th restart
+/// (n = restart count, >= 1). Pure function of (policy, txn, n) so replays
+/// are bit-identical. The cap applies to the shape; jitter rides on top.
+uint64_t BackoffDelay(const RestartPolicy& rp, TxnId txn, uint64_t n) {
+  uint64_t delay = 0;
+  switch (rp.backoff) {
+    case RestartPolicy::Backoff::kImmediate:
+      delay = 0;
+      break;
+    case RestartPolicy::Backoff::kFixed:
+      delay = std::min(rp.base, rp.cap);
+      break;
+    case RestartPolicy::Backoff::kLinear:
+      delay = std::min(rp.base + rp.step * n, rp.cap);
+      break;
+    case RestartPolicy::Backoff::kExponential: {
+      delay = rp.base;
+      for (uint64_t i = 1; i < n && delay < rp.cap; ++i) delay <<= 1;
+      delay = std::min(delay, rp.cap);
+      break;
+    }
+  }
+  if (rp.jitter > 0) {
+    delay += Rng(rp.jitter_seed).Split(txn).Split(n).NextBelow(rp.jitter + 1);
+  }
+  return delay;
+}
 
 }  // namespace
 
@@ -26,7 +65,33 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
                                 const std::vector<TxnScript>& scripts,
                                 const SimConfig& config) {
   const size_t n = scripts.size();
+  const RestartPolicy& rp = config.restart;
+  const FaultPlan* faults =
+      (config.faults != nullptr && !config.faults->empty()) ? config.faults
+                                                            : nullptr;
   std::vector<TxnRuntime> runtime(n);
+  // Terminal crash step per txn (SIZE_MAX = never), drawn once up front.
+  std::vector<size_t> crash_step(n, SIZE_MAX);
+  for (size_t i = 0; i < n; ++i) {
+    TxnId txn = static_cast<TxnId>(i + 1);
+    runtime[i].arrival = scripts[i].arrival_tick;
+    if (faults != nullptr) {
+      runtime[i].arrival =
+          faults->PerturbedArrival(txn, scripts[i].arrival_tick);
+      auto crash = faults->CrashStep(txn, scripts[i].steps.size());
+      if (crash.has_value()) crash_step[i] = *crash;
+    }
+  }
+  // Admission order: (effective arrival, id) — deterministic whatever the
+  // perturbation did to the scripted order.
+  std::vector<size_t> admission_order(n);
+  std::iota(admission_order.begin(), admission_order.end(), size_t{0});
+  std::stable_sort(admission_order.begin(), admission_order.end(),
+                   [&](size_t a, size_t b) {
+                     return runtime[a].arrival < runtime[b].arrival;
+                   });
+  size_t live_txns = 0;
+
   OpSequence trace;
   SimResult result;
   // Persistent waits-for graph across stall ticks: each tick only diffs the
@@ -44,12 +109,15 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
 
   uint64_t tick = 0;
   uint64_t stalled_ticks = 0;  // consecutive blocked-but-no-victim ticks
+  bool progress = false;
+  bool pending_arrival = false;   // not yet arrived, or in backoff/spike
+  bool pending_backoff = false;   // in deliberate backoff or latency spike
+  bool pending_admission = false;  // arrived but queued at the gate
 
-  // Abort `victim` and schedule its restart: undo its trace, rewind, and
-  // back off so the surviving transactions drain before it re-enters
-  // (otherwise the same conflict can re-form forever). Shared by the
-  // deadlock-victim path and policy-requested kAbortRestart verdicts.
-  auto restart_txn = [&](TxnId victim) {
+  // Drop `victim`'s footprint: policy retraction, waits-for edges, trace
+  // ops. Shared by restart (abort) and terminal crash; second calls for the
+  // same txn are harmless — the policies' OnAbort paths are idempotent.
+  auto release_txn = [&](TxnId victim) {
     policy.OnAbort(victim);
     waits.OnResolved(victim);
     trace.erase(std::remove_if(trace.begin(), trace.end(),
@@ -57,95 +125,244 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
                                  return op.txn == victim;
                                }),
                 trace.end());
+    runtime[victim - 1].blocked = false;
+  };
+
+  // The transaction currently holding the watchdog's escalation privilege:
+  // the lowest-id boosted, unfinished transaction (0 if none). Only it gets
+  // zero backoff and the front of the scan — two simultaneously free-to-
+  // restart transactions can re-abort each other forever (seen with TO:
+  // each zero-cost restart draws a fresh stamp that re-rejects the other),
+  // so escalations are strictly serialized.
+  auto privileged_boosted = [&]() -> TxnId {
+    for (size_t i = 0; i < n; ++i) {
+      if (runtime[i].boosted && !runtime[i].done) {
+        return static_cast<TxnId>(i + 1);
+      }
+    }
+    return 0;
+  };
+
+  // Wake every parked transaction (called when a boosted transaction
+  // finishes and the privilege transfers).
+  auto wake_parked = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      if (runtime[i].parked && !runtime[i].done) {
+        runtime[i].parked = false;
+        runtime[i].resume_tick = tick + 1;
+      }
+    }
+  };
+
+  // Abort `victim` and schedule its restart under the RestartPolicy: undo
+  // its trace, rewind, and back off so the surviving transactions drain
+  // before it re-enters (otherwise the same conflict can re-form forever).
+  // Shared by the deadlock-victim path, policy-requested kAbortRestart
+  // verdicts, wounds, and injected client aborts.
+  auto restart_txn = [&](TxnId victim) {
+    release_txn(victim);
     TxnRuntime& vrt = runtime[victim - 1];
     vrt.pc = 0;
-    vrt.blocked = false;
+    vrt.spike_paid_pc = SIZE_MAX;
     ++vrt.abort_count;
-    uint64_t backoff = std::min<uint64_t>(2 + 4 * vrt.abort_count, 128);
-    vrt.resume_tick = tick + backoff;
+    result.max_txn_restarts = std::max(result.max_txn_restarts,
+                                       vrt.abort_count);
+    if (!vrt.boosted && rp.max_restarts_before_boost > 0 &&
+        vrt.abort_count > rp.max_restarts_before_boost) {
+      // Starvation watchdog: past the cap the transaction is escalated
+      // instead of livelocking through delays it always loses.
+      vrt.boosted = true;
+      ++result.boosts;
+    }
+    if (vrt.boosted) {
+      if (privileged_boosted() == victim) {
+        // Free restart + front-of-scan priority: it keeps retrying at full
+        // cadence while every other chronic restarter is parked or paying
+        // backoff, so it eventually runs unopposed and commits.
+        vrt.parked = false;
+        vrt.resume_tick = tick + 1;
+      } else {
+        // Parked until the privileged transaction finishes: a chronically
+        // colliding peer leaves the arena entirely (it holds no footprint
+        // after the abort), which is what guarantees the privileged one
+        // stops meeting fresh conflicts from it.
+        vrt.parked = true;
+        vrt.resume_tick = UINT64_MAX;
+      }
+      return;
+    }
+    uint64_t delay = BackoffDelay(rp, victim, vrt.abort_count);
+    result.backoff_ticks += delay;
+    vrt.resume_tick = tick + std::max<uint64_t>(delay, 1);
+  };
+
+  // Terminal crash: same footprint retraction as an abort, but the
+  // transaction never restarts — exactly what leaves residual state behind
+  // if any policy's OnAbort/Erase/RemoveEdgesOf path is leaky.
+  auto crash_txn = [&](TxnId victim) {
+    release_txn(victim);
+    TxnRuntime& vrt = runtime[victim - 1];
+    vrt.done = true;
+    vrt.crashed = true;
+    ++result.crashes;
+    --live_txns;
+    if (vrt.boosted) wake_parked();  // the privilege transfers
+  };
+
+  // One transaction's turn within a tick. Returns nothing; sets the
+  // progress/pending flags.
+  auto attempt = [&](size_t i) {
+    TxnRuntime& rt = runtime[i];
+    const TxnScript& script = scripts[i];
+    TxnId txn = static_cast<TxnId>(i + 1);
+    if (rt.done) return;
+    if (!rt.admitted) {
+      pending_admission = true;
+      return;
+    }
+    if (rt.resume_tick > tick) {
+      pending_arrival = true;
+      pending_backoff = true;
+      return;
+    }
+    if (script.steps.empty()) {
+      policy.OnComplete(txn);
+      waits.OnResolved(txn);
+      rt.done = true;
+      rt.completion_tick = tick;
+      --live_txns;
+      ++result.completed;
+      if (rt.boosted) wake_parked();
+      progress = true;
+      return;
+    }
+    if (faults != nullptr) {
+      if (rt.pc == crash_step[i]) {
+        crash_txn(txn);
+        progress = true;
+        return;
+      }
+      if (faults->ClientAbortsAt(txn, rt.abort_count, rt.pc,
+                                 script.steps.size(), rt.fault_aborts)) {
+        ++rt.fault_aborts;
+        ++result.fault_aborts;
+        restart_txn(txn);
+        progress = true;
+        return;
+      }
+      if (rt.spike_paid_pc != rt.pc) {
+        rt.spike_paid_pc = rt.pc;
+        uint64_t spike = faults->LatencySpikeAt(txn, rt.abort_count, rt.pc);
+        if (spike > 0) {
+          result.latency_spike_ticks += spike;
+          rt.resume_tick = tick + spike;
+          rt.blocked = false;
+          pending_arrival = true;
+          pending_backoff = true;
+          return;
+        }
+      }
+    }
+    SchedulerDecision decision = policy.OnAccess(txn, script, rt.pc);
+    // Wound path: the policy may have condemned *other* transactions
+    // while deciding this access (wound-wait, SGT victim choice). Roll
+    // them back through the shared restart path before acting on the
+    // requester's own verdict — a wound releases the victim's footprint
+    // (locks, graph edges), which is exactly what unblocks the requester
+    // on its next attempt.
+    for (TxnId victim : policy.DrainWounds()) {
+      NSE_CHECK_MSG(victim != txn,
+                    "policy wounded the requester; it must return "
+                    "kAbortRestart instead");
+      NSE_CHECK_MSG(victim >= 1 && victim <= n && !runtime[victim - 1].done,
+                    "policy wounded an inactive transaction");
+      restart_txn(victim);
+      ++result.wounds;
+      progress = true;  // state changed; this is not a stall tick
+    }
+    if (decision == SchedulerDecision::kWait) {
+      rt.blocked = true;
+      ++rt.wait_ticks;
+      return;
+    }
+    if (decision == SchedulerDecision::kAbortRestart) {
+      // The policy declared waiting hopeless (e.g. an SGT veto against
+      // committed edges): roll the transaction back and restart it.
+      restart_txn(txn);
+      ++result.restarts;
+      progress = true;
+      return;
+    }
+    rt.blocked = false;
+    if (decision == SchedulerDecision::kSkip) {
+      // Thomas write rule: the step is subsumed by a newer write that
+      // already executed. The txn advances past it, nothing is traced
+      // and AfterAccess does not run — the operation never happened.
+      ++result.skipped_ops;
+    } else {
+      const AccessStep& step = script.steps[rt.pc];
+      // Structural trace values: reads 0, writes the current tick
+      // (distinct values keep traces readable; checkers ignore them).
+      trace.push_back(step.action == OpAction::kRead
+                          ? Operation::Read(txn, step.item, Value(0))
+                          : Operation::Write(
+                                txn, step.item,
+                                Value(static_cast<int64_t>(tick))));
+      policy.AfterAccess(txn, script, rt.pc);
+    }
+    ++rt.pc;
+    progress = true;
+    if (rt.pc == script.steps.size()) {
+      policy.OnComplete(txn);
+      waits.OnResolved(txn);
+      rt.done = true;
+      rt.completion_tick = tick;
+      --live_txns;
+      ++result.completed;
+      if (rt.boosted) wake_parked();
+    }
   };
 
   for (; tick < config.max_ticks; ++tick) {
     if (all_done()) break;
-    bool progress = false;
-    bool pending_arrival = false;
+    progress = false;
+    pending_arrival = false;
+    pending_backoff = false;
+    pending_admission = false;
 
+    // Admission gate, in (arrival, id) order: every arrived transaction is
+    // admitted while the gate has room; with kShed, arrivals that find the
+    // gate full are dropped on the spot (graceful degradation — the
+    // alternative under overload is unbounded queueing).
+    for (size_t i : admission_order) {
+      TxnRuntime& rt = runtime[i];
+      if (rt.done || rt.admitted || rt.arrival > tick) continue;
+      if (rp.max_live_txns == 0 || live_txns < rp.max_live_txns) {
+        rt.admitted = true;
+        ++live_txns;
+      } else if (rp.overflow == RestartPolicy::Overflow::kShed) {
+        rt.done = true;
+        rt.was_shed = true;
+        ++result.shed;
+        progress = true;
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      // Starvation watchdog: boosted transactions go first, in id order —
+      // they stopped paying backoff, and winning the intra-tick race is
+      // what converts "restarts forever" into "commits next".
+      if (runtime[i].boosted && !runtime[i].done) attempt(i);
+    }
     for (size_t k = 0; k < n; ++k) {
       // Rotate the scan origin for fairness while staying deterministic.
       size_t i = (k + static_cast<size_t>(tick)) % n;
-      TxnRuntime& rt = runtime[i];
-      const TxnScript& script = scripts[i];
-      TxnId txn = static_cast<TxnId>(i + 1);
-      if (rt.done) continue;
-      if (script.arrival_tick > tick || rt.resume_tick > tick) {
+      if (runtime[i].boosted) continue;  // already had its boosted turn
+      if (!runtime[i].done && runtime[i].arrival > tick) {
         pending_arrival = true;
         continue;
       }
-      if (script.steps.empty()) {
-        policy.OnComplete(txn);
-        waits.OnResolved(txn);
-        rt.done = true;
-        rt.completion_tick = tick;
-        ++result.completed;
-        progress = true;
-        continue;
-      }
-      SchedulerDecision decision = policy.OnAccess(txn, script, rt.pc);
-      // Wound path: the policy may have condemned *other* transactions
-      // while deciding this access (wound-wait, SGT victim choice). Roll
-      // them back through the shared restart path before acting on the
-      // requester's own verdict — a wound releases the victim's footprint
-      // (locks, graph edges), which is exactly what unblocks the requester
-      // on its next attempt.
-      for (TxnId victim : policy.DrainWounds()) {
-        NSE_CHECK_MSG(victim != txn,
-                      "policy wounded the requester; it must return "
-                      "kAbortRestart instead");
-        NSE_CHECK_MSG(victim >= 1 && victim <= n && !runtime[victim - 1].done,
-                      "policy wounded an inactive transaction");
-        restart_txn(victim);
-        ++result.wounds;
-        progress = true;  // state changed; this is not a stall tick
-      }
-      if (decision == SchedulerDecision::kWait) {
-        rt.blocked = true;
-        ++rt.wait_ticks;
-        continue;
-      }
-      if (decision == SchedulerDecision::kAbortRestart) {
-        // The policy declared waiting hopeless (e.g. an SGT veto against
-        // committed edges): roll the transaction back and restart it.
-        restart_txn(txn);
-        ++result.restarts;
-        progress = true;
-        continue;
-      }
-      rt.blocked = false;
-      if (decision == SchedulerDecision::kSkip) {
-        // Thomas write rule: the step is subsumed by a newer write that
-        // already executed. The txn advances past it, nothing is traced
-        // and AfterAccess does not run — the operation never happened.
-        ++result.skipped_ops;
-      } else {
-        const AccessStep& step = script.steps[rt.pc];
-        // Structural trace values: reads 0, writes the current tick
-        // (distinct values keep traces readable; checkers ignore them).
-        trace.push_back(step.action == OpAction::kRead
-                            ? Operation::Read(txn, step.item, Value(0))
-                            : Operation::Write(
-                                  txn, step.item,
-                                  Value(static_cast<int64_t>(tick))));
-        policy.AfterAccess(txn, script, rt.pc);
-      }
-      ++rt.pc;
-      progress = true;
-      if (rt.pc == script.steps.size()) {
-        policy.OnComplete(txn);
-        waits.OnResolved(txn);
-        rt.done = true;
-        rt.completion_tick = tick;
-        ++result.completed;
-      }
+      attempt(i);
     }
 
     if (progress) {
@@ -160,7 +377,8 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
     bool any_blocked = false;
     for (size_t i = 0; i < n; ++i) {
       TxnId txn = static_cast<TxnId>(i + 1);
-      bool eligible = !runtime[i].done && scripts[i].arrival_tick <= tick &&
+      bool eligible = !runtime[i].done && runtime[i].admitted &&
+                      runtime[i].arrival <= tick &&
                       runtime[i].resume_tick <= tick;
       if (eligible && runtime[i].blocked) {
         any_blocked = true;
@@ -170,7 +388,13 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       }
     }
     if (!any_blocked) {
-      if (pending_arrival) continue;  // quiet tick before arrivals
+      if (pending_backoff) {
+        // Every idle transaction is in deliberate backoff or a latency
+        // spike: a pause, not a stall.
+        stalled_ticks = 0;
+        continue;
+      }
+      if (pending_arrival || pending_admission) continue;  // quiet tick
       return Status::Internal("simulation stalled with no blocked txn");
     }
     TxnId victim = 0;
@@ -179,10 +403,22 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       victim = *std::max_element(cycle.begin(), cycle.end());
     }
     if (victim == 0) {
+      if (pending_backoff) {
+        // Blocked transactions, but some participant is in deliberate
+        // backoff — its return will either make progress or re-form a
+        // detectable cycle. Counting these ticks toward stall_patience
+        // would misdiagnose a long exponential backoff as a wedged
+        // policy; resetting keeps the counter's "consecutive" meaning.
+        stalled_ticks = 0;
+        continue;
+      }
       if (pending_arrival) continue;  // blockers will arrive and finish
       // Blocked transactions without a waits-for cycle: an optimistic
       // policy resolves this itself (SGT's veto threshold escalates to
-      // kAbortRestart), so keep ticking within the patience budget.
+      // kAbortRestart), so keep ticking within the patience budget. A
+      // non-empty admission queue cannot help here — queued transactions
+      // only enter when a live one leaves — so it does not defer the
+      // verdict.
       if (++stalled_ticks > config.stall_patience) {
         return Status::Internal(
             "simulation stalled: blocked transactions but no waits-for cycle");
@@ -203,12 +439,16 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
   result.total_ops = trace.size();
   result.vetoes = policy.veto_events();
   double response_sum = 0;
+  uint64_t committed = 0;
   for (size_t i = 0; i < n; ++i) {
     result.total_wait_ticks += runtime[i].wait_ticks;
+    if (runtime[i].crashed || runtime[i].was_shed) continue;
     response_sum += static_cast<double>(runtime[i].completion_tick + 1 -
-                                        scripts[i].arrival_tick);
+                                        runtime[i].arrival);
+    ++committed;
   }
-  result.avg_response_ticks = n == 0 ? 0 : response_sum / static_cast<double>(n);
+  result.avg_response_ticks =
+      committed == 0 ? 0 : response_sum / static_cast<double>(committed);
   result.throughput =
       result.makespan == 0
           ? 0

@@ -9,6 +9,16 @@
 // policy's output lies in the class it promises (CSR / PWSR / DR).
 // Trace values are structural placeholders — class membership depends only
 // on actions, items, and order.
+//
+// Adversity is first-class: an optional FaultPlan (fault_injection.h)
+// injects spontaneous client aborts, terminal crash-at-op, latency spikes
+// and arrival perturbation — all delivered through the same OnAbort /
+// restart machinery real aborts use — and a RestartPolicy governs how
+// victims re-enter: backoff shape (immediate / fixed / linear /
+// capped-exponential, with deterministic jitter), a starvation watchdog
+// that boosts a transaction past its restart cap instead of letting it
+// livelock, and an admission gate (max live transactions; overflow queued
+// or shed) for graceful degradation under overload.
 
 #ifndef NSE_SCHEDULER_SIM_H_
 #define NSE_SCHEDULER_SIM_H_
@@ -22,6 +32,49 @@
 
 namespace nse {
 
+class FaultPlan;
+
+/// Governs how aborted transactions re-enter the system and how many
+/// transactions may be live at once. The defaults reproduce the historical
+/// behavior bit-for-bit: linear backoff min(2 + 4*n, 128), no jitter, no
+/// watchdog, no admission gate.
+struct RestartPolicy {
+  /// Backoff shape as a function of the transaction's restart count n
+  /// (n >= 1 at the first computation), before jitter and capping.
+  enum class Backoff {
+    kImmediate,    ///< re-enter next tick
+    kFixed,        ///< base ticks, every time
+    kLinear,       ///< base + step * n   (legacy default)
+    kExponential,  ///< base << (n - 1), capped — the thundering-herd shape
+  };
+  Backoff backoff = Backoff::kLinear;
+  uint64_t base = 2;    ///< first-restart delay (ticks)
+  uint64_t step = 4;    ///< linear slope (kLinear only)
+  uint64_t cap = 128;   ///< upper bound on the computed delay
+  /// Deterministic jitter: a pure-function draw from [0, jitter] (keyed on
+  /// jitter_seed, txn, restart count) added to the delay, de-synchronizing
+  /// victims of the same conflict without breaking reproducibility.
+  uint64_t jitter = 0;
+  uint64_t jitter_seed = 1;
+  /// Starvation watchdog: once a transaction's restart count exceeds this,
+  /// it is *boosted* rather than left to lose every future race.
+  /// Escalations are strictly serialized: the lowest-id boosted unfinished
+  /// transaction holds the privilege — zero backoff and scanned ahead of
+  /// everyone else each tick — while any other boosted transaction is
+  /// *parked* (idle, holding no footprint) until the privileged one
+  /// finishes. Giving several chronic restarters free restarts at once
+  /// would just trade livelock-by-backoff for livelock-by-collision (two
+  /// free restarters can re-abort each other forever). 0 disables.
+  uint64_t max_restarts_before_boost = 0;
+  /// Admission gate: max transactions live (admitted, not yet done) at
+  /// once. 0 = unlimited. Arrivals beyond the gate are queued (admitted in
+  /// (arrival, id) order as slots free) or shed (dropped, counted, never
+  /// run) per `overflow`.
+  size_t max_live_txns = 0;
+  enum class Overflow { kQueue, kShed };
+  Overflow overflow = Overflow::kQueue;
+};
+
 /// Simulation limits and switches.
 struct SimConfig {
   uint64_t max_ticks = 1'000'000;  ///< hard stop (error if exceeded)
@@ -30,8 +83,17 @@ struct SimConfig {
   /// policies resolve such stalls themselves — an SGT veto escalates to
   /// kAbortRestart after its veto threshold — so the simulator must not
   /// error on the first cycle-free stall; a genuinely stuck policy still
-  /// fails, just `stall_patience` ticks later.
+  /// fails, just `stall_patience` ticks later. Ticks on which any
+  /// transaction sits in deliberate restart backoff (or a latency spike)
+  /// are *pauses, not stalls*: they reset the streak instead of counting
+  /// toward it, so a long exponential backoff is never misdiagnosed as a
+  /// wedged policy — once nothing is backing off, a genuine wedge still
+  /// accumulates its consecutive ticks and fails.
   uint64_t stall_patience = 64;
+  /// Restart governance: backoff, starvation watchdog, admission gate.
+  RestartPolicy restart;
+  /// Optional fault injection (not owned; nullptr = no faults).
+  const FaultPlan* faults = nullptr;
 };
 
 /// Aggregate outcome of one simulation run.
@@ -45,16 +107,26 @@ struct SimResult {
   uint64_t vetoes = 0;             ///< policy veto_events() (SGT cycle vetoes)
   uint64_t skipped_ops = 0;        ///< kSkip verdicts (Thomas-rule writes
                                    ///< elided from the committed trace)
+  uint64_t fault_aborts = 0;       ///< injected spontaneous client aborts
+  uint64_t crashes = 0;            ///< injected terminal crash-at-op faults
+  uint64_t shed = 0;               ///< arrivals dropped by the admission gate
+  uint64_t boosts = 0;             ///< starvation-watchdog escalations
+  uint64_t backoff_ticks = 0;      ///< total deliberate restart-delay ticks
+  uint64_t latency_spike_ticks = 0;  ///< total injected latency-spike ticks
+  uint64_t max_txn_restarts = 0;   ///< max restarts of any single txn
   uint64_t total_wait_ticks = 0;   ///< ticks spent blocked, all txns
   uint64_t total_ops = 0;          ///< committed operations
-  double avg_response_ticks = 0;   ///< mean completion − arrival
+  double avg_response_ticks = 0;   ///< mean completion − arrival (committed)
   double throughput = 0;           ///< completed / makespan
   Schedule schedule;               ///< committed trace (structural values)
 };
 
 /// Runs `scripts` under `policy`. Transaction ids are 1-based script
 /// indices. Fails if the run exceeds `config.max_ticks` or stalls without a
-/// detectable deadlock (a policy bug).
+/// detectable deadlock (a policy bug). With faults injected, crashed and
+/// shed transactions never commit — everything else must (the chaos
+/// harness's forward-progress contract); their operations never appear in
+/// the committed trace.
 Result<SimResult> RunSimulation(SchedulerPolicy& policy,
                                 const std::vector<TxnScript>& scripts,
                                 const SimConfig& config = SimConfig());

@@ -79,6 +79,18 @@ class TimestampOrderingPolicy : public SchedulerPolicy {
   /// Writes elided by the Thomas write rule (kSkip verdicts).
   uint64_t skipped_writes() const { return skipped_writes_; }
 
+  /// Active (uncommitted-incarnation) stamp entries across every item —
+  /// 0 at quiescence, or an abort path leaked (the chaos harness's
+  /// residual-state check; committed stamps fold into scalar maxima and
+  /// are expected to persist).
+  size_t active_stamp_entries() const {
+    size_t total = 0;
+    for (const ItemState& item : items_) {
+      total += item.readers.size() + item.writers.size();
+    }
+    return total;
+  }
+
  private:
   /// One recorded access: the incarnation's timestamp, keyed by txn.
   struct Stamp {

@@ -24,6 +24,10 @@ class StrictTwoPhaseLocking : public SchedulerPolicy {
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
+  /// Outstanding lock grants — 0 at quiescence, or the policy leaked
+  /// (the chaos harness's residual-state check).
+  size_t held_locks() const { return locks_.num_locks(); }
+
  private:
   LockManager locks_;
 };

@@ -1,0 +1,399 @@
+// Chaos differential harness: the safety-under-faults counterpart of
+// policy_differential_test.cc. For K seeds, a randomized workload is run
+// under every scheduler policy × a set of fault plans (injected client
+// aborts, terminal crash-at-op, latency spikes, arrival perturbation)
+// combined with adversarial restart governance (exponential backoff with
+// jitter, starvation watchdog, admission gate), and four contracts are
+// pinned:
+//
+//   1. class safety  — the committed trace still verifies against the
+//      policy's promised class via the independent CheckerRegistry
+//      checkers (CSR / strict / PWSR / DR), faults notwithstanding;
+//   2. forward progress — every transaction the faults did not crash (and
+//      the gate did not shed) commits: completed + crashes + shed == n;
+//   3. no residual state — at quiescence the policy leaked nothing: zero
+//      held locks, zero active stamp entries, live SGT graph == the
+//      committed trace's conflict graph;
+//   4. determinism — the same seed and plan replayed against a fresh
+//      policy instance produces a bit-identical committed schedule and
+//      identical counters.
+//
+// Faults reach the policies only through the simulator's shared
+// OnAbort/restart machinery, so this sweep is precisely what exercises
+// every policy's retraction path (lock release, ConflictAccessIndex::Erase,
+// RemoveEdgesOf, stamp erasure) under fire.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis_context.h"
+#include "analysis/checker.h"
+#include "analysis/conflict_graph.h"
+#include "common/rng.h"
+#include "fuzz_env.h"
+#include "scheduler/dr_scheduler.h"
+#include "scheduler/fault_injection.h"
+#include "scheduler/priority_locking.h"
+#include "scheduler/pw_two_phase_locking.h"
+#include "scheduler/sgt_policy.h"
+#include "scheduler/sgt_victim_policy.h"
+#include "scheduler/sim.h"
+#include "scheduler/timestamp_ordering.h"
+#include "scheduler/two_phase_locking.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+std::vector<uint64_t> FuzzSeeds() {
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= FuzzSeedCount(4); ++s) seeds.push_back(s);
+  return seeds;
+}
+
+/// Same workload sweep as the fault-free differential harness.
+Workload DrawWorkload(uint64_t seed) {
+  Rng knobs = Rng(seed).Split(0);
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 2 + knobs.NextBelow(4);           // 2..5
+  config.items_per_partition = 1 + knobs.NextBelow(3);      // 1..3
+  config.num_txns = 4 + knobs.NextBelow(7);                 // 4..10
+  config.partitions_per_txn =
+      1 + knobs.NextBelow(config.num_partitions);           // script length
+  config.cross_read_probability = knobs.NextDouble();
+  config.hotspot_probability = 0.3 * knobs.NextBelow(4);    // 0, .3, .6, .9
+  config.arrival_spread = knobs.NextBelow(3) * 4;           // 0, 4, 8
+  config.seed = seed;
+  auto workload = MakePartitionedWorkload(config);
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  return std::move(workload).value();
+}
+
+/// One fault plan × restart-governance combination of the sweep.
+struct ChaosSetup {
+  const char* label;
+  FaultPlanConfig faults;
+  RestartPolicy restart;
+};
+
+/// Three adversity profiles per seed, each plan keyed off the sweep seed
+/// so every seed sees different fault placements.
+std::vector<ChaosSetup> ChaosSetups(uint64_t seed) {
+  ChaosSetup aborts;
+  aborts.label = "client-aborts+exp-backoff";
+  aborts.faults.seed = seed * 3 + 1;
+  aborts.faults.client_abort_probability = 0.6;
+  aborts.faults.max_client_aborts_per_txn = 2;
+  aborts.restart.backoff = RestartPolicy::Backoff::kExponential;
+  aborts.restart.base = 2;
+  aborts.restart.cap = 32;
+  aborts.restart.jitter = 3;
+  aborts.restart.jitter_seed = seed + 7;
+
+  ChaosSetup crashes;
+  crashes.label = "crashes+latency+arrival";
+  crashes.faults.seed = seed * 3 + 2;
+  crashes.faults.crash_probability = 0.3;
+  crashes.faults.latency_spike_probability = 0.35;
+  crashes.faults.max_latency_spike_ticks = 5;
+  crashes.faults.max_arrival_delay = 5;
+
+  ChaosSetup full;
+  full.label = "full-chaos+watchdog+gate";
+  full.faults.seed = seed * 3 + 3;
+  full.faults.client_abort_probability = 0.4;
+  full.faults.max_client_aborts_per_txn = 2;
+  full.faults.crash_probability = 0.2;
+  full.faults.latency_spike_probability = 0.25;
+  full.faults.max_latency_spike_ticks = 4;
+  full.faults.max_arrival_delay = 4;
+  full.restart.backoff = RestartPolicy::Backoff::kFixed;
+  full.restart.base = 3;
+  full.restart.max_restarts_before_boost = 6;
+  full.restart.max_live_txns = 3;  // kQueue: nothing is shed
+
+  return {aborts, crashes, full};
+}
+
+/// Runs `checker_name` against the committed schedule and asserts it is
+/// satisfied.
+void ExpectClass(const Workload& workload, const Schedule& schedule,
+                 std::string_view checker_name, std::string_view policy,
+                 const char* setup) {
+  AnalysisContext ctx(*workload.ic, schedule);
+  auto result = CheckerRegistry::BuiltIn().Run(checker_name, ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->verdict, Verdict::kSatisfied)
+      << policy << " under " << setup << " broke its " << checker_name
+      << " promise: " << result->ToString() << "\nschedule:\n"
+      << schedule.ToString(workload.db);
+}
+
+/// Forward progress: every non-crashed, non-shed transaction committed,
+/// and the trace holds operations of committed transactions only.
+void ExpectForwardProgress(const SimResult& result, size_t num_txns,
+                           const char* setup) {
+  EXPECT_EQ(result.completed + result.crashes + result.shed, num_txns)
+      << "a transaction neither committed nor crashed nor was shed under "
+      << setup;
+  std::set<TxnId> in_trace;
+  for (const Operation& op : result.schedule.ops()) in_trace.insert(op.txn);
+  EXPECT_LE(in_trace.size(), result.completed)
+      << "trace holds operations of uncommitted transactions under "
+      << setup;
+}
+
+/// Bit-identical replay: every counter equal and the committed schedules
+/// operation-for-operation identical.
+void ExpectBitIdentical(const SimResult& a, const SimResult& b,
+                        const char* setup) {
+  EXPECT_EQ(a.makespan, b.makespan) << setup;
+  EXPECT_EQ(a.completed, b.completed) << setup;
+  EXPECT_EQ(a.aborts, b.aborts) << setup;
+  EXPECT_EQ(a.restarts, b.restarts) << setup;
+  EXPECT_EQ(a.wounds, b.wounds) << setup;
+  EXPECT_EQ(a.vetoes, b.vetoes) << setup;
+  EXPECT_EQ(a.skipped_ops, b.skipped_ops) << setup;
+  EXPECT_EQ(a.fault_aborts, b.fault_aborts) << setup;
+  EXPECT_EQ(a.crashes, b.crashes) << setup;
+  EXPECT_EQ(a.shed, b.shed) << setup;
+  EXPECT_EQ(a.boosts, b.boosts) << setup;
+  EXPECT_EQ(a.backoff_ticks, b.backoff_ticks) << setup;
+  EXPECT_EQ(a.latency_spike_ticks, b.latency_spike_ticks) << setup;
+  EXPECT_EQ(a.max_txn_restarts, b.max_txn_restarts) << setup;
+  EXPECT_EQ(a.total_wait_ticks, b.total_wait_ticks) << setup;
+  EXPECT_EQ(a.total_ops, b.total_ops) << setup;
+  EXPECT_TRUE(a.schedule.ops() == b.schedule.ops())
+      << "same seed, different committed schedule under " << setup;
+}
+
+/// Runs the workload under `setup` twice (fresh policy per run via
+/// `make`), asserts determinism and forward progress, and returns the
+/// first run's result with the first policy left at quiescence in
+/// `*policy_out` for residual-state checks.
+template <typename MakePolicy,
+          typename Policy = std::decay_t<decltype(*std::declval<MakePolicy>()())>>
+SimResult RunChaos(const Workload& workload, const ChaosSetup& setup,
+                   MakePolicy make, std::unique_ptr<Policy>* policy_out) {
+  FaultPlan plan(setup.faults);
+  SimConfig config;
+  config.restart = setup.restart;
+  config.faults = &plan;
+
+  auto policy = make();
+  auto result = RunSimulation(*policy, workload.scripts, config);
+  EXPECT_TRUE(result.ok()) << setup.label << ": " << result.status();
+  if (!result.ok()) {
+    // Hand the (quiescent-ish) policy back anyway so the caller's residual
+    // checks don't dereference null; the EXPECT above already failed.
+    *policy_out = std::move(policy);
+    return SimResult{};
+  }
+
+  auto replay_policy = make();
+  auto replay = RunSimulation(*replay_policy, workload.scripts, config);
+  EXPECT_TRUE(replay.ok()) << setup.label << ": " << replay.status();
+  if (replay.ok()) ExpectBitIdentical(*result, *replay, setup.label);
+
+  ExpectForwardProgress(*result, workload.scripts.size(), setup.label);
+  *policy_out = std::move(policy);
+  return *std::move(result);
+}
+
+class ChaosDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosDifferentialFuzz, Strict2plSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<StrictTwoPhaseLocking> policy;
+    SimResult result = RunChaos(
+        workload, setup,
+        [] { return std::make_unique<StrictTwoPhaseLocking>(); }, &policy);
+    ExpectClass(workload, result.schedule, "csr", "strict-2pl", setup.label);
+    ExpectClass(workload, result.schedule, "delayed-read", "strict-2pl",
+                setup.label);
+    AnalysisContext strict_ctx(*workload.ic, result.schedule);
+    EXPECT_TRUE(strict_ctx.strict()) << setup.label;
+    EXPECT_EQ(policy->held_locks(), 0u) << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, SgtSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<SgtPolicy> policy;
+    SimResult result = RunChaos(
+        workload, setup, [n] { return std::make_unique<SgtPolicy>(n); },
+        &policy);
+    ExpectClass(workload, result.schedule, "csr", "sgt", setup.label);
+    // Crash/abort hygiene: whatever the faults retracted left no residual
+    // edges — the live graph equals the committed trace's conflict graph.
+    EXPECT_FALSE(policy->graph().has_cycle()) << setup.label;
+    EXPECT_EQ(policy->graph().Edges(),
+              ConflictGraph::Build(result.schedule).Edges())
+        << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, SgtVictimSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<SgtVictimPolicy> policy;
+    SimResult result = RunChaos(
+        workload, setup,
+        [n] { return std::make_unique<SgtVictimPolicy>(n); }, &policy);
+    ExpectClass(workload, result.schedule, "csr", "sgt-victim", setup.label);
+    EXPECT_FALSE(policy->graph().has_cycle()) << setup.label;
+    EXPECT_EQ(policy->graph().Edges(),
+              ConflictGraph::Build(result.schedule).Edges())
+        << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, WoundWaitSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<WoundWaitPolicy> policy;
+    SimResult result = RunChaos(
+        workload, setup,
+        [n] { return std::make_unique<WoundWaitPolicy>(n); }, &policy);
+    ExpectClass(workload, result.schedule, "csr", "wound-wait", setup.label);
+    AnalysisContext strict_ctx(*workload.ic, result.schedule);
+    EXPECT_TRUE(strict_ctx.strict()) << setup.label;
+    // Deadlock freedom survives faults: waits still only point young->old.
+    EXPECT_EQ(result.aborts, 0u) << setup.label;
+    EXPECT_EQ(result.restarts, 0u) << setup.label;
+    EXPECT_EQ(policy->held_locks(), 0u) << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, WaitDieSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<WaitDiePolicy> policy;
+    SimResult result = RunChaos(
+        workload, setup, [n] { return std::make_unique<WaitDiePolicy>(n); },
+        &policy);
+    ExpectClass(workload, result.schedule, "csr", "wait-die", setup.label);
+    AnalysisContext strict_ctx(*workload.ic, result.schedule);
+    EXPECT_TRUE(strict_ctx.strict()) << setup.label;
+    EXPECT_EQ(result.aborts, 0u) << setup.label;
+    EXPECT_EQ(result.wounds, 0u) << setup.label;
+    EXPECT_EQ(policy->held_locks(), 0u) << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, ToSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (bool thomas : {false, true}) {
+    for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+      std::unique_ptr<TimestampOrderingPolicy> policy;
+      SimResult result = RunChaos(
+          workload, setup,
+          [n, thomas] {
+            TimestampOrderingPolicy::Options options;
+            options.thomas_write_rule = thomas;
+            return std::make_unique<TimestampOrderingPolicy>(n, options);
+          },
+          &policy);
+      ExpectClass(workload, result.schedule, "csr", policy->name(),
+                  setup.label);
+      // TO never blocks, faults or not.
+      EXPECT_EQ(result.aborts, 0u) << setup.label;
+      EXPECT_EQ(result.total_wait_ticks, 0u) << setup.label;
+      // Stamp hygiene: every active-incarnation entry was folded at commit
+      // or erased by an abort/crash.
+      EXPECT_EQ(policy->active_stamp_entries(), 0u) << setup.label;
+      // The committed conflict graph still embeds in timestamp order.
+      ConflictGraph graph = ConflictGraph::Build(result.schedule);
+      for (const auto& [from, to] : graph.Edges()) {
+        ASSERT_TRUE(policy->timestamp(from).has_value());
+        ASSERT_TRUE(policy->timestamp(to).has_value());
+        EXPECT_LT(*policy->timestamp(from), *policy->timestamp(to))
+            << policy->name() << " conflict edge T" << from << " -> T" << to
+            << " against timestamp order under " << setup.label;
+      }
+    }
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, Pw2plSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<PredicatewiseTwoPhaseLocking> policy;
+    SimResult result = RunChaos(
+        workload, setup,
+        [&workload] {
+          return std::make_unique<PredicatewiseTwoPhaseLocking>(
+              &*workload.ic);
+        },
+        &policy);
+    ExpectClass(workload, result.schedule, "pwsr", "pw-2pl", setup.label);
+    EXPECT_EQ(policy->held_locks(), 0u) << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, DrSchedulerSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<DelayedReadScheduler> policy;
+    SimResult result = RunChaos(
+        workload, setup,
+        [&workload] {
+          return std::make_unique<DelayedReadScheduler>(&*workload.ic);
+        },
+        &policy);
+    ExpectClass(workload, result.schedule, "pwsr", "pw-2pl+dr", setup.label);
+    ExpectClass(workload, result.schedule, "delayed-read", "pw-2pl+dr",
+                setup.label);
+    EXPECT_EQ(policy->held_locks(), 0u) << setup.label;
+    EXPECT_EQ(policy->dirty_writers(), 0u) << setup.label;
+  }
+}
+
+// Shedding profile: drive every policy through an admission gate that
+// drops overflow, and pin the forward-progress ledger (completed + crashes
+// + shed == n) plus shed determinism. Class checks still apply — a shed
+// transaction never ran, so it cannot endanger the committed trace.
+TEST_P(ChaosDifferentialFuzz, SheddingGateKeepsLedgerAndSafety) {
+  Workload workload = DrawWorkload(GetParam());
+  ChaosSetup setup;
+  setup.label = "shedding-gate";
+  setup.faults.seed = GetParam() * 5 + 4;
+  setup.faults.client_abort_probability = 0.3;
+  setup.faults.crash_probability = 0.15;
+  setup.restart.max_live_txns = 2;
+  setup.restart.overflow = RestartPolicy::Overflow::kShed;
+  std::unique_ptr<StrictTwoPhaseLocking> policy;
+  SimResult result = RunChaos(
+      workload, setup,
+      [] { return std::make_unique<StrictTwoPhaseLocking>(); }, &policy);
+  ExpectClass(workload, result.schedule, "csr", "strict-2pl", setup.label);
+  EXPECT_EQ(policy->held_locks(), 0u);
+  // The gate actually bites when more transactions arrive on one tick than
+  // it has slots (scripts are non-empty, so slots cannot free same-tick).
+  std::map<uint64_t, size_t> arrivals_at;
+  size_t peak = 0;
+  for (const TxnScript& s : workload.scripts) {
+    peak = std::max(peak, ++arrivals_at[s.arrival_tick]);
+  }
+  if (peak > 2) EXPECT_GT(result.shed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosDifferentialFuzz,
+                         ::testing::ValuesIn(FuzzSeeds()));
+
+}  // namespace
+}  // namespace nse

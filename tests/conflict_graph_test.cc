@@ -128,6 +128,36 @@ TEST_F(ConflictGraphTest, ThreeTxnCycleFound) {
   EXPECT_EQ(cycle->size(), 4u);  // 3 nodes + repeated head
 }
 
+// Double-release hardening: a crash-at-op fault can re-run the abort
+// retraction for an accessor whose footprint is already gone, so repeated
+// Erase of the same (or a never-recorded) accessor must be a no-op that
+// leaves every other accessor's history — and conflict emission order —
+// untouched.
+TEST(ConflictAccessIndexTest, EraseIsIdempotent) {
+  auto conflicts_for = [](const ConflictAccessIndex& index, uint32_t who) {
+    std::vector<uint32_t> out;
+    index.ForEachConflict(who, /*is_write=*/true, /*item=*/0,
+                          [&](uint32_t prior) { out.push_back(prior); });
+    return out;
+  };
+  ConflictAccessIndex index;
+  index.Record(1, /*is_write=*/true, 0);
+  index.Record(2, /*is_write=*/false, 0);
+  index.Record(3, /*is_write=*/true, 0);
+  EXPECT_EQ(conflicts_for(index, 9), (std::vector<uint32_t>{1, 3, 2}));
+
+  index.Erase(1);
+  index.Erase(1);   // second abort of the same quiescent accessor
+  index.Erase(7);   // accessor that never recorded anything
+  index.Erase(64);  // beyond every grown bitset word
+  EXPECT_EQ(conflicts_for(index, 9), (std::vector<uint32_t>{3, 2}));
+
+  // Re-recording after a double erase starts from a clean slate and lands
+  // at the back of the history again.
+  index.Record(1, /*is_write=*/true, 0);
+  EXPECT_EQ(conflicts_for(index, 9), (std::vector<uint32_t>{3, 1, 2}));
+}
+
 // Dense-sweep differential: the bitset fast path behind Build must be
 // bit-identical to the reference vector sweep — same edges inserted in the
 // same order, hence the same first cycle edge, witnesses, topological

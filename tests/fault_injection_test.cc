@@ -1,0 +1,135 @@
+#include "scheduler/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsEmptyAndInert) {
+  FaultPlan plan{FaultPlanConfig{}};
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.PerturbedArrival(1, 7), 7u);
+  EXPECT_FALSE(plan.CrashStep(1, 10).has_value());
+  for (size_t step = 0; step < 10; ++step) {
+    EXPECT_FALSE(plan.ClientAbortsAt(1, 0, step, 10, 0));
+    EXPECT_EQ(plan.LatencySpikeAt(1, 0, step), 0u);
+  }
+}
+
+TEST(FaultPlanTest, QueriesArePureFunctionsOfTheSeed) {
+  FaultPlanConfig config;
+  config.seed = 42;
+  config.client_abort_probability = 0.5;
+  config.crash_probability = 0.5;
+  config.latency_spike_probability = 0.5;
+  config.max_arrival_delay = 9;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  for (TxnId txn = 1; txn <= 8; ++txn) {
+    EXPECT_EQ(a.PerturbedArrival(txn, 3), b.PerturbedArrival(txn, 3));
+    EXPECT_EQ(a.CrashStep(txn, 6), b.CrashStep(txn, 6));
+    for (uint64_t inc = 0; inc < 3; ++inc) {
+      for (size_t step = 0; step < 6; ++step) {
+        EXPECT_EQ(a.ClientAbortsAt(txn, inc, step, 6, 0),
+                  b.ClientAbortsAt(txn, inc, step, 6, 0));
+        EXPECT_EQ(a.LatencySpikeAt(txn, inc, step),
+                  b.LatencySpikeAt(txn, inc, step));
+      }
+    }
+    // Repeating a query on the same plan never changes its answer (the
+    // plan carries no mutable state).
+    EXPECT_EQ(a.CrashStep(txn, 6), a.CrashStep(txn, 6));
+  }
+}
+
+TEST(FaultPlanTest, CertainClientAbortFiresAtExactlyOneStepPerIncarnation) {
+  FaultPlanConfig config;
+  config.client_abort_probability = 1.0;
+  config.max_client_aborts_per_txn = 100;  // cap out of the way
+  FaultPlan plan(config);
+  const size_t len = 7;
+  for (TxnId txn = 1; txn <= 8; ++txn) {
+    for (uint64_t inc = 0; inc < 4; ++inc) {
+      size_t fired = 0;
+      for (size_t step = 0; step < len; ++step) {
+        if (plan.ClientAbortsAt(txn, inc, step, len, 0)) ++fired;
+      }
+      EXPECT_EQ(fired, 1u) << "txn " << txn << " incarnation " << inc;
+    }
+  }
+}
+
+TEST(FaultPlanTest, ClientAbortCapSilencesFurtherAborts) {
+  FaultPlanConfig config;
+  config.client_abort_probability = 1.0;
+  config.max_client_aborts_per_txn = 2;
+  FaultPlan plan(config);
+  const size_t len = 5;
+  for (size_t step = 0; step < len; ++step) {
+    EXPECT_FALSE(plan.ClientAbortsAt(1, 0, step, len, /*aborts_so_far=*/2));
+    EXPECT_FALSE(plan.ClientAbortsAt(1, 0, step, len, /*aborts_so_far=*/3));
+  }
+}
+
+TEST(FaultPlanTest, CrashStepIsInRangeAndEmptyScriptsNeverCrash) {
+  FaultPlanConfig config;
+  config.crash_probability = 1.0;
+  FaultPlan plan(config);
+  for (TxnId txn = 1; txn <= 16; ++txn) {
+    auto step = plan.CrashStep(txn, 6);
+    ASSERT_TRUE(step.has_value());
+    EXPECT_LT(*step, 6u);
+    EXPECT_FALSE(plan.CrashStep(txn, 0).has_value());
+  }
+}
+
+TEST(FaultPlanTest, LatencySpikeLengthWithinConfiguredBound) {
+  FaultPlanConfig config;
+  config.latency_spike_probability = 1.0;
+  config.max_latency_spike_ticks = 4;
+  FaultPlan plan(config);
+  for (TxnId txn = 1; txn <= 8; ++txn) {
+    for (size_t step = 0; step < 6; ++step) {
+      uint64_t spike = plan.LatencySpikeAt(txn, 0, step);
+      EXPECT_GE(spike, 1u);
+      EXPECT_LE(spike, 4u);
+    }
+  }
+}
+
+TEST(FaultPlanTest, PerturbedArrivalNeverEarlyAndWithinBound) {
+  FaultPlanConfig config;
+  config.max_arrival_delay = 5;
+  FaultPlan plan(config);
+  for (TxnId txn = 1; txn <= 16; ++txn) {
+    uint64_t arrival = plan.PerturbedArrival(txn, 10);
+    EXPECT_GE(arrival, 10u);
+    EXPECT_LE(arrival, 15u);
+  }
+}
+
+// Tweaking one fault class's knob must not shift another class's
+// decisions: each class draws from its own Rng::Split stream family.
+TEST(FaultPlanTest, FaultClassesDrawFromIndependentStreams) {
+  FaultPlanConfig just_aborts;
+  just_aborts.client_abort_probability = 1.0;
+  FaultPlanConfig everything = just_aborts;
+  everything.crash_probability = 1.0;
+  everything.latency_spike_probability = 1.0;
+  everything.max_arrival_delay = 7;
+  FaultPlan a(just_aborts);
+  FaultPlan b(everything);
+  const size_t len = 9;
+  for (TxnId txn = 1; txn <= 8; ++txn) {
+    for (uint64_t inc = 0; inc < 3; ++inc) {
+      for (size_t step = 0; step < len; ++step) {
+        EXPECT_EQ(a.ClientAbortsAt(txn, inc, step, len, 0),
+                  b.ClientAbortsAt(txn, inc, step, len, 0))
+            << "enabling crashes/latency/arrival moved a client abort";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nse

@@ -72,6 +72,37 @@ TEST(LockManagerTest, ReleaseAllInScopesToDataSet) {
   EXPECT_TRUE(lm.Holds(1, 20, LockMode::kShared));
 }
 
+// Double-release hardening: a crash-at-op fault can trigger OnAbort for a
+// transaction whose locks were already released by an earlier abort, so
+// repeated Release/ReleaseAll of the same (possibly never-held) lock must
+// be a harmless no-op that disturbs nobody else's grants.
+TEST(LockManagerTest, ReleaseIsIdempotent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  ASSERT_TRUE(lm.TryAcquire(2, 11, LockMode::kShared));
+  lm.Release(1, 10);
+  lm.Release(1, 10);               // already released
+  lm.Release(1, 99);               // never held, item unknown
+  lm.Release(3, 11);               // held by someone else
+  EXPECT_EQ(lm.num_locks(), 1u);   // T2's grant untouched
+  EXPECT_TRUE(lm.Holds(2, 11, LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(3, 10, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReleaseAllIsIdempotent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  ASSERT_TRUE(lm.TryAcquire(1, 11, LockMode::kShared));
+  ASSERT_TRUE(lm.TryAcquire(2, 11, LockMode::kShared));
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(1);  // second abort of the same quiescent txn
+  lm.ReleaseAll(3);  // txn that never acquired anything
+  EXPECT_EQ(lm.num_locks(), 1u);
+  EXPECT_TRUE(lm.Holds(2, 11, LockMode::kShared));
+  // Re-acquisition after double release works from a clean slate.
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+}
+
 TEST(LockManagerTest, BlockersEmptyWhenGrantable) {
   LockManager lm;
   EXPECT_TRUE(lm.Blockers(1, 10, LockMode::kExclusive).empty());

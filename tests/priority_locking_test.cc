@@ -8,6 +8,7 @@
 
 #include "analysis/analysis_context.h"
 #include "analysis/serializability.h"
+#include "scheduler/fault_injection.h"
 #include "scheduler/priority_locking.h"
 #include "scheduler/sim.h"
 #include "scheduler/two_phase_locking.h"
@@ -83,6 +84,92 @@ TEST(WaitDieTest, UpgradeRaceResolvesWithoutDeadlock) {
   EXPECT_EQ(policy.OnAccess(2, s, 1), SchedulerDecision::kAbortRestart);
   policy.OnAbort(2);
   EXPECT_EQ(policy.OnAccess(1, s, 1), SchedulerDecision::kProceed);
+}
+
+TEST(WoundWaitTest, RepeatedOnAbortIsIdempotentAndStampSurvives) {
+  // A crash-at-op fault can re-abort a transaction whose locks are already
+  // gone; the repeat must be a no-op, and the priority stamp must survive
+  // every retraction — it is the deadlock-freedom invariant.
+  WoundWaitPolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 1}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 2
+  policy.OnAbort(1);
+  EXPECT_EQ(policy.held_locks(), 1u);  // only T2's grant remains
+  policy.OnAbort(1);                   // already retracted: no-op
+  policy.OnAbort(1);
+  EXPECT_EQ(policy.held_locks(), 1u);
+  EXPECT_EQ(policy.priority(1), 1u);
+  EXPECT_EQ(policy.priority(2), 2u);
+  // The restarted incarnation keeps its original (older) stamp: colliding
+  // with younger T2 it wounds rather than waits behind a fresh stamp.
+  TxnScript t1b = Script({{OpAction::kWrite, 1}});
+  EXPECT_EQ(policy.OnAccess(1, t1b, 0), SchedulerDecision::kWait);
+  EXPECT_EQ(policy.wounds_issued(), 1u);
+  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{2});
+}
+
+TEST(WaitDieTest, RepeatedOnAbortIsIdempotentAndStampSurvives) {
+  WaitDiePolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 1}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 2
+  policy.OnAbort(2);
+  policy.OnAbort(2);  // fault-driven double abort: no-op
+  EXPECT_EQ(policy.held_locks(), 1u);
+  EXPECT_EQ(policy.priority(2), 2u);  // stamp survives the retraction
+  // Still the younger party after restarting: it dies on T1's lock
+  // instead of waiting (a fresh stamp would have inverted the edge too).
+  TxnScript t2b = Script({{OpAction::kWrite, 0}});
+  EXPECT_EQ(policy.OnAccess(2, t2b, 0), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(policy.deaths(), 1u);
+}
+
+TEST(PriorityFaultTest, StampsKeepDeadlockFreedomUnderInjectedFaults) {
+  // Client aborts and crashes drive extra OnAbort/restart rounds through
+  // both protocols. Because stamps survive fault-driven restarts, the
+  // deadlock-victim machinery must stay silent (aborts == 0), every lock
+  // must be retracted at quiescence, and the committed trace stays
+  // strict + CSR.
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 4;
+  config.items_per_partition = 2;
+  config.num_txns = 8;
+  config.partitions_per_txn = 3;
+  config.cross_read_probability = 0.5;
+  config.hotspot_probability = 0.7;
+  config.seed = 13;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  FaultPlanConfig fc;
+  fc.seed = 31;
+  fc.client_abort_probability = 0.6;
+  fc.crash_probability = 0.2;
+  FaultPlan plan(fc);
+  SimConfig sim_config;
+  sim_config.faults = &plan;
+
+  for (int which = 0; which < 2; ++which) {
+    WoundWaitPolicy ww(workload->scripts.size());
+    WaitDiePolicy wd(workload->scripts.size());
+    SchedulerPolicy& policy =
+        which == 0 ? static_cast<SchedulerPolicy&>(ww) : wd;
+    auto result = RunSimulation(policy, workload->scripts, sim_config);
+    ASSERT_TRUE(result.ok()) << policy.name() << ": " << result.status();
+    EXPECT_GT(result->fault_aborts, 0u) << policy.name();
+    EXPECT_EQ(result->completed + result->crashes, workload->scripts.size())
+        << policy.name();
+    EXPECT_EQ(result->aborts, 0u) << policy.name();  // victim machinery silent
+    size_t residual_locks =
+        which == 0 ? ww.held_locks() : wd.held_locks();
+    EXPECT_EQ(residual_locks, 0u) << policy.name();
+    EXPECT_TRUE(IsConflictSerializable(result->schedule)) << policy.name();
+    AnalysisContext ctx(*workload->ic, result->schedule);
+    EXPECT_TRUE(ctx.strict()) << policy.name();
+  }
 }
 
 class PriorityWorkloadTest : public ::testing::TestWithParam<uint64_t> {};

@@ -11,6 +11,7 @@
 
 #include "analysis/analysis_context.h"
 #include "analysis/serializability.h"
+#include "scheduler/fault_injection.h"
 #include "scheduler/metrics.h"
 #include "scheduler/sgt_policy.h"
 #include "scheduler/sim.h"
@@ -141,6 +142,65 @@ TEST(SgtPolicyTest, SimResolvesCrossingPairViaRestart) {
   std::string summary = SimSummary(*result);
   EXPECT_NE(summary.find("restarts "), std::string::npos);
   EXPECT_NE(summary.find("vetoes "), std::string::npos);
+}
+
+TEST(SgtPolicyTest, RepeatedOnAbortIsIdempotent) {
+  // A crash-at-op fault can abort a transaction that already aborted and
+  // never ran again: the second (and third) OnAbort must be a no-op that
+  // leaves the survivors' footprint intact.
+  SgtPolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 0}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_TRUE(policy.graph().HasEdge(1, 2));
+
+  policy.OnAbort(1);
+  EXPECT_EQ(policy.graph().num_edges(), 0u);
+  policy.OnAbort(1);  // already retracted
+  policy.OnAbort(1);
+  EXPECT_EQ(policy.graph().num_edges(), 0u);
+
+  // T2's history entry survived the repeated erasure of T1: a new writer
+  // still conflicts with it.
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_TRUE(policy.graph().HasEdge(2, 1));
+  policy.OnComplete(2);
+  policy.OnComplete(1);
+}
+
+TEST(SgtPolicyTest, InjectedFaultsLeaveNoResidualGraphFootprint) {
+  // Client aborts and terminal crashes, injected mid-script on a hotspot
+  // workload, must exercise RemoveEdgesOf / index Erase without leaving
+  // residual edges: at quiescence the live graph equals the committed
+  // trace's conflict graph (crashed transactions appear in neither).
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 3;
+  config.items_per_partition = 2;
+  config.num_txns = 8;
+  config.partitions_per_txn = 2;
+  config.hotspot_probability = 0.7;
+  config.seed = 17;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  FaultPlanConfig fc;
+  fc.seed = 23;
+  fc.client_abort_probability = 0.7;
+  fc.crash_probability = 0.3;
+  FaultPlan plan(fc);
+  SimConfig sim_config;
+  sim_config.faults = &plan;
+
+  SgtPolicy policy(workload->scripts.size());
+  auto result = RunSimulation(policy, workload->scripts, sim_config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->fault_aborts + result->crashes, 0u);
+  EXPECT_EQ(result->completed + result->crashes, workload->scripts.size());
+  EXPECT_TRUE(IsConflictSerializable(result->schedule));
+  EXPECT_FALSE(policy.graph().has_cycle());
+  EXPECT_EQ(policy.graph().Edges(),
+            ConflictGraph::Build(result->schedule).Edges());
 }
 
 class SgtWorkloadTest : public ::testing::TestWithParam<uint64_t> {};

@@ -1,0 +1,372 @@
+// RestartPolicy, admission control, starvation watchdog, stall-patience
+// accounting, and the fault-injection wiring of RunSimulation — unit-level
+// coverage with scriptable stub policies plus strict 2PL where a real
+// protocol matters. The cross-policy safety sweep lives in
+// chaos_differential_test.cc.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/serializability.h"
+#include "scheduler/fault_injection.h"
+#include "scheduler/sim.h"
+#include "scheduler/two_phase_locking.h"
+
+namespace nse {
+namespace {
+
+TxnScript Script(std::initializer_list<AccessStep> steps,
+                 uint64_t arrival = 0) {
+  TxnScript s;
+  s.steps = steps;
+  s.arrival_tick = arrival;
+  return s;
+}
+
+AccessStep R(ItemId item) { return AccessStep{OpAction::kRead, item}; }
+AccessStep W(ItemId item) { return AccessStep{OpAction::kWrite, item}; }
+
+/// Pass-through policy that force-aborts txn 1's first `aborts_left` step-0
+/// attempts — a deterministic way to drive the restart machinery without a
+/// real conflict.
+class AbortNTimesPolicy : public SchedulerPolicy {
+ public:
+  explicit AbortNTimesPolicy(uint64_t aborts) : aborts_left_(aborts) {}
+  std::string name() const override { return "abort-n-times"; }
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript&,
+                             size_t step) override {
+    if (txn == 1 && step == 0 && aborts_left_ > 0) {
+      --aborts_left_;
+      return SchedulerDecision::kAbortRestart;
+    }
+    return SchedulerDecision::kProceed;
+  }
+  void AfterAccess(TxnId, const TxnScript&, size_t) override {}
+  void OnComplete(TxnId) override {}
+  void OnAbort(TxnId txn) override { aborted_.push_back(txn); }
+  std::vector<TxnId> Blockers(TxnId, const TxnScript&,
+                              size_t) const override {
+    return {};
+  }
+
+  std::vector<TxnId> aborted_;
+
+ private:
+  uint64_t aborts_left_;
+};
+
+// The default RestartPolicy must reproduce the historical backoff
+// min(2 + 4*n, 128) bit-for-bit: the exact-guarded bench counters depend
+// on it. One deadlock, one victim, first restart => 6 ticks.
+TEST(RestartPolicyTest, DefaultBackoffMatchesLegacyConstants) {
+  StrictTwoPhaseLocking policy;
+  auto result =
+      RunSimulation(policy, {Script({W(0), W(1)}), Script({W(1), W(0)})});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->aborts, 1u);
+  EXPECT_EQ(result->backoff_ticks, 6u);
+  EXPECT_EQ(result->max_txn_restarts, 1u);
+  EXPECT_EQ(result->boosts, 0u);
+  EXPECT_EQ(result->shed, 0u);
+}
+
+TEST(RestartPolicyTest, FixedBackoffDelaysEachRestartByBase) {
+  AbortNTimesPolicy policy(2);
+  SimConfig config;
+  config.restart.backoff = RestartPolicy::Backoff::kFixed;
+  config.restart.base = 10;
+  auto result = RunSimulation(policy, {Script({W(0)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->restarts, 2u);
+  EXPECT_EQ(result->backoff_ticks, 20u);
+  EXPECT_GE(result->makespan, 21u);
+}
+
+TEST(RestartPolicyTest, ImmediateBackoffReentersNextTick) {
+  AbortNTimesPolicy policy(3);
+  SimConfig config;
+  config.restart.backoff = RestartPolicy::Backoff::kImmediate;
+  auto result = RunSimulation(policy, {Script({W(0)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->backoff_ticks, 0u);
+  // 3 aborted attempts on consecutive ticks, then the real one.
+  EXPECT_EQ(result->makespan, 4u);
+}
+
+TEST(RestartPolicyTest, ExponentialBackoffDoublesUpToCap) {
+  AbortNTimesPolicy policy(4);
+  SimConfig config;
+  config.restart.backoff = RestartPolicy::Backoff::kExponential;
+  config.restart.base = 2;
+  config.restart.cap = 8;
+  auto result = RunSimulation(policy, {Script({W(0)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  // Delays 2, 4, 8, then capped at 8.
+  EXPECT_EQ(result->backoff_ticks, 22u);
+  EXPECT_EQ(result->max_txn_restarts, 4u);
+}
+
+TEST(RestartPolicyTest, JitterIsDeterministicPerSeed) {
+  SimConfig config;
+  config.restart.backoff = RestartPolicy::Backoff::kFixed;
+  config.restart.base = 4;
+  config.restart.jitter = 5;
+  config.restart.jitter_seed = 99;
+  AbortNTimesPolicy a(3);
+  auto first = RunSimulation(a, {Script({W(0)})}, config);
+  AbortNTimesPolicy b(3);
+  auto second = RunSimulation(b, {Script({W(0)})}, config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->backoff_ticks, second->backoff_ticks);
+  EXPECT_EQ(first->makespan, second->makespan);
+  // Jitter only ever adds delay on top of the shape.
+  EXPECT_GE(first->backoff_ticks, 12u);
+  EXPECT_LE(first->backoff_ticks, 12u + 3 * 5u);
+}
+
+TEST(RestartPolicyTest, WatchdogBoostStopsBackoffAfterTheCap) {
+  AbortNTimesPolicy policy(10);
+  SimConfig config;
+  config.restart.backoff = RestartPolicy::Backoff::kFixed;
+  config.restart.base = 7;
+  config.restart.max_restarts_before_boost = 3;
+  auto result = RunSimulation(policy, {Script({W(0)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->boosts, 1u);
+  EXPECT_EQ(result->max_txn_restarts, 10u);
+  // Restarts 1..3 pay the fixed 7 ticks; from the boost on (restart 4+)
+  // the transaction re-enters with zero backoff.
+  EXPECT_EQ(result->backoff_ticks, 21u);
+}
+
+TEST(RestartPolicyTest, AdmissionGateQueuesOverflowUntilSlotsFree) {
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.restart.max_live_txns = 1;
+  // Four disjoint 3-op scripts: unlimited they overlap (makespan ~3);
+  // gated to one live transaction they must run back to back.
+  auto result = RunSimulation(
+      policy,
+      {Script({R(0), W(0), R(0)}), Script({R(1), W(1), R(1)}),
+       Script({R(2), W(2), R(2)}), Script({R(3), W(3), R(3)})},
+      config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 4u);
+  EXPECT_EQ(result->shed, 0u);
+  EXPECT_GE(result->makespan, 12u);
+  EXPECT_EQ(result->total_ops, 12u);
+}
+
+TEST(RestartPolicyTest, AdmissionGateShedsOverflowOnArrival) {
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.restart.max_live_txns = 1;
+  config.restart.overflow = RestartPolicy::Overflow::kShed;
+  auto result = RunSimulation(
+      policy, {Script({W(0), W(1)}), Script({W(2)}), Script({W(3)})},
+      config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // All three arrive at tick 0; only the first (lowest id) is admitted,
+  // the rest are dropped on the spot and never appear in the trace.
+  EXPECT_EQ(result->completed, 1u);
+  EXPECT_EQ(result->shed, 2u);
+  EXPECT_EQ(result->total_ops, 2u);
+  for (const Operation& op : result->schedule.ops()) {
+    EXPECT_EQ(op.txn, 1u);
+  }
+  EXPECT_EQ(policy.held_locks(), 0u);
+}
+
+TEST(RestartPolicyTest, ShedArrivalsAdmittedWhenStaggered) {
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.restart.max_live_txns = 1;
+  config.restart.overflow = RestartPolicy::Overflow::kShed;
+  // The second transaction arrives after the first has finished: the gate
+  // has room, nothing is shed.
+  auto result = RunSimulation(
+      policy, {Script({W(0)}, 0), Script({W(1)}, 5)}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_EQ(result->shed, 0u);
+}
+
+/// T1's first step-0 attempt aborts (building a long backoff); T2 blocks
+/// on T1 until it completes. Exercises the pause-vs-stall distinction.
+class AbortThenBlockPolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "abort-then-block"; }
+  SchedulerDecision OnAccess(TxnId txn, const TxnScript&,
+                             size_t step) override {
+    if (txn == 1 && step == 0 && !aborted_once_) {
+      aborted_once_ = true;
+      return SchedulerDecision::kAbortRestart;
+    }
+    if (txn == 2 && !t1_done_) return SchedulerDecision::kWait;
+    return SchedulerDecision::kProceed;
+  }
+  void AfterAccess(TxnId, const TxnScript&, size_t) override {}
+  void OnComplete(TxnId txn) override {
+    if (txn == 1) t1_done_ = true;
+  }
+  void OnAbort(TxnId) override {}
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript&,
+                              size_t) const override {
+    if (txn == 2 && !t1_done_) return {1};
+    return {};
+  }
+
+ private:
+  bool aborted_once_ = false;
+  bool t1_done_ = false;
+};
+
+// Satellite fix: ticks where the only idle transactions sit in deliberate
+// backoff are pauses, not stalls — a backoff far longer than
+// stall_patience must not be misdiagnosed as a wedged run.
+TEST(StallAccountingTest, BackoffLongerThanPatienceIsNotAWedge) {
+  AbortThenBlockPolicy policy;
+  SimConfig config;
+  config.stall_patience = 4;
+  config.restart.backoff = RestartPolicy::Backoff::kFixed;
+  config.restart.base = 50;  // an order of magnitude past the patience
+  auto result =
+      RunSimulation(policy, {Script({W(0)}), Script({W(1)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_EQ(result->backoff_ticks, 50u);
+}
+
+/// Blocks forever while reporting no blockers: a genuinely wedged policy.
+class WedgedPolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "wedged"; }
+  SchedulerDecision OnAccess(TxnId, const TxnScript&, size_t) override {
+    return SchedulerDecision::kWait;
+  }
+  void AfterAccess(TxnId, const TxnScript&, size_t) override {}
+  void OnComplete(TxnId) override {}
+  void OnAbort(TxnId) override {}
+  std::vector<TxnId> Blockers(TxnId, const TxnScript&,
+                              size_t) const override {
+    return {};
+  }
+};
+
+// The pause exemption must not swallow real wedges: with nothing backing
+// off, a cycle-free permanent stall still fails after stall_patience.
+TEST(StallAccountingTest, GenuineWedgeStillFails) {
+  WedgedPolicy policy;
+  SimConfig config;
+  config.stall_patience = 4;
+  auto result = RunSimulation(policy, {Script({W(0)})}, config);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SimFaultTest, CertainClientAbortsRestartEveryTxnUpToTheCap) {
+  FaultPlanConfig fc;
+  fc.client_abort_probability = 1.0;
+  fc.max_client_aborts_per_txn = 2;
+  FaultPlan plan(fc);
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.faults = &plan;
+  auto result = RunSimulation(
+      policy, {Script({W(0), R(1)}), Script({W(0), R(2)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Forward progress: the cap guarantees injected aborts cannot starve
+  // anyone — both transactions still commit, with exactly cap injected
+  // aborts each (probability 1 fires every incarnation under the cap).
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_EQ(result->fault_aborts, 4u);
+  EXPECT_EQ(result->crashes, 0u);
+  EXPECT_EQ(result->total_ops, 4u);
+  EXPECT_TRUE(IsConflictSerializable(result->schedule));
+  EXPECT_EQ(policy.held_locks(), 0u);
+}
+
+TEST(SimFaultTest, CertainCrashRemovesEveryTxnFromTheTrace) {
+  FaultPlanConfig fc;
+  fc.crash_probability = 1.0;
+  FaultPlan plan(fc);
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.faults = &plan;
+  auto result = RunSimulation(
+      policy, {Script({W(0), W(1), W(2)}), Script({W(0), W(3), W(4)})},
+      config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 0u);
+  EXPECT_EQ(result->crashes, 2u);
+  // Crashed transactions' partial work is fully retracted: empty trace,
+  // no residual locks.
+  EXPECT_EQ(result->total_ops, 0u);
+  EXPECT_EQ(result->schedule.size(), 0u);
+  EXPECT_EQ(policy.held_locks(), 0u);
+  EXPECT_EQ(result->avg_response_ticks, 0.0);
+}
+
+TEST(SimFaultTest, LatencySpikesDelayButNeverWedge) {
+  FaultPlanConfig fc;
+  fc.latency_spike_probability = 1.0;
+  fc.max_latency_spike_ticks = 6;
+  FaultPlan plan(fc);
+  StrictTwoPhaseLocking policy;
+  SimConfig config;
+  config.stall_patience = 2;  // spikes must not burn the patience budget
+  config.faults = &plan;
+  auto result = RunSimulation(
+      policy, {Script({W(0), W(1)}), Script({W(0), W(2)})}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 2u);
+  EXPECT_GT(result->latency_spike_ticks, 0u);
+  EXPECT_GE(result->makespan, 4u);
+}
+
+TEST(SimFaultTest, ArrivalPerturbationKeepsRunsDeterministic) {
+  FaultPlanConfig fc;
+  fc.max_arrival_delay = 9;
+  FaultPlan plan(fc);
+  SimConfig config;
+  config.faults = &plan;
+  StrictTwoPhaseLocking a;
+  auto first = RunSimulation(
+      a, {Script({W(0), W(1)}), Script({W(1), W(0)}), Script({R(2)})},
+      config);
+  StrictTwoPhaseLocking b;
+  auto second = RunSimulation(
+      b, {Script({W(0), W(1)}), Script({W(1), W(0)}), Script({R(2)})},
+      config);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->completed, 3u);
+  EXPECT_EQ(first->makespan, second->makespan);
+  EXPECT_TRUE(first->schedule.ops() == second->schedule.ops());
+}
+
+TEST(SimFaultTest, FaultFreePlanPointerChangesNothing) {
+  FaultPlan plan{FaultPlanConfig{}};  // empty(): every class disabled
+  SimConfig with;
+  with.faults = &plan;
+  StrictTwoPhaseLocking a;
+  auto faulted = RunSimulation(
+      a, {Script({W(0), W(1)}), Script({W(1), W(0)})}, with);
+  StrictTwoPhaseLocking b;
+  auto plain =
+      RunSimulation(b, {Script({W(0), W(1)}), Script({W(1), W(0)})});
+  ASSERT_TRUE(faulted.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(faulted->makespan, plain->makespan);
+  EXPECT_EQ(faulted->aborts, plain->aborts);
+  EXPECT_TRUE(faulted->schedule.ops() == plain->schedule.ops());
+}
+
+}  // namespace
+}  // namespace nse

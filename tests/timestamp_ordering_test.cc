@@ -9,6 +9,7 @@
 
 #include "analysis/conflict_graph.h"
 #include "analysis/serializability.h"
+#include "scheduler/fault_injection.h"
 #include "scheduler/sim.h"
 #include "scheduler/timestamp_ordering.h"
 #include "scheduler/workload.h"
@@ -113,6 +114,70 @@ TEST(TimestampOrderingTest, OwnAccessesNeverConflict) {
   EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
   EXPECT_EQ(policy.OnAccess(1, t1, 2), SchedulerDecision::kProceed);
   EXPECT_EQ(policy.rejections(), 0u);
+}
+
+TEST(TimestampOrderingTest, RepeatedOnAbortIsIdempotent) {
+  // Crash-at-op can re-abort a transaction whose stamps are already gone:
+  // the repeat must be a no-op that leaves the survivors' entries (and the
+  // committed maxima) untouched.
+  TimestampOrderingPolicy policy(2);
+  TxnScript t1 = Script({{OpAction::kWrite, 0}});
+  TxnScript t2 = Script({{OpAction::kWrite, 1}});
+  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(policy.active_stamp_entries(), 2u);
+
+  policy.OnAbort(1);
+  EXPECT_FALSE(policy.timestamp(1).has_value());
+  EXPECT_EQ(policy.active_stamp_entries(), 1u);  // T2's entry survives
+  policy.OnAbort(1);  // already retracted
+  policy.OnAbort(1);
+  EXPECT_EQ(policy.active_stamp_entries(), 1u);
+  EXPECT_TRUE(policy.timestamp(2).has_value());
+
+  policy.OnComplete(2);
+  EXPECT_EQ(policy.active_stamp_entries(), 0u);  // folded at commit
+}
+
+TEST(TimestampOrderingTest, FaultDrivenRestartsDrawFreshStampsAndRetract) {
+  // Injected client aborts and crashes ride the same OnAbort path as
+  // rejections: every restarted incarnation draws a fresh larger stamp
+  // (the committed conflict graph still embeds in timestamp order) and
+  // every aborted incarnation's stamp entries are erased — zero active
+  // entries at quiescence.
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 3;
+  config.items_per_partition = 2;
+  config.num_txns = 8;
+  config.partitions_per_txn = 2;
+  config.hotspot_probability = 0.7;
+  config.seed = 11;
+  auto workload = MakePartitionedWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  FaultPlanConfig fc;
+  fc.seed = 29;
+  fc.client_abort_probability = 0.7;
+  fc.crash_probability = 0.25;
+  FaultPlan plan(fc);
+  SimConfig sim_config;
+  sim_config.faults = &plan;
+
+  TimestampOrderingPolicy policy(workload->scripts.size());
+  auto result = RunSimulation(policy, workload->scripts, sim_config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->fault_aborts, 0u);
+  EXPECT_EQ(result->completed + result->crashes, workload->scripts.size());
+  EXPECT_EQ(result->total_wait_ticks, 0u);  // TO still never waits
+  EXPECT_EQ(policy.active_stamp_entries(), 0u);
+  ConflictGraph graph = ConflictGraph::Build(result->schedule);
+  for (const auto& [from, to] : graph.Edges()) {
+    ASSERT_TRUE(policy.timestamp(from).has_value());
+    ASSERT_TRUE(policy.timestamp(to).has_value());
+    EXPECT_LT(*policy.timestamp(from), *policy.timestamp(to))
+        << "conflict edge T" << from << " -> T" << to
+        << " against timestamp order under faults";
+  }
 }
 
 class ToWorkloadTest : public ::testing::TestWithParam<bool> {};

@@ -36,7 +36,19 @@ EXACT_FIELDS = ("checked", "violations", "truncated", "cycles_resolved",
                 "restarts_to", "aborts_ww", "wounds_ww",
                 "restarts_victim", "wounds_victim", "aborts_victim",
                 "restarts_victim_pred", "wounds_victim_pred",
-                "aborts_victim_pred")
+                "aborts_victim_pred",
+                # bench_sgt fault-injection rows: every fault / backoff /
+                # admission counter is a pure function of the seeds, so a
+                # drift means the chaos machinery changed behavior.
+                "completed_2pl", "crashes_2pl", "fault_aborts_2pl",
+                "boosts_2pl", "shed_2pl", "backoff_ticks_2pl",
+                "max_restarts_2pl",
+                "completed_to", "crashes_to", "fault_aborts_to",
+                "boosts_to", "shed_to", "backoff_ticks_to",
+                "max_restarts_to",
+                "completed_sgt", "crashes_sgt", "fault_aborts_sgt",
+                "boosts_sgt", "shed_sgt", "backoff_ticks_sgt",
+                "max_restarts_sgt")
 # Measurements (never part of the row identity). cache_computes is
 # deterministic single-threaded but depends on request-coalescing timing
 # across workers, so it is reported, not guarded.
