@@ -1,0 +1,233 @@
+// Wall-clock scaling of the multithreaded engine: committed transactions
+// per second vs worker-thread count, under strict 2PL, timestamp ordering
+// and SGT, on a low-contention and a hot-spot workload. Each operation
+// carries simulated I/O latency (op_latency_micros) so scaling is visible
+// even on small hosts — worker sleeps overlap across threads regardless
+// of core count, exactly like real I/O waits; on a many-core machine the
+// same harness additionally overlaps the CPU work.
+//
+// Wall-clock rows are inherently noisy, so the JSON guards only the exact
+// `completed` counter and the tolerance-floored `speedup_vs_sequential`
+// ratio (threads-N throughput over the same policy's threads-1 run);
+// `txns_per_s` and `wall_ms` are informational. Every run's trace is
+// differentially checked (CSR via the independent checker) and residual
+// policy state must be zero — the bench doubles as a stress harness.
+//
+// --smoke runs tiny configurations with the checks and no JSON; the full
+// run writes BENCH_engine.json (override the path with the last argument).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/serializability.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "engine/engine.h"
+#include "scheduler/metrics.h"
+#include "scheduler/sgt_policy.h"
+#include "scheduler/timestamp_ordering.h"
+#include "scheduler/two_phase_locking.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+struct BenchCase {
+  std::string name;
+  PartitionedWorkloadConfig config;
+  bool low_contention = false;  // rows feeding the scaling acceptance check
+};
+
+struct Row {
+  std::string workload;
+  std::string policy;
+  size_t txns = 0;
+  size_t threads = 0;
+  uint64_t completed = 0;
+  uint64_t wait_events = 0;
+  uint64_t rollbacks = 0;  // aborts + restarts + wounds
+  double wall_ms = 0;
+  double txns_per_s = 0;
+  double speedup_vs_sequential = 1.0;
+  // Only low-contention rows emit the tolerance-guarded speedup field:
+  // that is the workload the scaling promise is about. Hot-spot speedups
+  // thrash nondeterministically (TO especially) and stay informational.
+  bool guard_speedup = false;
+};
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(const std::string& which,
+                                            size_t num_txns) {
+  if (which == "strict-2pl") {
+    return std::make_unique<StrictTwoPhaseLocking>();
+  }
+  if (which == "to") {
+    return std::make_unique<TimestampOrderingPolicy>(num_txns);
+  }
+  NSE_CHECK_MSG(which == "sgt", "unknown policy %s", which.c_str());
+  return std::make_unique<SgtPolicy>(num_txns);
+}
+
+/// One engine run with the differential and residual-state checks the
+/// tick-simulator benches apply — under real threads here.
+EngineResult RunChecked(const std::string& policy_name,
+                        const Workload& workload,
+                        const EngineConfig& config) {
+  auto policy = MakePolicy(policy_name, workload.scripts.size());
+  auto result = RunEngine(*policy, workload.scripts, config);
+  NSE_CHECK_MSG(result.ok(), "engine run failed under %s at %zu threads: %s",
+                policy_name.c_str(), config.threads,
+                result.status().ToString().c_str());
+  NSE_CHECK_MSG(result->completed == workload.scripts.size(),
+                "%s at %zu threads completed %llu of %zu txns",
+                policy_name.c_str(), config.threads,
+                static_cast<unsigned long long>(result->completed),
+                workload.scripts.size());
+  NSE_CHECK_MSG(IsConflictSerializable(result->schedule),
+                "%s at %zu threads emitted a non-CSR trace",
+                policy_name.c_str(), config.threads);
+  return *std::move(result);
+}
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) {
+  using namespace nse;
+  bool smoke = false;
+  std::string json_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  const std::vector<size_t> thread_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
+  const std::vector<std::string> policies = {"strict-2pl", "to", "sgt"};
+
+  auto make_case = [&](std::string name, size_t txns, size_t partitions,
+                       size_t per_txn, double hotspot, uint64_t seed,
+                       bool low_contention) {
+    BenchCase c;
+    c.name = std::move(name);
+    c.config.num_partitions = partitions;
+    c.config.items_per_partition = 2;
+    c.config.num_txns = smoke ? std::min<size_t>(txns, 6) : txns;
+    c.config.partitions_per_txn = per_txn;
+    c.config.cross_read_probability = 0.2;
+    c.config.hotspot_probability = hotspot;
+    c.config.seed = seed;
+    c.low_contention = low_contention;
+    return c;
+  };
+
+  // low_contention: 16 txns spread over 32 partitions — conflicts are
+  // rare, so committed-txns/sec should scale with workers overlapping
+  // their per-op latency. hotspot concentrates 60% of accesses on one
+  // partition — scaling flattens but safety and forward progress must
+  // hold under the contention.
+  std::vector<BenchCase> cases = {
+      make_case("low_contention", 16, 32, 3, 0.0, 7, /*low_contention=*/true),
+      make_case("hotspot_60", 16, 8, 3, 0.6, 11, /*low_contention=*/false),
+  };
+
+  EngineConfig base;
+  base.wait_timeout_micros = smoke ? 100 : 200;
+  base.backoff_unit_micros = smoke ? 5 : 20;
+  // The simulated per-op I/O (sleep, overlappable across workers): the
+  // lever that makes thread scaling measurable on any host.
+  base.op_latency_micros = smoke ? 50 : 400;
+
+  TablePrinter table({"workload", "policy", "threads", "completed",
+                      "wall_ms", "txns_per_s", "speedup", "waits",
+                      "rollbacks"});
+  std::vector<Row> rows;
+  bool low_contention_scaled = false;
+
+  for (const BenchCase& c : cases) {
+    auto workload = MakePartitionedWorkload(c.config);
+    NSE_CHECK_MSG(workload.ok(), "workload generation failed: %s",
+                  workload.status().ToString().c_str());
+    for (const std::string& policy : policies) {
+      double sequential_tps = 0;
+      for (size_t threads : thread_counts) {
+        EngineConfig config = base;
+        config.threads = threads;
+        EngineResult result = RunChecked(policy, *workload, config);
+
+        Row row;
+        row.workload = c.name;
+        row.policy = policy;
+        row.txns = workload->scripts.size();
+        row.threads = threads;
+        row.completed = result.completed;
+        row.wait_events = result.wait_events;
+        row.rollbacks = result.aborts + result.restarts + result.wounds;
+        row.wall_ms = static_cast<double>(result.wall_micros) / 1000.0;
+        row.txns_per_s = result.throughput_tps;
+        if (threads == 1) sequential_tps = result.throughput_tps;
+        row.speedup_vs_sequential =
+            sequential_tps == 0 ? 1.0
+                                : result.throughput_tps / sequential_tps;
+        row.guard_speedup = c.low_contention;
+        if (c.low_contention && threads == 4 &&
+            row.speedup_vs_sequential > 1.0) {
+          low_contention_scaled = true;
+        }
+        rows.push_back(row);
+        table.AddRow({row.workload, row.policy, StrCat(row.threads),
+                      StrCat(row.completed), FormatDouble(row.wall_ms, 2),
+                      FormatDouble(row.txns_per_s, 1),
+                      FormatDouble(row.speedup_vs_sequential, 2),
+                      StrCat(row.wait_events), StrCat(row.rollbacks)});
+      }
+    }
+  }
+
+  std::cout << "\n=== Engine wall-clock scaling (committed txns/sec vs "
+               "worker threads) ===\n"
+            << table.Render()
+            << "(per-op latency " << base.op_latency_micros
+            << "us simulated I/O; sleeps overlap across workers, so "
+               "speedup_vs_sequential tracks admission concurrency, not "
+               "core count)\n";
+
+  if (!smoke) {
+    NSE_CHECK_MSG(low_contention_scaled,
+                  "the engine did not scale past 1x committed-txns/sec at "
+                  "4 threads on the low-contention workload");
+    std::FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"engine\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(
+          json,
+          "    {\"workload\": \"%s\", \"policy\": \"%s\", \"txns\": %zu, "
+          "\"threads\": %zu, \"completed\": %llu, ",
+          row.workload.c_str(), row.policy.c_str(), row.txns, row.threads,
+          static_cast<unsigned long long>(row.completed));
+      if (row.guard_speedup) {
+        std::fprintf(json, "\"speedup_vs_sequential\": %.3f, ",
+                     row.speedup_vs_sequential);
+      }
+      std::fprintf(json, "\"txns_per_s\": %.1f, \"wall_ms\": %.3f}%s\n",
+                   row.txns_per_s, row.wall_ms,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::cout << "baseline written to " << json_path << "\n";
+  }
+  return 0;
+}

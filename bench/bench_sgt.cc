@@ -77,7 +77,7 @@ PolicyOutcome RunPolicy(SchedulerPolicy& policy, const Workload& workload) {
 /// independent CSR checker.
 PolicyOutcome RunPolicyFaulted(SchedulerPolicy& policy,
                                const Workload& workload,
-                               const SimConfig& sim_config) {
+                               const EngineConfig& sim_config) {
   auto start = std::chrono::steady_clock::now();
   auto result = RunSimulation(policy, workload.scripts, sim_config);
   auto end = std::chrono::steady_clock::now();
@@ -372,7 +372,7 @@ int main(int argc, char** argv) {
                 fault_workload.status().ToString().c_str());
   for (const FaultBench& fb : fault_cases) {
     FaultPlan plan(fb.faults);
-    SimConfig sim_config;
+    EngineConfig sim_config;
     sim_config.faults = &plan;
     sim_config.restart = fb.restart;
 

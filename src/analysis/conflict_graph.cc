@@ -56,6 +56,15 @@ void ConflictAccessIndex::Erase(uint32_t accessor) {
           std::remove(h.readers.begin(), h.readers.end(), accessor),
           h.readers.end());
     }
+    // Debug-only retraction audit: membership bit and list must agree —
+    // a surviving list entry here would resurrect the retracted txn's
+    // conflicts on the next ForEachConflict.
+    NSE_DCHECK_MSG(std::find(h.writers.begin(), h.writers.end(), accessor) ==
+                           h.writers.end() &&
+                       std::find(h.readers.begin(), h.readers.end(),
+                                 accessor) == h.readers.end(),
+                   "access-index entries for retracted txn %u survived",
+                   accessor);
   }
 }
 
@@ -385,8 +394,21 @@ void ConflictGraph::RemoveEdgesOf(TxnId txn) {
   out_.Clear(idx);
   in_.Clear(idx);
   indegree_[idx] = 0;
+  NSE_DCHECK_MSG(NoEdgesReference(idx),
+                 "edges referencing retracted txn %u survived", txn);
   topo_valid_ = false;
   if (cycle_.has_value()) RebuildOrderAndCycle();
+}
+
+bool ConflictGraph::NoEdgesReference(uint32_t idx) const {
+  // Debug-only retraction audit (the concurrent engine leans on this): a
+  // fully retracted node must appear in no other node's adjacency, in
+  // either direction.
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (i == idx) continue;
+    if (out_.Contains(i, idx) || in_.Contains(i, idx)) return false;
+  }
+  return true;
 }
 
 std::vector<TxnId> ConflictGraph::Predecessors(TxnId txn) const {
@@ -396,6 +418,16 @@ std::vector<TxnId> ConflictGraph::Predecessors(TxnId txn) const {
   const internal::FlatAdjacency::Span pred = in_[IndexOf(txn)];
   out.reserve(pred.size());
   for (uint32_t idx : pred) out.push_back(nodes_[idx]);
+  return out;
+}
+
+std::vector<TxnId> ConflictGraph::Successors(TxnId txn) const {
+  NSE_CHECK_MSG(mode_ == CycleMode::kIncremental,
+                "Successors requires incremental mode");
+  std::vector<TxnId> out;
+  const internal::FlatAdjacency::Span succ = out_[IndexOf(txn)];
+  out.reserve(succ.size());
+  for (uint32_t idx : succ) out.push_back(nodes_[idx]);
   return out;
 }
 

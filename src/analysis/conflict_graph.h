@@ -219,6 +219,11 @@ class ConflictGraph {
   /// where predecessor lists are maintained). O(in-degree).
   std::vector<TxnId> Predecessors(TxnId txn) const;
 
+  /// The direct successors of `txn` (incremental mode only). O(out-degree).
+  /// SgtPolicy's incremental committed-node trim walks these to find the
+  /// nodes a retraction may have freed.
+  std::vector<TxnId> Successors(TxnId txn) const;
+
   /// True iff the edge from → to is present.
   bool HasEdge(TxnId from, TxnId to) const;
 
@@ -248,6 +253,10 @@ class ConflictGraph {
 
  private:
   size_t IndexOf(TxnId txn) const;
+  /// Debug-only retraction audit: true iff no other node's adjacency (in
+  /// either direction) still references `idx`. O(V log deg); only called
+  /// from NSE_DCHECK in RemoveEdgesOf.
+  bool NoEdgesReference(uint32_t idx) const;
   /// Canonical topological order over node indices, or nullopt if cyclic;
   /// computed once per edge-set revision.
   const std::optional<std::vector<TxnId>>& CachedTopo() const;

@@ -30,4 +30,24 @@
     }                                                                     \
   } while (false)
 
+/// Debug-only checks: compiled in when assertions are on (!NDEBUG) or when
+/// NSE_DEBUG_CHECKS is defined — the sanitizer CI builds define the latter
+/// so invariants stay armed under TSan/ASan even at RelWithDebInfo.
+#if !defined(NDEBUG) || defined(NSE_DEBUG_CHECKS)
+#define NSE_DCHECK(cond) NSE_CHECK(cond)
+#define NSE_DCHECK_MSG(cond, ...) NSE_CHECK_MSG(cond, __VA_ARGS__)
+#else
+// Disabled: the condition is never evaluated at runtime, but stays
+// compiled (odr-used) so variables that exist only for the check do not
+// trip -Wunused.
+#define NSE_DCHECK(cond)           \
+  do {                             \
+    if (false) (void)(cond);       \
+  } while (false)
+#define NSE_DCHECK_MSG(cond, ...)  \
+  do {                             \
+    if (false) (void)(cond);       \
+  } while (false)
+#endif
+
 #endif  // NSE_COMMON_LOGGING_H_

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,///< Operation is valid but the object state is not.
   kOutOfRange,        ///< Index or position outside the valid range.
   kUnimplemented,     ///< Feature intentionally not supported.
+  kDeadlineExceeded,  ///< A wall-clock budget ran out before completion.
   kInternal,          ///< Invariant violation inside the library.
 };
 
@@ -59,6 +60,10 @@ class Status {
   /// Returns an Unimplemented status with the given message.
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  /// Returns a DeadlineExceeded status with the given message.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
   /// Returns an Internal status with the given message.
   static Status Internal(std::string message) {

@@ -1,0 +1,490 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "engine/sharded_store.h"
+
+namespace nse {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+/// Why a transaction was condemned from outside its own worker.
+enum CondemnKind : uint8_t {
+  kNotCondemned = 0,
+  kWounded = 1,         // policy wound (DrainCondemned victim)
+  kDeadlockVictim = 2,  // chosen by the waits-for cycle detector
+};
+
+/// One buffered operation of an in-flight incarnation: the policy-issued
+/// trace sequence number plus the operation itself. Commit splices these
+/// into the global trace; abort drops them.
+struct PendingOp {
+  uint64_t seq = 0;
+  Operation op;
+};
+
+/// Everything the workers share. Counters are atomics; the trace and the
+/// waiting registry have their own mutexes; the deadlock detector is
+/// serialized by try_lock on detect_mu (a second concurrent detection of
+/// the same stall adds nothing).
+struct EngineShared {
+  const std::vector<TxnScript>& scripts;
+  SchedulerPolicy& policy;
+  const EngineConfig& config;
+  ShardedValueStore store;
+  Clock::time_point start;
+  Clock::time_point deadline;
+
+  // Per-txn flags (index = txn - 1).
+  std::vector<std::atomic<uint8_t>> condemned;
+  std::vector<std::atomic<bool>> done;
+  // Waiting registry: step index the txn is blocked on, or -1 if not
+  // waiting. Guarded by waiting_mu (the detector snapshots it).
+  std::vector<int64_t> waiting_step;
+  std::mutex waiting_mu;
+  std::mutex detect_mu;
+
+  std::atomic<size_t> next_txn{0};
+  // Bumped on every state change (granted op, skip, commit, abort). A
+  // blocked worker that times out with this counter unmoved scores a
+  // stall strike; stall_patience consecutive strikes with no waits-for
+  // cycle is a wedged policy.
+  std::atomic<uint64_t> progress{0};
+
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> restarts{0};
+  std::atomic<uint64_t> wounds{0};
+  std::atomic<uint64_t> skipped_ops{0};
+  std::atomic<uint64_t> wait_events{0};
+  std::atomic<uint64_t> max_txn_restarts{0};
+
+  std::mutex trace_mu;
+  std::vector<PendingOp> trace;
+
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  Status failure = Status::Ok();
+
+  EngineShared(const std::vector<TxnScript>& s, SchedulerPolicy& p,
+               const EngineConfig& c, size_t num_items)
+      : scripts(s),
+        policy(p),
+        config(c),
+        store(num_items),
+        start(Clock::now()),
+        deadline(start + std::chrono::microseconds(c.max_wall_micros)),
+        condemned(s.size()),
+        done(s.size()),
+        waiting_step(s.size(), -1) {}
+
+  /// Records the first failure and wakes everyone so workers drain out.
+  void Fail(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu);
+      if (failure.ok()) failure = std::move(status);
+    }
+    failed.store(true, std::memory_order_release);
+    policy.Poke();
+  }
+
+  void BumpMaxRestarts(uint64_t count) {
+    uint64_t seen = max_txn_restarts.load(std::memory_order_relaxed);
+    while (seen < count && !max_txn_restarts.compare_exchange_weak(
+                               seen, count, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Mark `victims` condemned (skipping finished transactions — a wound that
+/// raced with the victim's commit is moot) and wake any that are blocked.
+/// Returns true if any flag was newly set.
+bool DeliverCondemnations(EngineShared& shared,
+                          const std::vector<TxnId>& victims,
+                          CondemnKind kind) {
+  bool delivered = false;
+  for (TxnId victim : victims) {
+    size_t idx = victim - 1;
+    NSE_CHECK_MSG(victim >= 1 && idx < shared.scripts.size(),
+                  "policy condemned an unknown transaction %u", victim);
+    if (shared.done[idx].load(std::memory_order_acquire)) continue;
+    uint8_t expected = kNotCondemned;
+    if (shared.condemned[idx].compare_exchange_strong(
+            expected, kind, std::memory_order_acq_rel)) {
+      delivered = true;
+    }
+  }
+  if (delivered) shared.policy.Poke();
+  return delivered;
+}
+
+/// Waits-for snapshot over the waiting registry, cycle search, victim
+/// selection (largest id in the cycle, matching the simulator). Runs under
+/// try_lock — a concurrent detection of the same stall is skipped. Returns
+/// true if a victim was condemned. A racy snapshot can at worst condemn a
+/// transaction whose cycle was already dissolving; that costs one
+/// unnecessary restart, never safety.
+bool TryDetectDeadlock(EngineShared& shared) {
+  std::unique_lock<std::mutex> detect(shared.detect_mu, std::try_to_lock);
+  if (!detect.owns_lock()) return false;
+
+  std::vector<std::pair<TxnId, size_t>> waiting;
+  {
+    std::lock_guard<std::mutex> lock(shared.waiting_mu);
+    for (size_t i = 0; i < shared.waiting_step.size(); ++i) {
+      if (shared.waiting_step[i] >= 0) {
+        waiting.emplace_back(static_cast<TxnId>(i + 1),
+                             static_cast<size_t>(shared.waiting_step[i]));
+      }
+    }
+  }
+  if (waiting.size() < 2) return false;
+
+  // A cycle needs every participant blocked, so only edges between
+  // currently-waiting transactions matter; a running blocker will move on
+  // its own.
+  std::unordered_set<TxnId> waiting_set;
+  for (const auto& entry : waiting) waiting_set.insert(entry.first);
+  std::unordered_map<TxnId, std::vector<TxnId>> edges;
+  for (const auto& [txn, step] : waiting) {
+    for (TxnId blocker :
+         shared.policy.Blockers(txn, shared.scripts[txn - 1], step)) {
+      if (blocker != txn && waiting_set.count(blocker) > 0) {
+        edges[txn].push_back(blocker);
+      }
+    }
+  }
+
+  // Iterative-enough DFS (recursion depth <= #waiting txns) collecting the
+  // first cycle found.
+  std::unordered_map<TxnId, int> color;  // 0 white, 1 on path, 2 finished
+  std::vector<TxnId> path;
+  std::vector<TxnId> cycle;
+  std::function<bool(TxnId)> visit = [&](TxnId node) {
+    color[node] = 1;
+    path.push_back(node);
+    for (TxnId next : edges[node]) {
+      int c = color[next];
+      if (c == 1) {
+        auto it = std::find(path.begin(), path.end(), next);
+        cycle.assign(it, path.end());
+        return true;
+      }
+      if (c == 0 && visit(next)) return true;
+    }
+    path.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (const auto& entry : waiting) {
+    if (color[entry.first] == 0 && visit(entry.first)) break;
+  }
+  if (cycle.empty()) return false;
+
+  TxnId victim = *std::max_element(cycle.begin(), cycle.end());
+  return DeliverCondemnations(shared, {victim}, kDeadlockVictim);
+}
+
+/// Synthetic per-operation work: optional sleep (simulated I/O — this is
+/// what makes thread scaling visible even on one core) plus optional spin.
+void PayOperationCost(const EngineConfig& config) {
+  if (config.op_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config.op_latency_micros));
+  }
+  if (config.op_cost > 0) {
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < config.op_cost; ++i) sink += i;
+    (void)sink;
+  }
+}
+
+/// Drives one transaction to commit, restarting across aborts. Returns
+/// false iff the run failed (shared.failure holds why).
+bool RunOneTxn(EngineShared& shared, size_t index) {
+  const TxnScript& script = shared.scripts[index];
+  const TxnId txn = static_cast<TxnId>(index + 1);
+  const EngineConfig& config = shared.config;
+  uint64_t restart_count = 0;
+  std::vector<PendingOp> buffer;
+
+  // Consume a pending condemnation: roll the incarnation back and count
+  // the event by kind. Returns through the incarnation loop.
+  auto consume_condemnation = [&](uint8_t why) {
+    if (why == kWounded) {
+      shared.wounds.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared.aborts.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  auto backoff = [&]() {
+    uint64_t delay =
+        RestartBackoffDelay(config.restart, txn, restart_count) *
+        config.backoff_unit_micros;
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  };
+
+  for (;;) {  // one iteration = one incarnation
+    buffer.clear();
+    size_t pc = 0;
+    bool aborted = false;
+    while (pc < script.steps.size()) {
+      if (shared.failed.load(std::memory_order_acquire)) return false;
+      if (Clock::now() > shared.deadline) {
+        shared.Fail(Status::DeadlineExceeded(
+            "engine exceeded max_wall_micros"));
+        return false;
+      }
+      // Safe point: honor a wound / deadlock condemnation before doing
+      // any further work under this incarnation.
+      uint8_t why = shared.condemned[index].exchange(
+          kNotCondemned, std::memory_order_acq_rel);
+      if (why != kNotCondemned) {
+        consume_condemnation(why);
+        aborted = true;
+        break;
+      }
+
+      Result<AccessGrant> grant =
+          shared.policy.RequestAccess(txn, script, pc);
+      if (!grant.ok()) {
+        shared.Fail(grant.status());
+        return false;
+      }
+      // Wound path: deliver any condemnations this request issued before
+      // acting on our own verdict (the victims' workers roll them back).
+      DeliverCondemnations(shared, shared.policy.DrainCondemned(),
+                           kWounded);
+
+      switch (grant->verdict) {
+        case AccessVerdict::kGranted: {
+          const AccessStep& step = script.steps[pc];
+          Value traced(0);
+          if (step.action == OpAction::kRead) {
+            Result<int64_t> value = shared.store.Read(step.item);
+            if (!value.ok()) {
+              shared.Fail(value.status());
+              return false;
+            }
+            traced = Value(*value);
+          } else {
+            Status written = shared.store.Write(
+                step.item, static_cast<int64_t>(grant->trace_seq));
+            if (!written.ok()) {
+              shared.Fail(written);
+              return false;
+            }
+            traced = Value(static_cast<int64_t>(grant->trace_seq));
+          }
+          buffer.push_back(PendingOp{
+              grant->trace_seq,
+              step.action == OpAction::kRead
+                  ? Operation::Read(txn, step.item, traced)
+                  : Operation::Write(txn, step.item, traced)});
+          PayOperationCost(config);
+          ++pc;
+          shared.progress.fetch_add(1, std::memory_order_acq_rel);
+          break;
+        }
+        case AccessVerdict::kSkip:
+          shared.skipped_ops.fetch_add(1, std::memory_order_relaxed);
+          ++pc;
+          shared.progress.fetch_add(1, std::memory_order_acq_rel);
+          break;
+        case AccessVerdict::kAbortSelf:
+          shared.restarts.fetch_add(1, std::memory_order_relaxed);
+          aborted = true;
+          break;
+        case AccessVerdict::kWait: {
+          shared.wait_events.fetch_add(1, std::memory_order_relaxed);
+          NSE_CHECK_MSG(grant->wait.hub != nullptr,
+                        "kWait grant without a wait ticket");
+          {
+            std::lock_guard<std::mutex> lock(shared.waiting_mu);
+            shared.waiting_step[index] = static_cast<int64_t>(pc);
+          }
+          uint64_t strikes = 0;
+          uint64_t ticket_epoch = grant->wait.epoch;
+          while (!shared.failed.load(std::memory_order_acquire)) {
+            uint64_t seen_progress =
+                shared.progress.load(std::memory_order_acquire);
+            bool moved = grant->wait.hub->AwaitChange(
+                ticket_epoch, config.wait_timeout_micros);
+            if (shared.condemned[index].load(std::memory_order_acquire) !=
+                kNotCondemned) {
+              break;  // consumed at the loop-top safe point
+            }
+            if (moved) break;  // footprint released somewhere: retry
+            if (Clock::now() > shared.deadline) {
+              shared.Fail(Status::DeadlineExceeded(
+                  "engine exceeded max_wall_micros while blocked"));
+              break;
+            }
+            // Timed out with a stale epoch: we are the detector now.
+            if (TryDetectDeadlock(shared)) {
+              strikes = 0;
+              continue;
+            }
+            if (shared.progress.load(std::memory_order_acquire) !=
+                seen_progress) {
+              strikes = 0;
+              continue;
+            }
+            if (++strikes > config.stall_patience) {
+              shared.Fail(Status::Internal(
+                  "engine stalled: blocked transactions but no waits-for "
+                  "cycle"));
+              break;
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lock(shared.waiting_mu);
+            shared.waiting_step[index] = -1;
+          }
+          break;  // retry the same pc (or consume the condemnation)
+        }
+      }
+      if (aborted) break;
+    }
+
+    if (shared.failed.load(std::memory_order_acquire)) return false;
+
+    if (!aborted) {
+      // Last safe point: a wound that lands after this check raced with
+      // the commit and is moot (the condemner only needed our footprint,
+      // which Commit releases).
+      uint8_t why = shared.condemned[index].exchange(
+          kNotCondemned, std::memory_order_acq_rel);
+      if (why != kNotCondemned) {
+        consume_condemnation(why);
+        aborted = true;
+      }
+    }
+
+    if (!aborted) {
+      shared.policy.Commit(txn);
+      shared.done[index].store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(shared.trace_mu);
+        shared.trace.insert(shared.trace.end(), buffer.begin(),
+                            buffer.end());
+      }
+      shared.completed.fetch_add(1, std::memory_order_relaxed);
+      shared.progress.fetch_add(1, std::memory_order_acq_rel);
+      return true;
+    }
+
+    // Abort path: retract the footprint (Abort Pokes the hub), discard
+    // the buffered ops, back off, go again.
+    shared.policy.Abort(txn);
+    ++restart_count;
+    shared.BumpMaxRestarts(restart_count);
+    shared.progress.fetch_add(1, std::memory_order_acq_rel);
+    backoff();
+  }
+}
+
+void WorkerMain(EngineShared& shared) {
+  for (;;) {
+    size_t index = shared.next_txn.fetch_add(1, std::memory_order_relaxed);
+    if (index >= shared.scripts.size()) return;
+    if (!RunOneTxn(shared, index)) return;
+  }
+}
+
+}  // namespace
+
+Result<EngineResult> RunEngine(SchedulerPolicy& policy,
+                               const std::vector<TxnScript>& scripts,
+                               const EngineConfig& config) {
+  NSE_RETURN_IF_ERROR(config.Validate());
+  if (config.faults != nullptr) {
+    return Status::Unimplemented(
+        "fault injection is simulator-only; run the FaultPlan through "
+        "RunSimulation");
+  }
+  if (config.restart.max_restarts_before_boost > 0) {
+    return Status::Unimplemented(
+        "the starvation watchdog (max_restarts_before_boost) is "
+        "simulator-only");
+  }
+  if (config.restart.max_live_txns > 0) {
+    return Status::Unimplemented(
+        "the admission gate (max_live_txns) is simulator-only");
+  }
+
+  ItemId max_item = 0;
+  for (const TxnScript& script : scripts) {
+    for (const AccessStep& step : script.steps) {
+      max_item = std::max(max_item, step.item);
+    }
+  }
+  EngineShared shared(scripts, policy, config,
+                      static_cast<size_t>(max_item) + 1);
+
+  std::vector<std::thread> workers;
+  workers.reserve(config.threads);
+  for (size_t i = 0; i < config.threads; ++i) {
+    workers.emplace_back([&shared] { WorkerMain(shared); });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  if (shared.failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(shared.fail_mu);
+    return shared.failure;
+  }
+  if (shared.completed.load() != scripts.size()) {
+    return Status::Internal(
+        "engine finished without committing every transaction");
+  }
+
+  std::sort(shared.trace.begin(), shared.trace.end(),
+            [](const PendingOp& a, const PendingOp& b) {
+              return a.seq < b.seq;
+            });
+  OpSequence ops;
+  ops.reserve(shared.trace.size());
+  for (const PendingOp& pending : shared.trace) ops.push_back(pending.op);
+
+  EngineResult result;
+  result.completed = shared.completed.load();
+  result.aborts = shared.aborts.load();
+  result.restarts = shared.restarts.load();
+  result.wounds = shared.wounds.load();
+  result.vetoes = policy.veto_events();
+  result.skipped_ops = shared.skipped_ops.load();
+  result.wait_events = shared.wait_events.load();
+  result.max_txn_restarts = shared.max_txn_restarts.load();
+  result.total_ops = ops.size();
+  result.wall_micros = MicrosSince(shared.start);
+  result.threads = config.threads;
+  result.throughput_tps =
+      result.wall_micros == 0
+          ? 0
+          : static_cast<double>(result.completed) * 1e6 /
+                static_cast<double>(result.wall_micros);
+  result.schedule = Schedule(std::move(ops));
+  return result;
+}
+
+}  // namespace nse

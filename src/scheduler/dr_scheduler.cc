@@ -9,64 +9,68 @@ std::optional<TxnId> DelayedReadScheduler::DirtyWriter(ItemId item) const {
   return it->second;
 }
 
-SchedulerDecision DelayedReadScheduler::OnAccess(TxnId txn,
-                                                 const TxnScript& script,
-                                                 size_t step) {
+Result<AccessGrant> DelayedReadScheduler::RequestAccess(
+    TxnId txn, const TxnScript& script, size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  // Commit-gate waits rendezvous on *this* hub (the gate opens at
+  // Commit/Abort, which Pokes it); lock waits ride the inner grant's
+  // ticket on the inner hub.
+  WaitTicket gate_ticket = MakeTicket();
   const AccessStep& access = script.steps[step];
-  std::optional<TxnId> dirty;
-  if (access.action == OpAction::kRead) dirty = DirtyWriter(access.item);
-  SchedulerDecision decision;
-  if (dirty.has_value() && *dirty != txn) {
-    decision = SchedulerDecision::kWait;
-  } else {
-    decision = inner_.OnAccess(txn, script, step);
-    if (decision == SchedulerDecision::kProceed) {
-      incomplete_.insert(txn);
-      if (access.action == OpAction::kWrite) last_writer_[access.item] = txn;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (access.action == OpAction::kRead) {
+    std::optional<TxnId> dirty = DirtyWriter(access.item);
+    if (dirty.has_value() && *dirty != txn) {
+      ++wait_events_;
+      waits_.SetWaits(txn, BlockersLocked(txn, script, step));
+      return WaitOn(gate_ticket);
     }
   }
-  // Stall handling: feed the blocker set of a waiting transaction into the
-  // incremental waits-for graph (diffed — an unchanged wait is free), so
-  // the policy's deadlock state is maintained online instead of re-derived
-  // per stall tick.
-  if (decision == SchedulerDecision::kWait) {
-    ++wait_events_;
-    waits_.SetWaits(txn, Blockers(txn, script, step));
-  } else {
+  NSE_ASSIGN_OR_RETURN(AccessGrant grant,
+                       inner_.RequestAccess(txn, script, step));
+  if (grant.verdict == AccessVerdict::kGranted) {
+    incomplete_.insert(txn);
+    if (access.action == OpAction::kWrite) last_writer_[access.item] = txn;
     waits_.ClearWaits(txn);
+  } else {
+    ++wait_events_;
+    waits_.SetWaits(txn, BlockersLocked(txn, script, step));
   }
-  return decision;
+  // Pass the inner grant through verbatim: its seq (kGranted) keeps the
+  // stack's single trace stream, its ticket (kWait) points at the inner
+  // hub where the lock release will be announced.
+  return grant;
 }
 
-void DelayedReadScheduler::AfterAccess(TxnId txn, const TxnScript& script,
-                                       size_t step) {
-  inner_.AfterAccess(txn, script, step);
+void DelayedReadScheduler::DoCommit(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incomplete_.erase(txn);
+    waits_.OnResolved(txn);
+  }
+  inner_.Commit(txn);
 }
 
-void DelayedReadScheduler::OnComplete(TxnId txn) {
-  incomplete_.erase(txn);
-  waits_.OnResolved(txn);
-  inner_.OnComplete(txn);
-}
-
-void DelayedReadScheduler::OnAbort(TxnId txn) {
-  incomplete_.erase(txn);
-  waits_.OnResolved(txn);
-  // Remove the aborted transaction's dirty marks; its writes are undone by
-  // the restart semantics of the simulator.
-  for (auto it = last_writer_.begin(); it != last_writer_.end();) {
-    if (it->second == txn) {
-      it = last_writer_.erase(it);
-    } else {
-      ++it;
+void DelayedReadScheduler::DoAbort(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incomplete_.erase(txn);
+    waits_.OnResolved(txn);
+    // Remove the aborted transaction's dirty marks; its writes are undone
+    // by the driver's restart semantics.
+    for (auto it = last_writer_.begin(); it != last_writer_.end();) {
+      if (it->second == txn) {
+        it = last_writer_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
-  inner_.OnAbort(txn);
+  inner_.Abort(txn);
 }
 
-std::vector<TxnId> DelayedReadScheduler::Blockers(TxnId txn,
-                                                  const TxnScript& script,
-                                                  size_t step) const {
+std::vector<TxnId> DelayedReadScheduler::BlockersLocked(
+    TxnId txn, const TxnScript& script, size_t step) const {
   const AccessStep& access = script.steps[step];
   std::vector<TxnId> blockers = inner_.Blockers(txn, script, step);
   if (access.action == OpAction::kRead) {
@@ -74,6 +78,14 @@ std::vector<TxnId> DelayedReadScheduler::Blockers(TxnId txn,
     if (dirty.has_value() && *dirty != txn) blockers.push_back(*dirty);
   }
   return blockers;
+}
+
+std::vector<TxnId> DelayedReadScheduler::Blockers(TxnId txn,
+                                                  const TxnScript& script,
+                                                  size_t step) const {
+  if (step >= script.steps.size()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  return BlockersLocked(txn, script, step);
 }
 
 }  // namespace nse

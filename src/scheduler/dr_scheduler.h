@@ -8,14 +8,26 @@
 // The scheduler also watches its own stalls: every kWait feeds the waiting
 // transaction's blocker set into an incremental waits-for graph
 // (Pearce–Kelly, O(affected region) per new wait edge), so the policy can
-// report — without any per-tick DFS — when its commit gates and lock waits
+// report — without any per-round DFS — when its commit gates and lock waits
 // have closed a wait cycle (StalledCycle). Edges are as-of each waiter's
-// most recent OnAccess poll; see StalledCycle for the freshness contract.
+// most recent RequestAccess poll; see StalledCycle for the freshness
+// contract.
+//
+// Concurrency: one policy mutex guards the dirty-writer table and the
+// waits-for tracker; the inner PW-2PL synchronizes itself (striped locks)
+// and is never called re-entrantly, so the lock order mu_ → stripe latch
+// is acyclic. The wrapper never draws a trace sequence number of its own —
+// every granted access returns the inner policy's grant verbatim, so the
+// whole stack emits one monotone seq stream, and commit-gated conflicts
+// (reader after writer-commit) are ordered by construction. kWait verdicts
+// for the commit gate carry a ticket on *this* policy's hub; lock waits
+// carry the inner hub's ticket; Poke() notifies both.
 
 #ifndef NSE_SCHEDULER_DR_SCHEDULER_H_
 #define NSE_SCHEDULER_DR_SCHEDULER_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 
@@ -31,33 +43,37 @@ class DelayedReadScheduler : public SchedulerPolicy {
 
   std::string name() const override { return "pw-2pl+dr"; }
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
-  void OnComplete(TxnId txn) override;
-  void OnAbort(TxnId txn) override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
+
+  /// Wakes waiters on both the commit-gate hub and the inner lock hub.
+  void Poke() override {
+    SchedulerPolicy::Poke();
+    inner_.Poke();
+  }
 
   /// The wait cycle the scheduler's own waits have closed (txn ids,
   /// first == last), or nullopt while its waits-for graph is acyclic.
   /// Maintained online: each kWait costs O(affected region), the query
-  /// O(1) — no per-stall-tick DFS.
+  /// O(1) — no per-stall-round DFS.
   ///
   /// Freshness contract: a transaction's edges reflect its blockers as of
-  /// its most recent OnAccess poll. A lock-wait edge can go stale between
-  /// polls (PW-2PL releases locks mid-run via per-conjunct shrinking), so
-  /// a reported cycle is a certain deadlock only when every participant
-  /// was polled — and still waiting — in the current scheduling round
-  /// (the simulator's stall-tick condition); a driver that polls blocked
-  /// transactions each round gets at most a one-round-stale witness.
-  /// Commit-gate edges never go stale: dirty writers are cleared only at
-  /// OnComplete/OnAbort, which also retract their edges here.
+  /// its most recent RequestAccess poll. A lock-wait edge can go stale
+  /// between polls (PW-2PL releases locks mid-run via per-conjunct
+  /// shrinking), so a reported cycle is a certain deadlock only when every
+  /// participant was polled — and still waiting — in the current
+  /// scheduling round (the simulator's stall-tick condition); a driver
+  /// that polls blocked transactions each round gets at most a
+  /// one-round-stale witness. Commit-gate edges never go stale: dirty
+  /// writers are cleared only at Commit/Abort, which also retract their
+  /// edges here. Read at quiescence or from the driver's detector.
   const std::optional<std::vector<TxnId>>& StalledCycle() const {
     return waits_.cycle();
   }
 
-  /// Number of OnAccess calls that returned kWait.
+  /// Number of RequestAccess calls that returned kWait.
   uint64_t wait_events() const { return wait_events_; }
 
   /// The waits-for tracker (read-only; tests and diagnostics).
@@ -68,12 +84,25 @@ class DelayedReadScheduler : public SchedulerPolicy {
   size_t held_locks() const { return inner_.held_locks(); }
 
   /// Writers still marked dirty (commit-gating reads) — 0 at quiescence.
-  size_t dirty_writers() const { return incomplete_.size(); }
+  size_t dirty_writers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return incomplete_.size();
+  }
+
+ protected:
+  void DoCommit(TxnId txn) override;
+  void DoAbort(TxnId txn) override;
 
  private:
   /// The incomplete transaction that last wrote `item`, if any.
+  /// Requires mu_.
   std::optional<TxnId> DirtyWriter(ItemId item) const;
 
+  /// Blockers body without the mutex (RequestAccess calls it under mu_).
+  std::vector<TxnId> BlockersLocked(TxnId txn, const TxnScript& script,
+                                    size_t step) const;
+
+  mutable std::mutex mu_;
   PredicatewiseTwoPhaseLocking inner_;
   std::map<ItemId, TxnId> last_writer_;   // most recent writer per item
   std::set<TxnId> incomplete_;            // writers still running

@@ -23,7 +23,7 @@
 //   * arrival perturbation — each transaction's arrival tick is delayed by
 //     a drawn offset, reshuffling the admission order.
 //
-// The simulator consults the plan through SimConfig::faults (see sim.h);
+// The simulator consults the plan through EngineConfig::faults (see engine/engine_config.h);
 // policies never see the plan — faults arrive through the same OnAbort /
 // restart machinery real aborts use, which is the point.
 

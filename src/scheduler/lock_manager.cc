@@ -3,7 +3,9 @@
 namespace nse {
 
 bool LockManager::TryAcquire(TxnId txn, ItemId item, LockMode mode) {
-  ItemLock& lock = locks_[item];
+  Stripe& stripe = StripeFor(item);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  ItemLock& lock = stripe.locks[item];
   if (mode == LockMode::kShared) {
     if (lock.has_exclusive) return lock.exclusive == txn;
     lock.shared.insert(txn);
@@ -24,8 +26,10 @@ bool LockManager::TryAcquire(TxnId txn, ItemId item, LockMode mode) {
 std::vector<TxnId> LockManager::Blockers(TxnId txn, ItemId item,
                                          LockMode mode) const {
   std::vector<TxnId> out;
-  auto it = locks_.find(item);
-  if (it == locks_.end()) return out;
+  const Stripe& stripe = StripeFor(item);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.locks.find(item);
+  if (it == stripe.locks.end()) return out;
   const ItemLock& lock = it->second;
   if (mode == LockMode::kShared) {
     if (lock.has_exclusive && lock.exclusive != txn) {
@@ -44,29 +48,34 @@ std::vector<TxnId> LockManager::Blockers(TxnId txn, ItemId item,
 }
 
 void LockManager::Release(TxnId txn, ItemId item) {
-  auto it = locks_.find(item);
-  if (it == locks_.end()) return;
+  Stripe& stripe = StripeFor(item);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.locks.find(item);
+  if (it == stripe.locks.end()) return;
   ItemLock& lock = it->second;
   lock.shared.erase(txn);
   if (lock.has_exclusive && lock.exclusive == txn) {
     lock.has_exclusive = false;
     lock.exclusive = 0;
   }
-  if (!lock.has_exclusive && lock.shared.empty()) locks_.erase(it);
+  if (!lock.has_exclusive && lock.shared.empty()) stripe.locks.erase(it);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    ItemLock& lock = it->second;
-    lock.shared.erase(txn);
-    if (lock.has_exclusive && lock.exclusive == txn) {
-      lock.has_exclusive = false;
-      lock.exclusive = 0;
-    }
-    if (!lock.has_exclusive && lock.shared.empty()) {
-      it = locks_.erase(it);
-    } else {
-      ++it;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    for (auto it = stripe.locks.begin(); it != stripe.locks.end();) {
+      ItemLock& lock = it->second;
+      lock.shared.erase(txn);
+      if (lock.has_exclusive && lock.exclusive == txn) {
+        lock.has_exclusive = false;
+        lock.exclusive = 0;
+      }
+      if (!lock.has_exclusive && lock.shared.empty()) {
+        it = stripe.locks.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -76,8 +85,10 @@ void LockManager::ReleaseAllIn(TxnId txn, const DataSet& d) {
 }
 
 bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
-  auto it = locks_.find(item);
-  if (it == locks_.end()) return false;
+  const Stripe& stripe = StripeFor(item);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.locks.find(item);
+  if (it == stripe.locks.end()) return false;
   const ItemLock& lock = it->second;
   if (lock.has_exclusive && lock.exclusive == txn) return true;
   if (mode == LockMode::kShared) return lock.shared.count(txn) == 1;
@@ -86,8 +97,11 @@ bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
 
 size_t LockManager::num_locks() const {
   size_t n = 0;
-  for (const auto& [item, lock] : locks_) {
-    n += lock.shared.size() + (lock.has_exclusive ? 1 : 0);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    for (const auto& [item, lock] : stripe.locks) {
+      n += lock.shared.size() + (lock.has_exclusive ? 1 : 0);
+    }
   }
   return n;
 }

@@ -1,10 +1,18 @@
 // Item-granularity lock manager with shared/exclusive modes, lock upgrade,
 // and blocker reporting for waits-for deadlock detection.
+//
+// Internally synchronized and striped: items hash to one of kStripes
+// independently latched lock tables, so disjoint-footprint transactions on
+// different engine workers never contend on a common mutex. Grant decisions
+// are immediate (no internal queueing); callers that receive false block on
+// the policy's WaitHub (engine) or poll (tick simulator).
 
 #ifndef NSE_SCHEDULER_LOCK_MANAGER_H_
 #define NSE_SCHEDULER_LOCK_MANAGER_H_
 
+#include <array>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -16,9 +24,9 @@ namespace nse {
 /// Lock modes.
 enum class LockMode { kShared, kExclusive };
 
-/// Tracks which transaction holds which lock. Grant decisions are immediate
-/// (no internal queueing); callers poll, which matches the tick-based
-/// simulator.
+/// Tracks which transaction holds which lock. Thread-safe; at most one
+/// stripe latch is ever held at a time, so the manager cannot participate
+/// in a latch deadlock whatever order callers touch items in.
 class LockManager {
  public:
   /// Attempts to acquire `item` in `mode` for `txn`. Re-entrant: holding X
@@ -27,7 +35,7 @@ class LockManager {
   bool TryAcquire(TxnId txn, ItemId item, LockMode mode);
 
   /// Transactions currently preventing the grant (empty iff TryAcquire
-  /// would succeed).
+  /// would succeed at the instant of the call).
   std::vector<TxnId> Blockers(TxnId txn, ItemId item, LockMode mode) const;
 
   /// Releases `txn`'s lock on `item` (no-op if not held).
@@ -42,7 +50,8 @@ class LockManager {
   /// True iff `txn` holds a lock on `item` at least as strong as `mode`.
   bool Holds(TxnId txn, ItemId item, LockMode mode) const;
 
-  /// Number of (txn, item) lock grants outstanding.
+  /// Number of (txn, item) lock grants outstanding. Stripe counts are
+  /// summed one latch at a time; exact at quiescence.
   size_t num_locks() const;
 
  private:
@@ -52,7 +61,19 @@ class LockManager {
     bool has_exclusive = false;
   };
 
-  std::map<ItemId, ItemLock> locks_;
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<ItemId, ItemLock> locks;
+  };
+
+  Stripe& StripeFor(ItemId item) { return stripes_[item % kStripes]; }
+  const Stripe& StripeFor(ItemId item) const {
+    return stripes_[item % kStripes];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace nse

@@ -20,37 +20,45 @@ uint64_t PriorityLockingPolicy::StampOf(TxnId txn) const {
   return *stamp_[txn];
 }
 
-SchedulerDecision PriorityLockingPolicy::OnAccess(TxnId txn,
-                                                  const TxnScript& script,
-                                                  size_t step) {
+Result<AccessGrant> PriorityLockingPolicy::RequestAccess(
+    TxnId txn, const TxnScript& script, size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  WaitTicket ticket = MakeTicket();
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t ts = EnsureStamp(txn);
   const AccessStep& access = script.steps[step];
   const LockMode mode =
       access.action == OpAction::kWrite ? LockMode::kExclusive
                                         : LockMode::kShared;
   if (locks_.TryAcquire(txn, access.item, mode)) {
-    return SchedulerDecision::kProceed;
+    return Granted();
   }
+  // The mutex keeps releases out of this window: the holders we compare
+  // stamps against are exactly the holders that denied the grant.
   std::vector<TxnId> holders = locks_.Blockers(txn, access.item, mode);
   NSE_CHECK_MSG(!holders.empty(), "lock denied with no blocking holder");
-  return OnConflict(txn, ts, holders);
+  AccessVerdict verdict = OnConflict(txn, ts, holders);
+  if (verdict == AccessVerdict::kWait) return WaitOn(ticket);
+  return AbortSelf();
 }
 
-void PriorityLockingPolicy::AfterAccess(TxnId, const TxnScript&, size_t) {
-  // Strict locking: nothing releases before completion.
+void PriorityLockingPolicy::DoCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  locks_.ReleaseAll(txn);
 }
 
-void PriorityLockingPolicy::OnComplete(TxnId txn) { locks_.ReleaseAll(txn); }
-
-void PriorityLockingPolicy::OnAbort(TxnId txn) {
+void PriorityLockingPolicy::DoAbort(TxnId txn) {
   // Wound or death: drop the locks but *keep* the stamp — the restarted
   // incarnation inherits its age, which is what rules out starvation.
+  std::lock_guard<std::mutex> lock(mu_);
   locks_.ReleaseAll(txn);
 }
 
 std::vector<TxnId> PriorityLockingPolicy::Blockers(TxnId txn,
                                                    const TxnScript& script,
                                                    size_t step) const {
+  if (step >= script.steps.size()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
   const AccessStep& access = script.steps[step];
   const LockMode mode =
       access.action == OpAction::kWrite ? LockMode::kExclusive
@@ -58,41 +66,38 @@ std::vector<TxnId> PriorityLockingPolicy::Blockers(TxnId txn,
   return locks_.Blockers(txn, access.item, mode);
 }
 
-std::vector<TxnId> PriorityLockingPolicy::DrainWounds() {
-  return std::exchange(pending_wounds_, {});
-}
-
 std::optional<uint64_t> PriorityLockingPolicy::priority(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return txn < stamp_.size() ? stamp_[txn] : std::nullopt;
 }
 
-SchedulerDecision WoundWaitPolicy::OnConflict(
-    TxnId, uint64_t ts, const std::vector<TxnId>& holders) {
+AccessVerdict WoundWaitPolicy::OnConflict(TxnId, uint64_t ts,
+                                          const std::vector<TxnId>& holders) {
   // Wound every younger holder in the way; wait for the rest. After the
-  // simulator drains the wounds, the surviving blockers are all older, so
+  // driver drains the wounds, the surviving blockers are all older, so
   // every standing wait points young -> old — acyclic by the total
   // priority order.
   for (TxnId holder : holders) {
     if (StampOf(holder) > ts) {
-      pending_wounds_.push_back(holder);
+      Condemn(holder);
       ++wounds_issued_;
     }
   }
-  return SchedulerDecision::kWait;
+  return AccessVerdict::kWait;
 }
 
-SchedulerDecision WaitDiePolicy::OnConflict(TxnId, uint64_t ts,
-                                            const std::vector<TxnId>& holders) {
+AccessVerdict WaitDiePolicy::OnConflict(TxnId, uint64_t ts,
+                                        const std::vector<TxnId>& holders) {
   // Wait only when older than every conflicting holder (waits point
   // old -> young, acyclic); otherwise die and retry under the original
   // stamp.
   for (TxnId holder : holders) {
     if (StampOf(holder) < ts) {
       ++deaths_;
-      return SchedulerDecision::kAbortRestart;
+      return AccessVerdict::kAbortSelf;
     }
   }
-  return SchedulerDecision::kWait;
+  return AccessVerdict::kWait;
 }
 
 }  // namespace nse

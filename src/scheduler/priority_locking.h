@@ -8,9 +8,9 @@
 //
 // Both protocols restrict which way a wait edge may point, so the
 // waits-for graph is embedded in the (total) priority order and can never
-// close a cycle — the simulator's deadlock-victim machinery provably never
-// fires (SimResult.aborts == 0 is the structural invariant the
-// differential harness pins):
+// close a cycle — the drivers' deadlock-victim machinery provably never
+// fires (aborts == 0 is the structural invariant the differential harness
+// pins):
 //
 //   wound-wait  — an older requester *wounds* (aborts) every younger lock
 //                 holder in its way and waits for the older ones: waits
@@ -22,14 +22,20 @@
 //
 // Locks are strict (held to completion), so both policies promise
 // CSR ∧ strict — same class as strict 2PL, minus the deadlocks. Wounds
-// travel through SchedulerPolicy::DrainWounds: the simulator rolls the
-// victims back through the shared restart path right after the OnAccess
+// travel through SchedulerPolicy::DrainCondemned: the driver rolls the
+// victims back through the shared restart path right after the request
 // that condemned them.
+//
+// Concurrency: one policy mutex serializes requests, retraction and stamp
+// assignment. This keeps the protocol's decision basis — "the holders I
+// saw are exactly the holders whose stamps I compared" — atomic; the
+// deadlock-freedom argument relies on it.
 
 #ifndef NSE_SCHEDULER_PRIORITY_LOCKING_H_
 #define NSE_SCHEDULER_PRIORITY_LOCKING_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -44,14 +50,10 @@ class PriorityLockingPolicy : public SchedulerPolicy {
  public:
   explicit PriorityLockingPolicy(size_t num_txns);
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
-  void OnComplete(TxnId txn) override;
-  void OnAbort(TxnId txn) override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
-  std::vector<TxnId> DrainWounds() override;
 
   /// The priority stamp of txn (assigned at its first access, kept across
   /// restarts; smaller = older = higher priority), or nullopt before it
@@ -69,21 +71,26 @@ class PriorityLockingPolicy : public SchedulerPolicy {
   size_t held_locks() const { return locks_.num_locks(); }
 
  protected:
+  void DoCommit(TxnId txn) override;
+  void DoAbort(TxnId txn) override;
+
   /// Protocol hook: the requester (with stamp `ts`) found `holders` in its
-  /// way (all distinct from it). Returns the verdict; may enqueue wounds.
-  virtual SchedulerDecision OnConflict(TxnId txn, uint64_t ts,
-                                       const std::vector<TxnId>& holders) = 0;
+  /// way (all distinct from it). Returns kWait or kAbortSelf; may Condemn
+  /// wounds. Runs under the policy mutex.
+  virtual AccessVerdict OnConflict(TxnId txn, uint64_t ts,
+                                   const std::vector<TxnId>& holders) = 0;
 
   /// Stamp of a transaction that has run at least once (CHECK otherwise).
+  /// Requires the policy mutex.
   uint64_t StampOf(TxnId txn) const;
 
-  std::vector<TxnId> pending_wounds_;
   uint64_t wounds_issued_ = 0;
   uint64_t deaths_ = 0;
 
  private:
   uint64_t EnsureStamp(TxnId txn);
 
+  mutable std::mutex mu_;
   LockManager locks_;
   uint64_t clock_ = 0;
   std::vector<std::optional<uint64_t>> stamp_;  // by txn id
@@ -97,8 +104,8 @@ class WoundWaitPolicy : public PriorityLockingPolicy {
   std::string name() const override { return "wound-wait"; }
 
  protected:
-  SchedulerDecision OnConflict(TxnId txn, uint64_t ts,
-                               const std::vector<TxnId>& holders) override;
+  AccessVerdict OnConflict(TxnId txn, uint64_t ts,
+                           const std::vector<TxnId>& holders) override;
 };
 
 /// Wait-die: requesters wait only on uniformly younger holders; otherwise
@@ -109,8 +116,8 @@ class WaitDiePolicy : public PriorityLockingPolicy {
   std::string name() const override { return "wait-die"; }
 
  protected:
-  SchedulerDecision OnConflict(TxnId txn, uint64_t ts,
-                               const std::vector<TxnId>& holders) override;
+  AccessVerdict OnConflict(TxnId txn, uint64_t ts,
+                           const std::vector<TxnId>& holders) override;
 };
 
 }  // namespace nse

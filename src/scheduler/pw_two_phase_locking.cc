@@ -8,38 +8,34 @@ LockMode ModeFor(OpAction action) {
 }
 }  // namespace
 
-SchedulerDecision PredicatewiseTwoPhaseLocking::OnAccess(
+Result<AccessGrant> PredicatewiseTwoPhaseLocking::RequestAccess(
     TxnId txn, const TxnScript& script, size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  WaitTicket ticket = MakeTicket();
   const AccessStep& access = script.steps[step];
-  return locks_.TryAcquire(txn, access.item, ModeFor(access.action))
-             ? SchedulerDecision::kProceed
-             : SchedulerDecision::kWait;
-}
-
-void PredicatewiseTwoPhaseLocking::AfterAccess(TxnId txn,
-                                               const TxnScript& script,
-                                               size_t step) {
-  // If this was the last access of the transaction to the conjunct of the
-  // touched item, the per-conjunct shrinking phase begins: release every
-  // lock on that conjunct's data set.
-  auto conjunct = ic_->ConjunctOf(script.steps[step].item);
-  if (!conjunct.has_value()) return;  // unconstrained item: hold to the end
-  const DataSet& d = ic_->data_set(*conjunct);
-  if (script.LastStepTouching(d) == step) {
-    locks_.ReleaseAllIn(txn, d);
+  if (!locks_.TryAcquire(txn, access.item, ModeFor(access.action))) {
+    return WaitOn(ticket);
   }
-}
-
-void PredicatewiseTwoPhaseLocking::OnComplete(TxnId txn) {
-  locks_.ReleaseAll(txn);
-}
-
-void PredicatewiseTwoPhaseLocking::OnAbort(TxnId txn) {
-  locks_.ReleaseAll(txn);
+  // Seq while the lock is still held: the mid-call release below happens
+  // strictly after, so conflicting grants on this conjunct keep seq order.
+  AccessGrant grant = Granted();
+  // If this is the last access of the transaction to the conjunct of the
+  // touched item, the per-conjunct shrinking phase begins: release every
+  // lock on that conjunct's data set and wake waiters.
+  auto conjunct = ic_->ConjunctOf(access.item);
+  if (conjunct.has_value()) {
+    const DataSet& d = ic_->data_set(*conjunct);
+    if (script.LastStepTouching(d) == step) {
+      locks_.ReleaseAllIn(txn, d);
+      Poke();
+    }
+  }
+  return grant;
 }
 
 std::vector<TxnId> PredicatewiseTwoPhaseLocking::Blockers(
     TxnId txn, const TxnScript& script, size_t step) const {
+  if (step >= script.steps.size()) return {};
   const AccessStep& access = script.steps[step];
   return locks_.Blockers(txn, access.item, ModeFor(access.action));
 }

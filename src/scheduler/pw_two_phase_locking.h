@@ -6,6 +6,11 @@
 // serializable — the produced schedules are PWSR (Definition 2) though in
 // general not serializable. This is the mechanism that shortens the
 // long-duration waits of strict 2PL (paper §1, [11]).
+//
+// Under the thread-safe contract the per-conjunct release is fused into
+// RequestAccess: a granted last-touch of a conjunct releases that
+// conjunct's locks before returning (the old AfterAccess hook), followed by
+// a Poke() so blocked requesters retry immediately.
 
 #ifndef NSE_SCHEDULER_PW_TWO_PHASE_LOCKING_H_
 #define NSE_SCHEDULER_PW_TWO_PHASE_LOCKING_H_
@@ -26,17 +31,18 @@ class PredicatewiseTwoPhaseLocking : public SchedulerPolicy {
 
   std::string name() const override { return "pw-2pl"; }
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
-  void OnComplete(TxnId txn) override;
-  void OnAbort(TxnId txn) override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
   /// Outstanding lock grants — 0 at quiescence, or the policy leaked
   /// (the chaos harness's residual-state check).
   size_t held_locks() const { return locks_.num_locks(); }
+
+ protected:
+  void DoCommit(TxnId txn) override { locks_.ReleaseAll(txn); }
+  void DoAbort(TxnId txn) override { locks_.ReleaseAll(txn); }
 
  private:
   const IntegrityConstraint* ic_;

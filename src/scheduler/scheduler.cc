@@ -1,5 +1,7 @@
 #include "scheduler/scheduler.h"
 
+#include <chrono>
+
 namespace nse {
 
 size_t TxnScript::LastStepTouching(const DataSet& d) const {
@@ -8,6 +10,24 @@ size_t TxnScript::LastStepTouching(const DataSet& d) const {
     if (d.Contains(steps[i].item)) last = i;
   }
   return last;
+}
+
+void WaitHub::Notify() {
+  {
+    // Bump under the mutex: a waiter that observed the old epoch and is
+    // entering its wait holds the mutex, so the bump cannot slip between
+    // its predicate check and the sleep.
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  cv_.notify_all();
+}
+
+bool WaitHub::AwaitChange(uint64_t seen, uint64_t timeout_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::microseconds(timeout_micros), [&] {
+    return epoch_.load(std::memory_order_acquire) != seen;
+  });
 }
 
 }  // namespace nse

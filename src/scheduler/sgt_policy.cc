@@ -71,15 +71,19 @@ SgtPolicy::VetoProbe SgtPolicy::ProbeAccess(TxnId txn,
   return probe;
 }
 
-SchedulerDecision SgtPolicy::OnAccess(TxnId txn, const TxnScript& script,
-                                      size_t step) {
+Result<AccessGrant> SgtPolicy::RequestAccess(TxnId txn,
+                                             const TxnScript& script,
+                                             size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  WaitTicket ticket = MakeTicket();
+  std::lock_guard<std::mutex> lock(mu_);
   VetoProbe probe = ProbeAccess(txn, script, step);
   if (probe.vetoed) {
     ++vetoes_;
     // Wait only while some vetoing edge's source is still running (its
     // abort would retract that edge directly); with committed-only
     // sources, restart at once — always safe, and independent of the
-    // simulator's stall patience. Recurring vetoes against active sources
+    // driver's stall patience. Recurring vetoes against active sources
     // restart at the threshold — the livelock guard. Either way the
     // restarted transaction re-enters *after* its former successors and
     // the cycle cannot re-form from the same conflicts.
@@ -87,13 +91,13 @@ SchedulerDecision SgtPolicy::OnAccess(TxnId txn, const TxnScript& script,
         ++consecutive_vetoes_[txn] >= options_.max_consecutive_vetoes) {
       consecutive_vetoes_[txn] = 0;
       ++restarts_requested_;
-      return SchedulerDecision::kAbortRestart;
+      return AbortSelf();
     }
-    return SchedulerDecision::kWait;
+    return WaitOn(ticket);
   }
   consecutive_vetoes_[txn] = 0;
   AdmitAccess(txn, script, step);
-  return SchedulerDecision::kProceed;
+  return Granted();
 }
 
 void SgtPolicy::AdmitAccess(TxnId txn, const TxnScript& script, size_t step) {
@@ -113,59 +117,73 @@ void SgtPolicy::AdmitAccess(TxnId txn, const TxnScript& script, size_t step) {
                 "SGT admitted an access that closed a conflict cycle");
 }
 
-void SgtPolicy::AfterAccess(TxnId, const TxnScript&, size_t) {}
-
-void SgtPolicy::CollectCommitted() {
+void SgtPolicy::TrimCommitted(std::vector<TxnId> seeds) {
   if (!options_.gc_committed) return;
-  // Trim committed sources to a fixpoint: a committed node issues no new
-  // accesses, so its in-edge set is final — once empty, no future cycle
-  // can pass through it (a cycle would need a path *into* the node) and
-  // its out-edges / item histories are dead weight. Each trim may expose
-  // the next committed source downstream, hence the fixpoint loop.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (TxnId id = 1; id < committed_.size(); ++id) {
-      if (!committed_[id] || trimmed_[id]) continue;
-      if (!graph_.Predecessors(id).empty()) continue;
-      graph_.RemoveEdgesOf(id);
-      index_.Erase(id);
-      trimmed_[id] = true;
-      ++gc_trimmed_;
-      --live_committed_;
-      changed = true;
+  // A committed node issues no new accesses, so its in-edge set is final —
+  // once empty, no future cycle can pass through it (a cycle would need a
+  // path *into* the node) and its out-edges / item histories are dead
+  // weight. Only a trim or an abort's retraction can empty a predecessor
+  // set, so processing the seeds and, transitively, the committed
+  // successors each trim frees reaches the same fixpoint as the old full
+  // scan — in time proportional to the footprint actually reclaimed.
+  while (!seeds.empty()) {
+    TxnId id = seeds.back();
+    seeds.pop_back();
+    if (id == 0 || id >= committed_.size()) continue;
+    if (!committed_[id] || trimmed_[id]) continue;
+    if (!graph_.Predecessors(id).empty()) continue;
+    std::vector<TxnId> successors = graph_.Successors(id);
+    graph_.RemoveEdgesOf(id);
+    index_.Erase(id);
+    trimmed_[id] = true;
+    ++gc_trimmed_;
+    --live_committed_;
+    for (TxnId succ : successors) {
+      if (committed_[succ] && !trimmed_[succ]) seeds.push_back(succ);
     }
   }
 }
 
-void SgtPolicy::OnComplete(TxnId txn) {
+void SgtPolicy::DoCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Committed edges stay: later accesses must still serialize after txn
   // (until the GC proves the node can never rejoin a cycle).
   committed_[txn] = true;
   consecutive_vetoes_[txn] = 0;
   ++live_committed_;
   max_live_committed_ = std::max(max_live_committed_, live_committed_);
-  CollectCommitted();
+  // The commit changed only this node's eligibility (predecessor sets are
+  // untouched), so it is the whole worklist.
+  TrimCommitted({txn});
 }
 
-void SgtPolicy::OnAbort(TxnId txn) {
+void SgtPolicy::DoAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Retract the aborted transaction's whole footprint; it restarts from
   // scratch with a clean node. The retraction can strand committed
-  // successors without predecessors, so give the GC a pass too.
+  // successors without predecessors, so they seed the trim.
+  std::vector<TxnId> successors;
+  if (options_.gc_committed) {
+    for (TxnId succ : graph_.Successors(txn)) {
+      if (committed_[succ] && !trimmed_[succ]) successors.push_back(succ);
+    }
+  }
   graph_.RemoveEdgesOf(txn);
   index_.Erase(txn);
   committed_[txn] = false;
   consecutive_vetoes_[txn] = 0;
   steps_recorded_[txn] = 0;
   ++restart_count_[txn];
-  CollectCommitted();
+  TrimCommitted(std::move(successors));
 }
 
 std::vector<TxnId> SgtPolicy::Blockers(TxnId txn, const TxnScript& script,
                                        size_t step) const {
+  if (step >= script.steps.size()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
   // A vetoed access waits on the still-running sources of its cycle-closing
   // edges (a committed source can never unblock it — that case escalates to
-  // kAbortRestart via the veto threshold instead).
+  // kAbortSelf via the veto threshold instead).
   std::vector<TxnId> blockers;
   for (TxnId from : VetoingPredecessors(txn, script, step)) {
     if (!committed_[from]) blockers.push_back(from);

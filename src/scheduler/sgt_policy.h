@@ -11,15 +11,26 @@
 // A vetoed transaction waits only while some vetoing edge has a still-
 // running source (its abort would retract that edge directly); once every
 // vetoing edge comes from a committed predecessor the policy answers
-// kAbortRestart at once — those edges never retract, and although an
+// kAbortSelf at once — those edges never retract, and although an
 // *active* transaction elsewhere on the cycle path could in principle
 // break the cycle by aborting, the probe does not trace the path:
 // restarting is always safe, and the immediate escalation keeps the
-// policy independent of the simulator's stall patience. Recurring vetoes
+// policy independent of the driver's stall patience. Recurring vetoes
 // against active sources escalate the same way after
 // max_consecutive_vetoes straight vetoes (the livelock guard). The
-// simulator then rolls the transaction back (RemoveEdgesOf /
+// driver then rolls the transaction back (RemoveEdgesOf /
 // ConflictAccessIndex::Erase retract its footprint) and restarts it.
+//
+// Concurrency: one policy mutex latches the graph, the access index and
+// the per-txn bookkeeping — every request, retraction and Blockers query
+// runs under it, which also makes the trace linearization sound (the
+// sequence number is drawn in the same critical section that admitted the
+// access). With gc_committed on, the old commit-time fixpoint scan over
+// all transactions is replaced by an incremental worklist trim seeded by
+// exactly the events that can newly expose a committed source (the commit
+// itself; an abort's retraction stranding committed successors), so each
+// trim does work proportional to what it frees rather than to the
+// population.
 //
 // Every committed trace is therefore acyclic — CSR *by construction*
 // (Papadimitriou [13] via the paper's footnote-2 baseline) — even though
@@ -30,6 +41,7 @@
 #define NSE_SCHEDULER_SGT_POLICY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "analysis/conflict_graph.h"
@@ -38,7 +50,7 @@
 namespace nse {
 
 /// SGT policy over a fixed transaction population (ids 1..num_txns, the
-/// simulator's convention).
+/// drivers' convention).
 class SgtPolicy : public SchedulerPolicy {
  public:
   struct Options {
@@ -47,8 +59,8 @@ class SgtPolicy : public SchedulerPolicy {
     uint64_t max_consecutive_vetoes = 4;
     /// Classical SGT committed-node garbage collection: after every commit
     /// (and abort), committed transactions with no predecessors left in the
-    /// live graph are trimmed — their edges and access-index footprint
-    /// removed. A committed node can never gain a new in-edge (it issues no
+    /// live graph are trimmed (incrementally, via a worklist seeded by the
+    /// event) — their edges and access-index footprint removed. A committed node can never gain a new in-edge (it issues no
     /// further accesses), so a committed *source* can never sit on a future
     /// cycle: trimming it, its out-edges and its item histories changes no
     /// veto decision, while keeping the live footprint bounded by the
@@ -81,18 +93,15 @@ class SgtPolicy : public SchedulerPolicy {
 
   std::string name() const override { return "sgt"; }
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
-  void OnComplete(TxnId txn) override;
-  void OnAbort(TxnId txn) override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
   /// Accesses vetoed because they would have closed a conflict cycle.
   uint64_t veto_events() const override { return vetoes_; }
 
-  /// Vetoed transactions that escalated to kAbortRestart.
+  /// Vetoed transactions that escalated to kAbortSelf.
   uint64_t restarts_requested() const { return restarts_requested_; }
 
   /// Committed transactions trimmed by the GC (0 unless gc_committed).
@@ -112,9 +121,12 @@ class SgtPolicy : public SchedulerPolicy {
   const ConflictGraph& graph() const { return graph_; }
 
  protected:
+  void DoCommit(TxnId txn) override;
+  void DoAbort(TxnId txn) override;
+
   /// The conflict predecessors whose edges veto txn's access to `step`
   /// right now (empty when the access is admissible). Blockers-only path
-  /// and the victim-choice subclass's veto enumeration.
+  /// and the victim-choice subclass's veto enumeration. Requires mu_.
   std::vector<TxnId> VetoingPredecessors(TxnId txn, const TxnScript& script,
                                          size_t step) const;
 
@@ -124,7 +136,7 @@ class SgtPolicy : public SchedulerPolicy {
   };
 
   /// Decides the access in one pass over the item history, short-circuiting
-  /// once both answers are known (the OnAccess hot path). `active_blocker`
+  /// once both answers are known (the request hot path). `active_blocker`
   /// is set when some vetoing edge's *source* is still running — a wait
   /// that source's abort would directly resolve. It inspects only the
   /// closing edges, not the full cycle path (see the file comment).
@@ -133,12 +145,21 @@ class SgtPolicy : public SchedulerPolicy {
 
   /// Materializes an admitted access: inserts its conflict edges, records
   /// it in the item history, bumps the txn's work counter. The access must
-  /// have been cleared (no vetoing predecessor).
+  /// have been cleared (no vetoing predecessor). Requires mu_.
   void AdmitAccess(TxnId txn, const TxnScript& script, size_t step);
 
-  /// Trims committed source nodes to a fixpoint (no-op unless GC is on).
-  void CollectCommitted();
+  /// Incremental committed-node trim (no-op unless GC is on): processes
+  /// `seeds` — transactions that may have just become predecessor-free
+  /// committed sources — trimming each eligible one and pushing its
+  /// committed successors, which the trim may in turn have freed. Reaches
+  /// the same fixpoint as a full scan because only a trim or an abort's
+  /// retraction ever removes predecessors, and both seed the transactions
+  /// they affected. Requires mu_.
+  void TrimCommitted(std::vector<TxnId> seeds);
 
+  /// Latches graph_, index_ and all per-txn bookkeeping. The victim-choice
+  /// subclass's RequestAccess runs under the same latch.
+  mutable std::mutex mu_;
   Options options_;
   ConflictGraph graph_;         // incremental mode, nodes 1..num_txns
   ConflictAccessIndex index_;   // per-item histories, keyed by raw txn id

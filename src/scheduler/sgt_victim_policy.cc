@@ -12,16 +12,20 @@ SgtVictimPolicy::SgtVictimPolicy(size_t num_txns)
 SgtVictimPolicy::SgtVictimPolicy(size_t num_txns, Options options)
     : SgtPolicy(num_txns, options) {}
 
-SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
-                                            size_t step) {
+Result<AccessGrant> SgtVictimPolicy::RequestAccess(TxnId txn,
+                                                   const TxnScript& script,
+                                                   size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  WaitTicket ticket = MakeTicket();
+  std::lock_guard<std::mutex> lock(mu_);
   // Hot path is the baseline's short-circuiting probe: admissions and
   // below-threshold waits (the overwhelming majority of calls, re-probed
-  // every blocked tick) never enumerate the vetoing edges.
+  // every blocked round) never enumerate the vetoing edges.
   VetoProbe probe = ProbeAccess(txn, script, step);
   if (!probe.vetoed) {
     consecutive_vetoes_[txn] = 0;
     AdmitAccess(txn, script, step);
-    return SchedulerDecision::kProceed;
+    return Granted();
   }
   ++vetoes_;
   // Escalation timing is the baseline's, unchanged: wait while some
@@ -32,7 +36,7 @@ SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
   // cheapest active participant.
   if (probe.active_blocker &&
       ++consecutive_vetoes_[txn] < options_.max_consecutive_vetoes) {
-    return SchedulerDecision::kWait;
+    return WaitOn(ticket);
   }
   consecutive_vetoes_[txn] = 0;
   // Escalation (cold): enumerate the vetoing edges and pick the victim
@@ -77,24 +81,20 @@ SchedulerDecision SgtVictimPolicy::OnAccess(TxnId txn, const TxnScript& script,
     // goes to the baseline verdict): restart it, exactly like the
     // baseline escalation.
     ++restarts_requested_;
-    return SchedulerDecision::kAbortRestart;
+    return AbortSelf();
   }
-  // Condemn the strictly cheaper participant: the simulator rolls it back
-  // right after this call returns (its OnAbort retracts the vetoing
-  // edges), and the requester retries next round against a graph the
-  // retraction has already uncycled. Under the sunk-cost rule every wound
-  // sacrifices strictly less recorded work than the baseline's
-  // requester-restart would have at this same decision point — the
-  // per-decision contract wound_savings() accounts for; under the
-  // predictive rule the same accumulator records the score margin.
+  // Condemn the strictly cheaper participant: the driver rolls it back
+  // right after this call returns (its Abort retracts the vetoing
+  // edges), and the requester retries against a graph the retraction has
+  // already uncycled. Under the sunk-cost rule every wound sacrifices
+  // strictly less recorded work than the baseline's requester-restart
+  // would have at this same decision point — the per-decision contract
+  // wound_savings() accounts for; under the predictive rule the same
+  // accumulator records the score margin.
   ++wounds_requested_;
   wound_savings_ += cost_of(txn) - cost_of(victim);
-  pending_wounds_.push_back(victim);
-  return SchedulerDecision::kWait;
-}
-
-std::vector<TxnId> SgtVictimPolicy::DrainWounds() {
-  return std::exchange(pending_wounds_, {});
+  Condemn(victim);
+  return WaitOn(ticket);
 }
 
 }  // namespace nse

@@ -12,10 +12,10 @@
 // cheapest active participant — fewest operations recorded since its last
 // (re)start, i.e. least work lost; ties broken by smallest txn id for
 // determinism. When that victim is the requester itself the policy
-// answers kAbortRestart exactly as before; otherwise it wounds the victim
-// (the simulator drains DrainWounds and rolls it back through the shared
-// restart path) and the requester retries next round against a graph the
-// retraction has already uncycled.
+// answers kAbortSelf exactly as before; otherwise it wounds the victim
+// (the driver drains DrainCondemned and rolls it back through the shared
+// restart path) and the requester waits for the retraction — which has
+// already uncycled the graph — before retrying.
 //
 // A wound happens only when the victim is *strictly* cheaper than the
 // requester (ties go to the baseline verdict), so every single wound
@@ -57,9 +57,8 @@ class SgtVictimPolicy : public SgtPolicy {
 
   std::string name() const override { return "sgt-victim"; }
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  std::vector<TxnId> DrainWounds() override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
 
   /// Cycle participants condemned instead of the requester.
   uint64_t wounds_requested() const { return wounds_requested_; }
@@ -74,7 +73,6 @@ class SgtVictimPolicy : public SgtPolicy {
   uint64_t wound_savings() const { return wound_savings_; }
 
  private:
-  std::vector<TxnId> pending_wounds_;
   uint64_t wounds_requested_ = 0;
   uint64_t wound_savings_ = 0;
 };

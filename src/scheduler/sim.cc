@@ -31,39 +31,12 @@ struct TxnRuntime {
   size_t spike_paid_pc = SIZE_MAX;  // last step latency-checked this life
 };
 
-/// The restart delay for a transaction entering its n-th restart
-/// (n = restart count, >= 1). Pure function of (policy, txn, n) so replays
-/// are bit-identical. The cap applies to the shape; jitter rides on top.
-uint64_t BackoffDelay(const RestartPolicy& rp, TxnId txn, uint64_t n) {
-  uint64_t delay = 0;
-  switch (rp.backoff) {
-    case RestartPolicy::Backoff::kImmediate:
-      delay = 0;
-      break;
-    case RestartPolicy::Backoff::kFixed:
-      delay = std::min(rp.base, rp.cap);
-      break;
-    case RestartPolicy::Backoff::kLinear:
-      delay = std::min(rp.base + rp.step * n, rp.cap);
-      break;
-    case RestartPolicy::Backoff::kExponential: {
-      delay = rp.base;
-      for (uint64_t i = 1; i < n && delay < rp.cap; ++i) delay <<= 1;
-      delay = std::min(delay, rp.cap);
-      break;
-    }
-  }
-  if (rp.jitter > 0) {
-    delay += Rng(rp.jitter_seed).Split(txn).Split(n).NextBelow(rp.jitter + 1);
-  }
-  return delay;
-}
-
 }  // namespace
 
 Result<SimResult> RunSimulation(SchedulerPolicy& policy,
                                 const std::vector<TxnScript>& scripts,
-                                const SimConfig& config) {
+                                const EngineConfig& config) {
+  NSE_RETURN_IF_ERROR(config.Validate());
   const size_t n = scripts.size();
   const RestartPolicy& rp = config.restart;
   const FaultPlan* faults =
@@ -109,6 +82,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
 
   uint64_t tick = 0;
   uint64_t stalled_ticks = 0;  // consecutive blocked-but-no-victim ticks
+  Status failure = Status::Ok();  // malformed-request error from a policy
   bool progress = false;
   bool pending_arrival = false;   // not yet arrived, or in backoff/spike
   bool pending_backoff = false;   // in deliberate backoff or latency spike
@@ -118,7 +92,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
   // ops. Shared by restart (abort) and terminal crash; second calls for the
   // same txn are harmless — the policies' OnAbort paths are idempotent.
   auto release_txn = [&](TxnId victim) {
-    policy.OnAbort(victim);
+    policy.Abort(victim);
     waits.OnResolved(victim);
     trace.erase(std::remove_if(trace.begin(), trace.end(),
                                [victim](const Operation& op) {
@@ -191,7 +165,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       }
       return;
     }
-    uint64_t delay = BackoffDelay(rp, victim, vrt.abort_count);
+    uint64_t delay = RestartBackoffDelay(rp, victim, vrt.abort_count);
     result.backoff_ticks += delay;
     vrt.resume_tick = tick + std::max<uint64_t>(delay, 1);
   };
@@ -226,7 +200,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       return;
     }
     if (script.steps.empty()) {
-      policy.OnComplete(txn);
+      policy.Commit(txn);
       waits.OnResolved(txn);
       rt.done = true;
       rt.completion_tick = tick;
@@ -263,29 +237,34 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
         }
       }
     }
-    SchedulerDecision decision = policy.OnAccess(txn, script, rt.pc);
+    Result<AccessGrant> grant = policy.RequestAccess(txn, script, rt.pc);
+    if (!grant.ok()) {
+      // Malformed request — a driver bug, not a scheduling outcome.
+      failure = grant.status();
+      return;
+    }
     // Wound path: the policy may have condemned *other* transactions
     // while deciding this access (wound-wait, SGT victim choice). Roll
     // them back through the shared restart path before acting on the
     // requester's own verdict — a wound releases the victim's footprint
     // (locks, graph edges), which is exactly what unblocks the requester
     // on its next attempt.
-    for (TxnId victim : policy.DrainWounds()) {
+    for (TxnId victim : policy.DrainCondemned()) {
       NSE_CHECK_MSG(victim != txn,
                     "policy wounded the requester; it must return "
-                    "kAbortRestart instead");
+                    "kAbortSelf instead");
       NSE_CHECK_MSG(victim >= 1 && victim <= n && !runtime[victim - 1].done,
                     "policy wounded an inactive transaction");
       restart_txn(victim);
       ++result.wounds;
       progress = true;  // state changed; this is not a stall tick
     }
-    if (decision == SchedulerDecision::kWait) {
+    if (grant->verdict == AccessVerdict::kWait) {
       rt.blocked = true;
       ++rt.wait_ticks;
       return;
     }
-    if (decision == SchedulerDecision::kAbortRestart) {
+    if (grant->verdict == AccessVerdict::kAbortSelf) {
       // The policy declared waiting hopeless (e.g. an SGT veto against
       // committed edges): roll the transaction back and restart it.
       restart_txn(txn);
@@ -294,26 +273,27 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       return;
     }
     rt.blocked = false;
-    if (decision == SchedulerDecision::kSkip) {
+    if (grant->verdict == AccessVerdict::kSkip) {
       // Thomas write rule: the step is subsumed by a newer write that
-      // already executed. The txn advances past it, nothing is traced
-      // and AfterAccess does not run — the operation never happened.
+      // already executed. The txn advances past it and nothing is traced —
+      // the operation never happened.
       ++result.skipped_ops;
     } else {
       const AccessStep& step = script.steps[rt.pc];
       // Structural trace values: reads 0, writes the current tick
       // (distinct values keep traces readable; checkers ignore them).
+      // Any release work for non-strict policies already ran inside
+      // RequestAccess (the old AfterAccess hook is fused into the grant).
       trace.push_back(step.action == OpAction::kRead
                           ? Operation::Read(txn, step.item, Value(0))
                           : Operation::Write(
                                 txn, step.item,
                                 Value(static_cast<int64_t>(tick))));
-      policy.AfterAccess(txn, script, rt.pc);
     }
     ++rt.pc;
     progress = true;
     if (rt.pc == script.steps.size()) {
-      policy.OnComplete(txn);
+      policy.Commit(txn);
       waits.OnResolved(txn);
       rt.done = true;
       rt.completion_tick = tick;
@@ -364,6 +344,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       }
       attempt(i);
     }
+    if (!failure.ok()) return failure;
 
     if (progress) {
       stalled_ticks = 0;

@@ -12,7 +12,7 @@
 //
 // Adversity is first-class: an optional FaultPlan (fault_injection.h)
 // injects spontaneous client aborts, terminal crash-at-op, latency spikes
-// and arrival perturbation — all delivered through the same OnAbort /
+// and arrival perturbation — all delivered through the same Abort /
 // restart machinery real aborts use — and a RestartPolicy governs how
 // victims re-enter: backoff shape (immediate / fixed / linear /
 // capped-exponential, with deterministic jitter), a starvation watchdog
@@ -27,83 +27,21 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/engine_config.h"
 #include "scheduler/scheduler.h"
 #include "txn/schedule.h"
 
 namespace nse {
-
-class FaultPlan;
-
-/// Governs how aborted transactions re-enter the system and how many
-/// transactions may be live at once. The defaults reproduce the historical
-/// behavior bit-for-bit: linear backoff min(2 + 4*n, 128), no jitter, no
-/// watchdog, no admission gate.
-struct RestartPolicy {
-  /// Backoff shape as a function of the transaction's restart count n
-  /// (n >= 1 at the first computation), before jitter and capping.
-  enum class Backoff {
-    kImmediate,    ///< re-enter next tick
-    kFixed,        ///< base ticks, every time
-    kLinear,       ///< base + step * n   (legacy default)
-    kExponential,  ///< base << (n - 1), capped — the thundering-herd shape
-  };
-  Backoff backoff = Backoff::kLinear;
-  uint64_t base = 2;    ///< first-restart delay (ticks)
-  uint64_t step = 4;    ///< linear slope (kLinear only)
-  uint64_t cap = 128;   ///< upper bound on the computed delay
-  /// Deterministic jitter: a pure-function draw from [0, jitter] (keyed on
-  /// jitter_seed, txn, restart count) added to the delay, de-synchronizing
-  /// victims of the same conflict without breaking reproducibility.
-  uint64_t jitter = 0;
-  uint64_t jitter_seed = 1;
-  /// Starvation watchdog: once a transaction's restart count exceeds this,
-  /// it is *boosted* rather than left to lose every future race.
-  /// Escalations are strictly serialized: the lowest-id boosted unfinished
-  /// transaction holds the privilege — zero backoff and scanned ahead of
-  /// everyone else each tick — while any other boosted transaction is
-  /// *parked* (idle, holding no footprint) until the privileged one
-  /// finishes. Giving several chronic restarters free restarts at once
-  /// would just trade livelock-by-backoff for livelock-by-collision (two
-  /// free restarters can re-abort each other forever). 0 disables.
-  uint64_t max_restarts_before_boost = 0;
-  /// Admission gate: max transactions live (admitted, not yet done) at
-  /// once. 0 = unlimited. Arrivals beyond the gate are queued (admitted in
-  /// (arrival, id) order as slots free) or shed (dropped, counted, never
-  /// run) per `overflow`.
-  size_t max_live_txns = 0;
-  enum class Overflow { kQueue, kShed };
-  Overflow overflow = Overflow::kQueue;
-};
-
-/// Simulation limits and switches.
-struct SimConfig {
-  uint64_t max_ticks = 1'000'000;  ///< hard stop (error if exceeded)
-  /// Consecutive fully-stalled ticks (blocked transactions, no waits-for
-  /// cycle) tolerated before the run is declared wedged. Optimistic
-  /// policies resolve such stalls themselves — an SGT veto escalates to
-  /// kAbortRestart after its veto threshold — so the simulator must not
-  /// error on the first cycle-free stall; a genuinely stuck policy still
-  /// fails, just `stall_patience` ticks later. Ticks on which any
-  /// transaction sits in deliberate restart backoff (or a latency spike)
-  /// are *pauses, not stalls*: they reset the streak instead of counting
-  /// toward it, so a long exponential backoff is never misdiagnosed as a
-  /// wedged policy — once nothing is backing off, a genuine wedge still
-  /// accumulates its consecutive ticks and fails.
-  uint64_t stall_patience = 64;
-  /// Restart governance: backoff, starvation watchdog, admission gate.
-  RestartPolicy restart;
-  /// Optional fault injection (not owned; nullptr = no faults).
-  const FaultPlan* faults = nullptr;
-};
 
 /// Aggregate outcome of one simulation run.
 struct SimResult {
   uint64_t makespan = 0;           ///< tick after the last completion
   uint64_t completed = 0;          ///< transactions committed
   uint64_t aborts = 0;             ///< deadlock victims (each restarts)
-  uint64_t restarts = 0;           ///< policy-requested kAbortRestart events
+  uint64_t restarts = 0;           ///< policy-requested kAbortSelf events
   uint64_t wounds = 0;             ///< policy-aborted *other* transactions
-                                   ///< (DrainWounds victims; each restarts)
+                                   ///< (DrainCondemned victims; each
+                                   ///< restarts)
   uint64_t vetoes = 0;             ///< policy veto_events() (SGT cycle vetoes)
   uint64_t skipped_ops = 0;        ///< kSkip verdicts (Thomas-rule writes
                                    ///< elided from the committed trace)
@@ -122,14 +60,17 @@ struct SimResult {
 };
 
 /// Runs `scripts` under `policy`. Transaction ids are 1-based script
-/// indices. Fails if the run exceeds `config.max_ticks` or stalls without a
-/// detectable deadlock (a policy bug). With faults injected, crashed and
-/// shed transactions never commit — everything else must (the chaos
-/// harness's forward-progress contract); their operations never appear in
-/// the committed trace.
+/// indices. Fails on an invalid `config` (EngineConfig::Validate), if the
+/// run exceeds `config.max_ticks`, or if it stalls without a detectable
+/// deadlock (a policy bug). Engine-only knobs (threads, wait timeouts,
+/// latency) are ignored — the simulator is the deterministic single-
+/// threaded adapter of the same policy contract the engine drives for
+/// real. With faults injected, crashed and shed transactions never
+/// commit — everything else must (the chaos harness's forward-progress
+/// contract); their operations never appear in the committed trace.
 Result<SimResult> RunSimulation(SchedulerPolicy& policy,
                                 const std::vector<TxnScript>& scripts,
-                                const SimConfig& config = SimConfig());
+                                const EngineConfig& config = EngineConfig());
 
 }  // namespace nse
 

@@ -36,9 +36,10 @@ void TimestampOrderingPolicy::RecordStamp(std::vector<Stamp>& stamps,
   stamps.push_back({txn, ts});
 }
 
-SchedulerDecision TimestampOrderingPolicy::OnAccess(TxnId txn,
-                                                    const TxnScript& script,
-                                                    size_t step) {
+Result<AccessGrant> TimestampOrderingPolicy::RequestAccess(
+    TxnId txn, const TxnScript& script, size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t ts = EnsureTimestamp(txn);
   const AccessStep& access = script.steps[step];
   if (access.item >= items_.size()) items_.resize(access.item + 1);
@@ -50,17 +51,17 @@ SchedulerDecision TimestampOrderingPolicy::OnAccess(TxnId txn,
       // The item was already written by a younger transaction: this read
       // arrived too late for timestamp order. Restart with a fresh stamp.
       ++rejections_;
-      return SchedulerDecision::kAbortRestart;
+      return AbortSelf();
     }
     RecordStamp(item.readers, txn, ts);
     touched_[txn].push_back(access.item);
-    return SchedulerDecision::kProceed;
+    return Granted();
   }
   if (std::max(item.committed_rts, MaxOtherTs(item.readers, txn)) > ts) {
     // A younger transaction already read the item; writing now would hand
     // it a value from its past. Always fatal — Thomas cannot help.
     ++rejections_;
-    return SchedulerDecision::kAbortRestart;
+    return AbortSelf();
   }
   if (std::max(item.committed_wts, MaxOtherTs(item.writers, txn)) > ts) {
     if (options_.thomas_write_rule) {
@@ -68,19 +69,18 @@ SchedulerDecision TimestampOrderingPolicy::OnAccess(TxnId txn,
       // overwritten by the newer write that already happened. Elide it —
       // nothing is recorded here or in the trace.
       ++skipped_writes_;
-      return SchedulerDecision::kSkip;
+      return Skip();
     }
     ++rejections_;
-    return SchedulerDecision::kAbortRestart;
+    return AbortSelf();
   }
   RecordStamp(item.writers, txn, ts);
   touched_[txn].push_back(access.item);
-  return SchedulerDecision::kProceed;
+  return Granted();
 }
 
-void TimestampOrderingPolicy::AfterAccess(TxnId, const TxnScript&, size_t) {}
-
-void TimestampOrderingPolicy::OnComplete(TxnId txn) {
+void TimestampOrderingPolicy::DoCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Committed stamps can never retract, so only their per-item maxima
   // matter for future checks: fold them into the committed scalars and
   // drop the per-entry bookkeeping — later-starting but older-stamped
@@ -106,9 +106,10 @@ void TimestampOrderingPolicy::OnComplete(TxnId txn) {
   touched_[txn].shrink_to_fit();
 }
 
-void TimestampOrderingPolicy::OnAbort(TxnId txn) {
+void TimestampOrderingPolicy::DoAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   // The incarnation's footprint vanishes (its trace ops are removed by the
-  // simulator's restart path); the restart draws a fresh, larger stamp, so
+  // driver's restart path); the restart draws a fresh, larger stamp, so
   // the transaction eventually outranks whatever kept rejecting it. Only
   // the items this incarnation actually stamped are touched.
   auto drop = [txn](const Stamp& s) { return s.txn == txn; };
@@ -132,6 +133,7 @@ std::vector<TxnId> TimestampOrderingPolicy::Blockers(TxnId, const TxnScript&,
 }
 
 std::optional<uint64_t> TimestampOrderingPolicy::timestamp(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return txn < ts_.size() ? ts_[txn] : std::nullopt;
 }
 

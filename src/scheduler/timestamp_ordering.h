@@ -5,8 +5,13 @@
 // already written by a younger (larger-timestamp) transaction, or a write
 // of an item already read or written by a younger one — is rejected: the
 // requester aborts and restarts with a fresh (larger) timestamp via the
-// simulator's kAbortRestart path. The policy never waits, so it never
-// blocks, never deadlocks, and reports no Blockers.
+// driver's kAbortSelf path. The policy never waits, so it never blocks,
+// never deadlocks, and reports no Blockers.
+//
+// Concurrency: one policy mutex serializes requests and retraction, which
+// is also what makes the trace linearization sound — the trace sequence
+// number is drawn inside the same critical section that admitted the
+// access, so seq order embeds timestamp-admission order.
 //
 // Every recorded conflict therefore points from a smaller final timestamp
 // to a larger one (aborted incarnations vanish from the trace along with
@@ -20,7 +25,7 @@
 // newest write but not older than any read (ts >= rts(x), ts < wts(x)) is
 // obsolete — in timestamp order it would be overwritten immediately by the
 // newer write that already happened — so instead of aborting, the policy
-// answers SchedulerDecision::kSkip and the write is elided from the
+// answers AccessVerdict::kSkip and the write is elided from the
 // committed trace entirely. Eliding (rather than tracing) the write is
 // what keeps the CSR-by-construction argument intact: the trace only ever
 // contains operations that passed their timestamp test.
@@ -29,12 +34,13 @@
 // depends only on actions, items and order): reads may observe active
 // writers, and recoverability/cascading-abort concerns are out of scope —
 // an aborted writer's operations are removed from the trace by the
-// simulator's shared restart path before the trace is ever classified.
+// driver's shared restart path before the trace is ever classified.
 
 #ifndef NSE_SCHEDULER_TIMESTAMP_ORDERING_H_
 #define NSE_SCHEDULER_TIMESTAMP_ORDERING_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -58,11 +64,8 @@ class TimestampOrderingPolicy : public SchedulerPolicy {
     return options_.thomas_write_rule ? "to+thomas" : "to";
   }
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
-  void OnComplete(TxnId txn) override;
-  void OnAbort(TxnId txn) override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
@@ -73,7 +76,7 @@ class TimestampOrderingPolicy : public SchedulerPolicy {
   std::optional<uint64_t> timestamp(TxnId txn) const;
 
   /// Accesses rejected for arriving out of timestamp order (each one
-  /// became a kAbortRestart).
+  /// became a kAbortSelf).
   uint64_t rejections() const { return rejections_; }
 
   /// Writes elided by the Thomas write rule (kSkip verdicts).
@@ -84,12 +87,17 @@ class TimestampOrderingPolicy : public SchedulerPolicy {
   /// residual-state check; committed stamps fold into scalar maxima and
   /// are expected to persist).
   size_t active_stamp_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t total = 0;
     for (const ItemState& item : items_) {
       total += item.readers.size() + item.writers.size();
     }
     return total;
   }
+
+ protected:
+  void DoCommit(TxnId txn) override;
+  void DoAbort(TxnId txn) override;
 
  private:
   /// One recorded access: the incarnation's timestamp, keyed by txn.
@@ -119,6 +127,7 @@ class TimestampOrderingPolicy : public SchedulerPolicy {
   static void RecordStamp(std::vector<Stamp>& stamps, TxnId txn, uint64_t ts);
 
   Options options_;
+  mutable std::mutex mu_;
   uint64_t clock_ = 0;                       // last timestamp handed out
   std::vector<std::optional<uint64_t>> ts_;  // by txn id
   std::vector<ItemState> items_;             // by item id, grown on demand

@@ -8,24 +8,26 @@ LockMode ModeFor(OpAction action) {
 }
 }  // namespace
 
-SchedulerDecision StrictTwoPhaseLocking::OnAccess(TxnId txn,
-                                                  const TxnScript& script,
-                                                  size_t step) {
+Result<AccessGrant> StrictTwoPhaseLocking::RequestAccess(
+    TxnId txn, const TxnScript& script, size_t step) {
+  NSE_RETURN_IF_ERROR(CheckStep(script, step));
+  // Epoch before the attempt: a release between the failed TryAcquire and
+  // the caller's sleep bumps past this snapshot and wakes it immediately.
+  WaitTicket ticket = MakeTicket();
   const AccessStep& access = script.steps[step];
-  return locks_.TryAcquire(txn, access.item, ModeFor(access.action))
-             ? SchedulerDecision::kProceed
-             : SchedulerDecision::kWait;
+  if (locks_.TryAcquire(txn, access.item, ModeFor(access.action))) {
+    // Seq under the granted lock: conflicting operations on this item
+    // serialize through the lock, and our release happens strictly later,
+    // so seq order embeds the conflict order.
+    return Granted();
+  }
+  return WaitOn(ticket);
 }
-
-void StrictTwoPhaseLocking::AfterAccess(TxnId, const TxnScript&, size_t) {}
-
-void StrictTwoPhaseLocking::OnComplete(TxnId txn) { locks_.ReleaseAll(txn); }
-
-void StrictTwoPhaseLocking::OnAbort(TxnId txn) { locks_.ReleaseAll(txn); }
 
 std::vector<TxnId> StrictTwoPhaseLocking::Blockers(TxnId txn,
                                                    const TxnScript& script,
                                                    size_t step) const {
+  if (step >= script.steps.size()) return {};
   const AccessStep& access = script.steps[step];
   return locks_.Blockers(txn, access.item, ModeFor(access.action));
 }

@@ -2,6 +2,10 @@
 // are held until transaction completion, so every produced schedule is CSR
 // (and strict, hence ACA and DR). This is the protocol whose long-duration
 // waits motivate the paper (§1).
+//
+// Thread-safety comes entirely from the striped LockManager: the policy
+// itself holds no mutable state of its own, so concurrent requesters on
+// disjoint items proceed without any shared latch.
 
 #ifndef NSE_SCHEDULER_TWO_PHASE_LOCKING_H_
 #define NSE_SCHEDULER_TWO_PHASE_LOCKING_H_
@@ -16,17 +20,18 @@ class StrictTwoPhaseLocking : public SchedulerPolicy {
  public:
   std::string name() const override { return "strict-2pl"; }
 
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                             size_t step) override;
-  void AfterAccess(TxnId txn, const TxnScript& script, size_t step) override;
-  void OnComplete(TxnId txn) override;
-  void OnAbort(TxnId txn) override;
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
                               size_t step) const override;
 
   /// Outstanding lock grants — 0 at quiescence, or the policy leaked
   /// (the chaos harness's residual-state check).
   size_t held_locks() const { return locks_.num_locks(); }
+
+ protected:
+  void DoCommit(TxnId txn) override { locks_.ReleaseAll(txn); }
+  void DoAbort(TxnId txn) override { locks_.ReleaseAll(txn); }
 
  private:
   LockManager locks_;

@@ -183,7 +183,7 @@ template <typename MakePolicy,
 SimResult RunChaos(const Workload& workload, const ChaosSetup& setup,
                    MakePolicy make, std::unique_ptr<Policy>* policy_out) {
   FaultPlan plan(setup.faults);
-  SimConfig config;
+  EngineConfig config;
   config.restart = setup.restart;
   config.faults = &plan;
 

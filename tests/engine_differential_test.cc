@@ -1,0 +1,456 @@
+// Engine differential harness: the multithreaded counterpart of the chaos
+// and policy differential sweeps. For K seeds, a randomized workload is
+// run under every scheduler policy × worker-thread counts {1, 2, 4, 8},
+// and three contracts are pinned on every run:
+//
+//   1. class safety — the trace the engine linearized by policy trace_seq
+//      still verifies against the policy's promised class via the
+//      independent CheckerRegistry checkers (CSR / strict / PWSR / DR),
+//      races, wounds and deadlock victims notwithstanding;
+//   2. forward progress — every transaction commits (the engine has no
+//      crash/shed notions): completed == n, and the trace holds committed
+//      transactions' operations only;
+//   3. no residual state — at quiescence the policy leaked nothing: zero
+//      held locks, zero active stamp entries, zero dirty-writer marks,
+//      and the SGT live graph equals the committed trace's conflict graph
+//      (or drained to empty with the incremental GC on).
+//
+// Event counters (wounds, deadlock aborts, wait events) are inherently
+// nondeterministic under real threads, so unlike the tick-simulator
+// sweeps nothing here pins their exact values — the simulator remains the
+// bit-for-bit oracle; this harness is the one that exercises the same
+// policy code under genuine concurrency (the TSan CI job runs it
+// unfiltered).
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis_context.h"
+#include "analysis/checker.h"
+#include "analysis/conflict_graph.h"
+#include "analysis/serializability.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/sharded_store.h"
+#include "fuzz_env.h"
+#include "scheduler/dr_scheduler.h"
+#include "scheduler/fault_injection.h"
+#include "scheduler/priority_locking.h"
+#include "scheduler/pw_two_phase_locking.h"
+#include "scheduler/sgt_policy.h"
+#include "scheduler/sgt_victim_policy.h"
+#include "scheduler/timestamp_ordering.h"
+#include "scheduler/two_phase_locking.h"
+#include "scheduler/workload.h"
+
+namespace nse {
+namespace {
+
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+std::vector<uint64_t> FuzzSeeds() {
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= FuzzSeedCount(3); ++s) seeds.push_back(s);
+  return seeds;
+}
+
+/// Same workload family as the other differential harnesses. Arrival
+/// ticks are a simulator notion the engine ignores; the draw keeps them
+/// zero-spread so the two drivers see the same scripts.
+Workload DrawWorkload(uint64_t seed) {
+  Rng knobs = Rng(seed).Split(0);
+  PartitionedWorkloadConfig config;
+  config.num_partitions = 2 + knobs.NextBelow(4);       // 2..5
+  config.items_per_partition = 1 + knobs.NextBelow(3);  // 1..3
+  config.num_txns = 4 + knobs.NextBelow(7);             // 4..10
+  config.partitions_per_txn = 1 + knobs.NextBelow(config.num_partitions);
+  config.cross_read_probability = knobs.NextDouble();
+  config.hotspot_probability = 0.3 * knobs.NextBelow(4);  // 0, .3, .6, .9
+  config.arrival_spread = 0;
+  config.seed = seed;
+  auto workload = MakePartitionedWorkload(config);
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  return std::move(workload).value();
+}
+
+EngineConfig FastEngineConfig(size_t threads) {
+  EngineConfig config;
+  config.threads = threads;
+  config.wait_timeout_micros = 100;  // brisk deadlock-detector cadence
+  config.backoff_unit_micros = 5;    // tiny workloads: short real sleeps
+  return config;
+}
+
+/// Runs `checker_name` against the committed schedule and asserts it is
+/// satisfied.
+void ExpectClass(const Workload& workload, const Schedule& schedule,
+                 std::string_view checker_name, std::string_view policy,
+                 size_t threads) {
+  AnalysisContext ctx(*workload.ic, schedule);
+  auto result = CheckerRegistry::BuiltIn().Run(checker_name, ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->verdict, Verdict::kSatisfied)
+      << policy << " at " << threads << " threads broke its "
+      << checker_name << " promise: " << result->ToString()
+      << "\nschedule:\n"
+      << schedule.ToString(workload.db);
+}
+
+/// Forward-progress ledger plus trace hygiene: everything committed and
+/// the trace mentions committed transactions only.
+void ExpectForwardProgress(const EngineResult& result, size_t num_txns,
+                           size_t threads) {
+  EXPECT_EQ(result.completed, num_txns)
+      << "a transaction never committed at " << threads << " threads";
+  std::set<TxnId> in_trace;
+  for (const Operation& op : result.schedule.ops()) in_trace.insert(op.txn);
+  EXPECT_LE(in_trace.size(), result.completed)
+      << "trace holds operations of uncommitted transactions";
+  // The trace is seq-linearized: strictly increasing per-txn step order is
+  // implied by strictly increasing seqs, which Schedule preserves.
+  EXPECT_EQ(result.threads, threads);
+}
+
+/// Runs the workload under a fresh policy per thread count and applies the
+/// shared contracts; per-policy residual checks happen at the call sites.
+template <typename MakePolicy,
+          typename Policy =
+              std::decay_t<decltype(*std::declval<MakePolicy>()())>>
+void SweepThreads(
+    const Workload& workload, MakePolicy make,
+    const std::vector<std::string>& checkers,
+    const std::function<void(const Policy&, const EngineResult&)>& residual) {
+  for (size_t threads : kThreadCounts) {
+    auto policy = make();
+    auto result =
+        RunEngine(*policy, workload.scripts, FastEngineConfig(threads));
+    ASSERT_TRUE(result.ok())
+        << policy->name() << " at " << threads
+        << " threads: " << result.status();
+    ExpectForwardProgress(*result, workload.scripts.size(), threads);
+    for (const std::string& checker : checkers) {
+      ExpectClass(workload, result->schedule, checker, policy->name(),
+                  threads);
+    }
+    residual(*policy, *result);
+  }
+}
+
+class EngineDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDifferentialFuzz, Strict2plKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  SweepThreads<std::function<std::unique_ptr<StrictTwoPhaseLocking>()>,
+               StrictTwoPhaseLocking>(
+      workload, [] { return std::make_unique<StrictTwoPhaseLocking>(); },
+      {"csr", "delayed-read"},
+      [&](const StrictTwoPhaseLocking& policy, const EngineResult& result) {
+        AnalysisContext ctx(*workload.ic, result.schedule);
+        EXPECT_TRUE(ctx.strict());
+        EXPECT_EQ(policy.held_locks(), 0u);
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, WoundWaitKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  SweepThreads<std::function<std::unique_ptr<WoundWaitPolicy>()>,
+               WoundWaitPolicy>(
+      workload, [n] { return std::make_unique<WoundWaitPolicy>(n); },
+      {"csr"},
+      [&](const WoundWaitPolicy& policy, const EngineResult& result) {
+        AnalysisContext ctx(*workload.ic, result.schedule);
+        EXPECT_TRUE(ctx.strict());
+        EXPECT_EQ(policy.held_locks(), 0u);
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, WaitDieKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  SweepThreads<std::function<std::unique_ptr<WaitDiePolicy>()>,
+               WaitDiePolicy>(
+      workload, [n] { return std::make_unique<WaitDiePolicy>(n); }, {"csr"},
+      [&](const WaitDiePolicy& policy, const EngineResult& result) {
+        AnalysisContext ctx(*workload.ic, result.schedule);
+        EXPECT_TRUE(ctx.strict());
+        EXPECT_EQ(policy.held_locks(), 0u);
+        // Wait-die never wounds: its only condemnations are self-aborts.
+        EXPECT_EQ(result.wounds, 0u);
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, SgtKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  SweepThreads<std::function<std::unique_ptr<SgtPolicy>()>, SgtPolicy>(
+      workload, [n] { return std::make_unique<SgtPolicy>(n); }, {"csr"},
+      [&](const SgtPolicy& policy, const EngineResult& result) {
+        // Residual hygiene: the live graph at quiescence is exactly the
+        // committed trace's conflict graph (GC off), cycle-free.
+        EXPECT_FALSE(policy.graph().has_cycle());
+        EXPECT_EQ(policy.graph().Edges(),
+                  ConflictGraph::Build(result.schedule).Edges());
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, SgtWithGcDrainsGraphAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  SweepThreads<std::function<std::unique_ptr<SgtPolicy>()>, SgtPolicy>(
+      workload,
+      [n] {
+        SgtPolicy::Options options;
+        options.gc_committed = true;
+        return std::make_unique<SgtPolicy>(n, options);
+      },
+      {"csr"},
+      [&](const SgtPolicy& policy, const EngineResult& result) {
+        // With the incremental online trim, every committed node cascades
+        // out at quiescence: the live graph drains to empty.
+        EXPECT_TRUE(policy.graph().Edges().empty());
+        EXPECT_EQ(policy.gc_trimmed(), result.completed);
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, SgtVictimKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  SweepThreads<std::function<std::unique_ptr<SgtVictimPolicy>()>,
+               SgtVictimPolicy>(
+      workload, [n] { return std::make_unique<SgtVictimPolicy>(n); },
+      {"csr"},
+      [&](const SgtVictimPolicy& policy, const EngineResult&) {
+        EXPECT_FALSE(policy.graph().has_cycle());
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, ToKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (bool thomas : {false, true}) {
+    SweepThreads<std::function<std::unique_ptr<TimestampOrderingPolicy>()>,
+                 TimestampOrderingPolicy>(
+        workload,
+        [n, thomas] {
+          TimestampOrderingPolicy::Options options;
+          options.thomas_write_rule = thomas;
+          return std::make_unique<TimestampOrderingPolicy>(n, options);
+        },
+        {"csr"},
+        [&](const TimestampOrderingPolicy& policy, const EngineResult&) {
+          // TO never blocks; stamp hygiene at quiescence.
+          EXPECT_EQ(policy.active_stamp_entries(), 0u);
+        });
+  }
+}
+
+TEST_P(EngineDifferentialFuzz, Pw2plKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  SweepThreads<std::function<std::unique_ptr<PredicatewiseTwoPhaseLocking>()>,
+               PredicatewiseTwoPhaseLocking>(
+      workload,
+      [&workload] {
+        return std::make_unique<PredicatewiseTwoPhaseLocking>(&*workload.ic);
+      },
+      {"pwsr"},
+      [&](const PredicatewiseTwoPhaseLocking& policy, const EngineResult&) {
+        EXPECT_EQ(policy.held_locks(), 0u);
+      });
+}
+
+TEST_P(EngineDifferentialFuzz, DrSchedulerKeepsPromisesAcrossThreads) {
+  Workload workload = DrawWorkload(GetParam());
+  SweepThreads<std::function<std::unique_ptr<DelayedReadScheduler>()>,
+               DelayedReadScheduler>(
+      workload,
+      [&workload] {
+        return std::make_unique<DelayedReadScheduler>(&*workload.ic);
+      },
+      {"pwsr", "delayed-read"},
+      [&](const DelayedReadScheduler& policy, const EngineResult&) {
+        EXPECT_EQ(policy.held_locks(), 0u);
+        EXPECT_EQ(policy.dirty_writers(), 0u);
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialFuzz,
+                         ::testing::ValuesIn(FuzzSeeds()));
+
+// ---- engine unit coverage ---------------------------------------------------
+
+TxnScript Script(std::initializer_list<AccessStep> steps) {
+  TxnScript s;
+  s.steps = steps;
+  return s;
+}
+
+AccessStep R(ItemId item) { return AccessStep{OpAction::kRead, item}; }
+AccessStep W(ItemId item) { return AccessStep{OpAction::kWrite, item}; }
+
+TEST(EngineTest, SingleThreadCommitsEverythingInOrder) {
+  StrictTwoPhaseLocking policy;
+  auto result = RunEngine(
+      policy, {Script({W(0), W(1)}), Script({W(0), W(2)}), Script({R(3)})},
+      FastEngineConfig(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completed, 3u);
+  EXPECT_EQ(result->total_ops, 5u);
+  EXPECT_EQ(result->schedule.size(), 5u);
+  // One worker runs the scripts one after another: no waits, no aborts.
+  EXPECT_EQ(result->wait_events, 0u);
+  EXPECT_EQ(result->aborts, 0u);
+  EXPECT_EQ(result->wounds, 0u);
+  EXPECT_TRUE(result->throughput_tps > 0.0);
+  EXPECT_EQ(policy.held_locks(), 0u);
+}
+
+TEST(EngineTest, ResolvesARealDeadlockUnderTwoThreads) {
+  // The classic crossed pair under strict 2PL: with two workers the writes
+  // interleave into a waits-for cycle eventually; the timed-out waiter
+  // detects it and condemns the largest id, and both still commit.
+  for (int round = 0; round < 8; ++round) {
+    StrictTwoPhaseLocking policy;
+    auto result = RunEngine(
+        policy, {Script({W(0), W(1)}), Script({W(1), W(0)})},
+        FastEngineConfig(2));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->completed, 2u);
+    EXPECT_TRUE(IsConflictSerializable(result->schedule));
+    EXPECT_EQ(policy.held_locks(), 0u);
+  }
+}
+
+TEST(EngineTest, ExceedingWallDeadlineFails) {
+  StrictTwoPhaseLocking policy;
+  EngineConfig config = FastEngineConfig(1);
+  config.op_latency_micros = 5000;
+  config.max_wall_micros = 1000;  // one op overshoots the whole budget
+  auto result = RunEngine(policy, {Script({W(0), W(1)})}, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineTest, RejectsSimulatorOnlyKnobs) {
+  StrictTwoPhaseLocking policy;
+  std::vector<TxnScript> scripts = {Script({W(0)})};
+
+  FaultPlanConfig fc;
+  fc.client_abort_probability = 0.5;
+  FaultPlan plan(fc);
+  EngineConfig with_faults;
+  with_faults.faults = &plan;
+  EXPECT_EQ(RunEngine(policy, scripts, with_faults).status().code(),
+            StatusCode::kUnimplemented);
+
+  EngineConfig with_boost;
+  with_boost.restart.max_restarts_before_boost = 3;
+  EXPECT_EQ(RunEngine(policy, scripts, with_boost).status().code(),
+            StatusCode::kUnimplemented);
+
+  EngineConfig with_gate;
+  with_gate.restart.max_live_txns = 2;
+  EXPECT_EQ(RunEngine(policy, scripts, with_gate).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(EngineConfigTest, BuilderAcceptsConsistentKnobs) {
+  auto config = EngineConfig::Builder()
+                    .Threads(4)
+                    .OpLatencyMicros(50)
+                    .WaitTimeoutMicros(100)
+                    .Build();
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->threads, 4u);
+  EXPECT_EQ(config->op_latency_micros, 50u);
+}
+
+TEST(EngineConfigTest, BuilderRejectsInconsistentKnobs) {
+  EXPECT_EQ(EngineConfig::Builder().Threads(0).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EngineConfig::Builder().MaxTicks(0).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      EngineConfig::Builder().WaitTimeoutMicros(0).Build().status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      EngineConfig::Builder().MaxWallMicros(0).Build().status().code(),
+      StatusCode::kInvalidArgument);
+
+  RestartPolicy capped_below_base;
+  capped_below_base.base = 16;
+  capped_below_base.cap = 2;
+  EXPECT_EQ(EngineConfig::Builder()
+                .Restart(capped_below_base)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  RestartPolicy zero_exponential;
+  zero_exponential.backoff = RestartPolicy::Backoff::kExponential;
+  zero_exponential.base = 0;
+  zero_exponential.cap = 0;
+  EXPECT_EQ(EngineConfig::Builder()
+                .Restart(zero_exponential)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  RestartPolicy unseeded_jitter;
+  unseeded_jitter.jitter = 4;
+  unseeded_jitter.jitter_seed = 0;
+  EXPECT_EQ(EngineConfig::Builder()
+                .Restart(unseeded_jitter)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  RestartPolicy shed_without_gate;
+  shed_without_gate.overflow = RestartPolicy::Overflow::kShed;
+  shed_without_gate.max_live_txns = 0;
+  EXPECT_EQ(EngineConfig::Builder()
+                .Restart(shed_without_gate)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineConfigTest, DefaultConfigValidatesAndMatchesLegacyKnobs) {
+  EngineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.max_ticks, 1'000'000u);
+  EXPECT_EQ(config.stall_patience, 64u);
+  EXPECT_EQ(config.restart.base, 2u);
+  EXPECT_EQ(config.restart.step, 4u);
+  EXPECT_EQ(config.restart.cap, 128u);
+  EXPECT_EQ(config.threads, 1u);
+}
+
+TEST(EngineShardedStoreTest, ReadsBackWritesAndRejectsOutOfRange) {
+  ShardedValueStore store(4);
+  for (ItemId item = 0; item < 4; ++item) {
+    auto zero = store.Read(item);
+    ASSERT_TRUE(zero.ok());
+    EXPECT_EQ(*zero, 0);
+  }
+  ASSERT_TRUE(store.Write(2, 41).ok());
+  auto value = store.Read(2);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 41);
+
+  EXPECT_EQ(store.Read(4).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.Write(4, 1).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace nse

@@ -27,12 +27,12 @@ TEST(WoundWaitTest, YoungerRequesterWaitsWithoutWounding) {
   WoundWaitPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);  // ts 1
   // T2 (ts 2, younger) hits older T1's lock: plain wait, no wound — the
   // standing edge points young -> old.
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kWait);
   EXPECT_EQ(policy.wounds_issued(), 0u);
-  EXPECT_TRUE(policy.DrainWounds().empty());
+  EXPECT_TRUE(policy.DrainCondemned().empty());
   EXPECT_EQ(policy.Blockers(2, t2, 0), std::vector<TxnId>{1});
 }
 
@@ -42,17 +42,17 @@ TEST(WoundWaitTest, OlderRequesterWoundsYoungerHolder) {
   // takes the lock T2 wants next.
   TxnScript t2 = Script({{OpAction::kWrite, 1}, {OpAction::kWrite, 0}});
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 1
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 2
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);  // ts 1
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);  // ts 2
   // Older T2 hits younger T1's lock: wound T1, wait for the rollback.
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kWait);
   EXPECT_EQ(policy.wounds_issued(), 1u);
-  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{1});
-  EXPECT_TRUE(policy.DrainWounds().empty());  // drained exactly once
+  EXPECT_EQ(policy.DrainCondemned(), std::vector<TxnId>{1});
+  EXPECT_TRUE(policy.DrainCondemned().empty());  // drained exactly once
   // After the victim's rollback the lock frees and T2 proceeds; the
   // wounded T1 keeps its stamp across the restart.
-  policy.OnAbort(1);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
+  policy.Abort(1);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
   EXPECT_EQ(policy.priority(1), 2u);
 }
 
@@ -60,16 +60,16 @@ TEST(WaitDieTest, YoungerRequesterDiesOlderWaits) {
   WaitDiePolicy policy(2);
   TxnScript a = Script({{OpAction::kWrite, 1}, {OpAction::kWrite, 0}});
   TxnScript b = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(2, a, 0), SchedulerDecision::kProceed);  // ts 1
-  EXPECT_EQ(policy.OnAccess(1, b, 0), SchedulerDecision::kProceed);  // ts 2
+  EXPECT_EQ(Access(policy, 2, a, 0), AccessVerdict::kGranted);  // ts 1
+  EXPECT_EQ(Access(policy, 1, b, 0), AccessVerdict::kGranted);  // ts 2
   // Older T2 hits younger T1's lock: waits (old -> young edge).
-  EXPECT_EQ(policy.OnAccess(2, a, 1), SchedulerDecision::kWait);
-  EXPECT_TRUE(policy.DrainWounds().empty());
+  EXPECT_EQ(Access(policy, 2, a, 1), AccessVerdict::kWait);
+  EXPECT_TRUE(policy.DrainCondemned().empty());
   EXPECT_EQ(policy.deaths(), 0u);
   // Younger T1 hits older T2's lock: dies, keeping its stamp.
-  EXPECT_EQ(policy.OnAccess(1, a, 0), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 1, a, 0), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.deaths(), 1u);
-  policy.OnAbort(1);
+  policy.Abort(1);
   EXPECT_EQ(policy.priority(1), 2u);
 }
 
@@ -78,12 +78,12 @@ TEST(WaitDieTest, UpgradeRaceResolvesWithoutDeadlock) {
   // upgrade deadlock; under wait-die the younger dies immediately.
   WaitDiePolicy policy(2);
   TxnScript s = Script({{OpAction::kRead, 0}, {OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, s, 0), SchedulerDecision::kProceed);  // ts 1
-  EXPECT_EQ(policy.OnAccess(2, s, 0), SchedulerDecision::kProceed);  // ts 2
-  EXPECT_EQ(policy.OnAccess(1, s, 1), SchedulerDecision::kWait);  // older
-  EXPECT_EQ(policy.OnAccess(2, s, 1), SchedulerDecision::kAbortRestart);
-  policy.OnAbort(2);
-  EXPECT_EQ(policy.OnAccess(1, s, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, s, 0), AccessVerdict::kGranted);  // ts 1
+  EXPECT_EQ(Access(policy, 2, s, 0), AccessVerdict::kGranted);  // ts 2
+  EXPECT_EQ(Access(policy, 1, s, 1), AccessVerdict::kWait);  // older
+  EXPECT_EQ(Access(policy, 2, s, 1), AccessVerdict::kAbortSelf);
+  policy.Abort(2);
+  EXPECT_EQ(Access(policy, 1, s, 1), AccessVerdict::kGranted);
 }
 
 TEST(WoundWaitTest, RepeatedOnAbortIsIdempotentAndStampSurvives) {
@@ -93,37 +93,37 @@ TEST(WoundWaitTest, RepeatedOnAbortIsIdempotentAndStampSurvives) {
   WoundWaitPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 2
-  policy.OnAbort(1);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);  // ts 1
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);  // ts 2
+  policy.Abort(1);
   EXPECT_EQ(policy.held_locks(), 1u);  // only T2's grant remains
-  policy.OnAbort(1);                   // already retracted: no-op
-  policy.OnAbort(1);
+  policy.Abort(1);                   // already retracted: no-op
+  policy.Abort(1);
   EXPECT_EQ(policy.held_locks(), 1u);
   EXPECT_EQ(policy.priority(1), 1u);
   EXPECT_EQ(policy.priority(2), 2u);
   // The restarted incarnation keeps its original (older) stamp: colliding
   // with younger T2 it wounds rather than waits behind a fresh stamp.
   TxnScript t1b = Script({{OpAction::kWrite, 1}});
-  EXPECT_EQ(policy.OnAccess(1, t1b, 0), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 1, t1b, 0), AccessVerdict::kWait);
   EXPECT_EQ(policy.wounds_issued(), 1u);
-  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{2});
+  EXPECT_EQ(policy.DrainCondemned(), std::vector<TxnId>{2});
 }
 
 TEST(WaitDieTest, RepeatedOnAbortIsIdempotentAndStampSurvives) {
   WaitDiePolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 2
-  policy.OnAbort(2);
-  policy.OnAbort(2);  // fault-driven double abort: no-op
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);  // ts 1
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);  // ts 2
+  policy.Abort(2);
+  policy.Abort(2);  // fault-driven double abort: no-op
   EXPECT_EQ(policy.held_locks(), 1u);
   EXPECT_EQ(policy.priority(2), 2u);  // stamp survives the retraction
   // Still the younger party after restarting: it dies on T1's lock
   // instead of waiting (a fresh stamp would have inverted the edge too).
   TxnScript t2b = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(2, t2b, 0), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 2, t2b, 0), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.deaths(), 1u);
 }
 
@@ -149,7 +149,7 @@ TEST(PriorityFaultTest, StampsKeepDeadlockFreedomUnderInjectedFaults) {
   fc.client_abort_probability = 0.6;
   fc.crash_probability = 0.2;
   FaultPlan plan(fc);
-  SimConfig sim_config;
+  EngineConfig sim_config;
   sim_config.faults = &plan;
 
   for (int which = 0; which < 2; ++which) {

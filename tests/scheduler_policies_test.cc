@@ -134,19 +134,17 @@ TEST(DrSchedulerStallTest, OnlineWaitsForDetectsCommitGateDeadlock) {
   t2.steps = {{OpAction::kWrite, b}, {OpAction::kRead, a}};
 
   // Both writes proceed and leave dirty, incomplete writers behind.
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  policy.AfterAccess(1, t1, 0);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  policy.AfterAccess(2, t2, 0);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   EXPECT_FALSE(policy.StalledCycle().has_value());
 
   // T1's read of b is commit-gated on T2; no cycle yet.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kWait);
   EXPECT_FALSE(policy.StalledCycle().has_value());
   EXPECT_EQ(policy.wait_events(), 1u);
 
   // T2's read of a closes the wait cycle — detected at the insertion.
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kWait);
   ASSERT_TRUE(policy.StalledCycle().has_value());
   const std::vector<TxnId>& cycle = *policy.StalledCycle();
   EXPECT_EQ(cycle.front(), cycle.back());
@@ -155,9 +153,9 @@ TEST(DrSchedulerStallTest, OnlineWaitsForDetectsCommitGateDeadlock) {
 
   // Aborting one participant resolves the policy's deadlock state, and the
   // survivor's retried read goes through once the victim's marks are gone.
-  policy.OnAbort(2);
+  policy.Abort(2);
   EXPECT_FALSE(policy.StalledCycle().has_value());
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
 }
 
 TEST(DrSchedulerStallTest, SimResolvesCommitGateDeadlock) {

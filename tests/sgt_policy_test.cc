@@ -31,10 +31,10 @@ TEST(SgtPolicyTest, AdmitsConflictFreeAccessesWithoutWaiting) {
   SgtPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}, {OpAction::kWrite, 1}});
   TxnScript t2 = Script({{OpAction::kWrite, 2}, {OpAction::kWrite, 3}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
   EXPECT_EQ(policy.veto_events(), 0u);
   EXPECT_EQ(policy.graph().num_edges(), 0u);
 }
@@ -44,8 +44,8 @@ TEST(SgtPolicyTest, AdmitsOrderedConflictsAndRecordsEdges) {
   SgtPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(1, 2));
   EXPECT_FALSE(policy.graph().has_cycle());
   EXPECT_EQ(policy.veto_events(), 0u);
@@ -61,30 +61,30 @@ TEST(SgtPolicyTest, VetoesCycleClosingAccessThenEscalates) {
   TxnScript t1 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}, {OpAction::kRead, 0}});
 
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   // r1(b) conflicts with w2(b): edge T2 -> T1, admissible.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(2, 1));
 
   // r2(a) would add T1 -> T2 and close the cycle: vetoed.
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kWait);
   EXPECT_EQ(policy.veto_events(), 1u);
   EXPECT_EQ(policy.Blockers(2, t2, 1), std::vector<TxnId>{1});
   EXPECT_FALSE(policy.graph().has_cycle());
 
   // Second straight veto trips the livelock guard.
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.restarts_requested(), 1u);
-  policy.OnAbort(2);
+  policy.Abort(2);
   EXPECT_EQ(policy.graph().num_edges(), 0u);
 
   // The restarted T2 replays after T1: every conflict now points T1 -> T2
   // and both steps are admissible.
-  policy.OnComplete(1);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  policy.OnComplete(2);
+  policy.Commit(1);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  policy.Commit(2);
   EXPECT_FALSE(policy.graph().has_cycle());
   EXPECT_TRUE(policy.graph().HasEdge(1, 2));
 }
@@ -99,19 +99,19 @@ TEST(SgtPolicyTest, CommittedOnlyVetoRestartsImmediately) {
   SgtPolicy policy(3, options);
   TxnScript t1 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}, {OpAction::kRead, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
-  policy.OnComplete(1);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
+  policy.Commit(1);
   EXPECT_TRUE(policy.Blockers(2, t2, 1).empty());
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.veto_events(), 1u);
   EXPECT_EQ(policy.restarts_requested(), 1u);
 }
 
 TEST(SgtPolicyTest, HighVetoThresholdStillCompletesUnderSim) {
   // Regression guard for the stall_patience interplay: even a veto
-  // threshold far above SimConfig::stall_patience cannot wedge the run,
+  // threshold far above EngineConfig::stall_patience cannot wedge the run,
   // because committed-only vetoes bypass the threshold entirely.
   SgtPolicy::Options options;
   options.max_consecutive_vetoes = 1000;
@@ -151,22 +151,22 @@ TEST(SgtPolicyTest, RepeatedOnAbortIsIdempotent) {
   SgtPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(1, 2));
 
-  policy.OnAbort(1);
+  policy.Abort(1);
   EXPECT_EQ(policy.graph().num_edges(), 0u);
-  policy.OnAbort(1);  // already retracted
-  policy.OnAbort(1);
+  policy.Abort(1);  // already retracted
+  policy.Abort(1);
   EXPECT_EQ(policy.graph().num_edges(), 0u);
 
   // T2's history entry survived the repeated erasure of T1: a new writer
   // still conflicts with it.
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(2, 1));
-  policy.OnComplete(2);
-  policy.OnComplete(1);
+  policy.Commit(2);
+  policy.Commit(1);
 }
 
 TEST(SgtPolicyTest, InjectedFaultsLeaveNoResidualGraphFootprint) {
@@ -189,7 +189,7 @@ TEST(SgtPolicyTest, InjectedFaultsLeaveNoResidualGraphFootprint) {
   fc.client_abort_probability = 0.7;
   fc.crash_probability = 0.3;
   FaultPlan plan(fc);
-  SimConfig sim_config;
+  EngineConfig sim_config;
   sim_config.faults = &plan;
 
   SgtPolicy policy(workload->scripts.size());
@@ -241,18 +241,18 @@ TEST(SgtGcTest, TrimsCommittedSourcesImmediately) {
   SgtPolicy policy(3, options);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}, {OpAction::kWrite, 1}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(1, 2));
   // T1 commits with an in-degree of zero: a committed source can never
   // rejoin a cycle, so the GC trims its node and item histories at once.
-  policy.OnComplete(1);
+  policy.Commit(1);
   EXPECT_EQ(policy.gc_trimmed(), 1u);
   EXPECT_EQ(policy.live_committed_nodes(), 0u);
   EXPECT_FALSE(policy.graph().HasEdge(1, 2));
   // T2 still has work and (retracted) history: it commits and trims too.
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  policy.OnComplete(2);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  policy.Commit(2);
   EXPECT_EQ(policy.gc_trimmed(), 2u);
   EXPECT_EQ(policy.graph().num_edges(), 0u);
 }
@@ -263,17 +263,17 @@ TEST(SgtGcTest, KeepsCommittedNodesWithActivePredecessors) {
   SgtPolicy policy(3, options);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   // T2 commits but T1 (its predecessor) is still active: T2 could yet sit
   // on a cycle through T1, so it must stay.
-  policy.OnComplete(2);
+  policy.Commit(2);
   EXPECT_EQ(policy.gc_trimmed(), 0u);
   EXPECT_EQ(policy.live_committed_nodes(), 1u);
   EXPECT_TRUE(policy.graph().HasEdge(1, 2));
   // Once T1 commits the whole chain unwinds: T1 trims as a source, which
   // makes T2 a source, which trims in the same fixpoint pass.
-  policy.OnComplete(1);
+  policy.Commit(1);
   EXPECT_EQ(policy.gc_trimmed(), 2u);
   EXPECT_EQ(policy.live_committed_nodes(), 0u);
   EXPECT_EQ(policy.graph().num_edges(), 0u);

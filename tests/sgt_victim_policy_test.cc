@@ -39,15 +39,15 @@ TEST(SgtVictimPolicyTest, CheapRequesterRestartsItselfLikeBaseline) {
                          {OpAction::kWrite, 3},
                          {OpAction::kWrite, 1},
                          {OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
   // w2(1) after w1(1): edge T1 -> T2.
-  EXPECT_EQ(policy.OnAccess(2, t2, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 2), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(1, 2));
   // r1(2) after w2(2) would add T2 -> T1 and close the cycle. T1 recorded
   // 1 step, T2 recorded 3: the requester is the cheaper loss.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.wounds_requested(), 0u);
   EXPECT_EQ(policy.restarts_requested(), 1u);
 }
@@ -59,24 +59,24 @@ TEST(SgtVictimPolicyTest, WoundsOtherParticipantWhenRequesterIsExpensive) {
                          {OpAction::kWrite, 2},
                          {OpAction::kWrite, 3},
                          {OpAction::kRead, 0}});
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 2), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 2), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
   // r1(1) after w2(1): edge T2 -> T1.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
   EXPECT_TRUE(policy.graph().HasEdge(2, 1));
   // T2's read of item 0 (T1 wrote it) would add T1 -> T2 and close the
   // cycle. Requester T2 recorded 3 steps, T1 only 2: the cheaper active
   // participant is T1 — wound it and wait for the retraction.
-  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 2, t2, 3), AccessVerdict::kWait);
   EXPECT_EQ(policy.wounds_requested(), 1u);
   EXPECT_EQ(policy.veto_events(), 1u);
-  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{1});
-  EXPECT_TRUE(policy.DrainWounds().empty());  // drained exactly once
-  policy.OnAbort(1);
+  EXPECT_EQ(policy.DrainCondemned(), std::vector<TxnId>{1});
+  EXPECT_TRUE(policy.DrainCondemned().empty());  // drained exactly once
+  policy.Abort(1);
   // With T1's footprint retracted the access is admissible.
-  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 3), AccessVerdict::kGranted);
 }
 
 TEST(SgtVictimPolicyTest, KeepsBaselineEscalationTiming) {
@@ -85,12 +85,12 @@ TEST(SgtVictimPolicyTest, KeepsBaselineEscalationTiming) {
   SgtVictimPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}, {OpAction::kRead, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kWait);
   EXPECT_EQ(policy.veto_events(), 1u);
-  EXPECT_TRUE(policy.DrainWounds().empty());
+  EXPECT_TRUE(policy.DrainCondemned().empty());
   EXPECT_EQ(policy.Blockers(2, t2, 1), std::vector<TxnId>{1});
 }
 
@@ -98,14 +98,14 @@ TEST(SgtVictimPolicyTest, CommittedParticipantsAreNeverWounded) {
   SgtVictimPolicy policy(3);
   TxnScript t1 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}, {OpAction::kRead, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
-  policy.OnComplete(1);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
+  policy.Commit(1);
   // T2's read would close the cycle and the only other participant (T1)
   // is committed: the requester restarts itself, exactly like baseline.
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kAbortRestart);
-  EXPECT_TRUE(policy.DrainWounds().empty());
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kAbortSelf);
+  EXPECT_TRUE(policy.DrainCondemned().empty());
   EXPECT_EQ(policy.restarts_requested(), 1u);
 }
 
@@ -130,17 +130,17 @@ TEST(SgtVictimPolicyTest, PredictiveWoundsQuickToReplayParticipant) {
                          {OpAction::kWrite, 3},
                          {OpAction::kRead, 0},
                          {OpAction::kWrite, 5}});
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 2), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 2), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
   // r1(1) after w2(1): edge T2 -> T1.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
   // T2's read of item 0 would close the cycle. Scores: T1 = 1 remaining,
   // T2 = 2 remaining; wound T1 and record the margin.
-  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kWait);
+  EXPECT_EQ(Access(policy, 2, t2, 3), AccessVerdict::kWait);
   EXPECT_EQ(policy.wounds_requested(), 1u);
-  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{1});
+  EXPECT_EQ(policy.DrainCondemned(), std::vector<TxnId>{1});
   EXPECT_EQ(policy.wound_savings(), 1u);  // score margin 2 - 1
 }
 
@@ -151,28 +151,28 @@ TEST(SgtVictimPolicyTest, PredictiveBackoffSparesRepeatVictims) {
                          {OpAction::kWrite, 2},
                          {OpAction::kWrite, 3},
                          {OpAction::kRead, 0}});
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 2), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 2), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
   // First escalation: T1 has finished its recorded script (remaining 0,
   // no restarts: score 0), requester T2 has one step left (score 1) —
   // wound T1.
-  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kWait);
-  EXPECT_EQ(policy.DrainWounds(), std::vector<TxnId>{1});
-  policy.OnAbort(1);
+  EXPECT_EQ(Access(policy, 2, t2, 3), AccessVerdict::kWait);
+  EXPECT_EQ(policy.DrainCondemned(), std::vector<TxnId>{1});
+  policy.Abort(1);
   // T1 replays into the same conflicts...
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
   // ...and the same cycle re-forms. The sunk-cost rule would condemn T1
   // again (its sunk work, 2, is still below the requester's 3 — the
   // hotspot loop). Predictively T1 now scores 0 + backoff*1 = 4 against
   // the requester's 1: the requester restarts itself instead.
-  EXPECT_EQ(policy.OnAccess(2, t2, 3), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 2, t2, 3), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.wounds_requested(), 1u);
   EXPECT_EQ(policy.restarts_requested(), 1u);
-  EXPECT_TRUE(policy.DrainWounds().empty());
+  EXPECT_TRUE(policy.DrainCondemned().empty());
 }
 
 TEST(SgtVictimWorkloadTest, PredictiveModeStaysCsrOnExtremeHotspot) {

@@ -35,23 +35,25 @@ class AbortNTimesPolicy : public SchedulerPolicy {
  public:
   explicit AbortNTimesPolicy(uint64_t aborts) : aborts_left_(aborts) {}
   std::string name() const override { return "abort-n-times"; }
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript&,
-                             size_t step) override {
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override {
+    NSE_RETURN_IF_ERROR(CheckStep(script, step));
     if (txn == 1 && step == 0 && aborts_left_ > 0) {
       --aborts_left_;
-      return SchedulerDecision::kAbortRestart;
+      return AbortSelf();
     }
-    return SchedulerDecision::kProceed;
+    return Granted();
   }
-  void AfterAccess(TxnId, const TxnScript&, size_t) override {}
-  void OnComplete(TxnId) override {}
-  void OnAbort(TxnId txn) override { aborted_.push_back(txn); }
   std::vector<TxnId> Blockers(TxnId, const TxnScript&,
                               size_t) const override {
     return {};
   }
 
   std::vector<TxnId> aborted_;
+
+ protected:
+  void DoCommit(TxnId) override {}
+  void DoAbort(TxnId txn) override { aborted_.push_back(txn); }
 
  private:
   uint64_t aborts_left_;
@@ -74,7 +76,7 @@ TEST(RestartPolicyTest, DefaultBackoffMatchesLegacyConstants) {
 
 TEST(RestartPolicyTest, FixedBackoffDelaysEachRestartByBase) {
   AbortNTimesPolicy policy(2);
-  SimConfig config;
+  EngineConfig config;
   config.restart.backoff = RestartPolicy::Backoff::kFixed;
   config.restart.base = 10;
   auto result = RunSimulation(policy, {Script({W(0)})}, config);
@@ -87,7 +89,7 @@ TEST(RestartPolicyTest, FixedBackoffDelaysEachRestartByBase) {
 
 TEST(RestartPolicyTest, ImmediateBackoffReentersNextTick) {
   AbortNTimesPolicy policy(3);
-  SimConfig config;
+  EngineConfig config;
   config.restart.backoff = RestartPolicy::Backoff::kImmediate;
   auto result = RunSimulation(policy, {Script({W(0)})}, config);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -99,7 +101,7 @@ TEST(RestartPolicyTest, ImmediateBackoffReentersNextTick) {
 
 TEST(RestartPolicyTest, ExponentialBackoffDoublesUpToCap) {
   AbortNTimesPolicy policy(4);
-  SimConfig config;
+  EngineConfig config;
   config.restart.backoff = RestartPolicy::Backoff::kExponential;
   config.restart.base = 2;
   config.restart.cap = 8;
@@ -112,7 +114,7 @@ TEST(RestartPolicyTest, ExponentialBackoffDoublesUpToCap) {
 }
 
 TEST(RestartPolicyTest, JitterIsDeterministicPerSeed) {
-  SimConfig config;
+  EngineConfig config;
   config.restart.backoff = RestartPolicy::Backoff::kFixed;
   config.restart.base = 4;
   config.restart.jitter = 5;
@@ -132,7 +134,7 @@ TEST(RestartPolicyTest, JitterIsDeterministicPerSeed) {
 
 TEST(RestartPolicyTest, WatchdogBoostStopsBackoffAfterTheCap) {
   AbortNTimesPolicy policy(10);
-  SimConfig config;
+  EngineConfig config;
   config.restart.backoff = RestartPolicy::Backoff::kFixed;
   config.restart.base = 7;
   config.restart.max_restarts_before_boost = 3;
@@ -148,7 +150,7 @@ TEST(RestartPolicyTest, WatchdogBoostStopsBackoffAfterTheCap) {
 
 TEST(RestartPolicyTest, AdmissionGateQueuesOverflowUntilSlotsFree) {
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.restart.max_live_txns = 1;
   // Four disjoint 3-op scripts: unlimited they overlap (makespan ~3);
   // gated to one live transaction they must run back to back.
@@ -166,7 +168,7 @@ TEST(RestartPolicyTest, AdmissionGateQueuesOverflowUntilSlotsFree) {
 
 TEST(RestartPolicyTest, AdmissionGateShedsOverflowOnArrival) {
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.restart.max_live_txns = 1;
   config.restart.overflow = RestartPolicy::Overflow::kShed;
   auto result = RunSimulation(
@@ -186,7 +188,7 @@ TEST(RestartPolicyTest, AdmissionGateShedsOverflowOnArrival) {
 
 TEST(RestartPolicyTest, ShedArrivalsAdmittedWhenStaggered) {
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.restart.max_live_txns = 1;
   config.restart.overflow = RestartPolicy::Overflow::kShed;
   // The second transaction arrives after the first has finished: the gate
@@ -203,25 +205,28 @@ TEST(RestartPolicyTest, ShedArrivalsAdmittedWhenStaggered) {
 class AbortThenBlockPolicy : public SchedulerPolicy {
  public:
   std::string name() const override { return "abort-then-block"; }
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript&,
-                             size_t step) override {
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override {
+    NSE_RETURN_IF_ERROR(CheckStep(script, step));
+    WaitTicket ticket = MakeTicket();
     if (txn == 1 && step == 0 && !aborted_once_) {
       aborted_once_ = true;
-      return SchedulerDecision::kAbortRestart;
+      return AbortSelf();
     }
-    if (txn == 2 && !t1_done_) return SchedulerDecision::kWait;
-    return SchedulerDecision::kProceed;
+    if (txn == 2 && !t1_done_) return WaitOn(ticket);
+    return Granted();
   }
-  void AfterAccess(TxnId, const TxnScript&, size_t) override {}
-  void OnComplete(TxnId txn) override {
-    if (txn == 1) t1_done_ = true;
-  }
-  void OnAbort(TxnId) override {}
   std::vector<TxnId> Blockers(TxnId txn, const TxnScript&,
                               size_t) const override {
     if (txn == 2 && !t1_done_) return {1};
     return {};
   }
+
+ protected:
+  void DoCommit(TxnId txn) override {
+    if (txn == 1) t1_done_ = true;
+  }
+  void DoAbort(TxnId) override {}
 
  private:
   bool aborted_once_ = false;
@@ -233,7 +238,7 @@ class AbortThenBlockPolicy : public SchedulerPolicy {
 // stall_patience must not be misdiagnosed as a wedged run.
 TEST(StallAccountingTest, BackoffLongerThanPatienceIsNotAWedge) {
   AbortThenBlockPolicy policy;
-  SimConfig config;
+  EngineConfig config;
   config.stall_patience = 4;
   config.restart.backoff = RestartPolicy::Backoff::kFixed;
   config.restart.base = 50;  // an order of magnitude past the patience
@@ -248,23 +253,25 @@ TEST(StallAccountingTest, BackoffLongerThanPatienceIsNotAWedge) {
 class WedgedPolicy : public SchedulerPolicy {
  public:
   std::string name() const override { return "wedged"; }
-  SchedulerDecision OnAccess(TxnId, const TxnScript&, size_t) override {
-    return SchedulerDecision::kWait;
+  Result<AccessGrant> RequestAccess(TxnId, const TxnScript&,
+                                    size_t) override {
+    return WaitOn(MakeTicket());
   }
-  void AfterAccess(TxnId, const TxnScript&, size_t) override {}
-  void OnComplete(TxnId) override {}
-  void OnAbort(TxnId) override {}
   std::vector<TxnId> Blockers(TxnId, const TxnScript&,
                               size_t) const override {
     return {};
   }
+
+ protected:
+  void DoCommit(TxnId) override {}
+  void DoAbort(TxnId) override {}
 };
 
 // The pause exemption must not swallow real wedges: with nothing backing
 // off, a cycle-free permanent stall still fails after stall_patience.
 TEST(StallAccountingTest, GenuineWedgeStillFails) {
   WedgedPolicy policy;
-  SimConfig config;
+  EngineConfig config;
   config.stall_patience = 4;
   auto result = RunSimulation(policy, {Script({W(0)})}, config);
   EXPECT_FALSE(result.ok());
@@ -276,7 +283,7 @@ TEST(SimFaultTest, CertainClientAbortsRestartEveryTxnUpToTheCap) {
   fc.max_client_aborts_per_txn = 2;
   FaultPlan plan(fc);
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.faults = &plan;
   auto result = RunSimulation(
       policy, {Script({W(0), R(1)}), Script({W(0), R(2)})}, config);
@@ -297,7 +304,7 @@ TEST(SimFaultTest, CertainCrashRemovesEveryTxnFromTheTrace) {
   fc.crash_probability = 1.0;
   FaultPlan plan(fc);
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.faults = &plan;
   auto result = RunSimulation(
       policy, {Script({W(0), W(1), W(2)}), Script({W(0), W(3), W(4)})},
@@ -319,7 +326,7 @@ TEST(SimFaultTest, LatencySpikesDelayButNeverWedge) {
   fc.max_latency_spike_ticks = 6;
   FaultPlan plan(fc);
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.stall_patience = 2;  // spikes must not burn the patience budget
   config.faults = &plan;
   auto result = RunSimulation(
@@ -334,7 +341,7 @@ TEST(SimFaultTest, ArrivalPerturbationKeepsRunsDeterministic) {
   FaultPlanConfig fc;
   fc.max_arrival_delay = 9;
   FaultPlan plan(fc);
-  SimConfig config;
+  EngineConfig config;
   config.faults = &plan;
   StrictTwoPhaseLocking a;
   auto first = RunSimulation(
@@ -353,7 +360,7 @@ TEST(SimFaultTest, ArrivalPerturbationKeepsRunsDeterministic) {
 
 TEST(SimFaultTest, FaultFreePlanPointerChangesNothing) {
   FaultPlan plan{FaultPlanConfig{}};  // empty(): every class disabled
-  SimConfig with;
+  EngineConfig with;
   with.faults = &plan;
   StrictTwoPhaseLocking a;
   auto faulted = RunSimulation(

@@ -98,7 +98,7 @@ TEST(SimTest, NoTransactions) {
 
 TEST(SimTest, MaxTicksGuard) {
   StrictTwoPhaseLocking policy;
-  SimConfig config;
+  EngineConfig config;
   config.max_ticks = 1;
   auto result = RunSimulation(
       policy, {Script({R(0), R(1), R(2)}), Script({R(3), R(4), R(5)})},
@@ -119,56 +119,65 @@ TEST(SimTest, MetricsAreInternallyConsistent) {
 }
 
 // Scriptable stub: a fixed verdict per (txn, step), pass-through
-// otherwise. Exercises the kSkip and DrainWounds plumbing without a real
-// protocol behind it.
+// otherwise. Exercises the kSkip and Condemn/DrainCondemned plumbing
+// without a real protocol behind it.
 class StubPolicy : public SchedulerPolicy {
  public:
   std::string name() const override { return "stub"; }
-  SchedulerDecision OnAccess(TxnId txn, const TxnScript&,
-                             size_t step) override {
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override {
+    NSE_RETURN_IF_ERROR(CheckStep(script, step));
+    AccessVerdict verdict = AccessVerdict::kGranted;
     auto it = verdicts_.find({txn, step});
-    if (it == verdicts_.end()) return SchedulerDecision::kProceed;
-    SchedulerDecision verdict = it->second;
-    verdicts_.erase(it);  // one-shot: the retry proceeds
-    return verdict;
+    if (it != verdicts_.end()) {
+      verdict = it->second;
+      verdicts_.erase(it);  // one-shot: the retry proceeds
+    }
+    switch (verdict) {
+      case AccessVerdict::kWait:
+        return WaitOn(MakeTicket());
+      case AccessVerdict::kAbortSelf:
+        return AbortSelf();
+      case AccessVerdict::kSkip:
+        return Skip();
+      case AccessVerdict::kGranted:
+        break;
+    }
+    granted_steps_.push_back(step);
+    return Granted();
   }
-  void AfterAccess(TxnId, const TxnScript&, size_t step) override {
-    after_access_steps_.push_back(step);
-  }
-  void OnComplete(TxnId) override {}
-  void OnAbort(TxnId txn) override { aborted_.push_back(txn); }
   std::vector<TxnId> Blockers(TxnId, const TxnScript&,
                               size_t) const override {
     return {};
   }
-  std::vector<TxnId> DrainWounds() override {
-    return std::exchange(wounds_, {});
-  }
 
-  std::map<std::pair<TxnId, size_t>, SchedulerDecision> verdicts_;
-  std::vector<TxnId> wounds_;
-  std::vector<size_t> after_access_steps_;
+  std::map<std::pair<TxnId, size_t>, AccessVerdict> verdicts_;
+  std::vector<size_t> granted_steps_;
   std::vector<TxnId> aborted_;
+
+ protected:
+  void DoCommit(TxnId) override {}
+  void DoAbort(TxnId txn) override { aborted_.push_back(txn); }
 };
 
-TEST(SimTest, SkippedStepsLeaveNoTraceAndSkipAfterAccess) {
+TEST(SimTest, SkippedStepsLeaveNoTraceAndNoGrant) {
   StubPolicy policy;
-  policy.verdicts_[{1, 1}] = SchedulerDecision::kSkip;
+  policy.verdicts_[{1, 1}] = AccessVerdict::kSkip;
   auto result = RunSimulation(policy, {Script({W(0), W(1), W(2)})});
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->completed, 1u);
   EXPECT_EQ(result->skipped_ops, 1u);
-  // The trace holds only the executed steps; AfterAccess never ran for
-  // the skipped one.
+  // The trace holds only the executed steps; the skipped one was never
+  // granted (no trace_seq drawn for it).
   EXPECT_EQ(result->total_ops, 2u);
   EXPECT_EQ(result->schedule.ops()[0].entity, 0u);
   EXPECT_EQ(result->schedule.ops()[1].entity, 2u);
-  EXPECT_EQ(policy.after_access_steps_, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(policy.granted_steps_, (std::vector<size_t>{0, 2}));
 }
 
 TEST(SimTest, SkippedFinalStepCompletesTheTransaction) {
   StubPolicy policy;
-  policy.verdicts_[{1, 1}] = SchedulerDecision::kSkip;
+  policy.verdicts_[{1, 1}] = AccessVerdict::kSkip;
   auto result = RunSimulation(policy, {Script({W(0), W(1)})});
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->completed, 1u);
@@ -180,24 +189,24 @@ TEST(SimTest, WoundedVictimRollsBackAndRestarts) {
   StubPolicy policy;
   // T2's first access wounds T1 (which has already executed a step) and
   // waits one round; T1 restarts from scratch and both complete.
-  policy.verdicts_[{2, 0}] = SchedulerDecision::kWait;
+  policy.verdicts_[{2, 0}] = AccessVerdict::kWait;
   auto result = RunSimulation(policy, {Script({W(0), W(1)}, 0),
                                        Script({W(2), W(3)}, 1)});
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->wounds, 0u);  // kWait alone wounds nobody
 
-  // The simulator drains the wound right after T2's first OnAccess
+  // The simulator drains the condemnation right after T2's first request
   // (arrival tick 1, after T1 already ran its first step).
   class WoundOnce : public StubPolicy {
    public:
-    SchedulerDecision OnAccess(TxnId txn, const TxnScript& script,
-                               size_t step) override {
+    Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                      size_t step) override {
       if (txn == 2 && !wounded_) {
         wounded_ = true;
-        wounds_ = {1};
-        return SchedulerDecision::kWait;
+        Condemn(1);
+        return WaitOn(MakeTicket());
       }
-      return StubPolicy::OnAccess(txn, script, step);
+      return StubPolicy::RequestAccess(txn, script, step);
     }
 
    private:

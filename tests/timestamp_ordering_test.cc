@@ -28,8 +28,8 @@ TEST(TimestampOrderingTest, AssignsStampsInFirstAccessOrder) {
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}});
   EXPECT_FALSE(policy.timestamp(1).has_value());
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
   EXPECT_EQ(policy.timestamp(2), 1u);  // first to run is oldest
   EXPECT_EQ(policy.timestamp(1), 2u);
 }
@@ -40,16 +40,16 @@ TEST(TimestampOrderingTest, RejectsLateReadAgainstYoungerWrite) {
   TimestampOrderingPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kRead, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.rejections(), 1u);
   // The restarted incarnation draws a fresh, larger stamp and passes.
-  policy.OnAbort(1);
+  policy.Abort(1);
   EXPECT_FALSE(policy.timestamp(1).has_value());
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
   EXPECT_GT(*policy.timestamp(1), *policy.timestamp(2));
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
 }
 
 TEST(TimestampOrderingTest, CommittedStampsStillRejectStragglers) {
@@ -59,17 +59,17 @@ TEST(TimestampOrderingTest, CommittedStampsStillRejectStragglers) {
   TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kRead, 0},
                          {OpAction::kWrite, 1}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}, {OpAction::kRead, 1}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 1
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);  // ts 2
-  EXPECT_EQ(policy.OnAccess(2, t2, 1), SchedulerDecision::kProceed);
-  policy.OnComplete(2);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);  // ts 1
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);  // ts 2
+  EXPECT_EQ(Access(policy, 2, t2, 1), AccessVerdict::kGranted);
+  policy.Commit(2);
   // Old T1 reads the item committed-younger-written, and writes the item
   // committed-younger-read: both still fatal after the fold.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
-  policy.OnAbort(1);
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);  // ts 3
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kAbortSelf);
+  policy.Abort(1);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);  // ts 3
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 2), AccessVerdict::kGranted);
   EXPECT_EQ(policy.rejections(), 1u);
 }
 
@@ -77,9 +77,9 @@ TEST(TimestampOrderingTest, RejectsLateWriteAgainstYoungerRead) {
   TimestampOrderingPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kRead, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kAbortSelf);
   EXPECT_EQ(policy.rejections(), 1u);
   EXPECT_EQ(policy.skipped_writes(), 0u);
 }
@@ -91,18 +91,18 @@ TEST(TimestampOrderingTest, ThomasWriteRuleSkipsObsoleteWrite) {
   EXPECT_EQ(policy.name(), "to+thomas");
   TxnScript t1 = Script({{OpAction::kWrite, 5}, {OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   // T1's write of x lost to T2's newer write and nobody younger read x:
   // elide it instead of restarting.
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kSkip);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kSkip);
   EXPECT_EQ(policy.skipped_writes(), 1u);
   EXPECT_EQ(policy.rejections(), 0u);
   // Without the toggle the same access is fatal.
   TimestampOrderingPolicy basic(2);
-  EXPECT_EQ(basic.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(basic.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(basic.OnAccess(1, t1, 1), SchedulerDecision::kAbortRestart);
+  EXPECT_EQ(Access(basic, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(basic, 2, t2, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(basic, 1, t1, 1), AccessVerdict::kAbortSelf);
 }
 
 TEST(TimestampOrderingTest, OwnAccessesNeverConflict) {
@@ -110,9 +110,9 @@ TEST(TimestampOrderingTest, OwnAccessesNeverConflict) {
   TxnScript t1 = Script({{OpAction::kWrite, 0},
                          {OpAction::kRead, 0},
                          {OpAction::kWrite, 0}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 1), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(1, t1, 2), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 1), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 1, t1, 2), AccessVerdict::kGranted);
   EXPECT_EQ(policy.rejections(), 0u);
 }
 
@@ -123,19 +123,19 @@ TEST(TimestampOrderingTest, RepeatedOnAbortIsIdempotent) {
   TimestampOrderingPolicy policy(2);
   TxnScript t1 = Script({{OpAction::kWrite, 0}});
   TxnScript t2 = Script({{OpAction::kWrite, 1}});
-  EXPECT_EQ(policy.OnAccess(1, t1, 0), SchedulerDecision::kProceed);
-  EXPECT_EQ(policy.OnAccess(2, t2, 0), SchedulerDecision::kProceed);
+  EXPECT_EQ(Access(policy, 1, t1, 0), AccessVerdict::kGranted);
+  EXPECT_EQ(Access(policy, 2, t2, 0), AccessVerdict::kGranted);
   EXPECT_EQ(policy.active_stamp_entries(), 2u);
 
-  policy.OnAbort(1);
+  policy.Abort(1);
   EXPECT_FALSE(policy.timestamp(1).has_value());
   EXPECT_EQ(policy.active_stamp_entries(), 1u);  // T2's entry survives
-  policy.OnAbort(1);  // already retracted
-  policy.OnAbort(1);
+  policy.Abort(1);  // already retracted
+  policy.Abort(1);
   EXPECT_EQ(policy.active_stamp_entries(), 1u);
   EXPECT_TRUE(policy.timestamp(2).has_value());
 
-  policy.OnComplete(2);
+  policy.Commit(2);
   EXPECT_EQ(policy.active_stamp_entries(), 0u);  // folded at commit
 }
 
@@ -160,7 +160,7 @@ TEST(TimestampOrderingTest, FaultDrivenRestartsDrawFreshStampsAndRetract) {
   fc.client_abort_probability = 0.7;
   fc.crash_probability = 0.25;
   FaultPlan plan(fc);
-  SimConfig sim_config;
+  EngineConfig sim_config;
   sim_config.faults = &plan;
 
   TimestampOrderingPolicy policy(workload->scripts.size());

@@ -53,7 +53,8 @@ EXACT_FIELDS = ("checked", "violations", "truncated", "cycles_resolved",
 # deterministic single-threaded but depends on request-coalescing timing
 # across workers, so it is reported, not guarded.
 MEASUREMENT_FIELDS = set(SPEEDUP_FIELDS) | set(EXACT_FIELDS) | {
-    "wall_ms", "trials_per_s", "cache_hit_rate", "cache_computes",
+    "wall_ms", "trials_per_s", "txns_per_s", "cache_hit_rate",
+    "cache_computes",
     "legacy_ms",
     "incremental_ms", "legacy_per_tick_us", "incremental_per_tick_us",
     "edge_updates", "makespan_2pl", "makespan_pw2pl", "makespan_sgt",
