@@ -37,6 +37,7 @@
 namespace nse {
 
 class TransactionProgram;
+struct VersionAnnotations;
 
 /// Knobs for the context-driven checkers.
 struct AnalysisOptions {
@@ -46,6 +47,11 @@ struct AnalysisOptions {
   /// The programs that produced the schedule, when known: enables the
   /// fixed-structure hypothesis of Theorem 1. Not owned.
   const std::vector<const TransactionProgram*>* programs = nullptr;
+  /// Version annotations of a multiversion trace (analysis/multiversion.h):
+  /// per read position, the transaction whose write produced the observed
+  /// version. Enables the exact reads-from for the mvsr checker; when null,
+  /// reads resolve positionally (monoversion semantics). Not owned.
+  const VersionAnnotations* versions = nullptr;
   /// When set, the context's ConsistencyChecker memoizes its search trees
   /// here. Not owned; shared across contexts (and threads) by the violation
   /// search so overlapping solver queries are answered once.

@@ -1,5 +1,7 @@
 #include "analysis/checker.h"
 
+#include "analysis/multiversion.h"
+#include "analysis/robustness.h"
 #include "analysis/theorems.h"
 #include "analysis/view_set.h"
 #include "analysis/witness_mapping.h"
@@ -199,6 +201,64 @@ class TheoremChecker : public Checker {
   }
 };
 
+/// Maps a MultiversionReport onto the checker verdict vocabulary: an
+/// undecided search (node cap) is kUnknown, not a violation.
+CheckResult FromMultiversionReport(std::string_view name,
+                                   MultiversionReport report) {
+  if (!report.decided) {
+    return CheckResult{std::string(name), Verdict::kUnknown,
+                       std::move(report.detail)};
+  }
+  return CheckResult{std::string(name),
+                     report.satisfied ? Verdict::kSatisfied
+                                      : Verdict::kViolated,
+                     std::move(report.detail)};
+}
+
+class ViewSerializabilityChecker : public Checker {
+ public:
+  std::string_view name() const override { return "view-serializability"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    // Conflict serializability implies view serializability, and the CSR
+    // report is memoized — take it before any serial-order search.
+    if (ctx.csr_report().serializable) {
+      return CheckResult{std::string(name()), Verdict::kSatisfied,
+                         StrCat("conflict-serializable (order ",
+                                RenderTxns(*ctx.csr_report().order, " "),
+                                ")")};
+    }
+    return FromMultiversionReport(name(),
+                                  CheckViewSerializability(ctx.schedule()));
+  }
+};
+
+class MvsrChecker : public Checker {
+ public:
+  std::string_view name() const override { return "mvsr"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    const VersionAnnotations* versions = ctx.options().versions;
+    // Without annotations the trace is monoversion (reads resolve
+    // positionally) — still a well-posed MVSR question, since monoversion
+    // schedules are the 1-version special case.
+    VersionAnnotations none;
+    MultiversionReport report =
+        CheckMvsr(ctx.schedule(), versions != nullptr ? *versions : none);
+    return FromMultiversionReport(name(), std::move(report));
+  }
+};
+
+class MvRobustnessChecker : public Checker {
+ public:
+  std::string_view name() const override { return "mv-robustness"; }
+  CheckResult Check(AnalysisContext& ctx) const override {
+    RobustnessReport report = CheckSiRobustness(ctx.schedule());
+    return CheckResult{std::string(name()),
+                       report.robust ? Verdict::kSatisfied
+                                     : Verdict::kViolated,
+                       RobustnessWitness(report)};
+  }
+};
+
 }  // namespace
 
 const CheckerRegistry& CheckerRegistry::BuiltIn() {
@@ -210,6 +270,10 @@ const CheckerRegistry& CheckerRegistry::BuiltIn() {
     NSE_CHECK(r->Register(std::make_unique<ViewSetChecker>()).ok());
     NSE_CHECK(r->Register(std::make_unique<StrongCorrectnessChecker>()).ok());
     NSE_CHECK(r->Register(std::make_unique<TheoremChecker>()).ok());
+    NSE_CHECK(
+        r->Register(std::make_unique<ViewSerializabilityChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<MvsrChecker>()).ok());
+    NSE_CHECK(r->Register(std::make_unique<MvRobustnessChecker>()).ok());
     return r;
   }();
   return *registry;

@@ -1,12 +1,13 @@
 // The uniform checker interface: every criterion of the paper — CSR, PWSR,
 // delayed-read, view-set soundness, strong correctness, and the theorem
 // combinators — runs as a Checker against one shared AnalysisContext and
-// returns a CheckResult with a verdict plus a human-readable witness.
+// returns a CheckResult with a verdict plus a human-readable witness. The
+// multiversion additions (view serializability, MVSR over version-annotated
+// traces, static SI robustness) register through the same seam.
 //
-// CheckerRegistry::BuiltIn() holds the six criteria; callers sweep them with
-// RunAll (one memoized context, each artifact built once) or cherry-pick by
-// name. New criteria plug in by registering another Checker — the seam
-// future PRs (incremental cycle detection, parallel trial batches) build on.
+// CheckerRegistry::BuiltIn() holds the nine criteria; callers sweep them
+// with RunAll (one memoized context, each artifact built once) or
+// cherry-pick by name. New criteria plug in by registering another Checker.
 
 #ifndef NSE_ANALYSIS_CHECKER_H_
 #define NSE_ANALYSIS_CHECKER_H_
@@ -58,8 +59,9 @@ class CheckerRegistry {
  public:
   CheckerRegistry() = default;
 
-  /// The six built-in criteria: csr, pwsr, delayed-read, view-set,
-  /// strong-correctness, theorems (in that order).
+  /// The nine built-in criteria: csr, pwsr, delayed-read, view-set,
+  /// strong-correctness, theorems, view-serializability, mvsr,
+  /// mv-robustness (in that order).
   static const CheckerRegistry& BuiltIn();
 
   /// Adds a checker; duplicate names are rejected.

@@ -1,0 +1,54 @@
+// Static robustness of a workload against snapshot isolation, after Fekete
+// et al.'s dangerous-structure analysis and the Vandevoort–Ketsman–Neven
+// (VKN) coincidence results. The object under test is the *workload* — the
+// transactions' read and write sets — not one interleaving: operation order
+// is unknown ahead of time, so every conflicting pair contributes its
+// dependency edges in both directions.
+//
+// The static dependency graph has an edge T_i -> T_j (i != j) for each
+// shared item with at least one writer; an edge is *vulnerable* (rw) when
+// T_i reads an item T_j writes. SI admits an anomaly only through a pivot:
+// a transaction with an incoming rw edge and an outgoing rw edge that lie
+// on a common cycle. No such structure means every SI execution of the
+// workload is (multiversion view) serializable — and by the VKN coincidence
+// view-robustness and conflict-robustness agree on this class, so the
+// certificate is checkable structurally. The test is sound for certifying
+// robustness; a dangerous structure is a warning, not a counterexample (the
+// static graph over-approximates).
+
+#ifndef NSE_ANALYSIS_ROBUSTNESS_H_
+#define NSE_ANALYSIS_ROBUSTNESS_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "txn/schedule.h"
+
+namespace nse {
+
+/// Outcome of the static SI-robustness test.
+struct RobustnessReport {
+  /// No dangerous structure: every SI execution of the workload is
+  /// serializable (view- and conflict-robust coincide here).
+  bool robust = false;
+  /// When not robust: the pivot T_j and the vulnerable edges around it —
+  /// in_rw_from --rw--> pivot --rw--> out_rw_to, with a dependency path
+  /// from out_rw_to back to in_rw_from closing the cycle.
+  std::optional<TxnId> pivot;
+  std::optional<TxnId> in_rw_from;
+  std::optional<TxnId> out_rw_to;
+  /// Vulnerable (rw) edges in the static dependency graph.
+  size_t vulnerable_edges = 0;
+};
+
+/// Runs the dangerous-structure test over the transactions of `schedule`
+/// (their read/write sets; order within the schedule is ignored).
+RobustnessReport CheckSiRobustness(const Schedule& schedule);
+
+/// Renders "robust (...)" / "pivot T2 ..." for witnesses.
+std::string RobustnessWitness(const RobustnessReport& report);
+
+}  // namespace nse
+
+#endif  // NSE_ANALYSIS_ROBUSTNESS_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -33,11 +34,14 @@ enum CondemnKind : uint8_t {
 };
 
 /// One buffered operation of an in-flight incarnation: the policy-issued
-/// trace sequence number plus the operation itself. Commit splices these
-/// into the global trace; abort drops them.
+/// trace sequence number, the operation itself, and — for reads granted
+/// with a version annotation (multiversion policies) — the writer of the
+/// observed version. Commit splices these into the global trace; abort
+/// drops them.
 struct PendingOp {
   uint64_t seq = 0;
   Operation op;
+  std::optional<TxnId> read_from;
 };
 
 /// Everything the workers share. Counters are atomics; the trace and the
@@ -73,8 +77,13 @@ struct EngineShared {
   std::atomic<uint64_t> restarts{0};
   std::atomic<uint64_t> wounds{0};
   std::atomic<uint64_t> skipped_ops{0};
+  std::atomic<uint64_t> committed_skipped{0};
   std::atomic<uint64_t> wait_events{0};
   std::atomic<uint64_t> max_txn_restarts{0};
+  // Final restart count per txn (index = txn - 1). Each slot has exactly
+  // one writer (the worker that commits that txn, before join); the join
+  // is the synchronization point for the readers below.
+  std::vector<uint64_t> txn_restarts;
 
   std::mutex trace_mu;
   std::vector<PendingOp> trace;
@@ -93,7 +102,8 @@ struct EngineShared {
         deadline(start + std::chrono::microseconds(c.max_wall_micros)),
         condemned(s.size()),
         done(s.size()),
-        waiting_step(s.size(), -1) {}
+        waiting_step(s.size(), -1),
+        txn_restarts(s.size(), 0) {}
 
   /// Records the first failure and wakes everyone so workers drain out.
   void Fail(Status status) {
@@ -247,6 +257,7 @@ bool RunOneTxn(EngineShared& shared, size_t index) {
   for (;;) {  // one iteration = one incarnation
     buffer.clear();
     size_t pc = 0;
+    uint64_t skips_this_life = 0;
     bool aborted = false;
     while (pc < script.steps.size()) {
       if (shared.failed.load(std::memory_order_acquire)) return false;
@@ -280,13 +291,22 @@ bool RunOneTxn(EngineShared& shared, size_t index) {
         case AccessVerdict::kGranted: {
           const AccessStep& step = script.steps[pc];
           Value traced(0);
+          std::optional<TxnId> read_from;
           if (step.action == OpAction::kRead) {
-            Result<int64_t> value = shared.store.Read(step.item);
-            if (!value.ok()) {
-              shared.Fail(value.status());
-              return false;
+            if (grant->read_view.has_value()) {
+              // Multiversion read: the policy already resolved which
+              // version this read observes — the shared single-version
+              // store would return the *newest* write, not ours.
+              traced = Value(grant->read_view->value);
+              read_from = grant->read_view->writer;
+            } else {
+              Result<int64_t> value = shared.store.Read(step.item);
+              if (!value.ok()) {
+                shared.Fail(value.status());
+                return false;
+              }
+              traced = Value(*value);
             }
-            traced = Value(*value);
           } else {
             Status written = shared.store.Write(
                 step.item, static_cast<int64_t>(grant->trace_seq));
@@ -300,7 +320,8 @@ bool RunOneTxn(EngineShared& shared, size_t index) {
               grant->trace_seq,
               step.action == OpAction::kRead
                   ? Operation::Read(txn, step.item, traced)
-                  : Operation::Write(txn, step.item, traced)});
+                  : Operation::Write(txn, step.item, traced),
+              read_from});
           PayOperationCost(config);
           ++pc;
           shared.progress.fetch_add(1, std::memory_order_acq_rel);
@@ -308,6 +329,7 @@ bool RunOneTxn(EngineShared& shared, size_t index) {
         }
         case AccessVerdict::kSkip:
           shared.skipped_ops.fetch_add(1, std::memory_order_relaxed);
+          ++skips_this_life;
           ++pc;
           shared.progress.fetch_add(1, std::memory_order_acq_rel);
           break;
@@ -389,6 +411,9 @@ bool RunOneTxn(EngineShared& shared, size_t index) {
         shared.trace.insert(shared.trace.end(), buffer.begin(),
                             buffer.end());
       }
+      shared.committed_skipped.fetch_add(skips_this_life,
+                                         std::memory_order_relaxed);
+      shared.txn_restarts[index] = restart_count;
       shared.completed.fetch_add(1, std::memory_order_relaxed);
       shared.progress.fetch_add(1, std::memory_order_acq_rel);
       return true;
@@ -464,17 +489,23 @@ Result<EngineResult> RunEngine(SchedulerPolicy& policy,
             });
   OpSequence ops;
   ops.reserve(shared.trace.size());
-  for (const PendingOp& pending : shared.trace) ops.push_back(pending.op);
-
   EngineResult result;
+  result.read_sources.reserve(shared.trace.size());
+  for (const PendingOp& pending : shared.trace) {
+    ops.push_back(pending.op);
+    result.read_sources.push_back(pending.read_from);
+  }
+
   result.completed = shared.completed.load();
   result.aborts = shared.aborts.load();
   result.restarts = shared.restarts.load();
   result.wounds = shared.wounds.load();
   result.vetoes = policy.veto_events();
   result.skipped_ops = shared.skipped_ops.load();
+  result.committed_skipped_ops = shared.committed_skipped.load();
   result.wait_events = shared.wait_events.load();
   result.max_txn_restarts = shared.max_txn_restarts.load();
+  result.txn_restarts = std::move(shared.txn_restarts);
   result.total_ops = ops.size();
   result.wall_micros = MicrosSince(shared.start);
   result.threads = config.threads;

@@ -20,6 +20,7 @@
 #define NSE_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +40,10 @@ struct EngineResult {
   uint64_t wounds = 0;           ///< wound aborts actually delivered
   uint64_t vetoes = 0;           ///< policy veto_events() at quiescence
   uint64_t skipped_ops = 0;      ///< kSkip verdicts (Thomas-rule elisions)
+  uint64_t committed_skipped_ops = 0;  ///< kSkip verdicts of incarnations
+                                       ///< that committed; pins total_ops +
+                                       ///< committed_skipped_ops == sum of
+                                       ///< committed script lengths
   uint64_t wait_events = 0;      ///< kWait verdicts (each = one hub wait)
   uint64_t max_txn_restarts = 0; ///< max restarts of any single txn
   uint64_t total_ops = 0;        ///< committed operations in the trace
@@ -46,6 +51,14 @@ struct EngineResult {
   size_t threads = 0;            ///< worker threads used
   double throughput_tps = 0;     ///< committed transactions per second
   Schedule schedule;             ///< committed trace, linearized by trace_seq
+  /// Per-position version annotation, parallel to schedule.ops(): for a
+  /// read granted with an AccessGrant::read_view (multiversion policies),
+  /// the transaction whose write produced the observed version (0 = the
+  /// initial state). Absent for writes and single-version reads.
+  std::vector<std::optional<TxnId>> read_sources;
+  /// Restarts (of any kind) per transaction, index txn-1. Read-only
+  /// transactions under MVTO/SI must show 0 here.
+  std::vector<uint64_t> txn_restarts;
 };
 
 /// Runs `scripts` to completion under `policy` with `config.threads`

@@ -1,0 +1,90 @@
+// Multiversion timestamp ordering over a VersionStore. Each incarnation
+// draws one timestamp; a read is served the newest version no younger
+// than its stamp (recording a read stamp on that version), and a write
+// installs a new version at its own stamp — so a "late" write is not the
+// conflict it is under single-version TO: it lands as an older version
+// behind whatever newer writes already happened, which is the Thomas
+// write rule made structural (nothing is ever skipped; the version chain
+// absorbs it). The only fatal conflict is the MVTO late-write check: a
+// write at ts is rejected when some version older than ts was already
+// read by a transaction younger than ts (VersionStore::HasReadBarrier) —
+// installing now would invalidate that read.
+//
+// Reads never abort and read-only transactions never restart: there is
+// always a version at or below any stamp (the initial version), and the
+// only read that cannot proceed immediately is one whose target version
+// is still uncommitted — it waits out the writer's commit/abort (the
+// recoverability tax; reading dirty versions would need cascading
+// aborts). Waits-for edges therefore only ever point reader -> writer and
+// writers never wait, so no cycle can form: MVTO is deadlock-free under
+// both drivers by construction.
+//
+// Committed traces are MVSR with timestamp order as the version order —
+// the promised class the differential harness verifies through the
+// version-annotated committed trace (every granted read carries its
+// producing writer in AccessGrant::read_view).
+
+#ifndef NSE_SCHEDULER_MVTO_POLICY_H_
+#define NSE_SCHEDULER_MVTO_POLICY_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+#include "state/version_store.h"
+
+namespace nse {
+
+class MvtoPolicy : public SchedulerPolicy {
+ public:
+  /// A policy for transaction ids [1, num_txns].
+  explicit MvtoPolicy(size_t num_txns);
+
+  std::string name() const override { return "mvto"; }
+
+  Result<AccessGrant> RequestAccess(TxnId txn, const TxnScript& script,
+                                    size_t step) override;
+
+  /// A blocked read's only blocker: the active writer of the uncommitted
+  /// newest version at or below the reader's stamp.
+  std::vector<TxnId> Blockers(TxnId txn, const TxnScript& script,
+                              size_t step) const override;
+
+  /// Writes rejected by the late-write (read barrier) check.
+  uint64_t rejections() const;
+  /// Reads that had to wait out an uncommitted version.
+  uint64_t read_waits() const;
+  /// Active (uncommitted, unaborted) incarnations holding a stamp — 0 at
+  /// quiescence.
+  size_t active_stamp_entries() const;
+  /// The stamp of `txn`'s current incarnation, if active.
+  std::optional<uint64_t> timestamp(TxnId txn) const;
+  /// The version plane, for residual-state assertions.
+  const VersionStore& store() const { return store_; }
+
+ protected:
+  void DoCommit(TxnId txn) override;
+  void DoAbort(TxnId txn) override;
+
+ private:
+  /// Caller holds mu_.
+  uint64_t EnsureTimestamp(TxnId txn);
+  /// Oldest active stamp, or the clock when nothing is active — the
+  /// truncation watermark. Caller holds mu_.
+  uint64_t OldestActiveStamp() const;
+
+  mutable std::mutex mu_;
+  VersionStore store_;
+  uint64_t clock_ = 0;
+  std::vector<std::optional<uint64_t>> ts_;
+  /// Items the current incarnation installed a version on (deduped).
+  std::vector<std::vector<ItemId>> written_;
+  uint64_t rejections_ = 0;
+  uint64_t read_waits_ = 0;
+};
+
+}  // namespace nse
+
+#endif  // NSE_SCHEDULER_MVTO_POLICY_H_

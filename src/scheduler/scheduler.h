@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,19 @@ struct WaitTicket {
   uint64_t epoch = 0;  ///< hub epoch observed before the failed attempt
 };
 
+/// Which version a granted read observed, for multiversion policies. A
+/// multiversion trace has no positional reads-from — a read may be served
+/// a version older than the latest preceding write — so the grant itself
+/// records the producing writer, and the drivers surface the annotation
+/// alongside the committed trace (SimResult/EngineResult read_sources).
+struct VersionRead {
+  TxnId writer = 0;   ///< transaction whose write produced the version
+                      ///< (0 = the initial state; may be the reader
+                      ///< itself for reads of its own pending write)
+  int64_t value = 0;  ///< the version's value; the drivers trace it as
+                      ///< the read's recorded value
+};
+
 /// Answer to one access request.
 struct AccessGrant {
   AccessVerdict verdict = AccessVerdict::kGranted;
@@ -107,6 +121,10 @@ struct AccessGrant {
   uint64_t trace_seq = 0;
   /// kWait only: rendezvous for the retry.
   WaitTicket wait;
+  /// kGranted reads under a multiversion policy: the version observed.
+  /// Single-version policies leave it absent and the drivers fall back to
+  /// the single-version value plane.
+  std::optional<VersionRead> read_view;
 };
 
 /// A pluggable, thread-safe concurrency-control policy.
@@ -219,16 +237,25 @@ class SchedulerPolicy {
   WaitTicket MakeTicket() { return WaitTicket{&hub_, hub_.epoch()}; }
 
   /// Grant helpers.
-  AccessGrant Granted() { return AccessGrant{AccessVerdict::kGranted,
-                                             NextTraceSeq(), WaitTicket{}}; }
+  AccessGrant Granted() {
+    return AccessGrant{AccessVerdict::kGranted, NextTraceSeq(), WaitTicket{},
+                       std::nullopt};
+  }
+  /// Granted read with a version annotation (multiversion policies).
+  AccessGrant GrantedRead(TxnId writer, int64_t value) {
+    AccessGrant grant = Granted();
+    grant.read_view = VersionRead{writer, value};
+    return grant;
+  }
   static AccessGrant WaitOn(WaitTicket ticket) {
-    return AccessGrant{AccessVerdict::kWait, 0, ticket};
+    return AccessGrant{AccessVerdict::kWait, 0, ticket, std::nullopt};
   }
   static AccessGrant AbortSelf() {
-    return AccessGrant{AccessVerdict::kAbortSelf, 0, WaitTicket{}};
+    return AccessGrant{AccessVerdict::kAbortSelf, 0, WaitTicket{},
+                       std::nullopt};
   }
   static AccessGrant Skip() {
-    return AccessGrant{AccessVerdict::kSkip, 0, WaitTicket{}};
+    return AccessGrant{AccessVerdict::kSkip, 0, WaitTicket{}, std::nullopt};
   }
 
   /// Malformed-request guard shared by every policy.

@@ -29,6 +29,15 @@ struct TxnRuntime {
   uint64_t fault_aborts = 0;  // injected client aborts (capped by the plan)
   uint64_t arrival = 0;       // effective (possibly perturbed) arrival tick
   size_t spike_paid_pc = SIZE_MAX;  // last step latency-checked this life
+  uint64_t skips_this_life = 0;  // kSkip verdicts of the current incarnation
+};
+
+/// One traced operation plus its version annotation (reads under a
+/// multiversion policy: the writer of the observed version). Kept fused so
+/// the restart path's erase keeps trace and annotations aligned.
+struct TracedOp {
+  Operation op;
+  std::optional<TxnId> read_from;
 };
 
 }  // namespace
@@ -65,7 +74,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
                    });
   size_t live_txns = 0;
 
-  OpSequence trace;
+  std::vector<TracedOp> trace;
   SimResult result;
   // Persistent waits-for graph across stall ticks: each tick only diffs the
   // blocker sets against the previous tick (usually unchanged), instead of
@@ -95,8 +104,8 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
     policy.Abort(victim);
     waits.OnResolved(victim);
     trace.erase(std::remove_if(trace.begin(), trace.end(),
-                               [victim](const Operation& op) {
-                                 return op.txn == victim;
+                               [victim](const TracedOp& traced) {
+                                 return traced.op.txn == victim;
                                }),
                 trace.end());
     runtime[victim - 1].blocked = false;
@@ -138,6 +147,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
     TxnRuntime& vrt = runtime[victim - 1];
     vrt.pc = 0;
     vrt.spike_paid_pc = SIZE_MAX;
+    vrt.skips_this_life = 0;
     ++vrt.abort_count;
     result.max_txn_restarts = std::max(result.max_txn_restarts,
                                        vrt.abort_count);
@@ -278,17 +288,32 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       // already executed. The txn advances past it and nothing is traced —
       // the operation never happened.
       ++result.skipped_ops;
+      ++rt.skips_this_life;
     } else {
       const AccessStep& step = script.steps[rt.pc];
       // Structural trace values: reads 0, writes the current tick
       // (distinct values keep traces readable; checkers ignore them).
+      // A grant carrying a version annotation (multiversion policies)
+      // instead traces the observed version's value and remembers its
+      // writer for the read_sources sidecar.
       // Any release work for non-strict policies already ran inside
       // RequestAccess (the old AfterAccess hook is fused into the grant).
-      trace.push_back(step.action == OpAction::kRead
-                          ? Operation::Read(txn, step.item, Value(0))
-                          : Operation::Write(
-                                txn, step.item,
-                                Value(static_cast<int64_t>(tick))));
+      if (step.action == OpAction::kRead) {
+        if (grant->read_view.has_value()) {
+          trace.push_back(TracedOp{
+              Operation::Read(txn, step.item, Value(grant->read_view->value)),
+              grant->read_view->writer});
+        } else {
+          trace.push_back(
+              TracedOp{Operation::Read(txn, step.item, Value(0)),
+                       std::nullopt});
+        }
+      } else {
+        trace.push_back(TracedOp{
+            Operation::Write(txn, step.item,
+                             Value(static_cast<int64_t>(tick))),
+            std::nullopt});
+      }
     }
     ++rt.pc;
     progress = true;
@@ -299,6 +324,7 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
       rt.completion_tick = tick;
       --live_txns;
       ++result.completed;
+      result.committed_skipped_ops += rt.skips_this_life;
       if (rt.boosted) wake_parked();
     }
   };
@@ -421,8 +447,10 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
   result.vetoes = policy.veto_events();
   double response_sum = 0;
   uint64_t committed = 0;
+  result.txn_restarts.resize(n);
   for (size_t i = 0; i < n; ++i) {
     result.total_wait_ticks += runtime[i].wait_ticks;
+    result.txn_restarts[i] = runtime[i].abort_count;
     if (runtime[i].crashed || runtime[i].was_shed) continue;
     response_sum += static_cast<double>(runtime[i].completion_tick + 1 -
                                         runtime[i].arrival);
@@ -435,7 +463,14 @@ Result<SimResult> RunSimulation(SchedulerPolicy& policy,
           ? 0
           : static_cast<double>(result.completed) /
                 static_cast<double>(result.makespan);
-  result.schedule = Schedule(std::move(trace));
+  OpSequence ops;
+  ops.reserve(trace.size());
+  result.read_sources.reserve(trace.size());
+  for (const TracedOp& traced : trace) {
+    ops.push_back(traced.op);
+    result.read_sources.push_back(traced.read_from);
+  }
+  result.schedule = Schedule(std::move(ops));
   return result;
 }
 

@@ -24,6 +24,7 @@
 #define NSE_SCHEDULER_SIM_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +46,10 @@ struct SimResult {
   uint64_t vetoes = 0;             ///< policy veto_events() (SGT cycle vetoes)
   uint64_t skipped_ops = 0;        ///< kSkip verdicts (Thomas-rule writes
                                    ///< elided from the committed trace)
+  uint64_t committed_skipped_ops = 0;  ///< kSkip verdicts of incarnations
+                                       ///< that went on to commit; pins
+                                       ///< total_ops + committed_skipped_ops
+                                       ///< == sum of committed script lengths
   uint64_t fault_aborts = 0;       ///< injected spontaneous client aborts
   uint64_t crashes = 0;            ///< injected terminal crash-at-op faults
   uint64_t shed = 0;               ///< arrivals dropped by the admission gate
@@ -57,6 +62,16 @@ struct SimResult {
   double avg_response_ticks = 0;   ///< mean completion − arrival (committed)
   double throughput = 0;           ///< completed / makespan
   Schedule schedule;               ///< committed trace (structural values)
+  /// Per-position version annotation, parallel to schedule.ops(): for a
+  /// read granted with an AccessGrant::read_view (multiversion policies),
+  /// the transaction whose write produced the observed version (0 = the
+  /// initial state). Absent for writes and single-version reads. This is
+  /// what gives a multiversion trace its well-defined reads-from for the
+  /// MVSR checker.
+  std::vector<std::optional<TxnId>> read_sources;
+  /// Restarts (of any kind) per transaction, index txn-1. Read-only
+  /// transactions under MVTO/SI must show 0 here.
+  std::vector<uint64_t> txn_restarts;
 };
 
 /// Runs `scripts` under `policy`. Transaction ids are 1-based script

@@ -54,7 +54,7 @@ Result<AccessGrant> TimestampOrderingPolicy::RequestAccess(
       return AbortSelf();
     }
     RecordStamp(item.readers, txn, ts);
-    touched_[txn].push_back(access.item);
+    RecordTouched(txn, access.item);
     return Granted();
   }
   if (std::max(item.committed_rts, MaxOtherTs(item.readers, txn)) > ts) {
@@ -75,8 +75,19 @@ Result<AccessGrant> TimestampOrderingPolicy::RequestAccess(
     return AbortSelf();
   }
   RecordStamp(item.writers, txn, ts);
-  touched_[txn].push_back(access.item);
+  RecordTouched(txn, access.item);
   return Granted();
+}
+
+void TimestampOrderingPolicy::RecordTouched(TxnId txn, ItemId item) {
+  // Deduplicated: a transaction re-accessing an item (read then write, or
+  // repeated script steps) must not grow its footprint list — commit/abort
+  // walk this list, and RecordStamp keeps one stamp per txn anyway.
+  std::vector<ItemId>& footprint = touched_[txn];
+  if (std::find(footprint.begin(), footprint.end(), item) ==
+      footprint.end()) {
+    footprint.push_back(item);
+  }
 }
 
 void TimestampOrderingPolicy::DoCommit(TxnId txn) {
@@ -123,6 +134,7 @@ void TimestampOrderingPolicy::DoAbort(TxnId txn) {
         item.writers.end());
   }
   touched_[txn].clear();
+  touched_[txn].shrink_to_fit();
   ts_[txn].reset();
 }
 

@@ -126,6 +126,9 @@ class TimestampOrderingPolicy : public SchedulerPolicy {
 
   static void RecordStamp(std::vector<Stamp>& stamps, TxnId txn, uint64_t ts);
 
+  /// Adds `item` to the txn's footprint list, once. Caller holds mu_.
+  void RecordTouched(TxnId txn, ItemId item);
+
   Options options_;
   mutable std::mutex mu_;
   uint64_t clock_ = 0;                       // last timestamp handed out

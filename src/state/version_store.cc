@@ -1,0 +1,203 @@
+#include "state/version_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+VersionStore::VersionStore(size_t num_items) {
+  chains_.reserve(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    chains_.push_back({Version{}});  // initial version: ts 0, value 0
+  }
+}
+
+std::vector<VersionStore::Version>& VersionStore::EnsureChain(ItemId item) {
+  while (chains_.size() <= item) chains_.push_back({Version{}});
+  return chains_[item];
+}
+
+size_t VersionStore::NewestAtOrBelow(const std::vector<Version>& chain,
+                                     uint64_t ts, bool committed_only) {
+  for (size_t i = chain.size(); i-- > 0;) {
+    if (chain[i].writer_ts > ts) continue;
+    if (committed_only && !chain[i].committed) continue;
+    return i;
+  }
+  return SIZE_MAX;
+}
+
+Result<VersionView> VersionStore::Peek(ItemId item, uint64_t ts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (item >= chains_.size()) {
+    // Untouched item: logically the bare initial version.
+    return VersionView{};
+  }
+  const std::vector<Version>& chain = chains_[item];
+  size_t i = NewestAtOrBelow(chain, ts, /*committed_only=*/false);
+  NSE_CHECK_MSG(i != SIZE_MAX, "chain lost its initial version");
+  const Version& v = chain[i];
+  return VersionView{v.writer_ts, v.writer, v.value, v.committed};
+}
+
+Result<VersionView> VersionStore::ReadAtTimestamp(ItemId item, uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Version>& chain = EnsureChain(item);
+  size_t i = NewestAtOrBelow(chain, ts, /*committed_only=*/false);
+  NSE_CHECK_MSG(i != SIZE_MAX, "chain lost its initial version");
+  Version& v = chain[i];
+  v.rts = std::max(v.rts, ts);
+  return VersionView{v.writer_ts, v.writer, v.value, v.committed};
+}
+
+Result<VersionView> VersionStore::ReadCommittedAt(ItemId item,
+                                                  uint64_t ts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (item >= chains_.size()) return VersionView{};
+  const std::vector<Version>& chain = chains_[item];
+  size_t i = NewestAtOrBelow(chain, ts, /*committed_only=*/true);
+  NSE_CHECK_MSG(i != SIZE_MAX, "chain lost its committed initial version");
+  const Version& v = chain[i];
+  return VersionView{v.writer_ts, v.writer, v.value, v.committed};
+}
+
+Status VersionStore::InstallVersion(ItemId item, uint64_t writer_ts,
+                                    VersionWriter writer, int64_t value,
+                                    bool committed) {
+  if (writer_ts == 0) {
+    return Status::InvalidArgument("writer_ts 0 is the initial version");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Version>& chain = EnsureChain(item);
+  // Stamp-sorted insert from the tail (stamps mostly arrive ascending).
+  size_t pos = chain.size();
+  while (pos > 0 && chain[pos - 1].writer_ts > writer_ts) --pos;
+  if (pos > 0 && chain[pos - 1].writer_ts == writer_ts) {
+    Version& existing = chain[pos - 1];
+    if (existing.writer != writer) {
+      return Status::InvalidArgument(
+          StrCat("stamp ", writer_ts, " already installed by writer ",
+                 existing.writer));
+    }
+    existing.value = value;  // same incarnation overwriting its own write
+    existing.committed = committed;
+    return Status::Ok();
+  }
+  chain.insert(chain.begin() + static_cast<ptrdiff_t>(pos),
+               Version{writer_ts, writer, value, committed, 0});
+  return Status::Ok();
+}
+
+Status VersionStore::CommitVersion(ItemId item, uint64_t writer_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (item >= chains_.size()) {
+    return Status::NotFound("commit of a version on an untouched item");
+  }
+  for (Version& v : chains_[item]) {
+    if (v.writer_ts == writer_ts) {
+      v.committed = true;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound(
+      StrCat("no version with stamp ", writer_ts, " to commit"));
+}
+
+Status VersionStore::RemoveVersion(ItemId item, uint64_t writer_ts) {
+  if (writer_ts == 0) {
+    return Status::InvalidArgument("the initial version cannot be removed");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (item >= chains_.size()) return Status::Ok();  // nothing installed
+  std::vector<Version>& chain = chains_[item];
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].writer_ts == writer_ts) {
+      chain.erase(chain.begin() + static_cast<ptrdiff_t>(i));
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();  // idempotent: chaos re-aborts retracted txns
+}
+
+Result<bool> VersionStore::HasReadBarrier(ItemId item, uint64_t ts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (item >= chains_.size()) return false;
+  for (const Version& v : chains_[item]) {
+    if (v.writer_ts >= ts) break;  // stamp-sorted: nothing older follows
+    if (v.rts > ts) return true;
+  }
+  return false;
+}
+
+size_t VersionStore::TruncateBelow(uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t reclaimed = 0;
+  for (std::vector<Version>& chain : chains_) {
+    size_t floor = NewestAtOrBelow(chain, watermark, /*committed_only=*/true);
+    if (floor == SIZE_MAX || floor == 0) continue;
+    // Fold the dropped versions' read stamps into the survivor so MVTO's
+    // late-write check still sees every read the chain ever served below
+    // the watermark. Uncommitted versions below the floor are kept (their
+    // writers are active; an active writer's stamp is never below the
+    // oldest active snapshot under the owning policies, but the store
+    // does not assume that).
+    std::vector<Version> kept;
+    kept.reserve(chain.size() - floor);
+    uint64_t folded_rts = chain[floor].rts;
+    for (size_t i = 0; i < floor; ++i) {
+      if (chain[i].committed) {
+        folded_rts = std::max(folded_rts, chain[i].rts);
+        ++reclaimed;
+      } else {
+        kept.push_back(chain[i]);
+      }
+    }
+    const size_t survivor = kept.size();
+    for (size_t i = floor; i < chain.size(); ++i) kept.push_back(chain[i]);
+    kept[survivor].rts = folded_rts;
+    chain = std::move(kept);
+  }
+  truncated_ += reclaimed;
+  return reclaimed;
+}
+
+size_t VersionStore::total_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const std::vector<Version>& chain : chains_) total += chain.size();
+  return total;
+}
+
+size_t VersionStore::uncommitted_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const std::vector<Version>& chain : chains_) {
+    for (const Version& v : chain) {
+      if (!v.committed) ++total;
+    }
+  }
+  return total;
+}
+
+size_t VersionStore::max_chain_length() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t longest = 0;
+  for (const std::vector<Version>& chain : chains_) {
+    longest = std::max(longest, chain.size());
+  }
+  return longest;
+}
+
+size_t VersionStore::truncated_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return truncated_;
+}
+
+size_t VersionStore::num_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chains_.size();
+}
+
+}  // namespace nse

@@ -1,0 +1,142 @@
+// VersionStore: the multiversion value plane. Where ShardedValueStore
+// keeps one mutable cell per item, this store keeps an immutable *chain*
+// of versions `(writer_ts, value)` per item, so a timestamped reader can
+// be served the newest version no younger than itself instead of blocking
+// on (or clobbering) the current value. This is the database substrate of
+// the multiversion schedulers (MVTO, snapshot isolation) — the widening
+// of accepted executions the paper's program points at next once CSR is
+// no longer the gate.
+//
+// Chains are append-in-stamp-order and versions never mutate once
+// installed except for two monotone annotations: the committed flag
+// (uncommitted → committed exactly once) and the read stamp `rts` (the
+// max timestamp of any reader served that version, which is what MVTO's
+// late-write check consults). Old versions are reclaimed epoch-style:
+// TruncateBelow(watermark) drops every committed version an active
+// snapshot can still not possibly need — everything strictly older than
+// the newest committed version at or below the oldest active snapshot.
+//
+// Thread-safe under one internal mutex. The scheduler policies that own a
+// store serialize their compound decisions under their own policy mutex
+// anyway; the store's lock makes it independently safe for detached
+// readers (benches, truncation sweeps, residual-state assertions).
+
+#ifndef NSE_STATE_VERSION_STORE_H_
+#define NSE_STATE_VERSION_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "state/database.h"
+
+namespace nse {
+
+/// Writer identity of a version. Numerically a transaction id; 0 is the
+/// pre-schedule initial version every chain starts with. (Declared as a
+/// bare integer so the state layer stays below the txn layer.)
+using VersionWriter = uint32_t;
+
+/// What a timestamped read observed (a value-copy of one chain entry).
+struct VersionView {
+  uint64_t writer_ts = 0;     ///< stamp of the version's writer
+  VersionWriter writer = 0;   ///< installing transaction (0 = initial)
+  int64_t value = 0;
+  bool committed = true;      ///< false while the writer is still active
+};
+
+/// Per-item immutable version chains with timestamped reads, append-only
+/// installs, and epoch-style truncation below the oldest active snapshot.
+class VersionStore {
+ public:
+  /// A store for items [0, num_items). Chains grow on demand past that,
+  /// so a policy sized by transaction count can still serve any item.
+  explicit VersionStore(size_t num_items = 0);
+
+  /// Newest version with writer_ts <= ts, committed or not, without side
+  /// effects. The initial version (writer_ts 0) always qualifies. Policies
+  /// peek first to decide whether to wait out an uncommitted version.
+  Result<VersionView> Peek(ItemId item, uint64_t ts) const;
+
+  /// Newest version with writer_ts <= ts, folding `ts` into that
+  /// version's read stamp (rts = max over readers served). This is the
+  /// MVTO read: the recorded stamp is what rejects later-arriving older
+  /// writes that the read logically overtook.
+  Result<VersionView> ReadAtTimestamp(ItemId item, uint64_t ts);
+
+  /// Newest *committed* version with writer_ts <= ts, no read stamp
+  /// recorded — the snapshot-isolation read (chains stamped by commit
+  /// time never serve an uncommitted version, and SI's validation is a
+  /// write-set check, not an rts check).
+  Result<VersionView> ReadCommittedAt(ItemId item, uint64_t ts) const;
+
+  /// Appends version (writer_ts, value) by `writer`. Stamps are unique
+  /// per chain: installing an existing stamp by the *same* writer
+  /// replaces that version's value (a transaction overwriting its own
+  /// write); by a different writer it is InvalidArgument.
+  Status InstallVersion(ItemId item, uint64_t writer_ts, VersionWriter writer,
+                        int64_t value, bool committed);
+
+  /// Marks version `writer_ts` of `item` committed. Missing version is
+  /// NotFound (a policy bookkeeping bug, not a benign race).
+  Status CommitVersion(ItemId item, uint64_t writer_ts);
+
+  /// Removes version `writer_ts` of `item` (an aborted writer retracting
+  /// its install). Idempotent: removing an absent version is a no-op,
+  /// because chaos re-aborts retracted transactions.
+  Status RemoveVersion(ItemId item, uint64_t writer_ts);
+
+  /// MVTO late-write check: true iff some version with writer_ts < ts was
+  /// already read by a transaction younger than ts (rts > ts) — writing
+  /// at `ts` now would invalidate that read.
+  Result<bool> HasReadBarrier(ItemId item, uint64_t ts) const;
+
+  /// Epoch-style reclamation. For each chain, finds the newest committed
+  /// version with writer_ts <= watermark (the version a reader at the
+  /// oldest active snapshot would be served) and drops every committed
+  /// version strictly older, folding their read stamps into the survivor.
+  /// Uncommitted versions are never dropped. Returns versions reclaimed.
+  size_t TruncateBelow(uint64_t watermark);
+
+  // ---- residual-state accessors (exact at quiescence) -----------------
+
+  /// Stored versions across all chains, initial versions included.
+  size_t total_versions() const;
+  /// Versions still flagged uncommitted (must be 0 at quiescence).
+  size_t uncommitted_versions() const;
+  /// Longest chain (1 per touched item once fully truncated).
+  size_t max_chain_length() const;
+  /// Cumulative versions reclaimed by TruncateBelow.
+  size_t truncated_versions() const;
+  /// Items with a materialized chain.
+  size_t num_items() const;
+
+ private:
+  struct Version {
+    uint64_t writer_ts = 0;
+    VersionWriter writer = 0;
+    int64_t value = 0;
+    bool committed = true;
+    uint64_t rts = 0;  ///< max timestamp of any reader served this version
+  };
+
+  /// Chain of `item`, materialized (with its initial version) on demand.
+  /// Caller holds mu_.
+  std::vector<Version>& EnsureChain(ItemId item);
+
+  /// Newest chain index with writer_ts <= ts, optionally committed-only.
+  /// Chains are stamp-sorted, so this is a reverse scan from the tail.
+  /// Returns SIZE_MAX when nothing qualifies (cannot happen for the
+  /// any-commit-status variant: the initial version always does).
+  static size_t NewestAtOrBelow(const std::vector<Version>& chain,
+                                uint64_t ts, bool committed_only);
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<Version>> chains_;
+  size_t truncated_ = 0;
+};
+
+}  // namespace nse
+
+#endif  // NSE_STATE_VERSION_STORE_H_

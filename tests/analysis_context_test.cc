@@ -126,16 +126,19 @@ TEST_F(AnalysisContextTest, OwningContextKeepsScheduleAlive) {
   EXPECT_TRUE(ctx.csr_report().serializable);
 }
 
-TEST_F(AnalysisContextTest, BuiltInRegistryHasTheSixCriteria) {
+TEST_F(AnalysisContextTest, BuiltInRegistryHasTheNineCriteria) {
   const CheckerRegistry& registry = CheckerRegistry::BuiltIn();
   std::vector<std::string_view> names = registry.Names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 9u);
   EXPECT_EQ(names[0], "csr");
   EXPECT_EQ(names[1], "pwsr");
   EXPECT_EQ(names[2], "delayed-read");
   EXPECT_EQ(names[3], "view-set");
   EXPECT_EQ(names[4], "strong-correctness");
   EXPECT_EQ(names[5], "theorems");
+  EXPECT_EQ(names[6], "view-serializability");
+  EXPECT_EQ(names[7], "mvsr");
+  EXPECT_EQ(names[8], "mv-robustness");
   EXPECT_NE(registry.Find("pwsr"), nullptr);
   EXPECT_EQ(registry.Find("no-such-checker"), nullptr);
 }
@@ -144,7 +147,7 @@ TEST_F(AnalysisContextTest, RunAllOnStronglyCorrectSchedule) {
   Schedule s = SerialCopySchedule();
   AnalysisContext ctx(db_, *ic_, s);
   std::vector<CheckResult> results = CheckerRegistry::BuiltIn().RunAll(ctx);
-  ASSERT_EQ(results.size(), 6u);
+  ASSERT_EQ(results.size(), 9u);
   for (const CheckResult& result : results) {
     EXPECT_EQ(result.verdict, Verdict::kSatisfied) << result.ToString();
   }
@@ -179,11 +182,17 @@ TEST_F(AnalysisContextTest, ScheduleOnlyContextLeavesIcCheckersUnknown) {
   EXPECT_FALSE(ctx.has_db());
   EXPECT_FALSE(ctx.has_ic());
   std::vector<CheckResult> results = CheckerRegistry::BuiltIn().RunAll(ctx);
-  ASSERT_EQ(results.size(), 6u);
+  ASSERT_EQ(results.size(), 9u);
   EXPECT_EQ(results[0].verdict, Verdict::kViolated);   // csr
   EXPECT_EQ(results[1].verdict, Verdict::kUnknown);    // pwsr: no IC
   EXPECT_EQ(results[2].verdict, Verdict::kSatisfied);  // delayed-read
   EXPECT_EQ(results[4].verdict, Verdict::kUnknown);    // strong-correctness
+  // The multiversion criteria need no IC: the conflict cycle here is also
+  // a view-serializability violation, and the r/w pattern is the textbook
+  // dangerous structure.
+  EXPECT_EQ(results[6].verdict, Verdict::kViolated);   // view-serializability
+  EXPECT_EQ(results[7].verdict, Verdict::kViolated);   // mvsr
+  EXPECT_EQ(results[8].verdict, Verdict::kViolated);   // mv-robustness
 }
 
 TEST_F(AnalysisContextTest, CertifyOnDbLessContextLeavesFixedStructureUnknown) {

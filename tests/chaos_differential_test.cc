@@ -36,15 +36,19 @@
 #include "analysis/analysis_context.h"
 #include "analysis/checker.h"
 #include "analysis/conflict_graph.h"
+#include "analysis/multiversion.h"
+#include "analysis/robustness.h"
 #include "common/rng.h"
 #include "fuzz_env.h"
 #include "scheduler/dr_scheduler.h"
 #include "scheduler/fault_injection.h"
+#include "scheduler/mvto_policy.h"
 #include "scheduler/priority_locking.h"
 #include "scheduler/pw_two_phase_locking.h"
 #include "scheduler/sgt_policy.h"
 #include "scheduler/sgt_victim_policy.h"
 #include "scheduler/sim.h"
+#include "scheduler/snapshot_isolation.h"
 #include "scheduler/timestamp_ordering.h"
 #include "scheduler/two_phase_locking.h"
 #include "scheduler/workload.h"
@@ -161,6 +165,7 @@ void ExpectBitIdentical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.wounds, b.wounds) << setup;
   EXPECT_EQ(a.vetoes, b.vetoes) << setup;
   EXPECT_EQ(a.skipped_ops, b.skipped_ops) << setup;
+  EXPECT_EQ(a.committed_skipped_ops, b.committed_skipped_ops) << setup;
   EXPECT_EQ(a.fault_aborts, b.fault_aborts) << setup;
   EXPECT_EQ(a.crashes, b.crashes) << setup;
   EXPECT_EQ(a.shed, b.shed) << setup;
@@ -172,6 +177,9 @@ void ExpectBitIdentical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.total_ops, b.total_ops) << setup;
   EXPECT_TRUE(a.schedule.ops() == b.schedule.ops())
       << "same seed, different committed schedule under " << setup;
+  EXPECT_EQ(a.read_sources, b.read_sources)
+      << "same seed, different version annotations under " << setup;
+  EXPECT_EQ(a.txn_restarts, b.txn_restarts) << setup;
 }
 
 /// Runs the workload under `setup` twice (fresh policy per run via
@@ -360,6 +368,63 @@ TEST_P(ChaosDifferentialFuzz, DrSchedulerSafeUnderFaults) {
                 setup.label);
     EXPECT_EQ(policy->held_locks(), 0u) << setup.label;
     EXPECT_EQ(policy->dirty_writers(), 0u) << setup.label;
+  }
+}
+
+/// MVSR under faults: the committed trace with its version annotations
+/// verifies against the mvsr checker (the multiversion promised class).
+void ExpectMvsrClass(const Workload& workload, const SimResult& result,
+                     std::string_view policy, const char* setup) {
+  VersionAnnotations versions;
+  versions.read_from = result.read_sources;
+  AnalysisOptions options;
+  options.versions = &versions;
+  AnalysisContext ctx(result.schedule, options);
+  auto check = CheckerRegistry::BuiltIn().Run("mvsr", ctx);
+  ASSERT_TRUE(check.ok()) << check.status();
+  EXPECT_EQ(check->verdict, Verdict::kSatisfied)
+      << policy << " under " << setup
+      << " broke its mvsr promise: " << check->ToString() << "\nschedule:\n"
+      << result.schedule.ToString(workload.db);
+}
+
+TEST_P(ChaosDifferentialFuzz, MvtoSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<MvtoPolicy> policy;
+    SimResult result = RunChaos(
+        workload, setup, [n] { return std::make_unique<MvtoPolicy>(n); },
+        &policy);
+    ExpectMvsrClass(workload, result, "mvto", setup.label);
+    // MVTO is deadlock-free (waits only point reader -> writer), faults
+    // or not: no deadlock victims, ever.
+    EXPECT_EQ(result.aborts, 0u) << setup.label;
+    // Retraction hygiene: crashed and aborted incarnations removed their
+    // versions and stamps; nothing uncommitted survives quiescence.
+    EXPECT_EQ(policy->active_stamp_entries(), 0u) << setup.label;
+    EXPECT_EQ(policy->store().uncommitted_versions(), 0u) << setup.label;
+  }
+}
+
+TEST_P(ChaosDifferentialFuzz, SnapshotIsolationSafeUnderFaults) {
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  for (const ChaosSetup& setup : ChaosSetups(GetParam())) {
+    std::unique_ptr<SnapshotIsolationPolicy> policy;
+    SimResult result = RunChaos(
+        workload, setup,
+        [n] { return std::make_unique<SnapshotIsolationPolicy>(n); },
+        &policy);
+    // SI promises MVSR only on robustness-certified committed sets; the
+    // structural contracts below are unconditional.
+    if (CheckSiRobustness(result.schedule).robust) {
+      ExpectMvsrClass(workload, result, "snapshot-isolation", setup.label);
+    }
+    EXPECT_EQ(policy->active_snapshots(), 0u) << setup.label;
+    EXPECT_EQ(policy->pending_writes(), 0u) << setup.label;
+    EXPECT_EQ(policy->held_write_claims(), 0u) << setup.label;
+    EXPECT_EQ(policy->store().uncommitted_versions(), 0u) << setup.label;
   }
 }
 

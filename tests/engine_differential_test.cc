@@ -251,6 +251,46 @@ TEST_P(EngineDifferentialFuzz, ToKeepsPromisesAcrossThreads) {
   }
 }
 
+TEST_P(EngineDifferentialFuzz, ThomasSkipLedgerAcrossThreads) {
+  // The Thomas write rule under real threads: skipped writes are elided
+  // from the committed trace, never silently committed — pinned by the
+  // ledger identity total_ops + committed_skipped_ops == sum of script
+  // lengths (every script op either reached the trace or was a skip of a
+  // committed incarnation; aborted incarnations' ops are neither).
+  Workload workload = DrawWorkload(GetParam());
+  const size_t n = workload.scripts.size();
+  uint64_t script_ops = 0;
+  for (const TxnScript& s : workload.scripts) script_ops += s.steps.size();
+  SweepThreads<std::function<std::unique_ptr<TimestampOrderingPolicy>()>,
+               TimestampOrderingPolicy>(
+      workload,
+      [n] {
+        TimestampOrderingPolicy::Options options;
+        options.thomas_write_rule = true;
+        return std::make_unique<TimestampOrderingPolicy>(n, options);
+      },
+      {"csr"},
+      [&](const TimestampOrderingPolicy& policy, const EngineResult& result) {
+        EXPECT_EQ(result.total_ops + result.committed_skipped_ops,
+                  script_ops)
+            << "skip ledger does not balance at " << result.threads
+            << " threads";
+        EXPECT_EQ(result.schedule.size(), result.total_ops);
+        // Skips of aborted incarnations count in skipped_ops but not in
+        // the committed ledger.
+        EXPECT_GE(result.skipped_ops, result.committed_skipped_ops);
+        // A skipped write never reaches the trace: no transaction can
+        // contribute more trace ops than its script has.
+        std::vector<uint64_t> per_txn(n + 1, 0);
+        for (const Operation& op : result.schedule.ops()) ++per_txn[op.txn];
+        for (size_t i = 1; i <= n; ++i) {
+          EXPECT_LE(per_txn[i], workload.scripts[i - 1].steps.size())
+              << "T" << i << " has more trace ops than script steps";
+        }
+        EXPECT_EQ(policy.active_stamp_entries(), 0u);
+      });
+}
+
 TEST_P(EngineDifferentialFuzz, Pw2plKeepsPromisesAcrossThreads) {
   Workload workload = DrawWorkload(GetParam());
   SweepThreads<std::function<std::unique_ptr<PredicatewiseTwoPhaseLocking>()>,

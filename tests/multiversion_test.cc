@@ -1,0 +1,182 @@
+#include "analysis/multiversion.h"
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/robustness.h"
+#include "txn/schedule.h"
+
+namespace nse {
+namespace {
+
+class MultiversionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddIntItems({"a", "b", "c", "d"}, -8, 8).ok());
+  }
+  Database db_;
+};
+
+TEST_F(MultiversionTest, MonoversionAnnotationsResolvePositionally) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).W(1, "a", Value(1)).R(2, "a", Value(1));
+  VersionAnnotations versions = MonoversionAnnotations(sb.Build());
+  ASSERT_EQ(versions.read_from.size(), 3u);
+  EXPECT_EQ(versions.read_from[0], TxnId{0});       // before any write
+  EXPECT_FALSE(versions.read_from[1].has_value());  // writes carry nothing
+  EXPECT_EQ(versions.read_from[2], TxnId{1});       // latest preceding write
+}
+
+TEST_F(MultiversionTest, SerialTraceIsMvsrViaFastPath) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).W(1, "b", Value(1)).R(2, "b", Value(1)).W(
+      2, "c", Value(2));
+  MultiversionReport report = CheckMvsr(sb.Build(), VersionAnnotations{});
+  EXPECT_TRUE(report.decided);
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_TRUE(report.fast_path);
+  ASSERT_TRUE(report.order.has_value());
+  EXPECT_EQ(*report.order, (std::vector<TxnId>{1, 2}));
+}
+
+TEST_F(MultiversionTest, AnnotationOverridesPositionalReadsFrom) {
+  // Trace: w1(a) w2(a) r3(a). Positionally r3 observes T2; the annotation
+  // pins it to T1's *older* version instead — a multiversion read the
+  // positional rule cannot express. Both are MVSR, with different orders.
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1)).W(2, "a", Value(2)).R(3, "a", Value(1));
+  const Schedule schedule = sb.Build();
+
+  MultiversionReport positional = CheckMvsr(schedule, VersionAnnotations{});
+  EXPECT_TRUE(positional.satisfied);
+  ASSERT_TRUE(positional.order.has_value());
+  EXPECT_EQ(*positional.order, (std::vector<TxnId>{1, 2, 3}));
+
+  VersionAnnotations versions;
+  versions.read_from = {std::nullopt, std::nullopt, TxnId{1}};
+  MultiversionReport annotated = CheckMvsr(schedule, versions);
+  EXPECT_TRUE(annotated.decided);
+  EXPECT_TRUE(annotated.satisfied);
+  EXPECT_TRUE(annotated.fast_path);
+  ASSERT_TRUE(annotated.order.has_value());
+  // T3 must now land after T1 but before T2's overwrite.
+  EXPECT_EQ(*annotated.order, (std::vector<TxnId>{1, 3, 2}));
+}
+
+TEST_F(MultiversionTest, AnnotationNamingANonWriterIsMalformed) {
+  ScheduleBuilder sb(db_);
+  sb.W(1, "a", Value(1)).R(2, "a", Value(1));
+  VersionAnnotations versions;
+  versions.read_from = {std::nullopt, TxnId{7}};  // T7 never writes a
+  MultiversionReport report = CheckMvsr(sb.Build(), versions);
+  EXPECT_TRUE(report.decided);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.detail.find("malformed"), std::string::npos);
+}
+
+TEST_F(MultiversionTest, MutualReadsFromIsRefutedByExhaustedSearch) {
+  // T1 reads T2's write and T2 reads T1's write: whichever runs first in a
+  // serial monoversion execution cannot observe the other. The MVSG is
+  // cyclic under every version order, so this lands in the search tier.
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(2)).R(2, "b", Value(1)).W(1, "b", Value(1)).W(
+      2, "a", Value(2));
+  VersionAnnotations versions;
+  versions.read_from = {TxnId{2}, TxnId{1}, std::nullopt, std::nullopt};
+  MultiversionReport report = CheckMvsr(sb.Build(), versions);
+  EXPECT_TRUE(report.decided);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_FALSE(report.fast_path);
+  EXPECT_GT(report.nodes_visited, 0u);
+}
+
+TEST_F(MultiversionTest, NodeCapLeavesTheVerdictUndecided) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(2)).R(2, "b", Value(1)).W(1, "b", Value(1)).W(
+      2, "a", Value(2));
+  VersionAnnotations versions;
+  versions.read_from = {TxnId{2}, TxnId{1}, std::nullopt, std::nullopt};
+  MultiversionReport report = CheckMvsr(sb.Build(), versions,
+                                        /*node_limit=*/1);
+  EXPECT_FALSE(report.decided);
+  EXPECT_FALSE(report.satisfied);
+}
+
+TEST_F(MultiversionTest, ViewSerializabilityPinsFinalWrites) {
+  // w2(a) w1(a): no reads, so every order reproduces the (empty)
+  // reads-from — but view equivalence also pins a's final writer to T1,
+  // which only the order T2 T1 lands. The MVSG fast path proposes T1 T2
+  // and fails the final-write check, forcing the search tier.
+  ScheduleBuilder sb(db_);
+  sb.W(2, "a", Value(2)).W(1, "a", Value(1));
+  MultiversionReport report = CheckViewSerializability(sb.Build());
+  EXPECT_TRUE(report.decided);
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_FALSE(report.fast_path);
+  ASSERT_TRUE(report.order.has_value());
+  EXPECT_EQ(*report.order, (std::vector<TxnId>{2, 1}));
+}
+
+TEST_F(MultiversionTest, WriteSkewTraceIsNotMvsr) {
+  // The SI anomaly: both transactions read both items from the initial
+  // state, then each writes one. No serial order lets both still see the
+  // initial state of the item the other wrote.
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0))
+      .R(1, "b", Value(0))
+      .R(2, "a", Value(0))
+      .R(2, "b", Value(0))
+      .W(1, "a", Value(1))
+      .W(2, "b", Value(2));
+  VersionAnnotations versions;
+  versions.read_from = {TxnId{0}, TxnId{0}, TxnId{0}, TxnId{0}, std::nullopt,
+                        std::nullopt};
+  MultiversionReport report = CheckMvsr(sb.Build(), versions);
+  EXPECT_TRUE(report.decided);
+  EXPECT_FALSE(report.satisfied);
+}
+
+// ---- static SI robustness ---------------------------------------------------
+
+TEST_F(MultiversionTest, DisjointWorkloadIsRobust) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).W(1, "b", Value(1)).R(2, "c", Value(0)).W(
+      2, "d", Value(2));
+  RobustnessReport report = CheckSiRobustness(sb.Build());
+  EXPECT_TRUE(report.robust);
+  EXPECT_EQ(report.vulnerable_edges, 0u);
+  EXPECT_FALSE(report.pivot.has_value());
+  EXPECT_NE(RobustnessWitness(report).find("no dangerous structure"),
+            std::string::npos);
+}
+
+TEST_F(MultiversionTest, SingleVulnerableEdgeWithoutACycleIsRobust) {
+  // T1 reads what T2 writes: one rw edge, but no path back — no pivot.
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0)).W(2, "a", Value(1));
+  RobustnessReport report = CheckSiRobustness(sb.Build());
+  EXPECT_TRUE(report.robust);
+  EXPECT_EQ(report.vulnerable_edges, 1u);
+}
+
+TEST_F(MultiversionTest, WriteSkewWorkloadHasADangerousStructure) {
+  ScheduleBuilder sb(db_);
+  sb.R(1, "a", Value(0))
+      .R(1, "b", Value(0))
+      .W(1, "a", Value(1))
+      .R(2, "a", Value(0))
+      .R(2, "b", Value(0))
+      .W(2, "b", Value(2));
+  RobustnessReport report = CheckSiRobustness(sb.Build());
+  EXPECT_FALSE(report.robust);
+  ASSERT_TRUE(report.pivot.has_value());
+  ASSERT_TRUE(report.in_rw_from.has_value());
+  ASSERT_TRUE(report.out_rw_to.has_value());
+  EXPECT_NE(RobustnessWitness(report).find("dangerous structure"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nse

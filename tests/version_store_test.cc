@@ -1,0 +1,183 @@
+#include "state/version_store.h"
+
+#include <gtest/gtest.h>
+
+namespace nse {
+namespace {
+
+TEST(VersionStoreTest, InitialVersionServesAnyTimestamp) {
+  VersionStore store(2);
+  for (uint64_t ts : {0u, 1u, 1000u}) {
+    auto view = store.Peek(0, ts);
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_EQ(view->writer_ts, 0u);
+    EXPECT_EQ(view->writer, 0u);
+    EXPECT_EQ(view->value, 0);
+    EXPECT_TRUE(view->committed);
+  }
+  // Items past the constructed range materialize on demand.
+  auto beyond = store.Peek(7, 3);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_EQ(beyond->writer_ts, 0u);
+}
+
+TEST(VersionStoreTest, ReadsServeNewestVersionAtOrBelow) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/true).ok());
+  ASSERT_TRUE(store.InstallVersion(0, 10, 2, 100, /*committed=*/true).ok());
+
+  auto below = store.ReadAtTimestamp(0, 3);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(below->writer_ts, 0u);  // initial
+
+  auto middle = store.ReadAtTimestamp(0, 7);
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ(middle->writer_ts, 5u);
+  EXPECT_EQ(middle->writer, 1u);
+  EXPECT_EQ(middle->value, 50);
+
+  auto top = store.ReadAtTimestamp(0, 12);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->writer_ts, 10u);
+  EXPECT_EQ(top->value, 100);
+}
+
+TEST(VersionStoreTest, OutOfOrderInstallKeepsChainStampSorted) {
+  VersionStore store(1);
+  // A Thomas-rule stale write: the newer stamp lands first, the older one
+  // second — the chain must still serve stamp order.
+  ASSERT_TRUE(store.InstallVersion(0, 10, 2, 100, /*committed=*/true).ok());
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/true).ok());
+  auto middle = store.ReadAtTimestamp(0, 7);
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ(middle->writer_ts, 5u);
+  auto top = store.ReadAtTimestamp(0, 11);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->writer_ts, 10u);
+}
+
+TEST(VersionStoreTest, SameWriterReplacesOwnStampOtherWriterRejected) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/false).ok());
+  // A transaction overwriting its own write replaces the value in place.
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 51, /*committed=*/false).ok());
+  EXPECT_EQ(store.total_versions(), 2u);  // initial + the one stamp
+  auto view = store.Peek(0, 5);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->value, 51);
+  // A different writer colliding on the stamp is a policy bug.
+  EXPECT_EQ(store.InstallVersion(0, 5, 2, 99, false).code(),
+            StatusCode::kInvalidArgument);
+  // Stamp 0 is reserved for the initial version.
+  EXPECT_EQ(store.InstallVersion(0, 0, 1, 1, true).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VersionStoreTest, ReadBarrierTracksReadStamps) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/true).ok());
+  ASSERT_TRUE(store.ReadAtTimestamp(0, 7).ok());  // rts(v5) = 7
+
+  // A write at 6 would invalidate the read at 7 served version 5.
+  auto blocked = store.HasReadBarrier(0, 6);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_TRUE(*blocked);
+  // A write at 8 sits above that read: nothing is invalidated.
+  auto clear = store.HasReadBarrier(0, 8);
+  ASSERT_TRUE(clear.ok());
+  EXPECT_FALSE(*clear);
+  // Peek records no read stamp: peeking at 9 must not block a write at 8.
+  ASSERT_TRUE(store.Peek(0, 9).ok());
+  auto still_clear = store.HasReadBarrier(0, 8);
+  ASSERT_TRUE(still_clear.ok());
+  EXPECT_FALSE(*still_clear);
+}
+
+TEST(VersionStoreTest, ReadCommittedAtSkipsUncommittedVersions) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/true).ok());
+  ASSERT_TRUE(store.InstallVersion(0, 10, 2, 100, /*committed=*/false).ok());
+
+  auto committed = store.ReadCommittedAt(0, 12);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->writer_ts, 5u);  // v10 is still in flight
+
+  auto peeked = store.Peek(0, 12);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(peeked->writer_ts, 10u);
+  EXPECT_FALSE(peeked->committed);
+
+  ASSERT_TRUE(store.CommitVersion(0, 10).ok());
+  auto now_visible = store.ReadCommittedAt(0, 12);
+  ASSERT_TRUE(now_visible.ok());
+  EXPECT_EQ(now_visible->writer_ts, 10u);
+  EXPECT_EQ(store.uncommitted_versions(), 0u);
+}
+
+TEST(VersionStoreTest, CommitOfMissingVersionIsNotFound) {
+  VersionStore store(1);
+  EXPECT_EQ(store.CommitVersion(0, 5).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.CommitVersion(3, 5).code(), StatusCode::kNotFound);
+}
+
+TEST(VersionStoreTest, RemoveVersionIsIdempotent) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/false).ok());
+  ASSERT_TRUE(store.RemoveVersion(0, 5).ok());
+  EXPECT_EQ(store.total_versions(), 1u);  // initial only
+  // Chaos re-aborts retracted transactions: the second retraction is a
+  // no-op, not an error.
+  ASSERT_TRUE(store.RemoveVersion(0, 5).ok());
+  ASSERT_TRUE(store.RemoveVersion(9, 5).ok());  // untouched item
+  // The initial version is not removable.
+  EXPECT_EQ(store.RemoveVersion(0, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VersionStoreTest, TruncateBelowKeepsFloorAndFoldsReadStamps) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/true).ok());
+  // A reader at 12 is served v5 and stamps rts(v5) = 12 ...
+  auto read = store.ReadAtTimestamp(0, 12);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->writer_ts, 5u);
+  // ... then a write with the older stamp 10 lands (Thomas-style).
+  ASSERT_TRUE(store.InstallVersion(0, 10, 2, 100, /*committed=*/true).ok());
+
+  // Watermark 12: the floor is v10, so the initial version and v5 fold —
+  // and v5's read stamp (12) must survive on the floor.
+  EXPECT_EQ(store.TruncateBelow(12), 2u);
+  EXPECT_EQ(store.total_versions(), 1u);
+  EXPECT_EQ(store.max_chain_length(), 1u);
+  EXPECT_EQ(store.truncated_versions(), 2u);
+  // A write at 11 still sees the barrier the read at 12 erected: the fold
+  // kept rts 12 visible on the surviving version (stamp 10 < 11 < rts 12).
+  auto barrier = store.HasReadBarrier(0, 11);
+  ASSERT_TRUE(barrier.ok());
+  EXPECT_TRUE(*barrier);
+}
+
+TEST(VersionStoreTest, TruncateBelowNeverDropsUncommittedVersions) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/false).ok());
+  ASSERT_TRUE(store.InstallVersion(0, 10, 2, 100, /*committed=*/true).ok());
+  // The floor is v10; v5 is uncommitted and must survive, only the initial
+  // version folds.
+  EXPECT_EQ(store.TruncateBelow(12), 1u);
+  EXPECT_EQ(store.uncommitted_versions(), 1u);
+  auto in_flight = store.Peek(0, 5);
+  ASSERT_TRUE(in_flight.ok());
+  EXPECT_EQ(in_flight->writer_ts, 5u);
+  EXPECT_FALSE(in_flight->committed);
+}
+
+TEST(VersionStoreTest, TruncateBelowWatermarkUnderEverythingIsANoOp) {
+  VersionStore store(1);
+  ASSERT_TRUE(store.InstallVersion(0, 5, 1, 50, /*committed=*/true).ok());
+  // Watermark 3: the floor is the initial version (index 0) — nothing to
+  // reclaim.
+  EXPECT_EQ(store.TruncateBelow(3), 0u);
+  EXPECT_EQ(store.total_versions(), 2u);
+}
+
+}  // namespace
+}  // namespace nse

@@ -22,10 +22,10 @@ import json
 import sys
 
 # Fields guarded as relative performance (fresh >= baseline / tolerance).
-# bench_sgt's "speedup" is a ratio of simulated-tick throughputs, which is
-# deterministic per seed — it passes any tolerance unless the policy logic
-# itself changes.
-SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential")
+# bench_sgt's "speedup" and bench_mvcc's "speedup_vs_2pl" are ratios of
+# simulated-tick throughputs, which are deterministic per seed — they pass
+# any tolerance unless the policy logic itself changes.
+SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential", "speedup_vs_2pl")
 # Deterministic outputs of seeded runs: must match exactly. The per-policy
 # bench_sgt counters pin the policy zoo's structural invariants in CI:
 # aborts_ww must stay 0 (wound-wait deadlock freedom), restarts_to is TO's
@@ -48,13 +48,18 @@ EXACT_FIELDS = ("checked", "violations", "truncated", "cycles_resolved",
                 "max_restarts_to",
                 "completed_sgt", "crashes_sgt", "fault_aborts_sgt",
                 "boosts_sgt", "shed_sgt", "backoff_ticks_sgt",
-                "max_restarts_sgt")
+                "max_restarts_sgt",
+                # bench_mvcc outcome counters: deterministic tick-sim runs,
+                # with read_only_rollbacks doubling as the writers-never-
+                # block-readers pin — it must stay 0 on the mvto and
+                # snapshot-isolation rows of every mix.
+                "rollbacks", "read_only_rollbacks")
 # Measurements (never part of the row identity). cache_computes is
 # deterministic single-threaded but depends on request-coalescing timing
 # across workers, so it is reported, not guarded.
 MEASUREMENT_FIELDS = set(SPEEDUP_FIELDS) | set(EXACT_FIELDS) | {
     "wall_ms", "trials_per_s", "txns_per_s", "cache_hit_rate",
-    "cache_computes",
+    "cache_computes", "makespan",
     "legacy_ms",
     "incremental_ms", "legacy_per_tick_us", "incremental_per_tick_us",
     "edge_updates", "makespan_2pl", "makespan_pw2pl", "makespan_sgt",
