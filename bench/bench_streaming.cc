@@ -1,0 +1,341 @@
+// The streaming checker's throughput/memory contract, measured: a
+// million-op history is streamed through the windowed checker without ever
+// being materialized, and the JSON rows pin (exactly — the stream is a
+// pure function of the seed) how many transactions the window actually
+// retains. The lane-structured stream is acyclic by construction — each
+// lane runs its transactions serially over its own item block, and the
+// only cross-lane conflicts are reads of a hot read-only set written once
+// up front — so no plane ever latches a violation and every event pays
+// full bookkeeping: the numbers are the checker's steady state, not the
+// post-latch fast path. peak_retained must stay near window + lanes while
+// the log holds hundreds of thousands of transactions; that inequality is
+// NSE_CHECKed here and the exact counters are guarded by
+// tools/check_bench_regression.py against BENCH_streaming.json.
+//
+// The speedup row materializes a smaller lane log and times the streaming
+// pass against the batch plane (CommittedProjection → AnalysisContext) on
+// the same history, asserting verdict agreement first — the differential
+// contract from the test suite, re-checked at bench scale.
+//
+// --smoke runs tiny streams with all the asserts and no JSON; the full
+// run writes BENCH_streaming.json (override the path with the last
+// argument).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/streaming_checker.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "history/batch_check.h"
+#include "history/history.h"
+#include "state/database.h"
+
+namespace nse {
+namespace {
+
+struct LaneConfig {
+  uint32_t lanes = 8;            ///< concurrent serial lanes
+  /// Private block per lane. Sized so same-lane conflicts are sparse: the
+  /// conflict-graph edge count of the WHOLE log grows ~quadratically in
+  /// transactions over a fixed catalog (every item reuse is a conflict),
+  /// so a tiny block would make any whole-log analysis — batch, or
+  /// streaming with an unbounded window — inherently quadratic. The
+  /// windowed checker only ever sees the retained neighborhood either
+  /// way; the block size governs the batch side of the speedup row.
+  uint32_t items_per_lane = 64;
+  uint32_t hot_items = 4;        ///< read-only shared set
+  uint32_t min_ops = 2;          ///< ops per transaction, uniform
+  uint32_t max_ops = 6;
+  double hot_read_fraction = 0.2;
+  double write_fraction = 0.5;
+  uint64_t target_ops = 1'000'000;
+  uint64_t seed = 42;
+};
+
+Database LaneCatalog(const LaneConfig& config) {
+  Database db;
+  std::vector<std::string> names;
+  for (uint32_t lane = 0; lane < config.lanes; ++lane) {
+    for (uint32_t i = 0; i < config.items_per_lane; ++i) {
+      names.push_back("l" + std::to_string(lane) + "_" + std::to_string(i));
+    }
+  }
+  for (uint32_t h = 0; h < config.hot_items; ++h) {
+    names.push_back("hot" + std::to_string(h));
+  }
+  NSE_CHECK(db.AddIntItems(names, 0, 1 << 20).ok());
+  return db;
+}
+
+/// Deterministic lane-structured stream: lane transactions are serial
+/// within a lane (conflict edges only flow forward along each lane) and
+/// the hot set is written exactly once by the setup transaction before
+/// any reader begins, so the full conflict graph is acyclic no matter how
+/// the lanes interleave. `sink` receives every event; an optional
+/// collector materializes the log for batch comparison.
+template <typename Sink>
+uint64_t EmitLaneStream(const LaneConfig& config, const Database& db,
+                        Sink&& sink) {
+  struct Lane {
+    TxnId txn = 0;
+    uint32_t ops_left = 0;
+  };
+  Rng rng(config.seed);
+  const ItemId hot_base = config.lanes * config.items_per_lane;
+  TxnId next_txn = 1;
+  int64_t next_value = 1;
+  uint64_t ops = 0;
+
+  // Setup transaction: writes the hot set, commits before anyone reads.
+  const TxnId setup = next_txn++;
+  sink(HistoryEvent::Begin(setup));
+  for (uint32_t h = 0; h < config.hot_items; ++h) {
+    sink(HistoryEvent::Write(setup, hot_base + h, Value(next_value++)));
+    ++ops;
+  }
+  sink(HistoryEvent::Commit(setup));
+
+  std::vector<Lane> lanes(config.lanes);
+  while (ops < config.target_ops) {
+    Lane& lane = lanes[rng.NextBelow(config.lanes)];
+    const uint32_t lane_index = static_cast<uint32_t>(&lane - lanes.data());
+    if (lane.txn == 0) {
+      lane.txn = next_txn++;
+      lane.ops_left = static_cast<uint32_t>(
+          rng.NextInt(config.min_ops, config.max_ops));
+      sink(HistoryEvent::Begin(lane.txn));
+      continue;
+    }
+    if (lane.ops_left == 0) {
+      sink(HistoryEvent::Commit(lane.txn));
+      lane.txn = 0;
+      continue;
+    }
+    --lane.ops_left;
+    ++ops;
+    if (rng.NextBool(config.hot_read_fraction)) {
+      const ItemId item = hot_base +
+                          static_cast<ItemId>(rng.NextBelow(config.hot_items));
+      sink(HistoryEvent::Read(lane.txn, item, Value(0), setup));
+      continue;
+    }
+    const ItemId item =
+        lane_index * config.items_per_lane +
+        static_cast<ItemId>(rng.NextBelow(config.items_per_lane));
+    if (rng.NextBool(config.write_fraction)) {
+      sink(HistoryEvent::Write(lane.txn, item, Value(next_value++)));
+    } else {
+      sink(HistoryEvent::Read(lane.txn, item, Value(0)));
+    }
+  }
+  for (Lane& lane : lanes) {
+    if (lane.txn != 0) sink(HistoryEvent::Commit(lane.txn));
+  }
+  return ops;
+}
+
+struct StreamRow {
+  std::string name;
+  size_t window = 0;
+  size_t planes = 0;
+  StreamingStats stats;
+  uint64_t violations = 0;
+  size_t aborted_reads = 0;
+  double wall_ms = 0;
+  double ops_per_s = 0;
+  double speedup_vs_batch = 0;  ///< only on the speedup row
+  double batch_ms = 0;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Streams the lane log straight into the checker — nothing materialized.
+StreamRow RunStreamRow(const std::string& name, const LaneConfig& config,
+                       size_t window, size_t plane_count) {
+  Database db = LaneCatalog(config);
+  StreamingOptions options;
+  options.window = window;
+  if (plane_count > 1) {
+    // Split the catalog into contiguous ranges.
+    const ItemId per = static_cast<ItemId>(db.num_items() / plane_count);
+    for (size_t p = 0; p < plane_count; ++p) {
+      DataSet plane;
+      const ItemId lo = static_cast<ItemId>(p * per);
+      const ItemId hi = (p + 1 == plane_count)
+                            ? static_cast<ItemId>(db.num_items())
+                            : static_cast<ItemId>(lo + per);
+      for (ItemId item = lo; item < hi; ++item) plane.Insert(item);
+      options.planes.push_back(plane);
+    }
+  }
+  StreamingChecker checker(db, options);
+  const auto start = std::chrono::steady_clock::now();
+  EmitLaneStream(config, db, [&](const HistoryEvent& event) {
+    Status fed = checker.Feed(event);
+    NSE_CHECK_MSG(fed.ok(), "%s", fed.ToString().c_str());
+  });
+  NSE_CHECK(!checker.violation_seen());  // acyclic by construction
+  StreamingReport report = checker.Finish();
+  const double wall_ms = MsSince(start);
+  NSE_CHECK(report.ok());
+  // The memory contract: retention tracks the window plus the concurrent
+  // lanes, not the log.
+  NSE_CHECK_MSG(report.stats.peak_retained < window + config.lanes + 16,
+                "peak_retained %zu exceeds window bound",
+                report.stats.peak_retained);
+
+  StreamRow row;
+  row.name = name;
+  row.window = window;
+  row.planes = options.planes.size();
+  row.stats = report.stats;
+  row.violations = report.full.ok ? 0 : 1;
+  row.aborted_reads = report.aborted_reads.size();
+  row.wall_ms = wall_ms;
+  row.ops_per_s = report.stats.ops / (wall_ms / 1e3);
+  return row;
+}
+
+/// Materializes a smaller lane log and times streaming vs the batch plane
+/// on the identical history, asserting the differential contract first.
+StreamRow RunSpeedupRow(const LaneConfig& config, size_t window) {
+  History h;
+  h.db = LaneCatalog(config);
+  EmitLaneStream(config, h.db,
+                 [&](const HistoryEvent& event) { h.events.push_back(event); });
+
+  auto start = std::chrono::steady_clock::now();
+  StreamingOptions options;
+  options.window = window;
+  StreamingReport streaming = CheckHistoryStreaming(h, options);
+  const double streaming_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  BatchReport batch = CheckHistoryBatch(h);
+  const double batch_ms = MsSince(start);
+
+  NSE_CHECK(streaming.full.ok == batch.full.ok);
+  NSE_CHECK(streaming.aborted_reads == batch.aborted_reads);
+  NSE_CHECK(streaming.ok() && batch.ok());
+
+  StreamRow row;
+  row.name = "speedup_vs_batch";
+  row.window = window;
+  row.stats = streaming.stats;
+  row.violations = streaming.full.ok ? 0 : 1;
+  row.aborted_reads = streaming.aborted_reads.size();
+  row.wall_ms = streaming_ms;
+  row.ops_per_s = streaming.stats.ops / (streaming_ms / 1e3);
+  row.speedup_vs_batch = batch_ms / streaming_ms;
+  row.batch_ms = batch_ms;
+  return row;
+}
+
+void PrintRow(const StreamRow& row) {
+  std::printf(
+      "%-22s window %-5zu planes %zu | %9llu events %9llu ops "
+      "%8.0f ops/s | retained peak %5zu evictions %8llu rebuilds %llu",
+      row.name.c_str(), row.window, row.planes,
+      static_cast<unsigned long long>(row.stats.events),
+      static_cast<unsigned long long>(row.stats.ops), row.ops_per_s,
+      row.stats.peak_retained,
+      static_cast<unsigned long long>(row.stats.evictions),
+      static_cast<unsigned long long>(row.stats.rebuilds));
+  if (row.speedup_vs_batch > 0) {
+    std::printf(" | %.2fx vs batch (%.1f ms vs %.1f ms)", row.speedup_vs_batch,
+                row.wall_ms, row.batch_ms);
+  }
+  std::printf("\n");
+}
+
+int Run(bool smoke, uint64_t ops_override, const std::string& json_path) {
+  LaneConfig stream_config;
+  LaneConfig speedup_config;
+  speedup_config.target_ops = 50'000;
+  speedup_config.seed = 7;
+  speedup_config.items_per_lane = 512;  // keep the batch edge count sane
+  if (smoke) {
+    stream_config.target_ops = 4'000;
+    speedup_config.target_ops = 4'000;
+  }
+  if (ops_override != 0) {
+    stream_config.target_ops = ops_override;
+    speedup_config.target_ops = std::min<uint64_t>(ops_override, 50'000);
+  }
+
+  std::vector<StreamRow> rows;
+  rows.push_back(RunStreamRow("lane_stream", stream_config, 64, 0));
+  rows.push_back(RunStreamRow("lane_stream", stream_config, 512, 0));
+  rows.push_back(RunStreamRow("lane_stream_planes", stream_config, 64, 2));
+  rows.push_back(RunSpeedupRow(speedup_config, 64));
+  for (const StreamRow& row : rows) PrintRow(row);
+
+  if (smoke) {
+    std::printf("smoke ok\n");
+    return 0;
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"streaming\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const StreamRow& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"case\": \"%s\", \"window\": %zu, \"planes\": %zu, "
+        "\"events\": %llu, \"ops\": %llu, \"commits\": %llu, "
+        "\"evictions\": %llu, \"rebuilds\": %llu, \"peak_retained\": %zu, "
+        "\"violations\": %llu, \"aborted_reads\": %zu, ",
+        row.name.c_str(), row.window, row.planes,
+        static_cast<unsigned long long>(row.stats.events),
+        static_cast<unsigned long long>(row.stats.ops),
+        static_cast<unsigned long long>(row.stats.commits),
+        static_cast<unsigned long long>(row.stats.evictions),
+        static_cast<unsigned long long>(row.stats.rebuilds),
+        row.stats.peak_retained,
+        static_cast<unsigned long long>(row.violations), row.aborted_reads);
+    if (row.speedup_vs_batch > 0) {
+      std::fprintf(json, "\"speedup_vs_batch\": %.3f, \"batch_ms\": %.3f, ",
+                   row.speedup_vs_batch, row.batch_ms);
+    }
+    std::fprintf(json, "\"ops_per_s\": %.0f, \"wall_ms\": %.3f}%s\n",
+                 row.ops_per_s, row.wall_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::cout << "baseline written to " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  uint64_t ops_override = 0;
+  std::string json_path = "BENCH_streaming.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops_override = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      json_path = argv[i];
+    }
+  }
+  return nse::Run(smoke, ops_override, json_path);
+}

@@ -1,0 +1,165 @@
+#include "history/history.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace nse {
+
+const char* HistoryEventTypeName(HistoryEventType type) {
+  switch (type) {
+    case HistoryEventType::kBegin:
+      return "begin";
+    case HistoryEventType::kRead:
+      return "read";
+    case HistoryEventType::kWrite:
+      return "write";
+    case HistoryEventType::kCommit:
+      return "commit";
+    case HistoryEventType::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class TxnPhase : uint8_t { kUnseen, kActive, kDone };
+
+struct TxnTrack {
+  TxnPhase phase = TxnPhase::kUnseen;
+  /// Items this transaction has written so far (validates read_from).
+  std::unordered_set<ItemId> written;
+};
+
+}  // namespace
+
+Status ValidateHistory(const History& history) {
+  if (history.version != kHistoryFormatVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported history version ", history.version));
+  }
+  std::unordered_map<TxnId, TxnTrack> txns;
+  for (size_t i = 0; i < history.events.size(); ++i) {
+    const HistoryEvent& e = history.events[i];
+    const auto fail = [&](StatusCode code, const std::string& what) {
+      return Status(code, StrCat("event ", i, " (", HistoryEventTypeName(e.type),
+                                 " txn ", e.txn, "): ", what));
+    };
+    if (e.txn == 0) {
+      return fail(StatusCode::kInvalidArgument,
+                  "transaction ids must be >= 1");
+    }
+    TxnTrack& track = txns[e.txn];
+    switch (e.type) {
+      case HistoryEventType::kBegin:
+        if (track.phase == TxnPhase::kActive) {
+          return fail(StatusCode::kFailedPrecondition,
+                      "duplicate begin of an active transaction");
+        }
+        if (track.phase == TxnPhase::kDone) {
+          return fail(StatusCode::kFailedPrecondition,
+                      "transaction id reused after commit/abort");
+        }
+        track.phase = TxnPhase::kActive;
+        break;
+      case HistoryEventType::kRead:
+      case HistoryEventType::kWrite: {
+        if (track.phase == TxnPhase::kUnseen) {
+          return fail(StatusCode::kFailedPrecondition,
+                      "operation before begin");
+        }
+        if (track.phase == TxnPhase::kDone) {
+          return fail(StatusCode::kFailedPrecondition,
+                      "operation after commit/abort");
+        }
+        if (e.item >= history.db.num_items()) {
+          return fail(StatusCode::kNotFound,
+                      StrCat("unknown item id ", e.item));
+        }
+        if (e.type == HistoryEventType::kWrite) {
+          track.written.insert(e.item);
+        } else if (e.read_from.has_value() && *e.read_from != 0) {
+          auto writer = txns.find(*e.read_from);
+          if (writer == txns.end() ||
+              writer->second.written.count(e.item) == 0) {
+            return fail(StatusCode::kFailedPrecondition,
+                        StrCat("read of a never-written version: txn ",
+                               *e.read_from, " has no prior write of ",
+                               history.db.NameOf(e.item)));
+          }
+        }
+        break;
+      }
+      case HistoryEventType::kCommit:
+      case HistoryEventType::kAbort:
+        if (track.phase == TxnPhase::kUnseen) {
+          return fail(StatusCode::kFailedPrecondition,
+                      "commit/abort of an unknown transaction");
+        }
+        if (track.phase == TxnPhase::kDone) {
+          return fail(StatusCode::kFailedPrecondition,
+                      "commit/abort after the transaction already finished");
+        }
+        track.phase = TxnPhase::kDone;
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+TxnFate CommittedProjection::FateOf(TxnId txn) const {
+  auto it = std::lower_bound(txn_ids.begin(), txn_ids.end(), txn);
+  if (it == txn_ids.end() || *it != txn) return TxnFate::kIncomplete;
+  return fates[static_cast<size_t>(it - txn_ids.begin())];
+}
+
+CommittedProjection CommittedProjectionOf(const History& history) {
+  // One pass to settle fates.
+  std::unordered_map<TxnId, TxnFate> fate_of;
+  for (const HistoryEvent& e : history.events) {
+    switch (e.type) {
+      case HistoryEventType::kBegin:
+        fate_of.emplace(e.txn, TxnFate::kIncomplete);
+        break;
+      case HistoryEventType::kCommit:
+        fate_of[e.txn] = TxnFate::kCommitted;
+        break;
+      case HistoryEventType::kAbort:
+        fate_of[e.txn] = TxnFate::kAborted;
+        break;
+      default:
+        break;
+    }
+  }
+
+  CommittedProjection out;
+  out.txn_ids.reserve(fate_of.size());
+  for (const auto& [txn, fate] : fate_of) out.txn_ids.push_back(txn);
+  std::sort(out.txn_ids.begin(), out.txn_ids.end());
+  out.fates.reserve(out.txn_ids.size());
+  for (TxnId txn : out.txn_ids) out.fates.push_back(fate_of[txn]);
+
+  // Second pass collects committed operations in log order.
+  OpSequence ops;
+  for (size_t i = 0; i < history.events.size(); ++i) {
+    const HistoryEvent& e = history.events[i];
+    if (e.type != HistoryEventType::kRead &&
+        e.type != HistoryEventType::kWrite) {
+      continue;
+    }
+    if (fate_of[e.txn] != TxnFate::kCommitted) continue;
+    ops.push_back(e.type == HistoryEventType::kRead
+                      ? Operation::Read(e.txn, e.item, e.value)
+                      : Operation::Write(e.txn, e.item, e.value));
+    out.annotations.read_from.push_back(
+        e.type == HistoryEventType::kRead ? e.read_from : std::nullopt);
+    out.source_events.push_back(i);
+  }
+  out.schedule = Schedule(std::move(ops));
+  return out;
+}
+
+}  // namespace nse

@@ -1,0 +1,258 @@
+#include "history/history_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nse {
+
+HistoryGenerator::HistoryGenerator(HistoryGenOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  NSE_CHECK(options_.num_items >= 2);
+  NSE_CHECK(options_.min_ops_per_txn >= 1 &&
+            options_.min_ops_per_txn <= options_.max_ops_per_txn);
+  NSE_CHECK(options_.max_active >= 1);
+  for (uint32_t i = 0; i < options_.num_items; ++i) {
+    NSE_CHECK(db_.AddItem(StrCat("x", i), Domain()).ok());
+  }
+  last_writer_.assign(options_.num_items, 0);
+}
+
+TxnId HistoryGenerator::NewTxn() { return next_txn_++; }
+
+ItemId HistoryGenerator::RandomItem() {
+  return static_cast<ItemId>(rng_.NextBelow(options_.num_items));
+}
+
+HistoryEvent HistoryGenerator::MakeRead(TxnId txn, ItemId item,
+                                        bool force_annotate) {
+  std::optional<TxnId> from;
+  if (force_annotate || rng_.NextBool(options_.annotate_fraction)) {
+    from = last_writer_[item];  // 0 = initial state, always valid
+  }
+  return HistoryEvent::Read(txn, item, Value(next_value_++), from);
+}
+
+HistoryEvent HistoryGenerator::MakeWrite(TxnId txn, ItemId item) {
+  last_writer_[item] = txn;
+  return HistoryEvent::Write(txn, item, Value(next_value_++));
+}
+
+void HistoryGenerator::PushDirtyRead() {
+  // w_W(x) r_R(x from W) commit_R abort_W: R commits having observed a
+  // version that never happened.
+  TxnId writer = NewTxn();
+  TxnId reader = NewTxn();
+  ItemId x = RandomItem();
+  pending_.push_back(HistoryEvent::Begin(writer));
+  pending_.push_back(HistoryEvent::Begin(reader));
+  pending_.push_back(MakeWrite(writer, x));
+  pending_.push_back(MakeRead(reader, x, /*force_annotate=*/true));
+  pending_.push_back(HistoryEvent::Commit(reader));
+  pending_.push_back(HistoryEvent::Abort(writer));
+}
+
+void HistoryGenerator::PushLostUpdate() {
+  // r_1(x) r_2(x) w_1(x) w_2(x): T2's write clobbers T1's read-modify-write
+  // — edges T1→T2 (r1 before w2) and T2→T1 (r2 before w1), a CSR cycle.
+  TxnId t1 = NewTxn();
+  TxnId t2 = NewTxn();
+  ItemId x = RandomItem();
+  pending_.push_back(HistoryEvent::Begin(t1));
+  pending_.push_back(HistoryEvent::Begin(t2));
+  pending_.push_back(MakeRead(t1, x));
+  pending_.push_back(MakeRead(t2, x));
+  pending_.push_back(MakeWrite(t1, x));
+  pending_.push_back(MakeWrite(t2, x));
+  pending_.push_back(HistoryEvent::Commit(t1));
+  pending_.push_back(HistoryEvent::Commit(t2));
+}
+
+void HistoryGenerator::PushWriteSkew() {
+  // r_1(a) r_2(b) w_1(b) w_2(a): each transaction reads the item the other
+  // writes — a CSR cycle that snapshot isolation admits.
+  TxnId t1 = NewTxn();
+  TxnId t2 = NewTxn();
+  ItemId a = RandomItem();
+  ItemId b = (a + 1) % options_.num_items;
+  pending_.push_back(HistoryEvent::Begin(t1));
+  pending_.push_back(HistoryEvent::Begin(t2));
+  pending_.push_back(MakeRead(t1, a));
+  pending_.push_back(MakeRead(t2, b));
+  pending_.push_back(MakeWrite(t1, b));
+  pending_.push_back(MakeWrite(t2, a));
+  pending_.push_back(HistoryEvent::Commit(t1));
+  pending_.push_back(HistoryEvent::Commit(t2));
+}
+
+void HistoryGenerator::PushCsrCycle() {
+  // k transactions, k items: phase 1 w_i(x_i), phase 2 w_i(x_{(i mod k)+1})
+  // — ww edges i → (i mod k)+1 close a k-cycle no pairwise swap breaks.
+  uint32_t k = static_cast<uint32_t>(rng_.NextInt(3, 5));
+  k = std::min(k, options_.num_items);
+  std::vector<TxnId> txns(k);
+  std::vector<ItemId> items(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    txns[i] = NewTxn();
+    items[i] = static_cast<ItemId>(i);
+    pending_.push_back(HistoryEvent::Begin(txns[i]));
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    pending_.push_back(MakeWrite(txns[i], items[i]));
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    pending_.push_back(MakeWrite(txns[i], items[(i + 1) % k]));
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    pending_.push_back(HistoryEvent::Commit(txns[i]));
+  }
+}
+
+void HistoryGenerator::PushGadget() {
+  double roll = rng_.NextDouble();
+  if (roll < options_.dirty_read_fraction) {
+    PushDirtyRead();
+    return;
+  }
+  roll -= options_.dirty_read_fraction;
+  if (roll < options_.lost_update_fraction) {
+    PushLostUpdate();
+    return;
+  }
+  roll -= options_.lost_update_fraction;
+  if (roll < options_.write_skew_fraction) {
+    PushWriteSkew();
+    return;
+  }
+  roll -= options_.write_skew_fraction;
+  if (roll < options_.csr_cycle_fraction) {
+    PushCsrCycle();
+  }
+}
+
+void HistoryGenerator::Admit() {
+  ActiveTxn txn;
+  txn.txn = NewTxn();
+  txn.ops_left = static_cast<uint32_t>(
+      rng_.NextInt(options_.min_ops_per_txn, options_.max_ops_per_txn));
+  txn.will_abort = rng_.NextBool(options_.abort_fraction);
+  active_.push_back(txn);
+  ++base_started_;
+  pending_.push_back(HistoryEvent::Begin(txn.txn));
+}
+
+void HistoryGenerator::EmitOpOrFinish(size_t slot) {
+  ActiveTxn& txn = active_[slot];
+  if (txn.ops_left == 0) {
+    pending_.push_back(txn.will_abort ? HistoryEvent::Abort(txn.txn)
+                                      : HistoryEvent::Commit(txn.txn));
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(slot));
+    return;
+  }
+  --txn.ops_left;
+  ItemId item = RandomItem();
+  pending_.push_back(rng_.NextBool(options_.write_fraction)
+                         ? MakeWrite(txn.txn, item)
+                         : MakeRead(txn.txn, item));
+}
+
+std::optional<HistoryEvent> HistoryGenerator::Next() {
+  while (pending_.empty()) {
+    const bool can_admit = base_started_ < options_.num_txns &&
+                           active_.size() < options_.max_active;
+    if (can_admit && (active_.empty() || rng_.NextBool(0.35))) {
+      // Each admission slot first rolls for a gadget block, then admits the
+      // base transaction that earned the slot.
+      PushGadget();
+      Admit();
+      continue;
+    }
+    if (active_.empty()) return std::nullopt;  // stream exhausted
+    EmitOpOrFinish(rng_.NextBelow(active_.size()));
+  }
+  HistoryEvent event = std::move(pending_.front());
+  pending_.pop_front();
+  return event;
+}
+
+History HistoryGenerator::Generate() {
+  History history;
+  history.db = db_;
+  while (std::optional<HistoryEvent> event = Next()) {
+    history.events.push_back(std::move(*event));
+  }
+  return history;
+}
+
+History DrawHistory(uint64_t seed) {
+  Rng rng(seed);
+  HistoryGenOptions options;
+  options.num_txns = static_cast<uint32_t>(rng.NextInt(4, 24));
+  options.num_items = static_cast<uint32_t>(rng.NextInt(2, 8));
+  options.max_ops_per_txn = static_cast<uint32_t>(rng.NextInt(2, 6));
+  options.max_active = static_cast<uint32_t>(rng.NextInt(1, 6));
+  options.abort_fraction = rng.NextDouble() * 0.3;
+  options.annotate_fraction = rng.NextDouble();
+  options.write_fraction = 0.3 + rng.NextDouble() * 0.4;
+  options.dirty_read_fraction = rng.NextBool(0.5) ? 0.10 : 0.0;
+  options.lost_update_fraction = rng.NextBool(0.5) ? 0.10 : 0.0;
+  options.write_skew_fraction = rng.NextBool(0.5) ? 0.10 : 0.0;
+  options.csr_cycle_fraction = rng.NextBool(0.5) ? 0.10 : 0.0;
+  HistoryGenerator gen(options, rng.Next());
+  return gen.Generate();
+}
+
+std::vector<std::string> MalformedHistoryCorpus() {
+  const std::string header = "{\"type\":\"history\",\"v\":1}\n";
+  return {
+      // Lexical / structural JSON failures.
+      "",
+      "not json at all\n",
+      header + "{\"type\":\"begin\",\"txn\":1\n",
+      header + "{\"type\":\"begin\",\"txn\":1} trailing\n",
+      header + "{\"type\":\"begin\",\"txn\":1.5}\n",
+      header + "{\"type\":\"begin\",\"txn\":null}\n",
+      header + "{\"type\":\"begin\",\"txn\":[1]}\n",
+      header + "{\"type\":\"begin\",\"txn\":1,\"txn\":2}\n",
+      header + "{\"type\":\"read\",\"txn\":1,\"item\":\"a\\u0041\"}\n",
+      // Header failures.
+      "{\"type\":\"begin\",\"txn\":1}\n",
+      "{\"type\":\"history\",\"v\":99}\n",
+      "{\"type\":\"history\"}\n",
+      header + header,
+      // Schema failures.
+      header + "{\"type\":\"merge\",\"txn\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1,\"extra\":true}\n",
+      header + "{\"type\":\"begin\"}\n",
+      header + "{\"type\":\"begin\",\"txn\":0}\n",
+      header + "{\"type\":\"begin\",\"txn\":-3}\n",
+      header + "{\"type\":\"begin\",\"txn\":4294967296}\n",
+      header + "{\"type\":\"write\",\"txn\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"read\",\"txn\":1,\"item\":\"a\",\"from\":-1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"write\",\"txn\":1,\"item\":\"\",\"value\":0}\n",
+      // Protocol failures (well-formed JSON, invalid event order).
+      header + "{\"type\":\"commit\",\"txn\":1}\n",
+      header + "{\"type\":\"write\",\"txn\":1,\"item\":\"a\",\"value\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"begin\",\"txn\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"commit\",\"txn\":1}\n"
+               "{\"type\":\"begin\",\"txn\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"commit\",\"txn\":1}\n"
+               "{\"type\":\"commit\",\"txn\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"commit\",\"txn\":1}\n"
+               "{\"type\":\"write\",\"txn\":1,\"item\":\"a\",\"value\":1}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"read\",\"txn\":1,\"item\":\"a\",\"from\":7}\n",
+      header + "{\"type\":\"begin\",\"txn\":1}\n"
+               "{\"type\":\"begin\",\"txn\":2}\n"
+               "{\"type\":\"read\",\"txn\":1,\"item\":\"a\",\"from\":2}\n",
+  };
+}
+
+}  // namespace nse

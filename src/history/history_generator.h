@@ -1,0 +1,113 @@
+// Seeded adversarial history generator: a deterministic event stream for
+// fuzzing the black-box plane. Histories are produced one event at a time
+// (Next()), so a multimillion-op log can be streamed into the windowed
+// checker without ever materializing it; Generate() collects the stream
+// into a History for the batch plane.
+//
+// The base stream interleaves up to `max_active` concurrent transactions
+// over a small item catalog — enough contention that conflict cycles arise
+// organically. On top of that, anomaly gadgets are injected with the
+// configured rates, each a short interleaved block with a known diagnosis:
+//
+//   dirty read    w_W(x) r_R(x from W) commit_R abort_W
+//   lost update   r_1(x) r_2(x) w_1(x) w_2(x) — classic CSR cycle
+//   write skew    r_1(a) r_2(b) w_1(b) w_2(a) — CSR cycle, SI-admissible
+//   non-CSR k-cycle   phase 1: w_i(x_i) ∀i; phase 2: w_i(x_{(i mod k)+1})
+//
+// MalformedHistoryCorpus returns texts that MUST be rejected by
+// ParseHistory with a typed error — the negative half of the fuzz surface.
+
+#ifndef NSE_HISTORY_HISTORY_GENERATOR_H_
+#define NSE_HISTORY_HISTORY_GENERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "history/history.h"
+
+namespace nse {
+
+/// Tuning knobs for the generator. Defaults give small, contended,
+/// anomaly-free histories; fuzz harnesses perturb from here.
+struct HistoryGenOptions {
+  uint32_t num_txns = 12;        ///< base transactions (gadget txns extra)
+  uint32_t num_items = 6;        ///< item catalog size ("x0".."xN")
+  uint32_t min_ops_per_txn = 1;  ///< ops per base transaction, uniform
+  uint32_t max_ops_per_txn = 5;
+  uint32_t max_active = 4;       ///< concurrency width of the interleaving
+  double abort_fraction = 0.15;  ///< base transactions that abort
+  double annotate_fraction = 0.5;  ///< reads carrying a read_from annotation
+  double write_fraction = 0.5;     ///< write vs read per base operation
+  /// Gadget injection rates, per admission slot.
+  double dirty_read_fraction = 0.0;
+  double lost_update_fraction = 0.0;
+  double write_skew_fraction = 0.0;
+  double csr_cycle_fraction = 0.0;  ///< non-CSR k-cycle (k in [3,5])
+};
+
+/// Streams one deterministic history, event by event.
+class HistoryGenerator {
+ public:
+  HistoryGenerator(HistoryGenOptions options, uint64_t seed);
+
+  /// The item catalog the stream is drawn over.
+  const Database& db() const { return db_; }
+
+  /// Next event of the stream, or nullopt once the history is complete.
+  /// The concatenation of all events passes ValidateHistory.
+  std::optional<HistoryEvent> Next();
+
+  /// Drains the remaining stream into a History (catalog included).
+  History Generate();
+
+ private:
+  struct ActiveTxn {
+    TxnId txn = 0;
+    uint32_t ops_left = 0;
+    bool will_abort = false;
+  };
+
+  void EmitOpOrFinish(size_t slot);
+  void Admit();
+  void PushGadget();
+  void PushDirtyRead();
+  void PushLostUpdate();
+  void PushWriteSkew();
+  void PushCsrCycle();
+  TxnId NewTxn();
+  ItemId RandomItem();
+  /// A read of `item`, annotated with the last logged writer when the
+  /// annotation coin lands (or always, if `force_annotate`).
+  HistoryEvent MakeRead(TxnId txn, ItemId item, bool force_annotate = false);
+  HistoryEvent MakeWrite(TxnId txn, ItemId item);
+
+  HistoryGenOptions options_;
+  Rng rng_;
+  Database db_;
+  std::deque<HistoryEvent> pending_;
+  std::vector<ActiveTxn> active_;
+  uint32_t base_started_ = 0;
+  TxnId next_txn_ = 1;
+  int64_t next_value_ = 1;
+  /// Last transaction that wrote each item, in log order (0 = none yet).
+  std::vector<TxnId> last_writer_;
+};
+
+/// A complete random well-formed history: options drawn from the seed, all
+/// gadget rates enabled at low levels. The workhorse of the differential
+/// fuzz harness.
+History DrawHistory(uint64_t seed);
+
+/// Texts ParseHistory must reject with a typed error (never a crash).
+/// Covers malformed JSON, bad headers, unknown fields/types, and protocol
+/// violations: out-of-order commit, op before begin, duplicate txn ids,
+/// read of a never-written version.
+std::vector<std::string> MalformedHistoryCorpus();
+
+}  // namespace nse
+
+#endif  // NSE_HISTORY_HISTORY_GENERATOR_H_

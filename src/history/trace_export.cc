@@ -1,0 +1,54 @@
+#include "history/trace_export.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace nse {
+
+History HistoryFromTrace(
+    const Database& db, const Schedule& schedule,
+    const std::vector<std::optional<TxnId>>& read_sources) {
+  NSE_CHECK(read_sources.empty() ||
+            read_sources.size() == schedule.ops().size());
+  // Last trace position of each transaction — its commit goes right after.
+  std::unordered_map<TxnId, size_t> last_pos;
+  for (size_t i = 0; i < schedule.ops().size(); ++i) {
+    last_pos[schedule.ops()[i].txn] = i;
+  }
+
+  History history;
+  history.db = db;
+  history.events.reserve(schedule.ops().size() + 2 * last_pos.size());
+  std::unordered_map<TxnId, bool> begun;
+  for (size_t i = 0; i < schedule.ops().size(); ++i) {
+    const Operation& op = schedule.ops()[i];
+    if (!begun[op.txn]) {
+      begun[op.txn] = true;
+      history.events.push_back(HistoryEvent::Begin(op.txn));
+    }
+    if (op.is_read()) {
+      std::optional<TxnId> from =
+          read_sources.empty() ? std::nullopt : read_sources[i];
+      history.events.push_back(
+          HistoryEvent::Read(op.txn, op.entity, op.value, from));
+    } else {
+      history.events.push_back(
+          HistoryEvent::Write(op.txn, op.entity, op.value));
+    }
+    if (last_pos[op.txn] == i) {
+      history.events.push_back(HistoryEvent::Commit(op.txn));
+    }
+  }
+  return history;
+}
+
+History HistoryFromSim(const Database& db, const SimResult& result) {
+  return HistoryFromTrace(db, result.schedule, result.read_sources);
+}
+
+History HistoryFromEngine(const Database& db, const EngineResult& result) {
+  return HistoryFromTrace(db, result.schedule, result.read_sources);
+}
+
+}  // namespace nse

@@ -1,0 +1,33 @@
+// Trace → history converters: every existing harness doubles as a history
+// format producer. A committed SimResult/EngineResult trace becomes a
+// well-formed History — each transaction begins right before its first
+// committed operation and commits right after its last one, reads carry
+// the trace's read_sources as read_from annotations — so the black-box
+// plane (parser, streaming checker, nse_check) can be exercised against
+// logs whose ground-truth class is already known to the batch checkers.
+
+#ifndef NSE_HISTORY_TRACE_EXPORT_H_
+#define NSE_HISTORY_TRACE_EXPORT_H_
+
+#include "engine/engine.h"
+#include "history/history.h"
+#include "scheduler/sim.h"
+
+namespace nse {
+
+/// Builds a history from a committed trace. `read_sources` must be empty
+/// or parallel to `schedule.ops()` (position-wise read_from annotations,
+/// the SimResult/EngineResult convention). The item catalog is copied from
+/// `db`; the result passes ValidateHistory.
+History HistoryFromTrace(const Database& db, const Schedule& schedule,
+                         const std::vector<std::optional<TxnId>>& read_sources);
+
+/// HistoryFromTrace over a simulation result.
+History HistoryFromSim(const Database& db, const SimResult& result);
+
+/// HistoryFromTrace over an engine result.
+History HistoryFromEngine(const Database& db, const EngineResult& result);
+
+}  // namespace nse
+
+#endif  // NSE_HISTORY_TRACE_EXPORT_H_

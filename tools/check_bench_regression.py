@@ -25,7 +25,8 @@ import sys
 # bench_sgt's "speedup" and bench_mvcc's "speedup_vs_2pl" are ratios of
 # simulated-tick throughputs, which are deterministic per seed — they pass
 # any tolerance unless the policy logic itself changes.
-SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential", "speedup_vs_2pl")
+SPEEDUP_FIELDS = ("speedup", "speedup_vs_sequential", "speedup_vs_2pl",
+                  "speedup_vs_batch")
 # Deterministic outputs of seeded runs: must match exactly. The per-policy
 # bench_sgt counters pin the policy zoo's structural invariants in CI:
 # aborts_ww must stay 0 (wound-wait deadlock freedom), restarts_to is TO's
@@ -53,12 +54,20 @@ EXACT_FIELDS = ("checked", "violations", "truncated", "cycles_resolved",
                 # with read_only_rollbacks doubling as the writers-never-
                 # block-readers pin — it must stay 0 on the mvto and
                 # snapshot-isolation rows of every mix.
-                "rollbacks", "read_only_rollbacks")
+                "rollbacks", "read_only_rollbacks",
+                # bench_streaming: the lane stream is a pure function of
+                # the seed, so every counter is exact — peak_retained is
+                # the windowed checker's memory contract (≈ window + lanes
+                # on a log hundreds of thousands of transactions long) and
+                # must not drift.
+                "events", "ops", "commits", "evictions", "rebuilds",
+                "peak_retained", "aborted_reads")
 # Measurements (never part of the row identity). cache_computes is
 # deterministic single-threaded but depends on request-coalescing timing
 # across workers, so it is reported, not guarded.
 MEASUREMENT_FIELDS = set(SPEEDUP_FIELDS) | set(EXACT_FIELDS) | {
-    "wall_ms", "trials_per_s", "txns_per_s", "cache_hit_rate",
+    "wall_ms", "trials_per_s", "txns_per_s", "ops_per_s", "batch_ms",
+    "cache_hit_rate",
     "cache_computes", "makespan",
     "legacy_ms",
     "incremental_ms", "legacy_per_tick_us", "incremental_per_tick_us",

@@ -1,0 +1,169 @@
+// nse_check: black-box history classification from the command line.
+//
+//   nse_check [--window N] [--plane a,b --plane c ...] FILE.jsonl
+//
+// Reads a versioned JSON-lines history (docs/history-format.md), runs both
+// the streaming windowed checker and the batch plane over it (asserting
+// they agree — the CLI is also a deployment of the differential contract),
+// and prints the classification with witnesses in log-event coordinates.
+//
+// Exit codes: 0 = serializable and clean, 1 = violation (conflict cycle on
+// any plane, or a committed dirty read), 2 = unreadable/malformed input.
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/streaming_checker.h"
+#include "history/batch_check.h"
+#include "history/history.h"
+#include "history/history_io.h"
+
+namespace nse {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: nse_check [--window N] [--plane a,b]... FILE.jsonl\n";
+  return 2;
+}
+
+/// "a,b,c" → DataSet over the history's catalog.
+bool ParsePlane(const Database& db, const std::string& spec, DataSet* plane) {
+  std::stringstream names(spec);
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    if (name.empty()) continue;
+    bool found = false;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (db.NameOf(item) == name) {
+        plane->Insert(item);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "nse_check: unknown item '" << name << "' in plane '"
+                << spec << "'\n";
+      return false;
+    }
+  }
+  return !plane->empty();
+}
+
+std::string DescribeViolation(const StreamingViolation& v) {
+  std::ostringstream out;
+  out << "conflict cycle ";
+  for (size_t i = 0; i < v.cycle.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << "T" << v.cycle[i];
+  }
+  out << ", closed by edge T" << v.edge.first << " -> T" << v.edge.second
+      << " at event " << v.event;
+  return out.str();
+}
+
+std::string DescribePlane(const Database& db, const DataSet& plane) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (ItemId item : plane) {
+    if (!first) out << ",";
+    out << db.NameOf(item);
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+int Run(int argc, char** argv) {
+  size_t window = 64;
+  std::vector<std::string> plane_specs;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = static_cast<size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--plane") == 0 && i + 1 < argc) {
+      plane_specs.push_back(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  Result<History> parsed = ReadHistoryFile(path);
+  if (!parsed.ok()) {
+    std::cerr << "nse_check: " << path << ": " << parsed.status().ToString()
+              << "\n";
+    return 2;
+  }
+  const History& h = *parsed;
+
+  StreamingOptions options;
+  options.window = window;
+  for (const std::string& spec : plane_specs) {
+    DataSet plane;
+    if (!ParsePlane(h.db, spec, &plane)) return 2;
+    options.planes.push_back(plane);
+  }
+
+  StreamingReport report = CheckHistoryStreaming(h, options);
+  BatchReport batch = CheckHistoryBatch(h, options.planes);
+  // The CLI re-checks the differential contract on every invocation.
+  if (report.full.ok != batch.full.ok ||
+      report.aborted_reads != batch.aborted_reads) {
+    std::cerr << "nse_check: internal error: streaming and batch checkers "
+                 "disagree on " << path << "\n";
+    return 2;
+  }
+
+  size_t txns = 0;
+  for (const HistoryEvent& event : h.events) {
+    if (event.type == HistoryEventType::kBegin) ++txns;
+  }
+  std::cout << path << ": " << h.events.size() << " events, " << txns
+            << " txns, " << h.db.num_items() << " items\n";
+
+  if (report.full.ok) {
+    std::cout << "CSR: ok (committed projection is conflict serializable)\n";
+  } else {
+    std::cout << "CSR: VIOLATION — " << DescribeViolation(*report.full.violation)
+              << "\n";
+  }
+  for (size_t p = 0; p < report.planes.size(); ++p) {
+    std::cout << "plane " << DescribePlane(h.db, options.planes[p]) << ": ";
+    if (report.planes[p].ok) {
+      std::cout << "ok\n";
+    } else {
+      std::cout << "VIOLATION — "
+                << DescribeViolation(*report.planes[p].violation) << "\n";
+    }
+  }
+  if (!report.planes.empty()) {
+    const bool pwsr = std::none_of(
+        report.planes.begin(), report.planes.end(),
+        [](const StreamingPlaneReport& p) { return !p.ok; });
+    std::cout << "per-plane serializability: " << (pwsr ? "ok" : "VIOLATION")
+              << "\n";
+  }
+  if (report.aborted_reads.empty()) {
+    std::cout << "aborted reads: none\n";
+  } else {
+    std::cout << "aborted reads: events";
+    for (size_t event : report.aborted_reads) std::cout << " " << event;
+    std::cout << "\n";
+  }
+  std::cout << "verdict: " << (report.ok() ? "clean" : "violation") << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nse
+
+int main(int argc, char** argv) { return nse::Run(argc, argv); }
